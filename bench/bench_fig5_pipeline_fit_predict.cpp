@@ -1,0 +1,115 @@
+// Regenerates Fig 5: the training (fit & transform through internal nodes,
+// fit at the last node) and prediction (transform + predict) operations on
+// a sample pipeline. The artifact measures fit vs predict cost across
+// pipeline depths; micro benchmarks isolate the per-stage costs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/pipeline.h"
+#include "src/data/synthetic.h"
+#include "src/ml/feature_selection.h"
+#include "src/ml/mlp.h"
+#include "src/ml/pca.h"
+#include "src/ml/scalers.h"
+#include "src/util/stopwatch.h"
+
+using namespace coda;
+
+namespace {
+
+Dataset workload() {
+  RegressionConfig cfg;
+  cfg.n_samples = 500;
+  cfg.n_features = 12;
+  cfg.n_informative = 6;
+  return make_regression(cfg);
+}
+
+// Builds the Fig 5 sample pipeline (robustscaler -> select-k -> MLP), with
+// `depth` controlling how many internal transform nodes precede the model.
+Pipeline sample_pipeline(std::size_t depth) {
+  Pipeline p;
+  if (depth >= 1) p.add_transformer(std::make_unique<RobustScaler>());
+  if (depth >= 2) {
+    auto kbest = std::make_unique<SelectKBest>();
+    kbest->set_param("k", std::int64_t{6});
+    p.add_transformer(std::move(kbest));
+  }
+  if (depth >= 3) {
+    auto pca = std::make_unique<PCA>();
+    pca->set_param("n_components", std::int64_t{4});
+    p.add_transformer(std::move(pca));
+  }
+  auto mlp = std::make_unique<MlpRegressor>();
+  mlp->set_param("epochs", std::int64_t{30});
+  p.set_estimator(std::move(mlp));
+  return p;
+}
+
+void print_fig5() {
+  const Dataset data = workload();
+  std::printf("=== Fig 5 (regenerated): pipeline training vs prediction "
+              "===\n");
+  std::printf("(training: internal nodes run fit&transform, last node runs "
+              "fit; prediction: transform only + predict)\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t depth : {0u, 1u, 2u, 3u}) {
+    Pipeline p = sample_pipeline(depth);
+    Stopwatch fit_timer;
+    p.fit(data.X, data.y);
+    const double fit_seconds = fit_timer.elapsed_seconds();
+    Stopwatch predict_timer;
+    const auto predictions = p.predict(data.X);
+    const double predict_seconds = predict_timer.elapsed_seconds();
+    rows.push_back({coda::bench::fmt_int(depth), p.spec().substr(0, 58),
+                    coda::bench::fmt(fit_seconds * 1e3, 1),
+                    coda::bench::fmt(predict_seconds * 1e3, 2),
+                    coda::bench::fmt(fit_seconds / predict_seconds, 1)});
+  }
+  coda::bench::print_table(
+      {"internal nodes", "pipeline", "fit ms", "predict ms", "ratio"}, rows,
+      {14, -58, 9, 11, 7});
+  std::printf("\n(the fit/predict asymmetry is the Fig 5 point: training "
+              "does strictly more work at every node)\n\n");
+}
+
+void BM_PipelineFit(benchmark::State& state) {
+  const Dataset data = workload();
+  for (auto _ : state) {
+    Pipeline p = sample_pipeline(static_cast<std::size_t>(state.range(0)));
+    p.fit(data.X, data.y);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PipelineFit)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_PipelinePredict(benchmark::State& state) {
+  const Dataset data = workload();
+  Pipeline p = sample_pipeline(static_cast<std::size_t>(state.range(0)));
+  p.fit(data.X, data.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.predict(data.X));
+  }
+}
+BENCHMARK(BM_PipelinePredict)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineDeepCopy(benchmark::State& state) {
+  const Dataset data = workload();
+  Pipeline p = sample_pipeline(3);
+  p.fit(data.X, data.y);
+  for (auto _ : state) {
+    Pipeline copy = p;  // per-fold copy cost inside cross_validate
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_PipelineDeepCopy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

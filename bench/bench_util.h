@@ -1,0 +1,42 @@
+// Shared helpers for the bench harness: fixed-width artifact tables that
+// regenerate the paper's tables/figures as measured artifacts, printed
+// before the google-benchmark micro benchmarks run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace coda::bench {
+
+/// Prints a fixed-width table: header row, rule, data rows. Column widths
+/// come from the widths vector (positive = right-aligned numeric-ish,
+/// negative = left-aligned text).
+inline void print_table(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows,
+                        const std::vector<int>& widths) {
+  auto print_row = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const int w = i < widths.size() ? widths[i] : -20;
+      std::printf("%*s  ", w, row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (const int w : widths) total += static_cast<std::size_t>(w < 0 ? -w : w) + 2;
+  std::string rule(total, '-');
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+/// printf-style float formatting into std::string.
+inline std::string fmt(double value, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+inline std::string fmt_int(std::size_t value) { return std::to_string(value); }
+
+}  // namespace coda::bench

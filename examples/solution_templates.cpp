@@ -1,0 +1,117 @@
+// Solution templates for heavy industry (§IV-E): the four packaged
+// analyses — Failure Prediction, Root Cause, Anomaly, Cohort — each run on
+// a synthetic industrial workload with a few lines of code, which is the
+// point: "consumable machine learning for non-expert users".
+#include <cstdio>
+
+#include "src/data/synthetic.h"
+#include "src/templates/anomaly.h"
+#include "src/templates/cohort.h"
+#include "src/templates/failure_prediction.h"
+#include "src/templates/root_cause.h"
+#include "src/util/random.h"
+
+using namespace coda;
+using namespace coda::templates;
+
+namespace {
+
+void failure_prediction_demo() {
+  std::printf("--- Failure Prediction Analysis (FPA) ---\n");
+  FailureWorkloadConfig cfg;
+  cfg.n_samples = 600;
+  cfg.failure_rate = 0.08;
+  const Dataset data = make_failure_workload(cfg);
+
+  FailurePredictionAnalysis fpa;
+  const auto result = fpa.run(data);
+  std::printf("  best model: %s\n", result.search.best().spec.c_str());
+  std::printf("  CV F1: %.3f | hold-out AUC: %.3f\n", result.best_f1,
+              result.best_auc);
+  std::printf("  sensors most predictive of failure:\n");
+  for (std::size_t i = 0; i < 3 && i < result.top_sensors.size(); ++i) {
+    std::printf("    %zu. %-10s importance %.3f\n", i + 1,
+                result.top_sensors[i].first.c_str(),
+                result.top_sensors[i].second);
+  }
+  std::printf("\n");
+}
+
+void root_cause_demo() {
+  std::printf("--- Root Cause Analysis (RCA) ---\n");
+  // Yield = f(temperature, pressure, ...) on a synthetic process line.
+  Rng rng(99);
+  Dataset d;
+  d.X = Matrix(400, 4);
+  d.y.resize(400);
+  d.feature_names = {"temperature", "pressure", "vibration", "humidity"};
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) d.X(i, j) = rng.normal();
+    d.y[i] = 6.0 * d.X(i, 0) - 2.5 * d.X(i, 2) + rng.normal(0.0, 0.3);
+  }
+
+  RootCauseAnalysis rca;
+  const auto result = rca.run(d);
+  std::printf("  probe model R^2: %.3f\n", result.model_r2);
+  std::printf("  factor ranking (importance):\n");
+  for (const auto& [name, importance] : result.factor_importance) {
+    std::printf("    %-12s %.3f\n", name.c_str(), importance);
+  }
+  std::printf("  sensitivity (outcome shift per +1 sd):\n");
+  for (const auto& [name, delta] : result.sensitivity) {
+    std::printf("    %-12s %+.3f\n", name.c_str(), delta);
+  }
+  // Intervention / what-if (§II): raise temperature by one unit.
+  const auto what_if = rca.what_if(d, 0, 1.0);
+  double mean = 0.0;
+  for (const double v : what_if) mean += v;
+  std::printf("  what-if: +1.0 temperature -> mean predicted yield %.3f\n\n",
+              mean / static_cast<double>(what_if.size()));
+}
+
+void anomaly_demo() {
+  std::printf("--- Anomaly Analysis ---\n");
+  Rng rng(7);
+  Matrix readings(500, 4);
+  for (double& v : readings.data()) v = rng.normal(20.0, 2.0);
+  // Inject three anomalous operating points.
+  readings(120, 1) = 60.0;
+  readings(300, 3) = -15.0;
+  readings(444, 0) = 55.0;
+
+  AnomalyAnalysis detector;
+  const auto result = detector.fit_score(readings);
+  std::printf("  scored %zu readings; threshold %.1f\n",
+              result.scores.size(), result.threshold);
+  std::printf("  anomalous rows:");
+  for (const std::size_t r : result.anomalies) std::printf(" %zu", r);
+  std::printf("\n\n");
+}
+
+void cohort_demo() {
+  std::printf("--- Cohort Analysis (CA) ---\n");
+  CohortWorkloadConfig cfg;
+  cfg.n_assets = 120;
+  cfg.n_cohorts = 3;
+  const Dataset assets = make_cohort_workload(cfg);
+
+  CohortAnalysis ca;  // auto-selects k by the elbow criterion
+  const auto result = ca.run(assets.X);
+  std::printf("  %zu assets grouped into %zu cohorts (auto-selected k)\n",
+              assets.n_samples(), result.k);
+  for (std::size_t c = 0; c < result.cohort_sizes.size(); ++c) {
+    std::printf("    cohort %zu: %zu assets\n", c, result.cohort_sizes[c]);
+  }
+  std::printf("  within-cohort inertia: %.1f\n", result.inertia);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== coda solution templates (Section IV-E) ===\n\n");
+  failure_prediction_demo();
+  root_cause_demo();
+  anomaly_demo();
+  cohort_demo();
+  return 0;
+}

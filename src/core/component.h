@@ -1,0 +1,137 @@
+// Component model: every graph vertex is a named AI/ML operation (Section
+// IV: "v_i = (name_i, operation_i)"). Operations are of two kinds —
+// Transform (_.transform) and Estimate (_.fit) — mirrored here as the
+// Transformer and Estimator interfaces.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/param.h"
+#include "src/data/matrix.h"
+
+namespace coda {
+
+/// Base of all graph-node operations. Concrete components declare their
+/// tunable parameters (with defaults) in their constructor; users override
+/// them via set_param / the node__param convention.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  /// The node name (unique within a graph; used as the param prefix).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Current parameter values.
+  const ParamMap& params() const { return params_; }
+
+  /// Sets a declared parameter; throws NotFound for undeclared keys so
+  /// typos in "node__param" addressing fail loudly rather than silently.
+  void set_param(const std::string& key, const ParamValue& value) {
+    if (!params_.contains(key)) {
+      throw NotFound("Component '" + name_ + "': unknown parameter '" + key +
+                     "'");
+    }
+    params_.set(key, value);
+  }
+
+  /// Applies every entry of `values` via set_param.
+  void set_params(const ParamMap& values) {
+    for (const auto& [k, v] : values) set_param(k, v);
+  }
+
+  /// Polymorphic deep copy.
+  virtual std::unique_ptr<Component> clone() const = 0;
+
+  /// Canonical "name(params)" rendering used in pipeline spec strings.
+  std::string spec() const {
+    const std::string p = params_.to_string();
+    return p.empty() ? name_ : name_ + "(" + p + ")";
+  }
+
+ protected:
+  Component(const Component&) = default;
+  Component& operator=(const Component&) = default;
+
+  /// Declares a tunable parameter with its default value.
+  void declare_param(const std::string& key, ParamValue default_value) {
+    params_.set(key, std::move(default_value));
+  }
+
+ private:
+  std::string name_;
+  ParamMap params_;
+};
+
+/// A Transform operation: fit() learns any state from training data,
+/// transform() maps data items to new data items (Fig 5: internal pipeline
+/// nodes run "fit & transform" during training and "transform" during
+/// prediction).
+class Transformer : public Component {
+ public:
+  using Component::Component;
+
+  /// Learns transformer state. `y` is available for supervised transformers
+  /// (e.g. SelectKBest) and ignored by unsupervised ones.
+  virtual void fit(const Matrix& X, const std::vector<double>& y) = 0;
+
+  /// Applies the learned transform; requires fit() first.
+  virtual Matrix transform(const Matrix& X) const = 0;
+
+  Matrix fit_transform(const Matrix& X, const std::vector<double>& y) {
+    fit(X, y);
+    return transform(X);
+  }
+
+  /// clone() with the static type preserved.
+  std::unique_ptr<Transformer> clone_transformer() const {
+    auto c = clone();
+    auto* t = dynamic_cast<Transformer*>(c.get());
+    require(t != nullptr, "clone() did not return a Transformer");
+    c.release();
+    return std::unique_ptr<Transformer>(t);
+  }
+};
+
+/// An Estimate operation: fit() trains a model on a collection, predict()
+/// scores new items (Fig 5: the last pipeline node runs "fit" during
+/// training and "predict" during prediction).
+class Estimator : public Component {
+ public:
+  using Component::Component;
+
+  virtual void fit(const Matrix& X, const std::vector<double>& y) = 0;
+
+  /// Predictions: real values for regression; for binary classification the
+  /// convention is a score in [0,1] interpreted as P(label=1).
+  virtual std::vector<double> predict(const Matrix& X) const = 0;
+
+  /// clone() with the static type preserved.
+  std::unique_ptr<Estimator> clone_estimator() const {
+    auto c = clone();
+    auto* e = dynamic_cast<Estimator*>(c.get());
+    require(e != nullptr, "clone() did not return an Estimator");
+    c.release();
+    return std::unique_ptr<Estimator>(e);
+  }
+};
+
+/// The NoOp transformer (Section IV-A): "allows users to skip the operation
+/// in that stage" — the identity transform.
+class NoOp final : public Transformer {
+ public:
+  NoOp() : Transformer("noop") {}
+
+  void fit(const Matrix&, const std::vector<double>&) override {}
+
+  Matrix transform(const Matrix& X) const override { return X; }
+
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<NoOp>(*this);
+  }
+};
+
+}  // namespace coda

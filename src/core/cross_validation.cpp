@@ -1,0 +1,159 @@
+#include "src/core/cross_validation.h"
+
+#include <numeric>
+
+#include "src/util/error.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+std::vector<std::size_t> identity_or_permutation(std::size_t n, bool shuffle,
+                                                 std::uint64_t seed) {
+  if (shuffle) return Rng(seed).permutation(n);
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+Split random_split(std::size_t n, double train_fraction, Rng& rng) {
+  auto perm = rng.permutation(n);
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(n) * train_fraction);
+  require(n_train > 0 && n_train < n,
+          "cross-validation: split leaves an empty side");
+  Split s;
+  s.train.assign(perm.begin(),
+                 perm.begin() + static_cast<std::ptrdiff_t>(n_train));
+  s.test.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_train),
+                perm.end());
+  return s;
+}
+
+}  // namespace
+
+KFold::KFold(std::size_t k, bool shuffle, std::uint64_t seed)
+    : k_(k), shuffle_(shuffle), seed_(seed) {
+  require(k >= 2, "KFold: k must be >= 2");
+}
+
+std::vector<Split> KFold::splits(std::size_t n_samples) const {
+  require(n_samples >= k_, "KFold: fewer samples than folds");
+  const auto order = identity_or_permutation(n_samples, shuffle_, seed_);
+
+  // Fold sizes differ by at most one (equally sized partition without
+  // replacement, Fig 4).
+  std::vector<std::size_t> fold_of(n_samples);
+  const std::size_t base = n_samples / k_;
+  const std::size_t extra = n_samples % k_;
+  std::size_t pos = 0;
+  for (std::size_t f = 0; f < k_; ++f) {
+    const std::size_t size = base + (f < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) fold_of[order[pos++]] = f;
+  }
+
+  std::vector<Split> out(k_);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    for (std::size_t f = 0; f < k_; ++f) {
+      (fold_of[i] == f ? out[f].test : out[f].train).push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string KFold::spec() const {
+  return "kfold(k=" + std::to_string(k_) +
+         ",shuffle=" + (shuffle_ ? "true" : "false") +
+         ",seed=" + std::to_string(seed_) + ")";
+}
+
+HoldOut::HoldOut(double train_fraction, std::uint64_t seed)
+    : train_fraction_(train_fraction), seed_(seed) {
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "HoldOut: fraction must be in (0,1)");
+}
+
+std::vector<Split> HoldOut::splits(std::size_t n_samples) const {
+  require(n_samples >= 2, "HoldOut: need at least 2 samples");
+  Rng rng(seed_);
+  return {random_split(n_samples, train_fraction_, rng)};
+}
+
+std::string HoldOut::spec() const {
+  return "holdout(frac=" + std::to_string(train_fraction_) +
+         ",seed=" + std::to_string(seed_) + ")";
+}
+
+MonteCarloCV::MonteCarloCV(std::size_t iterations, double train_fraction,
+                           std::uint64_t seed)
+    : iterations_(iterations), train_fraction_(train_fraction), seed_(seed) {
+  require(iterations >= 1, "MonteCarloCV: iterations must be >= 1");
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "MonteCarloCV: fraction must be in (0,1)");
+}
+
+std::vector<Split> MonteCarloCV::splits(std::size_t n_samples) const {
+  require(n_samples >= 2, "MonteCarloCV: need at least 2 samples");
+  Rng rng(seed_);
+  std::vector<Split> out;
+  out.reserve(iterations_);
+  for (std::size_t i = 0; i < iterations_; ++i) {
+    out.push_back(random_split(n_samples, train_fraction_, rng));
+  }
+  return out;
+}
+
+std::string MonteCarloCV::spec() const {
+  return "montecarlo(iters=" + std::to_string(iterations_) +
+         ",frac=" + std::to_string(train_fraction_) +
+         ",seed=" + std::to_string(seed_) + ")";
+}
+
+TimeSeriesSlidingSplit::TimeSeriesSlidingSplit(std::size_t k,
+                                               std::size_t train_size,
+                                               std::size_t val_size,
+                                               std::size_t buffer)
+    : k_(k), train_size_(train_size), val_size_(val_size), buffer_(buffer) {
+  require(k >= 1, "TimeSeriesSlidingSplit: k must be >= 1");
+  require(train_size >= 1 && val_size >= 1,
+          "TimeSeriesSlidingSplit: window sizes must be >= 1");
+}
+
+std::vector<Split> TimeSeriesSlidingSplit::splits(
+    std::size_t n_samples) const {
+  const std::size_t window = train_size_ + buffer_ + val_size_;
+  require(n_samples >= window,
+          "TimeSeriesSlidingSplit: series shorter than one window (" +
+              std::to_string(window) + ")");
+
+  // The k windows are spread evenly over the available slide range; with
+  // k == 1 the window sits at the end of the series (most recent data).
+  const std::size_t slide_range = n_samples - window;
+  std::vector<Split> out;
+  out.reserve(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t start =
+        k_ == 1 ? slide_range : slide_range * i / (k_ - 1);
+    Split s;
+    s.train.reserve(train_size_);
+    for (std::size_t t = start; t < start + train_size_; ++t) {
+      s.train.push_back(t);
+    }
+    const std::size_t val_begin = start + train_size_ + buffer_;
+    s.test.reserve(val_size_);
+    for (std::size_t t = val_begin; t < val_begin + val_size_; ++t) {
+      s.test.push_back(t);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string TimeSeriesSlidingSplit::spec() const {
+  return "ts_sliding(k=" + std::to_string(k_) +
+         ",train=" + std::to_string(train_size_) +
+         ",val=" + std::to_string(val_size_) +
+         ",buffer=" + std::to_string(buffer_) + ")";
+}
+
+}  // namespace coda

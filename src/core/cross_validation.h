@@ -1,0 +1,117 @@
+// Cross-validation strategies (Section IV-B / IV-D): K-fold (Fig 4),
+// train/test split, Monte-Carlo, and TimeSeriesSlidingSplit (Fig 12) —
+// sliding train/validation windows separated by a buffer so test data never
+// leaks information into training.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coda {
+
+/// One train/test index split.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Produces train/test splits over n samples.
+class CrossValidator {
+ public:
+  virtual ~CrossValidator() = default;
+
+  /// All splits for a dataset of `n_samples`. Throws InvalidArgument when
+  /// n_samples is too small for the strategy's configuration.
+  virtual std::vector<Split> splits(std::size_t n_samples) const = 0;
+
+  /// Stable description ("kfold(k=5,seed=42)") used in DARR record keys.
+  virtual std::string spec() const = 0;
+
+  virtual std::unique_ptr<CrossValidator> clone() const = 0;
+};
+
+/// K-fold CV (Fig 4): the data is randomly partitioned into K equal folds
+/// without replacement; each fold is the test set once.
+class KFold final : public CrossValidator {
+ public:
+  explicit KFold(std::size_t k, bool shuffle = true, std::uint64_t seed = 42);
+
+  std::vector<Split> splits(std::size_t n_samples) const override;
+  std::string spec() const override;
+  std::unique_ptr<CrossValidator> clone() const override {
+    return std::make_unique<KFold>(*this);
+  }
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  bool shuffle_;
+  std::uint64_t seed_;
+};
+
+/// A single random train/test split ("Train-Test Split" alternative,
+/// Section IV-B).
+class HoldOut final : public CrossValidator {
+ public:
+  explicit HoldOut(double train_fraction = 0.75, std::uint64_t seed = 42);
+
+  std::vector<Split> splits(std::size_t n_samples) const override;
+  std::string spec() const override;
+  std::unique_ptr<CrossValidator> clone() const override {
+    return std::make_unique<HoldOut>(*this);
+  }
+
+ private:
+  double train_fraction_;
+  std::uint64_t seed_;
+};
+
+/// Monte-Carlo CV (Section IV-B): `iterations` independent random splits.
+class MonteCarloCV final : public CrossValidator {
+ public:
+  MonteCarloCV(std::size_t iterations, double train_fraction = 0.75,
+               std::uint64_t seed = 42);
+
+  std::vector<Split> splits(std::size_t n_samples) const override;
+  std::string spec() const override;
+  std::unique_ptr<CrossValidator> clone() const override {
+    return std::make_unique<MonteCarloCV>(*this);
+  }
+
+ private:
+  std::size_t iterations_;
+  double train_fraction_;
+  std::uint64_t seed_;
+};
+
+/// TimeSeriesSlidingSplit (Fig 12): k windows sliding forward in time; each
+/// split trains on [start, start+train_size) and validates on
+/// [start+train_size+buffer, ...+val_size). Training indices never reach
+/// past the buffer into validation, and both windows move forward together.
+class TimeSeriesSlidingSplit final : public CrossValidator {
+ public:
+  TimeSeriesSlidingSplit(std::size_t k, std::size_t train_size,
+                         std::size_t val_size, std::size_t buffer = 0);
+
+  std::vector<Split> splits(std::size_t n_samples) const override;
+  std::string spec() const override;
+  std::unique_ptr<CrossValidator> clone() const override {
+    return std::make_unique<TimeSeriesSlidingSplit>(*this);
+  }
+
+  std::size_t k() const { return k_; }
+  std::size_t train_size() const { return train_size_; }
+  std::size_t val_size() const { return val_size_; }
+  std::size_t buffer() const { return buffer_; }
+
+ private:
+  std::size_t k_;
+  std::size_t train_size_;
+  std::size_t val_size_;
+  std::size_t buffer_;
+};
+
+}  // namespace coda

@@ -1,0 +1,236 @@
+#include "src/core/evaluator.h"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "src/data/fingerprint.h"
+#include "src/util/hash.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+
+namespace coda {
+
+std::optional<CachedResult> LocalResultCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = results_.find(key);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LocalResultCache::try_claim(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (results_.count(key) != 0) return true;  // already done; lookup will hit
+  return claims_.insert(key).second;
+}
+
+void LocalResultCache::store(const std::string& key,
+                             const CachedResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_[key] = result;
+  claims_.erase(key);
+}
+
+void LocalResultCache::abandon(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  claims_.erase(key);
+}
+
+const CandidateResult& EvaluationReport::best() const {
+  require_state(!results.empty(), "EvaluationReport: empty report");
+  return results[best_index];
+}
+
+CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,
+                            const CrossValidator& cv, Metric metric) {
+  data.validate();
+  const auto splits = cv.splits(data.n_samples());
+  require(!splits.empty(), "cross_validate: CV produced no splits");
+
+  CachedResult result;
+  result.explanation = pipeline.spec();
+  result.fold_scores.reserve(splits.size());
+  for (const auto& split : splits) {
+    Pipeline fold_pipeline = pipeline;  // deep copy: folds are independent
+    const Dataset train = data.select(split.train);
+    const Dataset test = data.select(split.test);
+    fold_pipeline.fit(train.X, train.y);
+    const auto predictions = fold_pipeline.predict(test.X);
+    result.fold_scores.push_back(score(metric, test.y, predictions));
+  }
+
+  double sum = 0.0;
+  for (const double s : result.fold_scores) sum += s;
+  result.mean_score = sum / static_cast<double>(result.fold_scores.size());
+  double var = 0.0;
+  for (const double s : result.fold_scores) {
+    const double d = s - result.mean_score;
+    var += d * d;
+  }
+  result.stddev =
+      std::sqrt(var / static_cast<double>(result.fold_scores.size()));
+  return result;
+}
+
+GraphEvaluator::GraphEvaluator(EvaluatorConfig config)
+    : config_(std::move(config)) {}
+
+std::string GraphEvaluator::cache_key(const Dataset& data,
+                                      const std::string& candidate_spec,
+                                      const CrossValidator& cv,
+                                      Metric metric) {
+  return hash_to_hex(fingerprint(data)) + "|" + candidate_spec + "|" +
+         cv.spec() + "|" + metric_name(metric);
+}
+
+EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
+                                          const Dataset& data,
+                                          const CrossValidator& cv) const {
+  Stopwatch total_timer;
+  const auto candidates = graph.enumerate_candidates();
+  require(!candidates.empty(), "GraphEvaluator: graph has no candidates");
+
+  EvaluationReport report;
+  report.metric = config_.metric;
+  report.results.resize(candidates.size());
+
+  // Evaluates candidate i, honouring the cache/claim protocol when a cache
+  // is configured. Exceptions from a candidate (e.g. a selector asked for
+  // more components than features) are recorded, not propagated: one bad
+  // path must not abort the whole search.
+  //
+  // Cooperative flow: when a peer already holds the claim for a candidate,
+  // the first pass *defers* it (returns true) and moves on to other work —
+  // blocking here would serialize the whole fleet. The second pass revisits
+  // deferred candidates: it polls for the peer's result and, if the claim
+  // expires without one (peer failure), claims and computes locally so the
+  // search always completes.
+  auto evaluate_one = [&](std::size_t i, bool allow_defer) -> bool {
+    CandidateResult& out = report.results[i];
+    Stopwatch timer;
+    const std::string spec = graph.candidate_spec(candidates[i]);
+    out.spec = spec;
+    const std::string key =
+        config_.cache == nullptr
+            ? std::string()
+            : cache_key(data, spec, cv, config_.metric);
+    try {
+      if (config_.cache != nullptr) {
+        if (auto hit = config_.cache->lookup(key)) {
+          out.mean_score = hit->mean_score;
+          out.stddev = hit->stddev;
+          out.fold_scores = hit->fold_scores;
+          out.from_cache = true;
+          out.eval_seconds = timer.elapsed_seconds();
+          return false;
+        }
+        if (!config_.cache->try_claim(key)) {
+          if (allow_defer) return true;  // a peer is on it; come back later
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(config_.claim_wait_ms);
+          for (;;) {
+            if (auto hit = config_.cache->lookup(key)) {
+              out.mean_score = hit->mean_score;
+              out.stddev = hit->stddev;
+              out.fold_scores = hit->fold_scores;
+              out.from_cache = true;
+              out.eval_seconds = timer.elapsed_seconds();
+              return false;
+            }
+            if (config_.cache->try_claim(key)) break;  // peer claim expired
+            if (std::chrono::steady_clock::now() >= deadline) break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(config_.claim_poll_ms));
+          }
+        }
+      }
+      const Pipeline pipeline = graph.instantiate(candidates[i]);
+      const CachedResult cv_result =
+          cross_validate(pipeline, data, cv, config_.metric);
+      out.mean_score = cv_result.mean_score;
+      out.stddev = cv_result.stddev;
+      out.fold_scores = cv_result.fold_scores;
+      out.eval_seconds = timer.elapsed_seconds();
+      if (config_.cache != nullptr) config_.cache->store(key, cv_result);
+    } catch (const std::exception& e) {
+      out.failed = true;
+      out.failure_message = e.what();
+      out.eval_seconds = timer.elapsed_seconds();
+      if (config_.cache != nullptr && !key.empty()) {
+        config_.cache->abandon(key);
+      }
+    }
+    return false;
+  };
+
+  std::vector<std::size_t> deferred;
+  if (config_.threads == 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (evaluate_one(i, /*allow_defer=*/true)) deferred.push_back(i);
+    }
+    for (const std::size_t i : deferred) {
+      evaluate_one(i, /*allow_defer=*/false);
+    }
+  } else {
+    ThreadPool pool(config_.threads);
+    std::vector<std::future<bool>> futures;
+    futures.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      futures.push_back(pool.submit(evaluate_one, i, true));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      if (futures[i].get()) deferred.push_back(i);
+    }
+    std::vector<std::future<bool>> retry;
+    retry.reserve(deferred.size());
+    for (const std::size_t i : deferred) {
+      retry.push_back(pool.submit(evaluate_one, i, false));
+    }
+    for (auto& f : retry) f.get();
+  }
+
+  // Pick the best non-failed candidate.
+  const bool maximize = higher_is_better(config_.metric);
+  bool found = false;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const auto& r = report.results[i];
+    if (r.failed) continue;
+    if (r.from_cache) {
+      ++report.served_from_cache;
+    } else {
+      ++report.evaluated_locally;
+    }
+    if (!found) {
+      report.best_index = i;
+      found = true;
+      continue;
+    }
+    const auto& best = report.results[report.best_index];
+    const bool better = maximize ? r.mean_score > best.mean_score
+                                 : r.mean_score < best.mean_score;
+    if (better) report.best_index = i;
+  }
+  require_state(found, "GraphEvaluator: every candidate failed");
+  report.total_seconds = total_timer.elapsed_seconds();
+  return report;
+}
+
+Pipeline GraphEvaluator::train_best(const TEGraph& graph, const Dataset& data,
+                                    const CrossValidator& cv) const {
+  const auto report = evaluate(graph, data, cv);
+  // Re-derive the best candidate by matching spec (reports do not own the
+  // candidate objects; specs are canonical and unique per candidate).
+  const auto candidates = graph.enumerate_candidates();
+  for (const auto& candidate : candidates) {
+    if (graph.candidate_spec(candidate) == report.best().spec) {
+      Pipeline p = graph.instantiate(candidate);
+      p.fit(data.X, data.y);
+      return p;
+    }
+  }
+  throw StateError("GraphEvaluator::train_best: best candidate not found");
+}
+
+}  // namespace coda

@@ -1,0 +1,129 @@
+// Graph evaluation (Section IV-B): every candidate pipeline in a
+// Transformer-Estimator Graph is scored with cross-validation and the best
+// path is selected. Candidates run in parallel on a thread pool (Section
+// III: "different predictive models can be run in parallel"), and an
+// optional ResultCache (implemented by the DARR client) lets multiple
+// clients share scores and avoid redundant computations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/cross_validation.h"
+#include "src/core/metrics.h"
+#include "src/core/te_graph.h"
+#include "src/data/dataset.h"
+
+namespace coda {
+
+/// A shared (cacheable) evaluation result.
+struct CachedResult {
+  double mean_score = 0.0;
+  double stddev = 0.0;
+  std::vector<double> fold_scores;
+  std::string explanation;  ///< how the result was achieved (pipeline spec)
+};
+
+/// Cache/claim interface the evaluator uses to cooperate with other clients
+/// (Section III, Fig 2). Implemented by darr::DarrResultCache; a process-
+/// local implementation exists for tests.
+class ResultCache {
+ public:
+  virtual ~ResultCache() = default;
+
+  /// Returns the stored result for `key`, if any client has computed it.
+  virtual std::optional<CachedResult> lookup(const std::string& key) = 0;
+
+  /// Attempts to claim `key` for local computation. Returns false when
+  /// another client holds a live claim (they are computing it right now).
+  virtual bool try_claim(const std::string& key) = 0;
+
+  /// Stores a computed result (and releases this client's claim).
+  virtual void store(const std::string& key, const CachedResult& result) = 0;
+
+  /// Releases a claim without storing (local failure); lets others retry.
+  virtual void abandon(const std::string& key) = 0;
+};
+
+/// Trivial in-process ResultCache (single map, no sharing semantics beyond
+/// the current process). Useful for tests and single-client speedups.
+class LocalResultCache final : public ResultCache {
+ public:
+  std::optional<CachedResult> lookup(const std::string& key) override;
+  bool try_claim(const std::string& key) override;
+  void store(const std::string& key, const CachedResult& result) override;
+  void abandon(const std::string& key) override;
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, CachedResult> results_;
+  std::set<std::string> claims_;
+};
+
+/// Per-candidate outcome in an evaluation report.
+struct CandidateResult {
+  std::string spec;
+  double mean_score = 0.0;
+  double stddev = 0.0;
+  std::vector<double> fold_scores;
+  double eval_seconds = 0.0;
+  bool from_cache = false;
+  bool failed = false;          ///< candidate threw during fit/predict
+  std::string failure_message;
+};
+
+/// Result of evaluating a whole graph.
+struct EvaluationReport {
+  std::vector<CandidateResult> results;
+  std::size_t best_index = 0;
+  Metric metric = Metric::kRmse;
+  std::size_t evaluated_locally = 0;
+  std::size_t served_from_cache = 0;
+  double total_seconds = 0.0;
+
+  const CandidateResult& best() const;
+};
+
+/// Evaluator configuration.
+struct EvaluatorConfig {
+  Metric metric = Metric::kRmse;
+  std::size_t threads = 0;        ///< 0 = hardware concurrency
+  ResultCache* cache = nullptr;   ///< optional cooperation hook
+  int claim_poll_ms = 5;          ///< poll interval while waiting on peers
+  int claim_wait_ms = 2000;       ///< max wait before computing locally
+};
+
+/// Scores one pipeline with cross-validation (mean/stddev across folds).
+CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,
+                            const CrossValidator& cv, Metric metric);
+
+/// Evaluates every candidate of a graph and selects the best path.
+class GraphEvaluator {
+ public:
+  explicit GraphEvaluator(EvaluatorConfig config = {});
+
+  /// Evaluates all candidates of `graph` on `data` under `cv`.
+  EvaluationReport evaluate(const TEGraph& graph, const Dataset& data,
+                            const CrossValidator& cv) const;
+
+  /// Returns the best candidate's pipeline, re-fitted on the full dataset.
+  Pipeline train_best(const TEGraph& graph, const Dataset& data,
+                      const CrossValidator& cv) const;
+
+  /// The cache key for one candidate: dataset fingerprint + pipeline spec +
+  /// CV spec + metric — identical inputs yield identical keys on every
+  /// client, which is what makes the sharing sound.
+  static std::string cache_key(const Dataset& data,
+                               const std::string& candidate_spec,
+                               const CrossValidator& cv, Metric metric);
+
+ private:
+  EvaluatorConfig config_;
+};
+
+}  // namespace coda

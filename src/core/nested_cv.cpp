@@ -1,0 +1,47 @@
+#include "src/core/nested_cv.h"
+
+#include <cmath>
+
+namespace coda {
+
+NestedCvResult nested_cross_validate(const TEGraph& graph,
+                                     const Dataset& data,
+                                     const CrossValidator& outer_cv,
+                                     const CrossValidator& inner_cv,
+                                     const EvaluatorConfig& config) {
+  data.validate();
+  const auto outer_splits = outer_cv.splits(data.n_samples());
+  require(!outer_splits.empty(), "nested_cross_validate: no outer splits");
+
+  GraphEvaluator evaluator(config);
+  NestedCvResult result;
+  result.outer_scores.reserve(outer_splits.size());
+
+  for (const auto& split : outer_splits) {
+    const Dataset train = data.select(split.train);
+    const Dataset test = data.select(split.test);
+
+    Pipeline winner = evaluator.train_best(graph, train, inner_cv);
+    const auto inner_report = evaluator.evaluate(graph, train, inner_cv);
+    result.mean_inner_score += inner_report.best().mean_score;
+    result.selected_specs.push_back(inner_report.best().spec);
+
+    const auto predictions = winner.predict(test.X);
+    result.outer_scores.push_back(
+        score(config.metric, test.y, predictions));
+  }
+
+  const double n = static_cast<double>(result.outer_scores.size());
+  result.mean_inner_score /= n;
+  for (const double s : result.outer_scores) result.mean_score += s;
+  result.mean_score /= n;
+  double var = 0.0;
+  for (const double s : result.outer_scores) {
+    const double d = s - result.mean_score;
+    var += d * d;
+  }
+  result.stddev = std::sqrt(var / n);
+  return result;
+}
+
+}  // namespace coda

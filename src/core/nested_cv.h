@@ -1,0 +1,39 @@
+// Nested K-fold cross-validation (Section IV-B lists "Nested K-fold" among
+// the validation strategies): an unbiased estimate of the *whole model-
+// selection procedure*. The outer folds hold out test data the inner graph
+// search never sees; per outer fold, the graph is searched on the training
+// side with the inner CV, the winning pipeline is refit on that training
+// side, and scored on the outer test fold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.h"
+
+namespace coda {
+
+/// Result of a nested cross-validation of a graph search.
+struct NestedCvResult {
+  /// Outer-fold scores of the per-fold winners (the unbiased estimate of
+  /// deployed-search performance).
+  std::vector<double> outer_scores;
+  double mean_score = 0.0;
+  double stddev = 0.0;
+  /// The pipeline each outer fold selected (winners can differ per fold —
+  /// that variability is what plain CV hides).
+  std::vector<std::string> selected_specs;
+  /// Mean of the winners' *inner* CV scores — typically optimistic
+  /// relative to mean_score; the gap is the selection bias.
+  double mean_inner_score = 0.0;
+};
+
+/// Runs the nested procedure. `outer_cv` partitions the data; `inner_cv`
+/// drives the per-fold graph search under `config`.
+NestedCvResult nested_cross_validate(const TEGraph& graph,
+                                     const Dataset& data,
+                                     const CrossValidator& outer_cv,
+                                     const CrossValidator& inner_cv,
+                                     const EvaluatorConfig& config);
+
+}  // namespace coda

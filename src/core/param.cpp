@@ -1,0 +1,115 @@
+#include "src/core/param.h"
+
+#include <sstream>
+
+namespace coda {
+
+std::string param_value_to_string(const ParamValue& v) {
+  struct Visitor {
+    std::string operator()(std::int64_t x) const { return std::to_string(x); }
+    std::string operator()(double x) const {
+      std::ostringstream ss;
+      ss << x;
+      return ss.str();
+    }
+    std::string operator()(bool x) const { return x ? "true" : "false"; }
+    std::string operator()(const std::string& x) const { return x; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+const ParamValue& ParamMap::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw NotFound("ParamMap: unknown parameter '" + key + "'");
+  }
+  return it->second;
+}
+
+std::int64_t ParamMap::get_int(const std::string& key) const {
+  const auto& v = get(key);
+  if (const auto* p = std::get_if<std::int64_t>(&v)) return *p;
+  throw InvalidArgument("ParamMap: parameter '" + key + "' is not an int");
+}
+
+double ParamMap::get_double(const std::string& key) const {
+  const auto& v = get(key);
+  if (const auto* p = std::get_if<double>(&v)) return *p;
+  if (const auto* p = std::get_if<std::int64_t>(&v)) {
+    return static_cast<double>(*p);
+  }
+  throw InvalidArgument("ParamMap: parameter '" + key + "' is not a double");
+}
+
+bool ParamMap::get_bool(const std::string& key) const {
+  const auto& v = get(key);
+  if (const auto* p = std::get_if<bool>(&v)) return *p;
+  throw InvalidArgument("ParamMap: parameter '" + key + "' is not a bool");
+}
+
+const std::string& ParamMap::get_string(const std::string& key) const {
+  const auto& v = get(key);
+  if (const auto* p = std::get_if<std::string>(&v)) return *p;
+  throw InvalidArgument("ParamMap: parameter '" + key + "' is not a string");
+}
+
+std::optional<ParamValue> ParamMap::try_get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ParamMap::merge(const ParamMap& other) {
+  for (const auto& [k, v] : other) values_[k] = v;
+}
+
+std::string ParamMap::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + param_value_to_string(v);
+  }
+  return out;
+}
+
+std::optional<std::pair<std::string, std::string>> split_node_param(
+    const std::string& key) {
+  const auto pos = key.find("__");
+  if (pos == std::string::npos || pos == 0 || pos + 2 >= key.size()) {
+    return std::nullopt;
+  }
+  return std::make_pair(key.substr(0, pos), key.substr(pos + 2));
+}
+
+ParamGrid& ParamGrid::add(const std::string& key,
+                          std::vector<ParamValue> values) {
+  require(!values.empty(), "ParamGrid: axis '" + key + "' has no values");
+  axes_.emplace_back(key, std::move(values));
+  return *this;
+}
+
+std::size_t ParamGrid::n_assignments() const {
+  std::size_t n = 1;
+  for (const auto& [key, values] : axes_) n *= values.size();
+  return n;
+}
+
+std::vector<ParamMap> ParamGrid::expand() const {
+  std::vector<ParamMap> out;
+  out.emplace_back();
+  for (const auto& [key, values] : axes_) {
+    std::vector<ParamMap> next;
+    next.reserve(out.size() * values.size());
+    for (const auto& base : out) {
+      for (const auto& value : values) {
+        ParamMap m = base;
+        m.set(key, value);
+        next.push_back(std::move(m));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,95 @@
+// Component parameters and the "node__param" addressing convention.
+//
+// Section IV: each graph node has a unique name; users supply external
+// parameters addressed as "<node>__<param>" (node name, two underscores,
+// attribute name — the convention adopted from sklearn). ParamMap carries
+// typed values; split_node_param() implements the addressing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace coda {
+
+/// A typed parameter value.
+using ParamValue = std::variant<std::int64_t, double, bool, std::string>;
+
+/// Renders a value for spec strings and DARR keys ("5", "0.3", "true", "x").
+std::string param_value_to_string(const ParamValue& v);
+
+/// An ordered name -> value map of component parameters.
+class ParamMap {
+ public:
+  ParamMap() = default;
+  ParamMap(std::initializer_list<std::pair<const std::string, ParamValue>> init)
+      : values_(init) {}
+
+  bool contains(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  void set(const std::string& key, ParamValue value) {
+    values_[key] = std::move(value);
+  }
+
+  const ParamValue& get(const std::string& key) const;
+
+  std::int64_t get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;  ///< accepts int too
+  bool get_bool(const std::string& key) const;
+  const std::string& get_string(const std::string& key) const;
+
+  std::optional<ParamValue> try_get(const std::string& key) const;
+
+  /// Merges `other` into this map (other wins on conflicts).
+  void merge(const ParamMap& other);
+
+  /// Canonical "k1=v1,k2=v2" rendering (sorted by key) for spec strings.
+  std::string to_string() const;
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  bool operator==(const ParamMap& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::map<std::string, ParamValue> values_;
+};
+
+/// Splits "pca__n_components" into {"pca", "n_components"}. Returns nullopt
+/// when the key carries no node prefix.
+std::optional<std::pair<std::string, std::string>> split_node_param(
+    const std::string& key);
+
+/// A grid of candidate values per parameter, expanded to the cartesian
+/// product of assignments (Section II: "optimize parameters and
+/// systematically test several algorithms").
+class ParamGrid {
+ public:
+  ParamGrid() = default;
+
+  ParamGrid& add(const std::string& key, std::vector<ParamValue> values);
+
+  bool empty() const { return axes_.empty(); }
+
+  /// Number of assignments in the cartesian product (1 when empty).
+  std::size_t n_assignments() const;
+
+  /// All assignments; an empty grid yields one empty ParamMap.
+  std::vector<ParamMap> expand() const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<ParamValue>>> axes_;
+};
+
+}  // namespace coda

@@ -1,0 +1,134 @@
+#include "src/core/pipeline.h"
+
+namespace coda {
+
+Pipeline::Pipeline(const Pipeline& other) : fitted_(other.fitted_) {
+  transformers_.reserve(other.transformers_.size());
+  for (const auto& t : other.transformers_) {
+    transformers_.push_back(t->clone_transformer());
+  }
+  if (other.estimator_) estimator_ = other.estimator_->clone_estimator();
+}
+
+Pipeline& Pipeline::operator=(const Pipeline& other) {
+  if (this != &other) {
+    Pipeline copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void Pipeline::add_transformer(std::unique_ptr<Transformer> t) {
+  require(t != nullptr, "Pipeline: null transformer");
+  check_unique_name(t->name());
+  transformers_.push_back(std::move(t));
+  fitted_ = false;
+}
+
+void Pipeline::set_estimator(std::unique_ptr<Estimator> e) {
+  require(e != nullptr, "Pipeline: null estimator");
+  check_unique_name(e->name());
+  estimator_ = std::move(e);
+  fitted_ = false;
+}
+
+const Transformer& Pipeline::transformer(std::size_t i) const {
+  require(i < transformers_.size(), "Pipeline: transformer index out of range");
+  return *transformers_[i];
+}
+
+Transformer& Pipeline::transformer(std::size_t i) {
+  require(i < transformers_.size(), "Pipeline: transformer index out of range");
+  return *transformers_[i];
+}
+
+const Estimator& Pipeline::estimator() const {
+  require_state(estimator_ != nullptr, "Pipeline: no estimator set");
+  return *estimator_;
+}
+
+Estimator& Pipeline::estimator() {
+  require_state(estimator_ != nullptr, "Pipeline: no estimator set");
+  return *estimator_;
+}
+
+Component* Pipeline::find_node(const std::string& name) {
+  for (auto& t : transformers_) {
+    if (t->name() == name) return t.get();
+  }
+  if (estimator_ && estimator_->name() == name) return estimator_.get();
+  return nullptr;
+}
+
+void Pipeline::check_unique_name(const std::string& name) const {
+  for (const auto& t : transformers_) {
+    require(t->name() != name,
+            "Pipeline: duplicate node name '" + name + "'");
+  }
+  require(!estimator_ || estimator_->name() != name,
+          "Pipeline: duplicate node name '" + name + "'");
+}
+
+void Pipeline::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    const auto split = split_node_param(key);
+    if (!split) {
+      throw InvalidArgument(
+          "Pipeline::set_params: key '" + key +
+          "' is not in node__param form");
+    }
+    Component* node = find_node(split->first);
+    if (node == nullptr) {
+      throw NotFound("Pipeline::set_params: no node named '" + split->first +
+                     "'");
+    }
+    node->set_param(split->second, value);
+  }
+  fitted_ = false;
+}
+
+void Pipeline::fit(const Matrix& X, const std::vector<double>& y) {
+  require_state(estimator_ != nullptr, "Pipeline::fit: no estimator set");
+  require(X.rows() == y.size(), "Pipeline::fit: X/y size mismatch");
+  Matrix current = X;
+  for (auto& t : transformers_) {
+    current = t->fit_transform(current, y);
+    require(current.rows() == y.size(),
+            "Pipeline::fit: transformer '" + t->name() +
+                "' changed the number of samples");
+  }
+  estimator_->fit(current, y);
+  fitted_ = true;
+}
+
+std::vector<double> Pipeline::predict(const Matrix& X) const {
+  require_state(fitted_, "Pipeline::predict: call fit() first");
+  Matrix current = X;
+  for (const auto& t : transformers_) {
+    current = t->transform(current);
+  }
+  return estimator_->predict(current);
+}
+
+std::string Pipeline::spec() const {
+  std::string out;
+  for (const auto& t : transformers_) {
+    if (!out.empty()) out += " -> ";
+    out += t->spec();
+  }
+  if (estimator_) {
+    if (!out.empty()) out += " -> ";
+    out += estimator_->spec();
+  }
+  return out;
+}
+
+std::vector<std::string> Pipeline::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(transformers_.size() + 1);
+  for (const auto& t : transformers_) names.push_back(t->name());
+  if (estimator_) names.push_back(estimator_->name());
+  return names;
+}
+
+}  // namespace coda

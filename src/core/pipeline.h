@@ -1,0 +1,68 @@
+// Pipeline (Section IV-A, Fig 5): a chain of named transformers ending in an
+// estimator. Training runs "fit & transform" through the internal nodes and
+// "fit" on the last node; prediction runs "transform" through the internal
+// nodes and "predict" on the last node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// A fit/predict pipeline: transformers then one estimator.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline(const Pipeline& other);
+  Pipeline& operator=(const Pipeline& other);
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Appends an internal transform node. Node names must be unique.
+  void add_transformer(std::unique_ptr<Transformer> t);
+
+  /// Sets the terminal estimate node; required before fit().
+  void set_estimator(std::unique_ptr<Estimator> e);
+
+  std::size_t n_transformers() const { return transformers_.size(); }
+  const Transformer& transformer(std::size_t i) const;
+  Transformer& transformer(std::size_t i);
+  bool has_estimator() const { return estimator_ != nullptr; }
+  const Estimator& estimator() const;
+  Estimator& estimator();
+
+  /// Routes "node__param" keys to the named node (Section IV naming
+  /// convention). Keys without a node prefix are rejected.
+  void set_params(const ParamMap& params);
+
+  /// Training operation (Fig 5): internal nodes fit & transform, final node
+  /// fits. Throws StateError if no estimator is set.
+  void fit(const Matrix& X, const std::vector<double>& y);
+
+  /// Prediction operation (Fig 5): internal nodes transform, final node
+  /// predicts. Requires fit() first.
+  std::vector<double> predict(const Matrix& X) const;
+
+  bool is_fitted() const { return fitted_; }
+
+  /// Canonical spec string, e.g.
+  /// "robustscaler -> selectkbest(k=5) -> decisiontree(max_depth=4)".
+  std::string spec() const;
+
+  /// Node names in order (transformers then estimator).
+  std::vector<std::string> node_names() const;
+
+ private:
+  Component* find_node(const std::string& name);
+  void check_unique_name(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Transformer>> transformers_;
+  std::unique_ptr<Estimator> estimator_;
+  bool fitted_ = false;
+};
+
+}  // namespace coda

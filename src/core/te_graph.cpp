@@ -1,0 +1,319 @@
+#include "src/core/te_graph.h"
+
+#include <algorithm>
+
+namespace coda {
+
+StageOption make_option(std::unique_ptr<Component> prototype,
+                        std::vector<std::string> tags) {
+  return make_option(std::move(prototype), ParamGrid{}, std::move(tags));
+}
+
+StageOption make_option(std::unique_ptr<Component> prototype, ParamGrid grid,
+                        std::vector<std::string> tags) {
+  require(prototype != nullptr, "make_option: null prototype");
+  StageOption o;
+  o.prototype = std::move(prototype);
+  o.grid = std::move(grid);
+  o.tags = std::move(tags);
+  return o;
+}
+
+TEGraph& TEGraph::add_stage(std::string stage_name,
+                            std::vector<StageOption> options) {
+  require(!options.empty(),
+          "TEGraph: stage '" + stage_name + "' has no options");
+  for (const auto& opt : options) {
+    require(opt.prototype != nullptr, "TEGraph: null option prototype");
+    const std::string& name = opt.prototype->name();
+    for (const auto& stage : stages_) {
+      for (const auto& existing : stage.options) {
+        require(existing.prototype->name() != name,
+                "TEGraph: duplicate node name '" + name +
+                    "' (names must be unique so node__param addressing is "
+                    "unambiguous)");
+      }
+    }
+    // Also unique within the new stage itself.
+    std::size_t count = 0;
+    for (const auto& other : options) {
+      if (other.prototype->name() == name) ++count;
+    }
+    require(count == 1, "TEGraph: duplicate node name '" + name +
+                            "' within stage '" + stage_name + "'");
+  }
+  Stage s;
+  s.name = std::move(stage_name);
+  s.allowed_next.resize(options.size());
+  s.options = std::move(options);
+  stages_.push_back(std::move(s));
+  return *this;
+}
+
+namespace {
+
+std::vector<StageOption> wrap_components(
+    std::vector<std::unique_ptr<Transformer>> ts) {
+  std::vector<StageOption> options;
+  options.reserve(ts.size());
+  for (auto& t : ts) options.push_back(make_option(std::move(t)));
+  return options;
+}
+
+std::vector<StageOption> wrap_estimators(
+    std::vector<std::unique_ptr<Estimator>> es) {
+  std::vector<StageOption> options;
+  options.reserve(es.size());
+  for (auto& e : es) options.push_back(make_option(std::move(e)));
+  return options;
+}
+
+}  // namespace
+
+TEGraph& TEGraph::add_feature_scalers(
+    std::vector<std::unique_ptr<Transformer>> ts) {
+  return add_stage("feature_scaling", wrap_components(std::move(ts)));
+}
+
+TEGraph& TEGraph::add_feature_selectors(
+    std::vector<std::unique_ptr<Transformer>> ts) {
+  return add_stage("feature_selection", wrap_components(std::move(ts)));
+}
+
+TEGraph& TEGraph::add_preprocessors(
+    std::string stage_name, std::vector<std::unique_ptr<Transformer>> ts) {
+  return add_stage(std::move(stage_name), wrap_components(std::move(ts)));
+}
+
+TEGraph& TEGraph::add_regression_models(
+    std::vector<std::unique_ptr<Estimator>> es) {
+  return add_stage("regression_model", wrap_estimators(std::move(es)));
+}
+
+TEGraph& TEGraph::add_classification_models(
+    std::vector<std::unique_ptr<Estimator>> es) {
+  return add_stage("classification_model", wrap_estimators(std::move(es)));
+}
+
+const std::string& TEGraph::stage_name(std::size_t i) const {
+  require(i < stages_.size(), "TEGraph: stage index out of range");
+  return stages_[i].name;
+}
+
+std::size_t TEGraph::n_options(std::size_t stage) const {
+  require(stage < stages_.size(), "TEGraph: stage index out of range");
+  return stages_[stage].options.size();
+}
+
+const StageOption& TEGraph::option(std::size_t stage,
+                                   std::size_t index) const {
+  require(stage < stages_.size(), "TEGraph: stage index out of range");
+  require(index < stages_[stage].options.size(),
+          "TEGraph: option index out of range");
+  return stages_[stage].options[index];
+}
+
+std::pair<std::size_t, std::size_t> TEGraph::find_option(
+    const std::string& node_name) const {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (std::size_t o = 0; o < stages_[s].options.size(); ++o) {
+      if (stages_[s].options[o].prototype->name() == node_name) {
+        return {s, o};
+      }
+    }
+  }
+  throw NotFound("TEGraph: no option named '" + node_name + "'");
+}
+
+TEGraph& TEGraph::restrict_edges(std::size_t from_stage,
+                                 const std::string& from_option,
+                                 const std::vector<std::string>& allowed_next) {
+  require(from_stage + 1 < stages_.size(),
+          "TEGraph::restrict_edges: stage has no successor");
+  const auto [s, o] = find_option(from_option);
+  require(s == from_stage, "TEGraph::restrict_edges: option '" + from_option +
+                               "' is not in stage " +
+                               std::to_string(from_stage));
+  std::set<std::size_t> allowed;
+  for (const auto& name : allowed_next) {
+    const auto [ts, to] = find_option(name);
+    require(ts == from_stage + 1,
+            "TEGraph::restrict_edges: '" + name +
+                "' is not in the successor stage");
+    allowed.insert(to);
+  }
+  stages_[from_stage].allowed_next[o] = std::move(allowed);
+  return *this;
+}
+
+TEGraph& TEGraph::connect_tags(std::size_t from_stage,
+                               const std::string& from_tag,
+                               const std::string& to_tag) {
+  require(from_stage + 1 < stages_.size(),
+          "TEGraph::connect_tags: stage has no successor");
+  const auto& next = stages_[from_stage + 1];
+  std::set<std::size_t> targets;
+  for (std::size_t o = 0; o < next.options.size(); ++o) {
+    const auto& tags = next.options[o].tags;
+    if (std::find(tags.begin(), tags.end(), to_tag) != tags.end()) {
+      targets.insert(o);
+    }
+  }
+  require(!targets.empty(), "TEGraph::connect_tags: no successor option "
+                            "tagged '" + to_tag + "'");
+  bool any_source = false;
+  auto& stage = stages_[from_stage];
+  for (std::size_t o = 0; o < stage.options.size(); ++o) {
+    const auto& tags = stage.options[o].tags;
+    if (std::find(tags.begin(), tags.end(), from_tag) == tags.end()) continue;
+    any_source = true;
+    if (!stage.allowed_next[o]) {
+      stage.allowed_next[o] = targets;
+    } else {
+      stage.allowed_next[o]->insert(targets.begin(), targets.end());
+    }
+  }
+  require(any_source, "TEGraph::connect_tags: no option tagged '" + from_tag +
+                          "' in stage " + std::to_string(from_stage));
+  return *this;
+}
+
+bool TEGraph::edge_allowed(std::size_t stage, std::size_t a,
+                           std::size_t b) const {
+  require(stage + 1 < stages_.size(), "TEGraph::edge_allowed: no successor");
+  require(a < stages_[stage].options.size() &&
+              b < stages_[stage + 1].options.size(),
+          "TEGraph::edge_allowed: option index out of range");
+  const auto& allowed = stages_[stage].allowed_next[a];
+  return !allowed || allowed->count(b) != 0;
+}
+
+void TEGraph::validate_shape() const {
+  require(stages_.size() >= 1, "TEGraph: graph has no stages");
+  for (std::size_t s = 0; s + 1 < stages_.size(); ++s) {
+    for (const auto& opt : stages_[s].options) {
+      require(dynamic_cast<const Transformer*>(opt.prototype.get()) != nullptr,
+              "TEGraph: non-terminal option '" + opt.prototype->name() +
+                  "' must be a Transformer");
+    }
+  }
+  for (const auto& opt : stages_.back().options) {
+    require(dynamic_cast<const Estimator*>(opt.prototype.get()) != nullptr,
+            "TEGraph: terminal option '" + opt.prototype->name() +
+                "' must be an Estimator");
+  }
+}
+
+void TEGraph::enumerate_rec(std::size_t stage, Path& prefix,
+                            std::vector<Path>& out) const {
+  if (stage == stages_.size()) {
+    out.push_back(prefix);
+    return;
+  }
+  for (std::size_t o = 0; o < stages_[stage].options.size(); ++o) {
+    if (stage > 0 && !edge_allowed(stage - 1, prefix.back(), o)) continue;
+    prefix.push_back(o);
+    enumerate_rec(stage + 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+std::vector<TEGraph::Path> TEGraph::enumerate_paths() const {
+  validate_shape();
+  std::vector<Path> out;
+  Path prefix;
+  enumerate_rec(0, prefix, out);
+  return out;
+}
+
+std::size_t TEGraph::count_paths() const { return enumerate_paths().size(); }
+
+std::vector<TEGraph::Candidate> TEGraph::enumerate_candidates() const {
+  std::vector<Candidate> out;
+  for (const auto& path : enumerate_paths()) {
+    // Cartesian product of the chosen options' parameter grids, with keys
+    // prefixed into node__param form.
+    std::vector<ParamMap> assignments;
+    assignments.emplace_back();
+    for (std::size_t s = 0; s < path.size(); ++s) {
+      const auto& opt = stages_[s].options[path[s]];
+      if (opt.grid.empty()) continue;
+      const std::string prefix = opt.prototype->name() + "__";
+      std::vector<ParamMap> next;
+      for (const auto& base : assignments) {
+        for (const auto& grid_assignment : opt.grid.expand()) {
+          ParamMap merged = base;
+          for (const auto& [k, v] : grid_assignment) {
+            merged.set(prefix + k, v);
+          }
+          next.push_back(std::move(merged));
+        }
+      }
+      assignments = std::move(next);
+    }
+    for (auto& params : assignments) {
+      out.push_back(Candidate{path, std::move(params)});
+    }
+  }
+  return out;
+}
+
+Pipeline TEGraph::instantiate(const Candidate& candidate) const {
+  validate_shape();
+  require(candidate.path.size() == stages_.size(),
+          "TEGraph::instantiate: path length != stage count");
+  Pipeline p;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    require(candidate.path[s] < stages_[s].options.size(),
+            "TEGraph::instantiate: option index out of range");
+    if (s > 0) {
+      require(edge_allowed(s - 1, candidate.path[s - 1], candidate.path[s]),
+              "TEGraph::instantiate: path uses a restricted edge");
+    }
+    const auto& proto = *stages_[s].options[candidate.path[s]].prototype;
+    if (s + 1 < stages_.size()) {
+      p.add_transformer(
+          dynamic_cast<const Transformer&>(proto).clone_transformer());
+    } else {
+      p.set_estimator(
+          dynamic_cast<const Estimator&>(proto).clone_estimator());
+    }
+  }
+  p.set_params(candidate.params);
+  return p;
+}
+
+std::string TEGraph::candidate_spec(const Candidate& candidate) const {
+  return instantiate(candidate).spec();
+}
+
+std::string TEGraph::to_dot(const std::string& graph_name) const {
+  std::string out = "digraph " + graph_name + " {\n  rankdir=LR;\n";
+  out += "  input [shape=ellipse];\n";
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    out += "  subgraph cluster_" + std::to_string(s) + " {\n";
+    out += "    label=\"" + stages_[s].name + "\";\n";
+    for (const auto& opt : stages_[s].options) {
+      out += "    \"" + opt.prototype->name() + "\" [shape=box];\n";
+    }
+    out += "  }\n";
+  }
+  if (!stages_.empty()) {
+    for (const auto& opt : stages_[0].options) {
+      out += "  input -> \"" + opt.prototype->name() + "\";\n";
+    }
+  }
+  for (std::size_t s = 0; s + 1 < stages_.size(); ++s) {
+    for (std::size_t a = 0; a < stages_[s].options.size(); ++a) {
+      for (std::size_t b = 0; b < stages_[s + 1].options.size(); ++b) {
+        if (!edge_allowed(s, a, b)) continue;
+        out += "  \"" + stages_[s].options[a].prototype->name() + "\" -> \"" +
+               stages_[s + 1].options[b].prototype->name() + "\";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,126 @@
+// Transformer-Estimator Graph (Section IV, Fig 3, Fig 11).
+//
+// A rooted DAG organized in stages. Each stage offers multiple options
+// (transformers, or estimators in the terminal stage); every root->leaf path
+// is a candidate pipeline. Consecutive stages are fully connected by
+// default; edges can be restricted per option (Fig 11: "each AI function is
+// selectively connected to the estimators in the next stage").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/component.h"
+#include "src/core/pipeline.h"
+
+namespace coda {
+
+/// One selectable option within a stage: a prototype component (cloned per
+/// instantiated pipeline) plus an optional hyper-parameter grid and tags
+/// used for edge restrictions.
+struct StageOption {
+  std::unique_ptr<Component> prototype;
+  ParamGrid grid;
+  std::vector<std::string> tags;
+};
+
+/// Builds a StageOption without a grid.
+StageOption make_option(std::unique_ptr<Component> prototype,
+                        std::vector<std::string> tags = {});
+
+/// Builds a StageOption with a hyper-parameter grid.
+StageOption make_option(std::unique_ptr<Component> prototype, ParamGrid grid,
+                        std::vector<std::string> tags = {});
+
+/// The Transformer-Estimator Graph.
+class TEGraph {
+ public:
+  /// A path chooses one option index per stage.
+  using Path = std::vector<std::size_t>;
+
+  /// A fully specified pipeline: a path plus one hyper-parameter assignment
+  /// (keys in node__param form).
+  struct Candidate {
+    Path path;
+    ParamMap params;
+  };
+
+  /// Appends a stage. All stages but the last must contain only
+  /// Transformers; the last stage must contain only Estimators (validated
+  /// at enumeration time). Option names must be unique across the graph so
+  /// the node__param convention is unambiguous.
+  TEGraph& add_stage(std::string stage_name,
+                     std::vector<StageOption> options);
+
+  // Convenience builders mirroring the paper's Listing 1 API.
+  TEGraph& add_feature_scalers(std::vector<std::unique_ptr<Transformer>> ts);
+  TEGraph& add_feature_selectors(std::vector<std::unique_ptr<Transformer>> ts);
+  TEGraph& add_preprocessors(std::string stage_name,
+                             std::vector<std::unique_ptr<Transformer>> ts);
+  TEGraph& add_regression_models(std::vector<std::unique_ptr<Estimator>> es);
+  TEGraph& add_classification_models(std::vector<std::unique_ptr<Estimator>> es);
+
+  std::size_t n_stages() const { return stages_.size(); }
+  const std::string& stage_name(std::size_t i) const;
+  std::size_t n_options(std::size_t stage) const;
+  const StageOption& option(std::size_t stage, std::size_t index) const;
+
+  /// Finds (stage, option) by the option's node name; throws NotFound.
+  std::pair<std::size_t, std::size_t> find_option(
+      const std::string& node_name) const;
+
+  /// Restricts the outgoing edges of `from_option` (by node name) in stage
+  /// `from_stage` to the named options of stage from_stage+1. Unrestricted
+  /// options remain fully connected.
+  TEGraph& restrict_edges(std::size_t from_stage,
+                          const std::string& from_option,
+                          const std::vector<std::string>& allowed_next);
+
+  /// Connects every option tagged `from_tag` in stage `from_stage` to
+  /// exactly the options tagged `to_tag` in the next stage.
+  TEGraph& connect_tags(std::size_t from_stage, const std::string& from_tag,
+                        const std::string& to_tag);
+
+  /// True when the edge from (stage, a) to (stage+1, b) is allowed.
+  bool edge_allowed(std::size_t stage, std::size_t a, std::size_t b) const;
+
+  /// Number of root->leaf paths honouring edge restrictions (36 for the
+  /// Fig 3 example).
+  std::size_t count_paths() const;
+
+  /// All legal paths in stage-major order.
+  std::vector<Path> enumerate_paths() const;
+
+  /// All candidates: each path crossed with the cartesian product of its
+  /// options' parameter grids.
+  std::vector<Candidate> enumerate_candidates() const;
+
+  /// Builds a runnable Pipeline for a candidate (clones prototypes, applies
+  /// the candidate's parameters).
+  Pipeline instantiate(const Candidate& candidate) const;
+
+  /// Canonical spec string of a candidate (stable; used as DARR key part).
+  std::string candidate_spec(const Candidate& candidate) const;
+
+  /// Graphviz DOT rendering — the "create_graph" visual output of Listing 1.
+  std::string to_dot(const std::string& graph_name = "te_graph") const;
+
+ private:
+  struct Stage {
+    std::string name;
+    std::vector<StageOption> options;
+    // allowed_next[i]: restricted successor set of option i (nullopt = all).
+    std::vector<std::optional<std::set<std::size_t>>> allowed_next;
+  };
+
+  void validate_shape() const;
+  void enumerate_rec(std::size_t stage, Path& prefix,
+                     std::vector<Path>& out) const;
+
+  std::vector<Stage> stages_;
+};
+
+}  // namespace coda

@@ -1,0 +1,99 @@
+#include "src/darr/client.h"
+
+namespace coda::darr {
+
+DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
+                       dist::NodeId self, dist::NodeId repo_node,
+                       std::string client_name)
+    : repository_(repository),
+      net_(net),
+      self_(self),
+      repo_node_(repo_node),
+      name_(std::move(client_name)) {
+  require(repository != nullptr && net != nullptr,
+          "DarrClient: null dependency");
+  require(self != repo_node,
+          "DarrClient: client and repository must be distinct nodes");
+  require(!name_.empty(), "DarrClient: client name must be non-empty");
+}
+
+std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
+  const std::size_t request = key_request_size(key);
+  net_->transfer(self_, repo_node_, request);
+  auto record = repository_->lookup(key);
+  std::size_t response = 16;  // "not found"
+  std::optional<CachedResult> out;
+  if (record) {
+    response = record->wire_size();
+    CachedResult result;
+    result.mean_score = record->mean_score;
+    result.stddev = record->stddev;
+    result.fold_scores = record->fold_scores;
+    result.explanation = record->explanation;
+    out = std::move(result);
+  }
+  net_->transfer(repo_node_, self_, response);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    if (out) ++stats_.hits;
+    stats_.bytes_sent += request;
+    stats_.bytes_received += response;
+  }
+  return out;
+}
+
+bool DarrClient::try_claim(const std::string& key) {
+  const std::size_t request = key_request_size(key) + name_.size();
+  net_->transfer(self_, repo_node_, request);
+  const bool granted = repository_->try_claim(key, name_);
+  net_->transfer(repo_node_, self_, 16);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (granted) {
+      ++stats_.claims_won;
+    } else {
+      ++stats_.claims_lost;
+    }
+    stats_.bytes_sent += request;
+    stats_.bytes_received += 16;
+  }
+  return granted;
+}
+
+void DarrClient::store(const std::string& key, const CachedResult& result) {
+  DarrRecord record;
+  record.key = key;
+  record.mean_score = result.mean_score;
+  record.stddev = result.stddev;
+  record.fold_scores = result.fold_scores;
+  record.explanation = result.explanation;
+  record.producer = name_;
+  const std::size_t request = record.wire_size();
+  net_->transfer(self_, repo_node_, request);
+  repository_->store(std::move(record), net_->now());
+  net_->transfer(repo_node_, self_, 16);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+    stats_.bytes_sent += request;
+    stats_.bytes_received += 16;
+  }
+}
+
+void DarrClient::abandon(const std::string& key) {
+  const std::size_t request = key_request_size(key) + name_.size();
+  net_->transfer(self_, repo_node_, request);
+  repository_->abandon(key, name_);
+  net_->transfer(repo_node_, self_, 16);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytes_sent += request;
+  stats_.bytes_received += 16;
+}
+
+DarrClient::Stats DarrClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace coda::darr

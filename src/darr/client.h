@@ -1,0 +1,55 @@
+// DARR client: adapts the repository to the core ResultCache interface so a
+// GraphEvaluator cooperates transparently (Fig 2), with every repository
+// interaction accounted as simulated network traffic.
+#pragma once
+
+#include <string>
+
+#include "src/core/evaluator.h"
+#include "src/darr/repository.h"
+#include "src/dist/sim_net.h"
+
+namespace coda::darr {
+
+/// ResultCache implementation backed by a shared DarrRepository.
+class DarrClient final : public ResultCache {
+ public:
+  struct Stats {
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t claims_won = 0;
+    std::size_t claims_lost = 0;
+    std::size_t stores = 0;
+    std::size_t bytes_sent = 0;
+    std::size_t bytes_received = 0;
+  };
+
+  /// `net`/`self`/`repo_node` wire network accounting; `client_name`
+  /// identifies this client as a record producer and claim holder.
+  DarrClient(DarrRepository* repository, dist::SimNet* net,
+             dist::NodeId self, dist::NodeId repo_node,
+             std::string client_name);
+
+  std::optional<CachedResult> lookup(const std::string& key) override;
+  bool try_claim(const std::string& key) override;
+  void store(const std::string& key, const CachedResult& result) override;
+  void abandon(const std::string& key) override;
+
+  const std::string& client_name() const { return name_; }
+  Stats stats() const;
+
+ private:
+  std::size_t key_request_size(const std::string& key) const {
+    return key.size() + 16;
+  }
+
+  DarrRepository* repository_;
+  dist::SimNet* net_;
+  dist::NodeId self_;
+  dist::NodeId repo_node_;
+  std::string name_;
+  mutable std::mutex mutex_;  // stats are touched from evaluator threads
+  Stats stats_;
+};
+
+}  // namespace coda::darr

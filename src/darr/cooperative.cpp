@@ -1,0 +1,69 @@
+#include "src/darr/cooperative.h"
+
+#include <memory>
+#include <thread>
+
+#include "src/util/stopwatch.h"
+
+namespace coda::darr {
+
+CooperativeReport run_cooperative_search(const TEGraph& graph,
+                                         const Dataset& data,
+                                         const CrossValidator& cv,
+                                         Metric metric,
+                                         std::size_t n_clients,
+                                         std::size_t evaluator_threads) {
+  require(n_clients >= 1, "run_cooperative_search: need >= 1 client");
+
+  DarrRepository repository;
+  dist::SimNet net;
+  const dist::NodeId repo_node = net.add_node("darr");
+
+  std::vector<std::unique_ptr<DarrClient>> clients;
+  clients.reserve(n_clients);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    const std::string name = "client" + std::to_string(i);
+    const dist::NodeId node = net.add_node(name);
+    clients.push_back(std::make_unique<DarrClient>(&repository, &net, node,
+                                                   repo_node, name));
+  }
+
+  CooperativeReport report;
+  report.total_candidates = graph.enumerate_candidates().size();
+  report.clients.resize(n_clients);
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    threads.emplace_back([&, i] {
+      Stopwatch client_timer;
+      EvaluatorConfig config;
+      config.metric = metric;
+      config.threads = evaluator_threads;
+      config.cache = clients[i].get();
+      GraphEvaluator evaluator(config);
+      ClientOutcome& outcome = report.clients[i];
+      outcome.name = clients[i]->client_name();
+      outcome.report = evaluator.evaluate(graph, data, *cv.clone());
+      outcome.evaluated_locally = outcome.report.evaluated_locally;
+      outcome.served_from_cache = outcome.report.served_from_cache;
+      outcome.seconds = client_timer.elapsed_seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+  report.wall_seconds = wall.elapsed_seconds();
+
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    report.clients[i].darr_stats = clients[i]->stats();
+    report.total_local_evaluations += report.clients[i].evaluated_locally;
+  }
+  report.redundant_evaluations =
+      report.total_local_evaluations > report.total_candidates
+          ? report.total_local_evaluations - report.total_candidates
+          : 0;
+  report.repository_counters = repository.counters();
+  return report;
+}
+
+}  // namespace coda::darr

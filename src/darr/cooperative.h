@@ -1,0 +1,51 @@
+// Cooperative graph search (Fig 2): N clients, each with its own DarrClient
+// connected to one shared repository, concurrently evaluate the same
+// Transformer-Estimator Graph on the same data set. Claims partition the
+// candidate space; every client ends the run with the complete result set
+// (its own computations plus everyone else's, read from the DARR).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/cross_validation.h"
+#include "src/core/evaluator.h"
+#include "src/core/te_graph.h"
+#include "src/darr/client.h"
+#include "src/data/dataset.h"
+
+namespace coda::darr {
+
+/// Per-client outcome of a cooperative run.
+struct ClientOutcome {
+  std::string name;
+  std::size_t evaluated_locally = 0;
+  std::size_t served_from_cache = 0;
+  double seconds = 0.0;
+  DarrClient::Stats darr_stats;
+  EvaluationReport report;
+};
+
+/// Whole-run outcome.
+struct CooperativeReport {
+  std::vector<ClientOutcome> clients;
+  std::size_t total_candidates = 0;
+  std::size_t total_local_evaluations = 0;  ///< across clients
+  std::size_t redundant_evaluations = 0;    ///< local evals beyond the
+                                            ///< candidate count (0 = perfect
+                                            ///< cooperation)
+  double wall_seconds = 0.0;
+  DarrRepository::Counters repository_counters;
+};
+
+/// Runs `n_clients` cooperative searches of `graph` over `data`
+/// concurrently (one thread per client, each client evaluating serially so
+/// the division of labour is attributable). `evaluator_threads` sets each
+/// client's internal parallelism.
+CooperativeReport run_cooperative_search(const TEGraph& graph,
+                                         const Dataset& data,
+                                         const CrossValidator& cv,
+                                         Metric metric, std::size_t n_clients,
+                                         std::size_t evaluator_threads = 1);
+
+}  // namespace coda::darr

@@ -1,0 +1,33 @@
+#include "src/darr/record.h"
+
+namespace coda::darr {
+
+std::size_t DarrRecord::wire_size() const { return serialize().size(); }
+
+Bytes DarrRecord::serialize() const {
+  ByteWriter w;
+  w.write_string(key);
+  w.write_double(mean_score);
+  w.write_double(stddev);
+  w.write_doubles(fold_scores);
+  w.write_string(explanation);
+  w.write_string(producer);
+  w.write_double(stored_at);
+  return w.take();
+}
+
+DarrRecord DarrRecord::deserialize(const Bytes& buffer) {
+  ByteReader r(buffer);
+  DarrRecord record;
+  record.key = r.read_string();
+  record.mean_score = r.read_double();
+  record.stddev = r.read_double();
+  record.fold_scores = r.read_doubles();
+  record.explanation = r.read_string();
+  record.producer = r.read_string();
+  record.stored_at = r.read_double();
+  if (!r.exhausted()) throw DecodeError("DarrRecord: trailing bytes");
+  return record;
+}
+
+}  // namespace coda::darr

@@ -1,0 +1,38 @@
+// DARR records (Section III, Fig 2): a shared analytics result — the score
+// of one structured calculation on one data set — "along with an
+// explanation of how the results were achieved".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/serialization.h"
+
+namespace coda::darr {
+
+/// One stored analytics result.
+struct DarrRecord {
+  /// Canonical calculation identity:
+  /// "<dataset fingerprint>|<pipeline spec>|<cv spec>|<metric>".
+  std::string key;
+  double mean_score = 0.0;
+  double stddev = 0.0;
+  std::vector<double> fold_scores;
+  /// How the result was achieved (the pipeline spec, human-readable).
+  std::string explanation;
+  /// Which client produced it.
+  std::string producer;
+  /// Simulated time at which it was stored.
+  double stored_at = 0.0;
+
+  /// Wire size of the serialized record (for network accounting).
+  std::size_t wire_size() const;
+
+  Bytes serialize() const;
+  static DarrRecord deserialize(const Bytes& buffer);
+
+  bool operator==(const DarrRecord& other) const = default;
+};
+
+}  // namespace coda::darr

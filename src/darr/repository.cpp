@@ -1,0 +1,97 @@
+#include "src/darr/repository.h"
+
+#include "src/util/error.h"
+
+namespace coda::darr {
+
+DarrRepository::DarrRepository() : DarrRepository(Config()) {}
+
+DarrRepository::DarrRepository(Config config) : config_(config) {
+  require(config.claim_ttl_ms > 0, "DarrRepository: TTL must be positive");
+}
+
+std::optional<DarrRecord> DarrRepository::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.lookups;
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  ++counters_.hits;
+  return it->second;
+}
+
+bool DarrRepository::try_claim(const std::string& key,
+                               const std::string& client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.count(key) != 0) {
+    // Result already exists; claiming is pointless — deny so the caller
+    // looks it up instead.
+    ++counters_.claims_denied;
+    return false;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  auto it = claims_.find(key);
+  if (it != claims_.end()) {
+    if (it->second.client == client) {
+      it->second.expires_at =
+          now + std::chrono::milliseconds(config_.claim_ttl_ms);
+      return true;  // idempotent re-claim
+    }
+    if (it->second.expires_at > now) {
+      ++counters_.claims_denied;
+      return false;  // live foreign claim
+    }
+    ++counters_.claims_expired;  // owner presumed dead: steal the claim
+  }
+  claims_[key] = Claim{
+      client, now + std::chrono::milliseconds(config_.claim_ttl_ms)};
+  ++counters_.claims_granted;
+  return true;
+}
+
+void DarrRepository::store(DarrRecord record, double stored_at_sim_time) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(!record.key.empty(), "DarrRepository: record without a key");
+  record.stored_at = stored_at_sim_time;
+  claims_.erase(record.key);
+  records_[record.key] = std::move(record);
+  ++counters_.stores;
+}
+
+void DarrRepository::abandon(const std::string& key,
+                             const std::string& client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = claims_.find(key);
+  if (it != claims_.end() && it->second.client == client) claims_.erase(it);
+}
+
+std::size_t DarrRepository::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<std::string> DarrRepository::keys_with_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = records_.lower_bound(prefix); it != records_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::size_t DarrRepository::records_by(const std::string& producer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, record] : records_) {
+    if (record.producer == producer) ++n;
+  }
+  return n;
+}
+
+DarrRepository::Counters DarrRepository::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace coda::darr

@@ -1,0 +1,46 @@
+#include "src/data/dataset.h"
+
+#include "src/util/random.h"
+
+namespace coda {
+
+Dataset Dataset::select(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.X = X.select_rows(indices);
+  out.y.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    require(i < y.size(), "Dataset::select: index out of range");
+    out.y.push_back(y[i]);
+  }
+  out.feature_names = feature_names;
+  out.name = name;
+  return out;
+}
+
+void Dataset::validate() const {
+  require(X.rows() == y.size(),
+          "Dataset: X rows (" + std::to_string(X.rows()) +
+              ") != y size (" + std::to_string(y.size()) + ")");
+  require(feature_names.empty() || feature_names.size() == X.cols(),
+          "Dataset: feature_names size does not match X cols");
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d,
+                                             double train_fraction,
+                                             std::uint64_t seed) {
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "train_test_split: fraction must be in (0,1)");
+  Rng rng(seed);
+  auto perm = rng.permutation(d.n_samples());
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(d.n_samples()) * train_fraction);
+  require(n_train > 0 && n_train < d.n_samples(),
+          "train_test_split: split leaves an empty side");
+  std::vector<std::size_t> train_idx(perm.begin(),
+                                     perm.begin() + static_cast<std::ptrdiff_t>(n_train));
+  std::vector<std::size_t> test_idx(perm.begin() + static_cast<std::ptrdiff_t>(n_train),
+                                    perm.end());
+  return {d.select(train_idx), d.select(test_idx)};
+}
+
+}  // namespace coda

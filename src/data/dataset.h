@@ -1,0 +1,35 @@
+// Supervised tabular dataset: feature matrix + target vector + names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda {
+
+/// A supervised dataset. For regression `y` holds real targets; for
+/// classification it holds class labels encoded as doubles (0, 1, ...).
+struct Dataset {
+  Matrix X;
+  std::vector<double> y;
+  std::vector<std::string> feature_names;
+  std::string name;
+
+  std::size_t n_samples() const { return X.rows(); }
+  std::size_t n_features() const { return X.cols(); }
+
+  /// Restricts the dataset to the given sample indices.
+  Dataset select(const std::vector<std::size_t>& indices) const;
+
+  /// Validates internal consistency (X rows == y size, names match cols).
+  void validate() const;
+};
+
+/// Splits `d` into (train, test) with the first `train_fraction` of a random
+/// permutation as training data. Deterministic for a given seed.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d,
+                                             double train_fraction,
+                                             std::uint64_t seed);
+
+}  // namespace coda

@@ -1,0 +1,34 @@
+#include "src/data/fingerprint.h"
+
+#include "src/util/hash.h"
+
+namespace coda {
+
+std::uint64_t fingerprint(const Matrix& m) {
+  Fnv1a h;
+  h.update_value(m.rows());
+  h.update_value(m.cols());
+  h.update(m.data().data(), m.data().size() * sizeof(double));
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const Dataset& d) {
+  Fnv1a h;
+  h.update_value(fingerprint(d.X));
+  h.update(d.y.data(), d.y.size() * sizeof(double));
+  for (const auto& name : d.feature_names) h.update(name);
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const TimeSeries& ts) {
+  Fnv1a h;
+  h.update_value(fingerprint(ts.values()));
+  for (const auto& name : ts.variable_names()) h.update(name);
+  return h.digest();
+}
+
+std::string fingerprint_hex(const Dataset& d) {
+  return hash_to_hex(fingerprint(d));
+}
+
+}  // namespace coda

@@ -1,0 +1,28 @@
+// Dataset fingerprinting.
+//
+// The DARR (Section III) keys shared analytics results by the data they were
+// computed on. Two clients holding identical data must derive the same key,
+// so the fingerprint hashes content (shape + bit patterns), not identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/data/time_series.h"
+
+namespace coda {
+
+/// Stable content hash of a matrix (shape + values).
+std::uint64_t fingerprint(const Matrix& m);
+
+/// Stable content hash of a dataset (X, y, names).
+std::uint64_t fingerprint(const Dataset& d);
+
+/// Stable content hash of a time series.
+std::uint64_t fingerprint(const TimeSeries& ts);
+
+/// Hex rendering used in DARR record keys.
+std::string fingerprint_hex(const Dataset& d);
+
+}  // namespace coda

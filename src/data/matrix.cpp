@@ -1,0 +1,113 @@
+#include "src/data/matrix.h"
+
+#include <cmath>
+
+namespace coda {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    require(row.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  require(data_.size() == rows * cols,
+          "Matrix: buffer size does not match rows*cols");
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  check_index(r, 0);
+  return std::vector<double>(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  check_index(0, c);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& values) {
+  check_index(r, 0);
+  require(values.size() == cols_, "Matrix::set_row: size mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t r = indices[i];
+    check_index(r, 0);
+    for (std::size_t c = 0; c < cols_; ++c) out(i, c) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::select_cols(const std::vector<std::size_t>& indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const std::size_t c = indices[j];
+    check_index(0, c);
+    for (std::size_t r = 0; r < rows_; ++r) out(r, j) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  require(cols_ == other.rows_, "Matrix::multiply: inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += v * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::col_means() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) means[c] += (*this)(r, c);
+  }
+  for (double& m : means) m /= static_cast<double>(rows_);
+  return means;
+}
+
+std::vector<double> Matrix::col_stddevs() const {
+  std::vector<double> sds(cols_, 0.0);
+  if (rows_ == 0) return sds;
+  const auto means = col_means();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double d = (*this)(r, c) - means[c];
+      sds[c] += d * d;
+    }
+  }
+  for (double& s : sds) s = std::sqrt(s / static_cast<double>(rows_));
+  return sds;
+}
+
+std::string Matrix::describe() const {
+  return "Matrix(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+}  // namespace coda

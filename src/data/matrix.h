@@ -1,0 +1,103 @@
+// Dense row-major matrix of doubles — the tabular data carrier flowing
+// through pipelines (Fig 5: data is transformed as it passes each stage).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace coda {
+
+/// Dense row-major matrix. Rows are samples, columns are features.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists (for tests).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Wraps an existing flat row-major buffer.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    check_index(r, c);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    check_index(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for hot loops.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies row r into a vector.
+  std::vector<double> row(std::size_t r) const;
+
+  /// Copies column c into a vector.
+  std::vector<double> col(std::size_t c) const;
+
+  /// Overwrites row r from `values` (size must equal cols()).
+  void set_row(std::size_t r, const std::vector<double>& values);
+
+  /// Returns the matrix restricted to the given row indices.
+  Matrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  /// Returns the matrix restricted to the given column indices.
+  Matrix select_cols(const std::vector<std::size_t>& indices) const;
+
+  /// Matrix transpose.
+  Matrix transposed() const;
+
+  /// Matrix product this * other. Shapes must agree.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Per-column mean over rows.
+  std::vector<double> col_means() const;
+
+  /// Per-column standard deviation (population) over rows.
+  std::vector<double> col_stddevs() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// Short human-readable description, e.g. "Matrix(120x4)".
+  std::string describe() const;
+
+ private:
+  void check_index(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw InvalidArgument("Matrix: index (" + std::to_string(r) + "," +
+                            std::to_string(c) + ") out of range for " +
+                            describe());
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace coda

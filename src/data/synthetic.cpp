@@ -1,0 +1,238 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/random.h"
+
+namespace coda {
+
+Dataset make_regression(const RegressionConfig& config) {
+  require(config.n_informative <= config.n_features,
+          "make_regression: n_informative > n_features");
+  require(config.n_samples > 0 && config.n_features > 0,
+          "make_regression: empty shape");
+  Rng rng(config.seed);
+
+  std::vector<double> weights(config.n_features, 0.0);
+  for (std::size_t j = 0; j < config.n_informative; ++j) {
+    weights[j] = rng.uniform(0.5, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+  }
+
+  Dataset d;
+  d.name = "synthetic_regression";
+  d.X = Matrix(config.n_samples, config.n_features);
+  d.y.resize(config.n_samples);
+  for (std::size_t j = 0; j < config.n_features; ++j) {
+    d.feature_names.push_back("x" + std::to_string(j));
+  }
+
+  // Give features different scales so scaling stages matter.
+  std::vector<double> scales(config.n_features);
+  for (auto& s : scales) s = std::pow(10.0, rng.uniform(-1.0, 2.0));
+
+  for (std::size_t i = 0; i < config.n_samples; ++i) {
+    double target = 0.0;
+    for (std::size_t j = 0; j < config.n_features; ++j) {
+      const double raw = rng.normal();
+      d.X(i, j) = raw * scales[j];
+      target += weights[j] * raw;
+    }
+    if (config.nonlinear && config.n_informative >= 2) {
+      const double a = d.X(i, 0) / scales[0];
+      const double b = d.X(i, 1) / scales[1];
+      target += 0.8 * a * b + 0.5 * a * a;
+    }
+    d.y[i] = target + rng.normal(0.0, config.noise_stddev);
+  }
+  return d;
+}
+
+Dataset make_classification(const ClassificationConfig& config) {
+  require(config.n_classes >= 2, "make_classification: need >= 2 classes");
+  require(config.n_samples >= config.n_classes,
+          "make_classification: too few samples");
+  Rng rng(config.seed);
+
+  // Random centroid per class, separated along random directions.
+  std::vector<std::vector<double>> centroids(config.n_classes);
+  for (auto& c : centroids) {
+    c.resize(config.n_features);
+    for (auto& v : c) v = rng.normal() * config.class_separation;
+  }
+
+  Dataset d;
+  d.name = "synthetic_classification";
+  d.X = Matrix(config.n_samples, config.n_features);
+  d.y.resize(config.n_samples);
+  for (std::size_t j = 0; j < config.n_features; ++j) {
+    d.feature_names.push_back("f" + std::to_string(j));
+  }
+
+  for (std::size_t i = 0; i < config.n_samples; ++i) {
+    std::size_t label;
+    if (config.n_classes == 2) {
+      label = rng.bernoulli(config.positive_fraction) ? 1 : 0;
+    } else {
+      label = rng.index(config.n_classes);
+    }
+    d.y[i] = static_cast<double>(label);
+    for (std::size_t j = 0; j < config.n_features; ++j) {
+      d.X(i, j) = centroids[label][j] + rng.normal();
+    }
+  }
+  return d;
+}
+
+TimeSeries make_industrial_series(const IndustrialSeriesConfig& config) {
+  require(config.length > 0 && config.n_variables > 0,
+          "make_industrial_series: empty shape");
+  Rng rng(config.seed);
+
+  Matrix values(config.length, config.n_variables);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < config.n_variables; ++v) {
+    names.push_back("sensor" + std::to_string(v));
+  }
+
+  // Regime shift timestamps: abrupt level changes shared by all variables.
+  std::vector<std::size_t> shift_times;
+  for (std::size_t s = 0; s < config.regime_shifts; ++s) {
+    shift_times.push_back(
+        rng.index(std::max<std::size_t>(1, config.length - 1)) + 1);
+  }
+  std::sort(shift_times.begin(), shift_times.end());
+
+  for (std::size_t v = 0; v < config.n_variables; ++v) {
+    const double phase = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double var_amp =
+        config.seasonal_amplitude * rng.uniform(0.6, 1.4);
+    double ar_state = 0.0;
+    double level = rng.normal(0.0, 1.0);
+    std::size_t next_shift = 0;
+    for (std::size_t t = 0; t < config.length; ++t) {
+      while (next_shift < shift_times.size() && t == shift_times[next_shift]) {
+        level += rng.normal(0.0, 2.0);
+        ++next_shift;
+      }
+      ar_state = config.ar_coefficient * ar_state +
+                 rng.normal(0.0, config.noise_stddev);
+      const double season =
+          var_amp * std::sin(2.0 * 3.14159265358979323846 *
+                                 static_cast<double>(t) /
+                                 static_cast<double>(config.seasonal_period) +
+                             phase);
+      double x = level + config.trend_slope * static_cast<double>(t) +
+                 season + ar_state;
+      // Variables 1.. are partially driven by variable 0 (cross-coupling),
+      // so multivariate history is genuinely informative.
+      if (v > 0 && t > 0) {
+        x += config.cross_coupling * values(t - 1, 0);
+      }
+      values(t, v) = x;
+    }
+  }
+  return TimeSeries(std::move(values), std::move(names));
+}
+
+Dataset make_failure_workload(const FailureWorkloadConfig& config) {
+  require(config.n_samples > 0 && config.n_sensors > 0,
+          "make_failure_workload: empty shape");
+  Rng rng(config.seed);
+
+  Dataset d;
+  d.name = "failure_workload";
+  d.X = Matrix(config.n_samples, config.n_sensors);
+  d.y.resize(config.n_samples);
+  for (std::size_t j = 0; j < config.n_sensors; ++j) {
+    d.feature_names.push_back("sensor" + std::to_string(j));
+  }
+
+  // Two sensors carry the degradation signal; the rest are ambient noise.
+  const std::size_t s0 = 0;
+  const std::size_t s1 = config.n_sensors > 1 ? 1 : 0;
+  for (std::size_t i = 0; i < config.n_samples; ++i) {
+    const bool failing = rng.bernoulli(config.failure_rate);
+    d.y[i] = failing ? 1.0 : 0.0;
+    for (std::size_t j = 0; j < config.n_sensors; ++j) {
+      d.X(i, j) = rng.normal(10.0, 2.0);
+    }
+    if (failing) {
+      d.X(i, s0) += config.degradation_signal * rng.uniform(0.8, 1.2);
+      d.X(i, s1) -= config.degradation_signal * rng.uniform(0.5, 1.0);
+    }
+  }
+  return d;
+}
+
+Dataset make_cohort_workload(const CohortWorkloadConfig& config) {
+  require(config.n_cohorts >= 1 && config.n_assets >= config.n_cohorts,
+          "make_cohort_workload: bad shape");
+  Rng rng(config.seed);
+
+  std::vector<std::vector<double>> centers(config.n_cohorts);
+  for (auto& c : centers) {
+    c.resize(config.n_metrics);
+    for (auto& v : c) v = rng.normal() * config.cohort_separation;
+  }
+
+  Dataset d;
+  d.name = "cohort_workload";
+  d.X = Matrix(config.n_assets, config.n_metrics);
+  d.y.resize(config.n_assets);
+  for (std::size_t j = 0; j < config.n_metrics; ++j) {
+    d.feature_names.push_back("metric" + std::to_string(j));
+  }
+  for (std::size_t i = 0; i < config.n_assets; ++i) {
+    const std::size_t cohort = i % config.n_cohorts;  // balanced cohorts
+    d.y[i] = static_cast<double>(cohort);
+    for (std::size_t j = 0; j < config.n_metrics; ++j) {
+      d.X(i, j) = centers[cohort][j] + rng.normal();
+    }
+  }
+  return d;
+}
+
+std::size_t inject_missing(Dataset& d, double fraction, std::uint64_t seed) {
+  require(fraction >= 0.0 && fraction <= 1.0,
+          "inject_missing: fraction out of range");
+  Rng rng(seed);
+  std::size_t blanked = 0;
+  for (std::size_t i = 0; i < d.X.rows(); ++i) {
+    for (std::size_t j = 0; j < d.X.cols(); ++j) {
+      if (rng.bernoulli(fraction)) {
+        d.X(i, j) = std::numeric_limits<double>::quiet_NaN();
+        ++blanked;
+      }
+    }
+  }
+  return blanked;
+}
+
+std::vector<std::size_t> inject_outliers(Dataset& d, double fraction,
+                                         double magnitude,
+                                         std::uint64_t seed) {
+  require(fraction >= 0.0 && fraction <= 1.0,
+          "inject_outliers: fraction out of range");
+  require(magnitude > 0.0, "inject_outliers: magnitude must be positive");
+  Rng rng(seed);
+  // Outliers are placed `magnitude` column standard deviations from the
+  // column mean, so they are gross relative to each feature's own scale.
+  const auto means = d.X.col_means();
+  auto stds = d.X.col_stddevs();
+  for (double& s : stds) {
+    if (s == 0.0) s = 1.0;
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < d.X.rows(); ++i) {
+    if (!rng.bernoulli(fraction)) continue;
+    const std::size_t j = rng.index(d.X.cols());
+    const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    d.X(i, j) = means[j] + sign * magnitude * stds[j];
+    rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace coda

@@ -1,0 +1,103 @@
+// Synthetic workload generators.
+//
+// The paper evaluates on proprietary heavy-industry customer data we do not
+// have. These generators are the documented substitution (DESIGN.md §2):
+// they produce the same *shape* of data — multivariate sensor series with
+// trend/seasonality/AR structure and regime shifts, tabular regression and
+// classification sets, rare failure labels (class imbalance), and cohort
+// structure — so every code path the paper's pipelines exercise is covered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/time_series.h"
+
+namespace coda {
+
+/// Configuration for the tabular regression generator.
+struct RegressionConfig {
+  std::size_t n_samples = 400;
+  std::size_t n_features = 12;
+  std::size_t n_informative = 6;  ///< features with nonzero weight
+  double noise_stddev = 0.5;
+  bool nonlinear = true;  ///< add quadratic/interaction terms so tree models
+                          ///< and MLPs can beat linear regression
+  std::uint64_t seed = 7;
+};
+
+/// Generates a regression dataset with known informative features.
+Dataset make_regression(const RegressionConfig& config);
+
+/// Configuration for the tabular classification generator.
+struct ClassificationConfig {
+  std::size_t n_samples = 400;
+  std::size_t n_features = 10;
+  std::size_t n_classes = 2;
+  double class_separation = 2.0;  ///< distance between class centroids
+  double positive_fraction = 0.5; ///< for binary: fraction labelled 1
+                                  ///< (small values model rare failures)
+  std::uint64_t seed = 11;
+};
+
+/// Generates a classification dataset as a mixture of Gaussian blobs.
+Dataset make_classification(const ClassificationConfig& config);
+
+/// Configuration for the multivariate industrial sensor-series generator.
+struct IndustrialSeriesConfig {
+  std::size_t n_variables = 4;
+  std::size_t length = 600;
+  double trend_slope = 0.01;
+  double seasonal_amplitude = 1.0;
+  std::size_t seasonal_period = 24;  ///< e.g. hourly data, daily cycle
+  double ar_coefficient = 0.7;       ///< AR(1) persistence of the noise
+  double noise_stddev = 0.25;
+  std::size_t regime_shifts = 1;     ///< abrupt level changes (equipment
+                                     ///< change / concept drift, §II)
+  double cross_coupling = 0.3;       ///< how much variable j>0 follows var 0
+  std::uint64_t seed = 13;
+};
+
+/// Generates a multivariate industrial time series (Fig 6 shape).
+TimeSeries make_industrial_series(const IndustrialSeriesConfig& config);
+
+/// Configuration for the failure-prediction workload (solution template
+/// §IV-E: historical sensor data + failure logs, imbalanced labels).
+struct FailureWorkloadConfig {
+  std::size_t n_samples = 600;
+  std::size_t n_sensors = 8;
+  double failure_rate = 0.08;  ///< rare failures: class imbalance
+  double degradation_signal = 2.5;  ///< sensor drift preceding a failure
+  std::uint64_t seed = 17;
+};
+
+/// Generates sensor snapshots labelled 1 when a failure is imminent.
+Dataset make_failure_workload(const FailureWorkloadConfig& config);
+
+/// Configuration for the cohort workload: per-asset behaviour summaries
+/// drawn from `n_cohorts` distinct operating regimes.
+struct CohortWorkloadConfig {
+  std::size_t n_assets = 120;
+  std::size_t n_metrics = 5;
+  std::size_t n_cohorts = 3;
+  double cohort_separation = 3.0;
+  std::uint64_t seed = 19;
+};
+
+/// Generates asset behaviour vectors; y holds the true cohort id.
+Dataset make_cohort_workload(const CohortWorkloadConfig& config);
+
+/// Replaces `fraction` of X cells with NaN (missing data, §II) — returns the
+/// number of cells blanked.
+std::size_t inject_missing(Dataset& d, double fraction, std::uint64_t seed);
+
+/// Plants gross outliers (§II) in `fraction` of the rows: one random cell
+/// per chosen row is moved `magnitude` column standard deviations from the
+/// column mean. Returns the affected row indices.
+std::vector<std::size_t> inject_outliers(Dataset& d, double fraction,
+                                         double magnitude,
+                                         std::uint64_t seed);
+
+}  // namespace coda

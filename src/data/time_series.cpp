@@ -1,0 +1,14 @@
+#include "src/data/time_series.h"
+
+namespace coda {
+
+TimeSeries TimeSeries::slice(std::size_t begin, std::size_t end) const {
+  require(begin <= end && end <= length(),
+          "TimeSeries::slice: range out of bounds");
+  std::vector<std::size_t> rows;
+  rows.reserve(end - begin);
+  for (std::size_t t = begin; t < end; ++t) rows.push_back(t);
+  return TimeSeries(values_.select_rows(rows), names_);
+}
+
+}  // namespace coda

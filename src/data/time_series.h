@@ -1,0 +1,49 @@
+// Multivariate time series (Fig 6): L timestamps of v variables.
+//
+// Stored as an L x v matrix (row = timestamp). The prediction task (Section
+// IV-C4) looks at a history window of length p and predicts the next value
+// of one target variable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda {
+
+/// A multivariate time series. values(t, j) is variable j at timestamp t.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  TimeSeries(Matrix values, std::vector<std::string> variable_names = {})
+      : values_(std::move(values)), names_(std::move(variable_names)) {
+    require(names_.empty() || names_.size() == values_.cols(),
+            "TimeSeries: variable name count mismatch");
+  }
+
+  std::size_t length() const { return values_.rows(); }
+  std::size_t n_variables() const { return values_.cols(); }
+
+  const Matrix& values() const { return values_; }
+  Matrix& values() { return values_; }
+
+  double at(std::size_t t, std::size_t var) const { return values_.at(t, var); }
+
+  const std::vector<std::string>& variable_names() const { return names_; }
+
+  /// The full trajectory of one variable.
+  std::vector<double> variable(std::size_t var) const {
+    return values_.col(var);
+  }
+
+  /// Sub-series covering timestamps [begin, end).
+  TimeSeries slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  Matrix values_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace coda

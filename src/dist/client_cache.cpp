@@ -1,0 +1,101 @@
+#include "src/dist/client_cache.h"
+
+namespace coda::dist {
+
+ClientCache::ClientCache(SimNet* net, NodeId self, HomeDataStore* home)
+    : net_(net), self_(self), home_(home) {
+  require(net != nullptr && home != nullptr, "ClientCache: null dependency");
+  require(self != home->node_id(),
+          "ClientCache: client and home store must be distinct nodes");
+}
+
+const Bytes& ClientCache::get(const std::string& key) {
+  Entry& entry = entries_[key];
+  ++stats_.pulls;
+  auto result = home_->fetch(key, self_, entry.version);
+  stats_.bytes_received += result.response_bytes;
+  if (result.version == entry.version) {
+    ++stats_.not_modified_responses;
+    return entry.value;
+  }
+  if (result.is_delta) {
+    ++stats_.delta_responses;
+    stats_.bytes_saved_by_delta +=
+        home_->value(key).size() - result.response_bytes;
+    entry.value = apply_delta(entry.value, result.delta);
+  } else {
+    ++stats_.full_responses;
+    entry.value = std::move(result.full_value);
+  }
+  entry.version = result.version;
+  return entry.value;
+}
+
+const Bytes& ClientCache::cached(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw NotFound("ClientCache: '" + key + "' not cached");
+  }
+  return it->second.value;
+}
+
+std::uint64_t ClientCache::version(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::uint64_t ClientCache::staleness(const std::string& key) const {
+  const std::uint64_t home_version = home_->version(key);
+  const std::uint64_t local = version(key);
+  return home_version > local ? home_version - local : 0;
+}
+
+void ClientCache::subscribe(const std::string& key, double duration,
+                            PushMode mode) {
+  home_->subscribe(key, self_, duration, mode);
+}
+
+void ClientCache::renew(const std::string& key, double duration) {
+  home_->renew(key, self_, duration);
+}
+
+void ClientCache::cancel(const std::string& key) { home_->cancel(key, self_); }
+
+void ClientCache::on_push(const PushMessage& message) {
+  Entry& entry = entries_[message.key];
+  stats_.bytes_received += message.wire_bytes;
+  switch (message.mode) {
+    case PushMode::kFullValue:
+      ++stats_.pushes_full;
+      entry.value = message.full_value;
+      entry.version = message.version;
+      break;
+    case PushMode::kDelta:
+      ++stats_.pushes_delta;
+      if (message.delta.base_version != entry.version) {
+        // Base mismatch (e.g. missed push): fall back to a pull.
+        ++stats_.delta_fallback_fetches;
+        get(message.key);
+        return;
+      }
+      stats_.bytes_saved_by_delta +=
+          message.delta.target_size > message.wire_bytes
+              ? static_cast<std::size_t>(message.delta.target_size) -
+                    message.wire_bytes
+              : 0;
+      entry.value = apply_delta(entry.value, message.delta);
+      entry.version = message.version;
+      break;
+    case PushMode::kNotifyOnly:
+      ++stats_.notifications;
+      entry.notified_version = message.version;
+      break;
+  }
+}
+
+std::uint64_t ClientCache::notified_version(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.notified_version;
+}
+
+}  // namespace coda::dist

@@ -1,0 +1,201 @@
+#include "src/dist/delta.h"
+
+#include <unordered_map>
+
+#include "src/util/hash.h"
+
+namespace coda::dist {
+namespace {
+
+// Polynomial rolling hash over a window of `block` bytes.
+class RollingHash {
+ public:
+  static constexpr std::uint64_t kBase = 1099511628211ULL;
+
+  explicit RollingHash(std::size_t window) : window_(window) {
+    pow_out_ = 1;
+    for (std::size_t i = 0; i + 1 < window; ++i) pow_out_ *= kBase;
+  }
+
+  static std::uint64_t hash_block(const std::uint8_t* data,
+                                  std::size_t size) {
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < size; ++i) h = h * kBase + data[i];
+    return h;
+  }
+
+  std::uint64_t roll(std::uint64_t h, std::uint8_t out,
+                     std::uint8_t in) const {
+    return (h - out * pow_out_) * kBase + in;
+  }
+
+ private:
+  std::size_t window_;
+  std::uint64_t pow_out_ = 1;
+};
+
+}  // namespace
+
+std::size_t Delta::encoded_size() const {
+  // 3 x u64 header + per-op kind byte + fields.
+  std::size_t size = 3 * sizeof(std::uint64_t) + sizeof(std::uint64_t);
+  for (const auto& op : ops) {
+    size += 1;
+    if (op.kind == DeltaOp::Kind::kCopy) {
+      size += 2 * sizeof(std::uint64_t);
+    } else {
+      size += sizeof(std::uint64_t) + op.literal.size();
+    }
+  }
+  return size;
+}
+
+Bytes Delta::serialize() const {
+  ByteWriter w;
+  w.write_u64(base_version);
+  w.write_u64(target_version);
+  w.write_u64(target_size);
+  w.write_u64(ops.size());
+  for (const auto& op : ops) {
+    w.write_u8(static_cast<std::uint8_t>(op.kind));
+    if (op.kind == DeltaOp::Kind::kCopy) {
+      w.write_u64(op.offset);
+      w.write_u64(op.length);
+    } else {
+      w.write_bytes(op.literal);
+    }
+  }
+  return w.take();
+}
+
+Delta Delta::deserialize(const Bytes& buffer) {
+  ByteReader r(buffer);
+  Delta d;
+  d.base_version = r.read_u64();
+  d.target_version = r.read_u64();
+  d.target_size = r.read_u64();
+  const std::uint64_t n_ops = r.read_u64();
+  d.ops.reserve(static_cast<std::size_t>(n_ops));
+  for (std::uint64_t i = 0; i < n_ops; ++i) {
+    DeltaOp op;
+    const std::uint8_t kind = r.read_u8();
+    if (kind > 1) throw DecodeError("Delta: unknown op kind");
+    op.kind = static_cast<DeltaOp::Kind>(kind);
+    if (op.kind == DeltaOp::Kind::kCopy) {
+      op.offset = r.read_u64();
+      op.length = r.read_u64();
+    } else {
+      op.literal = r.read_bytes();
+    }
+    d.ops.push_back(std::move(op));
+  }
+  return d;
+}
+
+Delta compute_delta(const Bytes& base, const Bytes& target,
+                    const DeltaConfig& config) {
+  require(config.block_size >= 4, "compute_delta: block_size too small");
+  const std::size_t block = config.block_size;
+  Delta delta;
+  delta.target_size = target.size();
+
+  Bytes pending;  // literal run being accumulated
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kAdd;
+    op.literal = std::move(pending);
+    pending.clear();
+    delta.ops.push_back(std::move(op));
+  };
+
+  if (base.size() < block || target.size() < block) {
+    // Too small to block-match: one literal op.
+    pending = target;
+    flush_pending();
+    return delta;
+  }
+
+  // Index base blocks at block-aligned offsets.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+  for (std::size_t off = 0; off + block <= base.size(); off += block) {
+    index[RollingHash::hash_block(base.data() + off, block)].push_back(off);
+  }
+
+  const RollingHash roller(block);
+  std::size_t pos = 0;
+  std::uint64_t h = RollingHash::hash_block(target.data(), block);
+  while (pos + block <= target.size()) {
+    bool matched = false;
+    auto it = index.find(h);
+    if (it != index.end()) {
+      for (const std::size_t base_off : it->second) {
+        if (std::equal(target.begin() + static_cast<std::ptrdiff_t>(pos),
+                       target.begin() + static_cast<std::ptrdiff_t>(pos + block),
+                       base.begin() + static_cast<std::ptrdiff_t>(base_off))) {
+          // Extend the match forward past the block boundary.
+          std::size_t len = block;
+          while (pos + len < target.size() && base_off + len < base.size() &&
+                 target[pos + len] == base[base_off + len]) {
+            ++len;
+          }
+          flush_pending();
+          DeltaOp op;
+          op.kind = DeltaOp::Kind::kCopy;
+          op.offset = base_off;
+          op.length = len;
+          // Merge with a directly preceding adjacent copy.
+          if (!delta.ops.empty()) {
+            auto& prev = delta.ops.back();
+            if (prev.kind == DeltaOp::Kind::kCopy &&
+                prev.offset + prev.length == op.offset) {
+              prev.length += op.length;
+              matched = true;
+            }
+          }
+          if (!matched) delta.ops.push_back(std::move(op));
+          matched = true;
+          pos += len;
+          if (pos + block <= target.size()) {
+            h = RollingHash::hash_block(target.data() + pos, block);
+          }
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      pending.push_back(target[pos]);
+      if (pos + block < target.size()) {
+        h = roller.roll(h, target[pos], target[pos + block]);
+      }
+      ++pos;
+    }
+  }
+  // Tail shorter than one block.
+  for (; pos < target.size(); ++pos) pending.push_back(target[pos]);
+  flush_pending();
+  return delta;
+}
+
+Bytes apply_delta(const Bytes& base, const Delta& delta) {
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(delta.target_size));
+  for (const auto& op : delta.ops) {
+    if (op.kind == DeltaOp::Kind::kCopy) {
+      if (op.offset + op.length > base.size()) {
+        throw DecodeError("apply_delta: COPY past end of base");
+      }
+      out.insert(out.end(),
+                 base.begin() + static_cast<std::ptrdiff_t>(op.offset),
+                 base.begin() + static_cast<std::ptrdiff_t>(op.offset + op.length));
+    } else {
+      out.insert(out.end(), op.literal.begin(), op.literal.end());
+    }
+  }
+  if (out.size() != delta.target_size) {
+    throw DecodeError("apply_delta: reconstructed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace coda::dist

@@ -1,0 +1,56 @@
+// Delta encoding (Section III): "the home data source sends the delta
+// between the latest version of o1 and a previous version ... considerably
+// smaller than version 3 of o1".
+//
+// The codec is an rsync-style block matcher: the base is indexed by
+// fixed-size block hashes; the target is scanned with a rolling hash,
+// emitting COPY(base_offset, length) for matched runs and ADD(bytes) for
+// novel data. apply_delta(base, delta) reconstructs the target exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/serialization.h"
+
+namespace coda::dist {
+
+/// One delta instruction.
+struct DeltaOp {
+  enum class Kind : std::uint8_t { kCopy = 0, kAdd = 1 };
+  Kind kind = Kind::kAdd;
+  // kCopy: [offset, offset+length) in the base.
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  // kAdd: literal bytes.
+  Bytes literal;
+};
+
+/// An encoded delta between two versions of an object.
+struct Delta {
+  std::uint64_t base_version = 0;
+  std::uint64_t target_version = 0;
+  std::uint64_t target_size = 0;
+  std::vector<DeltaOp> ops;
+
+  /// Bytes this delta occupies on the wire (header + ops + literals).
+  std::size_t encoded_size() const;
+
+  Bytes serialize() const;
+  static Delta deserialize(const Bytes& buffer);
+};
+
+/// Codec tuning.
+struct DeltaConfig {
+  std::size_t block_size = 64;  ///< match granularity (bytes)
+};
+
+/// Computes a delta transforming `base` into `target`.
+Delta compute_delta(const Bytes& base, const Bytes& target,
+                    const DeltaConfig& config = DeltaConfig());
+
+/// Reconstructs the target from `base` and `delta`; throws DecodeError on a
+/// corrupt delta (e.g. COPY out of the base's range).
+Bytes apply_delta(const Bytes& base, const Delta& delta);
+
+}  // namespace coda::dist

@@ -1,0 +1,37 @@
+#include "src/dist/remote_service.h"
+
+namespace coda::dist {
+
+RemoteModelService::RemoteModelService(SimNet* net, NodeId self,
+                                       std::unique_ptr<Estimator> model)
+    : net_(net), self_(self), model_(std::move(model)) {
+  require(net != nullptr && model_ != nullptr,
+          "RemoteModelService: null dependency");
+}
+
+void RemoteModelService::fit(NodeId caller, const Matrix& X,
+                             const std::vector<double>& y) {
+  const std::size_t request =
+      matrix_bytes(X) + y.size() * sizeof(double) + 16;
+  net_->transfer(caller, self_, request);
+  model_->fit(X, y);
+  net_->transfer(self_, caller, 16);  // ack
+  ++stats_.fit_calls;
+  stats_.bytes_in += request;
+  stats_.bytes_out += 16;
+}
+
+std::vector<double> RemoteModelService::predict(NodeId caller,
+                                                const Matrix& X) {
+  const std::size_t request = matrix_bytes(X);
+  net_->transfer(caller, self_, request);
+  auto predictions = model_->predict(X);
+  const std::size_t response = predictions.size() * sizeof(double) + 16;
+  net_->transfer(self_, caller, response);
+  ++stats_.predict_calls;
+  stats_.bytes_in += request;
+  stats_.bytes_out += response;
+  return predictions;
+}
+
+}  // namespace coda::dist

@@ -1,0 +1,86 @@
+// AI web service node (Fig 1): a remote model endpoint reached over the
+// simulated network with HTTP-like request/response accounting — the
+// architectural role of IBM Watson / Azure / AWS / Google Cloud AI in the
+// paper, reproduced as the documented substitution (DESIGN.md §2).
+#pragma once
+
+#include <memory>
+
+#include "src/core/component.h"
+#include "src/dist/sim_net.h"
+
+namespace coda::dist {
+
+/// A fit/predict service wrapping any Estimator behind a network boundary.
+/// Callers pay request+response bytes per invocation, like an HTTP ML API.
+class RemoteModelService {
+ public:
+  struct CallStats {
+    std::size_t fit_calls = 0;
+    std::size_t predict_calls = 0;
+    std::size_t bytes_in = 0;   // at the service
+    std::size_t bytes_out = 0;  // back to clients
+  };
+
+  RemoteModelService(SimNet* net, NodeId self,
+                     std::unique_ptr<Estimator> model);
+
+  NodeId node_id() const { return self_; }
+
+  /// Trains the hosted model on the shipped dataset; the caller pays the
+  /// serialized data size plus a small response ack.
+  void fit(NodeId caller, const Matrix& X, const std::vector<double>& y);
+
+  /// Scores shipped rows; the caller pays X in one direction and the
+  /// predictions in the other.
+  std::vector<double> predict(NodeId caller, const Matrix& X);
+
+  const CallStats& stats() const { return stats_; }
+
+  /// Wire size of a shipped matrix (doubles + shape framing).
+  static std::size_t matrix_bytes(const Matrix& m) {
+    return m.size() * sizeof(double) + 16;
+  }
+
+ private:
+  SimNet* net_;
+  NodeId self_;
+  std::unique_ptr<Estimator> model_;
+  CallStats stats_;
+};
+
+/// Estimator adapter that forwards fit/predict to a RemoteModelService —
+/// lets a remote endpoint participate in a Transformer-Estimator Graph as
+/// the terminal stage ("these Web services complement the machine learning
+/// capabilities at the clients and cloud analytics servers").
+class RemoteEstimator final : public Estimator {
+ public:
+  RemoteEstimator(RemoteModelService* service, NodeId caller)
+      : Estimator("remote_" + std::to_string(service->node_id())),
+        service_(service),
+        caller_(caller) {}
+
+  void fit(const Matrix& X, const std::vector<double>& y) override {
+    service_->fit(caller_, X, y);
+    fitted_ = true;
+  }
+
+  std::vector<double> predict(const Matrix& X) const override {
+    require_state(fitted_, "RemoteEstimator: call fit() first");
+    return service_->predict(caller_, X);
+  }
+
+  std::unique_ptr<Component> clone() const override {
+    // Clones share the remote endpoint (it is the service that holds the
+    // model); each clone must still fit before predicting.
+    auto copy = std::make_unique<RemoteEstimator>(service_, caller_);
+    return copy;
+  }
+
+ private:
+  RemoteModelService* service_;
+  NodeId caller_;
+  bool fitted_ = false;
+};
+
+}  // namespace coda::dist

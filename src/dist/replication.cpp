@@ -1,0 +1,108 @@
+#include "src/dist/replication.h"
+
+#include <algorithm>
+
+namespace coda::dist {
+
+ReplicatedStore::ReplicatedStore(SimNet* net, std::vector<NodeId> nodes)
+    : ReplicatedStore(net, std::move(nodes), Config()) {}
+
+ReplicatedStore::ReplicatedStore(SimNet* net, std::vector<NodeId> nodes,
+                                 Config config)
+    : net_(net), config_(config), nodes_(std::move(nodes)) {
+  require(net != nullptr, "ReplicatedStore: null network");
+  require(nodes_.size() >= 2,
+          "ReplicatedStore: need a primary and at least one replica");
+  stores_.reserve(nodes_.size());
+  for (const NodeId node : nodes_) {
+    stores_.push_back(
+        std::make_unique<HomeDataStore>(net, node, config_.store));
+  }
+  healthy_.assign(nodes_.size(), true);
+}
+
+HomeDataStore& ReplicatedStore::site(std::size_t i) {
+  require(i < stores_.size(), "ReplicatedStore: site index out of range");
+  return *stores_[i];
+}
+
+void ReplicatedStore::put(const std::string& key, Bytes value) {
+  if (std::find(keys_.begin(), keys_.end(), key) == keys_.end()) {
+    keys_.push_back(key);
+  }
+  // The primary applies the write locally; replicas receive it over the
+  // network, as a delta against their current version when worthwhile.
+  const Bytes previous = stores_[0]->version(key) > 0
+                             ? stores_[0]->value(key)
+                             : Bytes{};
+  stores_[0]->put(key, value);
+  for (std::size_t i = 1; i < stores_.size(); ++i) {
+    if (!healthy_[i]) continue;
+    HomeDataStore& replica = *stores_[i];
+    bool delta_shipped = false;
+    if (config_.delta_sync && !previous.empty() &&
+        replica.version(key) == stores_[0]->version(key) - 1) {
+      const Delta d = compute_delta(previous, value, config_.store.delta);
+      if (d.encoded_size() < value.size()) {
+        net_->transfer(nodes_[0], nodes_[i], d.encoded_size());
+        sync_stats_.bytes_shipped += d.encoded_size();
+        ++sync_stats_.delta_syncs;
+        delta_shipped = true;
+      }
+    }
+    if (!delta_shipped) {
+      net_->transfer(nodes_[0], nodes_[i], value.size());
+      sync_stats_.bytes_shipped += value.size();
+      ++sync_stats_.full_syncs;
+    }
+    replica.put(key, value);
+  }
+}
+
+void ReplicatedStore::fail_site(std::size_t i) {
+  require(i < healthy_.size(), "ReplicatedStore: site index out of range");
+  healthy_[i] = false;
+}
+
+void ReplicatedStore::recover_site(std::size_t i) {
+  require(i < healthy_.size(), "ReplicatedStore: site index out of range");
+  healthy_[i] = true;
+}
+
+void ReplicatedStore::resync(std::size_t i) {
+  require(i < stores_.size(), "ReplicatedStore: site index out of range");
+  require(healthy_[i], "ReplicatedStore: resync of a failed site");
+  const std::size_t source = serving_site();
+  for (const auto& key : keys_) {
+    if (stores_[source]->version(key) == 0) continue;
+    const Bytes& value = stores_[source]->value(key);
+    if (stores_[i]->version(key) == stores_[source]->version(key)) continue;
+    net_->transfer(nodes_[source], nodes_[i], value.size());
+    sync_stats_.bytes_shipped += value.size();
+    ++sync_stats_.full_syncs;
+    // Bring the replica's version in line by replaying the value until the
+    // version numbers match (versions are per-store counters).
+    while (stores_[i]->version(key) < stores_[source]->version(key)) {
+      stores_[i]->put(key, value);
+    }
+  }
+}
+
+bool ReplicatedStore::is_healthy(std::size_t i) const {
+  require(i < healthy_.size(), "ReplicatedStore: site index out of range");
+  return healthy_[i];
+}
+
+std::size_t ReplicatedStore::serving_site() const {
+  for (std::size_t i = 0; i < healthy_.size(); ++i) {
+    if (healthy_[i]) return i;
+  }
+  throw NotFound("ReplicatedStore: every site is down");
+}
+
+HomeDataStore::FetchResult ReplicatedStore::fetch(
+    const std::string& key, NodeId requester, std::uint64_t have_version) {
+  return stores_[serving_site()]->fetch(key, requester, have_version);
+}
+
+}  // namespace coda::dist

@@ -1,0 +1,71 @@
+#include "src/dist/sim_net.h"
+
+namespace coda::dist {
+
+NodeId SimNet::add_node(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(!name.empty(), "SimNet: node name must be non-empty");
+  for (const auto& existing : node_names_) {
+    require(existing != name, "SimNet: duplicate node name '" + name + "'");
+  }
+  node_names_.push_back(name);
+  return node_names_.size() - 1;
+}
+
+const std::string& SimNet::node_name(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(id);
+  return node_names_[id];
+}
+
+double SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(from);
+  check_node(to);
+  require(from != to, "SimNet: self-transfer");
+  const double seconds =
+      config_.latency_seconds +
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  auto& stats = links_[{from, to}];
+  ++stats.messages;
+  stats.bytes += bytes;
+  stats.simulated_seconds += seconds;
+  return seconds;
+}
+
+double SimNet::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_;
+}
+
+void SimNet::advance(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(seconds >= 0.0, "SimNet: cannot rewind the clock");
+  clock_ += seconds;
+}
+
+LinkStats SimNet::link(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(from);
+  check_node(to);
+  auto it = links_.find({from, to});
+  return it == links_.end() ? LinkStats{} : it->second;
+}
+
+LinkStats SimNet::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LinkStats total;
+  for (const auto& [pair, stats] : links_) {
+    total.messages += stats.messages;
+    total.bytes += stats.bytes;
+    total.simulated_seconds += stats.simulated_seconds;
+  }
+  return total;
+}
+
+void SimNet::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_.clear();
+}
+
+}  // namespace coda::dist

@@ -1,0 +1,87 @@
+#include "src/dist/update_monitor.h"
+
+#include "src/util/error.h"
+
+namespace coda::dist {
+
+CountThresholdPolicy::CountThresholdPolicy(std::size_t threshold)
+    : threshold_(threshold) {
+  require(threshold >= 1, "CountThresholdPolicy: threshold must be >= 1");
+}
+
+bool CountThresholdPolicy::should_recompute(const UpdateEvent& event) const {
+  return event.updates_since_recompute >= threshold_;
+}
+
+std::string CountThresholdPolicy::name() const {
+  return "count(threshold=" + std::to_string(threshold_) + ")";
+}
+
+SizeThresholdPolicy::SizeThresholdPolicy(std::size_t threshold_bytes)
+    : threshold_bytes_(threshold_bytes) {
+  require(threshold_bytes >= 1,
+          "SizeThresholdPolicy: threshold must be >= 1 byte");
+}
+
+bool SizeThresholdPolicy::should_recompute(const UpdateEvent& event) const {
+  return event.bytes_since_recompute >= threshold_bytes_;
+}
+
+std::string SizeThresholdPolicy::name() const {
+  return "size(threshold=" + std::to_string(threshold_bytes_) + "B)";
+}
+
+AppSpecificPolicy::AppSpecificPolicy(std::string label, Predicate predicate)
+    : label_(std::move(label)), predicate_(std::move(predicate)) {
+  require(static_cast<bool>(predicate_),
+          "AppSpecificPolicy: null predicate");
+}
+
+bool AppSpecificPolicy::should_recompute(const UpdateEvent& event) const {
+  return predicate_(event);
+}
+
+std::string AppSpecificPolicy::name() const { return "app(" + label_ + ")"; }
+
+UpdateMonitor::UpdateMonitor(std::unique_ptr<RecomputePolicy> policy,
+                             RecomputeFn recompute)
+    : policy_(std::move(policy)), recompute_(std::move(recompute)) {
+  require(policy_ != nullptr, "UpdateMonitor: null policy");
+  require(static_cast<bool>(recompute_), "UpdateMonitor: null callback");
+}
+
+bool UpdateMonitor::on_update(const std::string& key, const Bytes* old_value,
+                              const Bytes& new_value, std::uint64_t version,
+                              std::size_t update_bytes) {
+  KeyState& state = keys_[key];
+  ++state.updates;
+  state.bytes += update_bytes;
+  ++total_updates_;
+
+  UpdateEvent event;
+  event.key = key;
+  event.version = version;
+  event.update_bytes = update_bytes;
+  event.updates_since_recompute = state.updates;
+  event.bytes_since_recompute = state.bytes;
+  event.old_value = old_value;
+  event.new_value = &new_value;
+
+  if (!policy_->should_recompute(event)) return false;
+  recompute_(key);
+  ++total_recomputes_;
+  state = KeyState{};
+  return true;
+}
+
+std::size_t UpdateMonitor::pending_updates(const std::string& key) const {
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.updates;
+}
+
+std::size_t UpdateMonitor::pending_bytes(const std::string& key) const {
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.bytes;
+}
+
+}  // namespace coda::dist

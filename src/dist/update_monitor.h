@@ -1,0 +1,121 @@
+// Change-triggered recomputation (Section III): "When the amount of change
+// in the data exceeds a threshold, then analytics calculations are
+// recalculated". Three trigger policies, verbatim from the paper:
+//   1. number of updates since the last recalculation exceeds a threshold;
+//   2. total size of updates since the last recalculation exceeds one;
+//   3. an application-specific predicate over the update stream (the best,
+//      but hardest, option).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/util/serialization.h"
+
+namespace coda::dist {
+
+/// What a policy sees for each incoming update.
+struct UpdateEvent {
+  std::string key;
+  std::uint64_t version = 0;
+  std::size_t update_bytes = 0;            ///< size of this update (delta)
+  std::size_t updates_since_recompute = 0;  ///< including this one
+  std::size_t bytes_since_recompute = 0;    ///< including this one
+  const Bytes* old_value = nullptr;         ///< may be null (first version)
+  const Bytes* new_value = nullptr;
+};
+
+/// Decides when accumulated change warrants recomputation.
+class RecomputePolicy {
+ public:
+  virtual ~RecomputePolicy() = default;
+  virtual bool should_recompute(const UpdateEvent& event) const = 0;
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<RecomputePolicy> clone() const = 0;
+};
+
+/// Fires every `threshold` updates.
+class CountThresholdPolicy final : public RecomputePolicy {
+ public:
+  explicit CountThresholdPolicy(std::size_t threshold);
+  bool should_recompute(const UpdateEvent& event) const override;
+  std::string name() const override;
+  std::unique_ptr<RecomputePolicy> clone() const override {
+    return std::make_unique<CountThresholdPolicy>(*this);
+  }
+
+ private:
+  std::size_t threshold_;
+};
+
+/// Fires when accumulated update bytes exceed `threshold_bytes`.
+class SizeThresholdPolicy final : public RecomputePolicy {
+ public:
+  explicit SizeThresholdPolicy(std::size_t threshold_bytes);
+  bool should_recompute(const UpdateEvent& event) const override;
+  std::string name() const override;
+  std::unique_ptr<RecomputePolicy> clone() const override {
+    return std::make_unique<SizeThresholdPolicy>(*this);
+  }
+
+ private:
+  std::size_t threshold_bytes_;
+};
+
+/// Application-specific trigger: an arbitrary predicate over the event
+/// (e.g. data drift measured on decoded values).
+class AppSpecificPolicy final : public RecomputePolicy {
+ public:
+  using Predicate = std::function<bool(const UpdateEvent&)>;
+  AppSpecificPolicy(std::string label, Predicate predicate);
+  bool should_recompute(const UpdateEvent& event) const override;
+  std::string name() const override;
+  std::unique_ptr<RecomputePolicy> clone() const override {
+    return std::make_unique<AppSpecificPolicy>(*this);
+  }
+
+ private:
+  std::string label_;
+  Predicate predicate_;
+};
+
+/// Tracks updates per key and invokes a recompute callback when the policy
+/// fires, resetting that key's accumulation counters.
+class UpdateMonitor {
+ public:
+  using RecomputeFn = std::function<void(const std::string& key)>;
+
+  UpdateMonitor(std::unique_ptr<RecomputePolicy> policy,
+                RecomputeFn recompute);
+
+  /// Feeds one update; returns true when recomputation was triggered.
+  bool on_update(const std::string& key, const Bytes* old_value,
+                 const Bytes& new_value, std::uint64_t version,
+                 std::size_t update_bytes);
+
+  /// Updates accumulated since the last recompute of `key` (its current
+  /// staleness in update counts).
+  std::size_t pending_updates(const std::string& key) const;
+  std::size_t pending_bytes(const std::string& key) const;
+
+  std::size_t total_updates() const { return total_updates_; }
+  std::size_t total_recomputes() const { return total_recomputes_; }
+  const RecomputePolicy& policy() const { return *policy_; }
+
+ private:
+  struct KeyState {
+    std::size_t updates = 0;
+    std::size_t bytes = 0;
+  };
+
+  std::unique_ptr<RecomputePolicy> policy_;
+  RecomputeFn recompute_;
+  std::map<std::string, KeyState> keys_;
+  std::size_t total_updates_ = 0;
+  std::size_t total_recomputes_ = 0;
+};
+
+}  // namespace coda::dist

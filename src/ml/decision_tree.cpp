@@ -1,0 +1,210 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace coda {
+namespace {
+
+double mean_over(const std::vector<double>& y,
+                 const std::vector<std::size_t>& indices, std::size_t begin,
+                 std::size_t end) {
+  double s = 0.0;
+  for (std::size_t i = begin; i < end; ++i) s += y[indices[i]];
+  return s / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+TreeConfig tree_config_from_params(const ParamMap& params) {
+  TreeConfig cfg;
+  cfg.max_depth = static_cast<std::size_t>(params.get_int("max_depth"));
+  cfg.min_samples_split =
+      static_cast<std::size_t>(params.get_int("min_samples_split"));
+  cfg.min_samples_leaf =
+      static_cast<std::size_t>(params.get_int("min_samples_leaf"));
+  require(cfg.max_depth >= 1, "tree: max_depth must be >= 1");
+  require(cfg.min_samples_split >= 2, "tree: min_samples_split must be >= 2");
+  require(cfg.min_samples_leaf >= 1, "tree: min_samples_leaf must be >= 1");
+  return cfg;
+}
+
+void CartTree::fit(const Matrix& X, const std::vector<double>& y,
+                   const std::vector<std::size_t>& indices,
+                   const TreeConfig& cfg, Rng* rng) {
+  require(X.rows() == y.size(), "CartTree: X/y size mismatch");
+  require(!indices.empty(), "CartTree: no training rows");
+  require(cfg.max_features == 0 || rng != nullptr,
+          "CartTree: max_features needs an Rng");
+  nodes_.clear();
+  std::vector<std::size_t> work = indices;
+  build(X, y, work, 0, work.size(), 0, cfg, rng);
+}
+
+int CartTree::build(const Matrix& X, const std::vector<double>& y,
+                    std::vector<std::size_t>& indices, std::size_t begin,
+                    std::size_t end, std::size_t depth, const TreeConfig& cfg,
+                    Rng* rng) {
+  const std::size_t n = end - begin;
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].value =
+      mean_over(y, indices, begin, end);
+
+  if (depth >= cfg.max_depth || n < cfg.min_samples_split) return node_id;
+
+  // Node impurity (sum of squared deviation) — used for the split gain.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum += y[indices[i]];
+    sum_sq += y[indices[i]] * y[indices[i]];
+  }
+  const double node_sse = sum_sq - sum * sum / static_cast<double>(n);
+  if (node_sse <= 1e-12) return node_id;  // pure node
+
+  // Candidate features: all, or a random subset for forests.
+  std::vector<std::size_t> features(X.cols());
+  std::iota(features.begin(), features.end(), 0);
+  if (cfg.max_features > 0 && cfg.max_features < X.cols()) {
+    rng->shuffle(features);
+    features.resize(cfg.max_features);
+  }
+
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<std::size_t> sorted(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  indices.begin() + static_cast<std::ptrdiff_t>(end));
+
+  for (const std::size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&X, f](std::size_t a, std::size_t b) {
+                return X(a, f) < X(b, f);
+              });
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double yi = y[sorted[i]];
+      left_sum += yi;
+      left_sq += yi * yi;
+      // Can't split between equal feature values.
+      if (X(sorted[i], f) == X(sorted[i + 1], f)) continue;
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = sorted.size() - n_left;
+      if (n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(n_left);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(n_right);
+      const double gain = node_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (X(sorted[i], f) + X(sorted[i + 1], f)) / 2.0;
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return node_id;
+
+  // Partition indices[begin, end) in place around the chosen split.
+  const auto mid_iter = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&X, best_feature, best_threshold](std::size_t i) {
+        return X(i, best_feature) <= best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_iter - indices.begin());
+  // Degenerate partitions can't happen (gain > 0 implies both sides
+  // non-empty), but guard against float pathology anyway.
+  if (mid == begin || mid == end) return node_id;
+
+  nodes_[static_cast<std::size_t>(node_id)].feature =
+      static_cast<int>(best_feature);
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(node_id)].importance = best_gain;
+  const int left = build(X, y, indices, begin, mid, depth + 1, cfg, rng);
+  const int right = build(X, y, indices, mid, end, depth + 1, cfg, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double CartTree::predict_row(const Matrix& X, std::size_t row) const {
+  require_state(fitted(), "CartTree: call fit() first");
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.feature < 0) return n.value;
+    node = static_cast<std::size_t>(
+        X(row, static_cast<std::size_t>(n.feature)) <= n.threshold ? n.left
+                                                                   : n.right);
+  }
+}
+
+std::vector<double> CartTree::predict(const Matrix& X) const {
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict_row(X, r);
+  return out;
+}
+
+std::size_t CartTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& n = nodes_[node];
+    if (n.feature >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(n.left), depth + 1);
+      stack.emplace_back(static_cast<std::size_t>(n.right), depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+void CartTree::add_feature_importances(std::vector<double>& out) const {
+  for (const Node& n : nodes_) {
+    if (n.feature < 0) continue;
+    const auto f = static_cast<std::size_t>(n.feature);
+    require(f < out.size(), "CartTree: importance vector too small");
+    out[f] += n.importance;
+  }
+}
+
+void DecisionTreeRegressor::fit(const Matrix& X,
+                                const std::vector<double>& y) {
+  std::vector<std::size_t> all(X.rows());
+  std::iota(all.begin(), all.end(), 0);
+  tree_.fit(X, y, all, tree_config_from_params(params()));
+}
+
+std::vector<double> DecisionTreeRegressor::predict(const Matrix& X) const {
+  return tree_.predict(X);
+}
+
+void DecisionTreeClassifier::fit(const Matrix& X,
+                                 const std::vector<double>& y) {
+  for (const double label : y) {
+    require(label == 0.0 || label == 1.0,
+            "DecisionTreeClassifier: labels must be 0/1");
+  }
+  std::vector<std::size_t> all(X.rows());
+  std::iota(all.begin(), all.end(), 0);
+  tree_.fit(X, y, all, tree_config_from_params(params()));
+}
+
+std::vector<double> DecisionTreeClassifier::predict(const Matrix& X) const {
+  return tree_.predict(X);
+}
+
+}  // namespace coda

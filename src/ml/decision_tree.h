@@ -1,0 +1,112 @@
+// CART decision trees (Table I / Fig 3 "DecisionTree" node).
+//
+// One tree implementation serves regression and binary classification: the
+// split criterion is within-node variance reduction, which for 0/1 labels
+// equals the Gini criterion up to a constant factor, and leaves predict the
+// mean target (= positive-class probability for binary labels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/component.h"
+#include "src/util/random.h"
+
+namespace coda {
+
+/// Tree growth limits shared by the estimators and the ensembles.
+struct TreeConfig {
+  std::size_t max_depth = 6;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Candidate features per split; 0 means all (set by RandomForest).
+  std::size_t max_features = 0;
+};
+
+/// A fitted CART tree. Not a Component itself — wrapped by the estimator
+/// classes below and reused by RandomForest / GradientBoosting.
+class CartTree {
+ public:
+  /// Fits on the rows of X listed in `indices`. When cfg.max_features > 0 a
+  /// random feature subset is drawn per split from `rng`.
+  void fit(const Matrix& X, const std::vector<double>& y,
+           const std::vector<std::size_t>& indices, const TreeConfig& cfg,
+           Rng* rng = nullptr);
+
+  double predict_row(const Matrix& X, std::size_t row) const;
+  std::vector<double> predict(const Matrix& X) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// Accumulates this tree's impurity-decrease feature importances into
+  /// `out` (size = n_features). Used by Root Cause Analysis (§IV-E).
+  void add_feature_importances(std::vector<double>& out) const;
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 marks a leaf
+    double threshold = 0.0;
+    double value = 0.0;        // leaf prediction (mean target)
+    double importance = 0.0;   // impurity decrease * samples at this split
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const Matrix& X, const std::vector<double>& y,
+            std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, std::size_t depth, const TreeConfig& cfg,
+            Rng* rng);
+
+  std::vector<Node> nodes_;
+};
+
+/// Decision-tree regression. Parameters: max_depth (int, default 6),
+/// min_samples_split (int, default 2), min_samples_leaf (int, default 1).
+class DecisionTreeRegressor final : public Estimator {
+ public:
+  DecisionTreeRegressor() : Estimator("decisiontree") {
+    declare_param("max_depth", std::int64_t{6});
+    declare_param("min_samples_split", std::int64_t{2});
+    declare_param("min_samples_leaf", std::int64_t{1});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<DecisionTreeRegressor>(*this);
+  }
+
+  const CartTree& tree() const { return tree_; }
+
+ private:
+  CartTree tree_;
+};
+
+/// Decision-tree binary classification; predict() returns the positive
+/// fraction at the reached leaf. Same parameters as the regressor.
+class DecisionTreeClassifier final : public Estimator {
+ public:
+  DecisionTreeClassifier() : Estimator("decisiontreeclassifier") {
+    declare_param("max_depth", std::int64_t{6});
+    declare_param("min_samples_split", std::int64_t{2});
+    declare_param("min_samples_leaf", std::int64_t{1});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<DecisionTreeClassifier>(*this);
+  }
+
+  const CartTree& tree() const { return tree_; }
+
+ private:
+  CartTree tree_;
+};
+
+/// Reads the shared tree parameters out of a component's ParamMap.
+TreeConfig tree_config_from_params(const ParamMap& params);
+
+}  // namespace coda

@@ -1,0 +1,108 @@
+#include "src/ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace coda {
+namespace {
+
+// Squared Pearson correlation between column c of X and y; 0 for constant
+// columns. Monotone in the univariate regression F-statistic, so ranking by
+// it reproduces sklearn's f_regression ordering.
+double squared_correlation(const Matrix& X, std::size_t c,
+                           const std::vector<double>& y) {
+  const std::size_t n = X.rows();
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    mx += X(r, c);
+    my += y[r];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double dx = X(r, c) - mx;
+    const double dy = y[r] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return (sxy * sxy) / (sxx * syy);
+}
+
+double column_variance(const Matrix& X, std::size_t c) {
+  const std::size_t n = X.rows();
+  double mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) mean += X(r, c);
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double d = X(r, c) - mean;
+    var += d * d;
+  }
+  return var / static_cast<double>(n);
+}
+
+}  // namespace
+
+void SelectKBest::fit(const Matrix& X, const std::vector<double>& y) {
+  require(X.rows() > 0, "SelectKBest: empty input");
+  const auto k = static_cast<std::size_t>(params().get_int("k"));
+  require(k >= 1, "SelectKBest: k must be >= 1");
+  require(k <= X.cols(), "SelectKBest: k (" + std::to_string(k) +
+                             ") exceeds feature count (" +
+                             std::to_string(X.cols()) + ")");
+  const std::string& method = params().get_string("score");
+
+  scores_.assign(X.cols(), 0.0);
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    if (method == "f_score") {
+      require(X.rows() == y.size(), "SelectKBest: needs y for f_score");
+      scores_[c] = squared_correlation(X, c, y);
+    } else if (method == "variance") {
+      scores_[c] = column_variance(X, c);
+    } else {
+      throw InvalidArgument("SelectKBest: unknown score '" + method + "'");
+    }
+  }
+
+  std::vector<std::size_t> order(X.cols());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return scores_[a] > scores_[b];
+                   });
+  selected_.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k));
+  fitted_cols_ = X.cols();
+}
+
+Matrix SelectKBest::transform(const Matrix& X) const {
+  require_state(!selected_.empty(), "SelectKBest: call fit() first");
+  require(X.cols() == fitted_cols_, "SelectKBest: column count mismatch");
+  return X.select_cols(selected_);
+}
+
+void VarianceThreshold::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "VarianceThreshold: empty input");
+  const double threshold = params().get_double("threshold");
+  kept_.clear();
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    if (column_variance(X, c) > threshold) kept_.push_back(c);
+  }
+  require(!kept_.empty(),
+          "VarianceThreshold: every feature is below the threshold");
+  fitted_cols_ = X.cols();
+}
+
+Matrix VarianceThreshold::transform(const Matrix& X) const {
+  require_state(fitted_cols_ != 0, "VarianceThreshold: call fit() first");
+  require(X.cols() == fitted_cols_, "VarianceThreshold: column mismatch");
+  return X.select_cols(kept_);
+}
+
+}  // namespace coda

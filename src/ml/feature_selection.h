@@ -1,0 +1,62 @@
+// Feature selection stage options (Table I): SelectKBest and a variance
+// threshold filter.
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Keeps the k features with the highest univariate score against the
+/// target. Scores: "f_score" (squared Pearson correlation — the regression
+/// F-statistic ordering) or "variance" (unsupervised fallback).
+///
+/// Parameters: k (int, default 5), score (string, default "f_score").
+class SelectKBest final : public Transformer {
+ public:
+  SelectKBest() : Transformer("selectkbest") {
+    declare_param("k", std::int64_t{5});
+    declare_param("score", std::string("f_score"));
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<SelectKBest>(*this);
+  }
+
+  /// Indices of the selected features (after fit), best first.
+  const std::vector<std::size_t>& selected() const { return selected_; }
+
+  /// The per-feature scores computed during fit (original column order).
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  std::vector<std::size_t> selected_;
+  std::vector<double> scores_;
+  std::size_t fitted_cols_ = 0;
+};
+
+/// Drops features whose variance on the training data is below `threshold`
+/// (double, default 1e-12) — removes constant/near-constant sensors.
+class VarianceThreshold final : public Transformer {
+ public:
+  VarianceThreshold() : Transformer("variancethreshold") {
+    declare_param("threshold", 1e-12);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<VarianceThreshold>(*this);
+  }
+
+  const std::vector<std::size_t>& kept() const { return kept_; }
+
+ private:
+  std::vector<std::size_t> kept_;
+  std::size_t fitted_cols_ = 0;
+};
+
+}  // namespace coda

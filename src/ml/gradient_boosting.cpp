@@ -1,0 +1,65 @@
+#include "src/ml/gradient_boosting.h"
+
+#include <numeric>
+
+namespace coda {
+
+void GradientBoostingRegressor::fit(const Matrix& X,
+                                    const std::vector<double>& y) {
+  require(X.rows() == y.size(), "GradientBoosting: X/y size mismatch");
+  require(X.rows() > 0, "GradientBoosting: empty input");
+  const auto n_stages = static_cast<std::size_t>(params().get_int("n_stages"));
+  learning_rate_ = params().get_double("learning_rate");
+  const double subsample = params().get_double("subsample");
+  require(n_stages >= 1, "GradientBoosting: n_stages must be >= 1");
+  require(learning_rate_ > 0.0, "GradientBoosting: learning_rate must be > 0");
+  require(subsample > 0.0 && subsample <= 1.0,
+          "GradientBoosting: subsample must be in (0,1]");
+  const TreeConfig tree_cfg = tree_config_from_params(params());
+  Rng rng(static_cast<std::uint64_t>(params().get_int("seed")));
+
+  base_prediction_ =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+
+  std::vector<double> residuals(y.size());
+  std::vector<double> current(y.size(), base_prediction_);
+  trees_.clear();
+  trees_.reserve(n_stages);
+  for (std::size_t stage = 0; stage < n_stages; ++stage) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      residuals[i] = y[i] - current[i];
+    }
+    // Stochastic boosting: each stage sees a random row subset.
+    std::vector<std::size_t> indices;
+    if (subsample < 1.0) {
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        if (rng.bernoulli(subsample)) indices.push_back(i);
+      }
+      if (indices.empty()) indices.push_back(rng.index(y.size()));
+    } else {
+      indices.resize(y.size());
+      std::iota(indices.begin(), indices.end(), 0);
+    }
+
+    CartTree tree;
+    tree.fit(X, residuals, indices, tree_cfg);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      current[i] += learning_rate_ * tree.predict_row(X, i);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> GradientBoostingRegressor::predict(
+    const Matrix& X) const {
+  require_state(!trees_.empty(), "GradientBoosting: call fit() first");
+  std::vector<double> out(X.rows(), base_prediction_);
+  for (const auto& tree : trees_) {
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      out[r] += learning_rate_ * tree.predict_row(X, r);
+    }
+  }
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,42 @@
+// Gradient boosting (Section III lists gradient boosting among the model
+// training techniques): shallow CART trees fit on residuals with shrinkage.
+#pragma once
+
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+
+namespace coda {
+
+/// Gradient-boosted regression trees (squared loss). Parameters:
+/// n_stages (int, default 100), learning_rate (double, default 0.1),
+/// max_depth (int, default 3), min_samples_split (int, default 2),
+/// min_samples_leaf (int, default 1), subsample (double, default 1.0),
+/// seed (int, default 42).
+class GradientBoostingRegressor final : public Estimator {
+ public:
+  GradientBoostingRegressor() : Estimator("gradientboosting") {
+    declare_param("n_stages", std::int64_t{100});
+    declare_param("learning_rate", 0.1);
+    declare_param("max_depth", std::int64_t{3});
+    declare_param("min_samples_split", std::int64_t{2});
+    declare_param("min_samples_leaf", std::int64_t{1});
+    declare_param("subsample", 1.0);
+    declare_param("seed", std::int64_t{42});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<GradientBoostingRegressor>(*this);
+  }
+
+  std::size_t n_stages() const { return trees_.size(); }
+
+ private:
+  double base_prediction_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::vector<CartTree> trees_;
+};
+
+}  // namespace coda

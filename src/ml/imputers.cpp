@@ -1,0 +1,150 @@
+#include "src/ml/imputers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace coda {
+namespace {
+
+bool is_missing(double v) { return std::isnan(v); }
+
+std::vector<double> observed_column(const Matrix& X, std::size_t c) {
+  std::vector<double> vals;
+  vals.reserve(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    if (!is_missing(X(r, c))) vals.push_back(X(r, c));
+  }
+  return vals;
+}
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+}
+
+double mode_of(const std::vector<double>& v) {
+  std::map<double, std::size_t> counts;
+  for (const double x : v) ++counts[x];
+  double best = v.front();
+  std::size_t best_count = 0;
+  for (const auto& [value, count] : counts) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t count_missing(const Matrix& X) {
+  std::size_t n = 0;
+  for (const double v : X.data()) {
+    if (is_missing(v)) ++n;
+  }
+  return n;
+}
+
+void SimpleImputer::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "SimpleImputer: empty input");
+  const std::string& strategy = params().get_string("strategy");
+  fill_values_.assign(X.cols(), 0.0);
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    const auto observed = observed_column(X, c);
+    require(!observed.empty(), "SimpleImputer: column " + std::to_string(c) +
+                                   " has no observed values");
+    if (strategy == "mean") {
+      fill_values_[c] = mean_of(observed);
+    } else if (strategy == "median") {
+      fill_values_[c] = median_of(observed);
+    } else if (strategy == "mode") {
+      fill_values_[c] = mode_of(observed);
+    } else {
+      throw InvalidArgument("SimpleImputer: unknown strategy '" + strategy +
+                            "'");
+    }
+  }
+}
+
+Matrix SimpleImputer::transform(const Matrix& X) const {
+  require_state(!fill_values_.empty(), "SimpleImputer: call fit() first");
+  require(X.cols() == fill_values_.size(),
+          "SimpleImputer: column count mismatch");
+  Matrix out = X;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      if (is_missing(out(r, c))) out(r, c) = fill_values_[c];
+    }
+  }
+  return out;
+}
+
+void KnnImputer::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "KnnImputer: empty input");
+  train_ = X;
+  column_means_.assign(X.cols(), 0.0);
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    const auto observed = observed_column(X, c);
+    require(!observed.empty(), "KnnImputer: column " + std::to_string(c) +
+                                   " has no observed values");
+    column_means_[c] = mean_of(observed);
+  }
+}
+
+Matrix KnnImputer::transform(const Matrix& X) const {
+  require_state(train_.rows() > 0, "KnnImputer: call fit() first");
+  require(X.cols() == train_.cols(), "KnnImputer: column count mismatch");
+  const auto k = static_cast<std::size_t>(params().get_int("k"));
+  require(k >= 1, "KnnImputer: k must be >= 1");
+
+  Matrix out = X;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    // Columns observed in this row define the distance space.
+    std::vector<std::size_t> observed_cols;
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      if (!is_missing(X(r, c))) observed_cols.push_back(c);
+    }
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      if (!is_missing(X(r, c))) continue;
+      // Candidate neighbours: training rows with column c observed and a
+      // finite distance over this row's observed columns.
+      std::vector<std::pair<double, double>> dist_value;
+      for (std::size_t t = 0; t < train_.rows(); ++t) {
+        if (is_missing(train_(t, c))) continue;
+        double dist = 0.0;
+        std::size_t shared = 0;
+        for (const std::size_t oc : observed_cols) {
+          if (is_missing(train_(t, oc))) continue;
+          const double d = X(r, oc) - train_(t, oc);
+          dist += d * d;
+          ++shared;
+        }
+        if (shared == 0 && !observed_cols.empty()) continue;
+        dist_value.emplace_back(dist, train_(t, c));
+      }
+      if (dist_value.empty()) {
+        out(r, c) = column_means_[c];
+        continue;
+      }
+      const std::size_t use = std::min(k, dist_value.size());
+      std::partial_sort(dist_value.begin(),
+                        dist_value.begin() + static_cast<std::ptrdiff_t>(use),
+                        dist_value.end());
+      double s = 0.0;
+      for (std::size_t i = 0; i < use; ++i) s += dist_value[i].second;
+      out(r, c) = s / static_cast<double>(use);
+    }
+  }
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,54 @@
+// Data imputation (Sections II/III: "Missing data may need to be imputed by
+// an appropriate method ... e.g. mean, median, mode, k nearest neighbors").
+// Missing cells are represented as NaN.
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Replaces NaN cells with a per-column statistic learned during fit.
+/// Parameter: strategy (string) — "mean", "median" or "mode".
+class SimpleImputer final : public Transformer {
+ public:
+  SimpleImputer() : Transformer("simpleimputer") {
+    declare_param("strategy", std::string("mean"));
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<SimpleImputer>(*this);
+  }
+
+  const std::vector<double>& fill_values() const { return fill_values_; }
+
+ private:
+  std::vector<double> fill_values_;
+};
+
+/// Replaces NaN cells with the mean of the k training rows closest in the
+/// jointly observed columns. Parameter: k (int, default 5).
+class KnnImputer final : public Transformer {
+ public:
+  KnnImputer() : Transformer("knnimputer") {
+    declare_param("k", std::int64_t{5});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<KnnImputer>(*this);
+  }
+
+ private:
+  Matrix train_;
+  std::vector<double> column_means_;  // fallback when no neighbour qualifies
+};
+
+/// Number of NaN cells in a matrix (diagnostics/tests).
+std::size_t count_missing(const Matrix& X);
+
+}  // namespace coda

@@ -1,0 +1,117 @@
+#include "src/ml/iterative_imputer.h"
+
+#include <cmath>
+
+#include "src/ml/linalg.h"
+
+namespace coda {
+namespace {
+
+bool is_missing(double v) { return std::isnan(v); }
+
+// Design matrix over all columns except `target`, plus intercept.
+Matrix design_without(const Matrix& X, std::size_t target) {
+  Matrix out(X.rows(), X.cols());  // d-1 features + intercept = d columns
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      if (c == target) continue;
+      out(r, k++) = X(r, c);
+    }
+    out(r, X.cols() - 1) = 1.0;
+  }
+  return out;
+}
+
+double predict_row(const Matrix& X, std::size_t row, std::size_t target,
+                   const std::vector<double>& weights) {
+  double acc = weights.back();
+  std::size_t k = 0;
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    if (c == target) continue;
+    acc += weights[k++] * X(row, c);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void IterativeImputer::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "IterativeImputer: empty input");
+  const auto sweeps = static_cast<std::size_t>(params().get_int("sweeps"));
+  const double ridge = params().get_double("ridge");
+  require(sweeps >= 1, "IterativeImputer: sweeps must be >= 1");
+  const std::size_t d = X.cols();
+
+  // Initial fill: column means over observed values.
+  column_means_.assign(d, 0.0);
+  std::vector<std::vector<std::size_t>> missing_rows(d);
+  Matrix work = X;
+  for (std::size_t c = 0; c < d; ++c) {
+    double sum = 0.0;
+    std::size_t observed = 0;
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      if (is_missing(X(r, c))) {
+        missing_rows[c].push_back(r);
+      } else {
+        sum += X(r, c);
+        ++observed;
+      }
+    }
+    require(observed > 0, "IterativeImputer: column " + std::to_string(c) +
+                              " has no observed values");
+    column_means_[c] = sum / static_cast<double>(observed);
+    for (const std::size_t r : missing_rows[c]) {
+      work(r, c) = column_means_[c];
+    }
+  }
+
+  // Chained sweeps: re-fit each incomplete column on the current state of
+  // the other columns, using only rows where the target is observed.
+  column_models_.assign(d, {});
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::size_t c = 0; c < d; ++c) {
+      if (missing_rows[c].empty() && sweep > 0) continue;
+      std::vector<std::size_t> observed;
+      for (std::size_t r = 0; r < X.rows(); ++r) {
+        if (!is_missing(X(r, c))) observed.push_back(r);
+      }
+      if (observed.size() < d + 1) continue;  // underdetermined: keep means
+      const Matrix features = design_without(work, c).select_rows(observed);
+      std::vector<double> targets;
+      targets.reserve(observed.size());
+      for (const std::size_t r : observed) targets.push_back(work(r, c));
+      column_models_[c] = least_squares(features, targets, ridge);
+      for (const std::size_t r : missing_rows[c]) {
+        work(r, c) = predict_row(work, r, c, column_models_[c]);
+      }
+    }
+  }
+  fitted_cols_ = d;
+}
+
+Matrix IterativeImputer::transform(const Matrix& X) const {
+  require_state(fitted_cols_ != 0, "IterativeImputer: call fit() first");
+  require(X.cols() == fitted_cols_, "IterativeImputer: column mismatch");
+  Matrix out = X;
+  // First pass: fill every missing cell with the column mean so chained
+  // predictions have complete inputs; second pass: refine via the fitted
+  // per-column models.
+  std::vector<std::pair<std::size_t, std::size_t>> holes;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      if (is_missing(out(r, c))) {
+        holes.emplace_back(r, c);
+        out(r, c) = column_means_[c];
+      }
+    }
+  }
+  for (const auto& [r, c] : holes) {
+    if (!column_models_[c].empty()) {
+      out(r, c) = predict_row(out, r, c, column_models_[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,99 @@
+#include "src/ml/kernel_pca.h"
+
+#include <cmath>
+
+#include "src/ml/pca.h"
+
+namespace coda {
+
+double KernelPCA::kernel(const Matrix& a, std::size_t ra, const Matrix& b,
+                         std::size_t rb) const {
+  double dist = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double d = a(ra, c) - b(rb, c);
+    dist += d * d;
+  }
+  return std::exp(-gamma_ * dist);
+}
+
+void KernelPCA::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() >= 2, "KernelPCA: need at least 2 samples");
+  const std::size_t n = X.rows();
+  const auto n_components =
+      static_cast<std::size_t>(params().get_int("n_components"));
+  require(n_components >= 1 && n_components <= n,
+          "KernelPCA: n_components out of range");
+  gamma_ = params().get_double("gamma");
+  if (gamma_ <= 0.0) gamma_ = 1.0 / static_cast<double>(X.cols());
+  train_ = X;
+
+  // Kernel matrix and its double centering K' = K - 1K - K1 + 1K1.
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      k(i, j) = kernel(X, i, X, j);
+      k(j, i) = k(i, j);
+    }
+  }
+  train_row_means_.assign(n, 0.0);
+  train_total_mean_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) train_row_means_[i] += k(i, j);
+    train_row_means_[i] /= static_cast<double>(n);
+    train_total_mean_ += train_row_means_[i];
+  }
+  train_total_mean_ /= static_cast<double>(n);
+  Matrix centered(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      centered(i, j) = k(i, j) - train_row_means_[i] - train_row_means_[j] +
+                       train_total_mean_;
+    }
+  }
+
+  std::vector<double> all_values;
+  Matrix all_vectors;
+  symmetric_eigen(centered, all_values, all_vectors);
+
+  eigenvalues_.assign(all_values.begin(),
+                      all_values.begin() +
+                          static_cast<std::ptrdiff_t>(n_components));
+  // Scale eigenvectors by 1/sqrt(lambda) so projections are orthonormal
+  // feature-space coordinates.
+  alphas_ = Matrix(n, n_components);
+  for (std::size_t c = 0; c < n_components; ++c) {
+    const double lambda = std::max(all_values[c], 1e-12);
+    const double scale = 1.0 / std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) {
+      alphas_(i, c) = all_vectors(i, c) * scale;
+    }
+  }
+}
+
+Matrix KernelPCA::transform(const Matrix& X) const {
+  require_state(train_.rows() > 0, "KernelPCA: call fit() first");
+  require(X.cols() == train_.cols(), "KernelPCA: column count mismatch");
+  const std::size_t n = train_.rows();
+  Matrix out(X.rows(), alphas_.cols());
+  std::vector<double> k_row(n);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    double row_mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      k_row[i] = kernel(X, r, train_, i);
+      row_mean += k_row[i];
+    }
+    row_mean /= static_cast<double>(n);
+    for (std::size_t c = 0; c < alphas_.cols(); ++c) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double centered =
+            k_row[i] - row_mean - train_row_means_[i] + train_total_mean_;
+        acc += centered * alphas_(i, c);
+      }
+      out(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,44 @@
+// Kernel PCA (Table I lists "kernel-PCA" as a feature-transformation
+// option): PCA in an RBF feature space via eigendecomposition of the
+// centered kernel matrix.
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// RBF kernel PCA. Parameters: n_components (int, default 2),
+/// gamma (double, default 0 = 1/n_features).
+///
+/// fit() stores the training rows (projection of new points needs kernel
+/// evaluations against them) — O(n^2) fit, O(n) per projected row.
+class KernelPCA final : public Transformer {
+ public:
+  KernelPCA() : Transformer("kernelpca") {
+    declare_param("n_components", std::int64_t{2});
+    declare_param("gamma", 0.0);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<KernelPCA>(*this);
+  }
+
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+ private:
+  double kernel(const Matrix& a, std::size_t ra, const Matrix& b,
+                std::size_t rb) const;
+
+  Matrix train_;
+  double gamma_ = 1.0;
+  Matrix alphas_;                   // n x n_components (scaled eigvecs)
+  std::vector<double> eigenvalues_;
+  std::vector<double> train_row_means_;  // row means of the kernel matrix
+  double train_total_mean_ = 0.0;
+};
+
+}  // namespace coda

@@ -1,0 +1,140 @@
+#include "src/ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+double squared_distance(const Matrix& a, std::size_t ra, const Matrix& b,
+                        std::size_t rb) {
+  double s = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double d = a(ra, c) - b(rb, c);
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeans::KMeans() : KMeans(Config()) {}
+
+KMeans::KMeans(Config config) : config_(config) {
+  require(config_.k >= 1, "KMeans: k must be >= 1");
+  require(config_.max_iterations >= 1, "KMeans: max_iterations must be >= 1");
+}
+
+std::size_t KMeans::nearest_centroid(const Matrix& X, std::size_t row) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  for (std::size_t k = 0; k < centroids_.rows(); ++k) {
+    const double d = squared_distance(X, row, centroids_, k);
+    if (d < best_dist) {
+      best_dist = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> KMeans::fit(const Matrix& X) {
+  require(X.rows() >= config_.k, "KMeans: fewer rows than clusters");
+  Rng rng(config_.seed);
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  centroids_ = Matrix(config_.k, X.cols());
+  std::vector<std::size_t> chosen;
+  chosen.push_back(rng.index(X.rows()));
+  while (chosen.size() < config_.k) {
+    std::vector<double> min_dist(X.rows());
+    double total = 0.0;
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      double best = std::numeric_limits<double>::max();
+      for (const std::size_t c : chosen) {
+        best = std::min(best, squared_distance(X, r, X, c));
+      }
+      min_dist[r] = best;
+      total += best;
+    }
+    if (total == 0.0) {
+      chosen.push_back(rng.index(X.rows()));  // all duplicates
+      continue;
+    }
+    double pick = rng.uniform(0.0, total);
+    std::size_t selected = X.rows() - 1;
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      pick -= min_dist[r];
+      if (pick <= 0.0) {
+        selected = r;
+        break;
+      }
+    }
+    chosen.push_back(selected);
+  }
+  for (std::size_t k = 0; k < config_.k; ++k) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      centroids_(k, c) = X(chosen[k], c);
+    }
+  }
+
+  std::vector<std::size_t> assignment(X.rows(), 0);
+  iterations_run_ = 0;
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    ++iterations_run_;
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      assignment[r] = nearest_centroid(X, r);
+    }
+    // Recompute centroids.
+    Matrix next(config_.k, X.cols());
+    std::vector<std::size_t> counts(config_.k, 0);
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      ++counts[assignment[r]];
+      for (std::size_t c = 0; c < X.cols(); ++c) {
+        next(assignment[r], c) += X(r, c);
+      }
+    }
+    for (std::size_t k = 0; k < config_.k; ++k) {
+      if (counts[k] == 0) {
+        // Re-seed an empty cluster at a random row.
+        const std::size_t r = rng.index(X.rows());
+        for (std::size_t c = 0; c < X.cols(); ++c) next(k, c) = X(r, c);
+        continue;
+      }
+      for (std::size_t c = 0; c < X.cols(); ++c) {
+        next(k, c) /= static_cast<double>(counts[k]);
+      }
+    }
+    // Convergence check: max centroid movement.
+    double max_move = 0.0;
+    for (std::size_t k = 0; k < config_.k; ++k) {
+      max_move = std::max(max_move,
+                          squared_distance(next, k, centroids_, k));
+    }
+    centroids_ = std::move(next);
+    if (std::sqrt(max_move) < config_.tolerance) break;
+  }
+
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    assignment[r] = nearest_centroid(X, r);
+  }
+  inertia_ = 0.0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    inertia_ += squared_distance(X, r, centroids_, assignment[r]);
+  }
+  return assignment;
+}
+
+std::vector<std::size_t> KMeans::assign(const Matrix& X) const {
+  require_state(centroids_.rows() > 0, "KMeans: call fit() first");
+  require(X.cols() == centroids_.cols(), "KMeans: dimension mismatch");
+  std::vector<std::size_t> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = nearest_centroid(X, r);
+  return out;
+}
+
+}  // namespace coda

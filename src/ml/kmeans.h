@@ -1,0 +1,47 @@
+// K-means clustering — the substrate for the Cohort Analysis solution
+// template (§IV-E: group assets with similar behaviour into cohorts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda {
+
+/// K-means with k-means++ seeding and Lloyd iterations.
+class KMeans {
+ public:
+  struct Config {
+    std::size_t k = 3;
+    std::size_t max_iterations = 100;
+    double tolerance = 1e-6;  ///< stop when centroids move less than this
+    std::uint64_t seed = 42;
+  };
+
+  KMeans();  ///< default Config
+  explicit KMeans(Config config);
+
+  /// Clusters the rows of X. Returns per-row cluster assignments.
+  std::vector<std::size_t> fit(const Matrix& X);
+
+  /// Assigns new rows to the nearest learned centroid.
+  std::vector<std::size_t> assign(const Matrix& X) const;
+
+  const Matrix& centroids() const { return centroids_; }
+
+  /// Total within-cluster sum of squared distances of the last fit.
+  double inertia() const { return inertia_; }
+
+  std::size_t iterations_run() const { return iterations_run_; }
+
+ private:
+  std::size_t nearest_centroid(const Matrix& X, std::size_t row) const;
+
+  Config config_;
+  Matrix centroids_;
+  double inertia_ = 0.0;
+  std::size_t iterations_run_ = 0;
+};
+
+}  // namespace coda

@@ -1,0 +1,79 @@
+#include "src/ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace coda {
+
+std::vector<std::size_t> k_nearest(const Matrix& train,
+                                   const std::vector<double>& query,
+                                   std::size_t k) {
+  require(train.rows() > 0, "k_nearest: empty training data");
+  require(train.cols() == query.size(), "k_nearest: dimension mismatch");
+  require(k >= 1, "k_nearest: k must be >= 1");
+  k = std::min(k, train.rows());
+
+  std::vector<double> dist(train.rows());
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < train.cols(); ++c) {
+      const double d = train(r, c) - query[c];
+      s += d * d;
+    }
+    dist[r] = s;
+  }
+  std::vector<std::size_t> order(train.rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&dist](std::size_t a, std::size_t b) {
+                      return dist[a] < dist[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+namespace {
+
+std::vector<double> knn_predict(const Matrix& train_X,
+                                const std::vector<double>& train_y,
+                                const Matrix& X, std::size_t k) {
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto nn = k_nearest(train_X, X.row(r), k);
+    double s = 0.0;
+    for (const std::size_t i : nn) s += train_y[i];
+    out[r] = s / static_cast<double>(nn.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+void KnnRegressor::fit(const Matrix& X, const std::vector<double>& y) {
+  require(X.rows() == y.size(), "KnnRegressor: X/y size mismatch");
+  require(X.rows() > 0, "KnnRegressor: empty input");
+  train_X_ = X;
+  train_y_ = y;
+}
+
+std::vector<double> KnnRegressor::predict(const Matrix& X) const {
+  require_state(train_X_.rows() > 0, "KnnRegressor: call fit() first");
+  return knn_predict(train_X_, train_y_, X,
+                     static_cast<std::size_t>(params().get_int("k")));
+}
+
+void KnnClassifier::fit(const Matrix& X, const std::vector<double>& y) {
+  require(X.rows() == y.size(), "KnnClassifier: X/y size mismatch");
+  require(X.rows() > 0, "KnnClassifier: empty input");
+  train_X_ = X;
+  train_y_ = y;
+}
+
+std::vector<double> KnnClassifier::predict(const Matrix& X) const {
+  require_state(train_X_.rows() > 0, "KnnClassifier: call fit() first");
+  // Mean of binary labels == positive fraction == P(label = 1).
+  return knn_predict(train_X_, train_y_, X,
+                     static_cast<std::size_t>(params().get_int("k")));
+}
+
+}  // namespace coda

@@ -1,0 +1,55 @@
+// k-nearest-neighbour models (Section III lists kNN among the training
+// techniques and imputation methods).
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// kNN regression: mean target of the k closest training rows (Euclidean).
+/// Parameter: k (int, default 5).
+class KnnRegressor final : public Estimator {
+ public:
+  KnnRegressor() : Estimator("knnregressor") {
+    declare_param("k", std::int64_t{5});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<KnnRegressor>(*this);
+  }
+
+ private:
+  Matrix train_X_;
+  std::vector<double> train_y_;
+};
+
+/// Binary kNN classification: predicted score is the fraction of positive
+/// labels among the k closest training rows. Parameter: k (int, default 5).
+class KnnClassifier final : public Estimator {
+ public:
+  KnnClassifier() : Estimator("knnclassifier") {
+    declare_param("k", std::int64_t{5});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<KnnClassifier>(*this);
+  }
+
+ private:
+  Matrix train_X_;
+  std::vector<double> train_y_;
+};
+
+/// Indices of the k training rows nearest to `query` (Euclidean), closest
+/// first. Shared by the kNN models and the kNN imputer tests.
+std::vector<std::size_t> k_nearest(const Matrix& train,
+                                   const std::vector<double>& query,
+                                   std::size_t k);
+
+}  // namespace coda

@@ -1,0 +1,168 @@
+#include "src/ml/lda.h"
+
+#include <cmath>
+#include <map>
+
+#include "src/ml/pca.h"
+
+namespace coda {
+
+Matrix cholesky(const Matrix& a) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "cholesky: matrix not square");
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw InvalidArgument("cholesky: matrix not positive definite");
+        }
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> forward_substitute(const Matrix& lower,
+                                       const std::vector<double>& b) {
+  const std::size_t n = lower.rows();
+  require(b.size() == n, "forward_substitute: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= lower(i, k) * x[k];
+    x[i] = sum / lower(i, i);
+  }
+  return x;
+}
+
+std::vector<double> back_substitute_transposed(const Matrix& lower,
+                                               const std::vector<double>& b) {
+  const std::size_t n = lower.rows();
+  require(b.size() == n, "back_substitute_transposed: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= lower(k, i) * x[k];
+    x[i] = sum / lower(i, i);
+  }
+  return x;
+}
+
+void LinearDiscriminantAnalysis::fit(const Matrix& X,
+                                     const std::vector<double>& y) {
+  require(X.rows() == y.size(), "LDA: X/y size mismatch");
+  require(X.rows() > 0, "LDA: empty input");
+  const std::size_t d = X.cols();
+  const auto n_components =
+      static_cast<std::size_t>(params().get_int("n_components"));
+  const double shrinkage = params().get_double("shrinkage");
+  require(n_components >= 1, "LDA: n_components must be >= 1");
+  require(n_components <= d, "LDA: n_components exceeds feature count");
+
+  // Per-class means and counts.
+  std::map<double, std::vector<double>> sums;
+  std::map<double, std::size_t> counts;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    auto& s = sums[y[r]];
+    if (s.empty()) s.assign(d, 0.0);
+    for (std::size_t c = 0; c < d; ++c) s[c] += X(r, c);
+    ++counts[y[r]];
+  }
+  n_classes_ = sums.size();
+  require(n_classes_ >= 2, "LDA: needs at least 2 classes");
+
+  std::map<double, std::vector<double>> means;
+  for (auto& [label, s] : sums) {
+    auto m = s;
+    for (double& v : m) v /= static_cast<double>(counts[label]);
+    means[label] = std::move(m);
+  }
+  const auto global_mean = X.col_means();
+
+  // Within-class scatter Sw and between-class scatter Sb.
+  Matrix sw(d, d);
+  Matrix sb(d, d);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto& m = means[y[r]];
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = X(r, i) - m[i];
+      for (std::size_t j = i; j < d; ++j) {
+        sw(i, j) += di * (X(r, j) - m[j]);
+      }
+    }
+  }
+  for (const auto& [label, m] : means) {
+    const double weight = static_cast<double>(counts[label]);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = m[i] - global_mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        sb(i, j) += weight * di * (m[j] - global_mean[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      sw(i, j) = sw(j, i);
+      sb(i, j) = sb(j, i);
+    }
+    sw(i, i) += shrinkage;
+  }
+
+  // Generalized eigenproblem Sb w = lambda Sw w via whitening:
+  // Sw = L L^T; M = L^-1 Sb L^-T is symmetric with the same eigenvalues;
+  // eigenvectors map back as w = L^-T u.
+  const Matrix l = cholesky(sw);
+  // M = L^-1 Sb L^-T, built column by column.
+  Matrix m(d, d);
+  for (std::size_t col = 0; col < d; ++col) {
+    // First solve L z = Sb[:, col].
+    const auto z = forward_substitute(l, sb.col(col));
+    for (std::size_t row = 0; row < d; ++row) m(row, col) = z[row];
+  }
+  // Then right-multiply by L^-T: solve row systems — equivalently solve
+  // L (M')^T = M^T column-wise.
+  Matrix m2(d, d);
+  for (std::size_t row = 0; row < d; ++row) {
+    const auto z = forward_substitute(l, m.row(row));
+    for (std::size_t col = 0; col < d; ++col) m2(row, col) = z[col];
+  }
+  // Symmetrize against round-off.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const double avg = (m2(i, j) + m2(j, i)) / 2.0;
+      m2(i, j) = avg;
+      m2(j, i) = avg;
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  Matrix u;
+  symmetric_eigen(m2, eigenvalues, u);
+
+  components_ = Matrix(d, n_components);
+  for (std::size_t comp = 0; comp < n_components; ++comp) {
+    const auto w = back_substitute_transposed(l, u.col(comp));
+    // Normalize for reproducible scaling.
+    double norm = 0.0;
+    for (const double v : w) norm += v * v;
+    norm = std::sqrt(norm);
+    for (std::size_t row = 0; row < d; ++row) {
+      components_(row, comp) = norm > 0.0 ? w[row] / norm : w[row];
+    }
+  }
+  fitted_cols_ = d;
+}
+
+Matrix LinearDiscriminantAnalysis::transform(const Matrix& X) const {
+  require_state(fitted_cols_ != 0, "LDA: call fit() first");
+  require(X.cols() == fitted_cols_, "LDA: column count mismatch");
+  return X.multiply(components_);
+}
+
+}  // namespace coda

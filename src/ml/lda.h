@@ -1,0 +1,54 @@
+// Linear Discriminant Analysis (Table I lists LDA as a feature-
+// transformation option). Projects features onto the directions that
+// maximize between-class over within-class scatter, solved as a
+// generalized symmetric eigenproblem via Cholesky whitening.
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Supervised feature transformation: at most (n_classes - 1) meaningful
+/// components. Labels must be 0..C-1. Parameters: n_components (int,
+/// default 1), shrinkage (double, default 1e-6 — added to the within-class
+/// scatter diagonal for numerical stability).
+class LinearDiscriminantAnalysis final : public Transformer {
+ public:
+  LinearDiscriminantAnalysis() : Transformer("lda") {
+    declare_param("n_components", std::int64_t{1});
+    declare_param("shrinkage", 1e-6);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<LinearDiscriminantAnalysis>(*this);
+  }
+
+  /// Discriminant directions as columns (after fit).
+  const Matrix& components() const { return components_; }
+
+  std::size_t n_classes_seen() const { return n_classes_; }
+
+ private:
+  Matrix components_;  // d x n_components
+  std::size_t n_classes_ = 0;
+  std::size_t fitted_cols_ = 0;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix; throws InvalidArgument when A is not positive definite.
+/// Exposed for tests.
+Matrix cholesky(const Matrix& a);
+
+/// Solves L x = b (forward substitution) for lower-triangular L.
+std::vector<double> forward_substitute(const Matrix& lower,
+                                       const std::vector<double>& b);
+
+/// Solves L^T x = b (back substitution) for lower-triangular L.
+std::vector<double> back_substitute_transposed(const Matrix& lower,
+                                               const std::vector<double>& b);
+
+}  // namespace coda

@@ -1,0 +1,79 @@
+#include "src/ml/linalg.h"
+
+#include <cmath>
+
+namespace coda {
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "solve_linear_system: matrix not square");
+  require(b.size() == n, "solve_linear_system: rhs size mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      throw InvalidArgument("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& X,
+                                  const std::vector<double>& y,
+                                  double lambda) {
+  require(X.rows() == y.size(), "least_squares: X/y size mismatch");
+  require(X.rows() > 0, "least_squares: empty input");
+  const std::size_t d = X.cols();
+  Matrix xtx(d, d);
+  std::vector<double> xty(d, 0.0);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = X(r, i);
+      xty[i] += xi * y[r];
+      for (std::size_t j = i; j < d; ++j) xtx(i, j) += xi * X(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
+    xtx(i, i) += lambda;
+  }
+  // Retry with growing ridge when X'X is singular (collinear features) so
+  // pipelines containing redundant features still train.
+  double extra = 0.0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    try {
+      Matrix a = xtx;
+      if (extra > 0.0) {
+        for (std::size_t i = 0; i < d; ++i) a(i, i) += extra;
+      }
+      return solve_linear_system(std::move(a), xty);
+    } catch (const InvalidArgument&) {
+      extra = extra == 0.0 ? 1e-8 : extra * 1e3;
+    }
+  }
+  throw InvalidArgument("least_squares: matrix remained singular");
+}
+
+}  // namespace coda

@@ -1,0 +1,21 @@
+// Small dense linear-algebra helpers for the closed-form estimators.
+#pragma once
+
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square and nonsingular (throws InvalidArgument otherwise).
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+/// Least-squares fit of X w = y via the ridge-regularized normal equations
+/// (X'X + lambda I) w = X'y. An intercept column must already be in X if
+/// wanted. lambda = 0 gives ordinary least squares.
+std::vector<double> least_squares(const Matrix& X,
+                                  const std::vector<double>& y,
+                                  double lambda = 0.0);
+
+}  // namespace coda

@@ -1,0 +1,92 @@
+#include "src/ml/linear.h"
+
+#include <cmath>
+
+#include "src/ml/linalg.h"
+
+namespace coda {
+namespace {
+
+// X with an appended all-ones intercept column.
+Matrix with_intercept(const Matrix& X) {
+  Matrix out(X.rows(), X.cols() + 1);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) out(r, c) = X(r, c);
+    out(r, X.cols()) = 1.0;
+  }
+  return out;
+}
+
+std::vector<double> linear_predict(const Matrix& X,
+                                   const std::vector<double>& weights) {
+  require(X.cols() + 1 == weights.size(),
+          "linear model: feature count mismatch");
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    double s = weights.back();  // intercept
+    for (std::size_t c = 0; c < X.cols(); ++c) s += weights[c] * X(r, c);
+    out[r] = s;
+  }
+  return out;
+}
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void LinearRegression::fit(const Matrix& X, const std::vector<double>& y) {
+  weights_ = least_squares(with_intercept(X), y, 0.0);
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& X) const {
+  require_state(!weights_.empty(), "LinearRegression: call fit() first");
+  return linear_predict(X, weights_);
+}
+
+void Ridge::fit(const Matrix& X, const std::vector<double>& y) {
+  const double alpha = params().get_double("alpha");
+  require(alpha >= 0.0, "Ridge: alpha must be >= 0");
+  weights_ = least_squares(with_intercept(X), y, alpha);
+}
+
+std::vector<double> Ridge::predict(const Matrix& X) const {
+  require_state(!weights_.empty(), "Ridge: call fit() first");
+  return linear_predict(X, weights_);
+}
+
+void LogisticRegression::fit(const Matrix& X, const std::vector<double>& y) {
+  require(X.rows() == y.size(), "LogisticRegression: X/y size mismatch");
+  require(X.rows() > 0, "LogisticRegression: empty input");
+  const double lr = params().get_double("learning_rate");
+  const auto epochs = static_cast<std::size_t>(params().get_int("epochs"));
+  const double l2 = params().get_double("l2");
+  require(lr > 0.0 && epochs > 0, "LogisticRegression: bad hyperparameters");
+
+  const std::size_t d = X.cols() + 1;  // + intercept
+  weights_.assign(d, 0.0);
+  const double n = static_cast<double>(X.rows());
+  std::vector<double> grad(d);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      double z = weights_.back();
+      for (std::size_t c = 0; c < X.cols(); ++c) z += weights_[c] * X(r, c);
+      const double err = sigmoid(z) - (y[r] >= 0.5 ? 1.0 : 0.0);
+      for (std::size_t c = 0; c < X.cols(); ++c) grad[c] += err * X(r, c);
+      grad[d - 1] += err;
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      const double reg = c + 1 == d ? 0.0 : l2 * weights_[c];
+      weights_[c] -= lr * (grad[c] / n + reg);
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict(const Matrix& X) const {
+  require_state(!weights_.empty(), "LogisticRegression: call fit() first");
+  auto scores = linear_predict(X, weights_);
+  for (double& s : scores) s = sigmoid(s);
+  return scores;
+}
+
+}  // namespace coda

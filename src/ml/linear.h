@@ -1,0 +1,69 @@
+// Linear models (Table I / Section III): linear regression, ridge
+// regression, and logistic regression (binary classification scores).
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Ordinary least-squares linear regression with intercept.
+class LinearRegression final : public Estimator {
+ public:
+  LinearRegression() : Estimator("linearregression") {}
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<LinearRegression>(*this);
+  }
+
+  /// Learned weights (after fit): one per feature, intercept last.
+  const std::vector<double>& coefficients() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Ridge regression. Parameter: alpha (double, default 1.0).
+class Ridge final : public Estimator {
+ public:
+  Ridge() : Estimator("ridge") { declare_param("alpha", 1.0); }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<Ridge>(*this);
+  }
+
+  const std::vector<double>& coefficients() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Binary logistic regression trained by full-batch gradient descent.
+/// predict() returns P(label = 1). Parameters: learning_rate (double,
+/// default 0.1), epochs (int, default 300), l2 (double, default 1e-4).
+class LogisticRegression final : public Estimator {
+ public:
+  LogisticRegression() : Estimator("logisticregression") {
+    declare_param("learning_rate", 0.1);
+    declare_param("epochs", std::int64_t{300});
+    declare_param("l2", 1e-4);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<LogisticRegression>(*this);
+  }
+
+  const std::vector<double>& coefficients() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace coda

@@ -1,0 +1,65 @@
+// Multi-layer perceptron estimators (Fig 3 "MLP Regression" node), built on
+// the coda::nn substrate.
+#pragma once
+
+#include "src/core/component.h"
+#include "src/nn/sequential.h"
+
+namespace coda {
+
+/// MLP regression. Targets are standardized internally so convergence does
+/// not depend on the target scale. Parameters: hidden (int, 32),
+/// hidden_layers (int, 2), dropout (double, 0.1), epochs (int, 60),
+/// batch_size (int, 32), learning_rate (double, 1e-3), seed (int, 42).
+class MlpRegressor final : public Estimator {
+ public:
+  MlpRegressor() : Estimator("mlpregressor") {
+    declare_param("hidden", std::int64_t{32});
+    declare_param("hidden_layers", std::int64_t{2});
+    declare_param("dropout", 0.1);
+    declare_param("epochs", std::int64_t{60});
+    declare_param("batch_size", std::int64_t{32});
+    declare_param("learning_rate", 1e-3);
+    declare_param("seed", std::int64_t{42});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<MlpRegressor>(*this);
+  }
+
+ private:
+  nn::Sequential net_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// MLP binary classifier; predict() returns P(label = 1) via a terminal
+/// sigmoid trained with binary cross-entropy. Same parameters as the
+/// regressor.
+class MlpClassifier final : public Estimator {
+ public:
+  MlpClassifier() : Estimator("mlpclassifier") {
+    declare_param("hidden", std::int64_t{32});
+    declare_param("hidden_layers", std::int64_t{2});
+    declare_param("dropout", 0.1);
+    declare_param("epochs", std::int64_t{60});
+    declare_param("batch_size", std::int64_t{32});
+    declare_param("learning_rate", 1e-3);
+    declare_param("seed", std::int64_t{42});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<MlpClassifier>(*this);
+  }
+
+ private:
+  nn::Sequential net_;
+  bool fitted_ = false;
+};
+
+}  // namespace coda

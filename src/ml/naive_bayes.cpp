@@ -1,0 +1,73 @@
+#include "src/ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coda {
+
+void GaussianNaiveBayes::fit(const Matrix& X, const std::vector<double>& y) {
+  require(X.rows() == y.size(), "GaussianNB: X/y size mismatch");
+  require(X.rows() > 0, "GaussianNB: empty input");
+  const std::size_t d = X.cols();
+  mean0_.assign(d, 0.0);
+  mean1_.assign(d, 0.0);
+  var0_.assign(d, 0.0);
+  var1_.assign(d, 0.0);
+  std::size_t n0 = 0;
+  std::size_t n1 = 0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    require(y[r] == 0.0 || y[r] == 1.0, "GaussianNB: labels must be 0/1");
+    auto& mean = y[r] == 1.0 ? mean1_ : mean0_;
+    (y[r] == 1.0 ? n1 : n0) += 1;
+    for (std::size_t c = 0; c < d; ++c) mean[c] += X(r, c);
+  }
+  require(n0 > 0 && n1 > 0, "GaussianNB: needs both classes present");
+  for (std::size_t c = 0; c < d; ++c) {
+    mean0_[c] /= static_cast<double>(n0);
+    mean1_[c] /= static_cast<double>(n1);
+  }
+  double max_var = 0.0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto& mean = y[r] == 1.0 ? mean1_ : mean0_;
+    auto& var = y[r] == 1.0 ? var1_ : var0_;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = X(r, c) - mean[c];
+      var[c] += dv * dv;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    var0_[c] /= static_cast<double>(n0);
+    var1_[c] /= static_cast<double>(n1);
+    max_var = std::max({max_var, var0_[c], var1_[c]});
+  }
+  const double smoothing =
+      params().get_double("var_smoothing") * std::max(max_var, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    var0_[c] += smoothing;
+    var1_[c] += smoothing;
+    if (var0_[c] <= 0.0) var0_[c] = 1e-12;
+    if (var1_[c] <= 0.0) var1_[c] = 1e-12;
+  }
+  log_prior1_ = std::log(static_cast<double>(n1)) -
+                std::log(static_cast<double>(n0));
+  fitted_ = true;
+}
+
+std::vector<double> GaussianNaiveBayes::predict(const Matrix& X) const {
+  require_state(fitted_, "GaussianNB: call fit() first");
+  require(X.cols() == mean0_.size(), "GaussianNB: column count mismatch");
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    double log_ratio = log_prior1_;  // log P(1|x) - log P(0|x)
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      const double d1 = X(r, c) - mean1_[c];
+      const double d0 = X(r, c) - mean0_[c];
+      log_ratio += -0.5 * (std::log(var1_[c]) + d1 * d1 / var1_[c]) +
+                   0.5 * (std::log(var0_[c]) + d0 * d0 / var0_[c]);
+    }
+    out[r] = 1.0 / (1.0 + std::exp(-log_ratio));
+  }
+  return out;
+}
+
+}  // namespace coda

@@ -1,0 +1,33 @@
+// Gaussian Naive Bayes — a fast, interpretable binary classifier option
+// for the classification stage (Section II's interpretability discussion
+// favours models with simple per-feature reasoning).
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Binary Gaussian NB; predict() returns P(label = 1 | x). Parameter:
+/// var_smoothing (double, default 1e-9 — fraction of the largest feature
+/// variance added to every class variance).
+class GaussianNaiveBayes final : public Estimator {
+ public:
+  GaussianNaiveBayes() : Estimator("gaussiannb") {
+    declare_param("var_smoothing", 1e-9);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<GaussianNaiveBayes>(*this);
+  }
+
+ private:
+  std::vector<double> mean0_, mean1_, var0_, var1_;
+  double log_prior1_ = 0.0;  // log P(1) - log P(0)
+  bool fitted_ = false;
+};
+
+}  // namespace coda

@@ -1,0 +1,97 @@
+#include "src/ml/outliers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ml/scalers.h"
+
+namespace coda {
+
+void ZScoreClipper::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "ZScoreClipper: empty input");
+  const double z_max = params().get_double("z_max");
+  require(z_max > 0.0, "ZScoreClipper: z_max must be positive");
+  const auto means = X.col_means();
+  const auto sds = X.col_stddevs();
+  lower_.resize(X.cols());
+  upper_.resize(X.cols());
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    lower_[c] = means[c] - z_max * sds[c];
+    upper_[c] = means[c] + z_max * sds[c];
+  }
+}
+
+Matrix ZScoreClipper::transform(const Matrix& X) const {
+  require_state(!lower_.empty(), "ZScoreClipper: call fit() first");
+  require(X.cols() == lower_.size(), "ZScoreClipper: column count mismatch");
+  Matrix out = X;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = std::clamp(out(r, c), lower_[c], upper_[c]);
+    }
+  }
+  return out;
+}
+
+void IqrClipper::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "IqrClipper: empty input");
+  const double factor = params().get_double("factor");
+  require(factor > 0.0, "IqrClipper: factor must be positive");
+  lower_.resize(X.cols());
+  upper_.resize(X.cols());
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    auto col = X.col(c);
+    const double q1 = quantile(col, 0.25);
+    const double q3 = quantile(col, 0.75);
+    const double iqr = q3 - q1;
+    lower_[c] = q1 - factor * iqr;
+    upper_[c] = q3 + factor * iqr;
+  }
+}
+
+Matrix IqrClipper::transform(const Matrix& X) const {
+  require_state(!lower_.empty(), "IqrClipper: call fit() first");
+  require(X.cols() == lower_.size(), "IqrClipper: column count mismatch");
+  Matrix out = X;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = std::clamp(out(r, c), lower_[c], upper_[c]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> detect_outlier_rows(const Matrix& X, double z_max) {
+  require(X.rows() > 0, "detect_outlier_rows: empty input");
+  require(z_max > 0.0, "detect_outlier_rows: z_max must be positive");
+  const auto means = X.col_means();
+  auto sds = X.col_stddevs();
+  for (double& s : sds) {
+    if (s == 0.0) s = 1.0;
+  }
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      if (std::abs((X(r, c) - means[c]) / sds[c]) > z_max) {
+        rows.push_back(r);
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+Dataset remove_outlier_rows(const Dataset& d, double z_max) {
+  const auto outliers = detect_outlier_rows(d.X, z_max);
+  std::vector<bool> drop(d.n_samples(), false);
+  for (const std::size_t r : outliers) drop[r] = true;
+  std::vector<std::size_t> keep;
+  keep.reserve(d.n_samples() - outliers.size());
+  for (std::size_t r = 0; r < d.n_samples(); ++r) {
+    if (!drop[r]) keep.push_back(r);
+  }
+  require(!keep.empty(), "remove_outlier_rows: all rows flagged as outliers");
+  return d.select(keep);
+}
+
+}  // namespace coda

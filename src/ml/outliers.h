@@ -1,0 +1,60 @@
+// Outlier handling (Section II: "Data which constitute erroneous and/or
+// outlying values may need to be identified and discarded").
+//
+// Two forms are provided: pipeline transformers that *clip* values to bounds
+// learned on training data (transformers cannot drop rows mid-pipeline), and
+// free functions that *detect/remove* outlying rows during data preparation.
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+#include "src/data/dataset.h"
+
+namespace coda {
+
+/// Clips each column to mean ± z_max standard deviations learned at fit
+/// time. Parameter: z_max (double, default 3.0).
+class ZScoreClipper final : public Transformer {
+ public:
+  ZScoreClipper() : Transformer("zscoreclipper") {
+    declare_param("z_max", 3.0);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<ZScoreClipper>(*this);
+  }
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+};
+
+/// Clips each column to [Q1 - factor*IQR, Q3 + factor*IQR] (Tukey fences).
+/// Parameter: factor (double, default 1.5).
+class IqrClipper final : public Transformer {
+ public:
+  IqrClipper() : Transformer("iqrclipper") {
+    declare_param("factor", 1.5);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<IqrClipper>(*this);
+  }
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+};
+
+/// Row indices whose max per-column |z-score| exceeds `z_max`.
+std::vector<std::size_t> detect_outlier_rows(const Matrix& X, double z_max);
+
+/// Returns `d` without the rows flagged by detect_outlier_rows.
+Dataset remove_outlier_rows(const Dataset& d, double z_max);
+
+}  // namespace coda

@@ -1,0 +1,138 @@
+#include "src/ml/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace coda {
+
+Matrix covariance_matrix(const Matrix& X) {
+  require(X.rows() > 0, "covariance_matrix: empty input");
+  const auto means = X.col_means();
+  const std::size_t d = X.cols();
+  Matrix cov(d, d);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = X(r, i) - means[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (X(r, j) - means[j]);
+      }
+    }
+  }
+  const double n = static_cast<double>(X.rows());
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= n;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+void symmetric_eigen(const Matrix& symmetric,
+                     std::vector<double>& eigenvalues, Matrix& eigenvectors,
+                     std::size_t max_sweeps) {
+  const std::size_t d = symmetric.rows();
+  require(d == symmetric.cols(), "symmetric_eigen: matrix not square");
+  Matrix a = symmetric;
+  Matrix v(d, d);
+  for (std::size_t i = 0; i < d; ++i) v(i, i) = 1.0;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) {
+        if (std::abs(a(p, q)) < 1e-30) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < d; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < d; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < d; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by eigenvalue, descending.
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&a](std::size_t x, std::size_t y) {
+    return a(x, x) > a(y, y);
+  });
+  eigenvalues.resize(d);
+  eigenvectors = Matrix(d, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < d; ++i) {
+      eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+}
+
+void PCA::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "PCA: empty input");
+  const auto n_components =
+      static_cast<std::size_t>(params().get_int("n_components"));
+  require(n_components >= 1, "PCA: n_components must be >= 1");
+  require(n_components <= X.cols(),
+          "PCA: n_components (" + std::to_string(n_components) +
+              ") exceeds feature count (" + std::to_string(X.cols()) + ")");
+  whiten_ = params().get_bool("whiten");
+
+  means_ = X.col_means();
+  std::vector<double> all_eigenvalues;
+  Matrix all_vectors;
+  symmetric_eigen(covariance_matrix(X), all_eigenvalues, all_vectors);
+
+  eigenvalues_.assign(all_eigenvalues.begin(),
+                      all_eigenvalues.begin() +
+                          static_cast<std::ptrdiff_t>(n_components));
+  std::vector<std::size_t> cols(n_components);
+  std::iota(cols.begin(), cols.end(), 0);
+  components_ = all_vectors.select_cols(cols);
+}
+
+Matrix PCA::transform(const Matrix& X) const {
+  require_state(!means_.empty(), "PCA: call fit() first");
+  require(X.cols() == means_.size(), "PCA: column count mismatch");
+  Matrix centered(X.rows(), X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      centered(r, c) = X(r, c) - means_[c];
+    }
+  }
+  Matrix projected = centered.multiply(components_);
+  if (whiten_) {
+    for (std::size_t c = 0; c < projected.cols(); ++c) {
+      const double scale =
+          eigenvalues_[c] > 0.0 ? 1.0 / std::sqrt(eigenvalues_[c]) : 1.0;
+      for (std::size_t r = 0; r < projected.rows(); ++r) {
+        projected(r, c) *= scale;
+      }
+    }
+  }
+  return projected;
+}
+
+}  // namespace coda

@@ -1,0 +1,52 @@
+// Principal component analysis (Table I "Feature Transformation", Fig 3
+// "pca" node): covariance-based PCA with eigen decomposition by cyclic
+// Jacobi rotations (exact for the symmetric covariance matrix).
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Projects data onto the top principal components of the training
+/// covariance. Parameters: n_components (int, default 2), whiten (bool,
+/// default false — divide projected coordinates by sqrt(eigenvalue)).
+class PCA final : public Transformer {
+ public:
+  PCA() : Transformer("pca") {
+    declare_param("n_components", std::int64_t{2});
+    declare_param("whiten", false);
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<PCA>(*this);
+  }
+
+  /// Eigenvalues of the training covariance, descending (after fit).
+  const std::vector<double>& explained_variance() const {
+    return eigenvalues_;
+  }
+
+  /// Component matrix: one column per retained component (after fit).
+  const Matrix& components() const { return components_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> eigenvalues_;
+  Matrix components_;  // d x n_components
+  bool whiten_ = false;
+};
+
+/// Eigen decomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Returns eigenvalues (descending) and the matching eigenvectors as the
+/// columns of `eigenvectors`. Exposed for tests.
+void symmetric_eigen(const Matrix& symmetric, std::vector<double>& eigenvalues,
+                     Matrix& eigenvectors, std::size_t max_sweeps = 64);
+
+/// Sample covariance matrix (population normalization) of the columns of X.
+Matrix covariance_matrix(const Matrix& X);
+
+}  // namespace coda

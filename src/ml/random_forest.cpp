@@ -1,0 +1,111 @@
+#include "src/ml/random_forest.h"
+
+#include <cmath>
+
+namespace coda {
+namespace {
+
+struct ForestParams {
+  std::size_t n_trees;
+  TreeConfig tree;
+  std::uint64_t seed;
+};
+
+ForestParams forest_params(const ParamMap& params, std::size_t n_features) {
+  ForestParams p;
+  p.n_trees = static_cast<std::size_t>(params.get_int("n_trees"));
+  require(p.n_trees >= 1, "random forest: n_trees must be >= 1");
+  p.tree = tree_config_from_params(params);
+  auto max_features =
+      static_cast<std::size_t>(params.get_int("max_features"));
+  if (max_features == 0) {
+    max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::sqrt(static_cast<double>(n_features))));
+  }
+  require(max_features <= n_features,
+          "random forest: max_features exceeds feature count");
+  p.tree.max_features = max_features;
+  p.seed = static_cast<std::uint64_t>(params.get_int("seed"));
+  return p;
+}
+
+std::vector<CartTree> fit_forest(const Matrix& X,
+                                 const std::vector<double>& y,
+                                 const ForestParams& p) {
+  require(X.rows() == y.size(), "random forest: X/y size mismatch");
+  require(X.rows() > 0, "random forest: empty input");
+  Rng rng(p.seed);
+  std::vector<CartTree> trees(p.n_trees);
+  for (auto& tree : trees) {
+    // Bootstrap sample (with replacement).
+    std::vector<std::size_t> sample(X.rows());
+    for (auto& s : sample) s = rng.index(X.rows());
+    Rng tree_rng = rng.split();
+    tree.fit(X, y, sample, p.tree, &tree_rng);
+  }
+  return trees;
+}
+
+std::vector<double> forest_predict(const std::vector<CartTree>& trees,
+                                   const Matrix& X) {
+  require_state(!trees.empty(), "random forest: call fit() first");
+  std::vector<double> out(X.rows(), 0.0);
+  for (const auto& tree : trees) {
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      out[r] += tree.predict_row(X, r);
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(trees.size());
+  return out;
+}
+
+std::vector<double> forest_importances(const std::vector<CartTree>& trees,
+                                       std::size_t n_features) {
+  std::vector<double> raw(n_features, 0.0);
+  for (const auto& tree : trees) tree.add_feature_importances(raw);
+  double total = 0.0;
+  for (const double v : raw) total += v;
+  if (total > 0.0) {
+    for (double& v : raw) v /= total;
+  }
+  return raw;
+}
+
+}  // namespace
+
+void RandomForestRegressor::fit(const Matrix& X,
+                                const std::vector<double>& y) {
+  n_features_ = X.cols();
+  trees_ = fit_forest(X, y, forest_params(params(), X.cols()));
+}
+
+std::vector<double> RandomForestRegressor::predict(const Matrix& X) const {
+  return forest_predict(trees_, X);
+}
+
+std::vector<double> RandomForestRegressor::feature_importances() const {
+  require_state(!trees_.empty(), "RandomForestRegressor: call fit() first");
+  return forest_importances(trees_, n_features_);
+}
+
+void RandomForestClassifier::fit(const Matrix& X,
+                                 const std::vector<double>& y) {
+  for (const double label : y) {
+    require(label == 0.0 || label == 1.0,
+            "RandomForestClassifier: labels must be 0/1");
+  }
+  n_features_ = X.cols();
+  trees_ = fit_forest(X, y, forest_params(params(), X.cols()));
+}
+
+std::vector<double> RandomForestClassifier::predict(const Matrix& X) const {
+  return forest_predict(trees_, X);
+}
+
+std::vector<double> RandomForestClassifier::feature_importances() const {
+  require_state(!trees_.empty(), "RandomForestClassifier: call fit() first");
+  return forest_importances(trees_, n_features_);
+}
+
+}  // namespace coda

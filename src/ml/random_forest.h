@@ -1,0 +1,70 @@
+// Random forests (Table I / Fig 3 "RandomForest" node): bagged CART trees
+// with per-split random feature subsets.
+#pragma once
+
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+
+namespace coda {
+
+/// Random-forest regression. Parameters: n_trees (int, default 30),
+/// max_depth (int, default 8), min_samples_split (int, default 2),
+/// min_samples_leaf (int, default 1), max_features (int, default 0 =
+/// sqrt(n_features)), seed (int, default 42).
+class RandomForestRegressor final : public Estimator {
+ public:
+  RandomForestRegressor() : Estimator("randomforest") {
+    declare_param("n_trees", std::int64_t{30});
+    declare_param("max_depth", std::int64_t{8});
+    declare_param("min_samples_split", std::int64_t{2});
+    declare_param("min_samples_leaf", std::int64_t{1});
+    declare_param("max_features", std::int64_t{0});
+    declare_param("seed", std::int64_t{42});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<RandomForestRegressor>(*this);
+  }
+
+  std::size_t n_trees() const { return trees_.size(); }
+
+  /// Normalized impurity-decrease importances (sum to 1 when any split
+  /// exists). Used by Root Cause Analysis.
+  std::vector<double> feature_importances() const;
+
+ private:
+  std::vector<CartTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+/// Random-forest binary classification; predict() averages the per-tree
+/// positive fractions (a score in [0,1]). Same parameters as the regressor.
+class RandomForestClassifier final : public Estimator {
+ public:
+  RandomForestClassifier() : Estimator("randomforestclassifier") {
+    declare_param("n_trees", std::int64_t{30});
+    declare_param("max_depth", std::int64_t{8});
+    declare_param("min_samples_split", std::int64_t{2});
+    declare_param("min_samples_leaf", std::int64_t{1});
+    declare_param("max_features", std::int64_t{0});
+    declare_param("seed", std::int64_t{42});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<RandomForestClassifier>(*this);
+  }
+
+  std::size_t n_trees() const { return trees_.size(); }
+  std::vector<double> feature_importances() const;
+
+ private:
+  std::vector<CartTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace coda

@@ -1,0 +1,92 @@
+#include "src/ml/scalers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coda {
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void StandardScaler::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "StandardScaler: empty input");
+  means_ = X.col_means();
+  scales_ = X.col_stddevs();
+  for (double& s : scales_) {
+    if (s == 0.0) s = 1.0;  // constant column: leave centred at zero
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& X) const {
+  require_state(!means_.empty(), "StandardScaler: call fit() first");
+  require(X.cols() == means_.size(), "StandardScaler: column count mismatch");
+  Matrix out(X.rows(), X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      out(r, c) = (X(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+void MinMaxScaler::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "MinMaxScaler: empty input");
+  mins_.assign(X.cols(), 0.0);
+  ranges_.assign(X.cols(), 1.0);
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    double lo = X(0, c);
+    double hi = X(0, c);
+    for (std::size_t r = 1; r < X.rows(); ++r) {
+      lo = std::min(lo, X(r, c));
+      hi = std::max(hi, X(r, c));
+    }
+    mins_[c] = lo;
+    ranges_[c] = (hi - lo) == 0.0 ? 1.0 : hi - lo;
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& X) const {
+  require_state(!mins_.empty(), "MinMaxScaler: call fit() first");
+  require(X.cols() == mins_.size(), "MinMaxScaler: column count mismatch");
+  Matrix out(X.rows(), X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      out(r, c) = (X(r, c) - mins_[c]) / ranges_[c];
+    }
+  }
+  return out;
+}
+
+void RobustScaler::fit(const Matrix& X, const std::vector<double>&) {
+  require(X.rows() > 0, "RobustScaler: empty input");
+  medians_.assign(X.cols(), 0.0);
+  iqrs_.assign(X.cols(), 1.0);
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    auto col = X.col(c);
+    medians_[c] = quantile(col, 0.5);
+    const double iqr = quantile(col, 0.75) - quantile(col, 0.25);
+    iqrs_[c] = iqr == 0.0 ? 1.0 : iqr;
+  }
+}
+
+Matrix RobustScaler::transform(const Matrix& X) const {
+  require_state(!medians_.empty(), "RobustScaler: call fit() first");
+  require(X.cols() == medians_.size(), "RobustScaler: column count mismatch");
+  Matrix out(X.rows(), X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      out(r, c) = (X(r, c) - medians_[c]) / iqrs_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace coda

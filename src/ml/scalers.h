@@ -1,0 +1,68 @@
+// Feature/data scalers (Table I / Table II, Section IV-C4): StandardScaler,
+// MinMaxScaler, and the outlier-aware RobustScaler.
+#pragma once
+
+#include <vector>
+
+#include "src/core/component.h"
+
+namespace coda {
+
+/// Standardizes each column to zero mean / unit variance.
+class StandardScaler final : public Transformer {
+ public:
+  StandardScaler() : Transformer("standardscaler") {}
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<StandardScaler>(*this);
+  }
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+/// Rescales each column to [0, 1] based on the training min/max.
+class MinMaxScaler final : public Transformer {
+ public:
+  MinMaxScaler() : Transformer("minmaxscaler") {}
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<MinMaxScaler>(*this);
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> ranges_;
+};
+
+/// Centers on the median and scales by the interquartile range, so gross
+/// outliers do not dominate the scale (the "outlier-aware robust scaler"
+/// of Section I).
+class RobustScaler final : public Transformer {
+ public:
+  RobustScaler() : Transformer("robustscaler") {}
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  Matrix transform(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<RobustScaler>(*this);
+  }
+
+ private:
+  std::vector<double> medians_;
+  std::vector<double> iqrs_;
+};
+
+/// Quantile of a sample (linear interpolation), exposed for RobustScaler
+/// tests and the IQR outlier filter. `q` in [0,1].
+double quantile(std::vector<double> values, double q);
+
+}  // namespace coda

@@ -1,0 +1,60 @@
+#include "src/nn/activations.h"
+
+#include <cmath>
+
+namespace coda::nn {
+
+Matrix ReLU::forward(const Matrix& input, bool) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+  require_state(cached_input_.size() == grad_output.size(),
+                "ReLU: backward without matching forward");
+  Matrix out = grad_output;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0) out.data()[i] = 0.0;
+  }
+  return out;
+}
+
+Matrix Tanh::forward(const Matrix& input, bool) {
+  Matrix out = input;
+  for (double& v : out.data()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  require_state(cached_output_.size() == grad_output.size(),
+                "Tanh: backward without matching forward");
+  Matrix out = grad_output;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double y = cached_output_.data()[i];
+    out.data()[i] *= 1.0 - y * y;
+  }
+  return out;
+}
+
+Matrix Sigmoid::forward(const Matrix& input, bool) {
+  Matrix out = input;
+  for (double& v : out.data()) v = 1.0 / (1.0 + std::exp(-v));
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+  require_state(cached_output_.size() == grad_output.size(),
+                "Sigmoid: backward without matching forward");
+  Matrix out = grad_output;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double y = cached_output_.data()[i];
+    out.data()[i] *= y * (1.0 - y);
+  }
+  return out;
+}
+
+}  // namespace coda::nn

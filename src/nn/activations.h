@@ -1,0 +1,47 @@
+// Elementwise activation layers: ReLU, Tanh, Sigmoid.
+#pragma once
+
+#include "src/nn/layer.h"
+
+namespace coda::nn {
+
+class ReLU final : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
+  std::string name() const override { return "relu"; }
+
+ private:
+  Matrix cached_input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>(*this);
+  }
+  std::string name() const override { return "tanh"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Sigmoid>(*this);
+  }
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  Matrix cached_output_;
+};
+
+}  // namespace coda::nn

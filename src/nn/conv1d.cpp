@@ -1,0 +1,155 @@
+#include "src/nn/conv1d.h"
+
+#include "src/nn/init.h"
+
+namespace coda::nn {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t dilation, bool causal,
+               std::uint64_t seed)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      dilation_(dilation),
+      causal_(causal),
+      w_(kernel * in_channels, out_channels),
+      b_(1, out_channels) {
+  require(in_channels > 0 && out_channels > 0 && kernel > 0 && dilation > 0,
+          "Conv1D: empty shape");
+  Rng rng(seed);
+  xavier_init(w_.value, kernel * in_channels, out_channels, rng);
+}
+
+std::size_t Conv1D::output_length(std::size_t input_length) const {
+  if (causal_) return input_length;
+  const std::size_t span = (kernel_ - 1) * dilation_;
+  require(input_length > span, "Conv1D: sequence shorter than kernel span");
+  return input_length - span;
+}
+
+Matrix Conv1D::forward(const Matrix& input, bool) {
+  require(input.cols() % in_channels_ == 0,
+          "Conv1D: input width not a multiple of in_channels");
+  const std::size_t seq_len = input.cols() / in_channels_;
+  const std::size_t out_len = output_length(seq_len);
+  cached_input_ = input;
+  cached_seq_len_ = seq_len;
+
+  Matrix out(input.rows(), out_len * out_channels_);
+  for (std::size_t n = 0; n < input.rows(); ++n) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      // Causal: tap k reads input position t - (kernel-1-k)*dilation.
+      // Valid: tap k reads input position t + k*dilation.
+      for (std::size_t o = 0; o < out_channels_; ++o) {
+        double acc = b_.value(0, o);
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          std::ptrdiff_t src;
+          if (causal_) {
+            src = static_cast<std::ptrdiff_t>(t) -
+                  static_cast<std::ptrdiff_t>((kernel_ - 1 - k) * dilation_);
+            if (src < 0) continue;  // zero padding
+          } else {
+            src = static_cast<std::ptrdiff_t>(t + k * dilation_);
+          }
+          const std::size_t s = static_cast<std::size_t>(src);
+          for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+            acc += w_.value(k * in_channels_ + ci, o) *
+                   input(n, s * in_channels_ + ci);
+          }
+        }
+        out(n, t * out_channels_ + o) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Conv1D::backward(const Matrix& grad_output) {
+  require_state(cached_seq_len_ > 0, "Conv1D: backward without forward");
+  const std::size_t seq_len = cached_seq_len_;
+  const std::size_t out_len = output_length(seq_len);
+  require(grad_output.rows() == cached_input_.rows() &&
+              grad_output.cols() == out_len * out_channels_,
+          "Conv1D: grad shape mismatch");
+
+  Matrix grad_input(cached_input_.rows(), cached_input_.cols());
+  for (std::size_t n = 0; n < grad_output.rows(); ++n) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      for (std::size_t o = 0; o < out_channels_; ++o) {
+        const double g = grad_output(n, t * out_channels_ + o);
+        if (g == 0.0) continue;
+        b_.grad(0, o) += g;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          std::ptrdiff_t src;
+          if (causal_) {
+            src = static_cast<std::ptrdiff_t>(t) -
+                  static_cast<std::ptrdiff_t>((kernel_ - 1 - k) * dilation_);
+            if (src < 0) continue;
+          } else {
+            src = static_cast<std::ptrdiff_t>(t + k * dilation_);
+          }
+          const std::size_t s = static_cast<std::size_t>(src);
+          for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+            w_.grad(k * in_channels_ + ci, o) +=
+                g * cached_input_(n, s * in_channels_ + ci);
+            grad_input(n, s * in_channels_ + ci) +=
+                g * w_.value(k * in_channels_ + ci, o);
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+MaxPool1D::MaxPool1D(std::size_t channels, std::size_t pool)
+    : channels_(channels), pool_(pool) {
+  require(channels > 0 && pool > 0, "MaxPool1D: empty shape");
+}
+
+Matrix MaxPool1D::forward(const Matrix& input, bool) {
+  require(input.cols() % channels_ == 0,
+          "MaxPool1D: input width not a multiple of channels");
+  const std::size_t seq_len = input.cols() / channels_;
+  const std::size_t out_len = seq_len / pool_;
+  require(out_len > 0, "MaxPool1D: sequence shorter than pool size");
+  cached_rows_ = input.rows();
+  cached_cols_ = input.cols();
+
+  Matrix out(input.rows(), out_len * channels_);
+  argmax_.assign(out.size(), 0);
+  for (std::size_t n = 0; n < input.rows(); ++n) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        double best = input(n, (t * pool_) * channels_ + c);
+        std::size_t best_idx = (t * pool_) * channels_ + c;
+        for (std::size_t p = 1; p < pool_; ++p) {
+          const std::size_t idx = (t * pool_ + p) * channels_ + c;
+          if (input(n, idx) > best) {
+            best = input(n, idx);
+            best_idx = idx;
+          }
+        }
+        const std::size_t out_idx = t * channels_ + c;
+        out(n, out_idx) = best;
+        argmax_[n * out.cols() + out_idx] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPool1D::backward(const Matrix& grad_output) {
+  require_state(cached_rows_ == grad_output.rows(),
+                "MaxPool1D: backward without matching forward");
+  Matrix grad_input(cached_rows_, cached_cols_);
+  for (std::size_t n = 0; n < grad_output.rows(); ++n) {
+    for (std::size_t j = 0; j < grad_output.cols(); ++j) {
+      grad_input(n, argmax_[n * grad_output.cols() + j]) +=
+          grad_output(n, j);
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace coda::nn

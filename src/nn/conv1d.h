@@ -1,0 +1,72 @@
+// 1-D convolution over flattened sequences (the CNN / WaveNet / SeriesNet
+// estimators of Section IV-C2). Each input row is a timestep-major
+// flattened sequence: [t0c0, t0c1, ..., t1c0, ...]. With causal padding the
+// output keeps the sequence length and position t only sees inputs at
+// t, t-dilation, t-2*dilation, ... (the WaveNet construction).
+#pragma once
+
+#include "src/nn/layer.h"
+#include "src/util/random.h"
+
+namespace coda::nn {
+
+/// Dilated (optionally causal) 1-D convolution.
+class Conv1D final : public Layer {
+ public:
+  /// kernel taps are spaced `dilation` steps apart. causal=true left-pads
+  /// with zeros (output length == input length); causal=false is a "valid"
+  /// convolution (output length = T - (kernel-1)*dilation).
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t dilation = 1, bool causal = true,
+         std::uint64_t seed = 42);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<ParamTensor*> parameters() override { return {&w_, &b_}; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv1D>(*this);
+  }
+  std::string name() const override { return "conv1d"; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t output_length(std::size_t input_length) const;
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t dilation_;
+  bool causal_;
+  ParamTensor w_;  // (kernel * in_channels) x out_channels
+  ParamTensor b_;  // 1 x out_channels
+  Matrix cached_input_;
+  std::size_t cached_seq_len_ = 0;
+};
+
+/// Non-overlapping max pooling over time. Input rows are timestep-major
+/// flattened (T x C); output is (T/pool) x C flattened (remainder dropped).
+class MaxPool1D final : public Layer {
+ public:
+  MaxPool1D(std::size_t channels, std::size_t pool);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool1D>(*this);
+  }
+  std::string name() const override { return "maxpool1d"; }
+
+  std::size_t output_length(std::size_t input_length) const {
+    return input_length / pool_;
+  }
+
+ private:
+  std::size_t channels_;
+  std::size_t pool_;
+  std::vector<std::size_t> argmax_;  // flat source index per output element
+  std::size_t cached_rows_ = 0;
+  std::size_t cached_cols_ = 0;
+};
+
+}  // namespace coda::nn

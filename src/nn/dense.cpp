@@ -1,0 +1,43 @@
+#include "src/nn/dense.h"
+
+#include "src/nn/init.h"
+
+namespace coda::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             std::uint64_t seed)
+    : w_(in_features, out_features), b_(1, out_features) {
+  require(in_features > 0 && out_features > 0, "Dense: empty shape");
+  Rng rng(seed);
+  xavier_init(w_.value, in_features, out_features, rng);
+}
+
+Matrix Dense::forward(const Matrix& input, bool) {
+  require(input.cols() == w_.value.rows(),
+          "Dense: input has " + std::to_string(input.cols()) +
+              " features, layer expects " + std::to_string(w_.value.rows()));
+  cached_input_ = input;
+  Matrix out = input.multiply(w_.value);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b_.value(0, c);
+  }
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  require_state(cached_input_.rows() == grad_output.rows(),
+                "Dense: backward without matching forward");
+  // dW += x^T g ; db += column sums of g ; dInput = g W^T.
+  const Matrix dw = cached_input_.transposed().multiply(grad_output);
+  for (std::size_t i = 0; i < dw.size(); ++i) {
+    w_.grad.data()[i] += dw.data()[i];
+  }
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    for (std::size_t c = 0; c < grad_output.cols(); ++c) {
+      b_.grad(0, c) += grad_output(r, c);
+    }
+  }
+  return grad_output.multiply(w_.value.transposed());
+}
+
+}  // namespace coda::nn

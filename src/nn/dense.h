@@ -1,0 +1,32 @@
+// Fully connected layer.
+#pragma once
+
+#include "src/nn/layer.h"
+#include "src/util/random.h"
+
+namespace coda::nn {
+
+/// y = x W + b with W: in x out, b: 1 x out.
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features,
+        std::uint64_t seed = 42);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<ParamTensor*> parameters() override { return {&w_, &b_}; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
+  std::string name() const override { return "dense"; }
+
+  std::size_t in_features() const { return w_.value.rows(); }
+  std::size_t out_features() const { return w_.value.cols(); }
+
+ private:
+  ParamTensor w_;
+  ParamTensor b_;
+  Matrix cached_input_;
+};
+
+}  // namespace coda::nn

@@ -1,0 +1,32 @@
+// Inverted dropout (the paper's LSTM/DNN architectures interleave dropout
+// layers, Section IV-C2/3).
+#pragma once
+
+#include "src/nn/layer.h"
+#include "src/util/random.h"
+
+namespace coda::nn {
+
+/// Drops activations with probability `rate` during training, scaling the
+/// survivors by 1/(1-rate); identity at inference.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double rate, std::uint64_t seed = 42);
+
+  Matrix forward(const Matrix& input, bool training) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
+  std::string name() const override { return "dropout"; }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  Matrix mask_;  // per-element keep scale of the last training forward
+  bool last_was_training_ = false;
+};
+
+}  // namespace coda::nn

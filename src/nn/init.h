@@ -1,0 +1,19 @@
+// Weight initialization helpers.
+#pragma once
+
+#include <cmath>
+
+#include "src/data/matrix.h"
+#include "src/util/random.h"
+
+namespace coda::nn {
+
+/// Xavier/Glorot uniform initialization for a fan_in x fan_out weight.
+inline void xavier_init(Matrix& w, std::size_t fan_in, std::size_t fan_out,
+                        Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& v : w.data()) v = rng.uniform(-limit, limit);
+}
+
+}  // namespace coda::nn

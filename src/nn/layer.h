@@ -1,0 +1,51 @@
+// Neural-network layer interface (substrate for the paper's DNN/LSTM/CNN/
+// WaveNet/SeriesNet estimators, Section IV-C). Layers implement manual
+// forward/backward passes over batched row-major matrices; sequence layers
+// interpret each row as a flattened (timestep-major) sequence.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda::nn {
+
+/// A trainable tensor: value plus the gradient of the current batch loss.
+struct ParamTensor {
+  Matrix value;
+  Matrix grad;
+
+  explicit ParamTensor(std::size_t rows = 0, std::size_t cols = 0)
+      : value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() {
+    std::fill(grad.data().begin(), grad.data().end(), 0.0);
+  }
+};
+
+/// Base layer. forward() caches whatever backward() needs; backward()
+/// consumes the cache of the most recent forward() and accumulates
+/// parameter gradients.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Maps a batch (rows = samples) to the layer output. `training`
+  /// activates stochastic behaviour (dropout).
+  virtual Matrix forward(const Matrix& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter grads and returns
+  /// dLoss/dInput. Must follow a forward() on the same batch.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Trainable tensors (empty for stateless layers).
+  virtual std::vector<ParamTensor*> parameters() { return {}; }
+
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace coda::nn

@@ -1,0 +1,62 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coda::nn {
+namespace {
+
+void check_shapes(const Matrix& pred, const Matrix& target) {
+  require(pred.rows() == target.rows() && pred.cols() == target.cols(),
+          "loss: prediction/target shape mismatch");
+  require(pred.size() > 0, "loss: empty batch");
+}
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+double MseLoss::value(const Matrix& pred, const Matrix& target) const {
+  check_shapes(pred, target);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+Matrix MseLoss::gradient(const Matrix& pred, const Matrix& target) const {
+  check_shapes(pred, target);
+  Matrix grad(pred.rows(), pred.cols());
+  const double scale = 2.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    grad.data()[i] = scale * (pred.data()[i] - target.data()[i]);
+  }
+  return grad;
+}
+
+double BceLoss::value(const Matrix& pred, const Matrix& target) const {
+  check_shapes(pred, target);
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double p = std::clamp(pred.data()[i], kEps, 1.0 - kEps);
+    const double t = target.data()[i];
+    s += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+Matrix BceLoss::gradient(const Matrix& pred, const Matrix& target) const {
+  check_shapes(pred, target);
+  Matrix grad(pred.rows(), pred.cols());
+  const double scale = 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double p = std::clamp(pred.data()[i], kEps, 1.0 - kEps);
+    const double t = target.data()[i];
+    grad.data()[i] = scale * (p - t) / (p * (1.0 - p));
+  }
+  return grad;
+}
+
+}  // namespace coda::nn

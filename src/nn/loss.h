@@ -1,0 +1,36 @@
+// Training losses.
+#pragma once
+
+#include "src/data/matrix.h"
+
+namespace coda::nn {
+
+/// A differentiable loss over batched predictions and targets.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Scalar loss value (mean over batch and outputs).
+  virtual double value(const Matrix& pred, const Matrix& target) const = 0;
+
+  /// dLoss/dPred, same shape as pred.
+  virtual Matrix gradient(const Matrix& pred,
+                          const Matrix& target) const = 0;
+};
+
+/// Mean squared error.
+class MseLoss final : public Loss {
+ public:
+  double value(const Matrix& pred, const Matrix& target) const override;
+  Matrix gradient(const Matrix& pred, const Matrix& target) const override;
+};
+
+/// Binary cross-entropy over probabilities in (0,1); values are clamped to
+/// avoid log(0).
+class BceLoss final : public Loss {
+ public:
+  double value(const Matrix& pred, const Matrix& target) const override;
+  Matrix gradient(const Matrix& pred, const Matrix& target) const override;
+};
+
+}  // namespace coda::nn

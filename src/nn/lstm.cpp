@@ -1,0 +1,191 @@
+#include "src/nn/lstm.h"
+
+#include <cmath>
+
+#include "src/nn/init.h"
+
+namespace coda::nn {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size,
+           bool return_sequences, std::uint64_t seed)
+    : input_size_(input_size),
+      hidden_(hidden_size),
+      return_sequences_(return_sequences),
+      wx_(input_size, 4 * hidden_size),
+      wh_(hidden_size, 4 * hidden_size),
+      b_(1, 4 * hidden_size) {
+  require(input_size > 0 && hidden_size > 0, "Lstm: empty shape");
+  Rng rng(seed);
+  xavier_init(wx_.value, input_size, 4 * hidden_size, rng);
+  xavier_init(wh_.value, hidden_size, 4 * hidden_size, rng);
+  // Forget-gate bias starts at 1 — the standard trick that keeps early
+  // training from zeroing the cell state.
+  for (std::size_t h = 0; h < hidden_size; ++h) {
+    b_.value(0, hidden_size + h) = 1.0;
+  }
+}
+
+Matrix Lstm::forward(const Matrix& input, bool) {
+  require(input.cols() % input_size_ == 0,
+          "Lstm: input width not a multiple of input_size");
+  const std::size_t seq_len = input.cols() / input_size_;
+  require(seq_len > 0, "Lstm: empty sequence");
+  const std::size_t n = input.rows();
+  cached_input_ = input;
+  cached_seq_len_ = seq_len;
+  steps_.assign(seq_len, StepCache{});
+
+  Matrix h_prev(n, hidden_);
+  Matrix c_prev(n, hidden_);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    StepCache& s = steps_[t];
+    s.i = Matrix(n, hidden_);
+    s.f = Matrix(n, hidden_);
+    s.g = Matrix(n, hidden_);
+    s.o = Matrix(n, hidden_);
+    s.c = Matrix(n, hidden_);
+    s.tanh_c = Matrix(n, hidden_);
+    s.h = Matrix(n, hidden_);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t hh = 0; hh < hidden_; ++hh) {
+        double zi = b_.value(0, hh);
+        double zf = b_.value(0, hidden_ + hh);
+        double zg = b_.value(0, 2 * hidden_ + hh);
+        double zo = b_.value(0, 3 * hidden_ + hh);
+        for (std::size_t x = 0; x < input_size_; ++x) {
+          const double xv = input(r, t * input_size_ + x);
+          zi += xv * wx_.value(x, hh);
+          zf += xv * wx_.value(x, hidden_ + hh);
+          zg += xv * wx_.value(x, 2 * hidden_ + hh);
+          zo += xv * wx_.value(x, 3 * hidden_ + hh);
+        }
+        for (std::size_t p = 0; p < hidden_; ++p) {
+          const double hv = h_prev(r, p);
+          if (hv == 0.0) continue;
+          zi += hv * wh_.value(p, hh);
+          zf += hv * wh_.value(p, hidden_ + hh);
+          zg += hv * wh_.value(p, 2 * hidden_ + hh);
+          zo += hv * wh_.value(p, 3 * hidden_ + hh);
+        }
+        const double iv = sigmoid(zi);
+        const double fv = sigmoid(zf);
+        const double gv = std::tanh(zg);
+        const double ov = sigmoid(zo);
+        const double cv = fv * c_prev(r, hh) + iv * gv;
+        const double tc = std::tanh(cv);
+        s.i(r, hh) = iv;
+        s.f(r, hh) = fv;
+        s.g(r, hh) = gv;
+        s.o(r, hh) = ov;
+        s.c(r, hh) = cv;
+        s.tanh_c(r, hh) = tc;
+        s.h(r, hh) = ov * tc;
+      }
+    }
+    h_prev = s.h;
+    c_prev = s.c;
+  }
+
+  if (!return_sequences_) return steps_.back().h;
+  Matrix out(n, seq_len * hidden_);
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t hh = 0; hh < hidden_; ++hh) {
+        out(r, t * hidden_ + hh) = steps_[t].h(r, hh);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Lstm::backward(const Matrix& grad_output) {
+  require_state(cached_seq_len_ > 0, "Lstm: backward without forward");
+  const std::size_t seq_len = cached_seq_len_;
+  const std::size_t n = cached_input_.rows();
+  if (return_sequences_) {
+    require(grad_output.cols() == seq_len * hidden_,
+            "Lstm: grad shape mismatch (sequences)");
+  } else {
+    require(grad_output.cols() == hidden_, "Lstm: grad shape mismatch");
+  }
+  require(grad_output.rows() == n, "Lstm: grad batch mismatch");
+
+  Matrix grad_input(n, cached_input_.cols());
+  Matrix dh_next(n, hidden_);  // dLoss/dh_t flowing from step t+1
+  Matrix dc_next(n, hidden_);
+
+  for (std::size_t t = seq_len; t-- > 0;) {
+    const StepCache& s = steps_[t];
+    const Matrix* h_prev_mat = t > 0 ? &steps_[t - 1].h : nullptr;
+    const Matrix* c_prev_mat = t > 0 ? &steps_[t - 1].c : nullptr;
+    Matrix dh_prev(n, hidden_);  // dLoss/dh_{t-1}, built this step
+
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t hh = 0; hh < hidden_; ++hh) {
+        double dh = dh_next(r, hh);
+        if (return_sequences_) {
+          dh += grad_output(r, t * hidden_ + hh);
+        } else if (t + 1 == seq_len) {
+          dh += grad_output(r, hh);
+        }
+        const double iv = s.i(r, hh);
+        const double fv = s.f(r, hh);
+        const double gv = s.g(r, hh);
+        const double ov = s.o(r, hh);
+        const double tc = s.tanh_c(r, hh);
+        const double c_prev_v = t > 0 ? (*c_prev_mat)(r, hh) : 0.0;
+
+        const double do_ = dh * tc;
+        double dc = dc_next(r, hh) + dh * ov * (1.0 - tc * tc);
+        const double di = dc * gv;
+        const double dg = dc * iv;
+        const double df = dc * c_prev_v;
+        dc_next(r, hh) = dc * fv;
+
+        const double dzi = di * iv * (1.0 - iv);
+        const double dzf = df * fv * (1.0 - fv);
+        const double dzg = dg * (1.0 - gv * gv);
+        const double dzo = do_ * ov * (1.0 - ov);
+
+        b_.grad(0, hh) += dzi;
+        b_.grad(0, hidden_ + hh) += dzf;
+        b_.grad(0, 2 * hidden_ + hh) += dzg;
+        b_.grad(0, 3 * hidden_ + hh) += dzo;
+
+        for (std::size_t x = 0; x < input_size_; ++x) {
+          const double xv = cached_input_(r, t * input_size_ + x);
+          wx_.grad(x, hh) += dzi * xv;
+          wx_.grad(x, hidden_ + hh) += dzf * xv;
+          wx_.grad(x, 2 * hidden_ + hh) += dzg * xv;
+          wx_.grad(x, 3 * hidden_ + hh) += dzo * xv;
+          grad_input(r, t * input_size_ + x) +=
+              dzi * wx_.value(x, hh) + dzf * wx_.value(x, hidden_ + hh) +
+              dzg * wx_.value(x, 2 * hidden_ + hh) +
+              dzo * wx_.value(x, 3 * hidden_ + hh);
+        }
+        if (t > 0) {
+          for (std::size_t p = 0; p < hidden_; ++p) {
+            const double hv = (*h_prev_mat)(r, p);
+            wh_.grad(p, hh) += dzi * hv;
+            wh_.grad(p, hidden_ + hh) += dzf * hv;
+            wh_.grad(p, 2 * hidden_ + hh) += dzg * hv;
+            wh_.grad(p, 3 * hidden_ + hh) += dzo * hv;
+            dh_prev(r, p) +=
+                dzi * wh_.value(p, hh) + dzf * wh_.value(p, hidden_ + hh) +
+                dzg * wh_.value(p, 2 * hidden_ + hh) +
+                dzo * wh_.value(p, 3 * hidden_ + hh);
+          }
+        }
+      }
+    }
+    dh_next = std::move(dh_prev);
+  }
+  return grad_input;
+}
+
+}  // namespace coda::nn

@@ -1,0 +1,63 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+namespace coda::nn {
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  require(learning_rate > 0.0, "Sgd: learning rate must be positive");
+  require(momentum >= 0.0 && momentum < 1.0, "Sgd: momentum out of [0,1)");
+}
+
+void Sgd::step(const std::vector<ParamTensor*>& params) {
+  if (velocity_.empty()) {
+    for (const ParamTensor* p : params) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  require(velocity_.size() == params.size(),
+          "Sgd: parameter list changed between steps");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ParamTensor& p = *params[i];
+    Matrix& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      vel.data()[j] = momentum_ * vel.data()[j] - lr_ * p.grad.data()[j];
+      p.value.data()[j] += vel.data()[j];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double eps)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  require(learning_rate > 0.0, "Adam: learning rate must be positive");
+  require(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0,
+          "Adam: betas out of [0,1)");
+}
+
+void Adam::step(const std::vector<ParamTensor*>& params) {
+  if (m_.empty()) {
+    for (const ParamTensor* p : params) {
+      m_.emplace_back(p->value.rows(), p->value.cols());
+      v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  require(m_.size() == params.size(),
+          "Adam: parameter list changed between steps");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ParamTensor& p = *params[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const double g = p.grad.data()[j];
+      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1.0 - beta1_) * g;
+      v_[i].data()[j] = beta2_ * v_[i].data()[j] + (1.0 - beta2_) * g * g;
+      const double m_hat = m_[i].data()[j] / bc1;
+      const double v_hat = v_[i].data()[j] / bc2;
+      p.value.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace coda::nn

@@ -1,0 +1,50 @@
+// Gradient-descent optimizers: SGD with momentum, and Adam.
+#pragma once
+
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace coda::nn {
+
+/// Applies one update step to a fixed set of parameter tensors. State (e.g.
+/// Adam moments) is keyed by position, so always pass the same parameter
+/// list in the same order.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<ParamTensor*>& params) = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0);
+
+  void step(const std::vector<ParamTensor*>& params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  void step(const std::vector<ParamTensor*>& params) override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace coda::nn

@@ -1,0 +1,46 @@
+// Sequential network container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace coda::nn {
+
+/// A stack of layers applied in order. Copyable (deep copy via clone()).
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+  Matrix forward(const Matrix& input, bool training);
+  Matrix backward(const Matrix& grad_output);
+
+  /// All trainable tensors across layers.
+  std::vector<ParamTensor*> parameters();
+
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  std::size_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace coda::nn

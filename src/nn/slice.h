@@ -1,0 +1,52 @@
+// Sequence slicing utility layers.
+#pragma once
+
+#include "src/nn/layer.h"
+
+namespace coda::nn {
+
+/// Keeps only the last timestep of a flattened (T x C) sequence row —
+/// the read-out point of causal convolution stacks (WaveNet/SeriesNet).
+class SliceLastTimestep final : public Layer {
+ public:
+  explicit SliceLastTimestep(std::size_t channels) : channels_(channels) {
+    require(channels > 0, "SliceLastTimestep: channels must be > 0");
+  }
+
+  Matrix forward(const Matrix& input, bool) override {
+    require(input.cols() % channels_ == 0 && input.cols() >= channels_,
+            "SliceLastTimestep: input width not a multiple of channels");
+    cached_cols_ = input.cols();
+    Matrix out(input.rows(), channels_);
+    const std::size_t offset = input.cols() - channels_;
+    for (std::size_t r = 0; r < input.rows(); ++r) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        out(r, c) = input(r, offset + c);
+      }
+    }
+    return out;
+  }
+
+  Matrix backward(const Matrix& grad_output) override {
+    require_state(cached_cols_ > 0, "SliceLastTimestep: backward w/o forward");
+    Matrix grad(grad_output.rows(), cached_cols_);
+    const std::size_t offset = cached_cols_ - channels_;
+    for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        grad(r, offset + c) = grad_output(r, c);
+      }
+    }
+    return grad;
+  }
+
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<SliceLastTimestep>(*this);
+  }
+  std::string name() const override { return "slice_last"; }
+
+ private:
+  std::size_t channels_;
+  std::size_t cached_cols_ = 0;
+};
+
+}  // namespace coda::nn

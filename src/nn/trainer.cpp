@@ -1,0 +1,52 @@
+#include "src/nn/trainer.h"
+
+#include "src/util/random.h"
+
+namespace coda::nn {
+
+Matrix column_matrix(const std::vector<double>& values) {
+  Matrix out(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) out(i, 0) = values[i];
+  return out;
+}
+
+std::vector<double> train(Sequential& net, const Matrix& X,
+                          const Matrix& targets, const Loss& loss,
+                          Optimizer& optimizer, const TrainConfig& config) {
+  require(X.rows() == targets.rows(), "train: X/target batch mismatch");
+  require(X.rows() > 0, "train: empty input");
+  require(config.epochs > 0 && config.batch_size > 0,
+          "train: bad configuration");
+
+  Rng rng(config.shuffle_seed);
+  const auto params = net.parameters();
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(config.epochs);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(X.rows());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      std::vector<std::size_t> batch_idx(
+          order.begin() + static_cast<std::ptrdiff_t>(start),
+          order.begin() + static_cast<std::ptrdiff_t>(end));
+      const Matrix bx = X.select_rows(batch_idx);
+      const Matrix bt = targets.select_rows(batch_idx);
+
+      net.zero_grad();
+      const Matrix pred = net.forward(bx, /*training=*/true);
+      epoch_loss += loss.value(pred, bt);
+      net.backward(loss.gradient(pred, bt));
+      optimizer.step(params);
+      ++batches;
+    }
+    epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+  }
+  return epoch_losses;
+}
+
+}  // namespace coda::nn

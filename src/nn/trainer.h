@@ -1,0 +1,28 @@
+// Mini-batch training loop shared by every neural estimator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/sequential.h"
+
+namespace coda::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  std::uint64_t shuffle_seed = 42;
+};
+
+/// Trains `net` on (X, targets) with mini-batch gradient descent. Returns
+/// the mean training loss per epoch (useful for convergence tests).
+std::vector<double> train(Sequential& net, const Matrix& X,
+                          const Matrix& targets, const Loss& loss,
+                          Optimizer& optimizer, const TrainConfig& config);
+
+/// Wraps a target vector as an N x 1 matrix.
+Matrix column_matrix(const std::vector<double>& values);
+
+}  // namespace coda::nn

@@ -1,0 +1,59 @@
+#include "src/templates/anomaly.h"
+
+#include <cmath>
+
+#include "src/ml/scalers.h"
+#include "src/util/error.h"
+
+namespace coda::templates {
+
+AnomalyAnalysis::AnomalyAnalysis() : AnomalyAnalysis(Config()) {}
+
+AnomalyAnalysis::AnomalyAnalysis(Config config) : config_(config) {
+  require(config_.z_threshold > 0.0,
+          "AnomalyAnalysis: threshold must be positive");
+}
+
+void AnomalyAnalysis::fit(const Matrix& normal_data) {
+  require(normal_data.rows() > 0, "AnomalyAnalysis: empty input");
+  medians_.assign(normal_data.cols(), 0.0);
+  mads_.assign(normal_data.cols(), 1.0);
+  for (std::size_t c = 0; c < normal_data.cols(); ++c) {
+    auto col = normal_data.col(c);
+    medians_[c] = quantile(col, 0.5);
+    std::vector<double> abs_dev(col.size());
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      abs_dev[r] = std::abs(col[r] - medians_[c]);
+    }
+    const double mad = quantile(abs_dev, 0.5);
+    mads_[c] = mad == 0.0 ? 1.0 : mad;
+  }
+}
+
+AnomalyResult AnomalyAnalysis::score(const Matrix& X) const {
+  require_state(!medians_.empty(), "AnomalyAnalysis: call fit() first");
+  require(X.cols() == medians_.size(), "AnomalyAnalysis: column mismatch");
+  // Modified z-score: 0.6745 (x - median) / MAD (Iglewicz & Hoaglin).
+  constexpr double kConsistency = 0.6745;
+  AnomalyResult result;
+  result.threshold = config_.z_threshold;
+  result.scores.resize(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    double worst = 0.0;
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      const double z =
+          std::abs(kConsistency * (X(r, c) - medians_[c]) / mads_[c]);
+      worst = std::max(worst, z);
+    }
+    result.scores[r] = worst;
+    if (worst > config_.z_threshold) result.anomalies.push_back(r);
+  }
+  return result;
+}
+
+AnomalyResult AnomalyAnalysis::fit_score(const Matrix& X) {
+  fit(X);
+  return score(X);
+}
+
+}  // namespace coda::templates

@@ -1,0 +1,47 @@
+// Anomaly Analysis (§IV-E): "builds a model to flag data as corresponding
+// to a normal operation mode or an anomalous mode". A robust detector:
+// per-feature modified z-scores (median/MAD, outlier-proof) combined into a
+// per-sample anomaly score, thresholded.
+#pragma once
+
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda::templates {
+
+/// Outcome of an anomaly-analysis run.
+struct AnomalyResult {
+  std::vector<double> scores;           ///< per-row anomaly score (max |z*|)
+  std::vector<std::size_t> anomalies;   ///< rows whose score > threshold
+  double threshold = 0.0;
+};
+
+/// The anomaly-analysis solution template. fit() learns normal-mode
+/// statistics; score() flags new data against them.
+class AnomalyAnalysis {
+ public:
+  struct Config {
+    /// Modified-z threshold; 3.5 is the standard Iglewicz-Hoaglin cut.
+    double z_threshold = 3.5;
+  };
+
+  AnomalyAnalysis();
+  explicit AnomalyAnalysis(Config config);
+
+  /// Learns per-feature medians and MADs from normal-operation data.
+  void fit(const Matrix& normal_data);
+
+  /// Scores rows of X against the learned normal mode.
+  AnomalyResult score(const Matrix& X) const;
+
+  /// Convenience: fit on X and score X itself.
+  AnomalyResult fit_score(const Matrix& X);
+
+ private:
+  Config config_;
+  std::vector<double> medians_;
+  std::vector<double> mads_;
+};
+
+}  // namespace coda::templates

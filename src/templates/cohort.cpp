@@ -1,0 +1,66 @@
+#include "src/templates/cohort.h"
+
+#include "src/util/error.h"
+
+namespace coda::templates {
+
+CohortAnalysis::CohortAnalysis() : CohortAnalysis(Config()) {}
+
+CohortAnalysis::CohortAnalysis(Config config) : config_(config) {
+  require(config_.max_k >= 2, "CohortAnalysis: max_k must be >= 2");
+}
+
+std::size_t CohortAnalysis::select_k(
+    const Matrix& assets,
+    std::vector<std::pair<std::size_t, double>>& scan) const {
+  // Elbow criterion: largest relative drop in inertia when going k-1 -> k.
+  const std::size_t upper =
+      std::min(config_.max_k, assets.rows() >= 2 ? assets.rows() : 2);
+  std::vector<double> inertias;
+  for (std::size_t k = 1; k <= upper; ++k) {
+    KMeans::Config cfg;
+    cfg.k = k;
+    cfg.seed = config_.seed;
+    KMeans km(cfg);
+    km.fit(assets);
+    inertias.push_back(km.inertia());
+    scan.emplace_back(k, km.inertia());
+  }
+  std::size_t best_k = 2;
+  double best_drop = -1.0;
+  for (std::size_t k = 2; k <= upper; ++k) {
+    const double prev = inertias[k - 2];
+    const double cur = inertias[k - 1];
+    const double drop = prev > 0.0 ? (prev - cur) / prev : 0.0;
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+CohortResult CohortAnalysis::run(const Matrix& assets) const {
+  require(assets.rows() >= 2, "CohortAnalysis: need at least 2 assets");
+  CohortResult result;
+  std::size_t k = config_.k;
+  if (k == 0) {
+    k = select_k(assets, result.k_scan);
+  }
+  require(k >= 1 && k <= assets.rows(),
+          "CohortAnalysis: k out of range for the asset count");
+
+  KMeans::Config cfg;
+  cfg.k = k;
+  cfg.seed = config_.seed;
+  KMeans km(cfg);
+  result.assignments = km.fit(assets);
+  result.centroids = km.centroids();
+  result.inertia = km.inertia();
+  result.k = k;
+  result.cohort_sizes.assign(k, 0);
+  for (const std::size_t a : result.assignments) ++result.cohort_sizes[a];
+  return result;
+}
+
+}  // namespace coda::templates

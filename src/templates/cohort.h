@@ -1,0 +1,47 @@
+// Cohort Analysis (§IV-E): "leverages historical sensor data from multiple
+// assets ... assets are grouped in different buckets or cohorts". K-means
+// over per-asset behaviour vectors, with automatic k selection by the elbow
+// criterion when k is not given.
+#pragma once
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/ml/kmeans.h"
+
+namespace coda::templates {
+
+/// Outcome of a cohort-analysis run.
+struct CohortResult {
+  std::vector<std::size_t> assignments;  ///< cohort id per asset
+  Matrix centroids;                      ///< cohort behaviour profiles
+  std::vector<std::size_t> cohort_sizes;
+  double inertia = 0.0;
+  std::size_t k = 0;
+  /// Inertia per candidate k when k was auto-selected (empty otherwise).
+  std::vector<std::pair<std::size_t, double>> k_scan;
+};
+
+/// The cohort-analysis solution template.
+class CohortAnalysis {
+ public:
+  struct Config {
+    std::size_t k = 0;        ///< 0 = auto-select in [2, max_k]
+    std::size_t max_k = 8;
+    std::uint64_t seed = 42;
+  };
+
+  CohortAnalysis();
+  explicit CohortAnalysis(Config config);
+
+  /// X rows = per-asset behaviour summaries (metrics).
+  CohortResult run(const Matrix& assets) const;
+
+ private:
+  std::size_t select_k(const Matrix& assets,
+                       std::vector<std::pair<std::size_t, double>>& scan) const;
+
+  Config config_;
+};
+
+}  // namespace coda::templates

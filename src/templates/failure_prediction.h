@@ -1,0 +1,48 @@
+// Failure Prediction Analysis (§IV-E): "leverage historical sensor data and
+// failure logs to build machine learning models to predict imminent
+// failures". A facade that assembles a classification TE-Graph (scalers x
+// selectors x classifiers), searches it, and reports the best model plus
+// the sensors that drive its predictions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/data/dataset.h"
+
+namespace coda::templates {
+
+/// Outcome of a failure-prediction run.
+struct FailurePredictionResult {
+  EvaluationReport search;   ///< every candidate's cross-validated score
+  Pipeline best;             ///< best pipeline, trained on all data
+  double best_f1 = 0.0;      ///< CV mean F1 of the best pipeline
+  double best_auc = 0.0;     ///< AUC of the best pipeline on held-out data
+  /// (sensor name, importance) sorted descending — which sensors predict
+  /// failure (from a random-forest importance probe).
+  std::vector<std::pair<std::string, double>> top_sensors;
+};
+
+/// The FPA solution template.
+class FailurePredictionAnalysis {
+ public:
+  struct Config {
+    std::size_t k_folds = 5;
+    std::size_t threads = 0;
+    std::uint64_t seed = 42;
+  };
+
+  FailurePredictionAnalysis();
+  explicit FailurePredictionAnalysis(Config config);
+
+  /// `data` must be a binary dataset: X = sensor readings, y = 1 for
+  /// samples preceding a failure (from the failure logs).
+  FailurePredictionResult run(const Dataset& data) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace coda::templates

@@ -1,0 +1,82 @@
+#include "src/templates/root_cause.h"
+
+#include <algorithm>
+
+#include "src/core/metrics.h"
+
+namespace coda::templates {
+namespace {
+
+std::string factor_name(const Dataset& data, std::size_t j) {
+  return j < data.feature_names.size() ? data.feature_names[j]
+                                       : "factor" + std::to_string(j);
+}
+
+}  // namespace
+
+RootCauseAnalysis::RootCauseAnalysis() : RootCauseAnalysis(Config()) {}
+
+RootCauseAnalysis::RootCauseAnalysis(Config config) : config_(config) {}
+
+RandomForestRegressor RootCauseAnalysis::make_probe() const {
+  RandomForestRegressor forest;
+  forest.set_param("n_trees", static_cast<std::int64_t>(config_.n_trees));
+  forest.set_param("max_depth", static_cast<std::int64_t>(config_.max_depth));
+  forest.set_param("seed", static_cast<std::int64_t>(config_.seed));
+  return forest;
+}
+
+RootCauseResult RootCauseAnalysis::run(const Dataset& data) const {
+  data.validate();
+  RandomForestRegressor probe = make_probe();
+  probe.fit(data.X, data.y);
+
+  RootCauseResult result;
+  result.model_r2 = r2(data.y, probe.predict(data.X));
+
+  const auto importances = probe.feature_importances();
+  for (std::size_t j = 0; j < importances.size(); ++j) {
+    result.factor_importance.emplace_back(factor_name(data, j),
+                                          importances[j]);
+  }
+  std::sort(result.factor_importance.begin(), result.factor_importance.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Sensitivity: mean prediction shift when factor j moves +1 stddev.
+  const auto baseline = probe.predict(data.X);
+  const auto stddevs = data.X.col_stddevs();
+  for (std::size_t j = 0; j < data.n_features(); ++j) {
+    Matrix shifted = data.X;
+    for (std::size_t r = 0; r < shifted.rows(); ++r) {
+      shifted(r, j) += stddevs[j];
+    }
+    const auto moved = probe.predict(shifted);
+    double delta = 0.0;
+    for (std::size_t r = 0; r < moved.size(); ++r) {
+      delta += moved[r] - baseline[r];
+    }
+    delta /= static_cast<double>(moved.size());
+    result.sensitivity.emplace_back(factor_name(data, j), delta);
+  }
+  std::sort(result.sensitivity.begin(), result.sensitivity.end(),
+            [](const auto& a, const auto& b) {
+              return std::abs(a.second) > std::abs(b.second);
+            });
+  return result;
+}
+
+std::vector<double> RootCauseAnalysis::what_if(const Dataset& data,
+                                               std::size_t feature,
+                                               double delta) const {
+  data.validate();
+  require(feature < data.n_features(), "what_if: feature out of range");
+  RandomForestRegressor probe = make_probe();
+  probe.fit(data.X, data.y);
+  Matrix shifted = data.X;
+  for (std::size_t r = 0; r < shifted.rows(); ++r) {
+    shifted(r, feature) += delta;
+  }
+  return probe.predict(shifted);
+}
+
+}  // namespace coda::templates

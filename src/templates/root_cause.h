@@ -1,0 +1,54 @@
+// Root Cause Analysis (§IV-E): "a better understanding into the statistical
+// reasons for favourable and unfavourable outcomes". Fits an interpretable
+// ensemble, ranks contributing factors, and provides the sensitivity and
+// what-if analyses Section II calls out (how much does the outcome move
+// when a factor moves; what outcome would a changed factor produce).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/ml/random_forest.h"
+
+namespace coda::templates {
+
+/// Outcome of a root-cause run.
+struct RootCauseResult {
+  /// (factor, normalized importance) sorted descending.
+  std::vector<std::pair<std::string, double>> factor_importance;
+  /// Sensitivity of the predicted outcome to a +1 standard deviation move
+  /// of each factor, averaged over the data (signed).
+  std::vector<std::pair<std::string, double>> sensitivity;
+  double model_r2 = 0.0;  ///< in-sample fit quality of the probe model
+};
+
+/// The RCA solution template.
+class RootCauseAnalysis {
+ public:
+  struct Config {
+    std::size_t n_trees = 60;
+    std::size_t max_depth = 8;
+    std::uint64_t seed = 42;
+  };
+
+  RootCauseAnalysis();
+  explicit RootCauseAnalysis(Config config);
+
+  /// `data`: X = process factors, y = outcome (continuous).
+  RootCauseResult run(const Dataset& data) const;
+
+  /// What-if analysis: the fitted probe model's predicted outcomes for
+  /// `data` when factor `feature` is shifted by `delta` everywhere
+  /// (intervention, §II). Call after run() — uses the same configuration.
+  std::vector<double> what_if(const Dataset& data, std::size_t feature,
+                              double delta) const;
+
+ private:
+  RandomForestRegressor make_probe() const;
+
+  Config config_;
+};
+
+}  // namespace coda::templates

@@ -1,0 +1,334 @@
+#include "src/ts/forecast_graph.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "src/data/fingerprint.h"
+#include "src/ml/scalers.h"
+#include "src/ts/forecasters.h"
+#include "src/ts/nn_forecasters.h"
+#include "src/util/hash.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+
+namespace coda::ts {
+namespace {
+
+// Clones a neural prototype, names it, and pins its architecture variant.
+template <typename ModelT>
+std::unique_ptr<Estimator> make_arch_variant(const std::string& node_name,
+                                             const std::string& arch) {
+  auto model = std::make_unique<ModelT>();
+  model->set_name(node_name);
+  model->set_param("arch", arch);
+  return model;
+}
+
+}  // namespace
+
+ForecastGraph ForecastGraph::standard(const ForecastSpec& spec,
+                                      std::int64_t neural_epochs) {
+  ForecastGraph g(spec);
+  g.add_scaler(std::make_unique<StandardScaler>());
+  g.add_scaler(std::make_unique<MinMaxScaler>());
+  g.add_scaler(std::make_unique<RobustScaler>());
+  g.add_scaler(std::make_unique<NoOp>());
+
+  g.add_windower(std::make_unique<CascadedWindows>(), "cascaded");
+  g.add_windower(std::make_unique<FlatWindowing>(), "flat");
+  g.add_windower(std::make_unique<TsAsIid>(), "iid");
+  g.add_windower(std::make_unique<TsAsIs>(), "asis");
+
+  // Temporal models consume cascaded windows (Fig 11 wiring).
+  g.add_model(make_arch_variant<LstmForecaster>("lstm_simple", "simple"),
+              "cascaded");
+  g.add_model(make_arch_variant<LstmForecaster>("lstm_deep", "deep"),
+              "cascaded");
+  g.add_model(make_arch_variant<CnnForecaster>("cnn_simple", "simple"),
+              "cascaded");
+  g.add_model(make_arch_variant<CnnForecaster>("cnn_deep", "deep"),
+              "cascaded");
+  g.add_model(std::make_unique<WaveNetForecaster>(), "cascaded");
+  g.add_model(std::make_unique<SeriesNetForecaster>(), "cascaded");
+  // The AR(p) regression also reads lagged values (VAR over the window).
+  g.add_model(std::make_unique<ArModel>(), "cascaded");
+
+  // IID DNNs consume flattened windows and per-timestamp points.
+  g.add_model(make_arch_variant<DnnForecaster>("dnn_simple", "simple"),
+              "flat");
+  g.add_model(make_arch_variant<DnnForecaster>("dnn_deep", "deep"), "flat");
+  g.add_model(make_arch_variant<DnnForecaster>("dnn_iid_simple", "simple"),
+              "iid");
+  g.add_model(make_arch_variant<DnnForecaster>("dnn_iid_deep", "deep"),
+              "iid");
+
+  // The persistence baseline consumes the raw (as-is) feed.
+  g.add_model(std::make_unique<ZeroModel>(), "asis");
+
+  if (neural_epochs > 0) {
+    for (auto& option : g.models_) {
+      if (option.model->params().contains("epochs")) {
+        option.model->set_param("epochs", neural_epochs);
+      }
+    }
+  }
+  return g;
+}
+
+ForecastGraph& ForecastGraph::add_scaler(
+    std::unique_ptr<Transformer> scaler) {
+  require(scaler != nullptr, "ForecastGraph: null scaler");
+  scalers_.push_back(std::move(scaler));
+  return *this;
+}
+
+ForecastGraph& ForecastGraph::add_windower(
+    std::unique_ptr<WindowMaker> windower, std::string tag) {
+  require(windower != nullptr, "ForecastGraph: null windower");
+  require(!tag.empty(), "ForecastGraph: windower tag must be non-empty");
+  windowers_.push_back(WindowerOption{std::move(windower), std::move(tag)});
+  return *this;
+}
+
+ForecastGraph& ForecastGraph::add_model(std::unique_ptr<Estimator> model,
+                                        std::string consumes_tag) {
+  require(model != nullptr, "ForecastGraph: null model");
+  for (const auto& m : models_) {
+    require(m.model->name() != model->name(),
+            "ForecastGraph: duplicate model name '" + model->name() + "'");
+  }
+  models_.push_back(ModelOption{std::move(model), std::move(consumes_tag)});
+  return *this;
+}
+
+std::vector<ForecastGraph::Candidate> ForecastGraph::enumerate() const {
+  require(!scalers_.empty() && !windowers_.empty() && !models_.empty(),
+          "ForecastGraph: all three stages need options");
+  std::vector<Candidate> out;
+  for (std::size_t s = 0; s < scalers_.size(); ++s) {
+    for (std::size_t w = 0; w < windowers_.size(); ++w) {
+      for (std::size_t m = 0; m < models_.size(); ++m) {
+        if (models_[m].consumes_tag != windowers_[w].tag) continue;
+        out.push_back(Candidate{s, w, m});
+      }
+    }
+  }
+  require(!out.empty(), "ForecastGraph: no legal path (check tags)");
+  return out;
+}
+
+ForecastPipeline ForecastGraph::instantiate(const Candidate& candidate,
+                                            std::size_t n_variables) const {
+  require(candidate.scaler < scalers_.size() &&
+              candidate.windower < windowers_.size() &&
+              candidate.model < models_.size(),
+          "ForecastGraph::instantiate: index out of range");
+  require(models_[candidate.model].consumes_tag ==
+              windowers_[candidate.windower].tag,
+          "ForecastGraph::instantiate: incompatible windower/model pair");
+  auto model = models_[candidate.model].model->clone_estimator();
+  // Temporal models need the channel count to reshape flattened windows.
+  if (model->params().contains("n_vars")) {
+    model->set_param("n_vars", static_cast<std::int64_t>(n_variables));
+  }
+  return ForecastPipeline(
+      scalers_[candidate.scaler]->clone_transformer(),
+      windowers_[candidate.windower].windower->clone(), std::move(model),
+      spec_);
+}
+
+std::string ForecastGraph::candidate_spec(const Candidate& candidate,
+                                          std::size_t n_variables) const {
+  return instantiate(candidate, n_variables).spec_string();
+}
+
+std::string ForecastGraph::to_dot() const {
+  std::string out = "digraph ts_pipeline {\n  rankdir=LR;\n";
+  out += "  input [shape=ellipse];\n";
+  auto cluster = [&out](const std::string& name, std::size_t id,
+                        const std::vector<std::string>& nodes) {
+    out += "  subgraph cluster_" + std::to_string(id) + " {\n    label=\"" +
+           name + "\";\n";
+    for (const auto& n : nodes) out += "    \"" + n + "\" [shape=box];\n";
+    out += "  }\n";
+  };
+  std::vector<std::string> scaler_names;
+  for (const auto& s : scalers_) scaler_names.push_back(s->name());
+  std::vector<std::string> windower_names;
+  for (const auto& w : windowers_) windower_names.push_back(w.windower->name());
+  std::vector<std::string> model_names;
+  for (const auto& m : models_) model_names.push_back(m.model->name());
+  cluster("Data Scaling", 0, scaler_names);
+  cluster("Data Preprocessing", 1, windower_names);
+  cluster("Modelling", 2, model_names);
+
+  for (const auto& s : scaler_names) out += "  input -> \"" + s + "\";\n";
+  for (const auto& s : scaler_names) {
+    for (const auto& w : windower_names) {
+      out += "  \"" + s + "\" -> \"" + w + "\";\n";
+    }
+  }
+  for (const auto& w : windowers_) {
+    for (const auto& m : models_) {
+      if (m.consumes_tag != w.tag) continue;
+      out += "  \"" + w.windower->name() + "\" -> \"" + m.model->name() +
+             "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+ForecastGraphEvaluator::ForecastGraphEvaluator(EvaluatorConfig config)
+    : config_(std::move(config)) {}
+
+std::string ForecastGraphEvaluator::cache_key(
+    const TimeSeries& series, const std::string& candidate_spec,
+    const TimeSeriesSlidingSplit& cv, Metric metric) {
+  return hash_to_hex(fingerprint(series)) + "|" + candidate_spec + "|" +
+         cv.spec() + "|" + metric_name(metric);
+}
+
+EvaluationReport ForecastGraphEvaluator::evaluate(
+    const ForecastGraph& graph, const TimeSeries& series,
+    const TimeSeriesSlidingSplit& cv) const {
+  Stopwatch total_timer;
+  const auto candidates = graph.enumerate();
+  EvaluationReport report;
+  report.metric = config_.metric;
+  report.results.resize(candidates.size());
+  const std::size_t v = series.n_variables();
+
+  // Same cooperative protocol as the tabular GraphEvaluator: a candidate
+  // whose claim a peer holds is deferred on the first pass (keep working
+  // on unclaimed ones) and revisited on the second pass, where we wait for
+  // the peer's result or steal the claim if it expires (peer failure).
+  auto evaluate_one = [&](std::size_t i, bool allow_defer) -> bool {
+    CandidateResult& out = report.results[i];
+    Stopwatch timer;
+    const std::string spec = graph.candidate_spec(candidates[i], v);
+    out.spec = spec;
+    const std::string key =
+        config_.cache == nullptr
+            ? std::string()
+            : cache_key(series, spec, cv, config_.metric);
+    try {
+      if (config_.cache != nullptr) {
+        if (auto hit = config_.cache->lookup(key)) {
+          out.mean_score = hit->mean_score;
+          out.stddev = hit->stddev;
+          out.fold_scores = hit->fold_scores;
+          out.from_cache = true;
+          out.eval_seconds = timer.elapsed_seconds();
+          return false;
+        }
+        if (!config_.cache->try_claim(key)) {
+          if (allow_defer) return true;
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(config_.claim_wait_ms);
+          for (;;) {
+            if (auto hit = config_.cache->lookup(key)) {
+              out.mean_score = hit->mean_score;
+              out.stddev = hit->stddev;
+              out.fold_scores = hit->fold_scores;
+              out.from_cache = true;
+              out.eval_seconds = timer.elapsed_seconds();
+              return false;
+            }
+            if (config_.cache->try_claim(key)) break;
+            if (std::chrono::steady_clock::now() >= deadline) break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(config_.claim_poll_ms));
+          }
+        }
+      }
+      const ForecastPipeline pipeline = graph.instantiate(candidates[i], v);
+      const CachedResult result =
+          evaluate_forecast(pipeline, series, cv, config_.metric);
+      out.mean_score = result.mean_score;
+      out.stddev = result.stddev;
+      out.fold_scores = result.fold_scores;
+      out.eval_seconds = timer.elapsed_seconds();
+      if (config_.cache != nullptr) config_.cache->store(key, result);
+    } catch (const std::exception& e) {
+      out.failed = true;
+      out.failure_message = e.what();
+      out.eval_seconds = timer.elapsed_seconds();
+      if (config_.cache != nullptr && !key.empty()) {
+        config_.cache->abandon(key);
+      }
+    }
+    return false;
+  };
+
+  std::vector<std::size_t> deferred;
+  if (config_.threads == 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (evaluate_one(i, /*allow_defer=*/true)) deferred.push_back(i);
+    }
+    for (const std::size_t i : deferred) {
+      evaluate_one(i, /*allow_defer=*/false);
+    }
+  } else {
+    ThreadPool pool(config_.threads);
+    std::vector<std::future<bool>> futures;
+    futures.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      futures.push_back(pool.submit(evaluate_one, i, true));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      if (futures[i].get()) deferred.push_back(i);
+    }
+    std::vector<std::future<bool>> retry;
+    retry.reserve(deferred.size());
+    for (const std::size_t i : deferred) {
+      retry.push_back(pool.submit(evaluate_one, i, false));
+    }
+    for (auto& f : retry) f.get();
+  }
+
+  const bool maximize = higher_is_better(config_.metric);
+  bool found = false;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const auto& r = report.results[i];
+    if (r.failed) continue;
+    if (r.from_cache) {
+      ++report.served_from_cache;
+    } else {
+      ++report.evaluated_locally;
+    }
+    if (!found) {
+      report.best_index = i;
+      found = true;
+      continue;
+    }
+    const auto& best = report.results[report.best_index];
+    if (maximize ? r.mean_score > best.mean_score
+                 : r.mean_score < best.mean_score) {
+      report.best_index = i;
+    }
+  }
+  require_state(found, "ForecastGraphEvaluator: every candidate failed");
+  report.total_seconds = total_timer.elapsed_seconds();
+  return report;
+}
+
+ForecastPipeline ForecastGraphEvaluator::train_best(
+    const ForecastGraph& graph, const TimeSeries& series,
+    const TimeSeriesSlidingSplit& cv) const {
+  const auto report = evaluate(graph, series, cv);
+  const auto candidates = graph.enumerate();
+  const std::size_t v = series.n_variables();
+  for (const auto& candidate : candidates) {
+    if (graph.candidate_spec(candidate, v) == report.best().spec) {
+      ForecastPipeline p = graph.instantiate(candidate, v);
+      p.fit_full(series);
+      return p;
+    }
+  }
+  throw StateError("ForecastGraphEvaluator: best candidate not found");
+}
+
+}  // namespace coda::ts

@@ -1,0 +1,81 @@
+// The time-series prediction pipeline (Section IV-D, Fig 11): data scaling
+// -> data preprocessing (windowing) -> modelling, evaluated with the
+// TimeSeriesSlidingSplit (Fig 12).
+//
+// Unlike the tabular core::Pipeline, the windowing stage changes the sample
+// space (timestamps -> windows) and *derives* the supervision targets from
+// the series, so the forecast pipeline has its own fit/evaluate flow:
+// per split, the scaler is fit on the training timestamps only (no
+// leakage), applied to the whole series, windows are built, and window rows
+// are assigned to train/validation by their timestamp spans.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/component.h"
+#include "src/core/cross_validation.h"
+#include "src/core/evaluator.h"
+#include "src/core/metrics.h"
+#include "src/data/time_series.h"
+#include "src/ts/windowing.h"
+
+namespace coda::ts {
+
+/// One fully specified forecasting path: scaler -> windower -> estimator.
+class ForecastPipeline {
+ public:
+  ForecastPipeline(std::unique_ptr<Transformer> scaler,
+                   std::unique_ptr<WindowMaker> windower,
+                   std::unique_ptr<Estimator> model, ForecastSpec spec);
+
+  ForecastPipeline(const ForecastPipeline& other);
+  ForecastPipeline& operator=(const ForecastPipeline& other);
+  ForecastPipeline(ForecastPipeline&&) = default;
+  ForecastPipeline& operator=(ForecastPipeline&&) = default;
+
+  const Transformer& scaler() const { return *scaler_; }
+  const WindowMaker& windower() const { return *windower_; }
+  const Estimator& model() const { return *model_; }
+  Estimator& model() { return *model_; }
+  const ForecastSpec& spec() const { return spec_; }
+
+  /// Canonical path description used in reports and DARR keys.
+  std::string spec_string() const;
+
+  /// Fits scaler + model on the timestamps [train_begin, train_end).
+  void fit(const TimeSeries& series, std::size_t train_begin,
+           std::size_t train_end);
+
+  /// Fits on the entire series.
+  void fit_full(const TimeSeries& series);
+
+  /// Predicts the target values whose timestamps fall in
+  /// [target_begin, target_end), using history from the series. Requires
+  /// fit. Returns (predictions, ground truth) aligned by timestamp.
+  std::pair<std::vector<double>, std::vector<double>> predict_range(
+      const TimeSeries& series, std::size_t target_begin,
+      std::size_t target_end) const;
+
+  /// One-step-ahead forecast past the end of the series. Requires fit.
+  double forecast_next(const TimeSeries& series) const;
+
+ private:
+  WindowedData build_windows(const TimeSeries& series) const;
+
+  std::unique_ptr<Transformer> scaler_;
+  std::unique_ptr<WindowMaker> windower_;
+  std::unique_ptr<Estimator> model_;
+  ForecastSpec spec_;
+  bool fitted_ = false;
+};
+
+/// Scores a forecast pipeline across the sliding splits of `cv` with
+/// `metric`. Each split fits a fresh copy (folds are independent); fold
+/// scores are in original target units.
+CachedResult evaluate_forecast(const ForecastPipeline& pipeline,
+                               const TimeSeries& series,
+                               const TimeSeriesSlidingSplit& cv,
+                               Metric metric);
+
+}  // namespace coda::ts

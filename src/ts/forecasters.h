@@ -1,0 +1,49 @@
+// Statistical time-series estimators (Section IV-C1).
+#pragma once
+
+#include "src/core/component.h"
+
+namespace coda::ts {
+
+/// The Zero (persistence) model — the paper's baseline: "outputs the
+/// previous timestamp's ground truth as the next timestamp's prediction".
+/// Expects the TS-as-is feed where column `value_col` holds the current
+/// target value. Parameter: value_col (int, default 0).
+class ZeroModel final : public Estimator {
+ public:
+  ZeroModel() : Estimator("zeromodel") {
+    declare_param("value_col", std::int64_t{0});
+  }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<ZeroModel>(*this);
+  }
+
+ private:
+  std::size_t fitted_cols_ = 0;
+};
+
+/// Autoregressive model fit by least squares on lagged values. On cascaded
+/// windows of a multivariate series this is a VAR(p) regression onto the
+/// target. (The paper lists ARIMA but did not integrate it; this linear AR
+/// is the closest statistical model that fits the pipeline contract —
+/// see DESIGN.md §2.) Parameter: ridge (double, default 1e-6).
+class ArModel final : public Estimator {
+ public:
+  ArModel() : Estimator("armodel") { declare_param("ridge", 1e-6); }
+
+  void fit(const Matrix& X, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& X) const override;
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<ArModel>(*this);
+  }
+
+  const std::vector<double>& coefficients() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace coda::ts

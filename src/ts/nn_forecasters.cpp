@@ -1,0 +1,216 @@
+#include "src/ts/nn_forecasters.h"
+
+#include <cmath>
+
+#include "src/nn/activations.h"
+#include "src/nn/conv1d.h"
+#include "src/nn/dense.h"
+#include "src/nn/dropout.h"
+#include "src/nn/loss.h"
+#include "src/nn/lstm.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/slice.h"
+#include "src/nn/trainer.h"
+
+namespace coda::ts {
+namespace {
+
+// Derives (seq_len, channels) for temporal models from the flattened row
+// width and the n_vars parameter.
+std::pair<std::size_t, std::size_t> sequence_shape(std::size_t in_features,
+                                                   std::int64_t n_vars_param,
+                                                   const std::string& who) {
+  const auto channels = static_cast<std::size_t>(n_vars_param);
+  require(channels >= 1, who + ": n_vars must be >= 1");
+  require(in_features % channels == 0,
+          who + ": input width " + std::to_string(in_features) +
+              " is not a multiple of n_vars " + std::to_string(channels));
+  return {in_features / channels, channels};
+}
+
+}  // namespace
+
+NeuralForecaster::NeuralForecaster(std::string name)
+    : Estimator(std::move(name)) {
+  declare_param("epochs", std::int64_t{40});
+  declare_param("batch_size", std::int64_t{32});
+  declare_param("learning_rate", 1e-3);
+  declare_param("dropout", 0.1);
+  declare_param("seed", std::int64_t{42});
+}
+
+void NeuralForecaster::fit(const Matrix& X, const std::vector<double>& y) {
+  require(X.rows() == y.size(), name() + ": X/y size mismatch");
+  require(X.rows() > 0, name() + ": empty input");
+
+  y_mean_ = 0.0;
+  for (const double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (const double v : y) var += (v - y_mean_) * (v - y_mean_);
+  y_scale_ = std::sqrt(var / static_cast<double>(y.size()));
+  if (y_scale_ == 0.0) y_scale_ = 1.0;
+  std::vector<double> scaled(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    scaled[i] = (y[i] - y_mean_) / y_scale_;
+  }
+
+  net_ = build_network(X.cols());
+  nn::TrainConfig train_cfg;
+  train_cfg.epochs = static_cast<std::size_t>(params().get_int("epochs"));
+  train_cfg.batch_size =
+      static_cast<std::size_t>(params().get_int("batch_size"));
+  train_cfg.shuffle_seed = seed();
+  nn::MseLoss loss;
+  nn::Adam optimizer(params().get_double("learning_rate"));
+  nn::train(net_, X, nn::column_matrix(scaled), loss, optimizer, train_cfg);
+  fitted_ = true;
+}
+
+std::vector<double> NeuralForecaster::predict(const Matrix& X) const {
+  require_state(fitted_, name() + ": call fit() first");
+  nn::Sequential net = net_;  // forward mutates caches; keep predict const
+  const Matrix out = net.forward(X, /*training=*/false);
+  std::vector<double> pred(X.rows());
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    pred[i] = out(i, 0) * y_scale_ + y_mean_;
+  }
+  return pred;
+}
+
+nn::Sequential DnnForecaster::build_network(std::size_t in_features) const {
+  const std::string& arch = params().get_string("arch");
+  require(arch == "simple" || arch == "deep",
+          "DnnForecaster: arch must be 'simple' or 'deep'");
+  const auto hidden = static_cast<std::size_t>(params().get_int("hidden"));
+  const std::size_t n_hidden = arch == "simple" ? 2 : 4;
+
+  nn::Sequential net;
+  std::size_t width = in_features;
+  for (std::size_t l = 0; l < n_hidden; ++l) {
+    net.emplace<nn::Dense>(width, hidden, seed() + l);
+    net.emplace<nn::ReLU>();
+    if (dropout_rate() > 0.0) {
+      net.emplace<nn::Dropout>(dropout_rate(), seed() + 100 + l);
+    }
+    width = hidden;
+  }
+  net.emplace<nn::Dense>(width, std::size_t{1}, seed() + 999);
+  return net;
+}
+
+nn::Sequential LstmForecaster::build_network(std::size_t in_features) const {
+  const std::string& arch = params().get_string("arch");
+  require(arch == "simple" || arch == "deep",
+          "LstmForecaster: arch must be 'simple' or 'deep'");
+  const auto hidden = static_cast<std::size_t>(params().get_int("hidden"));
+  const auto [seq_len, channels] =
+      sequence_shape(in_features, params().get_int("n_vars"), "lstm");
+  (void)seq_len;
+  const std::size_t n_layers = arch == "simple" ? 1 : 4;
+
+  nn::Sequential net;
+  std::size_t width = channels;
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const bool return_sequences = l + 1 < n_layers;
+    net.emplace<nn::Lstm>(width, hidden, return_sequences, seed() + l);
+    if (dropout_rate() > 0.0) {
+      net.emplace<nn::Dropout>(dropout_rate(), seed() + 100 + l);
+    }
+    width = hidden;
+  }
+  net.emplace<nn::Dense>(hidden, std::size_t{1}, seed() + 999);
+  return net;
+}
+
+nn::Sequential CnnForecaster::build_network(std::size_t in_features) const {
+  const std::string& arch = params().get_string("arch");
+  require(arch == "simple" || arch == "deep",
+          "CnnForecaster: arch must be 'simple' or 'deep'");
+  const auto filters = static_cast<std::size_t>(params().get_int("filters"));
+  const auto kernel = static_cast<std::size_t>(params().get_int("kernel"));
+  const auto hidden = static_cast<std::size_t>(params().get_int("hidden"));
+  const auto [seq_len, channels] =
+      sequence_shape(in_features, params().get_int("n_vars"), "cnn");
+  const std::size_t blocks = arch == "simple" ? 1 : 2;
+
+  nn::Sequential net;
+  std::size_t length = seq_len;
+  std::size_t width = channels;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    net.emplace<nn::Conv1D>(width, filters, kernel, /*dilation=*/1,
+                            /*causal=*/true, seed() + b);
+    net.emplace<nn::ReLU>();
+    if (length >= 2) {
+      net.emplace<nn::MaxPool1D>(filters, std::size_t{2});
+      length /= 2;
+    }
+    width = filters;
+  }
+  require(length >= 1, "CnnForecaster: sequence pooled away");
+  net.emplace<nn::Dense>(length * filters, hidden, seed() + 500);
+  net.emplace<nn::ReLU>();
+  if (dropout_rate() > 0.0) {
+    net.emplace<nn::Dropout>(dropout_rate(), seed() + 600);
+  }
+  net.emplace<nn::Dense>(hidden, std::size_t{1}, seed() + 999);
+  return net;
+}
+
+nn::Sequential WaveNetForecaster::build_network(
+    std::size_t in_features) const {
+  const auto filters = static_cast<std::size_t>(params().get_int("filters"));
+  const auto [seq_len, channels] =
+      sequence_shape(in_features, params().get_int("n_vars"), "wavenet");
+
+  nn::Sequential net;
+  std::size_t width = channels;
+  // Dilations 1, 2, 4, ... while the kernel span fits in the history.
+  std::size_t layer = 0;
+  for (std::size_t dilation = 1; dilation < seq_len; dilation *= 2) {
+    net.emplace<nn::Conv1D>(width, filters, std::size_t{2}, dilation,
+                            /*causal=*/true, seed() + layer);
+    net.emplace<nn::ReLU>();
+    width = filters;
+    ++layer;
+  }
+  if (layer == 0) {  // degenerate history of 1 step: plain 1x1 conv
+    net.emplace<nn::Conv1D>(width, filters, std::size_t{1}, std::size_t{1},
+                            /*causal=*/true, seed());
+    net.emplace<nn::ReLU>();
+  }
+  net.emplace<nn::SliceLastTimestep>(filters);
+  net.emplace<nn::Dense>(filters, std::size_t{1}, seed() + 999);
+  return net;
+}
+
+nn::Sequential SeriesNetForecaster::build_network(
+    std::size_t in_features) const {
+  const auto filters = static_cast<std::size_t>(params().get_int("filters"));
+  const auto [seq_len, channels] =
+      sequence_shape(in_features, params().get_int("n_vars"), "seriesnet");
+
+  nn::Sequential net;
+  std::size_t width = channels;
+  std::size_t layer = 0;
+  // Deeper schedule than WaveNet: two passes over the dilation ladder.
+  for (std::size_t pass = 0; pass < 2; ++pass) {
+    for (std::size_t dilation = 1; dilation < seq_len; dilation *= 2) {
+      net.emplace<nn::Conv1D>(width, filters, std::size_t{2}, dilation,
+                              /*causal=*/true, seed() + layer);
+      net.emplace<nn::Tanh>();
+      width = filters;
+      ++layer;
+    }
+  }
+  if (layer == 0) {
+    net.emplace<nn::Conv1D>(width, filters, std::size_t{1}, std::size_t{1},
+                            /*causal=*/true, seed());
+    net.emplace<nn::Tanh>();
+  }
+  net.emplace<nn::SliceLastTimestep>(filters);
+  net.emplace<nn::Dense>(filters, std::size_t{1}, seed() + 999);
+  return net;
+}
+
+}  // namespace coda::ts

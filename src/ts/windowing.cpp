@@ -1,0 +1,115 @@
+#include "src/ts/windowing.h"
+
+#include "src/util/error.h"
+
+namespace coda::ts {
+namespace {
+
+void check_inputs(const Matrix& features, const Matrix& target_source,
+                  const ForecastSpec& spec) {
+  require(features.rows() == target_source.rows() &&
+              features.cols() == target_source.cols(),
+          "WindowMaker: feature/target series shape mismatch");
+  require(features.rows() > 0, "WindowMaker: empty series");
+  require(spec.horizon >= 1, "WindowMaker: horizon must be >= 1");
+  require(spec.target_var < features.cols(),
+          "WindowMaker: target_var out of range");
+}
+
+// Shared implementation of Figs 7 and 8: the cascaded window and its
+// flattened form contain the same values in the same (time-major) order;
+// the distinction is which estimators consume them (temporal vs IID).
+WindowedData build_history_windows(const Matrix& features,
+                                   const Matrix& target_source,
+                                   const ForecastSpec& spec) {
+  check_inputs(features, target_source, spec);
+  require(spec.history >= 1, "WindowMaker: history must be >= 1");
+  const std::size_t L = features.rows();
+  const std::size_t v = features.cols();
+  const std::size_t p = spec.history;
+  require(L >= p + spec.horizon,
+          "WindowMaker: series shorter than history + horizon");
+  const std::size_t n = L - p - spec.horizon + 1;
+
+  WindowedData out;
+  out.X = Matrix(n, p * v);
+  out.y.resize(n);
+  out.target_times.resize(n);
+  out.span_starts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < p; ++t) {
+      for (std::size_t c = 0; c < v; ++c) {
+        out.X(i, t * v + c) = features(i + t, c);
+      }
+    }
+    const std::size_t target_time = i + p + spec.horizon - 1;
+    out.y[i] = target_source(target_time, spec.target_var);
+    out.target_times[i] = target_time;
+    out.span_starts[i] = i;
+  }
+  return out;
+}
+
+}  // namespace
+
+WindowedData CascadedWindows::build(const Matrix& features,
+                                    const Matrix& target_source,
+                                    const ForecastSpec& spec) const {
+  return build_history_windows(features, target_source, spec);
+}
+
+WindowedData FlatWindowing::build(const Matrix& features,
+                                  const Matrix& target_source,
+                                  const ForecastSpec& spec) const {
+  return build_history_windows(features, target_source, spec);
+}
+
+WindowedData TsAsIid::build(const Matrix& features,
+                            const Matrix& target_source,
+                            const ForecastSpec& spec) const {
+  check_inputs(features, target_source, spec);
+  const std::size_t L = features.rows();
+  require(L > spec.horizon, "TsAsIid: series shorter than horizon");
+  const std::size_t n = L - spec.horizon;
+
+  WindowedData out;
+  out.X = Matrix(n, features.cols());
+  out.y.resize(n);
+  out.target_times.resize(n);
+  out.span_starts.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      out.X(t, c) = features(t, c);
+    }
+    out.y[t] = target_source(t + spec.horizon, spec.target_var);
+    out.target_times[t] = t + spec.horizon;
+    out.span_starts[t] = t;
+  }
+  return out;
+}
+
+WindowedData TsAsIs::build(const Matrix& features,
+                           const Matrix& target_source,
+                           const ForecastSpec& spec) const {
+  check_inputs(features, target_source, spec);
+  const std::size_t L = features.rows();
+  require(L > spec.horizon, "TsAsIs: series shorter than horizon");
+  const std::size_t n = L - spec.horizon;
+
+  WindowedData out;
+  out.X = Matrix(n, 1);
+  out.y.resize(n);
+  out.target_times.resize(n);
+  out.span_starts.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    // The persistence feed is deliberately unscaled: the Zero model must
+    // output the previous ground truth in original units.
+    out.X(t, 0) = target_source(t, spec.target_var);
+    out.y[t] = target_source(t + spec.horizon, spec.target_var);
+    out.target_times[t] = t + spec.horizon;
+    out.span_starts[t] = t;
+  }
+  return out;
+}
+
+}  // namespace coda::ts

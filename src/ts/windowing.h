@@ -1,0 +1,128 @@
+// Time-series data preprocessors (Section IV-C4, Figs 7-10).
+//
+// A WindowMaker turns a multivariate series into supervised (X, y) pairs
+// for a given history window p, prediction horizon h and target variable.
+// X is built from the (possibly scaled) feature view of the series; y is
+// always read from the original series so every path's error is scored in
+// original units.
+//
+//   CascadedWindows (Fig 7): X row i = flattened (p x v) history, time-major
+//                            — consumed by the temporal models.
+//   FlatWindowing   (Fig 8): the cascaded window flattened to 1 x pv — same
+//                            values, but consumed by IID DNNs that ignore
+//                            the temporal ordering.
+//   TSasIID         (Fig 9): X row t = the v current values only; no
+//                            history, every timestamp an IID point.
+//   TSasIs         (Fig 10): X row t = the current target value only — the
+//                            no-op feed for the Zero (persistence) model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/matrix.h"
+
+namespace coda::ts {
+
+/// Forecasting task shape shared by every path of a forecast graph.
+struct ForecastSpec {
+  std::size_t history = 24;    ///< history window length p
+  std::size_t horizon = 1;     ///< steps ahead to predict
+  std::size_t target_var = 0;  ///< variable to predict
+};
+
+/// Supervised view of a series produced by a WindowMaker.
+struct WindowedData {
+  Matrix X;
+  std::vector<double> y;
+  /// Timestamp of each row's prediction target (same length as y).
+  std::vector<std::size_t> target_times;
+  /// First timestamp each row's features read (used for leakage checks).
+  std::vector<std::size_t> span_starts;
+};
+
+/// Turns a series into supervised pairs. Stateless and deterministic.
+class WindowMaker {
+ public:
+  virtual ~WindowMaker() = default;
+
+  /// Builds (X, y). `features` supplies X (typically the scaled series);
+  /// `target_source` supplies y (the original series). Both are L x v.
+  virtual WindowedData build(const Matrix& features,
+                             const Matrix& target_source,
+                             const ForecastSpec& spec) const = 0;
+
+  /// Stable node name ("cascadedwindows", ...).
+  virtual std::string name() const = 0;
+
+  /// Width of the produced X for a v-variable series.
+  virtual std::size_t feature_width(std::size_t n_variables,
+                                    const ForecastSpec& spec) const = 0;
+
+  virtual std::unique_ptr<WindowMaker> clone() const = 0;
+};
+
+/// Fig 7 — temporal history, order preserved.
+class CascadedWindows final : public WindowMaker {
+ public:
+  WindowedData build(const Matrix& features, const Matrix& target_source,
+                     const ForecastSpec& spec) const override;
+  std::string name() const override { return "cascadedwindows"; }
+  std::size_t feature_width(std::size_t n_variables,
+                            const ForecastSpec& spec) const override {
+    return n_variables * spec.history;
+  }
+  std::unique_ptr<WindowMaker> clone() const override {
+    return std::make_unique<CascadedWindows>(*this);
+  }
+};
+
+/// Fig 8 — cascaded windows flattened to 1 x pv (temporal history kept,
+/// ordering semantics dropped for IID consumers).
+class FlatWindowing final : public WindowMaker {
+ public:
+  WindowedData build(const Matrix& features, const Matrix& target_source,
+                     const ForecastSpec& spec) const override;
+  std::string name() const override { return "flatwindowing"; }
+  std::size_t feature_width(std::size_t n_variables,
+                            const ForecastSpec& spec) const override {
+    return n_variables * spec.history;
+  }
+  std::unique_ptr<WindowMaker> clone() const override {
+    return std::make_unique<FlatWindowing>(*this);
+  }
+};
+
+/// Fig 9 — each timestamp as an independent point (no history).
+class TsAsIid final : public WindowMaker {
+ public:
+  WindowedData build(const Matrix& features, const Matrix& target_source,
+                     const ForecastSpec& spec) const override;
+  std::string name() const override { return "ts_as_iid"; }
+  std::size_t feature_width(std::size_t n_variables,
+                            const ForecastSpec&) const override {
+    return n_variables;
+  }
+  std::unique_ptr<WindowMaker> clone() const override {
+    return std::make_unique<TsAsIid>(*this);
+  }
+};
+
+/// Fig 10 — no operation: the current target value only, for models that
+/// need no transformation (Zero/persistence).
+class TsAsIs final : public WindowMaker {
+ public:
+  WindowedData build(const Matrix& features, const Matrix& target_source,
+                     const ForecastSpec& spec) const override;
+  std::string name() const override { return "ts_as_is"; }
+  std::size_t feature_width(std::size_t,
+                            const ForecastSpec&) const override {
+    return 1;
+  }
+  std::unique_ptr<WindowMaker> clone() const override {
+    return std::make_unique<TsAsIs>(*this);
+  }
+};
+
+}  // namespace coda::ts

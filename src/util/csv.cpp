@@ -1,0 +1,119 @@
+#include "src/util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace coda {
+namespace {
+
+// Parses one CSV record starting at `pos`; advances past the trailing
+// newline. Handles quoted fields per RFC 4180.
+std::vector<std::string> parse_record(const std::string& text,
+                                      std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (quoted) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          quoted = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+    } else if (c == '"') {
+      quoted = true;
+      ++pos;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++pos;
+    } else if (c == '\r') {
+      ++pos;
+    } else if (c == '\n') {
+      ++pos;
+      break;
+    } else {
+      field.push_back(c);
+      ++pos;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::string& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+CsvTable parse_csv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    auto record = parse_record(text, pos);
+    if (record.size() == 1 && record[0].empty()) continue;  // blank line
+    if (first && has_header) {
+      table.header = std::move(record);
+    } else {
+      table.rows.push_back(std::move(record));
+    }
+    first = false;
+  }
+  return table;
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_field(out, row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!table.header.empty()) emit_row(table.header);
+  for (const auto& row : table.rows) emit_row(row);
+  return out;
+}
+
+CsvTable read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("read_csv_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str(), has_header);
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("write_csv_file: cannot open " + path);
+  out << to_csv(table);
+  if (!out) throw Error("write_csv_file: write failed for " + path);
+}
+
+}  // namespace coda

@@ -1,0 +1,28 @@
+// CSV reading/writing for examples and bench artifact dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coda {
+
+/// A parsed CSV table: header row (possibly empty) plus string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. When `has_header` is true the first row becomes the
+/// header. Quoted fields with embedded commas/quotes are supported.
+CsvTable parse_csv(const std::string& text, bool has_header);
+
+/// Renders a table back to CSV text, quoting fields where needed.
+std::string to_csv(const CsvTable& table);
+
+/// Reads and parses a CSV file; throws coda::Error on I/O failure.
+CsvTable read_csv_file(const std::string& path, bool has_header);
+
+/// Writes a table as a CSV file; throws coda::Error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace coda

@@ -1,0 +1,53 @@
+// Error types shared by the whole library.
+//
+// All recoverable failures surface as exceptions derived from coda::Error so
+// callers can catch the library's failures without catching unrelated
+// std::runtime_error instances.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace coda {
+
+/// Base class for every error thrown by the coda library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an API precondition (bad argument, wrong shape, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operation was invoked in the wrong state (e.g. predict before fit).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// A lookup failed (unknown parameter, missing object, absent record, ...).
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// A serialized payload could not be decoded.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+/// Throws StateError with `message` unless `condition` holds.
+inline void require_state(bool condition, const std::string& message) {
+  if (!condition) throw StateError(message);
+}
+
+}  // namespace coda

@@ -1,0 +1,17 @@
+#include "src/util/hash.h"
+
+#include <array>
+
+namespace coda {
+
+std::string hash_to_hex(std::uint64_t h) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::array<char, 16> out{};
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return std::string(out.data(), out.size());
+}
+
+}  // namespace coda

@@ -1,0 +1,63 @@
+// Stable non-cryptographic hashing (FNV-1a, 64-bit).
+//
+// Used for dataset fingerprints, DARR record keys, and the delta codec's
+// rolling block signatures. Stability across runs/platforms matters (records
+// are shared between simulated nodes), so we do not use std::hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coda {
+
+/// Incremental FNV-1a 64-bit hasher.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1a& update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& update(std::string_view s) { return update(s.data(), s.size()); }
+
+  template <typename T>
+  Fnv1a& update_value(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return update(&value, sizeof(value));
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+/// One-shot hash of a byte range.
+inline std::uint64_t fnv1a(const void* data, std::size_t size) {
+  return Fnv1a().update(data, size).digest();
+}
+
+/// One-shot hash of a string.
+inline std::uint64_t fnv1a(std::string_view s) {
+  return Fnv1a().update(s).digest();
+}
+
+/// Hash of a vector of doubles (bit patterns, stable for identical data).
+inline std::uint64_t fnv1a(const std::vector<double>& v) {
+  return fnv1a(v.data(), v.size() * sizeof(double));
+}
+
+/// Renders a 64-bit hash as fixed-width hex, for use in record keys.
+std::string hash_to_hex(std::uint64_t h);
+
+}  // namespace coda

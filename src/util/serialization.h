@@ -1,0 +1,129 @@
+// Minimal binary serialization for objects shipped across the simulated
+// network (Section III): versioned data objects, deltas, DARR records.
+//
+// The format is little-endian, length-prefixed, and symmetric between
+// ByteWriter and ByteReader. It is intentionally simple — the interesting
+// behaviour (delta encoding, version negotiation) lives above it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace coda {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values, strings and blobs to a byte buffer.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof(v)); }
+
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof(v)); }
+
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof(v)); }
+
+  void write_double(double v) { write_raw(&v, sizeof(v)); }
+
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    write_raw(s.data(), s.size());
+  }
+
+  void write_bytes(const Bytes& b) {
+    write_u64(b.size());
+    write_raw(b.data(), b.size());
+  }
+
+  void write_doubles(const std::vector<double>& v) {
+    write_u64(v.size());
+    write_raw(v.data(), v.size() * sizeof(double));
+  }
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+
+ private:
+  void write_raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  Bytes buffer_;
+};
+
+/// Reads values written by ByteWriter; throws DecodeError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buffer) : buffer_(buffer) {}
+
+  std::uint8_t read_u8() {
+    check(1);
+    return buffer_[pos_++];
+  }
+
+  std::uint32_t read_u32() { return read_raw<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_raw<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_raw<std::int64_t>(); }
+  double read_double() { return read_raw<double>(); }
+  bool read_bool() { return read_u8() != 0; }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  Bytes read_bytes() {
+    const std::uint64_t n = read_u64();
+    check(n);
+    Bytes b(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return b;
+  }
+
+  std::vector<double> read_doubles() {
+    const std::uint64_t n = read_u64();
+    check(n * sizeof(double));
+    std::vector<double> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), buffer_.data() + pos_,
+                static_cast<std::size_t>(n) * sizeof(double));
+    pos_ += static_cast<std::size_t>(n) * sizeof(double);
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == buffer_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  T read_raw() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, buffer_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void check(std::uint64_t need) const {
+    if (pos_ + need > buffer_.size()) {
+      throw DecodeError("ByteReader: truncated buffer");
+    }
+  }
+
+  const Bytes& buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace coda

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the bench harnesses and examples.
+#pragma once
+
+#include <chrono>
+
+namespace coda {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace coda

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coda {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `precision` significant decimal digits.
+std::string format_double(double value, int precision = 4);
+
+/// Renders a byte count human-readably ("1.5 KiB", "3.2 MiB").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace coda

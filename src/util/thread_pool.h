@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the graph evaluator to score candidate
+// pipelines in parallel (Section III: "Different predictive models can be run
+// in parallel").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace coda {
+
+/// A minimal thread pool. Tasks are std::function<void()>; submit() returns a
+/// future for the task's result. The destructor drains outstanding tasks.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn(args...)` and returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::forward<F>(fn),
+         ... a = std::forward<Args>(args)]() mutable { return f(a...); });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      tasks_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace coda

@@ -1,0 +1,164 @@
+// Tests for the client replica cache: pull with version negotiation,
+// push application in all three modes, staleness accounting, and the
+// delta-base-mismatch fallback (failure injection for missed pushes).
+#include <gtest/gtest.h>
+
+#include "src/dist/client_cache.h"
+
+namespace coda::dist {
+namespace {
+
+Bytes pattern(std::size_t n, std::uint8_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 17 + seed) & 0xFF);
+  }
+  return b;
+}
+
+struct CacheFixture : ::testing::Test {
+  SimNet net;
+  NodeId store_node = net.add_node("store");
+  NodeId client_node = net.add_node("client");
+  HomeDataStore store{&net, store_node};
+  ClientCache cache{&net, client_node, &store};
+
+  void wire_push() {
+    store.set_push_handler(
+        [this](NodeId target, const PushMessage& msg) {
+          ASSERT_EQ(target, client_node);
+          cache.on_push(msg);
+        });
+  }
+};
+
+TEST_F(CacheFixture, FirstGetFetchesFullValue) {
+  store.put("o1", pattern(1024, 1));
+  EXPECT_EQ(cache.get("o1"), pattern(1024, 1));
+  EXPECT_EQ(cache.version("o1"), 1u);
+  EXPECT_EQ(cache.stats().full_responses, 1u);
+}
+
+TEST_F(CacheFixture, SecondGetAfterSmallUpdateUsesDelta) {
+  Bytes v1 = pattern(8192, 1);
+  store.put("o1", v1);
+  cache.get("o1");
+  Bytes v2 = v1;
+  v2[100] ^= 0xFF;
+  store.put("o1", v2);
+  EXPECT_EQ(cache.get("o1"), v2);
+  EXPECT_EQ(cache.stats().delta_responses, 1u);
+  EXPECT_GT(cache.stats().bytes_saved_by_delta, 0u);
+}
+
+TEST_F(CacheFixture, GetWhenUpToDateIsNotModified) {
+  store.put("o1", pattern(512, 1));
+  cache.get("o1");
+  cache.get("o1");
+  EXPECT_EQ(cache.stats().not_modified_responses, 1u);
+}
+
+TEST_F(CacheFixture, StalenessTracksVersionGap) {
+  store.put("o1", pattern(64, 1));
+  cache.get("o1");
+  EXPECT_EQ(cache.staleness("o1"), 0u);
+  store.put("o1", pattern(64, 2));
+  store.put("o1", pattern(64, 3));
+  EXPECT_EQ(cache.staleness("o1"), 2u);
+  cache.get("o1");
+  EXPECT_EQ(cache.staleness("o1"), 0u);
+}
+
+TEST_F(CacheFixture, CachedAccessorThrowsWhenAbsent) {
+  EXPECT_THROW(cache.cached("nope"), NotFound);
+  EXPECT_FALSE(cache.has("nope"));
+}
+
+TEST_F(CacheFixture, PushFullKeepsReplicaFresh) {
+  wire_push();
+  cache.subscribe("o1", 100.0, PushMode::kFullValue);
+  store.put("o1", pattern(256, 1));
+  EXPECT_TRUE(cache.has("o1"));
+  EXPECT_EQ(cache.cached("o1"), pattern(256, 1));
+  EXPECT_EQ(cache.staleness("o1"), 0u);
+  EXPECT_EQ(cache.stats().pushes_full, 1u);
+}
+
+TEST_F(CacheFixture, PushDeltaAppliesIncrementally) {
+  wire_push();
+  cache.subscribe("o1", 100.0, PushMode::kDelta);
+  Bytes v1 = pattern(4096, 1);
+  store.put("o1", v1);  // arrives as full (no base yet)
+  Bytes v2 = v1;
+  v2[7] ^= 0x55;
+  store.put("o1", v2);  // arrives as delta
+  EXPECT_EQ(cache.cached("o1"), v2);
+  EXPECT_EQ(cache.stats().pushes_delta, 1u);
+}
+
+TEST_F(CacheFixture, DeltaBaseMismatchFallsBackToPull) {
+  wire_push();
+  Bytes v1 = pattern(4096, 1);
+  store.put("o1", v1);
+  // Client subscribes *after* v1 exists and never pulled it, then the
+  // store's second push is a delta against a version the client lacks.
+  cache.subscribe("o1", 100.0, PushMode::kDelta);
+  Bytes v2 = v1;
+  v2[0] ^= 1;
+  store.put("o1", v2);  // first push: full (no pushed base) -> ok
+  Bytes v3 = v2;
+  v3[1] ^= 1;
+  // Sabotage: wipe the client's entry version by constructing a mismatch —
+  // simulate a missed push by delivering a delta with a wrong base.
+  PushMessage forged;
+  forged.key = "o1";
+  forged.version = 99;
+  forged.mode = PushMode::kDelta;
+  forged.delta = compute_delta(v1, v3);
+  forged.delta.base_version = 42;  // not what the client holds
+  cache.on_push(forged);
+  EXPECT_EQ(cache.stats().delta_fallback_fetches, 1u);
+  // The fallback pull recovered the store's current value.
+  EXPECT_EQ(cache.cached("o1"), store.value("o1"));
+}
+
+TEST_F(CacheFixture, NotifyOnlyDefersFetchUntilNeeded) {
+  wire_push();
+  store.put("o1", pattern(2048, 1));
+  cache.get("o1");
+  cache.subscribe("o1", 100.0, PushMode::kNotifyOnly);
+  const auto bytes_before = cache.stats().bytes_received;
+  store.put("o1", pattern(2048, 2));
+  // Notification received, data not yet transferred.
+  EXPECT_EQ(cache.notified_version("o1"), 2u);
+  EXPECT_EQ(cache.version("o1"), 1u);
+  EXPECT_LT(cache.stats().bytes_received - bytes_before, 100u);
+  // Client decides it needs the data now.
+  EXPECT_EQ(cache.get("o1"), pattern(2048, 2));
+  EXPECT_EQ(cache.version("o1"), 2u);
+}
+
+TEST_F(CacheFixture, LeaseExpiryStopsUpdates) {
+  wire_push();
+  cache.subscribe("o1", 1.0, PushMode::kFullValue);
+  store.put("o1", pattern(64, 1));
+  EXPECT_EQ(cache.version("o1"), 1u);
+  net.advance(5.0);  // lease expires
+  store.put("o1", pattern(64, 2));
+  EXPECT_EQ(cache.version("o1"), 1u);  // no longer updated
+  EXPECT_EQ(cache.staleness("o1"), 1u);
+  // Renewal requires an active lease; re-subscribe instead.
+  cache.subscribe("o1", 10.0, PushMode::kFullValue);
+  store.put("o1", pattern(64, 3));
+  EXPECT_EQ(cache.version("o1"), 3u);
+}
+
+TEST(ClientCache, ClientAndStoreMustDiffer) {
+  SimNet net;
+  const NodeId s = net.add_node("s");
+  HomeDataStore store(&net, s);
+  EXPECT_THROW(ClientCache(&net, s, &store), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda::dist

@@ -1,0 +1,172 @@
+// Tests for the cross-validation strategies (Fig 4 K-fold, hold-out,
+// Monte-Carlo, and the Fig 12 TimeSeriesSlidingSplit), including
+// parameterized partition/leakage properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/cross_validation.h"
+#include "src/util/error.h"
+
+namespace coda {
+namespace {
+
+// --- K-fold properties over a sweep of (k, n) --------------------------
+
+class KFoldProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(KFoldProperty, PartitionWithoutReplacement) {
+  const auto [k, n] = GetParam();
+  KFold cv(k, /*shuffle=*/true, /*seed=*/123);
+  const auto splits = cv.splits(n);
+  ASSERT_EQ(splits.size(), k);
+
+  // Every sample appears in exactly one test fold; folds are near-equal.
+  std::vector<std::size_t> test_count(n, 0);
+  for (const auto& split : splits) {
+    EXPECT_GE(split.test.size(), n / k);
+    EXPECT_LE(split.test.size(), n / k + 1);
+    EXPECT_EQ(split.train.size() + split.test.size(), n);
+    std::set<std::size_t> train(split.train.begin(), split.train.end());
+    for (const std::size_t i : split.test) {
+      ++test_count[i];
+      EXPECT_EQ(train.count(i), 0u) << "index in both train and test";
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(test_count[i], 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KFoldProperty,
+    ::testing::Values(std::make_pair(2u, 10u), std::make_pair(3u, 10u),
+                      std::make_pair(5u, 25u), std::make_pair(5u, 27u),
+                      std::make_pair(10u, 100u), std::make_pair(7u, 7u)));
+
+TEST(KFold, DeterministicPerSeed) {
+  KFold a(5, true, 9);
+  KFold b(5, true, 9);
+  const auto sa = a.splits(40);
+  const auto sb = b.splits(40);
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(sa[f].test, sb[f].test);
+  }
+}
+
+TEST(KFold, UnshuffledIsContiguousAssignment) {
+  KFold cv(2, /*shuffle=*/false);
+  const auto splits = cv.splits(4);
+  EXPECT_EQ(splits[0].test, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(splits[1].test, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(KFold, Validation) {
+  EXPECT_THROW(KFold(1), InvalidArgument);
+  KFold cv(5);
+  EXPECT_THROW(cv.splits(4), InvalidArgument);
+}
+
+TEST(KFold, SpecIsStable) {
+  EXPECT_EQ(KFold(5, true, 42).spec(), "kfold(k=5,shuffle=true,seed=42)");
+}
+
+// --- Hold-out -----------------------------------------------------------
+
+TEST(HoldOut, SingleSplitWithFraction) {
+  HoldOut cv(0.8, 3);
+  const auto splits = cv.splits(50);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].train.size(), 40u);
+  EXPECT_EQ(splits[0].test.size(), 10u);
+}
+
+TEST(HoldOut, BadFractionThrows) {
+  EXPECT_THROW(HoldOut(0.0), InvalidArgument);
+  EXPECT_THROW(HoldOut(1.0), InvalidArgument);
+}
+
+// --- Monte-Carlo --------------------------------------------------------
+
+TEST(MonteCarloCV, ProducesIndependentSplits) {
+  MonteCarloCV cv(10, 0.7, 5);
+  const auto splits = cv.splits(30);
+  ASSERT_EQ(splits.size(), 10u);
+  // At least two different splits (vanishingly unlikely otherwise).
+  bool any_different = false;
+  for (std::size_t i = 1; i < splits.size(); ++i) {
+    if (splits[i].test != splits[0].test) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// --- TimeSeriesSlidingSplit (Fig 12) -------------------------------------
+
+struct SlidingCase {
+  std::size_t k, train, val, buffer, n;
+};
+
+class SlidingSplitProperty : public ::testing::TestWithParam<SlidingCase> {};
+
+TEST_P(SlidingSplitProperty, NoLeakageAndOrdering) {
+  const auto c = GetParam();
+  TimeSeriesSlidingSplit cv(c.k, c.train, c.val, c.buffer);
+  const auto splits = cv.splits(c.n);
+  ASSERT_EQ(splits.size(), c.k);
+  std::size_t prev_start = 0;
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    const auto& s = splits[f];
+    ASSERT_EQ(s.train.size(), c.train);
+    ASSERT_EQ(s.test.size(), c.val);
+    // Train indices are contiguous and strictly precede validation, with
+    // at least `buffer` timestamps in between.
+    for (std::size_t i = 1; i < s.train.size(); ++i) {
+      EXPECT_EQ(s.train[i], s.train[i - 1] + 1);
+    }
+    for (std::size_t i = 1; i < s.test.size(); ++i) {
+      EXPECT_EQ(s.test[i], s.test[i - 1] + 1);
+    }
+    EXPECT_EQ(s.test.front(), s.train.back() + 1 + c.buffer);
+    EXPECT_LT(s.test.back(), c.n);
+    // Windows slide monotonically forward.
+    EXPECT_GE(s.train.front(), prev_start);
+    prev_start = s.train.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlidingSplitProperty,
+    ::testing::Values(SlidingCase{1, 50, 10, 0, 100},
+                      SlidingCase{3, 50, 10, 0, 100},
+                      SlidingCase{5, 40, 10, 5, 120},
+                      SlidingCase{4, 30, 5, 10, 60},
+                      SlidingCase{2, 10, 10, 2, 22}));
+
+TEST(TimeSeriesSlidingSplit, SingleWindowSitsAtSeriesEnd) {
+  TimeSeriesSlidingSplit cv(1, 50, 10, 0);
+  const auto splits = cv.splits(100);
+  EXPECT_EQ(splits[0].test.back(), 99u);
+}
+
+TEST(TimeSeriesSlidingSplit, TooShortSeriesThrows) {
+  TimeSeriesSlidingSplit cv(3, 50, 10, 5);
+  EXPECT_THROW(cv.splits(64), InvalidArgument);
+  EXPECT_NO_THROW(cv.splits(65));
+}
+
+TEST(TimeSeriesSlidingSplit, Validation) {
+  EXPECT_THROW(TimeSeriesSlidingSplit(0, 10, 5), InvalidArgument);
+  EXPECT_THROW(TimeSeriesSlidingSplit(1, 0, 5), InvalidArgument);
+  EXPECT_THROW(TimeSeriesSlidingSplit(1, 10, 0), InvalidArgument);
+}
+
+TEST(CrossValidator, CloneIsEquivalent) {
+  KFold cv(4, true, 17);
+  const auto clone = cv.clone();
+  EXPECT_EQ(clone->spec(), cv.spec());
+  const auto a = cv.splits(20);
+  const auto b = clone->splits(20);
+  for (std::size_t f = 0; f < a.size(); ++f) EXPECT_EQ(a[f].test, b[f].test);
+}
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,183 @@
+// Tests for the Data Analytics Results Repository (Fig 2): record
+// serialization, claim lifecycle incl. TTL expiry (failure injection for a
+// crashed claimant), prefix listing, and the network-accounted client.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/darr/client.h"
+#include "src/darr/repository.h"
+
+namespace coda::darr {
+namespace {
+
+DarrRecord sample_record(const std::string& key) {
+  DarrRecord r;
+  r.key = key;
+  r.mean_score = 0.25;
+  r.stddev = 0.05;
+  r.fold_scores = {0.2, 0.3};
+  r.explanation = "standardscaler -> linearregression";
+  r.producer = "client0";
+  return r;
+}
+
+TEST(DarrRecord, SerializeRoundTrip) {
+  const auto r = sample_record("fp|spec|cv|rmse");
+  const auto decoded = DarrRecord::deserialize(r.serialize());
+  EXPECT_EQ(decoded, r);
+}
+
+TEST(DarrRecord, WireSizeMatchesSerialized) {
+  const auto r = sample_record("k");
+  EXPECT_EQ(r.wire_size(), r.serialize().size());
+}
+
+TEST(DarrRecord, CorruptBufferRejected) {
+  auto bytes = sample_record("k").serialize();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(DarrRecord::deserialize(bytes), DecodeError);
+  bytes = sample_record("k").serialize();
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_THROW(DarrRecord::deserialize(bytes), DecodeError);
+}
+
+TEST(DarrRepository, LookupStoreFlow) {
+  DarrRepository repo;
+  EXPECT_FALSE(repo.lookup("k").has_value());
+  repo.store(sample_record("k"), 1.5);
+  const auto hit = repo.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->mean_score, 0.25);
+  EXPECT_DOUBLE_EQ(hit->stored_at, 1.5);
+  EXPECT_EQ(repo.size(), 1u);
+  const auto counters = repo.counters();
+  EXPECT_EQ(counters.lookups, 2u);
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.stores, 1u);
+}
+
+TEST(DarrRepository, ClaimBlocksOthersUntilStore) {
+  DarrRepository repo;
+  EXPECT_TRUE(repo.try_claim("k", "alice"));
+  EXPECT_FALSE(repo.try_claim("k", "bob"));
+  EXPECT_TRUE(repo.try_claim("k", "alice"));  // idempotent re-claim
+  repo.store(sample_record("k"));
+  // Once stored, claims are denied — the result exists, go look it up.
+  EXPECT_FALSE(repo.try_claim("k", "bob"));
+  EXPECT_FALSE(repo.try_claim("k", "alice"));
+}
+
+TEST(DarrRepository, AbandonReleasesClaim) {
+  DarrRepository repo;
+  EXPECT_TRUE(repo.try_claim("k", "alice"));
+  repo.abandon("k", "alice");
+  EXPECT_TRUE(repo.try_claim("k", "bob"));
+  // Abandoning someone else's claim is a no-op.
+  repo.abandon("k", "mallory");
+  EXPECT_FALSE(repo.try_claim("k", "carol"));
+}
+
+TEST(DarrRepository, ExpiredClaimIsStolen) {
+  // Failure injection: the claimant "crashes" and its claim times out.
+  DarrRepository::Config cfg;
+  cfg.claim_ttl_ms = 20;
+  DarrRepository repo(cfg);
+  EXPECT_TRUE(repo.try_claim("k", "dead_client"));
+  EXPECT_FALSE(repo.try_claim("k", "bob"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(repo.try_claim("k", "bob"));  // stolen after TTL
+  EXPECT_GE(repo.counters().claims_expired, 1u);
+}
+
+TEST(DarrRepository, PrefixListing) {
+  DarrRepository repo;
+  repo.store(sample_record("fpA|spec1"));
+  repo.store(sample_record("fpA|spec2"));
+  repo.store(sample_record("fpB|spec1"));
+  const auto keys = repo.keys_with_prefix("fpA|");
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_EQ(repo.keys_with_prefix("fpC").size(), 0u);
+}
+
+TEST(DarrRepository, RecordsByProducer) {
+  DarrRepository repo;
+  auto r1 = sample_record("k1");
+  r1.producer = "alice";
+  auto r2 = sample_record("k2");
+  r2.producer = "bob";
+  auto r3 = sample_record("k3");
+  r3.producer = "alice";
+  repo.store(r1);
+  repo.store(r2);
+  repo.store(r3);
+  EXPECT_EQ(repo.records_by("alice"), 2u);
+  EXPECT_EQ(repo.records_by("bob"), 1u);
+  EXPECT_EQ(repo.records_by("carol"), 0u);
+}
+
+TEST(DarrRepository, EmptyKeyRejected) {
+  DarrRepository repo;
+  DarrRecord r;
+  EXPECT_THROW(repo.store(r), InvalidArgument);
+}
+
+struct ClientFixture : ::testing::Test {
+  DarrRepository repo;
+  dist::SimNet net;
+  dist::NodeId repo_node = net.add_node("darr");
+  dist::NodeId client_node = net.add_node("c0");
+  DarrClient client{&repo, &net, client_node, repo_node, "c0"};
+};
+
+TEST_F(ClientFixture, ImplementsResultCacheContract) {
+  EXPECT_FALSE(client.lookup("k").has_value());
+  EXPECT_TRUE(client.try_claim("k"));
+  CachedResult result;
+  result.mean_score = 0.5;
+  result.fold_scores = {0.4, 0.6};
+  result.explanation = "spec";
+  client.store("k", result);
+  const auto hit = client.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->mean_score, 0.5);
+  EXPECT_EQ(hit->fold_scores, result.fold_scores);
+  EXPECT_EQ(hit->explanation, "spec");
+}
+
+TEST_F(ClientFixture, TracksStatsAndTraffic) {
+  client.lookup("k");
+  client.try_claim("k");
+  CachedResult r;
+  r.explanation = "spec";
+  client.store("k", r);
+  client.lookup("k");
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.claims_won, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.bytes_received, 0u);
+  // Every interaction crossed the simulated network.
+  EXPECT_EQ(net.link(client_node, repo_node).messages, 4u);
+  EXPECT_EQ(net.link(repo_node, client_node).messages, 4u);
+}
+
+TEST_F(ClientFixture, RecordCarriesProducerName) {
+  CachedResult r;
+  r.explanation = "spec";
+  client.store("k", r);
+  EXPECT_EQ(repo.records_by("c0"), 1u);
+}
+
+TEST(DarrClient, ConstructionValidated) {
+  DarrRepository repo;
+  dist::SimNet net;
+  const auto n = net.add_node("x");
+  EXPECT_THROW(DarrClient(&repo, &net, n, n, "c"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda::darr

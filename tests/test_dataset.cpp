@@ -1,0 +1,111 @@
+// Tests for Dataset, TimeSeries and fingerprinting.
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/data/fingerprint.h"
+#include "src/data/time_series.h"
+
+namespace coda {
+namespace {
+
+Dataset small_dataset() {
+  Dataset d;
+  d.X = Matrix{{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  d.y = {10, 20, 30, 40};
+  d.feature_names = {"a", "b"};
+  d.name = "small";
+  return d;
+}
+
+TEST(Dataset, SelectKeepsAlignment) {
+  const auto d = small_dataset();
+  const auto s = d.select({3, 1});
+  EXPECT_EQ(s.n_samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.X(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(s.y[0], 40.0);
+  EXPECT_DOUBLE_EQ(s.y[1], 20.0);
+  EXPECT_EQ(s.feature_names, d.feature_names);
+}
+
+TEST(Dataset, SelectOutOfRangeThrows) {
+  const auto d = small_dataset();
+  EXPECT_THROW(d.select({4}), InvalidArgument);
+}
+
+TEST(Dataset, ValidateCatchesMismatch) {
+  auto d = small_dataset();
+  d.y.pop_back();
+  EXPECT_THROW(d.validate(), InvalidArgument);
+}
+
+TEST(Dataset, TrainTestSplitPartitions) {
+  const auto d = small_dataset();
+  const auto [train, test] = train_test_split(d, 0.5, 7);
+  EXPECT_EQ(train.n_samples() + test.n_samples(), d.n_samples());
+  EXPECT_EQ(train.n_samples(), 2u);
+  // Deterministic for a fixed seed.
+  const auto [train2, test2] = train_test_split(d, 0.5, 7);
+  EXPECT_EQ(train.y, train2.y);
+}
+
+TEST(Dataset, TrainTestSplitBadFraction) {
+  const auto d = small_dataset();
+  EXPECT_THROW(train_test_split(d, 0.0, 1), InvalidArgument);
+  EXPECT_THROW(train_test_split(d, 1.0, 1), InvalidArgument);
+}
+
+TEST(TimeSeries, BasicAccessors) {
+  TimeSeries ts(Matrix{{1, 2}, {3, 4}, {5, 6}}, {"s0", "s1"});
+  EXPECT_EQ(ts.length(), 3u);
+  EXPECT_EQ(ts.n_variables(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(2, 1), 6.0);
+  EXPECT_EQ(ts.variable(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(TimeSeries, NameCountValidated) {
+  EXPECT_THROW(TimeSeries(Matrix{{1, 2}}, {"only_one"}), InvalidArgument);
+}
+
+TEST(TimeSeries, Slice) {
+  TimeSeries ts(Matrix{{1, 2}, {3, 4}, {5, 6}, {7, 8}}, {"a", "b"});
+  const auto s = ts.slice(1, 3);
+  EXPECT_EQ(s.length(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 3.0);
+  EXPECT_EQ(s.variable_names(), ts.variable_names());
+  EXPECT_THROW(ts.slice(3, 5), InvalidArgument);
+}
+
+TEST(Fingerprint, SameContentSameHash) {
+  const auto a = small_dataset();
+  const auto b = small_dataset();
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, ValueChangeChangesHash) {
+  const auto a = small_dataset();
+  auto b = small_dataset();
+  b.X(0, 0) += 1e-9;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, LabelChangeChangesHash) {
+  const auto a = small_dataset();
+  auto b = small_dataset();
+  b.y[2] = 31;
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, ShapeMatters) {
+  Matrix flat(1, 4, {1, 2, 3, 4});
+  Matrix square(2, 2, {1, 2, 3, 4});
+  EXPECT_NE(fingerprint(flat), fingerprint(square));
+}
+
+TEST(Fingerprint, HexIsStable) {
+  const auto d = small_dataset();
+  EXPECT_EQ(fingerprint_hex(d), fingerprint_hex(d));
+  EXPECT_EQ(fingerprint_hex(d).size(), 16u);
+}
+
+}  // namespace
+}  // namespace coda

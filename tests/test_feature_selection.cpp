@@ -1,0 +1,87 @@
+// Tests for SelectKBest and VarianceThreshold.
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/ml/feature_selection.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+TEST(SelectKBest, PicksInformativeFeatures) {
+  // y depends only on features 1 and 3.
+  Rng rng(3);
+  Matrix X(300, 5);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) X(i, j) = rng.normal();
+    y[i] = 4.0 * X(i, 1) - 3.0 * X(i, 3) + rng.normal(0.0, 0.1);
+  }
+  SelectKBest selector;
+  selector.set_param("k", std::int64_t{2});
+  selector.fit(X, y);
+  const auto selected = selector.selected();
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_TRUE((selected[0] == 1 && selected[1] == 3) ||
+              (selected[0] == 3 && selected[1] == 1));
+  const auto out = selector.transform(X);
+  EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(SelectKBest, KBoundsValidated) {
+  SelectKBest selector;
+  selector.set_param("k", std::int64_t{10});
+  Matrix X(5, 3);
+  EXPECT_THROW(selector.fit(X, std::vector<double>(5, 0.0)),
+               InvalidArgument);
+}
+
+TEST(SelectKBest, VarianceModeIsUnsupervised) {
+  SelectKBest selector;
+  selector.set_param("k", std::int64_t{1});
+  selector.set_param("score", std::string("variance"));
+  Matrix X{{1, 100}, {2, 200}, {3, 300}};
+  selector.fit(X, {});  // no y needed
+  EXPECT_EQ(selector.selected()[0], 1u);
+}
+
+TEST(SelectKBest, UnknownScoreThrows) {
+  SelectKBest selector;
+  selector.set_param("score", std::string("bogus"));
+  Matrix X(3, 2);
+  EXPECT_THROW(selector.fit(X, std::vector<double>(3, 0.0)),
+               InvalidArgument);
+}
+
+TEST(SelectKBest, TransformChecksColumnCount) {
+  SelectKBest selector;
+  selector.set_param("k", std::int64_t{1});
+  Matrix X{{1, 2}, {3, 4}};
+  selector.fit(X, {1.0, 2.0});
+  EXPECT_THROW(selector.transform(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(VarianceThreshold, DropsConstantColumns) {
+  Matrix X{{1, 7, 2}, {2, 7, 4}, {3, 7, 6}};
+  VarianceThreshold vt;
+  vt.fit(X, {});
+  EXPECT_EQ(vt.kept(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(vt.transform(X).cols(), 2u);
+}
+
+TEST(VarianceThreshold, AllConstantThrows) {
+  Matrix X(4, 2, 5.0);
+  VarianceThreshold vt;
+  EXPECT_THROW(vt.fit(X, {}), InvalidArgument);
+}
+
+TEST(VarianceThreshold, CustomThreshold) {
+  Matrix X{{0.0, 0.0}, {0.1, 10.0}};  // variances: 0.0025, 25
+  VarianceThreshold vt;
+  vt.set_param("threshold", 1.0);
+  vt.fit(X, {});
+  EXPECT_EQ(vt.kept(), (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace coda

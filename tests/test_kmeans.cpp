@@ -1,0 +1,108 @@
+// Tests for k-means clustering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/synthetic.h"
+#include "src/ml/kmeans.h"
+
+namespace coda {
+namespace {
+
+Matrix blobs(std::size_t per_blob, double separation) {
+  CohortWorkloadConfig cfg;
+  cfg.n_assets = per_blob * 3;
+  cfg.n_cohorts = 3;
+  cfg.cohort_separation = separation;
+  return make_cohort_workload(cfg).X;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  CohortWorkloadConfig cfg;
+  cfg.n_assets = 90;
+  cfg.n_cohorts = 3;
+  cfg.cohort_separation = 8.0;
+  const auto d = make_cohort_workload(cfg);
+
+  KMeans::Config km_cfg;
+  km_cfg.k = 3;
+  KMeans km(km_cfg);
+  const auto assignment = km.fit(d.X);
+
+  // Clustering must agree with the true cohorts up to label permutation:
+  // every true cohort maps to exactly one cluster.
+  std::map<std::size_t, std::set<std::size_t>> cohort_to_clusters;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    cohort_to_clusters[static_cast<std::size_t>(d.y[i])].insert(
+        assignment[i]);
+  }
+  std::set<std::size_t> used;
+  for (const auto& [cohort, clusters] : cohort_to_clusters) {
+    EXPECT_EQ(clusters.size(), 1u) << "cohort " << cohort << " split";
+    used.insert(*clusters.begin());
+  }
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const auto X = blobs(30, 4.0);
+  double prev = -1.0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    KMeans::Config cfg;
+    cfg.k = k;
+    KMeans km(cfg);
+    km.fit(X);
+    if (prev >= 0.0) {
+      EXPECT_LE(km.inertia(), prev + 1e-9);
+    }
+    prev = km.inertia();
+  }
+}
+
+TEST(KMeans, AssignMatchesFitLabels) {
+  const auto X = blobs(20, 6.0);
+  KMeans::Config cfg;
+  cfg.k = 3;
+  KMeans km(cfg);
+  const auto fit_labels = km.fit(X);
+  EXPECT_EQ(km.assign(X), fit_labels);
+}
+
+TEST(KMeans, DeterministicPerSeed) {
+  const auto X = blobs(20, 4.0);
+  KMeans::Config cfg;
+  cfg.k = 3;
+  KMeans a(cfg), b(cfg);
+  EXPECT_EQ(a.fit(X), b.fit(X));
+}
+
+TEST(KMeans, KOneCentroidIsMean) {
+  Matrix X{{0, 0}, {2, 4}};
+  KMeans::Config cfg;
+  cfg.k = 1;
+  KMeans km(cfg);
+  km.fit(X);
+  EXPECT_DOUBLE_EQ(km.centroids()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(km.centroids()(0, 1), 2.0);
+}
+
+TEST(KMeans, Validation) {
+  KMeans::Config cfg;
+  cfg.k = 5;
+  KMeans km(cfg);
+  EXPECT_THROW(km.fit(Matrix(3, 2)), InvalidArgument);
+  EXPECT_THROW(km.assign(Matrix(1, 1)), StateError);
+}
+
+TEST(KMeans, ConvergesEarlyOnEasyData) {
+  const auto X = blobs(30, 10.0);
+  KMeans::Config cfg;
+  cfg.k = 3;
+  cfg.max_iterations = 100;
+  KMeans km(cfg);
+  km.fit(X);
+  EXPECT_LT(km.iterations_run(), 100u);
+}
+
+}  // namespace
+}  // namespace coda

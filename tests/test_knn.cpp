@@ -1,0 +1,87 @@
+// Tests for the kNN models.
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.h"
+#include "src/ml/knn.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+TEST(KNearest, FindsClosestInOrder) {
+  Matrix train{{0}, {10}, {1}, {5}};
+  const auto nn = k_nearest(train, {0.4}, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0], 0u);
+  EXPECT_EQ(nn[1], 2u);
+}
+
+TEST(KNearest, KClampedToTrainSize) {
+  Matrix train{{0}, {1}};
+  EXPECT_EQ(k_nearest(train, {0.0}, 10).size(), 2u);
+}
+
+TEST(KNearest, DimensionMismatchThrows) {
+  Matrix train(3, 2);
+  EXPECT_THROW(k_nearest(train, {1.0}, 1), InvalidArgument);
+}
+
+TEST(KnnRegressor, InterpolatesLocally) {
+  // y = x: nearest neighbours give a close estimate.
+  Matrix X(50, 1);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    X(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  KnnRegressor model;
+  model.set_param("k", std::int64_t{3});
+  model.fit(X, y);
+  Matrix query{{10.2}};
+  EXPECT_NEAR(model.predict(query)[0], 10.0, 1.1);
+}
+
+TEST(KnnRegressor, KOneMemorizesTraining) {
+  Matrix X{{0}, {5}, {9}};
+  std::vector<double> y{1, 2, 3};
+  KnnRegressor model;
+  model.set_param("k", std::int64_t{1});
+  model.fit(X, y);
+  EXPECT_EQ(model.predict(X), y);
+}
+
+TEST(KnnClassifier, ScoresAreClassFractions) {
+  Matrix X{{0}, {0.1}, {0.2}, {10}, {10.1}, {10.2}};
+  std::vector<double> y{0, 0, 0, 1, 1, 1};
+  KnnClassifier model;
+  model.set_param("k", std::int64_t{3});
+  model.fit(X, y);
+  const auto scores = model.predict(Matrix{{0.05}, {10.05}});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+}
+
+TEST(KnnClassifier, SeparatesBlobs) {
+  Rng rng(12);
+  Matrix X(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const bool positive = i % 2 == 0;
+    y[i] = positive ? 1.0 : 0.0;
+    X(i, 0) = rng.normal(positive ? 3.0 : -3.0, 1.0);
+    X(i, 1) = rng.normal(positive ? 3.0 : -3.0, 1.0);
+  }
+  KnnClassifier model;
+  model.fit(X, y);
+  EXPECT_GT(accuracy(y, model.predict(X)), 0.95);
+}
+
+TEST(Knn, PredictBeforeFitThrows) {
+  KnnRegressor r;
+  EXPECT_THROW(r.predict(Matrix(1, 1)), StateError);
+  KnnClassifier c;
+  EXPECT_THROW(c.predict(Matrix(1, 1)), StateError);
+}
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,136 @@
+// Tests for the linear models and the linear-algebra helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/metrics.h"
+#include "src/ml/linalg.h"
+#include "src/ml/linear.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // 2x + y = 5 ; x - y = 1  -> x=2, y=1
+  Matrix a{{2, 1}, {1, -1}};
+  const auto x = solve_linear_system(a, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, PivotingHandlesZeroDiagonal) {
+  Matrix a{{0, 1}, {1, 0}};
+  const auto x = solve_linear_system(a, {3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_linear_system(a, {1, 2}), InvalidArgument);
+}
+
+TEST(LeastSquares, RecoversWeights) {
+  Rng rng(2);
+  Matrix X(200, 3);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) X(i, j) = rng.normal();
+    y[i] = 2.0 * X(i, 0) - 1.0 * X(i, 1) + 0.5 * X(i, 2);
+  }
+  const auto w = least_squares(X, y);
+  EXPECT_NEAR(w[0], 2.0, 1e-9);
+  EXPECT_NEAR(w[1], -1.0, 1e-9);
+  EXPECT_NEAR(w[2], 0.5, 1e-9);
+}
+
+TEST(LeastSquares, CollinearColumnsHandledViaRidgeFallback) {
+  // Column 1 duplicates column 0: X'X is singular; the fallback must still
+  // produce a usable fit rather than throwing.
+  Matrix X(50, 2);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    X(i, 0) = static_cast<double>(i);
+    X(i, 1) = static_cast<double>(i);
+    y[i] = 3.0 * static_cast<double>(i);
+  }
+  const auto w = least_squares(X, y);
+  EXPECT_NEAR(w[0] + w[1], 3.0, 1e-3);
+}
+
+TEST(LinearRegression, ExactOnNoiselessData) {
+  Rng rng(5);
+  Matrix X(100, 2);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    X(i, 0) = rng.normal();
+    X(i, 1) = rng.normal();
+    y[i] = 3.0 * X(i, 0) - 2.0 * X(i, 1) + 7.0;
+  }
+  LinearRegression model;
+  model.fit(X, y);
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 1e-9);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 1e-9);
+  EXPECT_NEAR(model.coefficients()[2], 7.0, 1e-9);  // intercept
+  const auto pred = model.predict(X);
+  EXPECT_NEAR(rmse(y, pred), 0.0, 1e-9);
+}
+
+TEST(LinearRegression, PredictBeforeFitThrows) {
+  LinearRegression model;
+  EXPECT_THROW(model.predict(Matrix(2, 2)), StateError);
+}
+
+TEST(Ridge, ShrinksCoefficients) {
+  Rng rng(6);
+  Matrix X(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    X(i, 0) = rng.normal();
+    y[i] = 5.0 * X(i, 0);
+  }
+  Ridge weak;
+  weak.set_param("alpha", 0.001);
+  weak.fit(X, y);
+  Ridge strong;
+  strong.set_param("alpha", 1000.0);
+  strong.fit(X, y);
+  EXPECT_GT(std::abs(weak.coefficients()[0]),
+            std::abs(strong.coefficients()[0]) + 1.0);
+}
+
+TEST(Ridge, NegativeAlphaRejected) {
+  Ridge model;
+  model.set_param("alpha", -1.0);
+  EXPECT_THROW(model.fit(Matrix(2, 1), {0, 1}), InvalidArgument);
+}
+
+TEST(LogisticRegression, SeparatesLinearlySeparableData) {
+  Rng rng(7);
+  Matrix X(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    X(i, 0) = rng.normal();
+    X(i, 1) = rng.normal();
+    y[i] = (X(i, 0) + X(i, 1) > 0.0) ? 1.0 : 0.0;
+  }
+  LogisticRegression model;
+  model.fit(X, y);
+  const auto scores = model.predict(X);
+  EXPECT_GT(accuracy(y, scores), 0.95);
+  EXPECT_GT(auc(y, scores), 0.99);
+  for (const double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(LogisticRegression, HyperparameterValidation) {
+  LogisticRegression model;
+  model.set_param("learning_rate", -0.1);
+  EXPECT_THROW(model.fit(Matrix(2, 1), {0, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda

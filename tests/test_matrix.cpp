@@ -1,0 +1,127 @@
+#include "src/data/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace coda {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(3, 4, 2.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 2.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, BufferConstructorChecksSize) {
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3}), InvalidArgument);
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  m.at(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 7.0);
+}
+
+TEST(Matrix, RowAndCol) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(Matrix, SetRow) {
+  Matrix m(2, 3);
+  m.set_row(0, {7, 8, 9});
+  EXPECT_DOUBLE_EQ(m(0, 2), 9.0);
+  EXPECT_THROW(m.set_row(0, {1, 2}), InvalidArgument);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  Matrix s = m.select_rows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+}
+
+TEST(Matrix, SelectColsAndDuplicates) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix s = m.select_cols({1, 1});
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), InvalidArgument);
+}
+
+TEST(Matrix, ColMeansAndStddevs) {
+  Matrix m{{1, 10}, {3, 10}};
+  const auto means = m.col_means();
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 10.0);
+  const auto sds = m.col_stddevs();
+  EXPECT_DOUBLE_EQ(sds[0], 1.0);
+  EXPECT_DOUBLE_EQ(sds[1], 0.0);
+}
+
+TEST(Matrix, Equality) {
+  Matrix a{{1, 2}};
+  Matrix b{{1, 2}};
+  Matrix c{{1, 3}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, Describe) {
+  EXPECT_EQ(Matrix(3, 7).describe(), "Matrix(3x7)");
+}
+
+}  // namespace
+}  // namespace coda

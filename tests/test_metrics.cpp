@@ -1,0 +1,158 @@
+// Tests for the scoring metrics, including parameterized identity/worst-case
+// properties across all metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/metrics.h"
+#include "src/util/error.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+TEST(Metrics, MseRmseMae) {
+  const std::vector<double> t{1, 2, 3};
+  const std::vector<double> p{2, 2, 5};
+  EXPECT_DOUBLE_EQ(mse(t, p), (1.0 + 0.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(rmse(t, p), std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(mae(t, p), (1.0 + 0.0 + 2.0) / 3.0);
+}
+
+TEST(Metrics, MapeSkipsZeroTruth) {
+  const std::vector<double> t{0, 10};
+  const std::vector<double> p{5, 11};
+  EXPECT_DOUBLE_EQ(mape(t, p), 10.0);  // only the second point counts
+  EXPECT_THROW(mape({0, 0}, {1, 2}), InvalidArgument);
+}
+
+TEST(Metrics, R2PerfectAndMean) {
+  const std::vector<double> t{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2(t, t), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(r2(t, mean_pred), 0.0);
+}
+
+TEST(Metrics, LogErrors) {
+  const std::vector<double> t{0, 1};
+  const std::vector<double> p{0, 1};
+  EXPECT_DOUBLE_EQ(msle(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(rmsle(t, p), 0.0);
+  EXPECT_THROW(msle({-2}, {0}), InvalidArgument);
+}
+
+TEST(Metrics, Medians) {
+  const std::vector<double> t{0, 0, 0, 0};
+  const std::vector<double> p{1, 2, 3, 100};
+  EXPECT_DOUBLE_EQ(median_absolute_error(t, p), 2.5);
+}
+
+TEST(Metrics, ClassificationConfusionBased) {
+  // truth:  1 1 0 0 ; scores: .9 .2 .8 .1 -> TP=1 FN=1 FP=1 TN=1
+  const std::vector<double> t{1, 1, 0, 0};
+  const std::vector<double> s{0.9, 0.2, 0.8, 0.1};
+  EXPECT_DOUBLE_EQ(accuracy(t, s), 0.5);
+  EXPECT_DOUBLE_EQ(precision(t, s), 0.5);
+  EXPECT_DOUBLE_EQ(recall(t, s), 0.5);
+  EXPECT_DOUBLE_EQ(f1_score(t, s), 0.5);
+}
+
+TEST(Metrics, PrecisionZeroWhenNoPositivePredictions) {
+  const std::vector<double> t{1, 0};
+  const std::vector<double> s{0.1, 0.2};
+  EXPECT_DOUBLE_EQ(precision(t, s), 0.0);
+  EXPECT_DOUBLE_EQ(recall(t, s), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score(t, s), 0.0);
+}
+
+TEST(Metrics, AucPerfectSeparation) {
+  const std::vector<double> t{0, 0, 1, 1};
+  const std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(t, s), 1.0);
+}
+
+TEST(Metrics, AucReversedIsZero) {
+  const std::vector<double> t{1, 1, 0, 0};
+  const std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(t, s), 0.0);
+}
+
+TEST(Metrics, AucHandlesTies) {
+  // All scores equal: AUC must be exactly 0.5 with midrank handling.
+  const std::vector<double> t{1, 0, 1, 0};
+  const std::vector<double> s{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(auc(t, s), 0.5);
+}
+
+TEST(Metrics, AucNeedsBothClasses) {
+  EXPECT_THROW(auc({1, 1}, {0.5, 0.6}), InvalidArgument);
+}
+
+TEST(Metrics, NamesRoundTrip) {
+  for (const Metric m :
+       {Metric::kMse, Metric::kRmse, Metric::kMae, Metric::kMape, Metric::kR2,
+        Metric::kMsle, Metric::kRmsle, Metric::kMedianAe, Metric::kMedianAle,
+        Metric::kAccuracy, Metric::kPrecision, Metric::kRecall, Metric::kF1,
+        Metric::kAuc}) {
+    EXPECT_EQ(metric_from_name(metric_name(m)), m);
+  }
+  EXPECT_THROW(metric_from_name("nope"), NotFound);
+}
+
+TEST(Metrics, HigherIsBetterTable) {
+  EXPECT_FALSE(higher_is_better(Metric::kRmse));
+  EXPECT_FALSE(higher_is_better(Metric::kMape));
+  EXPECT_TRUE(higher_is_better(Metric::kR2));
+  EXPECT_TRUE(higher_is_better(Metric::kF1));
+  EXPECT_TRUE(higher_is_better(Metric::kAuc));
+}
+
+TEST(Metrics, EmptyOrMismatchedInputsThrow) {
+  EXPECT_THROW(mse({}, {}), InvalidArgument);
+  EXPECT_THROW(mse({1}, {1, 2}), InvalidArgument);
+}
+
+// Property sweep: on positive data, perfect predictions score perfectly for
+// every regression metric (0 for errors, 1 for R²).
+class PerfectPredictionProperty : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(PerfectPredictionProperty, PerfectScores) {
+  Rng rng(11);
+  std::vector<double> t(50);
+  for (double& v : t) v = rng.uniform(0.5, 10.0);  // positive (log metrics)
+  const double s = score(GetParam(), t, t);
+  if (GetParam() == Metric::kR2) {
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  } else {
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegressionMetrics, PerfectPredictionProperty,
+    ::testing::Values(Metric::kMse, Metric::kRmse, Metric::kMae, Metric::kMape,
+                      Metric::kR2, Metric::kMsle, Metric::kRmsle,
+                      Metric::kMedianAe, Metric::kMedianAle));
+
+// Property sweep: regression error metrics are monotone in the error scale.
+class ErrorScaleProperty : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(ErrorScaleProperty, LargerNoiseLargerError) {
+  Rng rng(7);
+  std::vector<double> t(100), small(100), large(100);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.uniform(1.0, 5.0);
+    const double noise = rng.normal();
+    small[i] = t[i] + 0.01 * noise;
+    large[i] = t[i] + 0.5 * noise;
+  }
+  EXPECT_LT(score(GetParam(), t, small), score(GetParam(), t, large));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ErrorMetrics, ErrorScaleProperty,
+    ::testing::Values(Metric::kMse, Metric::kRmse, Metric::kMae, Metric::kMape,
+                      Metric::kMsle, Metric::kRmsle, Metric::kMedianAe));
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,96 @@
+// Tests for the MLP estimators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/metrics.h"
+#include "src/data/synthetic.h"
+#include "src/ml/linear.h"
+#include "src/ml/mlp.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+TEST(MlpRegressor, FitsNonlinearFunctionBetterThanLinear) {
+  Rng rng(41);
+  Matrix X(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    X(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = X(i, 0) * X(i, 0);  // parabola
+  }
+  MlpRegressor mlp;
+  mlp.set_param("epochs", std::int64_t{150});
+  mlp.set_param("dropout", 0.0);
+  mlp.fit(X, y);
+  LinearRegression linear;
+  linear.fit(X, y);
+  EXPECT_LT(rmse(y, mlp.predict(X)), 0.5 * rmse(y, linear.predict(X)));
+}
+
+TEST(MlpRegressor, TargetScalingHandlesLargeTargets) {
+  Rng rng(42);
+  Matrix X(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    X(i, 0) = rng.uniform(-1.0, 1.0);
+    y[i] = 1e5 * X(i, 0) + 5e5;  // huge scale
+  }
+  MlpRegressor mlp;
+  mlp.set_param("epochs", std::int64_t{200});
+  mlp.set_param("dropout", 0.0);
+  mlp.fit(X, y);
+  EXPECT_GT(r2(y, mlp.predict(X)), 0.95);
+}
+
+TEST(MlpRegressor, DeterministicPerSeed) {
+  RegressionConfig cfg;
+  cfg.n_samples = 60;
+  cfg.n_features = 3;
+  cfg.n_informative = 3;
+  const auto d = make_regression(cfg);
+  MlpRegressor a, b;
+  a.set_param("epochs", std::int64_t{10});
+  b.set_param("epochs", std::int64_t{10});
+  a.fit(d.X, d.y);
+  b.fit(d.X, d.y);
+  EXPECT_EQ(a.predict(d.X), b.predict(d.X));
+}
+
+TEST(MlpRegressor, PredictBeforeFitThrows) {
+  MlpRegressor mlp;
+  EXPECT_THROW(mlp.predict(Matrix(1, 1)), StateError);
+}
+
+TEST(MlpRegressor, ArchitectureValidation) {
+  MlpRegressor mlp;
+  mlp.set_param("hidden", std::int64_t{0});
+  Matrix X{{1}, {2}};
+  EXPECT_THROW(mlp.fit(X, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(MlpClassifier, SeparatesBlobs) {
+  ClassificationConfig cfg;
+  cfg.n_samples = 200;
+  cfg.class_separation = 3.0;
+  const auto d = make_classification(cfg);
+  MlpClassifier mlp;
+  mlp.set_param("epochs", std::int64_t{100});
+  mlp.fit(d.X, d.y);
+  const auto scores = mlp.predict(d.X);
+  for (const double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_GT(accuracy(d.y, scores), 0.9);
+}
+
+TEST(MlpClassifier, RejectsNonBinaryLabels) {
+  MlpClassifier mlp;
+  Matrix X{{1}, {2}};
+  EXPECT_THROW(mlp.fit(X, {0.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,89 @@
+// Tests for outlier clipping transformers and row-level detection.
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/ml/outliers.h"
+
+namespace coda {
+namespace {
+
+TEST(ZScoreClipper, ClipsExtremeValues) {
+  Matrix X(100, 1);
+  for (std::size_t i = 0; i < 99; ++i) {
+    X(i, 0) = static_cast<double>(i % 10);
+  }
+  X(99, 0) = 1000.0;
+  ZScoreClipper clipper;
+  clipper.fit(X, {});
+  const auto out = clipper.transform(X);
+  EXPECT_LT(out(99, 0), 1000.0);
+  // Normal values pass through unchanged.
+  EXPECT_DOUBLE_EQ(out(5, 0), X(5, 0));
+}
+
+TEST(ZScoreClipper, ClipsOnTrainBoundsForNewData) {
+  Matrix train(50, 1);
+  for (std::size_t i = 0; i < 50; ++i) {
+    train(i, 0) = static_cast<double>(i % 5);
+  }
+  ZScoreClipper clipper;
+  clipper.set_param("z_max", 2.0);
+  clipper.fit(train, {});
+  Matrix test{{100.0}, {-100.0}};
+  const auto out = clipper.transform(test);
+  EXPECT_LT(out(0, 0), 10.0);
+  EXPECT_GT(out(1, 0), -10.0);
+}
+
+TEST(IqrClipper, TukeyFences) {
+  Matrix X{{1}, {2}, {3}, {4}, {100}};
+  IqrClipper clipper;
+  clipper.fit(X, {});
+  const auto out = clipper.transform(X);
+  EXPECT_LT(out(4, 0), 100.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 2.0);
+}
+
+TEST(Clippers, ParamValidation) {
+  ZScoreClipper z;
+  z.set_param("z_max", -1.0);
+  EXPECT_THROW(z.fit(Matrix(2, 1), {}), InvalidArgument);
+  IqrClipper iqr;
+  iqr.set_param("factor", 0.0);
+  EXPECT_THROW(iqr.fit(Matrix(2, 1), {}), InvalidArgument);
+}
+
+TEST(DetectOutlierRows, FindsInjectedOutliers) {
+  RegressionConfig cfg;
+  cfg.n_samples = 200;
+  auto d = make_regression(cfg);
+  const auto injected = inject_outliers(d, 0.03, 50.0, 21);
+  ASSERT_FALSE(injected.empty());
+  const auto detected = detect_outlier_rows(d.X, 4.0);
+  // Every injected row should be flagged.
+  for (const std::size_t r : injected) {
+    EXPECT_NE(std::find(detected.begin(), detected.end(), r),
+              detected.end())
+        << "injected outlier row " << r << " not detected";
+  }
+}
+
+TEST(RemoveOutlierRows, RemovesAndKeepsAlignment) {
+  Dataset d;
+  d.X = Matrix{{1}, {2}, {3}, {1000}};
+  d.y = {10, 20, 30, 40};
+  const auto cleaned = remove_outlier_rows(d, 1.5);
+  EXPECT_EQ(cleaned.n_samples(), 3u);
+  EXPECT_EQ(cleaned.y, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(RemoveOutlierRows, AllRowsFlaggedThrows) {
+  Dataset d;
+  d.X = Matrix{{-10}, {10}};
+  d.y = {0, 1};
+  // With z_max tiny, both rows exceed it.
+  EXPECT_THROW(remove_outlier_rows(d, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,112 @@
+// Tests for ParamMap, the node__param convention, and ParamGrid.
+#include <gtest/gtest.h>
+
+#include "src/core/param.h"
+
+namespace coda {
+namespace {
+
+TEST(ParamMap, SetGetTyped) {
+  ParamMap p;
+  p.set("k", std::int64_t{5});
+  p.set("alpha", 0.5);
+  p.set("verbose", true);
+  p.set("mode", std::string("fast"));
+  EXPECT_EQ(p.get_int("k"), 5);
+  EXPECT_DOUBLE_EQ(p.get_double("alpha"), 0.5);
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get_string("mode"), "fast");
+}
+
+TEST(ParamMap, IntCoercesToDouble) {
+  ParamMap p;
+  p.set("x", std::int64_t{3});
+  EXPECT_DOUBLE_EQ(p.get_double("x"), 3.0);
+}
+
+TEST(ParamMap, TypeMismatchThrows) {
+  ParamMap p;
+  p.set("x", 0.5);
+  EXPECT_THROW(p.get_int("x"), InvalidArgument);
+  EXPECT_THROW(p.get_bool("x"), InvalidArgument);
+  EXPECT_THROW(p.get_string("x"), InvalidArgument);
+}
+
+TEST(ParamMap, MissingKeyThrows) {
+  ParamMap p;
+  EXPECT_THROW(p.get("nope"), NotFound);
+  EXPECT_FALSE(p.try_get("nope").has_value());
+}
+
+TEST(ParamMap, MergeOtherWins) {
+  ParamMap a{{"x", std::int64_t{1}}, {"y", std::int64_t{2}}};
+  ParamMap b{{"y", std::int64_t{9}}};
+  a.merge(b);
+  EXPECT_EQ(a.get_int("x"), 1);
+  EXPECT_EQ(a.get_int("y"), 9);
+}
+
+TEST(ParamMap, ToStringSortedCanonical) {
+  ParamMap p;
+  p.set("zeta", std::int64_t{1});
+  p.set("alpha", true);
+  EXPECT_EQ(p.to_string(), "alpha=true,zeta=1");
+}
+
+TEST(SplitNodeParam, HappyPath) {
+  const auto split = split_node_param("pca__n_components");
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, "pca");
+  EXPECT_EQ(split->second, "n_components");
+}
+
+TEST(SplitNodeParam, NoSeparator) {
+  EXPECT_FALSE(split_node_param("plain").has_value());
+}
+
+TEST(SplitNodeParam, DegenerateForms) {
+  EXPECT_FALSE(split_node_param("__x").has_value());
+  EXPECT_FALSE(split_node_param("x__").has_value());
+}
+
+TEST(SplitNodeParam, FirstSeparatorWins) {
+  const auto split = split_node_param("node__param__extra");
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, "node");
+  EXPECT_EQ(split->second, "param__extra");
+}
+
+TEST(ParamGrid, EmptyGridYieldsOneEmptyAssignment) {
+  ParamGrid grid;
+  EXPECT_EQ(grid.n_assignments(), 1u);
+  const auto assignments = grid.expand();
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_TRUE(assignments[0].empty());
+}
+
+TEST(ParamGrid, CartesianProduct) {
+  ParamGrid grid;
+  grid.add("k", {std::int64_t{1}, std::int64_t{2}, std::int64_t{3}})
+      .add("mode", {std::string("a"), std::string("b")});
+  EXPECT_EQ(grid.n_assignments(), 6u);
+  const auto assignments = grid.expand();
+  ASSERT_EQ(assignments.size(), 6u);
+  std::set<std::string> unique;
+  for (const auto& a : assignments) unique.insert(a.to_string());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(ParamGrid, EmptyAxisRejected) {
+  ParamGrid grid;
+  EXPECT_THROW(grid.add("k", {}), InvalidArgument);
+}
+
+TEST(ParamValueToString, AllTypes) {
+  EXPECT_EQ(param_value_to_string(std::int64_t{7}), "7");
+  EXPECT_EQ(param_value_to_string(false), "false");
+  EXPECT_EQ(param_value_to_string(std::string("x")), "x");
+  EXPECT_EQ(param_value_to_string(2.5), "2.5");
+}
+
+}  // namespace
+}  // namespace coda

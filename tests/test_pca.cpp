@@ -1,0 +1,129 @@
+// Tests for covariance computation, the Jacobi eigen solver and PCA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/pca.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+TEST(Covariance, MatchesHandComputation) {
+  Matrix X{{1, 2}, {3, 6}};
+  const auto cov = covariance_matrix(X);
+  // means (2,4); deviations (-1,-2),(1,2) -> var0=1, var1=4, cov=2.
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(cov(1, 0), 2.0);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix m{{3, 0}, {0, 1}};
+  std::vector<double> values;
+  Matrix vectors;
+  symmetric_eigen(m, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownEigenpairs) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  Matrix m{{2, 1}, {1, 2}};
+  std::vector<double> values;
+  Matrix vectors;
+  symmetric_eigen(m, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(vectors(0, 0)), std::abs(vectors(1, 0)), 1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  // A = V diag(L) V^T must reproduce the input.
+  Rng rng(4);
+  const std::size_t d = 5;
+  Matrix a(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      a(i, j) = rng.normal();
+      a(j, i) = a(i, j);
+    }
+  }
+  std::vector<double> values;
+  Matrix v;
+  symmetric_eigen(a, values, v);
+  Matrix lambda(d, d);
+  for (std::size_t i = 0; i < d; ++i) lambda(i, i) = values[i];
+  const Matrix rebuilt = v.multiply(lambda).multiply(v.transposed());
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(PCA, FirstComponentCapturesDominantDirection) {
+  // Data stretched along (1,1): the top component must align with it.
+  Rng rng(8);
+  Matrix X(400, 2);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const double main_axis = rng.normal(0.0, 5.0);
+    const double off_axis = rng.normal(0.0, 0.3);
+    X(i, 0) = main_axis + off_axis;
+    X(i, 1) = main_axis - off_axis;
+  }
+  PCA pca;
+  pca.set_param("n_components", std::int64_t{2});
+  pca.fit(X, {});
+  EXPECT_GT(pca.explained_variance()[0],
+            10.0 * pca.explained_variance()[1]);
+  // Alignment with (1,1) up to sampling noise in the off-axis direction.
+  const auto& comps = pca.components();
+  EXPECT_NEAR(std::abs(comps(0, 0)), std::abs(comps(1, 0)), 0.02);
+}
+
+TEST(PCA, ProjectionShape) {
+  Rng rng(9);
+  Matrix X(50, 6);
+  for (double& v : X.data()) v = rng.normal();
+  PCA pca;
+  pca.set_param("n_components", std::int64_t{3});
+  pca.fit(X, {});
+  const auto projected = pca.transform(X);
+  EXPECT_EQ(projected.rows(), 50u);
+  EXPECT_EQ(projected.cols(), 3u);
+}
+
+TEST(PCA, WhitenedComponentsHaveUnitVariance) {
+  Rng rng(10);
+  Matrix X(500, 3);
+  for (std::size_t i = 0; i < 500; ++i) {
+    X(i, 0) = rng.normal(0.0, 10.0);
+    X(i, 1) = rng.normal(0.0, 2.0);
+    X(i, 2) = rng.normal(0.0, 0.5);
+  }
+  PCA pca;
+  pca.set_param("n_components", std::int64_t{3});
+  pca.set_param("whiten", true);
+  pca.fit(X, {});
+  const auto projected = pca.transform(X);
+  const auto sds = projected.col_stddevs();
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(sds[c], 1.0, 0.05);
+}
+
+TEST(PCA, ComponentBoundsValidated) {
+  PCA pca;
+  pca.set_param("n_components", std::int64_t{5});
+  Matrix X(10, 3);
+  EXPECT_THROW(pca.fit(X, {}), InvalidArgument);
+}
+
+TEST(PCA, TransformBeforeFitThrows) {
+  PCA pca;
+  EXPECT_THROW(pca.transform(Matrix(2, 2)), StateError);
+}
+
+}  // namespace
+}  // namespace coda

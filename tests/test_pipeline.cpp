@@ -1,0 +1,215 @@
+// Tests for the Pipeline (Fig 5 training/prediction semantics, node__param
+// routing, deep copies).
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/data/dataset.h"
+#include "src/ml/linear.h"
+#include "src/ml/scalers.h"
+
+namespace coda {
+namespace {
+
+// A transformer that records the order of fit/transform calls, to assert
+// the Fig 5 dataflow (internal nodes fit&transform during training,
+// transform-only during prediction).
+class SpyTransformer final : public Transformer {
+ public:
+  explicit SpyTransformer(std::string name, std::vector<std::string>* log)
+      : Transformer(std::move(name)), log_(log) {}
+
+  void fit(const Matrix&, const std::vector<double>&) override {
+    log_->push_back(name() + ".fit");
+  }
+  Matrix transform(const Matrix& X) const override {
+    log_->push_back(name() + ".transform");
+    return X;
+  }
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<SpyTransformer>(*this);
+  }
+
+ private:
+  std::vector<std::string>* log_;
+};
+
+class SpyEstimator final : public Estimator {
+ public:
+  explicit SpyEstimator(std::vector<std::string>* log)
+      : Estimator("spymodel"), log_(log) {}
+
+  void fit(const Matrix&, const std::vector<double>&) override {
+    log_->push_back("spymodel.fit");
+  }
+  std::vector<double> predict(const Matrix& X) const override {
+    log_->push_back("spymodel.predict");
+    return std::vector<double>(X.rows(), 0.0);
+  }
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<SpyEstimator>(*this);
+  }
+
+ private:
+  std::vector<std::string>* log_;
+};
+
+Dataset linear_data() {
+  Dataset d;
+  d.X = Matrix(20, 1);
+  d.y.resize(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    d.X(i, 0) = static_cast<double>(i);
+    d.y[i] = 3.0 * static_cast<double>(i) + 1.0;
+  }
+  return d;
+}
+
+TEST(Pipeline, Fig5TrainingAndPredictionOrder) {
+  std::vector<std::string> log;
+  Pipeline p;
+  p.add_transformer(std::make_unique<SpyTransformer>("t1", &log));
+  p.add_transformer(std::make_unique<SpyTransformer>("t2", &log));
+  p.set_estimator(std::make_unique<SpyEstimator>(&log));
+
+  const auto d = linear_data();
+  p.fit(d.X, d.y);
+  EXPECT_EQ(log, (std::vector<std::string>{"t1.fit", "t1.transform",
+                                           "t2.fit", "t2.transform",
+                                           "spymodel.fit"}));
+  log.clear();
+  p.predict(d.X);
+  EXPECT_EQ(log, (std::vector<std::string>{"t1.transform", "t2.transform",
+                                           "spymodel.predict"}));
+}
+
+TEST(Pipeline, PredictBeforeFitThrows) {
+  Pipeline p;
+  p.set_estimator(std::make_unique<LinearRegression>());
+  EXPECT_THROW(p.predict(Matrix(1, 1)), StateError);
+}
+
+TEST(Pipeline, FitWithoutEstimatorThrows) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  const auto d = linear_data();
+  EXPECT_THROW(p.fit(d.X, d.y), StateError);
+}
+
+TEST(Pipeline, EndToEndScaledRegression) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  p.set_estimator(std::make_unique<LinearRegression>());
+  const auto d = linear_data();
+  p.fit(d.X, d.y);
+  const auto pred = p.predict(d.X);
+  for (std::size_t i = 0; i < d.y.size(); ++i) {
+    EXPECT_NEAR(pred[i], d.y[i], 1e-6);
+  }
+}
+
+TEST(Pipeline, NodeParamRouting) {
+  Pipeline p;
+  p.set_estimator(std::make_unique<Ridge>());
+  ParamMap params;
+  params.set("ridge__alpha", 2.5);
+  p.set_params(params);
+  EXPECT_DOUBLE_EQ(p.estimator().params().get_double("alpha"), 2.5);
+}
+
+TEST(Pipeline, NodeParamUnknownNodeThrows) {
+  Pipeline p;
+  p.set_estimator(std::make_unique<Ridge>());
+  ParamMap params;
+  params.set("nope__alpha", 1.0);
+  EXPECT_THROW(p.set_params(params), NotFound);
+}
+
+TEST(Pipeline, NodeParamUnknownParamThrows) {
+  Pipeline p;
+  p.set_estimator(std::make_unique<Ridge>());
+  ParamMap params;
+  params.set("ridge__bogus", 1.0);
+  EXPECT_THROW(p.set_params(params), NotFound);
+}
+
+TEST(Pipeline, NonPrefixedKeyRejected) {
+  Pipeline p;
+  p.set_estimator(std::make_unique<Ridge>());
+  ParamMap params;
+  params.set("alpha", 1.0);
+  EXPECT_THROW(p.set_params(params), InvalidArgument);
+}
+
+TEST(Pipeline, DuplicateNodeNamesRejected) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  EXPECT_THROW(p.add_transformer(std::make_unique<StandardScaler>()),
+               InvalidArgument);
+}
+
+TEST(Pipeline, SpecString) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  p.set_estimator(std::make_unique<Ridge>());
+  EXPECT_EQ(p.spec(), "standardscaler -> ridge(alpha=1)");
+}
+
+TEST(Pipeline, CopyIsDeep) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  p.set_estimator(std::make_unique<LinearRegression>());
+  const auto d = linear_data();
+  p.fit(d.X, d.y);
+
+  Pipeline copy = p;
+  EXPECT_TRUE(copy.is_fitted());
+  // Both must predict; refitting the copy must not disturb the original.
+  const auto before = p.predict(d.X);
+  Dataset other = d;
+  for (double& v : other.y) v *= -1.0;
+  copy.fit(other.X, other.y);
+  const auto after = p.predict(d.X);
+  EXPECT_EQ(before, after);
+}
+
+TEST(Pipeline, NodeNames) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  p.set_estimator(std::make_unique<Ridge>());
+  EXPECT_EQ(p.node_names(),
+            (std::vector<std::string>{"standardscaler", "ridge"}));
+}
+
+TEST(Pipeline, SetParamsInvalidatesFit) {
+  Pipeline p;
+  p.set_estimator(std::make_unique<Ridge>());
+  const auto d = linear_data();
+  p.fit(d.X, d.y);
+  ParamMap params;
+  params.set("ridge__alpha", 9.0);
+  p.set_params(params);
+  EXPECT_FALSE(p.is_fitted());
+  EXPECT_THROW(p.predict(d.X), StateError);
+}
+
+TEST(Component, NoOpIsIdentity) {
+  NoOp noop;
+  const Matrix X{{1, 2}, {3, 4}};
+  noop.fit(X, {});
+  EXPECT_EQ(noop.transform(X), X);
+}
+
+TEST(Component, SpecWithAndWithoutParams) {
+  NoOp noop;
+  EXPECT_EQ(noop.spec(), "noop");
+  Ridge ridge;
+  EXPECT_EQ(ridge.spec(), "ridge(alpha=1)");
+}
+
+TEST(Component, SetUndeclaredParamThrows) {
+  Ridge ridge;
+  EXPECT_THROW(ridge.set_param("bogus", 1.0), NotFound);
+}
+
+}  // namespace
+}  // namespace coda

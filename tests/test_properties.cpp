@@ -1,0 +1,204 @@
+// Property-style invariants across modules: graph combinatorics, metric
+// algebra, delta-codec behaviour on adversarially structured data, and
+// scaler idempotence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/metrics.h"
+#include "src/core/te_graph.h"
+#include "src/dist/delta.h"
+#include "src/ml/linear.h"
+#include "src/ml/scalers.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+// --- TE-Graph combinatorics -------------------------------------------------
+
+class GraphShapeProperty
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(GraphShapeProperty, PathCountIsProductOfStageSizes) {
+  const auto shape = GetParam();
+  TEGraph g;
+  std::size_t expected = 1;
+  std::size_t node_id = 0;
+  for (std::size_t s = 0; s < shape.size(); ++s) {
+    std::vector<StageOption> options;
+    const bool terminal = s + 1 == shape.size();
+    for (std::size_t o = 0; o < shape[s]; ++o) {
+      if (terminal) {
+        auto model = std::make_unique<LinearRegression>();
+        model->set_name("m" + std::to_string(node_id++));
+        options.push_back(make_option(std::move(model)));
+      } else {
+        auto t = std::make_unique<NoOp>();
+        t->set_name("t" + std::to_string(node_id++));
+        options.push_back(make_option(std::move(t)));
+      }
+    }
+    g.add_stage("stage" + std::to_string(s), std::move(options));
+    expected *= shape[s];
+  }
+  EXPECT_EQ(g.count_paths(), expected);
+  EXPECT_EQ(g.enumerate_candidates().size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GraphShapeProperty,
+    ::testing::Values(std::vector<std::size_t>{1},
+                      std::vector<std::size_t>{3},
+                      std::vector<std::size_t>{2, 2},
+                      std::vector<std::size_t>{4, 3, 3},   // Fig 3
+                      std::vector<std::size_t>{2, 3, 4, 2},
+                      std::vector<std::size_t>{1, 1, 1, 1, 5}));
+
+// --- Metric algebra -----------------------------------------------------------
+
+TEST(MetricProperties, RmseAndMaeScaleEquivariant) {
+  Rng rng(91);
+  std::vector<double> t(60), p(60), t2(60), p2(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    t[i] = rng.normal();
+    p[i] = rng.normal();
+    t2[i] = 3.5 * t[i];
+    p2[i] = 3.5 * p[i];
+  }
+  EXPECT_NEAR(rmse(t2, p2), 3.5 * rmse(t, p), 1e-9);
+  EXPECT_NEAR(mae(t2, p2), 3.5 * mae(t, p), 1e-9);
+}
+
+TEST(MetricProperties, ErrorsTranslationInvariant) {
+  Rng rng(92);
+  std::vector<double> t(60), p(60), t2(60), p2(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    t[i] = rng.normal();
+    p[i] = rng.normal();
+    t2[i] = t[i] + 100.0;
+    p2[i] = p[i] + 100.0;
+  }
+  EXPECT_NEAR(rmse(t2, p2), rmse(t, p), 1e-9);
+  EXPECT_NEAR(mae(t2, p2), mae(t, p), 1e-9);
+  EXPECT_NEAR(median_absolute_error(t2, p2), median_absolute_error(t, p),
+              1e-9);
+}
+
+TEST(MetricProperties, R2InvariantUnderAffineTargetMaps) {
+  // R² compares against the mean predictor, so jointly rescaling/shifting
+  // truth and prediction leaves it unchanged.
+  Rng rng(93);
+  std::vector<double> t(80), p(80), t2(80), p2(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    t[i] = rng.normal();
+    p[i] = t[i] + rng.normal(0.0, 0.3);
+    t2[i] = -2.0 * t[i] + 7.0;
+    p2[i] = -2.0 * p[i] + 7.0;
+  }
+  EXPECT_NEAR(r2(t2, p2), r2(t, p), 1e-9);
+}
+
+TEST(MetricProperties, AucInvariantUnderMonotoneScoreMaps) {
+  Rng rng(94);
+  std::vector<double> t(100), s(100), s2(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    t[i] = rng.bernoulli(0.4) ? 1.0 : 0.0;
+    s[i] = rng.uniform();
+    s2[i] = std::tanh(3.0 * s[i]);  // strictly increasing map
+  }
+  EXPECT_NEAR(auc(t, s2), auc(t, s), 1e-12);
+}
+
+TEST(MetricProperties, MseIsSquaredRmse) {
+  Rng rng(95);
+  std::vector<double> t(40), p(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    t[i] = rng.normal();
+    p[i] = rng.normal();
+  }
+  EXPECT_NEAR(mse(t, p), rmse(t, p) * rmse(t, p), 1e-12);
+}
+
+// --- Delta codec on structured (adversarial) content ------------------------
+
+using dist::apply_delta;
+using dist::compute_delta;
+
+TEST(DeltaProperties, AllZerosCompressesToNearNothing) {
+  const Bytes base(8192, 0);
+  Bytes target(8192, 0);
+  target[4000] = 1;
+  const auto d = compute_delta(base, target);
+  EXPECT_EQ(apply_delta(base, d), target);
+  EXPECT_LT(d.encoded_size(), 512u);
+}
+
+TEST(DeltaProperties, PeriodicContentRoundTrips) {
+  // Highly repetitive content gives the block index many collisions; the
+  // codec must still reconstruct exactly.
+  Bytes base(4096);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<std::uint8_t>(i % 7);
+  }
+  Bytes target = base;
+  target.erase(target.begin() + 1000, target.begin() + 1100);  // deletion
+  const auto d = compute_delta(base, target);
+  EXPECT_EQ(apply_delta(base, d), target);
+}
+
+TEST(DeltaProperties, ReversedContentFallsBackGracefully) {
+  Rng rng(96);
+  Bytes base(4096);
+  for (auto& b : base) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  Bytes target(base.rbegin(), base.rend());
+  const auto d = compute_delta(base, target);
+  EXPECT_EQ(apply_delta(base, d), target);  // correctness over compression
+}
+
+TEST(DeltaProperties, ConcatenationOfBaseWithItself) {
+  Rng rng(97);
+  Bytes base(2048);
+  for (auto& b : base) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  Bytes target = base;
+  target.insert(target.end(), base.begin(), base.end());
+  const auto d = compute_delta(base, target);
+  EXPECT_EQ(apply_delta(base, d), target);
+  // Doubling should cost ~two COPY ops, not literals.
+  EXPECT_LT(d.encoded_size(), base.size() / 2);
+}
+
+// --- Scaler idempotence -------------------------------------------------------
+
+TEST(ScalerProperties, StandardScalingIsIdempotent) {
+  Rng rng(98);
+  Matrix X(100, 3);
+  for (double& v : X.data()) v = rng.normal(5.0, 3.0);
+  StandardScaler first;
+  const Matrix once = first.fit_transform(X, {});
+  StandardScaler second;
+  const Matrix twice = second.fit_transform(once, {});
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(twice.data()[i], once.data()[i], 1e-9);
+  }
+}
+
+TEST(ScalerProperties, MinMaxIsIdempotent) {
+  Rng rng(99);
+  Matrix X(100, 2);
+  for (double& v : X.data()) v = rng.uniform(-10.0, 50.0);
+  MinMaxScaler first;
+  const Matrix once = first.fit_transform(X, {});
+  MinMaxScaler second;
+  const Matrix twice = second.fit_transform(once, {});
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(twice.data()[i], once.data()[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace coda

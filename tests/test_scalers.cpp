@@ -1,0 +1,131 @@
+// Tests for the data scalers (Table I / II stage options).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/data/synthetic.h"
+#include "src/ml/scalers.h"
+
+namespace coda {
+namespace {
+
+Matrix sample_data() {
+  RegressionConfig cfg;
+  cfg.n_samples = 200;
+  cfg.n_features = 4;
+  cfg.n_informative = 3;
+  return make_regression(cfg).X;
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.5), InvalidArgument);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  StandardScaler scaler;
+  const auto X = sample_data();
+  scaler.fit(X, {});
+  const auto scaled = scaler.transform(X);
+  const auto means = scaled.col_means();
+  const auto sds = scaled.col_stddevs();
+  for (std::size_t c = 0; c < scaled.cols(); ++c) {
+    EXPECT_NEAR(means[c], 0.0, 1e-9);
+    EXPECT_NEAR(sds[c], 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnSafe) {
+  Matrix X(5, 1, 3.0);
+  StandardScaler scaler;
+  scaler.fit(X, {});
+  const auto scaled = scaler.transform(X);
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_DOUBLE_EQ(scaled(r, 0), 0.0);
+}
+
+TEST(StandardScaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), StateError);
+}
+
+TEST(StandardScaler, AppliesTrainStatsToNewData) {
+  StandardScaler scaler;
+  Matrix train{{0}, {10}};
+  scaler.fit(train, {});
+  Matrix test{{5}};
+  // mean 5, sd 5 -> (5-5)/5 = 0
+  EXPECT_DOUBLE_EQ(scaler.transform(test)(0, 0), 0.0);
+}
+
+TEST(MinMaxScaler, MapsTrainingRangeToUnit) {
+  MinMaxScaler scaler;
+  const auto X = sample_data();
+  scaler.fit(X, {});
+  const auto scaled = scaler.transform(X);
+  for (std::size_t c = 0; c < scaled.cols(); ++c) {
+    double lo = scaled(0, c), hi = scaled(0, c);
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      lo = std::min(lo, scaled(r, c));
+      hi = std::max(hi, scaled(r, c));
+    }
+    EXPECT_NEAR(lo, 0.0, 1e-12);
+    EXPECT_NEAR(hi, 1.0, 1e-12);
+  }
+}
+
+TEST(MinMaxScaler, OutOfRangeTestDataExtendsBeyondUnit) {
+  MinMaxScaler scaler;
+  Matrix train{{0}, {10}};
+  scaler.fit(train, {});
+  Matrix test{{20}};
+  EXPECT_DOUBLE_EQ(scaler.transform(test)(0, 0), 2.0);
+}
+
+TEST(RobustScaler, CentersOnMedianScalesByIqr) {
+  RobustScaler scaler;
+  Matrix X{{1}, {2}, {3}, {4}, {5}};
+  scaler.fit(X, {});
+  const auto scaled = scaler.transform(X);
+  EXPECT_DOUBLE_EQ(scaled(2, 0), 0.0);          // median -> 0
+  EXPECT_DOUBLE_EQ(scaled(4, 0), 1.0);          // (5-3)/(4-2)
+}
+
+TEST(RobustScaler, RobustToGrossOutlier) {
+  // One huge outlier must barely move the robust scale, unlike the
+  // standard deviation.
+  Matrix clean(101, 1);
+  for (std::size_t i = 0; i <= 100; ++i) {
+    clean(i, 0) = static_cast<double>(i);
+  }
+  Matrix dirty = clean;
+  dirty(100, 0) = 1e6;
+
+  RobustScaler a, b;
+  a.fit(clean, {});
+  b.fit(dirty, {});
+  Matrix probe{{50.0}};
+  EXPECT_NEAR(a.transform(probe)(0, 0), b.transform(probe)(0, 0), 0.05);
+}
+
+TEST(Scalers, CloneCarriesFittedState) {
+  StandardScaler scaler;
+  const auto X = sample_data();
+  scaler.fit(X, {});
+  const auto clone = scaler.clone_transformer();
+  EXPECT_EQ(clone->transform(X), scaler.transform(X));
+}
+
+TEST(Scalers, ColumnCountMismatchThrows) {
+  StandardScaler scaler;
+  scaler.fit(Matrix(3, 2), {});
+  EXPECT_THROW(scaler.transform(Matrix(3, 3)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,85 @@
+// Tests for the simulated network fabric.
+#include <gtest/gtest.h>
+
+#include "src/dist/sim_net.h"
+
+namespace coda::dist {
+namespace {
+
+TEST(SimNet, NodeRegistration) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  EXPECT_EQ(net.n_nodes(), 2u);
+  EXPECT_EQ(net.node_name(a), "a");
+  EXPECT_EQ(net.node_name(b), "b");
+  EXPECT_THROW(net.add_node("a"), InvalidArgument);
+  EXPECT_THROW(net.add_node(""), InvalidArgument);
+}
+
+TEST(SimNet, TransferAccountsBytesAndMessages) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.transfer(a, b, 1000);
+  net.transfer(a, b, 500);
+  net.transfer(b, a, 100);
+  EXPECT_EQ(net.link(a, b).messages, 2u);
+  EXPECT_EQ(net.link(a, b).bytes, 1500u);
+  EXPECT_EQ(net.link(b, a).bytes, 100u);
+  const auto total = net.total();
+  EXPECT_EQ(total.messages, 3u);
+  EXPECT_EQ(total.bytes, 1600u);
+}
+
+TEST(SimNet, TransferTimeModel) {
+  SimNet::Config cfg;
+  cfg.latency_seconds = 0.01;
+  cfg.bandwidth_bytes_per_sec = 1000.0;
+  SimNet net(cfg);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  EXPECT_DOUBLE_EQ(net.transfer(a, b, 500), 0.01 + 0.5);
+}
+
+TEST(SimNet, SelfTransferRejected) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  EXPECT_THROW(net.transfer(a, a, 1), InvalidArgument);
+}
+
+TEST(SimNet, UnknownNodeRejected) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  EXPECT_THROW(net.transfer(a, 99, 1), InvalidArgument);
+  EXPECT_THROW(net.link(99, a), InvalidArgument);
+}
+
+TEST(SimNet, ClockAdvances) {
+  SimNet net;
+  EXPECT_DOUBLE_EQ(net.now(), 0.0);
+  net.advance(1.5);
+  net.advance(0.5);
+  EXPECT_DOUBLE_EQ(net.now(), 2.0);
+  EXPECT_THROW(net.advance(-1.0), InvalidArgument);
+}
+
+TEST(SimNet, ResetStatsKeepsClock) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.transfer(a, b, 100);
+  net.advance(3.0);
+  net.reset_stats();
+  EXPECT_EQ(net.total().bytes, 0u);
+  EXPECT_DOUBLE_EQ(net.now(), 3.0);
+}
+
+TEST(SimNet, BadConfigRejected) {
+  SimNet::Config cfg;
+  cfg.bandwidth_bytes_per_sec = 0.0;
+  EXPECT_THROW(SimNet{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda::dist

@@ -1,0 +1,215 @@
+// Tests for the synthetic workload generators (the documented substitution
+// for the paper's proprietary industrial data).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+
+namespace coda {
+namespace {
+
+TEST(MakeRegression, ShapeAndNames) {
+  RegressionConfig cfg;
+  cfg.n_samples = 50;
+  cfg.n_features = 7;
+  const auto d = make_regression(cfg);
+  EXPECT_EQ(d.n_samples(), 50u);
+  EXPECT_EQ(d.n_features(), 7u);
+  EXPECT_EQ(d.feature_names.size(), 7u);
+  d.validate();
+}
+
+TEST(MakeRegression, DeterministicPerSeed) {
+  RegressionConfig cfg;
+  const auto a = make_regression(cfg);
+  const auto b = make_regression(cfg);
+  EXPECT_EQ(a.X, b.X);
+  EXPECT_EQ(a.y, b.y);
+  cfg.seed += 1;
+  const auto c = make_regression(cfg);
+  EXPECT_FALSE(a.X == c.X);
+}
+
+TEST(MakeRegression, InformativeFeaturesCorrelate) {
+  RegressionConfig cfg;
+  cfg.n_samples = 800;
+  cfg.n_features = 8;
+  cfg.n_informative = 3;
+  cfg.noise_stddev = 0.1;
+  cfg.nonlinear = false;
+  const auto d = make_regression(cfg);
+  // Informative features (0..2) should correlate with y far more than the
+  // pure-noise features (3..7).
+  auto corr = [&](std::size_t j) {
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < d.n_samples(); ++i) {
+      mx += d.X(i, j);
+      my += d.y[i];
+    }
+    mx /= static_cast<double>(d.n_samples());
+    my /= static_cast<double>(d.n_samples());
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < d.n_samples(); ++i) {
+      sxy += (d.X(i, j) - mx) * (d.y[i] - my);
+      sxx += (d.X(i, j) - mx) * (d.X(i, j) - mx);
+      syy += (d.y[i] - my) * (d.y[i] - my);
+    }
+    return std::abs(sxy) / std::sqrt(sxx * syy);
+  };
+  double max_noise_corr = 0.0;
+  for (std::size_t j = 3; j < 8; ++j) {
+    max_noise_corr = std::max(max_noise_corr, corr(j));
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_GT(corr(j), max_noise_corr)
+        << "informative feature " << j << " should beat all noise features";
+  }
+}
+
+TEST(MakeRegression, RejectsBadConfig) {
+  RegressionConfig cfg;
+  cfg.n_informative = cfg.n_features + 1;
+  EXPECT_THROW(make_regression(cfg), InvalidArgument);
+}
+
+TEST(MakeClassification, BinaryImbalance) {
+  ClassificationConfig cfg;
+  cfg.n_samples = 1000;
+  cfg.positive_fraction = 0.1;
+  const auto d = make_classification(cfg);
+  std::size_t positives = 0;
+  for (const double label : d.y) {
+    ASSERT_TRUE(label == 0.0 || label == 1.0);
+    if (label == 1.0) ++positives;
+  }
+  EXPECT_GT(positives, 50u);
+  EXPECT_LT(positives, 200u);
+}
+
+TEST(MakeClassification, MultiClassLabels) {
+  ClassificationConfig cfg;
+  cfg.n_classes = 4;
+  cfg.n_samples = 200;
+  const auto d = make_classification(cfg);
+  for (const double label : d.y) {
+    EXPECT_GE(label, 0.0);
+    EXPECT_LT(label, 4.0);
+  }
+}
+
+TEST(MakeIndustrialSeries, ShapeAndDeterminism) {
+  IndustrialSeriesConfig cfg;
+  cfg.n_variables = 3;
+  cfg.length = 200;
+  const auto a = make_industrial_series(cfg);
+  EXPECT_EQ(a.length(), 200u);
+  EXPECT_EQ(a.n_variables(), 3u);
+  const auto b = make_industrial_series(cfg);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(MakeIndustrialSeries, TrendRaisesLevel) {
+  IndustrialSeriesConfig cfg;
+  cfg.length = 500;
+  cfg.trend_slope = 0.05;
+  cfg.seasonal_amplitude = 0.0;
+  cfg.regime_shifts = 0;
+  cfg.noise_stddev = 0.05;
+  const auto ts = make_industrial_series(cfg);
+  const auto v0 = ts.variable(0);
+  double early = 0.0, late = 0.0;
+  for (std::size_t t = 0; t < 100; ++t) early += v0[t];
+  for (std::size_t t = 400; t < 500; ++t) late += v0[t];
+  EXPECT_GT(late / 100.0, early / 100.0 + 5.0);
+}
+
+TEST(MakeIndustrialSeries, SeasonalAutocorrelation) {
+  IndustrialSeriesConfig cfg;
+  cfg.length = 600;
+  cfg.seasonal_period = 24;
+  cfg.seasonal_amplitude = 3.0;
+  cfg.trend_slope = 0.0;
+  cfg.ar_coefficient = 0.0;
+  cfg.noise_stddev = 0.1;
+  cfg.regime_shifts = 0;
+  const auto ts = make_industrial_series(cfg);
+  const auto x = ts.variable(0);
+  // Autocorrelation at the seasonal lag should be strongly positive.
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t t = 0; t + 24 < x.size(); ++t) {
+    num += (x[t] - mean) * (x[t + 24] - mean);
+  }
+  for (const double v : x) den += (v - mean) * (v - mean);
+  EXPECT_GT(num / den, 0.5);
+}
+
+TEST(MakeFailureWorkload, RareFailuresAndSignal) {
+  FailureWorkloadConfig cfg;
+  cfg.n_samples = 2000;
+  cfg.failure_rate = 0.05;
+  const auto d = make_failure_workload(cfg);
+  std::size_t failures = 0;
+  double failing_s0 = 0.0, normal_s0 = 0.0;
+  for (std::size_t i = 0; i < d.n_samples(); ++i) {
+    if (d.y[i] == 1.0) {
+      ++failures;
+      failing_s0 += d.X(i, 0);
+    } else {
+      normal_s0 += d.X(i, 0);
+    }
+  }
+  ASSERT_GT(failures, 40u);
+  EXPECT_LT(failures, 250u);
+  // Sensor 0 drifts upward before failures (degradation signal).
+  EXPECT_GT(failing_s0 / static_cast<double>(failures),
+            normal_s0 / static_cast<double>(d.n_samples() - failures) + 1.0);
+}
+
+TEST(MakeCohortWorkload, BalancedCohorts) {
+  CohortWorkloadConfig cfg;
+  cfg.n_assets = 90;
+  cfg.n_cohorts = 3;
+  const auto d = make_cohort_workload(cfg);
+  std::vector<std::size_t> counts(3, 0);
+  for (const double c : d.y) ++counts[static_cast<std::size_t>(c)];
+  EXPECT_EQ(counts[0], 30u);
+  EXPECT_EQ(counts[1], 30u);
+  EXPECT_EQ(counts[2], 30u);
+}
+
+TEST(InjectMissing, BlanksApproximatelyFraction) {
+  RegressionConfig cfg;
+  cfg.n_samples = 100;
+  cfg.n_features = 10;
+  auto d = make_regression(cfg);
+  const std::size_t blanked = inject_missing(d, 0.2, 3);
+  EXPECT_GT(blanked, 120u);
+  EXPECT_LT(blanked, 280u);
+  std::size_t nan_count = 0;
+  for (const double v : d.X.data()) {
+    if (std::isnan(v)) ++nan_count;
+  }
+  EXPECT_EQ(nan_count, blanked);
+}
+
+TEST(InjectOutliers, AffectsReportedRows) {
+  RegressionConfig cfg;
+  auto d = make_regression(cfg);
+  const auto before = d.X;
+  const auto rows = inject_outliers(d, 0.1, 100.0, 5);
+  EXPECT_FALSE(rows.empty());
+  for (const std::size_t r : rows) {
+    bool changed = false;
+    for (std::size_t c = 0; c < d.X.cols(); ++c) {
+      if (d.X(r, c) != before(r, c)) changed = true;
+    }
+    EXPECT_TRUE(changed);
+  }
+}
+
+}  // namespace
+}  // namespace coda

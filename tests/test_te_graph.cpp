@@ -1,0 +1,195 @@
+// Tests for the Transformer-Estimator Graph: Fig 3's 36-pipeline example,
+// path enumeration, edge restrictions, parameter grids, instantiation.
+#include <gtest/gtest.h>
+
+#include "src/core/te_graph.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/feature_selection.h"
+#include "src/ml/linear.h"
+#include "src/ml/pca.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/scalers.h"
+
+namespace coda {
+namespace {
+
+// The Fig 3 graph: 4 scalers x 3 selectors x 3 models = 36 pipelines.
+TEGraph fig3_graph() {
+  TEGraph g;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<MinMaxScaler>());
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  g.add_feature_scalers(std::move(scalers));
+
+  std::vector<std::unique_ptr<Transformer>> selectors;
+  selectors.push_back(std::make_unique<PCA>());
+  selectors.push_back(std::make_unique<SelectKBest>());
+  auto noop = std::make_unique<NoOp>();
+  noop->set_name("noop_select");
+  selectors.push_back(std::move(noop));
+  g.add_feature_selectors(std::move(selectors));
+
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<DecisionTreeRegressor>());
+  models.push_back(std::make_unique<LinearRegression>());
+  models.push_back(std::make_unique<RandomForestRegressor>());
+  g.add_regression_models(std::move(models));
+  return g;
+}
+
+TEST(TEGraph, Fig3Has36Pipelines) {
+  const auto g = fig3_graph();
+  EXPECT_EQ(g.n_stages(), 3u);
+  EXPECT_EQ(g.count_paths(), 36u);
+  EXPECT_EQ(g.enumerate_candidates().size(), 36u);
+}
+
+TEST(TEGraph, PathsAreDistinct) {
+  const auto g = fig3_graph();
+  const auto paths = g.enumerate_paths();
+  std::set<std::vector<std::size_t>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(TEGraph, StageAccessors) {
+  const auto g = fig3_graph();
+  EXPECT_EQ(g.stage_name(0), "feature_scaling");
+  EXPECT_EQ(g.stage_name(1), "feature_selection");
+  EXPECT_EQ(g.stage_name(2), "regression_model");
+  EXPECT_EQ(g.n_options(0), 4u);
+  EXPECT_EQ(g.n_options(1), 3u);
+  EXPECT_EQ(g.n_options(2), 3u);
+}
+
+TEST(TEGraph, FindOption) {
+  const auto g = fig3_graph();
+  const auto [stage, option] = g.find_option("pca");
+  EXPECT_EQ(stage, 1u);
+  EXPECT_EQ(option, 0u);
+  EXPECT_THROW(g.find_option("nothere"), NotFound);
+}
+
+TEST(TEGraph, DuplicateNodeNamesRejected) {
+  TEGraph g;
+  std::vector<StageOption> options;
+  options.push_back(make_option(std::make_unique<StandardScaler>()));
+  options.push_back(make_option(std::make_unique<StandardScaler>()));
+  EXPECT_THROW(g.add_stage("s", std::move(options)), InvalidArgument);
+}
+
+TEST(TEGraph, EdgeRestrictionPrunesPaths) {
+  auto g = fig3_graph();
+  // minmaxscaler may only feed pca.
+  g.restrict_edges(0, "minmaxscaler", {"pca"});
+  // Full product loses minmax->(selectkbest, noop_select) x 3 models = 6.
+  EXPECT_EQ(g.count_paths(), 30u);
+  EXPECT_TRUE(g.edge_allowed(0, 0, 0));
+  EXPECT_FALSE(g.edge_allowed(0, 0, 1));
+}
+
+TEST(TEGraph, RestrictedPathInstantiationRejected) {
+  auto g = fig3_graph();
+  g.restrict_edges(0, "minmaxscaler", {"pca"});
+  TEGraph::Candidate bad;
+  bad.path = {0, 1, 0};  // minmax -> selectkbest: forbidden
+  EXPECT_THROW(g.instantiate(bad), InvalidArgument);
+}
+
+TEST(TEGraph, ConnectTags) {
+  TEGraph g;
+  std::vector<StageOption> first;
+  first.push_back(make_option(std::make_unique<StandardScaler>(), {"a"}));
+  first.push_back(make_option(std::make_unique<MinMaxScaler>(), {"b"}));
+  g.add_stage("scale", std::move(first));
+  std::vector<StageOption> second;
+  second.push_back(
+      make_option(std::make_unique<LinearRegression>(), {"a_sink"}));
+  second.push_back(make_option(std::make_unique<Ridge>(), {"b_sink"}));
+  g.add_stage("model", std::move(second));
+  g.connect_tags(0, "a", "a_sink");
+  g.connect_tags(0, "b", "b_sink");
+  EXPECT_EQ(g.count_paths(), 2u);
+}
+
+TEST(TEGraph, GridsMultiplyCandidates) {
+  TEGraph g;
+  std::vector<StageOption> scalers;
+  scalers.push_back(make_option(std::make_unique<NoOp>()));
+  g.add_stage("scale", std::move(scalers));
+
+  std::vector<StageOption> models;
+  ParamGrid grid;
+  grid.add("max_depth", {std::int64_t{2}, std::int64_t{4}, std::int64_t{6}});
+  models.push_back(
+      make_option(std::make_unique<DecisionTreeRegressor>(), std::move(grid)));
+  models.push_back(make_option(std::make_unique<LinearRegression>()));
+  g.add_stage("model", std::move(models));
+
+  EXPECT_EQ(g.count_paths(), 2u);
+  const auto candidates = g.enumerate_candidates();
+  EXPECT_EQ(candidates.size(), 4u);  // 3 grid points + 1 gridless
+
+  // Grid params are expressed in node__param form.
+  std::size_t with_depth = 0;
+  for (const auto& c : candidates) {
+    if (c.params.contains("decisiontree__max_depth")) ++with_depth;
+  }
+  EXPECT_EQ(with_depth, 3u);
+}
+
+TEST(TEGraph, InstantiateAppliesGridParams) {
+  TEGraph g;
+  std::vector<StageOption> models;
+  ParamGrid grid;
+  grid.add("max_depth", {std::int64_t{2}});
+  models.push_back(
+      make_option(std::make_unique<DecisionTreeRegressor>(), std::move(grid)));
+  g.add_stage("model", std::move(models));
+  const auto candidates = g.enumerate_candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  Pipeline p = g.instantiate(candidates[0]);
+  EXPECT_EQ(p.estimator().params().get_int("max_depth"), 2);
+}
+
+TEST(TEGraph, CandidateSpecsAreUnique) {
+  const auto g = fig3_graph();
+  std::set<std::string> specs;
+  for (const auto& c : g.enumerate_candidates()) {
+    specs.insert(g.candidate_spec(c));
+  }
+  EXPECT_EQ(specs.size(), 36u);
+}
+
+TEST(TEGraph, NonTerminalEstimatorRejected) {
+  TEGraph g;
+  std::vector<StageOption> first;
+  first.push_back(make_option(std::make_unique<LinearRegression>()));
+  g.add_stage("bad", std::move(first));
+  std::vector<StageOption> second;
+  second.push_back(make_option(std::make_unique<Ridge>()));
+  g.add_stage("model", std::move(second));
+  EXPECT_THROW(g.enumerate_paths(), InvalidArgument);
+}
+
+TEST(TEGraph, TerminalTransformerRejected) {
+  TEGraph g;
+  std::vector<StageOption> only;
+  only.push_back(make_option(std::make_unique<StandardScaler>()));
+  g.add_stage("scale", std::move(only));
+  EXPECT_THROW(g.enumerate_paths(), InvalidArgument);
+}
+
+TEST(TEGraph, DotOutputContainsNodesAndEdges) {
+  const auto g = fig3_graph();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"pca\""), std::string::npos);
+  EXPECT_NE(dot.find("\"robustscaler\" -> \"selectkbest\""),
+            std::string::npos);
+  EXPECT_NE(dot.find("input ->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coda

@@ -1,0 +1,191 @@
+// Tests for the §IV-E solution templates: Failure Prediction, Root Cause,
+// Anomaly, and Cohort Analysis on synthetic industrial workloads.
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/templates/anomaly.h"
+#include "src/templates/cohort.h"
+#include "src/templates/failure_prediction.h"
+#include "src/templates/root_cause.h"
+#include "src/util/random.h"
+
+namespace coda::templates {
+namespace {
+
+TEST(FailurePrediction, FindsRareFailures) {
+  FailureWorkloadConfig cfg;
+  cfg.n_samples = 500;
+  cfg.failure_rate = 0.1;
+  cfg.degradation_signal = 4.0;
+  const auto data = make_failure_workload(cfg);
+
+  FailurePredictionAnalysis::Config fpa_cfg;
+  fpa_cfg.k_folds = 4;
+  FailurePredictionAnalysis fpa(fpa_cfg);
+  const auto result = fpa.run(data);
+
+  EXPECT_GT(result.best_f1, 0.6);   // rare class still found
+  EXPECT_GT(result.best_auc, 0.85);
+  EXPECT_TRUE(result.best.is_fitted());
+  // The degradation-carrying sensors (0 and 1) dominate the importances.
+  ASSERT_GE(result.top_sensors.size(), 2u);
+  std::set<std::string> top2{result.top_sensors[0].first,
+                             result.top_sensors[1].first};
+  EXPECT_TRUE(top2.count("sensor0") == 1 || top2.count("sensor1") == 1);
+}
+
+TEST(FailurePrediction, RejectsNonBinaryLabels) {
+  Dataset d;
+  d.X = Matrix(4, 2);
+  d.y = {0, 1, 2, 1};
+  FailurePredictionAnalysis fpa;
+  EXPECT_THROW(fpa.run(d), InvalidArgument);
+}
+
+TEST(RootCause, RanksTrueFactorsFirst) {
+  // outcome = 5*f0 - 3*f2 (+ noise); f1 and f3 are inert.
+  Rng rng(51);
+  Dataset d;
+  d.X = Matrix(400, 4);
+  d.y.resize(400);
+  d.feature_names = {"temperature", "pressure", "vibration", "humidity"};
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) d.X(i, j) = rng.normal();
+    d.y[i] = 5.0 * d.X(i, 0) - 3.0 * d.X(i, 2) + rng.normal(0.0, 0.2);
+  }
+  RootCauseAnalysis rca;
+  const auto result = rca.run(d);
+  EXPECT_GT(result.model_r2, 0.7);
+  // Top two factors must be temperature and vibration (order may swap).
+  std::set<std::string> top2{result.factor_importance[0].first,
+                             result.factor_importance[1].first};
+  EXPECT_EQ(top2.count("temperature"), 1u);
+  EXPECT_EQ(top2.count("vibration"), 1u);
+  // Sensitivity signs match the generating coefficients.
+  for (const auto& [name, delta] : result.sensitivity) {
+    if (name == "temperature") {
+      EXPECT_GT(delta, 0.0);
+    }
+    if (name == "vibration") {
+      EXPECT_LT(delta, 0.0);
+    }
+  }
+}
+
+TEST(RootCause, WhatIfShiftsPredictions) {
+  Rng rng(52);
+  Dataset d;
+  d.X = Matrix(300, 2);
+  d.y.resize(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    d.X(i, 0) = rng.normal();
+    d.X(i, 1) = rng.normal();
+    d.y[i] = 4.0 * d.X(i, 0) + rng.normal(0.0, 0.1);
+  }
+  RootCauseAnalysis rca;
+  const auto shifted = rca.what_if(d, 0, 1.0);
+  // Mean prediction should rise by roughly the coefficient (tree ensembles
+  // flatten at the data boundary, so accept a generous band).
+  RootCauseAnalysis probe_rca;
+  const auto base = probe_rca.what_if(d, 0, 0.0);
+  double mean_shift = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    mean_shift += shifted[i] - base[i];
+  }
+  mean_shift /= static_cast<double>(base.size());
+  EXPECT_GT(mean_shift, 1.0);
+  EXPECT_THROW(rca.what_if(d, 9, 1.0), InvalidArgument);
+}
+
+TEST(Anomaly, FlagsInjectedAnomalies) {
+  Rng rng(53);
+  Matrix normal(300, 3);
+  for (double& v : normal.data()) v = rng.normal(10.0, 1.0);
+  AnomalyAnalysis detector;
+  detector.fit(normal);
+
+  Matrix probe(5, 3);
+  for (double& v : probe.data()) v = rng.normal(10.0, 1.0);
+  probe(2, 1) = 30.0;  // gross anomaly
+  probe(4, 0) = -10.0;
+  const auto result = detector.score(probe);
+  EXPECT_EQ(result.anomalies, (std::vector<std::size_t>{2, 4}));
+  EXPECT_GT(result.scores[2], result.threshold);
+  EXPECT_LE(result.scores[0], result.threshold);
+}
+
+TEST(Anomaly, RobustToOutliersInTrainingData) {
+  // Fitting stats are median/MAD, so a contaminated "normal" set still
+  // yields a detector that flags the same gross anomalies.
+  Rng rng(54);
+  Matrix contaminated(300, 1);
+  for (double& v : contaminated.data()) v = rng.normal(0.0, 1.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    contaminated(i, 0) = 500.0;  // 3% contamination
+  }
+  AnomalyAnalysis detector;
+  detector.fit(contaminated);
+  Matrix probe{{0.5}, {100.0}};
+  const auto result = detector.score(probe);
+  EXPECT_EQ(result.anomalies, (std::vector<std::size_t>{1}));
+}
+
+TEST(Anomaly, FitScoreConvenience) {
+  Rng rng(55);
+  Matrix X(100, 2);
+  for (double& v : X.data()) v = rng.normal();
+  X(7, 0) = 50.0;
+  AnomalyAnalysis detector;
+  const auto result = detector.fit_score(X);
+  EXPECT_EQ(result.anomalies, (std::vector<std::size_t>{7}));
+}
+
+TEST(Anomaly, Validation) {
+  AnomalyAnalysis detector;
+  EXPECT_THROW(detector.score(Matrix(1, 1)), StateError);
+  AnomalyAnalysis::Config cfg;
+  cfg.z_threshold = 0.0;
+  EXPECT_THROW(AnomalyAnalysis{cfg}, InvalidArgument);
+}
+
+TEST(Cohort, RecoversTrueCohortsWithFixedK) {
+  CohortWorkloadConfig cfg;
+  cfg.n_assets = 90;
+  cfg.n_cohorts = 3;
+  cfg.cohort_separation = 8.0;
+  const auto d = make_cohort_workload(cfg);
+  CohortAnalysis::Config ca_cfg;
+  ca_cfg.k = 3;
+  CohortAnalysis ca(ca_cfg);
+  const auto result = ca.run(d.X);
+  EXPECT_EQ(result.k, 3u);
+  EXPECT_EQ(result.cohort_sizes.size(), 3u);
+  for (const std::size_t size : result.cohort_sizes) {
+    EXPECT_EQ(size, 30u);  // balanced, well-separated blobs
+  }
+}
+
+TEST(Cohort, AutoSelectsKByElbow) {
+  CohortWorkloadConfig cfg;
+  cfg.n_assets = 120;
+  cfg.n_cohorts = 4;
+  cfg.cohort_separation = 10.0;
+  const auto d = make_cohort_workload(cfg);
+  CohortAnalysis ca;  // k = 0 -> auto
+  const auto result = ca.run(d.X);
+  EXPECT_FALSE(result.k_scan.empty());
+  EXPECT_GE(result.k, 2u);
+  EXPECT_LE(result.k, 8u);
+  // The scan's inertia must be non-increasing in k.
+  for (std::size_t i = 1; i < result.k_scan.size(); ++i) {
+    EXPECT_LE(result.k_scan[i].second, result.k_scan[i - 1].second + 1e-9);
+  }
+}
+
+TEST(Cohort, Validation) {
+  CohortAnalysis ca;
+  EXPECT_THROW(ca.run(Matrix(1, 2)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda::templates

@@ -1,0 +1,208 @@
+// Tests for CART trees, random forests and gradient boosting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/metrics.h"
+#include "src/data/synthetic.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/gradient_boosting.h"
+#include "src/ml/random_forest.h"
+#include "src/util/random.h"
+
+namespace coda {
+namespace {
+
+// A step function a linear model cannot fit but a depth-1 tree can.
+std::pair<Matrix, std::vector<double>> step_data() {
+  Matrix X(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    X(i, 0) = static_cast<double>(i);
+    y[i] = i < 50 ? 1.0 : 5.0;
+  }
+  return {X, y};
+}
+
+// XOR-style interaction: needs depth >= 2.
+std::pair<Matrix, std::vector<double>> xor_data() {
+  Rng rng(31);
+  Matrix X(400, 2);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    X(i, 0) = rng.uniform(-1.0, 1.0);
+    X(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = (X(i, 0) > 0.0) == (X(i, 1) > 0.0) ? 1.0 : 0.0;
+  }
+  return {X, y};
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  const auto [X, y] = step_data();
+  DecisionTreeRegressor tree;
+  tree.fit(X, y);
+  EXPECT_NEAR(rmse(y, tree.predict(X)), 0.0, 1e-12);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  const auto [X, y] = xor_data();
+  DecisionTreeRegressor tree;
+  tree.set_param("max_depth", std::int64_t{3});
+  tree.fit(X, y);
+  EXPECT_LE(tree.tree().depth(), 4u);  // root at depth 1
+}
+
+TEST(DecisionTree, SolvesXorWithDepthTwo) {
+  const auto [X, y] = xor_data();
+  DecisionTreeClassifier tree;
+  tree.set_param("max_depth", std::int64_t{3});
+  tree.fit(X, y);
+  EXPECT_GT(accuracy(y, tree.predict(X)), 0.95);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Matrix X{{1}, {2}, {3}};
+  std::vector<double> y{4, 4, 4};
+  DecisionTreeRegressor tree;
+  tree.fit(X, y);
+  EXPECT_EQ(tree.tree().n_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(Matrix{{99}})[0], 4.0);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const auto [X, y] = step_data();
+  DecisionTreeRegressor tree;
+  tree.set_param("min_samples_leaf", std::int64_t{30});
+  tree.fit(X, y);
+  // With min leaf 30, the 50/50 split is the only legal one: depth 2.
+  EXPECT_LE(tree.tree().depth(), 2u);
+}
+
+TEST(DecisionTree, ClassifierRejectsNonBinaryLabels) {
+  DecisionTreeClassifier tree;
+  Matrix X{{1}, {2}};
+  EXPECT_THROW(tree.fit(X, {0.0, 2.0}), InvalidArgument);
+}
+
+TEST(DecisionTree, ParamValidation) {
+  DecisionTreeRegressor tree;
+  tree.set_param("max_depth", std::int64_t{0});
+  Matrix X{{1}, {2}};
+  EXPECT_THROW(tree.fit(X, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(CartTree, FeatureImportancesConcentrateOnSplitFeature) {
+  const auto [X0, y] = step_data();
+  Matrix X(100, 3);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 100; ++i) {
+    X(i, 0) = rng.normal();          // noise
+    X(i, 1) = X0(i, 0);              // the real signal
+    X(i, 2) = rng.normal();          // noise
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(X, y);
+  std::vector<double> imp(3, 0.0);
+  tree.tree().add_feature_importances(imp);
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], imp[2]);
+}
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  RegressionConfig cfg;
+  cfg.n_samples = 300;
+  cfg.noise_stddev = 1.5;
+  const auto d = make_regression(cfg);
+  const auto [train, test] = train_test_split(d, 0.7, 3);
+
+  DecisionTreeRegressor tree;
+  tree.set_param("max_depth", std::int64_t{10});
+  tree.fit(train.X, train.y);
+
+  RandomForestRegressor forest;
+  forest.set_param("n_trees", std::int64_t{40});
+  forest.fit(train.X, train.y);
+
+  EXPECT_LT(rmse(test.y, forest.predict(test.X)),
+            rmse(test.y, tree.predict(test.X)));
+}
+
+TEST(RandomForest, DeterministicPerSeed) {
+  const auto [X, y] = xor_data();
+  RandomForestRegressor a, b;
+  a.fit(X, y);
+  b.fit(X, y);
+  EXPECT_EQ(a.predict(X), b.predict(X));
+}
+
+TEST(RandomForest, ImportancesNormalized) {
+  const auto [X, y] = xor_data();
+  RandomForestRegressor forest;
+  forest.fit(X, y);
+  const auto imp = forest.feature_importances();
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForestClassifier, ScoresInUnitInterval) {
+  const auto [X, y] = xor_data();
+  RandomForestClassifier forest;
+  forest.fit(X, y);
+  for (const double s : forest.predict(X)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_GT(accuracy(y, forest.predict(X)), 0.9);
+}
+
+TEST(RandomForest, MaxFeaturesValidated) {
+  RandomForestRegressor forest;
+  forest.set_param("max_features", std::int64_t{99});
+  Matrix X{{1, 2}, {3, 4}};
+  EXPECT_THROW(forest.fit(X, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(GradientBoosting, DrivesTrainingErrorDown) {
+  RegressionConfig cfg;
+  cfg.n_samples = 200;
+  cfg.noise_stddev = 0.2;
+  const auto d = make_regression(cfg);
+
+  GradientBoostingRegressor few;
+  few.set_param("n_stages", std::int64_t{5});
+  few.fit(d.X, d.y);
+  GradientBoostingRegressor many;
+  many.set_param("n_stages", std::int64_t{150});
+  many.fit(d.X, d.y);
+
+  EXPECT_LT(rmse(d.y, many.predict(d.X)), rmse(d.y, few.predict(d.X)));
+}
+
+TEST(GradientBoosting, ZeroStagePredictionIsMean) {
+  Matrix X{{1}, {2}, {3}};
+  std::vector<double> y{1, 2, 9};
+  GradientBoostingRegressor gbm;
+  gbm.set_param("n_stages", std::int64_t{1});
+  gbm.set_param("learning_rate", 1e-9);  // effectively only the base
+  gbm.fit(X, y);
+  EXPECT_NEAR(gbm.predict(Matrix{{2}})[0], 4.0, 1e-3);
+}
+
+TEST(GradientBoosting, SubsampleWorks) {
+  const auto [X, y] = xor_data();
+  GradientBoostingRegressor gbm;
+  gbm.set_param("subsample", 0.5);
+  gbm.set_param("n_stages", std::int64_t{60});
+  gbm.fit(X, y);
+  EXPECT_LT(rmse(y, gbm.predict(X)), 0.45);
+}
+
+TEST(GradientBoosting, ParamValidation) {
+  GradientBoostingRegressor gbm;
+  gbm.set_param("subsample", 1.5);
+  Matrix X{{1}, {2}};
+  EXPECT_THROW(gbm.fit(X, {1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda

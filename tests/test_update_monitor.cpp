@@ -1,0 +1,104 @@
+// Tests for the change-triggered recomputation policies (Section III).
+#include <gtest/gtest.h>
+
+#include "src/dist/update_monitor.h"
+#include "src/util/error.h"
+
+namespace coda::dist {
+namespace {
+
+Bytes blob(std::size_t n) { return Bytes(n, 0x42); }
+
+TEST(CountThresholdPolicy, FiresEveryNUpdates) {
+  std::vector<std::string> recomputed;
+  UpdateMonitor monitor(std::make_unique<CountThresholdPolicy>(3),
+                        [&](const std::string& key) {
+                          recomputed.push_back(key);
+                        });
+  for (int i = 1; i <= 7; ++i) {
+    monitor.on_update("o1", nullptr, blob(10), static_cast<std::uint64_t>(i),
+                      10);
+  }
+  EXPECT_EQ(recomputed.size(), 2u);  // after updates 3 and 6
+  EXPECT_EQ(monitor.pending_updates("o1"), 1u);
+  EXPECT_EQ(monitor.total_updates(), 7u);
+  EXPECT_EQ(monitor.total_recomputes(), 2u);
+}
+
+TEST(SizeThresholdPolicy, FiresOnAccumulatedBytes) {
+  std::size_t recomputes = 0;
+  UpdateMonitor monitor(std::make_unique<SizeThresholdPolicy>(100),
+                        [&](const std::string&) { ++recomputes; });
+  monitor.on_update("o1", nullptr, blob(40), 1, 40);
+  EXPECT_EQ(recomputes, 0u);
+  monitor.on_update("o1", nullptr, blob(40), 2, 40);
+  EXPECT_EQ(recomputes, 0u);
+  EXPECT_EQ(monitor.pending_bytes("o1"), 80u);
+  monitor.on_update("o1", nullptr, blob(40), 3, 40);  // 120 >= 100
+  EXPECT_EQ(recomputes, 1u);
+  EXPECT_EQ(monitor.pending_bytes("o1"), 0u);
+}
+
+TEST(AppSpecificPolicy, ArbitraryPredicate) {
+  // Application rule: recompute when the new value's first byte changes
+  // from the old value's (a stand-in for a drift detector).
+  std::size_t recomputes = 0;
+  auto policy = std::make_unique<AppSpecificPolicy>(
+      "first_byte_drift", [](const UpdateEvent& e) {
+        return e.old_value != nullptr && !e.old_value->empty() &&
+               !e.new_value->empty() &&
+               (*e.old_value)[0] != (*e.new_value)[0];
+      });
+  UpdateMonitor monitor(std::move(policy),
+                        [&](const std::string&) { ++recomputes; });
+  Bytes a{1, 2, 3};
+  Bytes b{1, 9, 9};
+  Bytes c{7, 9, 9};
+  monitor.on_update("o1", nullptr, a, 1, 3);
+  monitor.on_update("o1", &a, b, 2, 3);  // first byte unchanged
+  EXPECT_EQ(recomputes, 0u);
+  monitor.on_update("o1", &b, c, 3, 3);  // first byte changed
+  EXPECT_EQ(recomputes, 1u);
+}
+
+TEST(UpdateMonitor, KeysTrackedIndependently) {
+  std::vector<std::string> recomputed;
+  UpdateMonitor monitor(std::make_unique<CountThresholdPolicy>(2),
+                        [&](const std::string& key) {
+                          recomputed.push_back(key);
+                        });
+  monitor.on_update("a", nullptr, blob(1), 1, 1);
+  monitor.on_update("b", nullptr, blob(1), 1, 1);
+  EXPECT_TRUE(recomputed.empty());
+  monitor.on_update("a", nullptr, blob(1), 2, 1);
+  ASSERT_EQ(recomputed.size(), 1u);
+  EXPECT_EQ(recomputed[0], "a");
+  EXPECT_EQ(monitor.pending_updates("b"), 1u);
+}
+
+TEST(UpdateMonitor, OnUpdateReturnsTriggerFlag) {
+  UpdateMonitor monitor(std::make_unique<CountThresholdPolicy>(2),
+                        [](const std::string&) {});
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(1), 1, 1));
+  EXPECT_TRUE(monitor.on_update("o", nullptr, blob(1), 2, 1));
+}
+
+TEST(Policies, Names) {
+  EXPECT_EQ(CountThresholdPolicy(5).name(), "count(threshold=5)");
+  EXPECT_EQ(SizeThresholdPolicy(1024).name(), "size(threshold=1024B)");
+  EXPECT_EQ(AppSpecificPolicy("drift", [](const UpdateEvent&) {
+              return false;
+            }).name(),
+            "app(drift)");
+}
+
+TEST(Policies, Validation) {
+  EXPECT_THROW(CountThresholdPolicy(0), InvalidArgument);
+  EXPECT_THROW(SizeThresholdPolicy(0), InvalidArgument);
+  EXPECT_THROW(AppSpecificPolicy("x", nullptr), InvalidArgument);
+  EXPECT_THROW(UpdateMonitor(nullptr, [](const std::string&) {}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace coda::dist

@@ -1,0 +1,179 @@
+// Tests for the util layer: hashing, strings, CSV, serialization, RNG,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/util/csv.h"
+#include "src/util/hash.h"
+#include "src/util/random.h"
+#include "src/util/serialization.h"
+#include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
+
+namespace coda {
+namespace {
+
+TEST(Hash, KnownFnv1aValues) {
+  // FNV-1a reference: hash of empty input is the offset basis.
+  EXPECT_EQ(fnv1a(""), Fnv1a::kOffset);
+  // "a" = 0x61: (offset ^ 0x61) * prime.
+  EXPECT_EQ(fnv1a("a"), (Fnv1a::kOffset ^ 0x61ULL) * Fnv1a::kPrime);
+}
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(fnv1a("cooperative"), fnv1a("cooperative"));
+  EXPECT_NE(fnv1a("cooperative"), fnv1a("cooperativf"));
+}
+
+TEST(Hash, IncrementalMatchesOneShot) {
+  Fnv1a h;
+  h.update("foo").update("bar");
+  EXPECT_EQ(h.digest(), fnv1a("foobar"));
+}
+
+TEST(Hash, HexRendering) {
+  EXPECT_EQ(hash_to_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_to_hex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b"}, "->"), "a->b");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("pipeline", "pipe"));
+  EXPECT_FALSE(starts_with("pipe", "pipeline"));
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable table;
+  table.header = {"name", "value"};
+  table.rows = {{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}};
+  const auto parsed = parse_csv(to_csv(table), /*has_header=*/true);
+  EXPECT_EQ(parsed.header, table.header);
+  EXPECT_EQ(parsed.rows, table.rows);
+}
+
+TEST(Csv, ParsesQuotedFields) {
+  const auto t = parse_csv("a,\"b,c\",\"d\"\"e\"\n", false);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0], (std::vector<std::string>{"a", "b,c", "d\"e"}));
+}
+
+TEST(Csv, SkipsBlankLines) {
+  const auto t = parse_csv("a,b\n\nc,d\n", false);
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(Serialization, RoundTripAllTypes) {
+  ByteWriter w;
+  w.write_u8(7);
+  w.write_u32(123456);
+  w.write_u64(1ULL << 40);
+  w.write_i64(-42);
+  w.write_double(3.25);
+  w.write_bool(true);
+  w.write_string("hello");
+  w.write_bytes({1, 2, 3});
+  w.write_doubles({0.5, -0.5});
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 123456u);
+  EXPECT_EQ(r.read_u64(), 1ULL << 40);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_double(), 3.25);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.read_doubles(), (std::vector<double>{0.5, -0.5}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, TruncatedBufferThrows) {
+  ByteWriter w;
+  w.write_string("hello");
+  Bytes truncated = w.buffer();
+  truncated.resize(truncated.size() - 2);
+  ByteReader r(truncated);
+  EXPECT_THROW(r.read_string(), DecodeError);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(5);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, UniformIntRange) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, SplitIsIndependent) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // The child should not replay the parent's stream.
+  Rng parent2(42);
+  parent2.split();
+  EXPECT_DOUBLE_EQ(parent.uniform(), parent2.uniform());
+  (void)child;
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 20, 22);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace coda

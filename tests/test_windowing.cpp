@@ -1,0 +1,171 @@
+// Tests for the time-series windowing preprocessors (Figs 7-10), including
+// a parameterized sweep over (history, horizon, variables).
+#include <gtest/gtest.h>
+
+#include "src/ts/windowing.h"
+#include "src/util/error.h"
+
+namespace coda::ts {
+namespace {
+
+// A tiny deterministic series: value(t, v) = 10*t + v.
+Matrix ramp_series(std::size_t length, std::size_t vars) {
+  Matrix m(length, vars);
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t v = 0; v < vars; ++v) {
+      m(t, v) = 10.0 * static_cast<double>(t) + static_cast<double>(v);
+    }
+  }
+  return m;
+}
+
+TEST(CascadedWindows, ValuesAndAlignment) {
+  const Matrix series = ramp_series(6, 2);
+  ForecastSpec spec;
+  spec.history = 3;
+  spec.horizon = 1;
+  spec.target_var = 1;
+  CascadedWindows maker;
+  const auto wd = maker.build(series, series, spec);
+  // N = 6 - 3 - 1 + 1 = 3 windows of width 3*2.
+  ASSERT_EQ(wd.X.rows(), 3u);
+  ASSERT_EQ(wd.X.cols(), 6u);
+  // Window 0: times 0..2, time-major flattening [t0v0,t0v1,t1v0,...].
+  EXPECT_DOUBLE_EQ(wd.X(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(wd.X(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(wd.X(0, 2), 10.0);
+  EXPECT_DOUBLE_EQ(wd.X(0, 5), 21.0);
+  // Target: time 3, variable 1 -> 31.
+  EXPECT_DOUBLE_EQ(wd.y[0], 31.0);
+  EXPECT_EQ(wd.target_times[0], 3u);
+  EXPECT_EQ(wd.span_starts[0], 0u);
+  // Last window targets the final timestamp.
+  EXPECT_EQ(wd.target_times.back(), 5u);
+}
+
+TEST(CascadedWindows, HorizonShiftsTarget) {
+  const Matrix series = ramp_series(8, 1);
+  ForecastSpec spec;
+  spec.history = 2;
+  spec.horizon = 3;
+  CascadedWindows maker;
+  const auto wd = maker.build(series, series, spec);
+  // N = 8 - 2 - 3 + 1 = 4; window 0 covers t 0..1, target t=4.
+  ASSERT_EQ(wd.y.size(), 4u);
+  EXPECT_DOUBLE_EQ(wd.y[0], 40.0);
+  EXPECT_EQ(wd.target_times[0], 4u);
+}
+
+TEST(FlatWindowing, SameValuesAsCascaded) {
+  // Fig 8: flattening preserves the window contents; only the consumer's
+  // interpretation changes.
+  const Matrix series = ramp_series(10, 3);
+  ForecastSpec spec;
+  spec.history = 4;
+  CascadedWindows cascaded;
+  FlatWindowing flat;
+  EXPECT_EQ(flat.build(series, series, spec).X,
+            cascaded.build(series, series, spec).X);
+  EXPECT_EQ(flat.build(series, series, spec).y,
+            cascaded.build(series, series, spec).y);
+}
+
+TEST(TsAsIid, CurrentValuesOnly) {
+  const Matrix series = ramp_series(5, 2);
+  ForecastSpec spec;
+  spec.horizon = 1;
+  spec.target_var = 0;
+  TsAsIid maker;
+  const auto wd = maker.build(series, series, spec);
+  ASSERT_EQ(wd.X.rows(), 4u);
+  ASSERT_EQ(wd.X.cols(), 2u);
+  EXPECT_DOUBLE_EQ(wd.X(2, 0), 20.0);
+  EXPECT_DOUBLE_EQ(wd.y[2], 30.0);  // t=3, var 0
+  EXPECT_EQ(wd.span_starts[2], 2u);
+}
+
+TEST(TsAsIs, SingleColumnOfTargetVariable) {
+  const Matrix series = ramp_series(5, 3);
+  ForecastSpec spec;
+  spec.horizon = 1;
+  spec.target_var = 2;
+  TsAsIs maker;
+  const auto wd = maker.build(series, series, spec);
+  ASSERT_EQ(wd.X.cols(), 1u);
+  EXPECT_DOUBLE_EQ(wd.X(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(wd.y[0], 12.0);
+}
+
+TEST(TsAsIs, IgnoresScaledFeaturesForPersistence) {
+  // The as-is feed must read the *target source*, not the scaled features,
+  // so the Zero model predicts in original units.
+  const Matrix original = ramp_series(4, 1);
+  Matrix scaled = original;
+  for (double& v : scaled.data()) v *= 0.001;
+  ForecastSpec spec;
+  TsAsIs maker;
+  const auto wd = maker.build(scaled, original, spec);
+  EXPECT_DOUBLE_EQ(wd.X(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(wd.X(1, 0), 10.0);  // original units
+}
+
+TEST(WindowMakers, FeatureWidthContracts) {
+  ForecastSpec spec;
+  spec.history = 5;
+  EXPECT_EQ(CascadedWindows().feature_width(3, spec), 15u);
+  EXPECT_EQ(FlatWindowing().feature_width(3, spec), 15u);
+  EXPECT_EQ(TsAsIid().feature_width(3, spec), 3u);
+  EXPECT_EQ(TsAsIs().feature_width(3, spec), 1u);
+}
+
+TEST(WindowMakers, Validation) {
+  const Matrix series = ramp_series(5, 2);
+  ForecastSpec spec;
+  spec.history = 10;  // longer than the series
+  CascadedWindows maker;
+  EXPECT_THROW(maker.build(series, series, spec), InvalidArgument);
+
+  ForecastSpec bad_var;
+  bad_var.target_var = 5;
+  EXPECT_THROW(TsAsIid().build(series, series, bad_var), InvalidArgument);
+
+  const Matrix other = ramp_series(5, 3);
+  EXPECT_THROW(TsAsIid().build(series, other, ForecastSpec{}),
+               InvalidArgument);
+}
+
+// Parameterized shape sweep across (length, vars, history, horizon).
+struct WindowCase {
+  std::size_t length, vars, history, horizon;
+};
+
+class WindowShapeSweep : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowShapeSweep, CascadedShapesAndTimes) {
+  const auto c = GetParam();
+  const Matrix series = ramp_series(c.length, c.vars);
+  ForecastSpec spec;
+  spec.history = c.history;
+  spec.horizon = c.horizon;
+  CascadedWindows maker;
+  const auto wd = maker.build(series, series, spec);
+  const std::size_t expected_n = c.length - c.history - c.horizon + 1;
+  EXPECT_EQ(wd.X.rows(), expected_n);
+  EXPECT_EQ(wd.X.cols(), c.history * c.vars);
+  EXPECT_EQ(wd.y.size(), expected_n);
+  for (std::size_t i = 0; i < expected_n; ++i) {
+    EXPECT_EQ(wd.target_times[i], i + c.history + c.horizon - 1);
+    EXPECT_EQ(wd.span_starts[i], i);
+    // Targets always come strictly after the history span (no leakage).
+    EXPECT_GE(wd.target_times[i], wd.span_starts[i] + c.history);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowShapeSweep,
+    ::testing::Values(WindowCase{10, 1, 3, 1}, WindowCase{10, 4, 3, 1},
+                      WindowCase{50, 2, 24, 1}, WindowCase{20, 3, 5, 4},
+                      WindowCase{6, 2, 4, 2}));
+
+}  // namespace
+}  // namespace coda::ts

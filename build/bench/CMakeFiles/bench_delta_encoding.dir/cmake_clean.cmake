@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_encoding.dir/bench_delta_encoding.cpp.o"
+  "CMakeFiles/bench_delta_encoding.dir/bench_delta_encoding.cpp.o.d"
+  "bench_delta_encoding"
+  "bench_delta_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ts_as_is.dir/bench_fig10_ts_as_is.cpp.o"
+  "CMakeFiles/bench_fig10_ts_as_is.dir/bench_fig10_ts_as_is.cpp.o.d"
+  "bench_fig10_ts_as_is"
+  "bench_fig10_ts_as_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ts_as_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_ts_pipeline_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sliding_split.dir/bench_fig12_sliding_split.cpp.o"
+  "CMakeFiles/bench_fig12_sliding_split.dir/bench_fig12_sliding_split.cpp.o.d"
+  "bench_fig12_sliding_split"
+  "bench_fig12_sliding_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sliding_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_distributed_architecture.dir/bench_fig1_distributed_architecture.cpp.o"
+  "CMakeFiles/bench_fig1_distributed_architecture.dir/bench_fig1_distributed_architecture.cpp.o.d"
+  "bench_fig1_distributed_architecture"
+  "bench_fig1_distributed_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_distributed_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

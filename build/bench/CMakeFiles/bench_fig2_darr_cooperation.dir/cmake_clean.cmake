@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_darr_cooperation.dir/bench_fig2_darr_cooperation.cpp.o"
+  "CMakeFiles/bench_fig2_darr_cooperation.dir/bench_fig2_darr_cooperation.cpp.o.d"
+  "bench_fig2_darr_cooperation"
+  "bench_fig2_darr_cooperation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_darr_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

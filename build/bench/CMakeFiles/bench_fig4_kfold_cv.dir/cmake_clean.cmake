@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_kfold_cv.dir/bench_fig4_kfold_cv.cpp.o"
+  "CMakeFiles/bench_fig4_kfold_cv.dir/bench_fig4_kfold_cv.cpp.o.d"
+  "bench_fig4_kfold_cv"
+  "bench_fig4_kfold_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_kfold_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pipeline_fit_predict.dir/bench_fig5_pipeline_fit_predict.cpp.o"
+  "CMakeFiles/bench_fig5_pipeline_fit_predict.dir/bench_fig5_pipeline_fit_predict.cpp.o.d"
+  "bench_fig5_pipeline_fit_predict"
+  "bench_fig5_pipeline_fit_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pipeline_fit_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multivariate_ts.dir/bench_fig6_multivariate_ts.cpp.o"
+  "CMakeFiles/bench_fig6_multivariate_ts.dir/bench_fig6_multivariate_ts.cpp.o.d"
+  "bench_fig6_multivariate_ts"
+  "bench_fig6_multivariate_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multivariate_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

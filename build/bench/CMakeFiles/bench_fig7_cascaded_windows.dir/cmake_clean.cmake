@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cascaded_windows.dir/bench_fig7_cascaded_windows.cpp.o"
+  "CMakeFiles/bench_fig7_cascaded_windows.dir/bench_fig7_cascaded_windows.cpp.o.d"
+  "bench_fig7_cascaded_windows"
+  "bench_fig7_cascaded_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cascaded_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_flat_windowing.dir/bench_fig8_flat_windowing.cpp.o"
+  "CMakeFiles/bench_fig8_flat_windowing.dir/bench_fig8_flat_windowing.cpp.o.d"
+  "bench_fig8_flat_windowing"
+  "bench_fig8_flat_windowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_flat_windowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

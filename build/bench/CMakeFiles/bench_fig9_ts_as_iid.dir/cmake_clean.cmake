@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ts_as_iid.dir/bench_fig9_ts_as_iid.cpp.o"
+  "CMakeFiles/bench_fig9_ts_as_iid.dir/bench_fig9_ts_as_iid.cpp.o.d"
+  "bench_fig9_ts_as_iid"
+  "bench_fig9_ts_as_iid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ts_as_iid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leases_push_pull.dir/bench_leases_push_pull.cpp.o"
+  "CMakeFiles/bench_leases_push_pull.dir/bench_leases_push_pull.cpp.o.d"
+  "bench_leases_push_pull"
+  "bench_leases_push_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leases_push_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

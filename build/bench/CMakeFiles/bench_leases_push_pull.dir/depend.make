@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_leases_push_pull.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recompute_policies.dir/bench_recompute_policies.cpp.o"
+  "CMakeFiles/bench_recompute_policies.dir/bench_recompute_policies.cpp.o.d"
+  "bench_recompute_policies"
+  "bench_recompute_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recompute_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solution_templates.dir/bench_solution_templates.cpp.o"
+  "CMakeFiles/bench_solution_templates.dir/bench_solution_templates.cpp.o.d"
+  "bench_solution_templates"
+  "bench_solution_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solution_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

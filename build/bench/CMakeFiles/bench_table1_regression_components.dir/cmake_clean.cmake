@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_regression_components.dir/bench_table1_regression_components.cpp.o"
+  "CMakeFiles/bench_table1_regression_components.dir/bench_table1_regression_components.cpp.o.d"
+  "bench_table1_regression_components"
+  "bench_table1_regression_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_regression_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_timeseries_components.dir/bench_table2_timeseries_components.cpp.o"
+  "CMakeFiles/bench_table2_timeseries_components.dir/bench_table2_timeseries_components.cpp.o.d"
+  "bench_table2_timeseries_components"
+  "bench_table2_timeseries_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_timeseries_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_clients.dir/cooperative_clients.cpp.o"
+  "CMakeFiles/cooperative_clients.dir/cooperative_clients.cpp.o.d"
+  "cooperative_clients"
+  "cooperative_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cooperative_clients.
+# This may be replaced when dependencies are built.

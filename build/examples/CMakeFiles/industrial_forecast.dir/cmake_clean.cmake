@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_forecast.dir/industrial_forecast.cpp.o"
+  "CMakeFiles/industrial_forecast.dir/industrial_forecast.cpp.o.d"
+  "industrial_forecast"
+  "industrial_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

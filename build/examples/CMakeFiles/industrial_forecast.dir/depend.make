@@ -1,0 +1,2 @@
+# Empty dependencies file for industrial_forecast.
+# This may be replaced when dependencies are built.

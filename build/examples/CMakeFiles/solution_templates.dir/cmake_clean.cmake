@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_templates.dir/solution_templates.cpp.o"
+  "CMakeFiles/solution_templates.dir/solution_templates.cpp.o.d"
+  "solution_templates"
+  "solution_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for solution_templates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for solution_templates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cross_validation.cpp" "src/CMakeFiles/coda.dir/core/cross_validation.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/cross_validation.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/coda.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/coda.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/nested_cv.cpp" "src/CMakeFiles/coda.dir/core/nested_cv.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/nested_cv.cpp.o.d"
+  "/root/repo/src/core/param.cpp" "src/CMakeFiles/coda.dir/core/param.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/param.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/coda.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/te_graph.cpp" "src/CMakeFiles/coda.dir/core/te_graph.cpp.o" "gcc" "src/CMakeFiles/coda.dir/core/te_graph.cpp.o.d"
+  "/root/repo/src/darr/client.cpp" "src/CMakeFiles/coda.dir/darr/client.cpp.o" "gcc" "src/CMakeFiles/coda.dir/darr/client.cpp.o.d"
+  "/root/repo/src/darr/cooperative.cpp" "src/CMakeFiles/coda.dir/darr/cooperative.cpp.o" "gcc" "src/CMakeFiles/coda.dir/darr/cooperative.cpp.o.d"
+  "/root/repo/src/darr/record.cpp" "src/CMakeFiles/coda.dir/darr/record.cpp.o" "gcc" "src/CMakeFiles/coda.dir/darr/record.cpp.o.d"
+  "/root/repo/src/darr/repository.cpp" "src/CMakeFiles/coda.dir/darr/repository.cpp.o" "gcc" "src/CMakeFiles/coda.dir/darr/repository.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/coda.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/coda.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/fingerprint.cpp" "src/CMakeFiles/coda.dir/data/fingerprint.cpp.o" "gcc" "src/CMakeFiles/coda.dir/data/fingerprint.cpp.o.d"
+  "/root/repo/src/data/matrix.cpp" "src/CMakeFiles/coda.dir/data/matrix.cpp.o" "gcc" "src/CMakeFiles/coda.dir/data/matrix.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/coda.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/coda.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/time_series.cpp" "src/CMakeFiles/coda.dir/data/time_series.cpp.o" "gcc" "src/CMakeFiles/coda.dir/data/time_series.cpp.o.d"
+  "/root/repo/src/dist/client_cache.cpp" "src/CMakeFiles/coda.dir/dist/client_cache.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/client_cache.cpp.o.d"
+  "/root/repo/src/dist/delta.cpp" "src/CMakeFiles/coda.dir/dist/delta.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/delta.cpp.o.d"
+  "/root/repo/src/dist/home_store.cpp" "src/CMakeFiles/coda.dir/dist/home_store.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/home_store.cpp.o.d"
+  "/root/repo/src/dist/remote_service.cpp" "src/CMakeFiles/coda.dir/dist/remote_service.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/remote_service.cpp.o.d"
+  "/root/repo/src/dist/replication.cpp" "src/CMakeFiles/coda.dir/dist/replication.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/replication.cpp.o.d"
+  "/root/repo/src/dist/sim_net.cpp" "src/CMakeFiles/coda.dir/dist/sim_net.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/sim_net.cpp.o.d"
+  "/root/repo/src/dist/update_monitor.cpp" "src/CMakeFiles/coda.dir/dist/update_monitor.cpp.o" "gcc" "src/CMakeFiles/coda.dir/dist/update_monitor.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/coda.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/CMakeFiles/coda.dir/ml/feature_selection.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/CMakeFiles/coda.dir/ml/gradient_boosting.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/imputers.cpp" "src/CMakeFiles/coda.dir/ml/imputers.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/imputers.cpp.o.d"
+  "/root/repo/src/ml/iterative_imputer.cpp" "src/CMakeFiles/coda.dir/ml/iterative_imputer.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/iterative_imputer.cpp.o.d"
+  "/root/repo/src/ml/kernel_pca.cpp" "src/CMakeFiles/coda.dir/ml/kernel_pca.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/kernel_pca.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/coda.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/coda.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/lda.cpp" "src/CMakeFiles/coda.dir/ml/lda.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/lda.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/CMakeFiles/coda.dir/ml/linalg.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/linalg.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/CMakeFiles/coda.dir/ml/linear.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/linear.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/coda.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/CMakeFiles/coda.dir/ml/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/outliers.cpp" "src/CMakeFiles/coda.dir/ml/outliers.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/outliers.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/CMakeFiles/coda.dir/ml/pca.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/pca.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/coda.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scalers.cpp" "src/CMakeFiles/coda.dir/ml/scalers.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ml/scalers.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/coda.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/CMakeFiles/coda.dir/nn/conv1d.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/coda.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/coda.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/coda.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/coda.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/coda.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/coda.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/coda.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/coda.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/templates/anomaly.cpp" "src/CMakeFiles/coda.dir/templates/anomaly.cpp.o" "gcc" "src/CMakeFiles/coda.dir/templates/anomaly.cpp.o.d"
+  "/root/repo/src/templates/cohort.cpp" "src/CMakeFiles/coda.dir/templates/cohort.cpp.o" "gcc" "src/CMakeFiles/coda.dir/templates/cohort.cpp.o.d"
+  "/root/repo/src/templates/failure_prediction.cpp" "src/CMakeFiles/coda.dir/templates/failure_prediction.cpp.o" "gcc" "src/CMakeFiles/coda.dir/templates/failure_prediction.cpp.o.d"
+  "/root/repo/src/templates/root_cause.cpp" "src/CMakeFiles/coda.dir/templates/root_cause.cpp.o" "gcc" "src/CMakeFiles/coda.dir/templates/root_cause.cpp.o.d"
+  "/root/repo/src/ts/forecast_graph.cpp" "src/CMakeFiles/coda.dir/ts/forecast_graph.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ts/forecast_graph.cpp.o.d"
+  "/root/repo/src/ts/forecast_pipeline.cpp" "src/CMakeFiles/coda.dir/ts/forecast_pipeline.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ts/forecast_pipeline.cpp.o.d"
+  "/root/repo/src/ts/forecasters.cpp" "src/CMakeFiles/coda.dir/ts/forecasters.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ts/forecasters.cpp.o.d"
+  "/root/repo/src/ts/nn_forecasters.cpp" "src/CMakeFiles/coda.dir/ts/nn_forecasters.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ts/nn_forecasters.cpp.o.d"
+  "/root/repo/src/ts/windowing.cpp" "src/CMakeFiles/coda.dir/ts/windowing.cpp.o" "gcc" "src/CMakeFiles/coda.dir/ts/windowing.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/coda.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/coda.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/coda.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/coda.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/coda.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/coda.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/coda.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/coda.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

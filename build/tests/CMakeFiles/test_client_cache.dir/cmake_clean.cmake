@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_cache.dir/test_client_cache.cpp.o"
+  "CMakeFiles/test_client_cache.dir/test_client_cache.cpp.o.d"
+  "test_client_cache"
+  "test_client_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cooperative.dir/test_cooperative.cpp.o"
+  "CMakeFiles/test_cooperative.dir/test_cooperative.cpp.o.d"
+  "test_cooperative"
+  "test_cooperative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cooperative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_darr.dir/test_darr.cpp.o"
+  "CMakeFiles/test_darr.dir/test_darr.cpp.o.d"
+  "test_darr"
+  "test_darr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_darr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta.dir/test_delta.cpp.o"
+  "CMakeFiles/test_delta.dir/test_delta.cpp.o.d"
+  "test_delta"
+  "test_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluator.dir/test_evaluator.cpp.o"
+  "CMakeFiles/test_evaluator.dir/test_evaluator.cpp.o.d"
+  "test_evaluator"
+  "test_evaluator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

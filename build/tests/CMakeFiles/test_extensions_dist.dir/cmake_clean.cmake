@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions_dist.dir/test_extensions_dist.cpp.o"
+  "CMakeFiles/test_extensions_dist.dir/test_extensions_dist.cpp.o.d"
+  "test_extensions_dist"
+  "test_extensions_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions_ml.dir/test_extensions_ml.cpp.o"
+  "CMakeFiles/test_extensions_ml.dir/test_extensions_ml.cpp.o.d"
+  "test_extensions_ml"
+  "test_extensions_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

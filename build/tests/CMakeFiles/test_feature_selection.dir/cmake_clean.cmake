@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_selection.dir/test_feature_selection.cpp.o"
+  "CMakeFiles/test_feature_selection.dir/test_feature_selection.cpp.o.d"
+  "test_feature_selection"
+  "test_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast_graph.dir/test_forecast_graph.cpp.o"
+  "CMakeFiles/test_forecast_graph.dir/test_forecast_graph.cpp.o.d"
+  "test_forecast_graph"
+  "test_forecast_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

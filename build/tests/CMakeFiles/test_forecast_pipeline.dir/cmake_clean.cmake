@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast_pipeline.dir/test_forecast_pipeline.cpp.o"
+  "CMakeFiles/test_forecast_pipeline.dir/test_forecast_pipeline.cpp.o.d"
+  "test_forecast_pipeline"
+  "test_forecast_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

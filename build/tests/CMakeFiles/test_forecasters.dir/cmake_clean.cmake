@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecasters.dir/test_forecasters.cpp.o"
+  "CMakeFiles/test_forecasters.dir/test_forecasters.cpp.o.d"
+  "test_forecasters"
+  "test_forecasters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecasters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

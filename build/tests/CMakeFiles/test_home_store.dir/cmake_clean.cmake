@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_home_store.dir/test_home_store.cpp.o"
+  "CMakeFiles/test_home_store.dir/test_home_store.cpp.o.d"
+  "test_home_store"
+  "test_home_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_home_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imputers.dir/test_imputers.cpp.o"
+  "CMakeFiles/test_imputers.dir/test_imputers.cpp.o.d"
+  "test_imputers"
+  "test_imputers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imputers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn.dir/test_knn.cpp.o"
+  "CMakeFiles/test_knn.dir/test_knn.cpp.o.d"
+  "test_knn"
+  "test_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

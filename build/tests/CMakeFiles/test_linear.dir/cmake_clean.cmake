@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear.dir/test_linear.cpp.o"
+  "CMakeFiles/test_linear.dir/test_linear.cpp.o.d"
+  "test_linear"
+  "test_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

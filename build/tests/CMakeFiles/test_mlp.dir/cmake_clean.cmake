@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp.dir/test_mlp.cpp.o"
+  "CMakeFiles/test_mlp.dir/test_mlp.cpp.o.d"
+  "test_mlp"
+  "test_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mlp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outliers.dir/test_outliers.cpp.o"
+  "CMakeFiles/test_outliers.dir/test_outliers.cpp.o.d"
+  "test_outliers"
+  "test_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

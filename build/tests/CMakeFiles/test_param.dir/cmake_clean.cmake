@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param.dir/test_param.cpp.o"
+  "CMakeFiles/test_param.dir/test_param.cpp.o.d"
+  "test_param"
+  "test_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

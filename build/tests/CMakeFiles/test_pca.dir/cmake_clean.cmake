@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pca.dir/test_pca.cpp.o"
+  "CMakeFiles/test_pca.dir/test_pca.cpp.o.d"
+  "test_pca"
+  "test_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

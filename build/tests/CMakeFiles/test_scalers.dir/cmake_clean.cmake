@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalers.dir/test_scalers.cpp.o"
+  "CMakeFiles/test_scalers.dir/test_scalers.cpp.o.d"
+  "test_scalers"
+  "test_scalers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_net.dir/test_sim_net.cpp.o"
+  "CMakeFiles/test_sim_net.dir/test_sim_net.cpp.o.d"
+  "test_sim_net"
+  "test_sim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_templates.dir/test_templates.cpp.o"
+  "CMakeFiles/test_templates.dir/test_templates.cpp.o.d"
+  "test_templates"
+  "test_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

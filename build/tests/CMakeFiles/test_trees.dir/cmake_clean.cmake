@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trees.dir/test_trees.cpp.o"
+  "CMakeFiles/test_trees.dir/test_trees.cpp.o.d"
+  "test_trees"
+  "test_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

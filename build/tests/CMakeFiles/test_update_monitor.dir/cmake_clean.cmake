@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_monitor.dir/test_update_monitor.cpp.o"
+  "CMakeFiles/test_update_monitor.dir/test_update_monitor.cpp.o.d"
+  "test_update_monitor"
+  "test_update_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

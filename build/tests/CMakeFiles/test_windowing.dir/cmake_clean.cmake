@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_windowing.dir/test_windowing.cpp.o"
+  "CMakeFiles/test_windowing.dir/test_windowing.cpp.o.d"
+  "test_windowing"
+  "test_windowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_windowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -115,8 +115,10 @@ BENCHMARK(BM_ForecastGraphInstantiate);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coda::bench::strip_metrics_flag(&argc, argv);
   print_fig11();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_metrics_if_requested();
   return 0;
 }

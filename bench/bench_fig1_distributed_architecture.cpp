@@ -129,8 +129,10 @@ BENCHMARK(BM_AnalyticsUnit)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coda::bench::strip_metrics_flag(&argc, argv);
   print_fig1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_metrics_if_requested();
   return 0;
 }

@@ -77,8 +77,10 @@ BENCHMARK(BM_CascadedBuild)
 }  // namespace
 
 int main(int argc, char** argv) {
+  coda::bench::strip_metrics_flag(&argc, argv);
   print_fig7();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_metrics_if_requested();
   return 0;
 }

@@ -62,8 +62,10 @@ BENCHMARK(BM_FlatBuild)->Arg(12)->Arg(48);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coda::bench::strip_metrics_flag(&argc, argv);
   print_fig8();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_metrics_if_requested();
   return 0;
 }

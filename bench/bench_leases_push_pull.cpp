@@ -177,8 +177,10 @@ BENCHMARK(BM_PullRoundTrip);
 }  // namespace
 
 int main(int argc, char** argv) {
+  coda::bench::strip_metrics_flag(&argc, argv);
   print_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_metrics_if_requested();
   return 0;
 }

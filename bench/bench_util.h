@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/obs.h"
+
 namespace coda::bench {
 
 /// Prints a fixed-width table: header row, rule, data rows. Column widths
@@ -38,5 +40,52 @@ inline std::string fmt(double value, int precision = 4) {
 }
 
 inline std::string fmt_int(std::size_t value) { return std::to_string(value); }
+
+inline bool& metrics_dump_requested() {
+  static bool requested = false;
+  return requested;
+}
+
+inline std::string& metrics_dump_path() {
+  static std::string path;
+  return path;
+}
+
+/// Consumes `--metrics-json[=path]` from argv before google-benchmark's own
+/// flag parsing (which rejects unknown flags). With no path, the JSON
+/// snapshot goes to stdout after the benchmarks run.
+inline void strip_metrics_flag(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-json") {
+      metrics_dump_requested() = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_dump_requested() = true;
+      metrics_dump_path() = arg.substr(std::string("--metrics-json=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+/// Emits the process metrics snapshot if `--metrics-json` was passed.
+inline void dump_metrics_if_requested() {
+  if (!metrics_dump_requested()) return;
+  const std::string json = coda::obs::snapshot_json();
+  const std::string& path = metrics_dump_path();
+  if (path.empty()) {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write metrics to '%s'\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+}
 
 }  // namespace coda::bench

@@ -1,0 +1,43 @@
+# Runs an example binary with CODA_METRICS_DUMP=1 and checks that the JSON
+# metrics snapshot printed on exit mentions every required metric family.
+#
+# Expected -D variables:
+#   SMOKE_BINARY    - path to the example executable
+#   SMOKE_FAMILIES  - comma-separated list of metric names to grep for
+
+if(NOT DEFINED SMOKE_BINARY OR NOT DEFINED SMOKE_FAMILIES)
+  message(FATAL_ERROR "metrics_smoke: SMOKE_BINARY and SMOKE_FAMILIES required")
+endif()
+
+set(ENV{CODA_METRICS_DUMP} "1")
+execute_process(
+  COMMAND ${SMOKE_BINARY}
+  OUTPUT_VARIABLE smoke_output
+  ERROR_VARIABLE smoke_errors
+  RESULT_VARIABLE smoke_status
+)
+
+if(NOT smoke_status EQUAL 0)
+  message(FATAL_ERROR
+      "metrics_smoke: ${SMOKE_BINARY} exited with ${smoke_status}\n"
+      "${smoke_errors}")
+endif()
+
+string(FIND "${smoke_output}" "--- coda metrics snapshot ---" marker_pos)
+if(marker_pos EQUAL -1)
+  message(FATAL_ERROR
+      "metrics_smoke: no metrics snapshot in output of ${SMOKE_BINARY} "
+      "(CODA_METRICS_DUMP=1 had no effect)")
+endif()
+
+string(REPLACE "," ";" smoke_family_list "${SMOKE_FAMILIES}")
+foreach(family ${smoke_family_list})
+  string(FIND "${smoke_output}" "\"${family}\"" family_pos)
+  if(family_pos EQUAL -1)
+    message(FATAL_ERROR
+        "metrics_smoke: metric family '${family}' missing from the snapshot "
+        "of ${SMOKE_BINARY}")
+  endif()
+endforeach()
+
+message(STATUS "metrics_smoke: all families present")

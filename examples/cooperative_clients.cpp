@@ -19,6 +19,7 @@
 #include "src/ml/linear.h"
 #include "src/ml/random_forest.h"
 #include "src/ml/scalers.h"
+#include "src/obs/obs.h"
 #include "src/util/string_util.h"
 
 using namespace coda;
@@ -134,5 +135,6 @@ int main() {
   std::printf("=== coda cooperative clients (Fig 1 + Fig 2) ===\n\n");
   data_tier_demo();
   cooperative_search_demo();
+  coda::obs::dump_if_env();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/data/synthetic.h"
+#include "src/obs/obs.h"
 #include "src/ts/forecast_graph.h"
 
 using namespace coda;
@@ -73,5 +74,6 @@ int main() {
   std::printf("\nnext-step forecast for sensor0: %.4f (last observed %.4f)\n",
               best.forecast_next(series),
               series.at(series.length() - 1, 0));
+  coda::obs::dump_if_env();
   return 0;
 }

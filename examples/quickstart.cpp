@@ -15,6 +15,7 @@
 #include "src/ml/pca.h"
 #include "src/ml/random_forest.h"
 #include "src/ml/scalers.h"
+#include "src/obs/obs.h"
 
 using namespace coda;
 
@@ -106,5 +107,6 @@ int main() {
   // The "create_graph" visual output (Listing 1): Graphviz DOT.
   std::printf("\nGraphviz of the graph (render with `dot -Tpng`):\n%s\n",
               graph.to_dot("fig3").c_str());
+  coda::obs::dump_if_env();
   return 0;
 }

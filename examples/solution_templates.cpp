@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/data/synthetic.h"
+#include "src/obs/obs.h"
 #include "src/templates/anomaly.h"
 #include "src/templates/cohort.h"
 #include "src/templates/failure_prediction.h"
@@ -113,5 +114,6 @@ int main() {
   root_cause_demo();
   anomaly_demo();
   cohort_demo();
+  coda::obs::dump_if_env();
   return 0;
 }

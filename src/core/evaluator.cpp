@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/data/fingerprint.h"
+#include "src/obs/obs.h"
 #include "src/util/hash.h"
 #include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
@@ -48,16 +49,21 @@ CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,
   const auto splits = cv.splits(data.n_samples());
   require(!splits.empty(), "cross_validate: CV produced no splits");
 
+  static auto& fold_seconds = obs::histogram("cv.fold.seconds");
+  const obs::ScopedSpan cv_span("cv.cross_validate");
+
   CachedResult result;
   result.explanation = pipeline.spec();
   result.fold_scores.reserve(splits.size());
   for (const auto& split : splits) {
+    Stopwatch fold_timer;
     Pipeline fold_pipeline = pipeline;  // deep copy: folds are independent
     const Dataset train = data.select(split.train);
     const Dataset test = data.select(split.test);
     fold_pipeline.fit(train.X, train.y);
     const auto predictions = fold_pipeline.predict(test.X);
     result.fold_scores.push_back(score(metric, test.y, predictions));
+    fold_seconds.observe(fold_timer.elapsed_seconds());
   }
 
   double sum = 0.0;
@@ -87,6 +93,7 @@ std::string GraphEvaluator::cache_key(const Dataset& data,
 EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
                                           const Dataset& data,
                                           const CrossValidator& cv) const {
+  const obs::ScopedSpan span("evaluator.evaluate");
   Stopwatch total_timer;
   const auto candidates = graph.enumerate_candidates();
   require(!candidates.empty(), "GraphEvaluator: graph has no candidates");
@@ -107,43 +114,70 @@ EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
   // expires without one (peer failure), claims and computes locally so the
   // search always completes.
   auto evaluate_one = [&](std::size_t i, bool allow_defer) -> bool {
+    static auto& lookup_hit = obs::counter("darr.lookup.hit");
+    static auto& lookup_miss = obs::counter("darr.lookup.miss");
+    static auto& candidate_local = obs::counter("evaluator.candidate.local");
+    static auto& candidate_cached = obs::counter("evaluator.candidate.cached");
+    static auto& candidate_failed = obs::counter("evaluator.candidate.failed");
+    static auto& candidate_deferred =
+        obs::counter("evaluator.candidate.deferred");
+    static auto& candidate_seconds =
+        obs::histogram("evaluator.candidate.seconds");
+    static auto& claim_wait_seconds =
+        obs::histogram("evaluator.claim.wait_seconds");
+
     CandidateResult& out = report.results[i];
+    const obs::ScopedSpan span("evaluator.candidate");
     Stopwatch timer;
+    out.claim_wait_seconds = 0.0;
     const std::string spec = graph.candidate_spec(candidates[i]);
     out.spec = spec;
     const std::string key =
         config_.cache == nullptr
             ? std::string()
             : cache_key(data, spec, cv, config_.metric);
+    // Copies a peer's cached result into `out`, with timing attribution.
+    auto serve_from_cache = [&](const CachedResult& hit) {
+      out.mean_score = hit.mean_score;
+      out.stddev = hit.stddev;
+      out.fold_scores = hit.fold_scores;
+      out.from_cache = true;
+      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
+      candidate_cached.inc();
+    };
     try {
       if (config_.cache != nullptr) {
         if (auto hit = config_.cache->lookup(key)) {
-          out.mean_score = hit->mean_score;
-          out.stddev = hit->stddev;
-          out.fold_scores = hit->fold_scores;
-          out.from_cache = true;
-          out.eval_seconds = timer.elapsed_seconds();
+          lookup_hit.inc();
+          serve_from_cache(*hit);
           return false;
         }
+        lookup_miss.inc();
         if (!config_.cache->try_claim(key)) {
-          if (allow_defer) return true;  // a peer is on it; come back later
+          if (allow_defer) {
+            candidate_deferred.inc();
+            return true;  // a peer is on it; come back later
+          }
+          Stopwatch wait_timer;
           const auto deadline =
               std::chrono::steady_clock::now() +
               std::chrono::milliseconds(config_.claim_wait_ms);
           for (;;) {
             if (auto hit = config_.cache->lookup(key)) {
-              out.mean_score = hit->mean_score;
-              out.stddev = hit->stddev;
-              out.fold_scores = hit->fold_scores;
-              out.from_cache = true;
-              out.eval_seconds = timer.elapsed_seconds();
+              lookup_hit.inc();
+              out.claim_wait_seconds = wait_timer.elapsed_seconds();
+              claim_wait_seconds.observe(out.claim_wait_seconds);
+              serve_from_cache(*hit);
               return false;
             }
+            lookup_miss.inc();
             if (config_.cache->try_claim(key)) break;  // peer claim expired
             if (std::chrono::steady_clock::now() >= deadline) break;
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(config_.claim_poll_ms));
           }
+          out.claim_wait_seconds = wait_timer.elapsed_seconds();
+          claim_wait_seconds.observe(out.claim_wait_seconds);
         }
       }
       const Pipeline pipeline = graph.instantiate(candidates[i]);
@@ -152,12 +186,15 @@ EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
       out.mean_score = cv_result.mean_score;
       out.stddev = cv_result.stddev;
       out.fold_scores = cv_result.fold_scores;
-      out.eval_seconds = timer.elapsed_seconds();
+      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
+      candidate_local.inc();
+      candidate_seconds.observe(out.eval_seconds);
       if (config_.cache != nullptr) config_.cache->store(key, cv_result);
     } catch (const std::exception& e) {
       out.failed = true;
       out.failure_message = e.what();
-      out.eval_seconds = timer.elapsed_seconds();
+      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
+      candidate_failed.inc();
       if (config_.cache != nullptr && !key.empty()) {
         config_.cache->abandon(key);
       }
@@ -196,6 +233,7 @@ EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
   bool found = false;
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const auto& r = report.results[i];
+    report.total_claim_wait_seconds += r.claim_wait_seconds;
     if (r.failed) continue;
     if (r.from_cache) {
       ++report.served_from_cache;

@@ -71,7 +71,12 @@ struct CandidateResult {
   double mean_score = 0.0;
   double stddev = 0.0;
   std::vector<double> fold_scores;
+  /// Time spent obtaining this result (cross-validation for local
+  /// evaluations, cache lookup/serve for cached ones) — claim waiting is
+  /// accounted separately in claim_wait_seconds, never here.
   double eval_seconds = 0.0;
+  /// Time spent polling for a peer's result while it held the claim.
+  double claim_wait_seconds = 0.0;
   bool from_cache = false;
   bool failed = false;          ///< candidate threw during fit/predict
   std::string failure_message;
@@ -85,6 +90,7 @@ struct EvaluationReport {
   std::size_t evaluated_locally = 0;
   std::size_t served_from_cache = 0;
   double total_seconds = 0.0;
+  double total_claim_wait_seconds = 0.0;  ///< summed over all candidates
 
   const CandidateResult& best() const;
 };

@@ -1,6 +1,18 @@
 #include "src/darr/client.h"
 
+#include <atomic>
+
 namespace coda::darr {
+
+namespace {
+
+std::string next_instance_prefix() {
+  static std::atomic<std::uint64_t> next{0};
+  return "darr.client#" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+}
+
+}  // namespace
 
 DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
                        dist::NodeId self, dist::NodeId repo_node,
@@ -15,9 +27,19 @@ DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
   require(self != repo_node,
           "DarrClient: client and repository must be distinct nodes");
   require(!name_.empty(), "DarrClient: client name must be non-empty");
+  const std::string prefix = next_instance_prefix();
+  stats_.lookups = &obs::counter(prefix + "lookups");
+  stats_.hits = &obs::counter(prefix + "hits");
+  stats_.claims_won = &obs::counter(prefix + "claims_won");
+  stats_.claims_lost = &obs::counter(prefix + "claims_lost");
+  stats_.stores = &obs::counter(prefix + "stores");
+  stats_.bytes_sent = &obs::counter(prefix + "bytes_sent");
+  stats_.bytes_received = &obs::counter(prefix + "bytes_received");
 }
 
 std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
+  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
+  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   const std::size_t request = key_request_size(key);
   net_->transfer(self_, repo_node_, request);
   auto record = repository_->lookup(key);
@@ -33,35 +55,37 @@ std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
     out = std::move(result);
   }
   net_->transfer(repo_node_, self_, response);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.lookups;
-    if (out) ++stats_.hits;
-    stats_.bytes_sent += request;
-    stats_.bytes_received += response;
-  }
+  stats_.lookups->inc();
+  if (out) stats_.hits->inc();
+  stats_.bytes_sent->inc(request);
+  stats_.bytes_received->inc(response);
+  bytes_sent.inc(request);
+  bytes_received.inc(response);
   return out;
 }
 
 bool DarrClient::try_claim(const std::string& key) {
+  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
+  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   const std::size_t request = key_request_size(key) + name_.size();
   net_->transfer(self_, repo_node_, request);
   const bool granted = repository_->try_claim(key, name_);
   net_->transfer(repo_node_, self_, 16);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (granted) {
-      ++stats_.claims_won;
-    } else {
-      ++stats_.claims_lost;
-    }
-    stats_.bytes_sent += request;
-    stats_.bytes_received += 16;
+  if (granted) {
+    stats_.claims_won->inc();
+  } else {
+    stats_.claims_lost->inc();
   }
+  stats_.bytes_sent->inc(request);
+  stats_.bytes_received->inc(16);
+  bytes_sent.inc(request);
+  bytes_received.inc(16);
   return granted;
 }
 
 void DarrClient::store(const std::string& key, const CachedResult& result) {
+  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
+  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   DarrRecord record;
   record.key = key;
   record.mean_score = result.mean_score;
@@ -73,27 +97,36 @@ void DarrClient::store(const std::string& key, const CachedResult& result) {
   net_->transfer(self_, repo_node_, request);
   repository_->store(std::move(record), net_->now());
   net_->transfer(repo_node_, self_, 16);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.stores;
-    stats_.bytes_sent += request;
-    stats_.bytes_received += 16;
-  }
+  stats_.stores->inc();
+  stats_.bytes_sent->inc(request);
+  stats_.bytes_received->inc(16);
+  bytes_sent.inc(request);
+  bytes_received.inc(16);
 }
 
 void DarrClient::abandon(const std::string& key) {
+  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
+  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   const std::size_t request = key_request_size(key) + name_.size();
   net_->transfer(self_, repo_node_, request);
   repository_->abandon(key, name_);
   net_->transfer(repo_node_, self_, 16);
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.bytes_sent += request;
-  stats_.bytes_received += 16;
+  stats_.bytes_sent->inc(request);
+  stats_.bytes_received->inc(16);
+  bytes_sent.inc(request);
+  bytes_received.inc(16);
 }
 
 DarrClient::Stats DarrClient::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out;
+  out.lookups = stats_.lookups->value();
+  out.hits = stats_.hits->value();
+  out.claims_won = stats_.claims_won->value();
+  out.claims_lost = stats_.claims_lost->value();
+  out.stores = stats_.stores->value();
+  out.bytes_sent = stats_.bytes_sent->value();
+  out.bytes_received = stats_.bytes_received->value();
+  return out;
 }
 
 }  // namespace coda::darr

@@ -8,12 +8,15 @@
 #include "src/core/evaluator.h"
 #include "src/darr/repository.h"
 #include "src/dist/sim_net.h"
+#include "src/obs/metrics.h"
 
 namespace coda::darr {
 
 /// ResultCache implementation backed by a shared DarrRepository.
 class DarrClient final : public ResultCache {
  public:
+  /// Per-client traffic/behaviour snapshot. Backed by registry counters
+  /// (`darr.client#<n>.*`); this struct is a point-in-time view.
   struct Stats {
     std::size_t lookups = 0;
     std::size_t hits = 0;
@@ -43,13 +46,24 @@ class DarrClient final : public ResultCache {
     return key.size() + 16;
   }
 
+  /// Registry-backed instance counters; atomic, so evaluator threads need
+  /// no client-side lock.
+  struct InstanceCounters {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* claims_won = nullptr;
+    obs::Counter* claims_lost = nullptr;
+    obs::Counter* stores = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+  };
+
   DarrRepository* repository_;
   dist::SimNet* net_;
   dist::NodeId self_;
   dist::NodeId repo_node_;
   std::string name_;
-  mutable std::mutex mutex_;  // stats are touched from evaluator threads
-  Stats stats_;
+  InstanceCounters stats_;
 };
 
 }  // namespace coda::darr

@@ -1,21 +1,59 @@
 #include "src/darr/repository.h"
 
+#include <atomic>
+
 #include "src/util/error.h"
 
 namespace coda::darr {
+
+namespace {
+
+// Aggregate repository families (all instances in the process).
+struct GlobalCounters {
+  obs::Counter& lookup_hit = obs::counter("darr.repo.lookup.hit");
+  obs::Counter& lookup_miss = obs::counter("darr.repo.lookup.miss");
+  obs::Counter& store = obs::counter("darr.repo.store");
+  obs::Counter& claims_granted = obs::counter("darr.claim.granted");
+  obs::Counter& claims_denied = obs::counter("darr.claim.denied");
+  obs::Counter& claims_expired = obs::counter("darr.claim.expired");
+};
+
+GlobalCounters& global_counters() {
+  static GlobalCounters counters;
+  return counters;
+}
+
+std::string next_instance_prefix() {
+  static std::atomic<std::uint64_t> next{0};
+  return "darr.repo#" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+}
+
+}  // namespace
 
 DarrRepository::DarrRepository() : DarrRepository(Config()) {}
 
 DarrRepository::DarrRepository(Config config) : config_(config) {
   require(config.claim_ttl_ms > 0, "DarrRepository: TTL must be positive");
+  const std::string prefix = next_instance_prefix();
+  counters_.lookups = &obs::counter(prefix + "lookups");
+  counters_.hits = &obs::counter(prefix + "hits");
+  counters_.stores = &obs::counter(prefix + "stores");
+  counters_.claims_granted = &obs::counter(prefix + "claims_granted");
+  counters_.claims_denied = &obs::counter(prefix + "claims_denied");
+  counters_.claims_expired = &obs::counter(prefix + "claims_expired");
 }
 
 std::optional<DarrRecord> DarrRepository::lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  ++counters_.lookups;
+  counters_.lookups->inc();
   auto it = records_.find(key);
-  if (it == records_.end()) return std::nullopt;
-  ++counters_.hits;
+  if (it == records_.end()) {
+    global_counters().lookup_miss.inc();
+    return std::nullopt;
+  }
+  counters_.hits->inc();
+  global_counters().lookup_hit.inc();
   return it->second;
 }
 
@@ -25,7 +63,8 @@ bool DarrRepository::try_claim(const std::string& key,
   if (records_.count(key) != 0) {
     // Result already exists; claiming is pointless — deny so the caller
     // looks it up instead.
-    ++counters_.claims_denied;
+    counters_.claims_denied->inc();
+    global_counters().claims_denied.inc();
     return false;
   }
   const auto now = std::chrono::steady_clock::now();
@@ -37,14 +76,18 @@ bool DarrRepository::try_claim(const std::string& key,
       return true;  // idempotent re-claim
     }
     if (it->second.expires_at > now) {
-      ++counters_.claims_denied;
+      counters_.claims_denied->inc();
+      global_counters().claims_denied.inc();
       return false;  // live foreign claim
     }
-    ++counters_.claims_expired;  // owner presumed dead: steal the claim
+    // Owner presumed dead: steal the claim.
+    counters_.claims_expired->inc();
+    global_counters().claims_expired.inc();
   }
   claims_[key] = Claim{
       client, now + std::chrono::milliseconds(config_.claim_ttl_ms)};
-  ++counters_.claims_granted;
+  counters_.claims_granted->inc();
+  global_counters().claims_granted.inc();
   return true;
 }
 
@@ -54,7 +97,8 @@ void DarrRepository::store(DarrRecord record, double stored_at_sim_time) {
   record.stored_at = stored_at_sim_time;
   claims_.erase(record.key);
   records_[record.key] = std::move(record);
-  ++counters_.stores;
+  counters_.stores->inc();
+  global_counters().store.inc();
 }
 
 void DarrRepository::abandon(const std::string& key,
@@ -90,8 +134,14 @@ std::size_t DarrRepository::records_by(const std::string& producer) const {
 }
 
 DarrRepository::Counters DarrRepository::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  Counters out;
+  out.lookups = counters_.lookups->value();
+  out.hits = counters_.hits->value();
+  out.stores = counters_.stores->value();
+  out.claims_granted = counters_.claims_granted->value();
+  out.claims_denied = counters_.claims_denied->value();
+  out.claims_expired = counters_.claims_expired->value();
+  return out;
 }
 
 }  // namespace coda::darr

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/darr/record.h"
+#include "src/obs/metrics.h"
 
 namespace coda::darr {
 
@@ -31,6 +32,9 @@ class DarrRepository {
     int claim_ttl_ms = 2000;
   };
 
+  /// Per-instance counter snapshot. Backed by the obs::MetricsRegistry
+  /// (each repository registers `darr.repo#<n>.*` counters); this struct
+  /// is a point-in-time view, kept for API compatibility.
   struct Counters {
     std::size_t lookups = 0;
     std::size_t hits = 0;
@@ -75,11 +79,21 @@ class DarrRepository {
     std::chrono::steady_clock::time_point expires_at;
   };
 
+  /// This instance's registry-backed counters (`darr.repo#<n>.*`).
+  struct InstanceCounters {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* stores = nullptr;
+    obs::Counter* claims_granted = nullptr;
+    obs::Counter* claims_denied = nullptr;
+    obs::Counter* claims_expired = nullptr;
+  };
+
   Config config_;
   mutable std::mutex mutex_;
   std::map<std::string, DarrRecord> records_;
   std::map<std::string, Claim> claims_;
-  Counters counters_;
+  InstanceCounters counters_;
 };
 
 }  // namespace coda::darr

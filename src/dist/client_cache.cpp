@@ -1,5 +1,7 @@
 #include "src/dist/client_cache.h"
 
+#include "src/obs/obs.h"
+
 namespace coda::dist {
 
 ClientCache::ClientCache(SimNet* net, NodeId self, HomeDataStore* home)
@@ -10,18 +12,24 @@ ClientCache::ClientCache(SimNet* net, NodeId self, HomeDataStore* home)
 }
 
 const Bytes& ClientCache::get(const std::string& key) {
+  static auto& pulls = obs::counter("clientcache.pull.count");
+  static auto& bytes_received = obs::counter("clientcache.bytes_received");
+  static auto& bytes_saved = obs::counter("clientcache.delta.bytes_saved");
   Entry& entry = entries_[key];
   ++stats_.pulls;
+  pulls.inc();
   auto result = home_->fetch(key, self_, entry.version);
   stats_.bytes_received += result.response_bytes;
+  bytes_received.inc(result.response_bytes);
   if (result.version == entry.version) {
     ++stats_.not_modified_responses;
     return entry.value;
   }
   if (result.is_delta) {
     ++stats_.delta_responses;
-    stats_.bytes_saved_by_delta +=
-        home_->value(key).size() - result.response_bytes;
+    const std::size_t saved = home_->value(key).size() - result.response_bytes;
+    stats_.bytes_saved_by_delta += saved;
+    bytes_saved.inc(saved);
     entry.value = apply_delta(entry.value, result.delta);
   } else {
     ++stats_.full_responses;
@@ -62,32 +70,47 @@ void ClientCache::renew(const std::string& key, double duration) {
 void ClientCache::cancel(const std::string& key) { home_->cancel(key, self_); }
 
 void ClientCache::on_push(const PushMessage& message) {
+  static auto& pushes_full = obs::counter("clientcache.push.full");
+  static auto& pushes_delta = obs::counter("clientcache.push.delta");
+  static auto& notifications = obs::counter("clientcache.push.notify");
+  static auto& bytes_received = obs::counter("clientcache.bytes_received");
+  static auto& bytes_saved = obs::counter("clientcache.delta.bytes_saved");
+  static auto& delta_bytes = obs::histogram(
+      "clientcache.delta.bytes", obs::Histogram::default_byte_bounds());
   Entry& entry = entries_[message.key];
   stats_.bytes_received += message.wire_bytes;
+  bytes_received.inc(message.wire_bytes);
   switch (message.mode) {
     case PushMode::kFullValue:
       ++stats_.pushes_full;
+      pushes_full.inc();
       entry.value = message.full_value;
       entry.version = message.version;
       break;
-    case PushMode::kDelta:
+    case PushMode::kDelta: {
       ++stats_.pushes_delta;
+      pushes_delta.inc();
+      delta_bytes.observe(static_cast<double>(message.wire_bytes));
       if (message.delta.base_version != entry.version) {
         // Base mismatch (e.g. missed push): fall back to a pull.
         ++stats_.delta_fallback_fetches;
         get(message.key);
         return;
       }
-      stats_.bytes_saved_by_delta +=
+      const std::size_t saved =
           message.delta.target_size > message.wire_bytes
               ? static_cast<std::size_t>(message.delta.target_size) -
                     message.wire_bytes
               : 0;
+      stats_.bytes_saved_by_delta += saved;
+      bytes_saved.inc(saved);
       entry.value = apply_delta(entry.value, message.delta);
       entry.version = message.version;
       break;
+    }
     case PushMode::kNotifyOnly:
       ++stats_.notifications;
+      notifications.inc();
       entry.notified_version = message.version;
       break;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace coda::dist {
 
 std::string push_mode_name(PushMode mode) {
@@ -42,7 +44,9 @@ const HomeDataStore::ObjectState& HomeDataStore::state_of(
 }
 
 void HomeDataStore::put(const std::string& key, Bytes value) {
+  static auto& puts = obs::counter("homestore.put");
   require(!key.empty(), "HomeDataStore: empty key");
+  puts.inc();
   ObjectState& state = objects_[key];
   const Bytes previous = state.current;
 
@@ -70,6 +74,11 @@ void HomeDataStore::put(const std::string& key, Bytes value) {
 
 void HomeDataStore::push_update(const std::string& key, ObjectState& state,
                                 const Bytes& previous_value) {
+  static auto& push_full = obs::counter("homestore.push.full");
+  static auto& push_delta = obs::counter("homestore.push.delta");
+  static auto& push_notify = obs::counter("homestore.push.notify");
+  static auto& delta_bytes = obs::histogram(
+      "homestore.delta.bytes", obs::Histogram::default_byte_bounds());
   if (state.leases.empty()) return;
   const double now = net_->now();
   for (auto& lease : state.leases) {
@@ -113,6 +122,14 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
         break;
       }
     }
+    switch (msg.mode) {
+      case PushMode::kFullValue: push_full.inc(); break;
+      case PushMode::kDelta:
+        push_delta.inc();
+        delta_bytes.observe(static_cast<double>(msg.wire_bytes));
+        break;
+      case PushMode::kNotifyOnly: push_notify.inc(); break;
+    }
     net_->transfer(self_, lease.client, msg.wire_bytes);
     lease.last_pushed_version = state.version;
     if (push_handler_) push_handler_(lease.client, msg);
@@ -131,6 +148,12 @@ const Bytes& HomeDataStore::value(const std::string& key) const {
 HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
                                                 NodeId requester,
                                                 std::uint64_t have_version) {
+  static auto& fetch_not_modified =
+      obs::counter("homestore.fetch.not_modified");
+  static auto& fetch_delta = obs::counter("homestore.fetch.delta");
+  static auto& fetch_full = obs::counter("homestore.fetch.full");
+  static auto& delta_bytes = obs::histogram(
+      "homestore.delta.bytes", obs::Histogram::default_byte_bounds());
   const ObjectState& state = state_of(key);
   FetchResult result;
   result.version = state.version;
@@ -139,6 +162,7 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
 
   if (have_version == state.version) {
     // Up to date: tiny "no change" response.
+    fetch_not_modified.inc();
     result.is_delta = false;
     result.response_bytes = 16;
     net_->transfer(self_, requester, result.response_bytes);
@@ -149,10 +173,13 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
   if (it != state.deltas.end() &&
       static_cast<double>(it->second.encoded_size()) <
           config_.min_delta_ratio * static_cast<double>(state.current.size())) {
+    fetch_delta.inc();
     result.is_delta = true;
     result.delta = it->second;
     result.response_bytes = it->second.encoded_size();
+    delta_bytes.observe(static_cast<double>(result.response_bytes));
   } else {
+    fetch_full.inc();
     result.is_delta = false;
     result.full_value = state.current;
     result.response_bytes = state.current.size();

@@ -1,5 +1,7 @@
 #include "src/dist/remote_service.h"
 
+#include "src/obs/obs.h"
+
 namespace coda::dist {
 
 RemoteModelService::RemoteModelService(SimNet* net, NodeId self,
@@ -11,6 +13,10 @@ RemoteModelService::RemoteModelService(SimNet* net, NodeId self,
 
 void RemoteModelService::fit(NodeId caller, const Matrix& X,
                              const std::vector<double>& y) {
+  static auto& fit_calls = obs::counter("remote.fit.calls");
+  static auto& bytes_in = obs::counter("remote.bytes_in");
+  static auto& bytes_out = obs::counter("remote.bytes_out");
+  const obs::ScopedSpan span("remote.fit");
   const std::size_t request =
       matrix_bytes(X) + y.size() * sizeof(double) + 16;
   net_->transfer(caller, self_, request);
@@ -19,10 +25,17 @@ void RemoteModelService::fit(NodeId caller, const Matrix& X,
   ++stats_.fit_calls;
   stats_.bytes_in += request;
   stats_.bytes_out += 16;
+  fit_calls.inc();
+  bytes_in.inc(request);
+  bytes_out.inc(16);
 }
 
 std::vector<double> RemoteModelService::predict(NodeId caller,
                                                 const Matrix& X) {
+  static auto& predict_calls = obs::counter("remote.predict.calls");
+  static auto& bytes_in = obs::counter("remote.bytes_in");
+  static auto& bytes_out = obs::counter("remote.bytes_out");
+  const obs::ScopedSpan span("remote.predict");
   const std::size_t request = matrix_bytes(X);
   net_->transfer(caller, self_, request);
   auto predictions = model_->predict(X);
@@ -31,6 +44,9 @@ std::vector<double> RemoteModelService::predict(NodeId caller,
   ++stats_.predict_calls;
   stats_.bytes_in += request;
   stats_.bytes_out += response;
+  predict_calls.inc();
+  bytes_in.inc(request);
+  bytes_out.inc(response);
   return predictions;
 }
 

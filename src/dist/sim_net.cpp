@@ -1,6 +1,28 @@
 #include "src/dist/sim_net.h"
 
+#include <atomic>
+
 namespace coda::dist {
+
+namespace {
+
+std::string next_instance_prefix() {
+  static std::atomic<std::uint64_t> next{0};
+  return "simnet.net#" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+}
+
+}  // namespace
+
+SimNet::SimNet(Config config) : config_(config) {
+  require(config.latency_seconds >= 0.0 &&
+              config.bandwidth_bytes_per_sec > 0.0,
+          "SimNet: bad configuration");
+  const std::string prefix = next_instance_prefix();
+  total_messages_ = &obs::counter(prefix + "messages");
+  total_bytes_ = &obs::counter(prefix + "bytes");
+  total_seconds_ = &obs::gauge(prefix + "simulated_seconds");
+}
 
 NodeId SimNet::add_node(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -19,6 +41,12 @@ const std::string& SimNet::node_name(NodeId id) const {
 }
 
 double SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
+  // Process-wide wire families, aggregated over every SimNet instance.
+  static auto& messages_sent = obs::counter("simnet.messages");
+  static auto& bytes_sent = obs::counter("simnet.bytes_sent");
+  static auto& transfer_seconds =
+      obs::histogram("simnet.transfer.seconds",
+                     obs::Histogram::exponential_bounds(1e-3, 4.0, 10));
   std::lock_guard<std::mutex> lock(mutex_);
   check_node(from);
   check_node(to);
@@ -30,6 +58,12 @@ double SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
   ++stats.messages;
   stats.bytes += bytes;
   stats.simulated_seconds += seconds;
+  total_messages_->inc();
+  total_bytes_->inc(bytes);
+  total_seconds_->add(seconds);
+  messages_sent.inc();
+  bytes_sent.inc(bytes);
+  transfer_seconds.observe(seconds);
   return seconds;
 }
 
@@ -53,19 +87,19 @@ LinkStats SimNet::link(NodeId from, NodeId to) const {
 }
 
 LinkStats SimNet::total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   LinkStats total;
-  for (const auto& [pair, stats] : links_) {
-    total.messages += stats.messages;
-    total.bytes += stats.bytes;
-    total.simulated_seconds += stats.simulated_seconds;
-  }
+  total.messages = total_messages_->value();
+  total.bytes = total_bytes_->value();
+  total.simulated_seconds = total_seconds_->value();
   return total;
 }
 
 void SimNet::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   links_.clear();
+  total_messages_->reset();
+  total_bytes_->reset();
+  total_seconds_->reset();
 }
 
 }  // namespace coda::dist

@@ -12,13 +12,16 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/error.h"
 
 namespace coda::dist {
 
 using NodeId = std::size_t;
 
-/// Traffic counters for one directed node pair.
+/// Traffic counters for one directed node pair (and, via total(), for a
+/// whole fabric — the aggregate is backed by obs::MetricsRegistry counters
+/// named `simnet.net#<n>.*`; this struct is a point-in-time view).
 struct LinkStats {
   std::size_t messages = 0;
   std::size_t bytes = 0;
@@ -34,11 +37,7 @@ class SimNet {
   };
 
   SimNet() : SimNet(Config{}) {}
-  explicit SimNet(Config config) : config_(config) {
-    require(config.latency_seconds >= 0.0 &&
-                config.bandwidth_bytes_per_sec > 0.0,
-            "SimNet: bad configuration");
-  }
+  explicit SimNet(Config config);
 
   /// Registers a node; names must be unique.
   NodeId add_node(const std::string& name);
@@ -76,6 +75,11 @@ class SimNet {
   double clock_ = 0.0;
   std::vector<std::string> node_names_;
   std::map<std::pair<NodeId, NodeId>, LinkStats> links_;
+  // Registry-backed fabric totals (`simnet.net#<n>.*`); per-link detail
+  // stays in links_.
+  obs::Counter* total_messages_ = nullptr;
+  obs::Counter* total_bytes_ = nullptr;
+  obs::Gauge* total_seconds_ = nullptr;
 };
 
 }  // namespace coda::dist

@@ -1,6 +1,8 @@
 #include "src/nn/trainer.h"
 
+#include "src/obs/obs.h"
 #include "src/util/random.h"
+#include "src/util/stopwatch.h"
 
 namespace coda::nn {
 
@@ -18,6 +20,10 @@ std::vector<double> train(Sequential& net, const Matrix& X,
   require(config.epochs > 0 && config.batch_size > 0,
           "train: bad configuration");
 
+  static auto& epoch_loss_gauge = obs::gauge("nn.epoch.loss");
+  static auto& step_seconds = obs::histogram("nn.step.seconds");
+  const obs::ScopedSpan span("nn.train");
+
   Rng rng(config.shuffle_seed);
   const auto params = net.parameters();
   std::vector<double> epoch_losses;
@@ -29,6 +35,7 @@ std::vector<double> train(Sequential& net, const Matrix& X,
     std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size();
          start += config.batch_size) {
+      Stopwatch step_timer;
       const std::size_t end =
           std::min(start + config.batch_size, order.size());
       std::vector<std::size_t> batch_idx(
@@ -43,8 +50,10 @@ std::vector<double> train(Sequential& net, const Matrix& X,
       net.backward(loss.gradient(pred, bt));
       optimizer.step(params);
       ++batches;
+      step_seconds.observe(step_timer.elapsed_seconds());
     }
     epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+    epoch_loss_gauge.set(epoch_losses.back());
   }
   return epoch_losses;
 }

@@ -1,0 +1,162 @@
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/obs.h"
+#include "src/util/error.h"
+
+namespace coda::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_histogram_json(std::ostringstream& out, const Histogram& h) {
+  out << "{\"count\":" << h.count() << ",\"sum\":" << json_number(h.sum())
+      << ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.n_buckets(); ++i) {
+    if (i > 0) out << ',';
+    const bool overflow = i == h.bounds().size();
+    out << "{\"le\":"
+        << (overflow ? std::string("\"inf\"") : json_number(h.bounds()[i]))
+        << ",\"count\":" << h.bucket_count(i) << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string snapshot_json(std::size_t max_spans) {
+  auto& registry = MetricsRegistry::instance();
+  auto& tracer = Tracer::instance();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counter_values()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauge_values()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histogram_views()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":";
+    append_histogram_json(out, *histogram);
+  }
+  out << "},\"spans\":{\"recorded\":" << tracer.recorded()
+      << ",\"dropped\":" << tracer.dropped() << ",\"recent\":[";
+  const auto spans = tracer.snapshot();
+  const std::size_t start =
+      spans.size() > max_spans ? spans.size() - max_spans : 0;
+  for (std::size_t i = start; i < spans.size(); ++i) {
+    if (i > start) out << ',';
+    const auto& s = spans[i];
+    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent_id << ",\"name\":\""
+        << json_escape(s.name) << "\",\"start\":" << json_number(s.start_seconds)
+        << ",\"dur\":" << json_number(s.duration_seconds) << '}';
+  }
+  out << "]}}";
+  return out.str();
+}
+
+std::string dump() {
+  auto& registry = MetricsRegistry::instance();
+  auto& tracer = Tracer::instance();
+  std::ostringstream out;
+  out << "== counters ==\n";
+  for (const auto& [name, value] : registry.counter_values()) {
+    out << "  " << name << " = " << value << '\n';
+  }
+  out << "== gauges ==\n";
+  for (const auto& [name, value] : registry.gauge_values()) {
+    out << "  " << name << " = " << json_number(value) << '\n';
+  }
+  out << "== histograms ==\n";
+  for (const auto& [name, histogram] : registry.histogram_views()) {
+    out << "  " << name << ": count=" << histogram->count()
+        << " sum=" << json_number(histogram->sum());
+    if (histogram->count() > 0) {
+      out << " mean="
+          << json_number(histogram->sum() /
+                         static_cast<double>(histogram->count()));
+    }
+    out << '\n';
+    for (std::size_t i = 0; i < histogram->n_buckets(); ++i) {
+      const std::uint64_t n = histogram->bucket_count(i);
+      if (n == 0) continue;
+      out << "    le ";
+      if (i == histogram->bounds().size()) {
+        out << "+inf";
+      } else {
+        out << json_number(histogram->bounds()[i]);
+      }
+      out << ": " << n << '\n';
+    }
+  }
+  out << "== spans ==\n  recorded=" << tracer.recorded()
+      << " dropped=" << tracer.dropped() << '\n';
+  return out.str();
+}
+
+void dump_if_env() {
+  const char* value = std::getenv("CODA_METRICS_DUMP");
+  if (value == nullptr || value[0] == '\0' ||
+      (value[0] == '0' && value[1] == '\0')) {
+    return;
+  }
+  const std::string json = snapshot_json();
+  if (value[0] == '1' && value[1] == '\0') {
+    std::printf("\n--- coda metrics snapshot ---\n%s\n", json.c_str());
+    return;
+  }
+  std::ofstream file(value);
+  require(file.good(),
+          std::string("obs::dump_if_env: cannot open '") + value + "'");
+  file << json << '\n';
+}
+
+void reset_all() {
+  MetricsRegistry::instance().reset();
+  Tracer::instance().clear();
+}
+
+}  // namespace coda::obs

@@ -1,0 +1,135 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace coda::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  require(!bounds_.empty(), "Histogram: needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    require(bounds_[i - 1] < bounds_[i],
+            "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(value);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.reset();
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  require(start > 0.0 && factor > 1.0 && count > 0,
+          "Histogram: bad exponential bound parameters");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::default_time_bounds() {
+  return exponential_bounds(1e-6, 4.0, 14);  // 1us .. ~67s
+}
+
+std::vector<double> Histogram::default_byte_bounds() {
+  return exponential_bounds(64.0, 4.0, 10);  // 64B .. 16MB
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::default_time_bounds();
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histogram_views() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+}  // namespace coda::obs

@@ -1,0 +1,131 @@
+// Process-wide metrics registry (observability layer): named counters,
+// gauges, and fixed-bucket histograms shared by every subsystem. The fast
+// path is a relaxed std::atomic operation — call sites cache the reference
+// once (`static auto& c = obs::counter("name");`) so the registry's mutex
+// is only ever taken at first registration and at export time.
+//
+// Naming convention: dot-separated families, label as the last segment —
+// e.g. `darr.lookup.hit` / `darr.lookup.miss`. Per-instance views (the thin
+// accessors kept on DarrRepository / SimNet / DarrClient) use an instance
+// segment: `darr.repo#3.stores`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coda::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or accumulated) floating-point value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bound[i]
+/// (and > bound[i-1]); one implicit +inf overflow bucket at the end.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.value(); }
+
+  /// Finite bounds; bucket index bounds().size() is the +inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t n_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+  /// `count` bounds starting at `start`, each `factor` times the previous.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+  /// Default bounds for durations in seconds (1us .. ~67s, factor 4).
+  static std::vector<double> default_time_bounds();
+  /// Default bounds for sizes in bytes (64B .. 16MB, factor 4).
+  static std::vector<double> default_byte_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  Gauge sum_;
+};
+
+/// The process-wide registry. Registration is idempotent: the first call
+/// for a name creates the metric, later calls return the same object.
+/// References stay valid for the process lifetime (reset() zeroes values,
+/// it never removes registrations).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only by the call that creates the histogram; empty
+  /// means Histogram::default_time_bounds().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Zeroes every value; registered references remain valid.
+  void reset();
+
+  // Export views (copied under the registry lock, sorted by name).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_views()
+      const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Convenience shorthands for the process-wide registry.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     std::vector<double> bounds = {});
+
+}  // namespace coda::obs

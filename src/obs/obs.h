@@ -1,0 +1,31 @@
+// Umbrella header for the observability subsystem: the metrics registry,
+// the span tracer, and the exporters. See README.md for the metric-name
+// table and DESIGN.md for the layer description.
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace coda::obs {
+
+/// Full JSON snapshot of the process-wide registry and tracer:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}, "spans": ...}.
+/// `max_spans` caps the span records included (most recent kept).
+std::string snapshot_json(std::size_t max_spans = 64);
+
+/// Human-readable text dump of the same data (counters/gauges sorted by
+/// name, histograms as count/sum/p50-ish bucket lines).
+std::string dump();
+
+/// Honours the CODA_METRICS_DUMP environment variable: unset/"0" = no-op,
+/// "1" = print snapshot_json() to stdout, anything else = write it to that
+/// path. Called at the end of example/bench mains so instrumented runs can
+/// export without code changes.
+void dump_if_env();
+
+/// Zeroes every metric and clears the tracer (test isolation).
+void reset_all();
+
+}  // namespace coda::obs

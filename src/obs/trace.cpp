@@ -1,0 +1,89 @@
+#include "src/obs/trace.h"
+
+#include "src/util/error.h"
+
+namespace coda::obs {
+
+namespace {
+thread_local std::uint64_t t_current_span = 0;
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  require(capacity > 0, "Tracer: capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_slot_] = std::move(span);
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  ++total_recorded_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: next_slot_ is the oldest entry.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_slot_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_ - ring_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_slot_ = 0;
+  total_recorded_ = 0;
+}
+
+std::uint64_t Tracer::current_span() { return t_current_span; }
+
+void Tracer::set_current_span(std::uint64_t id) { t_current_span = id; }
+
+ScopedSpan::ScopedSpan(std::string name, Tracer& tracer)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      id_(tracer.next_id()),
+      parent_id_(Tracer::current_span()),
+      start_seconds_(tracer.now_seconds()) {
+  Tracer::set_current_span(id_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  Tracer::set_current_span(parent_id_);
+  SpanRecord span;
+  span.id = id_;
+  span.parent_id = parent_id_;
+  span.name = std::move(name_);
+  span.start_seconds = start_seconds_;
+  span.duration_seconds = tracer_.now_seconds() - start_seconds_;
+  tracer_.record(std::move(span));
+}
+
+}  // namespace coda::obs

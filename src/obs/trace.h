@@ -1,0 +1,93 @@
+// Lightweight span tracer (observability layer): RAII ScopedSpan records
+// name, steady-clock start/duration, and parent linkage (a thread-local
+// current-span id, so nested scopes on one thread form a tree without any
+// plumbing through call signatures). Finished spans land in a fixed-size
+// ring buffer — old spans are overwritten, recording never blocks on
+// consumers and never allocates unboundedly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coda::obs {
+
+/// A finished span. Times are seconds since the tracer's epoch
+/// (construction), measured on the steady clock.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// Ring-buffer sink for finished spans.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+
+  /// The process-wide tracer used by instrumentation.
+  static Tracer& instance();
+
+  std::uint64_t next_id() {
+    return id_source_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Seconds since this tracer's epoch (steady clock).
+  double now_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  void record(SpanRecord span);
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans ever recorded / overwritten by ring wrap-around.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// The calling thread's innermost live span id (0 = none). ScopedSpan
+  /// maintains this; exposed so manual instrumentation can interoperate.
+  static std::uint64_t current_span();
+  static void set_current_span(std::uint64_t id);
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> id_source_{0};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t total_recorded_ = 0;
+};
+
+/// RAII span: opens on construction, records on destruction. Nested
+/// ScopedSpans on the same thread are parented automatically.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, Tracer& tracer = Tracer::instance());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer& tracer_;
+  std::string name_;
+  std::uint64_t id_;
+  std::uint64_t parent_id_;
+  double start_seconds_;
+};
+
+}  // namespace coda::obs

@@ -6,6 +6,7 @@
 
 #include "src/data/fingerprint.h"
 #include "src/ml/scalers.h"
+#include "src/obs/obs.h"
 #include "src/ts/forecasters.h"
 #include "src/ts/nn_forecasters.h"
 #include "src/util/hash.h"
@@ -193,6 +194,7 @@ std::string ForecastGraphEvaluator::cache_key(
 EvaluationReport ForecastGraphEvaluator::evaluate(
     const ForecastGraph& graph, const TimeSeries& series,
     const TimeSeriesSlidingSplit& cv) const {
+  const obs::ScopedSpan span("evaluator.evaluate");
   Stopwatch total_timer;
   const auto candidates = graph.enumerate();
   EvaluationReport report;
@@ -205,43 +207,69 @@ EvaluationReport ForecastGraphEvaluator::evaluate(
   // on unclaimed ones) and revisited on the second pass, where we wait for
   // the peer's result or steal the claim if it expires (peer failure).
   auto evaluate_one = [&](std::size_t i, bool allow_defer) -> bool {
+    static auto& lookup_hit = obs::counter("darr.lookup.hit");
+    static auto& lookup_miss = obs::counter("darr.lookup.miss");
+    static auto& candidate_local = obs::counter("evaluator.candidate.local");
+    static auto& candidate_cached = obs::counter("evaluator.candidate.cached");
+    static auto& candidate_failed = obs::counter("evaluator.candidate.failed");
+    static auto& candidate_deferred =
+        obs::counter("evaluator.candidate.deferred");
+    static auto& candidate_seconds =
+        obs::histogram("evaluator.candidate.seconds");
+    static auto& claim_wait_seconds =
+        obs::histogram("evaluator.claim.wait_seconds");
+
     CandidateResult& out = report.results[i];
+    const obs::ScopedSpan span("evaluator.candidate");
     Stopwatch timer;
+    out.claim_wait_seconds = 0.0;
     const std::string spec = graph.candidate_spec(candidates[i], v);
     out.spec = spec;
     const std::string key =
         config_.cache == nullptr
             ? std::string()
             : cache_key(series, spec, cv, config_.metric);
+    auto serve_from_cache = [&](const CachedResult& hit) {
+      out.mean_score = hit.mean_score;
+      out.stddev = hit.stddev;
+      out.fold_scores = hit.fold_scores;
+      out.from_cache = true;
+      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
+      candidate_cached.inc();
+    };
     try {
       if (config_.cache != nullptr) {
         if (auto hit = config_.cache->lookup(key)) {
-          out.mean_score = hit->mean_score;
-          out.stddev = hit->stddev;
-          out.fold_scores = hit->fold_scores;
-          out.from_cache = true;
-          out.eval_seconds = timer.elapsed_seconds();
+          lookup_hit.inc();
+          serve_from_cache(*hit);
           return false;
         }
+        lookup_miss.inc();
         if (!config_.cache->try_claim(key)) {
-          if (allow_defer) return true;
+          if (allow_defer) {
+            candidate_deferred.inc();
+            return true;
+          }
+          Stopwatch wait_timer;
           const auto deadline =
               std::chrono::steady_clock::now() +
               std::chrono::milliseconds(config_.claim_wait_ms);
           for (;;) {
             if (auto hit = config_.cache->lookup(key)) {
-              out.mean_score = hit->mean_score;
-              out.stddev = hit->stddev;
-              out.fold_scores = hit->fold_scores;
-              out.from_cache = true;
-              out.eval_seconds = timer.elapsed_seconds();
+              lookup_hit.inc();
+              out.claim_wait_seconds = wait_timer.elapsed_seconds();
+              claim_wait_seconds.observe(out.claim_wait_seconds);
+              serve_from_cache(*hit);
               return false;
             }
+            lookup_miss.inc();
             if (config_.cache->try_claim(key)) break;
             if (std::chrono::steady_clock::now() >= deadline) break;
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(config_.claim_poll_ms));
           }
+          out.claim_wait_seconds = wait_timer.elapsed_seconds();
+          claim_wait_seconds.observe(out.claim_wait_seconds);
         }
       }
       const ForecastPipeline pipeline = graph.instantiate(candidates[i], v);
@@ -250,12 +278,15 @@ EvaluationReport ForecastGraphEvaluator::evaluate(
       out.mean_score = result.mean_score;
       out.stddev = result.stddev;
       out.fold_scores = result.fold_scores;
-      out.eval_seconds = timer.elapsed_seconds();
+      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
+      candidate_local.inc();
+      candidate_seconds.observe(out.eval_seconds);
       if (config_.cache != nullptr) config_.cache->store(key, result);
     } catch (const std::exception& e) {
       out.failed = true;
       out.failure_message = e.what();
-      out.eval_seconds = timer.elapsed_seconds();
+      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
+      candidate_failed.inc();
       if (config_.cache != nullptr && !key.empty()) {
         config_.cache->abandon(key);
       }
@@ -293,6 +324,7 @@ EvaluationReport ForecastGraphEvaluator::evaluate(
   bool found = false;
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const auto& r = report.results[i];
+    report.total_claim_wait_seconds += r.claim_wait_seconds;
     if (r.failed) continue;
     if (r.from_cache) {
       ++report.served_from_cache;

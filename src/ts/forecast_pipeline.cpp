@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "src/obs/obs.h"
+#include "src/util/stopwatch.h"
+
 namespace coda::ts {
 
 ForecastPipeline::ForecastPipeline(std::unique_ptr<Transformer> scaler,
@@ -133,11 +136,15 @@ CachedResult evaluate_forecast(const ForecastPipeline& pipeline,
                                const TimeSeries& series,
                                const TimeSeriesSlidingSplit& cv,
                                Metric metric) {
+  static auto& fold_seconds = obs::histogram("cv.fold.seconds");
+  const obs::ScopedSpan cv_span("cv.evaluate_forecast");
+
   const auto splits = cv.splits(series.length());
   CachedResult result;
   result.explanation = pipeline.spec_string();
   result.fold_scores.reserve(splits.size());
   for (const auto& split : splits) {
+    Stopwatch fold_timer;
     ForecastPipeline fold = pipeline;  // independent copy per fold
     const std::size_t a = split.train.front();
     const std::size_t b = split.train.back() + 1;
@@ -146,6 +153,7 @@ CachedResult evaluate_forecast(const ForecastPipeline& pipeline,
     fold.fit(series, a, b);
     const auto [pred, truth] = fold.predict_range(series, c, d);
     result.fold_scores.push_back(score(metric, truth, pred));
+    fold_seconds.observe(fold_timer.elapsed_seconds());
   }
   double sum = 0.0;
   for (const double s : result.fold_scores) sum += s;

@@ -8,6 +8,7 @@
 #include "src/ml/linear.h"
 #include "src/ml/pca.h"
 #include "src/ml/scalers.h"
+#include "src/obs/obs.h"
 
 namespace coda {
 namespace {
@@ -138,6 +139,7 @@ TEST(GraphEvaluator, CacheServesSecondRun) {
   EvaluatorConfig config;
   config.cache = &cache;
   GraphEvaluator evaluator(config);
+  const std::uint64_t hits_before = obs::counter("darr.lookup.hit").value();
   const auto first = evaluator.evaluate(g, d, KFold(5));
   EXPECT_EQ(first.evaluated_locally, 4u);
   const auto second = evaluator.evaluate(g, d, KFold(5));
@@ -145,6 +147,15 @@ TEST(GraphEvaluator, CacheServesSecondRun) {
   EXPECT_EQ(second.evaluated_locally, 0u);
   EXPECT_EQ(second.best().spec, first.best().spec);
   EXPECT_DOUBLE_EQ(second.best().mean_score, first.best().mean_score);
+  // The cached re-run must show up in the registry as cooperative hits.
+  EXPECT_GT(obs::counter("darr.lookup.hit").value(), hits_before);
+  // Cache-served candidates report near-zero eval time (satellite fix:
+  // eval_seconds no longer includes the full first-run wall time).
+  for (const auto& r : second.results) {
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_LT(r.eval_seconds, 0.5);
+    EXPECT_GE(r.claim_wait_seconds, 0.0);
+  }
 }
 
 TEST(GraphEvaluator, CacheKeySensitivity) {

@@ -1,0 +1,276 @@
+// Tests for the observability layer: registry semantics (idempotent
+// registration, exact concurrent counting), histogram bucket boundaries,
+// span nesting/ring-buffer behaviour, and the JSON exporter's syntax.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace coda::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  auto& c = counter("test.obs.concurrent");
+  c.reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      auto& same = counter("test.obs.concurrent");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) same.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, RegistrationIsIdempotent) {
+  auto& a = counter("test.obs.same");
+  auto& b = counter("test.obs.same");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.inc(3);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(Gauge, SetAddAndConcurrentAdd) {
+  auto& g = gauge("test.obs.gauge");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+
+  g.reset();
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpper) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.n_buckets(), 4u);  // 3 finite + overflow
+
+  h.observe(0.5);  // <= 1        -> bucket 0
+  h.observe(1.0);  // == bound[0] -> bucket 0 (inclusive upper)
+  h.observe(1.5);  // <= 2        -> bucket 1
+  h.observe(2.0);  // == bound[1] -> bucket 1
+  h.observe(3.0);  // <= 4        -> bucket 2
+  h.observe(4.0);  // == bound[2] -> bucket 2
+  h.observe(9.0);  // > 4         -> overflow
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 9.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_ANY_THROW(Histogram({}));
+  EXPECT_ANY_THROW(Histogram({1.0, 1.0}));
+  EXPECT_ANY_THROW(Histogram({2.0, 1.0}));
+}
+
+TEST(Histogram, ExponentialBoundsFactory) {
+  const auto bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(Histogram, RegistryBoundsOnlyApplyAtCreation) {
+  auto& h = histogram("test.obs.hist", {1.0, 10.0});
+  auto& again = histogram("test.obs.hist", {99.0});  // ignored: exists
+  EXPECT_EQ(&h, &again);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 10.0);
+}
+
+TEST(Tracer, ScopedSpansNestParentChild) {
+  Tracer tracer(16);
+  EXPECT_EQ(Tracer::current_span(), 0u);
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    ScopedSpan outer("outer", tracer);
+    outer_id = outer.id();
+    EXPECT_EQ(Tracer::current_span(), outer_id);
+    {
+      ScopedSpan inner("inner", tracer);
+      inner_id = inner.id();
+      EXPECT_EQ(Tracer::current_span(), inner_id);
+    }
+    EXPECT_EQ(Tracer::current_span(), outer_id);
+  }
+  EXPECT_EQ(Tracer::current_span(), 0u);
+
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner finishes first, so it is recorded first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].id, inner_id);
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_GE(spans[1].duration_seconds, spans[0].duration_seconds);
+  EXPECT_LE(spans[1].start_seconds, spans[0].start_seconds);
+}
+
+TEST(Tracer, RingBufferOverwritesOldestAndCountsDrops) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("s" + std::to_string(i), tracer);
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first: the four most recent spans, in recording order.
+  EXPECT_EQ(spans[0].name, "s6");
+  EXPECT_EQ(spans[3].name, "s9");
+}
+
+// --- minimal JSON syntax checker (objects/arrays/strings/numbers) ---------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      default: return number_or_literal();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip escaped char
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number_or_literal() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Export, SnapshotJsonIsWellFormedAndContainsMetrics) {
+  counter("test.obs.json.counter").inc(7);
+  gauge("test.obs.json.gauge").set(-2.5);
+  histogram("test.obs.json.hist", {1.0, 2.0}).observe(1.5);
+  { ScopedSpan span("test.obs.json.span"); }
+
+  const std::string json = snapshot_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"test.obs.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST(Export, TextDumpMentionsRegisteredNames) {
+  counter("test.obs.dump.counter").inc();
+  const std::string text = dump();
+  EXPECT_NE(text.find("test.obs.dump.counter"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsReferencesValid) {
+  auto& c = counter("test.obs.reset");
+  c.inc(41);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();  // reference still valid after reset
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &counter("test.obs.reset"));
+}
+
+}  // namespace
+}  // namespace coda::obs

@@ -66,7 +66,7 @@ void print_fig3() {
               "===\n\n",
               graph.count_paths());
 
-  EvaluatorConfig config;
+  EvalOptions config;
   config.metric = Metric::kRmse;
   config.threads = 1;
   Stopwatch serial_timer;
@@ -96,7 +96,7 @@ void print_fig3() {
                            {3, -56, 10, 8});
 
   // Parallel-vs-serial ablation.
-  EvaluatorConfig parallel = config;
+  EvalOptions parallel = config;
   parallel.threads = 4;
   Stopwatch parallel_timer;
   GraphEvaluator(parallel).evaluate(graph, data, KFold(5));

@@ -38,7 +38,7 @@ int main() {
               "compatibility edges prune the rest)\n\n",
               graph.enumerate().size(), graph.count_full_cartesian());
 
-  EvaluatorConfig config;
+  EvalOptions config;
   config.metric = Metric::kRmse;
   ForecastGraphEvaluator evaluator(config);
   const TimeSeriesSlidingSplit cv(/*k=*/3, /*train=*/220, /*val=*/50,

@@ -72,7 +72,7 @@ int main() {
               graph.count_paths());
 
   // pipeline_evaluation() of Listing 2: 5-fold CV, RMSE scoring.
-  EvaluatorConfig config;
+  EvalOptions config;
   config.metric = Metric::kRmse;
   GraphEvaluator evaluator(config);
   const KFold cv(5);

@@ -1,0 +1,502 @@
+#include "src/core/eval_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "src/obs/obs.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer_wheel.h"
+
+namespace coda {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PrefixCache
+
+PrefixCache::PrefixCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+std::shared_ptr<const void> PrefixCache::lookup(const std::string& key) {
+  if (!enabled()) return nullptr;
+  static auto& hit = obs::counter("eval.prefix_cache.hit");
+  static auto& miss = obs::counter("eval.prefix_cache.miss");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    miss.inc();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front (MRU)
+  ++hits_;
+  hit.inc();
+  return it->second.value;
+}
+
+void PrefixCache::insert(const std::string& key,
+                         std::shared_ptr<const void> value, std::size_t bytes) {
+  if (!enabled() || bytes > budget_) return;
+  static auto& bytes_gauge = obs::gauge("eval.prefix_cache.bytes");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(key) != 0) return;  // a sibling task won the race
+  evict_locked(bytes);
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(value), bytes, lru_.begin()};
+  bytes_ += bytes;
+  bytes_gauge.set(static_cast<double>(bytes_));
+}
+
+void PrefixCache::evict_locked(std::size_t needed) {
+  static auto& evicted = obs::counter("eval.prefix_cache.evicted");
+  while (bytes_ + needed > budget_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    evicted.inc();
+  }
+}
+
+std::size_t PrefixCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t PrefixCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t PrefixCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PrefixCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t PrefixCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+// ---------------------------------------------------------------------------
+// CooperativeFetch
+
+CooperativeFetch::CooperativeFetch(ResultCache* cache) : cache_(cache) {}
+
+std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
+    const std::vector<std::string>& keys) {
+  if (cache_ == nullptr) {
+    return std::vector<std::optional<CachedResult>>(keys.size());
+  }
+  static auto& hit = obs::counter("darr.lookup.hit");
+  static auto& miss = obs::counter("darr.lookup.miss");
+  auto results = cache_->lookup_many(keys);
+  for (const auto& r : results) {
+    if (r.has_value()) {
+      hit.inc();
+    } else {
+      miss.inc();
+    }
+  }
+  return results;
+}
+
+std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
+  if (cache_ == nullptr) return std::nullopt;
+  static auto& hit = obs::counter("darr.lookup.hit");
+  static auto& miss = obs::counter("darr.lookup.miss");
+  auto result = cache_->lookup(key);
+  if (result.has_value()) {
+    hit.inc();
+  } else {
+    miss.inc();
+  }
+  return result;
+}
+
+bool CooperativeFetch::claim(const std::string& key) {
+  if (cache_ == nullptr) return true;
+  return cache_->try_claim(key);
+}
+
+void CooperativeFetch::publish(const std::string& key,
+                               const CachedResult& result) {
+  if (cache_ != nullptr) cache_->store(key, result);
+}
+
+void CooperativeFetch::abandon(const std::string& key) {
+  if (cache_ != nullptr) cache_->abandon(key);
+}
+
+// ---------------------------------------------------------------------------
+// EvalEngine
+
+EvalEngine::EvalEngine(EvalOptions options) : options_(std::move(options)) {
+  // Register every family the engine can emit, so exported snapshots (and
+  // the --metrics-json smoke checks) list them even for runs that never
+  // increment one — e.g. darr.* without a cache, prefix_cache.* when
+  // memoization is disabled.
+  obs::counter("darr.lookup.hit");
+  obs::counter("darr.lookup.miss");
+  obs::counter("evaluator.candidate.local");
+  obs::counter("evaluator.candidate.cached");
+  obs::counter("evaluator.candidate.failed");
+  obs::counter("evaluator.candidate.deferred");
+  obs::counter("eval.prefix_cache.hit");
+  obs::counter("eval.prefix_cache.miss");
+  obs::counter("eval.prefix_cache.evicted");
+  obs::counter("eval.claim.requeued");
+  obs::gauge("eval.prefix_cache.bytes");
+  obs::histogram("evaluator.candidate.seconds");
+  obs::histogram("evaluator.claim.wait_seconds");
+  obs::histogram("cv.fold.seconds");
+}
+
+EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
+                                 std::size_t n_folds) const {
+  require(!candidates.empty(), "EvalEngine: no candidates");
+  require(n_folds > 0, "EvalEngine: need at least one fold");
+  const obs::ScopedSpan span("evaluator.evaluate");
+  Stopwatch total_timer;
+
+  auto& candidate_local = obs::counter("evaluator.candidate.local");
+  auto& candidate_cached = obs::counter("evaluator.candidate.cached");
+  auto& candidate_failed = obs::counter("evaluator.candidate.failed");
+  auto& candidate_deferred = obs::counter("evaluator.candidate.deferred");
+  auto& claim_requeued = obs::counter("eval.claim.requeued");
+  auto& candidate_seconds = obs::histogram("evaluator.candidate.seconds");
+  auto& claim_wait_hist = obs::histogram("evaluator.claim.wait_seconds");
+  auto& fold_seconds = obs::histogram("cv.fold.seconds");
+
+  const std::size_t n = candidates.size();
+  EvaluationReport report;
+  report.metric = options_.metric;
+  report.results.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.results[i].spec = candidates[i].spec;
+
+  auto serve = [&](std::size_t i, const CachedResult& hit,
+                   double eval_seconds) {
+    CandidateResult& out = report.results[i];
+    out.mean_score = hit.mean_score;
+    out.stddev = hit.stddev;
+    out.fold_scores = hit.fold_scores;
+    out.from_cache = true;
+    out.eval_seconds = eval_seconds;
+    candidate_cached.inc();
+  };
+
+  // Initial sweep: one batched lookup answers every already-shared
+  // candidate before any scheduling machinery spins up.
+  CooperativeFetch coop(options_.cache);
+  std::vector<char> done(n, 0);
+  std::size_t remaining = n;
+  if (coop.cooperative()) {
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (const auto& c : candidates) keys.push_back(c.key);
+    Stopwatch sweep_timer;
+    const auto hits = coop.sweep(keys);
+    const double per_key = sweep_timer.elapsed_seconds() / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!hits[i].has_value()) continue;
+      serve(i, *hits[i], per_key);
+      done[i] = 1;
+      --remaining;
+    }
+  }
+
+  if (remaining > 0) {
+    PrefixCache prefixes(options_.prefix_cache_bytes);
+
+    // Per-candidate scheduling state. Fields other than the atomics are
+    // guarded by `mutex` except where a field is only touched by the
+    // candidate's own attempt chain (attempts for one candidate never
+    // overlap: each is scheduled by its predecessor's requeue).
+    struct Slot {
+      std::chrono::steady_clock::time_point start{};
+      bool started = false;
+      bool holds_token = false;   ///< occupies a slot of the claim window
+      bool deferred = false;      ///< currently claim-blocked, on the wheel
+      bool was_deferred = false;  ///< deferred at least once (counter guard)
+      bool deadline_set = false;
+      std::chrono::steady_clock::time_point block_start{};
+      std::chrono::steady_clock::time_point deadline{};
+      double claim_wait = 0.0;
+      std::vector<double> fold_scores;
+      std::atomic<std::size_t> folds_left{0};
+      std::atomic<bool> failed{false};
+      std::string failure_message;
+    };
+    std::vector<std::unique_ptr<Slot>> slots(n);
+    for (std::size_t i = 0; i < n; ++i) slots[i] = std::make_unique<Slot>();
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t pending = remaining;
+    // Candidates that are unfinished and not claim-blocked — i.e. local work
+    // still exists. A blocked candidate's local-compute deadline only starts
+    // once this reaches zero: while peers make progress AND we still have
+    // other candidates to score, waiting costs nothing (no worker parks).
+    std::size_t unblocked = remaining;
+    std::deque<std::size_t> next_queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!done[i]) next_queue.push_back(i);
+    }
+
+    // Declared before the pool/wheel (and assigned after) so they are
+    // destroyed only once the pool has joined its workers — a worker is
+    // always inside one of these callables while it runs engine work.
+    std::function<void()> dispatch_locked;
+    std::function<void(std::size_t)> complete;
+    std::function<void(std::size_t)> attempt;
+    std::function<void(std::size_t, std::size_t)> run_fold;
+    std::function<void(std::size_t)> finalize;
+    // Claim window: at most pool.size() candidates are claimed-but-
+    // unfinished at once, so a client claims work just before it has the
+    // capacity to score it — claiming the whole graph up front would
+    // starve cooperating peers.
+    std::size_t tokens = 0;
+
+    ThreadPool pool(options_.threads);
+    tokens = pool.size();
+    TimerWheel wheel;
+
+    // Pops queued candidates while window slots are free. Caller holds
+    // `mutex`.
+    dispatch_locked = [&] {
+      while (tokens > 0 && !next_queue.empty()) {
+        const std::size_t i = next_queue.front();
+        next_queue.pop_front();
+        --tokens;
+        slots[i]->holds_token = true;
+        pool.submit([&attempt, i] { attempt(i); });
+      }
+    };
+
+    // Candidate finished (scored, served, or failed): release its window
+    // slot, let queued work in, wake the driver when everything is done.
+    complete = [&](std::size_t i) {
+      Slot& s = *slots[i];
+      std::lock_guard<std::mutex> lock(mutex);
+      --pending;
+      if (!s.deferred) --unblocked;  // deferred candidates already left
+      if (s.holds_token) {
+        s.holds_token = false;
+        ++tokens;
+      }
+      dispatch_locked();
+      done_cv.notify_all();
+    };
+
+    finalize = [&](std::size_t i) {
+      Slot& s = *slots[i];
+      CandidateResult& out = report.results[i];
+      out.claim_wait_seconds = s.claim_wait;
+      out.eval_seconds =
+          seconds_between(s.start, std::chrono::steady_clock::now()) -
+          s.claim_wait;
+      if (out.eval_seconds < 0.0) out.eval_seconds = 0.0;
+      if (s.failed.load(std::memory_order_acquire)) {
+        out.failed = true;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          out.failure_message = s.failure_message;
+        }
+        candidate_failed.inc();
+        coop.abandon(candidates[i].key);
+      } else {
+        double sum = 0.0;
+        for (const double sc : s.fold_scores) sum += sc;
+        out.mean_score = sum / static_cast<double>(s.fold_scores.size());
+        double var = 0.0;
+        for (const double sc : s.fold_scores) {
+          const double d = sc - out.mean_score;
+          var += d * d;
+        }
+        out.stddev =
+            std::sqrt(var / static_cast<double>(s.fold_scores.size()));
+        out.fold_scores = s.fold_scores;
+        candidate_local.inc();
+        candidate_seconds.observe(out.eval_seconds);
+        if (coop.cooperative()) {
+          coop.publish(candidates[i].key,
+                       CachedResult{out.mean_score, out.stddev,
+                                    out.fold_scores, candidates[i].spec});
+        }
+      }
+      complete(i);
+    };
+
+    run_fold = [&](std::size_t i, std::size_t fold) {
+      Slot& s = *slots[i];
+      // A sibling fold already failed the candidate: skip the work, just
+      // balance the countdown.
+      if (!s.failed.load(std::memory_order_acquire)) {
+        try {
+          Stopwatch fold_timer;
+          const double sc = candidates[i].score_fold(fold, prefixes);
+          s.fold_scores[fold] = sc;
+          fold_seconds.observe(fold_timer.elapsed_seconds());
+        } catch (const std::exception& e) {
+          bool expected = false;
+          if (s.failed.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+            std::lock_guard<std::mutex> lock(mutex);
+            s.failure_message = e.what();
+          }
+        }
+      }
+      if (s.folds_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        finalize(i);
+      }
+    };
+
+    attempt = [&](std::size_t i) {
+      Slot& s = *slots[i];
+      const auto now = std::chrono::steady_clock::now();
+      bool retry;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!s.started) {
+          s.started = true;
+          s.start = now;
+        }
+        retry = s.deferred;
+      }
+      const std::string& key = candidates[i].key;
+      if (coop.cooperative()) {
+        const obs::ScopedSpan attempt_span("evaluator.candidate");
+        if (retry) {
+          // A peer held the claim when we last looked; its result may have
+          // landed since.
+          if (auto hit = coop.poll(key)) {
+            const double wait = seconds_between(
+                s.block_start, std::chrono::steady_clock::now());
+            {
+              std::lock_guard<std::mutex> lock(mutex);
+              s.claim_wait = wait;
+            }
+            claim_wait_hist.observe(wait);
+            report.results[i].claim_wait_seconds = wait;
+            serve(i, *hit, /*eval_seconds=*/0.0);
+            complete(i);
+            return;
+          }
+        }
+        if (!coop.claim(key)) {
+          // Claim-blocked: park the candidate on the timer wheel and let the
+          // workers keep scoring other candidates. No thread sleeps here.
+          std::lock_guard<std::mutex> lock(mutex);
+          const auto block_now = std::chrono::steady_clock::now();
+          if (!s.deferred) {
+            s.deferred = true;
+            s.block_start = block_now;
+            --unblocked;
+            if (s.holds_token) {
+              s.holds_token = false;
+              ++tokens;
+              dispatch_locked();
+            }
+            if (!s.was_deferred) {
+              s.was_deferred = true;
+              candidate_deferred.inc();
+            }
+          }
+          const bool expired = s.deadline_set && block_now >= s.deadline;
+          if (!expired) {
+            if (!s.deadline_set && unblocked == 0) {
+              // No local work left to hide the wait behind — start the
+              // local-compute deadline (peer-failure safety net).
+              s.deadline_set = true;
+              s.deadline = block_now + std::chrono::milliseconds(
+                                           options_.claim_wait_ms);
+            }
+            claim_requeued.inc();
+            wheel.schedule(
+                std::chrono::milliseconds(options_.claim_poll_ms),
+                [&pool, &attempt, i] {
+                  pool.submit([&attempt, i] { attempt(i); });
+                });
+            return;
+          }
+          // Deadline expired without a stored result or a winnable claim:
+          // the peer presumably died. Compute locally without the claim so
+          // the search always completes.
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (s.deferred) {
+            s.deferred = false;
+            ++unblocked;
+            s.claim_wait = seconds_between(s.block_start,
+                                           std::chrono::steady_clock::now());
+          }
+        }
+        if (s.claim_wait > 0.0) claim_wait_hist.observe(s.claim_wait);
+      }
+      // Fan out: one task per fold, so a slow candidate's folds spread over
+      // the workers instead of serializing at the tail of the run.
+      s.fold_scores.assign(n_folds, 0.0);
+      s.folds_left.store(n_folds, std::memory_order_release);
+      for (std::size_t fold = 0; fold < n_folds; ++fold) {
+        pool.submit([&run_fold, i, fold] { run_fold(i, fold); });
+      }
+    };
+
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      dispatch_locked();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] { return pending == 0; });
+    }
+    // `wheel` (destroyed first) can no longer re-submit into `pool`; with
+    // pending == 0 neither holds engine work.
+  }
+
+  // Pick the best non-failed candidate (order-stable: earlier candidate
+  // wins ties, exactly like the pre-engine evaluators).
+  const bool maximize = higher_is_better(options_.metric);
+  bool found = false;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const auto& r = report.results[i];
+    report.total_claim_wait_seconds += r.claim_wait_seconds;
+    if (r.failed) continue;
+    if (r.from_cache) {
+      ++report.served_from_cache;
+    } else {
+      ++report.evaluated_locally;
+    }
+    if (!found) {
+      report.best_index = i;
+      found = true;
+      continue;
+    }
+    const auto& best = report.results[report.best_index];
+    const bool better = maximize ? r.mean_score > best.mean_score
+                                 : r.mean_score < best.mean_score;
+    if (better) report.best_index = i;
+  }
+  require_state(found, "EvalEngine: every candidate failed");
+  report.total_seconds = total_timer.elapsed_seconds();
+  return report;
+}
+
+}  // namespace coda

@@ -1,17 +1,23 @@
 #include "src/core/evaluator.h"
 
-#include <chrono>
 #include <cmath>
-#include <future>
-#include <thread>
+#include <utility>
 
+#include "src/core/eval_engine.h"
 #include "src/data/fingerprint.h"
 #include "src/obs/obs.h"
 #include "src/util/hash.h"
 #include "src/util/stopwatch.h"
-#include "src/util/thread_pool.h"
 
 namespace coda {
+
+std::vector<std::optional<CachedResult>> ResultCache::lookup_many(
+    const std::vector<std::string>& keys) {
+  std::vector<std::optional<CachedResult>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) out.push_back(lookup(key));
+  return out;
+}
 
 std::optional<CachedResult> LocalResultCache::lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -79,8 +85,65 @@ CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,
   return result;
 }
 
-GraphEvaluator::GraphEvaluator(EvaluatorConfig config)
-    : config_(std::move(config)) {}
+namespace {
+
+/// One fold's materialized train/test split, shared by every candidate.
+struct FoldData {
+  Dataset train;
+  Dataset test;
+};
+
+std::size_t matrix_bytes(const Matrix& m) {
+  return m.size() * sizeof(double) + sizeof(Matrix);
+}
+
+/// Scores candidate x fold with transformer-prefix memoization.
+///
+/// The cached unit is the pair (transformed train X, transformed test X)
+/// after each cumulative transformer prefix, keyed by fold + the prefix's
+/// canonical specs. Transformers are deterministic, so the memoized
+/// matrices are exactly what Pipeline::fit/predict would recompute —
+/// scores are bit-identical with the cache on or off. The estimator stage
+/// is never cached (it IS the candidate).
+double score_tabular_fold(const TEGraph& graph,
+                          const TEGraph::Candidate& candidate,
+                          const FoldData& fold_data, std::size_t fold,
+                          PrefixCache& prefixes, Metric metric) {
+  using Transformed = std::pair<Matrix, Matrix>;  // (train X, test X)
+  Pipeline pipeline = graph.instantiate(candidate);
+  const Matrix* train_X = &fold_data.train.X;
+  const Matrix* test_X = &fold_data.test.X;
+  std::shared_ptr<const Transformed> held;  // keeps *train_X/*test_X alive
+  std::string prefix_key = "tab|f" + std::to_string(fold);
+  for (std::size_t t = 0; t < pipeline.n_transformers(); ++t) {
+    prefix_key += "|" + pipeline.transformer(t).spec();
+    std::shared_ptr<const Transformed> stage =
+        prefixes.get<Transformed>(prefix_key);
+    if (stage == nullptr) {
+      Transformer& tr = pipeline.transformer(t);
+      tr.fit(*train_X, fold_data.train.y);
+      auto computed = std::make_shared<Transformed>(tr.transform(*train_X),
+                                                    tr.transform(*test_X));
+      // Inserted only after the full stage fit+transform succeeded — a
+      // throwing candidate leaves no partial entry behind.
+      prefixes.insert(prefix_key, computed,
+                      matrix_bytes(computed->first) +
+                          matrix_bytes(computed->second));
+      stage = std::move(computed);
+    }
+    held = std::move(stage);
+    train_X = &held->first;
+    test_X = &held->second;
+  }
+  Estimator& estimator = pipeline.estimator();
+  estimator.fit(*train_X, fold_data.train.y);
+  return score(metric, fold_data.test.y, estimator.predict(*test_X));
+}
+
+}  // namespace
+
+GraphEvaluator::GraphEvaluator(EvalOptions options)
+    : options_(std::move(options)) {}
 
 std::string GraphEvaluator::cache_key(const Dataset& data,
                                       const std::string& candidate_spec,
@@ -93,166 +156,38 @@ std::string GraphEvaluator::cache_key(const Dataset& data,
 EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
                                           const Dataset& data,
                                           const CrossValidator& cv) const {
-  const obs::ScopedSpan span("evaluator.evaluate");
-  Stopwatch total_timer;
   const auto candidates = graph.enumerate_candidates();
   require(!candidates.empty(), "GraphEvaluator: graph has no candidates");
+  data.validate();
+  const auto splits = cv.splits(data.n_samples());
+  require(!splits.empty(), "cross_validate: CV produced no splits");
 
-  EvaluationReport report;
-  report.metric = config_.metric;
-  report.results.resize(candidates.size());
+  // Materialize each fold's train/test datasets once, up front — the old
+  // per-candidate cross_validate re-selected them for every candidate.
+  std::vector<FoldData> folds;
+  folds.reserve(splits.size());
+  for (const auto& split : splits) {
+    folds.push_back(FoldData{data.select(split.train), data.select(split.test)});
+  }
 
-  // Evaluates candidate i, honouring the cache/claim protocol when a cache
-  // is configured. Exceptions from a candidate (e.g. a selector asked for
-  // more components than features) are recorded, not propagated: one bad
-  // path must not abort the whole search.
-  //
-  // Cooperative flow: when a peer already holds the claim for a candidate,
-  // the first pass *defers* it (returns true) and moves on to other work —
-  // blocking here would serialize the whole fleet. The second pass revisits
-  // deferred candidates: it polls for the peer's result and, if the claim
-  // expires without one (peer failure), claims and computes locally so the
-  // search always completes.
-  auto evaluate_one = [&](std::size_t i, bool allow_defer) -> bool {
-    static auto& lookup_hit = obs::counter("darr.lookup.hit");
-    static auto& lookup_miss = obs::counter("darr.lookup.miss");
-    static auto& candidate_local = obs::counter("evaluator.candidate.local");
-    static auto& candidate_cached = obs::counter("evaluator.candidate.cached");
-    static auto& candidate_failed = obs::counter("evaluator.candidate.failed");
-    static auto& candidate_deferred =
-        obs::counter("evaluator.candidate.deferred");
-    static auto& candidate_seconds =
-        obs::histogram("evaluator.candidate.seconds");
-    static auto& claim_wait_seconds =
-        obs::histogram("evaluator.claim.wait_seconds");
-
-    CandidateResult& out = report.results[i];
-    const obs::ScopedSpan span("evaluator.candidate");
-    Stopwatch timer;
-    out.claim_wait_seconds = 0.0;
-    const std::string spec = graph.candidate_spec(candidates[i]);
-    out.spec = spec;
-    const std::string key =
-        config_.cache == nullptr
-            ? std::string()
-            : cache_key(data, spec, cv, config_.metric);
-    // Copies a peer's cached result into `out`, with timing attribution.
-    auto serve_from_cache = [&](const CachedResult& hit) {
-      out.mean_score = hit.mean_score;
-      out.stddev = hit.stddev;
-      out.fold_scores = hit.fold_scores;
-      out.from_cache = true;
-      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
-      candidate_cached.inc();
+  const bool cooperative = options_.cache != nullptr;
+  std::vector<EvalEngine::Candidate> engine_candidates;
+  engine_candidates.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EvalEngine::Candidate ec;
+    ec.spec = graph.candidate_spec(candidates[i]);
+    ec.key = cooperative ? cache_key(data, ec.spec, cv, options_.metric)
+                         : std::string();
+    ec.score_fold = [this, &graph, &candidates, &folds, i](
+                        std::size_t fold, PrefixCache& prefixes) {
+      return score_tabular_fold(graph, candidates[i], folds[fold], fold,
+                                prefixes, options_.metric);
     };
-    try {
-      if (config_.cache != nullptr) {
-        if (auto hit = config_.cache->lookup(key)) {
-          lookup_hit.inc();
-          serve_from_cache(*hit);
-          return false;
-        }
-        lookup_miss.inc();
-        if (!config_.cache->try_claim(key)) {
-          if (allow_defer) {
-            candidate_deferred.inc();
-            return true;  // a peer is on it; come back later
-          }
-          Stopwatch wait_timer;
-          const auto deadline =
-              std::chrono::steady_clock::now() +
-              std::chrono::milliseconds(config_.claim_wait_ms);
-          for (;;) {
-            if (auto hit = config_.cache->lookup(key)) {
-              lookup_hit.inc();
-              out.claim_wait_seconds = wait_timer.elapsed_seconds();
-              claim_wait_seconds.observe(out.claim_wait_seconds);
-              serve_from_cache(*hit);
-              return false;
-            }
-            lookup_miss.inc();
-            if (config_.cache->try_claim(key)) break;  // peer claim expired
-            if (std::chrono::steady_clock::now() >= deadline) break;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(config_.claim_poll_ms));
-          }
-          out.claim_wait_seconds = wait_timer.elapsed_seconds();
-          claim_wait_seconds.observe(out.claim_wait_seconds);
-        }
-      }
-      const Pipeline pipeline = graph.instantiate(candidates[i]);
-      const CachedResult cv_result =
-          cross_validate(pipeline, data, cv, config_.metric);
-      out.mean_score = cv_result.mean_score;
-      out.stddev = cv_result.stddev;
-      out.fold_scores = cv_result.fold_scores;
-      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
-      candidate_local.inc();
-      candidate_seconds.observe(out.eval_seconds);
-      if (config_.cache != nullptr) config_.cache->store(key, cv_result);
-    } catch (const std::exception& e) {
-      out.failed = true;
-      out.failure_message = e.what();
-      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
-      candidate_failed.inc();
-      if (config_.cache != nullptr && !key.empty()) {
-        config_.cache->abandon(key);
-      }
-    }
-    return false;
-  };
-
-  std::vector<std::size_t> deferred;
-  if (config_.threads == 1) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (evaluate_one(i, /*allow_defer=*/true)) deferred.push_back(i);
-    }
-    for (const std::size_t i : deferred) {
-      evaluate_one(i, /*allow_defer=*/false);
-    }
-  } else {
-    ThreadPool pool(config_.threads);
-    std::vector<std::future<bool>> futures;
-    futures.reserve(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      futures.push_back(pool.submit(evaluate_one, i, true));
-    }
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      if (futures[i].get()) deferred.push_back(i);
-    }
-    std::vector<std::future<bool>> retry;
-    retry.reserve(deferred.size());
-    for (const std::size_t i : deferred) {
-      retry.push_back(pool.submit(evaluate_one, i, false));
-    }
-    for (auto& f : retry) f.get();
+    engine_candidates.push_back(std::move(ec));
   }
 
-  // Pick the best non-failed candidate.
-  const bool maximize = higher_is_better(config_.metric);
-  bool found = false;
-  for (std::size_t i = 0; i < report.results.size(); ++i) {
-    const auto& r = report.results[i];
-    report.total_claim_wait_seconds += r.claim_wait_seconds;
-    if (r.failed) continue;
-    if (r.from_cache) {
-      ++report.served_from_cache;
-    } else {
-      ++report.evaluated_locally;
-    }
-    if (!found) {
-      report.best_index = i;
-      found = true;
-      continue;
-    }
-    const auto& best = report.results[report.best_index];
-    const bool better = maximize ? r.mean_score > best.mean_score
-                                 : r.mean_score < best.mean_score;
-    if (better) report.best_index = i;
-  }
-  require_state(found, "GraphEvaluator: every candidate failed");
-  report.total_seconds = total_timer.elapsed_seconds();
-  return report;
+  EvalEngine engine(options_);
+  return engine.run(std::move(engine_candidates), splits.size());
 }
 
 Pipeline GraphEvaluator::train_best(const TEGraph& graph, const Dataset& data,

@@ -4,6 +4,10 @@
 // III: "different predictive models can be run in parallel"), and an
 // optional ResultCache (implemented by the DARR client) lets multiple
 // clients share scores and avoid redundant computations.
+//
+// Both this evaluator and ts::ForecastGraphEvaluator delegate scheduling,
+// shared-prefix memoization and the cooperative claim protocol to the
+// unified EvalEngine (src/core/eval_engine.h).
 #pragma once
 
 #include <map>
@@ -29,15 +33,44 @@ struct CachedResult {
   std::string explanation;  ///< how the result was achieved (pipeline spec)
 };
 
-/// Cache/claim interface the evaluator uses to cooperate with other clients
-/// (Section III, Fig 2). Implemented by darr::DarrResultCache; a process-
+/// Cache/claim interface the evaluation engine uses to cooperate with other
+/// clients (Section III, Fig 2). Implemented by darr::DarrClient; a process-
 /// local implementation exists for tests.
+///
+/// Claim/abandon contract (the engine's CooperativeFetch is the single call
+/// site, so implementations only need to honour exactly this sequence):
+///
+///  1. lookup(key) / lookup_many(keys) — read-only; returns a result once
+///     ANY client has stored one. Never blocks work: a miss simply means
+///     the caller may try to claim.
+///  2. try_claim(key) — `true` grants this client the right (and duty) to
+///     compute the key and finish with exactly one store() or abandon().
+///     `false` means a peer holds a live claim: the caller must NOT compute
+///     but re-poll later (the engine re-queues the candidate on a timer
+///     instead of blocking a worker). Implementations may also return
+///     `true` when a result is already stored — "go look it up" — callers
+///     tolerate recomputation in that unlikely race.
+///  3. store(key, result) — publishes the result and releases this
+///     client's claim. After a store, lookups hit forever.
+///  4. abandon(key) — releases this client's claim WITHOUT publishing
+///     (local failure); peers may then claim and compute. Abandon after a
+///     failed computation is mandatory, otherwise peers wait out the claim
+///     TTL before retrying.
+///
+/// Claims are leases, not locks: distributed implementations expire them
+/// (DarrRepository's claim TTL) so a crashed claimant never wedges a key.
 class ResultCache {
  public:
   virtual ~ResultCache() = default;
 
   /// Returns the stored result for `key`, if any client has computed it.
   virtual std::optional<CachedResult> lookup(const std::string& key) = 0;
+
+  /// Batch lookup: element i answers keys[i]. The default implementation
+  /// loops over lookup(); networked caches override it to answer the
+  /// evaluator's initial sweep in one round-trip instead of N.
+  virtual std::vector<std::optional<CachedResult>> lookup_many(
+      const std::vector<std::string>& keys);
 
   /// Attempts to claim `key` for local computation. Returns false when
   /// another client holds a live claim (they are computing it right now).
@@ -75,7 +108,9 @@ struct CandidateResult {
   /// evaluations, cache lookup/serve for cached ones) — claim waiting is
   /// accounted separately in claim_wait_seconds, never here.
   double eval_seconds = 0.0;
-  /// Time spent polling for a peer's result while it held the claim.
+  /// Time a peer's claim deferred this candidate before its result arrived
+  /// (or the engine computed it locally). The candidate does not occupy a
+  /// worker thread during this time — it sits on the engine's timer wheel.
   double claim_wait_seconds = 0.0;
   bool from_cache = false;
   bool failed = false;          ///< candidate threw during fit/predict
@@ -95,14 +130,24 @@ struct EvaluationReport {
   const CandidateResult& best() const;
 };
 
-/// Evaluator configuration.
-struct EvaluatorConfig {
+/// Options shared by every evaluator that delegates to the EvalEngine
+/// (GraphEvaluator and ts::ForecastGraphEvaluator).
+struct EvalOptions {
   Metric metric = Metric::kRmse;
   std::size_t threads = 0;        ///< 0 = hardware concurrency
   ResultCache* cache = nullptr;   ///< optional cooperation hook
-  int claim_poll_ms = 5;          ///< poll interval while waiting on peers
+  int claim_poll_ms = 5;          ///< re-queue interval while a peer works
   int claim_wait_ms = 2000;       ///< max wait before computing locally
+  /// Byte budget of the engine's shared-prefix memo (fitted transformer
+  /// prefixes / windowed views reused across candidates within one run).
+  /// 0 disables memoization.
+  std::size_t prefix_cache_bytes = std::size_t{64} << 20;
 };
+
+/// Deprecated alias, kept for one release: the tabular and forecast
+/// evaluator configs were collapsed into EvalOptions. Migrate spellings —
+/// the alias will be removed.
+using EvaluatorConfig = EvalOptions;
 
 /// Scores one pipeline with cross-validation (mean/stddev across folds).
 CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,
@@ -111,7 +156,7 @@ CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,
 /// Evaluates every candidate of a graph and selects the best path.
 class GraphEvaluator {
  public:
-  explicit GraphEvaluator(EvaluatorConfig config = {});
+  explicit GraphEvaluator(EvalOptions options = {});
 
   /// Evaluates all candidates of `graph` on `data` under `cv`.
   EvaluationReport evaluate(const TEGraph& graph, const Dataset& data,
@@ -129,7 +174,7 @@ class GraphEvaluator {
                                const CrossValidator& cv, Metric metric);
 
  private:
-  EvaluatorConfig config_;
+  EvalOptions options_;
 };
 
 }  // namespace coda

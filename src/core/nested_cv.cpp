@@ -8,7 +8,7 @@ NestedCvResult nested_cross_validate(const TEGraph& graph,
                                      const Dataset& data,
                                      const CrossValidator& outer_cv,
                                      const CrossValidator& inner_cv,
-                                     const EvaluatorConfig& config) {
+                                     const EvalOptions& config) {
   data.validate();
   const auto outer_splits = outer_cv.splits(data.n_samples());
   require(!outer_splits.empty(), "nested_cross_validate: no outer splits");

@@ -34,6 +34,6 @@ NestedCvResult nested_cross_validate(const TEGraph& graph,
                                      const Dataset& data,
                                      const CrossValidator& outer_cv,
                                      const CrossValidator& inner_cv,
-                                     const EvaluatorConfig& config);
+                                     const EvalOptions& config);
 
 }  // namespace coda

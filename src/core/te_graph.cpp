@@ -232,7 +232,10 @@ std::vector<TEGraph::Candidate> TEGraph::enumerate_candidates() const {
   std::vector<Candidate> out;
   for (const auto& path : enumerate_paths()) {
     // Cartesian product of the chosen options' parameter grids, with keys
-    // prefixed into node__param form.
+    // prefixed into node__param form. Earlier stages vary slowest (the
+    // per-stage expansion appends later stages' assignments innermost),
+    // which — together with the stage-major path order — yields the
+    // prefix-major candidate order documented in the header.
     std::vector<ParamMap> assignments;
     assignments.emplace_back();
     for (std::size_t s = 0; s < path.size(); ++s) {

@@ -96,6 +96,14 @@ class TEGraph {
 
   /// All candidates: each path crossed with the cartesian product of its
   /// options' parameter grids.
+  ///
+  /// Ordering guarantee (the evaluation engine's prefix cache relies on
+  /// it): candidates are emitted prefix-major — paths come out of the
+  /// stage-major DFS (adjacent paths share the longest possible stage
+  /// prefix) and, within a path, grid assignments vary later stages fastest
+  /// — so candidates sharing a fitted transformer prefix are enumerated
+  /// adjacently and the shared entry is hot (and not yet evicted) when its
+  /// siblings are scored.
   std::vector<Candidate> enumerate_candidates() const;
 
   /// Builds a runnable Pipeline for a candidate (clones prototypes, applies

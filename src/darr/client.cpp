@@ -64,6 +64,44 @@ std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
   return out;
 }
 
+std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
+    const std::vector<std::string>& keys) {
+  if (keys.empty()) return {};
+  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
+  static auto& bytes_received = obs::counter("darr.client.bytes_received");
+  std::size_t request = 0;
+  for (const auto& key : keys) request += key_request_size(key);
+  net_->transfer(self_, repo_node_, request);
+  std::vector<std::optional<CachedResult>> out;
+  out.reserve(keys.size());
+  std::size_t response = 0;
+  std::size_t found = 0;
+  for (const auto& key : keys) {
+    auto record = repository_->lookup(key);
+    if (record) {
+      response += record->wire_size();
+      ++found;
+      CachedResult result;
+      result.mean_score = record->mean_score;
+      result.stddev = record->stddev;
+      result.fold_scores = record->fold_scores;
+      result.explanation = record->explanation;
+      out.push_back(std::move(result));
+    } else {
+      response += 16;  // per-key "not found"
+      out.push_back(std::nullopt);
+    }
+  }
+  net_->transfer(repo_node_, self_, response);
+  stats_.lookups->inc(keys.size());
+  stats_.hits->inc(found);
+  stats_.bytes_sent->inc(request);
+  stats_.bytes_received->inc(response);
+  bytes_sent.inc(request);
+  bytes_received.inc(response);
+  return out;
+}
+
 bool DarrClient::try_claim(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");

@@ -34,6 +34,12 @@ class DarrClient final : public ResultCache {
              std::string client_name);
 
   std::optional<CachedResult> lookup(const std::string& key) override;
+  /// Batched lookup in ONE simulated round-trip: the request carries every
+  /// key, the response every found record — the evaluator's initial sweep
+  /// over N candidates costs one message pair instead of N. Stats count one
+  /// lookup (and hit, where found) per key, like N singles would.
+  std::vector<std::optional<CachedResult>> lookup_many(
+      const std::vector<std::string>& keys) override;
   bool try_claim(const std::string& key) override;
   void store(const std::string& key, const CachedResult& result) override;
   void abandon(const std::string& key) override;

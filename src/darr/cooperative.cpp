@@ -38,7 +38,7 @@ CooperativeReport run_cooperative_search(const TEGraph& graph,
   for (std::size_t i = 0; i < n_clients; ++i) {
     threads.emplace_back([&, i] {
       Stopwatch client_timer;
-      EvaluatorConfig config;
+      EvalOptions config;
       config.metric = metric;
       config.threads = evaluator_threads;
       config.cache = clients[i].get();

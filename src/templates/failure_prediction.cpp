@@ -54,7 +54,7 @@ FailurePredictionResult FailurePredictionAnalysis::run(
     graph.add_classification_models(std::move(models));
   }
 
-  EvaluatorConfig eval_config;
+  EvalOptions eval_config;
   eval_config.metric = Metric::kF1;
   eval_config.threads = config_.threads;
   GraphEvaluator evaluator(eval_config);

@@ -1,17 +1,14 @@
 #include "src/ts/forecast_graph.h"
 
-#include <chrono>
-#include <future>
-#include <thread>
+#include <utility>
 
+#include "src/core/eval_engine.h"
 #include "src/data/fingerprint.h"
 #include "src/ml/scalers.h"
 #include "src/obs/obs.h"
 #include "src/ts/forecasters.h"
 #include "src/ts/nn_forecasters.h"
 #include "src/util/hash.h"
-#include "src/util/stopwatch.h"
-#include "src/util/thread_pool.h"
 
 namespace coda::ts {
 namespace {
@@ -181,8 +178,50 @@ std::string ForecastGraph::to_dot() const {
   return out;
 }
 
-ForecastGraphEvaluator::ForecastGraphEvaluator(EvaluatorConfig config)
-    : config_(std::move(config)) {}
+namespace {
+
+std::size_t windowed_bytes(const WindowedData& wd) {
+  return wd.X.size() * sizeof(double) + wd.y.size() * sizeof(double) +
+         wd.target_times.size() * sizeof(std::size_t) +
+         wd.span_starts.size() * sizeof(std::size_t) + sizeof(WindowedData);
+}
+
+/// Scores candidate x fold with (scaler, windower) prefix memoization: the
+/// WindowedData for one fold depends only on the scaler spec, the windower
+/// and the training range — every model consuming that pair reuses it, and
+/// one shared copy serves both the fold's fit and its validation
+/// predictions (the old path windowed the series twice per fold).
+/// Windowing is deterministic, so scores are bit-identical either way.
+double score_forecast_fold(const ForecastGraph& graph,
+                           const ForecastGraph::Candidate& candidate,
+                           const TimeSeries& series, std::size_t n_variables,
+                           const Split& split, std::size_t fold,
+                           PrefixCache& prefixes, Metric metric) {
+  ForecastPipeline pipeline = graph.instantiate(candidate, n_variables);
+  const std::size_t a = split.train.front();
+  const std::size_t b = split.train.back() + 1;
+  const std::size_t c = split.test.front();
+  const std::size_t d = split.test.back() + 1;
+  const std::string prefix_key = "ts|f" + std::to_string(fold) + "|" +
+                                 pipeline.scaler().spec() + "|" +
+                                 pipeline.windower().name();
+  std::shared_ptr<const WindowedData> wd =
+      prefixes.get<WindowedData>(prefix_key);
+  if (wd == nullptr) {
+    auto computed =
+        std::make_shared<WindowedData>(pipeline.prepare_windows(series, a, b));
+    prefixes.insert(prefix_key, computed, windowed_bytes(*computed));
+    wd = std::move(computed);
+  }
+  pipeline.fit_prepared(series, a, b, *wd);
+  const auto [pred, truth] = pipeline.predict_range_prepared(*wd, c, d);
+  return score(metric, truth, pred);
+}
+
+}  // namespace
+
+ForecastGraphEvaluator::ForecastGraphEvaluator(EvalOptions options)
+    : options_(std::move(options)) {}
 
 std::string ForecastGraphEvaluator::cache_key(
     const TimeSeries& series, const std::string& candidate_spec,
@@ -194,157 +233,31 @@ std::string ForecastGraphEvaluator::cache_key(
 EvaluationReport ForecastGraphEvaluator::evaluate(
     const ForecastGraph& graph, const TimeSeries& series,
     const TimeSeriesSlidingSplit& cv) const {
-  const obs::ScopedSpan span("evaluator.evaluate");
-  Stopwatch total_timer;
   const auto candidates = graph.enumerate();
-  EvaluationReport report;
-  report.metric = config_.metric;
-  report.results.resize(candidates.size());
   const std::size_t v = series.n_variables();
+  const auto splits = cv.splits(series.length());
+  require(!splits.empty(),
+          "ForecastGraphEvaluator: CV produced no splits");
 
-  // Same cooperative protocol as the tabular GraphEvaluator: a candidate
-  // whose claim a peer holds is deferred on the first pass (keep working
-  // on unclaimed ones) and revisited on the second pass, where we wait for
-  // the peer's result or steal the claim if it expires (peer failure).
-  auto evaluate_one = [&](std::size_t i, bool allow_defer) -> bool {
-    static auto& lookup_hit = obs::counter("darr.lookup.hit");
-    static auto& lookup_miss = obs::counter("darr.lookup.miss");
-    static auto& candidate_local = obs::counter("evaluator.candidate.local");
-    static auto& candidate_cached = obs::counter("evaluator.candidate.cached");
-    static auto& candidate_failed = obs::counter("evaluator.candidate.failed");
-    static auto& candidate_deferred =
-        obs::counter("evaluator.candidate.deferred");
-    static auto& candidate_seconds =
-        obs::histogram("evaluator.candidate.seconds");
-    static auto& claim_wait_seconds =
-        obs::histogram("evaluator.claim.wait_seconds");
-
-    CandidateResult& out = report.results[i];
-    const obs::ScopedSpan span("evaluator.candidate");
-    Stopwatch timer;
-    out.claim_wait_seconds = 0.0;
-    const std::string spec = graph.candidate_spec(candidates[i], v);
-    out.spec = spec;
-    const std::string key =
-        config_.cache == nullptr
-            ? std::string()
-            : cache_key(series, spec, cv, config_.metric);
-    auto serve_from_cache = [&](const CachedResult& hit) {
-      out.mean_score = hit.mean_score;
-      out.stddev = hit.stddev;
-      out.fold_scores = hit.fold_scores;
-      out.from_cache = true;
-      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
-      candidate_cached.inc();
+  const bool cooperative = options_.cache != nullptr;
+  std::vector<EvalEngine::Candidate> engine_candidates;
+  engine_candidates.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EvalEngine::Candidate ec;
+    ec.spec = graph.candidate_spec(candidates[i], v);
+    ec.key = cooperative ? cache_key(series, ec.spec, cv, options_.metric)
+                         : std::string();
+    ec.score_fold = [this, &graph, &candidates, &series, &splits, v, i](
+                        std::size_t fold, PrefixCache& prefixes) {
+      return score_forecast_fold(graph, candidates[i], series, v,
+                                 splits[fold], fold, prefixes,
+                                 options_.metric);
     };
-    try {
-      if (config_.cache != nullptr) {
-        if (auto hit = config_.cache->lookup(key)) {
-          lookup_hit.inc();
-          serve_from_cache(*hit);
-          return false;
-        }
-        lookup_miss.inc();
-        if (!config_.cache->try_claim(key)) {
-          if (allow_defer) {
-            candidate_deferred.inc();
-            return true;
-          }
-          Stopwatch wait_timer;
-          const auto deadline =
-              std::chrono::steady_clock::now() +
-              std::chrono::milliseconds(config_.claim_wait_ms);
-          for (;;) {
-            if (auto hit = config_.cache->lookup(key)) {
-              lookup_hit.inc();
-              out.claim_wait_seconds = wait_timer.elapsed_seconds();
-              claim_wait_seconds.observe(out.claim_wait_seconds);
-              serve_from_cache(*hit);
-              return false;
-            }
-            lookup_miss.inc();
-            if (config_.cache->try_claim(key)) break;
-            if (std::chrono::steady_clock::now() >= deadline) break;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(config_.claim_poll_ms));
-          }
-          out.claim_wait_seconds = wait_timer.elapsed_seconds();
-          claim_wait_seconds.observe(out.claim_wait_seconds);
-        }
-      }
-      const ForecastPipeline pipeline = graph.instantiate(candidates[i], v);
-      const CachedResult result =
-          evaluate_forecast(pipeline, series, cv, config_.metric);
-      out.mean_score = result.mean_score;
-      out.stddev = result.stddev;
-      out.fold_scores = result.fold_scores;
-      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
-      candidate_local.inc();
-      candidate_seconds.observe(out.eval_seconds);
-      if (config_.cache != nullptr) config_.cache->store(key, result);
-    } catch (const std::exception& e) {
-      out.failed = true;
-      out.failure_message = e.what();
-      out.eval_seconds = timer.elapsed_seconds() - out.claim_wait_seconds;
-      candidate_failed.inc();
-      if (config_.cache != nullptr && !key.empty()) {
-        config_.cache->abandon(key);
-      }
-    }
-    return false;
-  };
-
-  std::vector<std::size_t> deferred;
-  if (config_.threads == 1) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (evaluate_one(i, /*allow_defer=*/true)) deferred.push_back(i);
-    }
-    for (const std::size_t i : deferred) {
-      evaluate_one(i, /*allow_defer=*/false);
-    }
-  } else {
-    ThreadPool pool(config_.threads);
-    std::vector<std::future<bool>> futures;
-    futures.reserve(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      futures.push_back(pool.submit(evaluate_one, i, true));
-    }
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      if (futures[i].get()) deferred.push_back(i);
-    }
-    std::vector<std::future<bool>> retry;
-    retry.reserve(deferred.size());
-    for (const std::size_t i : deferred) {
-      retry.push_back(pool.submit(evaluate_one, i, false));
-    }
-    for (auto& f : retry) f.get();
+    engine_candidates.push_back(std::move(ec));
   }
 
-  const bool maximize = higher_is_better(config_.metric);
-  bool found = false;
-  for (std::size_t i = 0; i < report.results.size(); ++i) {
-    const auto& r = report.results[i];
-    report.total_claim_wait_seconds += r.claim_wait_seconds;
-    if (r.failed) continue;
-    if (r.from_cache) {
-      ++report.served_from_cache;
-    } else {
-      ++report.evaluated_locally;
-    }
-    if (!found) {
-      report.best_index = i;
-      found = true;
-      continue;
-    }
-    const auto& best = report.results[report.best_index];
-    if (maximize ? r.mean_score > best.mean_score
-                 : r.mean_score < best.mean_score) {
-      report.best_index = i;
-    }
-  }
-  require_state(found, "ForecastGraphEvaluator: every candidate failed");
-  report.total_seconds = total_timer.elapsed_seconds();
-  return report;
+  EvalEngine engine(options_);
+  return engine.run(std::move(engine_candidates), splits.size());
 }
 
 ForecastPipeline ForecastGraphEvaluator::train_best(

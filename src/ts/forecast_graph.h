@@ -88,9 +88,11 @@ class ForecastGraph {
 
 /// Evaluates every path of a forecast graph under a sliding split, in
 /// parallel, optionally cooperating through a ResultCache (DARR).
+/// Delegates scheduling, shared-prefix memoization (one WindowedData per
+/// fold x scaler x windower) and the claim protocol to the EvalEngine.
 class ForecastGraphEvaluator {
  public:
-  explicit ForecastGraphEvaluator(EvaluatorConfig config = EvaluatorConfig());
+  explicit ForecastGraphEvaluator(EvalOptions options = {});
 
   EvaluationReport evaluate(const ForecastGraph& graph,
                             const TimeSeries& series,
@@ -107,7 +109,7 @@ class ForecastGraphEvaluator {
                                Metric metric);
 
  private:
-  EvaluatorConfig config_;
+  EvalOptions options_;
 };
 
 }  // namespace coda::ts

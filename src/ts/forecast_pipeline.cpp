@@ -46,20 +46,36 @@ WindowedData ForecastPipeline::build_windows(const TimeSeries& series) const {
   return windower_->build(scaled, series.values(), spec_);
 }
 
-void ForecastPipeline::fit(const TimeSeries& series, std::size_t train_begin,
-                           std::size_t train_end) {
+WindowedData ForecastPipeline::prepare_windows(const TimeSeries& series,
+                                               std::size_t train_begin,
+                                               std::size_t train_end) {
   require(train_begin < train_end && train_end <= series.length(),
-          "ForecastPipeline::fit: bad training range");
+          "ForecastPipeline::prepare_windows: bad training range");
   // Fit the scaler on training timestamps only (no look-ahead leakage),
   // then apply it to the whole series.
   const TimeSeries train_slice = series.slice(train_begin, train_end);
   static const std::vector<double> kNoTargets;
   scaler_->fit(train_slice.values(), kNoTargets);
+  return build_windows(series);
+}
 
-  const WindowedData wd = build_windows(series);
+void ForecastPipeline::fit_prepared(const TimeSeries& series,
+                                    std::size_t train_begin,
+                                    std::size_t train_end,
+                                    const WindowedData& windows) {
+  require(train_begin < train_end && train_end <= series.length(),
+          "ForecastPipeline::fit_prepared: bad training range");
+  // Re-fitting the scaler is cheap and deterministic; it keeps this
+  // pipeline usable for predict_range/forecast_next even when `windows`
+  // was computed by a sibling pipeline (the engine's prefix memo).
+  const TimeSeries train_slice = series.slice(train_begin, train_end);
+  static const std::vector<double> kNoTargets;
+  scaler_->fit(train_slice.values(), kNoTargets);
+
   std::vector<std::size_t> train_rows;
-  for (std::size_t i = 0; i < wd.y.size(); ++i) {
-    if (wd.span_starts[i] >= train_begin && wd.target_times[i] < train_end) {
+  for (std::size_t i = 0; i < windows.y.size(); ++i) {
+    if (windows.span_starts[i] >= train_begin &&
+        windows.target_times[i] < train_end) {
       train_rows.push_back(i);
     }
   }
@@ -68,9 +84,17 @@ void ForecastPipeline::fit(const TimeSeries& series, std::size_t train_begin,
               windower_->name());
   std::vector<double> train_y;
   train_y.reserve(train_rows.size());
-  for (const std::size_t i : train_rows) train_y.push_back(wd.y[i]);
-  model_->fit(wd.X.select_rows(train_rows), train_y);
+  for (const std::size_t i : train_rows) train_y.push_back(windows.y[i]);
+  model_->fit(windows.X.select_rows(train_rows), train_y);
   fitted_ = true;
+}
+
+void ForecastPipeline::fit(const TimeSeries& series, std::size_t train_begin,
+                           std::size_t train_end) {
+  require(train_begin < train_end && train_end <= series.length(),
+          "ForecastPipeline::fit: bad training range");
+  const WindowedData wd = prepare_windows(series, train_begin, train_end);
+  fit_prepared(series, train_begin, train_end, wd);
 }
 
 void ForecastPipeline::fit_full(const TimeSeries& series) {
@@ -84,11 +108,22 @@ ForecastPipeline::predict_range(const TimeSeries& series,
   require_state(fitted_, "ForecastPipeline::predict_range: call fit() first");
   require(target_begin < target_end && target_end <= series.length(),
           "ForecastPipeline::predict_range: bad target range");
-  const WindowedData wd = build_windows(series);
+  return predict_range_prepared(build_windows(series), target_begin,
+                                target_end);
+}
+
+std::pair<std::vector<double>, std::vector<double>>
+ForecastPipeline::predict_range_prepared(const WindowedData& windows,
+                                         std::size_t target_begin,
+                                         std::size_t target_end) const {
+  require_state(fitted_,
+                "ForecastPipeline::predict_range: call fit() first");
+  require(target_begin < target_end,
+          "ForecastPipeline::predict_range: bad target range");
   std::vector<std::size_t> rows;
-  for (std::size_t i = 0; i < wd.y.size(); ++i) {
-    if (wd.target_times[i] >= target_begin &&
-        wd.target_times[i] < target_end) {
+  for (std::size_t i = 0; i < windows.y.size(); ++i) {
+    if (windows.target_times[i] >= target_begin &&
+        windows.target_times[i] < target_end) {
       rows.push_back(i);
     }
   }
@@ -96,8 +131,8 @@ ForecastPipeline::predict_range(const TimeSeries& series,
           "ForecastPipeline::predict_range: no windows target the range");
   std::vector<double> truth;
   truth.reserve(rows.size());
-  for (const std::size_t i : rows) truth.push_back(wd.y[i]);
-  return {model_->predict(wd.X.select_rows(rows)), std::move(truth)};
+  for (const std::size_t i : rows) truth.push_back(windows.y[i]);
+  return {model_->predict(windows.X.select_rows(rows)), std::move(truth)};
 }
 
 double ForecastPipeline::forecast_next(const TimeSeries& series) const {

@@ -50,11 +50,34 @@ class ForecastPipeline {
   /// Fits on the entire series.
   void fit_full(const TimeSeries& series);
 
+  /// The expensive, model-independent half of fit(): fits the scaler on the
+  /// training timestamps and windows the whole series. The result depends
+  /// only on (scaler spec, windower, forecast spec, training range) — the
+  /// evaluation engine memoizes it across candidates sharing that prefix.
+  WindowedData prepare_windows(const TimeSeries& series,
+                               std::size_t train_begin,
+                               std::size_t train_end);
+
+  /// The model half of fit(): fits the scaler (cheap; keeps this pipeline
+  /// self-consistent even when `windows` came from the engine's memo) and
+  /// trains the model on the rows of `windows` that fall inside
+  /// [train_begin, train_end). `windows` must describe this pipeline's
+  /// scaler/windower applied to `series`.
+  void fit_prepared(const TimeSeries& series, std::size_t train_begin,
+                    std::size_t train_end, const WindowedData& windows);
+
   /// Predicts the target values whose timestamps fall in
   /// [target_begin, target_end), using history from the series. Requires
   /// fit. Returns (predictions, ground truth) aligned by timestamp.
   std::pair<std::vector<double>, std::vector<double>> predict_range(
       const TimeSeries& series, std::size_t target_begin,
+      std::size_t target_end) const;
+
+  /// predict_range against pre-built windows (skips the re-windowing that
+  /// predict_range performs; the engine shares one WindowedData between a
+  /// fold's fit and its validation predictions).
+  std::pair<std::vector<double>, std::vector<double>> predict_range_prepared(
+      const WindowedData& windows, std::size_t target_begin,
       std::size_t target_end) const;
 
   /// One-step-ahead forecast past the end of the series. Requires fit.

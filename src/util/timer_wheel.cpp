@@ -1,0 +1,56 @@
+#include "src/util/timer_wheel.h"
+
+namespace coda {
+
+TimerWheel::TimerWheel() : thread_([this] { loop(); }) {}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void TimerWheel::schedule(std::chrono::milliseconds delay,
+                          std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push(Entry{std::chrono::steady_clock::now() + delay, next_seq_++,
+                        std::move(fn)});
+  }
+  cv_.notify_all();
+}
+
+std::size_t TimerWheel::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void TimerWheel::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (entries_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !entries_.empty(); });
+      continue;
+    }
+    const auto due = entries_.top().due;
+    if (std::chrono::steady_clock::now() < due) {
+      // Woken early by a new (possibly earlier) entry or by shutdown; the
+      // loop re-reads the top entry either way.
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    // The const_cast is safe: the entry is popped immediately after the
+    // move, so the queue never observes the moved-from state.
+    auto fn = std::move(const_cast<Entry&>(entries_.top()).fn);
+    entries_.pop();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace coda

@@ -1,0 +1,62 @@
+// Deadline scheduler backing the evaluation engine's non-blocking claim
+// continuations: instead of parking a worker thread in a sleep/poll loop
+// while a peer holds a DARR claim, the engine re-queues the blocked
+// candidate here and the workers keep scoring other candidates. One
+// dedicated timer thread fires callbacks when their deadline is due
+// (typically re-submitting a task to a ThreadPool).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace coda {
+
+/// A minimal one-thread timer: schedule(delay, fn) runs fn on the timer
+/// thread once the delay elapses. Entries with equal deadlines fire in
+/// schedule order. Callbacks should be cheap (hand off to a pool); the
+/// destructor drops entries that have not come due yet, so owners must
+/// drain their work before destroying the wheel.
+class TimerWheel {
+ public:
+  TimerWheel();
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Schedules `fn` to run `delay` from now on the timer thread.
+  void schedule(std::chrono::milliseconds delay, std::function<void()> fn);
+
+  /// Entries scheduled but not yet fired.
+  std::size_t pending() const;
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq = 0;  ///< tie-break: equal deadlines fire in order
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> entries_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace coda

@@ -1,0 +1,408 @@
+// Tests for the unified evaluation engine: prefix-cache LRU/byte-budget
+// semantics, memoization transparency (identical scores with the cache on
+// or off), non-blocking claim continuations on the timer wheel, batched
+// cache sweeps, and the TimerWheel itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/core/eval_engine.h"
+#include "src/core/evaluator.h"
+#include "src/darr/client.h"
+#include "src/darr/repository.h"
+#include "src/data/synthetic.h"
+#include "src/ml/linear.h"
+#include "src/ml/pca.h"
+#include "src/ml/scalers.h"
+#include "src/obs/obs.h"
+#include "src/ts/forecast_graph.h"
+#include "src/ts/forecasters.h"
+#include "src/util/timer_wheel.h"
+
+namespace coda {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PrefixCache
+
+std::shared_ptr<const void> boxed_int(int v) {
+  return std::make_shared<int>(v);
+}
+
+TEST(PrefixCache, LruEvictionUnderByteBudget) {
+  PrefixCache cache(100);
+  cache.insert("a", boxed_int(1), 40);
+  cache.insert("b", boxed_int(2), 40);
+  EXPECT_EQ(cache.entries(), 2u);
+  // Touch "a" so "b" is the LRU entry.
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  cache.insert("c", boxed_int(3), 40);  // needs room: evicts "b"
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), cache.budget());
+}
+
+TEST(PrefixCache, OversizedEntryIsDroppedNotCached) {
+  PrefixCache cache(64);
+  cache.insert("big", boxed_int(1), 65);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.lookup("big"), nullptr);
+  // The rest of the cache is untouched by the oversized insert.
+  cache.insert("small", boxed_int(2), 10);
+  EXPECT_NE(cache.lookup("small"), nullptr);
+  EXPECT_LE(cache.bytes(), cache.budget());
+}
+
+TEST(PrefixCache, ZeroBudgetDisables) {
+  PrefixCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert("k", boxed_int(1), 1);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // disabled caches do not count misses
+}
+
+TEST(PrefixCache, CountsHitsAndMisses) {
+  PrefixCache cache(1024);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  cache.insert("k", boxed_int(7), 8);
+  auto hit = cache.get<int>("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel;
+  std::mutex m;
+  std::vector<int> order;
+  std::condition_variable cv;
+  auto push = [&](int v) {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(v);
+    cv.notify_all();
+  };
+  wheel.schedule(std::chrono::milliseconds(30), [&] { push(3); });
+  wheel.schedule(std::chrono::milliseconds(10), [&] { push(1); });
+  wheel.schedule(std::chrono::milliseconds(20), [&] { push(2); });
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return order.size() == 3u; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level behaviour via custom candidates
+
+EvalEngine::Candidate counting_candidate(const std::string& spec,
+                                         const std::string& prefix_key,
+                                         std::atomic<int>& prefix_computes) {
+  EvalEngine::Candidate c;
+  c.spec = spec;
+  c.score_fold = [prefix_key, &prefix_computes](std::size_t fold,
+                                                PrefixCache& prefixes) {
+    const std::string key = "f" + std::to_string(fold) + "|" + prefix_key;
+    auto shared = prefixes.get<int>(key);
+    if (shared == nullptr) {
+      prefix_computes.fetch_add(1);
+      auto computed = std::make_shared<int>(static_cast<int>(fold));
+      prefixes.insert(key, computed, 64);
+      shared = computed;
+    }
+    return static_cast<double>(*shared);
+  };
+  return c;
+}
+
+TEST(EvalEngine, SharedPrefixComputedOncePerFold) {
+  std::atomic<int> prefix_computes{0};
+  std::vector<EvalEngine::Candidate> candidates;
+  candidates.push_back(counting_candidate("a", "shared", prefix_computes));
+  candidates.push_back(counting_candidate("b", "shared", prefix_computes));
+  candidates.push_back(counting_candidate("c", "shared", prefix_computes));
+  EvalOptions options;
+  options.threads = 1;  // deterministic interleaving
+  EvalEngine engine(options);
+  const auto report = engine.run(std::move(candidates), 4);
+  EXPECT_EQ(report.evaluated_locally, 3u);
+  // One compute per fold, shared by all three candidates.
+  EXPECT_EQ(prefix_computes.load(), 4);
+}
+
+TEST(EvalEngine, DisabledPrefixCacheRecomputesEverywhere) {
+  std::atomic<int> prefix_computes{0};
+  std::vector<EvalEngine::Candidate> candidates;
+  candidates.push_back(counting_candidate("a", "shared", prefix_computes));
+  candidates.push_back(counting_candidate("b", "shared", prefix_computes));
+  EvalOptions options;
+  options.threads = 1;
+  options.prefix_cache_bytes = 0;
+  EvalEngine engine(options);
+  engine.run(std::move(candidates), 3);
+  EXPECT_EQ(prefix_computes.load(), 6);  // 2 candidates x 3 folds
+}
+
+TEST(EvalEngine, FailingCandidateDoesNotPoisonPrefixes) {
+  // The failing candidate throws BEFORE inserting its prefix entry (the
+  // engine contract: insert only after a fully successful fit). Siblings
+  // sharing the key must compute it themselves and succeed.
+  std::atomic<int> prefix_computes{0};
+  std::vector<EvalEngine::Candidate> candidates;
+  EvalEngine::Candidate bad;
+  bad.spec = "bad";
+  bad.score_fold = [](std::size_t, PrefixCache& prefixes) -> double {
+    if (prefixes.get<int>("f0|shared") == nullptr) {
+      throw InvalidArgument("mid-fit failure");
+    }
+    return 0.0;
+  };
+  candidates.push_back(std::move(bad));
+  candidates.push_back(counting_candidate("good", "shared", prefix_computes));
+  EvalOptions options;
+  options.threads = 1;
+  EvalEngine engine(options);
+  const auto report = engine.run(std::move(candidates), 1);
+  EXPECT_TRUE(report.results[0].failed);
+  EXPECT_EQ(report.results[0].failure_message, "mid-fit failure");
+  EXPECT_FALSE(report.results[1].failed);
+  EXPECT_EQ(prefix_computes.load(), 1);
+  EXPECT_EQ(report.best().spec, "good");
+}
+
+double plain_score(std::size_t fold) { return 1.0 + static_cast<double>(fold); }
+
+EvalEngine::Candidate keyed_candidate(const std::string& spec,
+                                      const std::string& key) {
+  EvalEngine::Candidate c;
+  c.spec = spec;
+  c.key = key;
+  c.score_fold = [](std::size_t fold, PrefixCache&) {
+    return plain_score(fold);
+  };
+  return c;
+}
+
+TEST(EvalEngine, ClaimBlockedCandidateIsRequeuedThenServed) {
+  // "peer" holds the claim for key K; it stores the result ~40ms in. The
+  // engine must keep scoring the other candidates, requeue the blocked one
+  // on the wheel, and serve it from the cache without computing locally.
+  LocalResultCache cache;
+  ASSERT_TRUE(cache.try_claim("K"));  // we act as the peer
+  std::thread peer([&cache] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    CachedResult r;
+    r.mean_score = 42.0;
+    r.stddev = 0.0;
+    r.fold_scores = {42.0, 42.0};
+    cache.store("K", r);
+  });
+  const std::uint64_t requeues_before =
+      obs::counter("eval.claim.requeued").value();
+  EvalOptions options;
+  options.threads = 2;
+  options.cache = &cache;
+  options.claim_poll_ms = 5;
+  options.claim_wait_ms = 2000;
+  EvalEngine engine(options);
+  std::vector<EvalEngine::Candidate> candidates;
+  candidates.push_back(keyed_candidate("blocked", "K"));
+  candidates.push_back(keyed_candidate("free1", "F1"));
+  candidates.push_back(keyed_candidate("free2", "F2"));
+  const auto report = engine.run(std::move(candidates), 2);
+  peer.join();
+  EXPECT_TRUE(report.results[0].from_cache);
+  EXPECT_DOUBLE_EQ(report.results[0].mean_score, 42.0);
+  EXPECT_GT(report.results[0].claim_wait_seconds, 0.0);
+  EXPECT_EQ(report.served_from_cache, 1u);
+  EXPECT_EQ(report.evaluated_locally, 2u);
+  EXPECT_GT(obs::counter("eval.claim.requeued").value(), requeues_before);
+}
+
+TEST(EvalEngine, ExpiredClaimDeadlineFallsBackToLocalCompute) {
+  // The peer never stores and never releases: after claim_wait_ms with no
+  // other work left, the engine computes locally so the search completes.
+  LocalResultCache cache;
+  ASSERT_TRUE(cache.try_claim("K"));
+  EvalOptions options;
+  options.threads = 1;
+  options.cache = &cache;
+  options.claim_poll_ms = 5;
+  options.claim_wait_ms = 50;
+  EvalEngine engine(options);
+  std::vector<EvalEngine::Candidate> candidates;
+  candidates.push_back(keyed_candidate("blocked", "K"));
+  const auto report = engine.run(std::move(candidates), 2);
+  EXPECT_FALSE(report.results[0].from_cache);
+  EXPECT_FALSE(report.results[0].failed);
+  EXPECT_DOUBLE_EQ(report.results[0].mean_score, 1.5);
+  EXPECT_GE(report.results[0].claim_wait_seconds, 0.045);
+}
+
+// ---------------------------------------------------------------------------
+// Memoization transparency: identical results with the cache on and off
+
+TEGraph grid_graph() {
+  TEGraph g;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  g.add_feature_scalers(std::move(scalers));
+  std::vector<StageOption> selectors;
+  ParamGrid pca_grid;
+  pca_grid.add("n_components",
+               {ParamValue{std::int64_t{2}}, ParamValue{std::int64_t{3}}});
+  selectors.push_back(make_option(std::make_unique<PCA>(), pca_grid));
+  g.add_stage("select", std::move(selectors));
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LinearRegression>());
+  g.add_regression_models(std::move(models));
+  return g;
+}
+
+TEST(EvalEngine, TabularScoresBitIdenticalWithPrefixCacheOnOrOff) {
+  RegressionConfig cfg;
+  cfg.n_samples = 120;
+  cfg.n_features = 4;
+  cfg.n_informative = 3;
+  const auto d = make_regression(cfg);
+  const auto g = grid_graph();
+  EvalOptions off;
+  off.prefix_cache_bytes = 0;
+  EvalOptions on;  // default 64 MiB budget
+  const auto a = GraphEvaluator(off).evaluate(g, d, KFold(4));
+  const auto b = GraphEvaluator(on).evaluate(g, d, KFold(4));
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(a.best_index, b.best_index);
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].spec, b.results[i].spec);
+    ASSERT_EQ(a.results[i].fold_scores.size(), b.results[i].fold_scores.size());
+    for (std::size_t f = 0; f < a.results[i].fold_scores.size(); ++f) {
+      // Exact equality on purpose: memoized prefixes must reproduce the
+      // uncached computation bit for bit.
+      EXPECT_EQ(a.results[i].fold_scores[f], b.results[i].fold_scores[f]);
+    }
+    EXPECT_EQ(a.results[i].mean_score, b.results[i].mean_score);
+  }
+}
+
+TEST(EvalEngine, ForecastScoresBitIdenticalWithPrefixCacheOnOrOff) {
+  IndustrialSeriesConfig cfg;
+  cfg.length = 260;
+  cfg.n_variables = 2;
+  const auto series = make_industrial_series(cfg);
+  ts::ForecastSpec spec;
+  spec.history = 12;
+  ts::ForecastGraph g(spec);
+  g.add_scaler(std::make_unique<StandardScaler>());
+  g.add_scaler(std::make_unique<NoOp>());
+  g.add_windower(std::make_unique<ts::CascadedWindows>(), "cascaded");
+  g.add_windower(std::make_unique<ts::TsAsIs>(), "asis");
+  g.add_model(std::make_unique<ts::ArModel>(), "cascaded");
+  g.add_model(std::make_unique<ts::ZeroModel>(), "asis");
+  const TimeSeriesSlidingSplit cv(2, 150, 40, 5);
+  EvalOptions off;
+  off.prefix_cache_bytes = 0;
+  EvalOptions on;
+  const auto a = ts::ForecastGraphEvaluator(off).evaluate(g, series, cv);
+  const auto b = ts::ForecastGraphEvaluator(on).evaluate(g, series, cv);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  EXPECT_EQ(a.best().spec, b.best().spec);
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].fold_scores.size(), b.results[i].fold_scores.size());
+    for (std::size_t f = 0; f < a.results[i].fold_scores.size(); ++f) {
+      EXPECT_EQ(a.results[i].fold_scores[f], b.results[i].fold_scores[f]);
+    }
+  }
+}
+
+TEST(EvalEngine, TinyBudgetStillProducesIdenticalScores) {
+  RegressionConfig cfg;
+  cfg.n_samples = 80;
+  cfg.n_features = 4;
+  cfg.n_informative = 3;
+  const auto d = make_regression(cfg);
+  const auto g = grid_graph();
+  EvalOptions off;
+  off.prefix_cache_bytes = 0;
+  EvalOptions tiny;
+  tiny.prefix_cache_bytes = 4096;  // forces constant eviction churn
+  const auto a = GraphEvaluator(off).evaluate(g, d, KFold(3));
+  const auto b = GraphEvaluator(tiny).evaluate(g, d, KFold(3));
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].mean_score, b.results[i].mean_score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched lookups
+
+TEST(ResultCache, LookupManyDefaultLoopsOverLookup) {
+  LocalResultCache cache;
+  CachedResult r;
+  r.mean_score = 5.0;
+  cache.store("a", r);
+  cache.store("c", r);
+  const auto out = cache.lookup_many({"a", "b", "c"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].has_value());
+  EXPECT_FALSE(out[1].has_value());
+  EXPECT_TRUE(out[2].has_value());
+  EXPECT_DOUBLE_EQ(out[2]->mean_score, 5.0);
+}
+
+TEST(DarrClient, LookupManyUsesOneRoundTrip) {
+  darr::DarrRepository repo;
+  dist::SimNet net;
+  const auto repo_node = net.add_node("darr");
+  const auto client_node = net.add_node("c0");
+  darr::DarrClient client(&repo, &net, client_node, repo_node, "c0");
+  CachedResult r;
+  r.mean_score = 2.0;
+  r.fold_scores = {2.0};
+  client.store("k1", r);
+  const auto sent_before = net.link(client_node, repo_node).messages;
+  const auto recv_before = net.link(repo_node, client_node).messages;
+  const auto out = client.lookup_many({"k1", "k2", "k3"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].has_value());
+  EXPECT_FALSE(out[1].has_value());
+  EXPECT_FALSE(out[2].has_value());
+  // One message pair for the whole batch, not one per key.
+  EXPECT_EQ(net.link(client_node, repo_node).messages, sent_before + 1);
+  EXPECT_EQ(net.link(repo_node, client_node).messages, recv_before + 1);
+  // Stats still count per key, like three singles would.
+  EXPECT_EQ(client.stats().lookups, 3u);
+  EXPECT_EQ(client.stats().hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metric families
+
+TEST(EvalEngine, RegistersMetricFamiliesOnConstruction) {
+  EvalEngine engine(EvalOptions{});
+  const auto counters = obs::MetricsRegistry::instance().counter_values();
+  auto has = [&counters](const std::string& name) {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("eval.prefix_cache.hit"));
+  EXPECT_TRUE(has("eval.prefix_cache.miss"));
+  EXPECT_TRUE(has("eval.prefix_cache.evicted"));
+  EXPECT_TRUE(has("eval.claim.requeued"));
+  EXPECT_TRUE(has("darr.lookup.hit"));
+  EXPECT_TRUE(has("darr.lookup.miss"));
+}
+
+}  // namespace
+}  // namespace coda

@@ -64,7 +64,8 @@ void print_fig1() {
   std::vector<std::vector<std::string>> rows;
   {
     // Placement A: compute at the client (data is local: LAN-ish hop).
-    const double lan = net.transfer(data_source, client, data_size) / 20.0;
+    const double lan =
+        net.transfer(data_source, client, data_size).seconds / 20.0;
     const double total = lan + compute_seconds * kClientSlowdown;
     rows.push_back({"client node", coda::bench::fmt(lan, 3),
                     coda::bench::fmt(compute_seconds * kClientSlowdown, 2),
@@ -73,7 +74,7 @@ void print_fig1() {
   }
   {
     // Placement B: ship the data to the cloud analytics servers.
-    const double wan = net.transfer(data_source, cloud, data_size);
+    const double wan = net.transfer(data_source, cloud, data_size).seconds;
     const double total = wan + compute_seconds;
     rows.push_back({"cloud analytics", coda::bench::fmt(wan, 3),
                     coda::bench::fmt(compute_seconds, 2),
@@ -83,10 +84,10 @@ void print_fig1() {
   {
     // Placement C: AI web service — per-request API round-trips on top of
     // shipping the data.
-    double wan = net.transfer(data_source, web_service, data_size);
+    double wan = net.transfer(data_source, web_service, data_size).seconds;
     for (int call = 0; call < static_cast<int>(kWebServiceCalls); ++call) {
-      wan += net.transfer(client, web_service, 512);
-      wan += net.transfer(web_service, client, 2048);
+      wan += net.transfer(client, web_service, 512).seconds;
+      wan += net.transfer(web_service, client, 2048).seconds;
     }
     const double total = wan + compute_seconds;
     rows.push_back({"AI web service", coda::bench::fmt(wan, 3),

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate (ROADMAP.md): plain build + full test suite, then the chaos
+# suite again under thread sanitizer. A chaos failure prints the fault
+# schedule (seed, drop rate, partition/crash windows) to replay.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== tier 1: chaos suite under ThreadSanitizer (ctest -L chaos) =="
+cmake -B build-tsan -S . -DCODA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target test_chaos
+ctest --test-dir build-tsan -L chaos --output-on-failure
+
+echo "tier 1 OK"

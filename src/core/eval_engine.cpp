@@ -99,14 +99,27 @@ std::uint64_t PrefixCache::evictions() const {
 
 CooperativeFetch::CooperativeFetch(ResultCache* cache) : cache_(cache) {}
 
+void CooperativeFetch::degrade(const char* op) {
+  static auto& darr_degraded = obs::counter("eval.darr_degraded");
+  degraded_.store(true, std::memory_order_release);
+  darr_degraded.inc();
+  obs::counter(std::string("eval.darr_degraded.") + op).inc();
+}
+
 std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
     const std::vector<std::string>& keys) {
-  if (cache_ == nullptr) {
+  if (!usable()) {
     return std::vector<std::optional<CachedResult>>(keys.size());
   }
   static auto& hit = obs::counter("darr.lookup.hit");
   static auto& miss = obs::counter("darr.lookup.miss");
-  auto results = cache_->lookup_many(keys);
+  std::vector<std::optional<CachedResult>> results;
+  try {
+    results = cache_->lookup_many(keys);
+  } catch (const NetworkError&) {
+    degrade("sweep");
+    return std::vector<std::optional<CachedResult>>(keys.size());
+  }
   for (const auto& r : results) {
     if (r.has_value()) {
       hit.inc();
@@ -118,10 +131,16 @@ std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
 }
 
 std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
-  if (cache_ == nullptr) return std::nullopt;
+  if (!usable()) return std::nullopt;
   static auto& hit = obs::counter("darr.lookup.hit");
   static auto& miss = obs::counter("darr.lookup.miss");
-  auto result = cache_->lookup(key);
+  std::optional<CachedResult> result;
+  try {
+    result = cache_->lookup(key);
+  } catch (const NetworkError&) {
+    degrade("poll");
+    return std::nullopt;
+  }
   if (result.has_value()) {
     hit.inc();
   } else {
@@ -131,17 +150,34 @@ std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
 }
 
 bool CooperativeFetch::claim(const std::string& key) {
-  if (cache_ == nullptr) return true;
-  return cache_->try_claim(key);
+  if (!usable()) return true;
+  try {
+    return cache_->try_claim(key);
+  } catch (const NetworkError&) {
+    // Claim unreachable -> claim it "locally": computing without the global
+    // claim risks duplicated work across the partition, never wrong results.
+    degrade("claim");
+    return true;
+  }
 }
 
 void CooperativeFetch::publish(const std::string& key,
                                const CachedResult& result) {
-  if (cache_ != nullptr) cache_->store(key, result);
+  if (!usable()) return;
+  try {
+    cache_->store(key, result);
+  } catch (const NetworkError&) {
+    degrade("publish");
+  }
 }
 
 void CooperativeFetch::abandon(const std::string& key) {
-  if (cache_ != nullptr) cache_->abandon(key);
+  if (!usable()) return;
+  try {
+    cache_->abandon(key);
+  } catch (const NetworkError&) {
+    degrade("abandon");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -162,6 +198,7 @@ EvalEngine::EvalEngine(EvalOptions options) : options_(std::move(options)) {
   obs::counter("eval.prefix_cache.miss");
   obs::counter("eval.prefix_cache.evicted");
   obs::counter("eval.claim.requeued");
+  obs::counter("eval.darr_degraded");
   obs::gauge("eval.prefix_cache.bytes");
   obs::histogram("evaluator.candidate.seconds");
   obs::histogram("evaluator.claim.wait_seconds");

@@ -24,6 +24,7 @@
 // darr.lookup.* / cv.fold.seconds families.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -99,11 +100,23 @@ class PrefixCache {
 /// ResultCache contract documented in evaluator.h is exercised from exactly
 /// one place (and instrumented once). All methods are no-ops / misses when
 /// no cache is configured.
+///
+/// Degradation (DESIGN.md §9): a cache that throws NetworkError (its retry
+/// budget is spent — the DARR node is partitioned or down) flips this fetch
+/// into degraded mode for the rest of the run: sweeps and polls report
+/// misses, claims are granted locally, publishes and abandons are dropped.
+/// The search then completes as a purely local evaluation — never a wrong
+/// result, never a hang — and each swallowed call counts in
+/// `eval.darr_degraded`. Repository-side claims we still hold expire via
+/// TTL, so peers reclaim the work.
 class CooperativeFetch {
  public:
   explicit CooperativeFetch(ResultCache* cache);
 
   bool cooperative() const { return cache_ != nullptr; }
+
+  /// True once a NetworkError has switched the run to local-only mode.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
   /// Batched initial sweep over every candidate key (one lookup_many —
   /// a single round-trip on networked caches). Returns one slot per key.
@@ -123,7 +136,12 @@ class CooperativeFetch {
   void abandon(const std::string& key);
 
  private:
+  /// Marks the run degraded and counts the swallowed call.
+  void degrade(const char* op);
+  bool usable() const { return cache_ != nullptr && !degraded(); }
+
   ResultCache* cache_;
+  std::atomic<bool> degraded_{false};
 };
 
 /// The engine. One instance is cheap (it owns no threads); each run() spins

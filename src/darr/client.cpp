@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "src/dist/retry.h"
+
 namespace coda::darr {
 
 namespace {
@@ -16,14 +18,16 @@ std::string next_instance_prefix() {
 
 DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
                        dist::NodeId self, dist::NodeId repo_node,
-                       std::string client_name)
+                       std::string client_name, RetryPolicy retry)
     : repository_(repository),
       net_(net),
       self_(self),
       repo_node_(repo_node),
-      name_(std::move(client_name)) {
+      name_(std::move(client_name)),
+      retry_(retry) {
   require(repository != nullptr && net != nullptr,
           "DarrClient: null dependency");
+  retry_.validate();
   require(self != repo_node,
           "DarrClient: client and repository must be distinct nodes");
   require(!name_.empty(), "DarrClient: client name must be non-empty");
@@ -41,7 +45,8 @@ std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
   const std::size_t request = key_request_size(key);
-  net_->transfer(self_, repo_node_, request);
+  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
+                            "darr.lookup");
   auto record = repository_->lookup(key);
   std::size_t response = 16;  // "not found"
   std::optional<CachedResult> out;
@@ -54,7 +59,8 @@ std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
     result.explanation = record->explanation;
     out = std::move(result);
   }
-  net_->transfer(repo_node_, self_, response);
+  dist::transfer_with_retry(*net_, repo_node_, self_, response, retry_,
+                            "darr.lookup");
   stats_.lookups->inc();
   if (out) stats_.hits->inc();
   stats_.bytes_sent->inc(request);
@@ -71,7 +77,8 @@ std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
   std::size_t request = 0;
   for (const auto& key : keys) request += key_request_size(key);
-  net_->transfer(self_, repo_node_, request);
+  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
+                            "darr.lookup_many");
   std::vector<std::optional<CachedResult>> out;
   out.reserve(keys.size());
   std::size_t response = 0;
@@ -92,7 +99,8 @@ std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
       out.push_back(std::nullopt);
     }
   }
-  net_->transfer(repo_node_, self_, response);
+  dist::transfer_with_retry(*net_, repo_node_, self_, response, retry_,
+                            "darr.lookup_many");
   stats_.lookups->inc(keys.size());
   stats_.hits->inc(found);
   stats_.bytes_sent->inc(request);
@@ -106,9 +114,18 @@ bool DarrClient::try_claim(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
   const std::size_t request = key_request_size(key) + name_.size();
-  net_->transfer(self_, repo_node_, request);
+  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
+                            "darr.try_claim");
   const bool granted = repository_->try_claim(key, name_);
-  net_->transfer(repo_node_, self_, 16);
+  if (granted) {
+    // Track the grant before the response transfer: if the response is
+    // lost past the retry budget the repository still holds the claim in
+    // our name, and abandon_all() must know to release it.
+    std::lock_guard<std::mutex> lock(held_mutex_);
+    held_claims_.insert(key);
+  }
+  dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
+                            "darr.try_claim");
   if (granted) {
     stats_.claims_won->inc();
   } else {
@@ -132,9 +149,16 @@ void DarrClient::store(const std::string& key, const CachedResult& result) {
   record.explanation = result.explanation;
   record.producer = name_;
   const std::size_t request = record.wire_size();
-  net_->transfer(self_, repo_node_, request);
+  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
+                            "darr.store");
   repository_->store(std::move(record), net_->now());
-  net_->transfer(repo_node_, self_, 16);
+  {
+    // Storing a record releases the claim repository-side.
+    std::lock_guard<std::mutex> lock(held_mutex_);
+    held_claims_.erase(key);
+  }
+  dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
+                            "darr.store");
   stats_.stores->inc();
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(16);
@@ -146,13 +170,43 @@ void DarrClient::abandon(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
   const std::size_t request = key_request_size(key) + name_.size();
-  net_->transfer(self_, repo_node_, request);
+  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
+                            "darr.abandon");
   repository_->abandon(key, name_);
-  net_->transfer(repo_node_, self_, 16);
+  {
+    std::lock_guard<std::mutex> lock(held_mutex_);
+    held_claims_.erase(key);
+  }
+  dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
+                            "darr.abandon");
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(16);
   bytes_sent.inc(request);
   bytes_received.inc(16);
+}
+
+void DarrClient::abandon_all() {
+  static auto& abandoned = obs::counter("darr.client.claims_abandoned");
+  std::vector<std::string> held;
+  {
+    std::lock_guard<std::mutex> lock(held_mutex_);
+    held.assign(held_claims_.begin(), held_claims_.end());
+  }
+  for (const auto& key : held) {
+    try {
+      abandon(key);
+      abandoned.inc();
+    } catch (const NetworkError&) {
+      // Release RPC exhausted its retry budget: the key stays in
+      // held_claims_ (abandon() only erases after the repository call),
+      // so the next abandon_all() retries it. Keep releasing the rest.
+    }
+  }
+}
+
+std::vector<std::string> DarrClient::held_claims() const {
+  std::lock_guard<std::mutex> lock(held_mutex_);
+  return {held_claims_.begin(), held_claims_.end()};
 }
 
 DarrClient::Stats DarrClient::stats() const {

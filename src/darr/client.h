@@ -3,12 +3,15 @@
 // interaction accounted as simulated network traffic.
 #pragma once
 
+#include <mutex>
+#include <set>
 #include <string>
 
 #include "src/core/evaluator.h"
 #include "src/darr/repository.h"
 #include "src/dist/sim_net.h"
 #include "src/obs/metrics.h"
+#include "src/util/retry.h"
 
 namespace coda::darr {
 
@@ -28,10 +31,13 @@ class DarrClient final : public ResultCache {
   };
 
   /// `net`/`self`/`repo_node` wire network accounting; `client_name`
-  /// identifies this client as a record producer and claim holder.
+  /// identifies this client as a record producer and claim holder. Every
+  /// repository interaction retries failed transfers under `retry` and
+  /// throws NetworkError once the budget is exhausted (the evaluator's
+  /// CooperativeFetch catches that and degrades to local evaluation).
   DarrClient(DarrRepository* repository, dist::SimNet* net,
              dist::NodeId self, dist::NodeId repo_node,
-             std::string client_name);
+             std::string client_name, RetryPolicy retry = {});
 
   std::optional<CachedResult> lookup(const std::string& key) override;
   /// Batched lookup in ONE simulated round-trip: the request carries every
@@ -46,6 +52,16 @@ class DarrClient final : public ResultCache {
 
   const std::string& client_name() const { return name_; }
   Stats stats() const;
+
+  /// Releases every claim this client currently holds so peers can reclaim
+  /// the work. Called on crash-recovery (a restarted node must not leave
+  /// orphaned claims pinning candidates until TTL expiry) and safe to call
+  /// when nothing is held. Claims whose release RPC itself fails stay
+  /// tracked, so a later call retries them.
+  void abandon_all();
+
+  /// Keys this client has claimed but not yet stored or abandoned.
+  std::vector<std::string> held_claims() const;
 
  private:
   std::size_t key_request_size(const std::string& key) const {
@@ -69,7 +85,10 @@ class DarrClient final : public ResultCache {
   dist::NodeId self_;
   dist::NodeId repo_node_;
   std::string name_;
+  RetryPolicy retry_;
   InstanceCounters stats_;
+  mutable std::mutex held_mutex_;
+  std::set<std::string> held_claims_;
 };
 
 }  // namespace coda::darr

@@ -77,9 +77,22 @@ void ClientCache::on_push(const PushMessage& message) {
   static auto& bytes_saved = obs::counter("clientcache.delta.bytes_saved");
   static auto& delta_bytes = obs::histogram(
       "clientcache.delta.bytes", obs::Histogram::default_byte_bounds());
+  static auto& stale_pushes = obs::counter("clientcache.push.stale");
   Entry& entry = entries_[message.key];
   stats_.bytes_received += message.wire_bytes;
   bytes_received.inc(message.wire_bytes);
+  // Replay guard: a push can arrive after a pull already advanced this
+  // entry past it (lease expired mid-update -> monitor fell back to pull,
+  // or a delayed push raced the response). Applying it again would
+  // double-apply a delta or roll the value back — drop it instead.
+  // Notify-only messages are exempt: they carry no payload and a stale
+  // notification is harmless (notified_version only ever ratchets up).
+  if (message.mode != PushMode::kNotifyOnly &&
+      message.version <= entry.version) {
+    ++stats_.stale_pushes;
+    stale_pushes.inc();
+    return;
+  }
   switch (message.mode) {
     case PushMode::kFullValue:
       ++stats_.pushes_full;
@@ -111,7 +124,9 @@ void ClientCache::on_push(const PushMessage& message) {
     case PushMode::kNotifyOnly:
       ++stats_.notifications;
       notifications.inc();
-      entry.notified_version = message.version;
+      if (message.version > entry.notified_version) {
+        entry.notified_version = message.version;
+      }
       break;
   }
 }

@@ -25,6 +25,7 @@ class ClientCache {
     std::size_t pushes_delta = 0;
     std::size_t notifications = 0;
     std::size_t delta_fallback_fetches = 0;  ///< delta base mismatch -> pull
+    std::size_t stale_pushes = 0;  ///< push at or below the held version
     std::size_t bytes_received = 0;
     std::size_t bytes_saved_by_delta = 0;  ///< full size - delta size sums
   };

@@ -1,5 +1,6 @@
 #include "src/dist/delta.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "src/util/hash.h"
@@ -75,6 +76,10 @@ Delta Delta::deserialize(const Bytes& buffer) {
   d.target_version = r.read_u64();
   d.target_size = r.read_u64();
   const std::uint64_t n_ops = r.read_u64();
+  // Each op is at least one kind byte, so a count beyond the remaining
+  // payload is corrupt — reject it before reserve() turns it into an
+  // allocation bomb.
+  if (n_ops > r.remaining()) throw DecodeError("Delta: op count exceeds payload");
   d.ops.reserve(static_cast<std::size_t>(n_ops));
   for (std::uint64_t i = 0; i < n_ops; ++i) {
     DeltaOp op;
@@ -179,10 +184,15 @@ Delta compute_delta(const Bytes& base, const Bytes& target,
 
 Bytes apply_delta(const Bytes& base, const Delta& delta) {
   Bytes out;
-  out.reserve(static_cast<std::size_t>(delta.target_size));
+  // A corrupted target_size must not pre-allocate unbounded memory; the
+  // size-mismatch check below still catches the lie after reconstruction.
+  out.reserve(std::min(static_cast<std::size_t>(delta.target_size),
+                       base.size() + (std::size_t{1} << 20)));
   for (const auto& op : delta.ops) {
     if (op.kind == DeltaOp::Kind::kCopy) {
-      if (op.offset + op.length > base.size()) {
+      // op.offset + op.length can overflow for corrupted deltas; compare
+      // without the addition.
+      if (op.length > base.size() || op.offset > base.size() - op.length) {
         throw DecodeError("apply_delta: COPY past end of base");
       }
       out.insert(out.end(),
@@ -190,6 +200,9 @@ Bytes apply_delta(const Bytes& base, const Delta& delta) {
                  base.begin() + static_cast<std::ptrdiff_t>(op.offset + op.length));
     } else {
       out.insert(out.end(), op.literal.begin(), op.literal.end());
+    }
+    if (out.size() > delta.target_size) {
+      throw DecodeError("apply_delta: reconstruction exceeds target size");
     }
   }
   if (out.size() != delta.target_size) {

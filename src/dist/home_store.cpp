@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/dist/retry.h"
 #include "src/obs/obs.h"
 
 namespace coda::dist {
@@ -24,6 +25,7 @@ HomeDataStore::HomeDataStore(SimNet* net, NodeId self, Config config)
   require(config_.max_history >= 1, "HomeDataStore: max_history must be >= 1");
   require(config_.min_delta_ratio > 0.0 && config_.min_delta_ratio <= 1.0,
           "HomeDataStore: min_delta_ratio out of (0,1]");
+  config_.retry.validate();
 }
 
 HomeDataStore::ObjectState& HomeDataStore::state_of(const std::string& key) {
@@ -122,6 +124,17 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
         break;
       }
     }
+    static auto& push_lost = obs::counter("homestore.push.lost");
+    try {
+      transfer_with_retry(*net_, self_, lease.client, msg.wire_bytes,
+                          config_.retry, "homestore.push");
+    } catch (const NetworkError&) {
+      // Push lost: keep last_pushed_version where it was, so the next push
+      // ships a delta from the base this subscriber actually holds (or the
+      // subscriber pulls when its monitor notices the staleness).
+      push_lost.inc();
+      continue;
+    }
     switch (msg.mode) {
       case PushMode::kFullValue: push_full.inc(); break;
       case PushMode::kDelta:
@@ -130,7 +143,6 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
         break;
       case PushMode::kNotifyOnly: push_notify.inc(); break;
     }
-    net_->transfer(self_, lease.client, msg.wire_bytes);
     lease.last_pushed_version = state.version;
     if (push_handler_) push_handler_(lease.client, msg);
   }
@@ -158,14 +170,16 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
   FetchResult result;
   result.version = state.version;
   result.request_bytes = request_size(key);
-  net_->transfer(requester, self_, result.request_bytes);
+  transfer_with_retry(*net_, requester, self_, result.request_bytes,
+                      config_.retry, "homestore.fetch");
 
   if (have_version == state.version) {
     // Up to date: tiny "no change" response.
     fetch_not_modified.inc();
     result.is_delta = false;
     result.response_bytes = 16;
-    net_->transfer(self_, requester, result.response_bytes);
+    transfer_with_retry(*net_, self_, requester, result.response_bytes,
+                        config_.retry, "homestore.fetch");
     return result;
   }
 
@@ -184,7 +198,8 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
     result.full_value = state.current;
     result.response_bytes = state.current.size();
   }
-  net_->transfer(self_, requester, result.response_bytes);
+  transfer_with_retry(*net_, self_, requester, result.response_bytes,
+                      config_.retry, "homestore.fetch");
   return result;
 }
 
@@ -193,7 +208,8 @@ void HomeDataStore::subscribe(const std::string& key, NodeId client,
   require(duration > 0.0, "HomeDataStore: lease duration must be positive");
   ObjectState& state = objects_[key];
   // Subscription handshake costs one small message.
-  net_->transfer(client, self_, request_size(key) + 16);
+  transfer_with_retry(*net_, client, self_, request_size(key) + 16,
+                      config_.retry, "homestore.subscribe");
   const double expires = net_->now() + duration;
   for (auto& lease : state.leases) {
     if (lease.client == client) {
@@ -214,7 +230,8 @@ void HomeDataStore::renew(const std::string& key, NodeId client,
                           double duration) {
   require(duration > 0.0, "HomeDataStore: lease duration must be positive");
   ObjectState& state = state_of(key);
-  net_->transfer(client, self_, request_size(key) + 16);
+  transfer_with_retry(*net_, client, self_, request_size(key) + 16,
+                      config_.retry, "homestore.renew");
   for (auto& lease : state.leases) {
     if (lease.client == client) {
       lease.expires_at = net_->now() + duration;
@@ -227,7 +244,8 @@ void HomeDataStore::renew(const std::string& key, NodeId client,
 
 void HomeDataStore::cancel(const std::string& key, NodeId client) {
   ObjectState& state = state_of(key);
-  net_->transfer(client, self_, request_size(key) + 16);
+  transfer_with_retry(*net_, client, self_, request_size(key) + 16,
+                      config_.retry, "homestore.cancel");
   auto& leases = state.leases;
   leases.erase(std::remove_if(leases.begin(), leases.end(),
                               [client](const Lease& l) {

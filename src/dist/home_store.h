@@ -16,6 +16,7 @@
 
 #include "src/dist/delta.h"
 #include "src/dist/sim_net.h"
+#include "src/util/retry.h"
 
 namespace coda::dist {
 
@@ -47,6 +48,12 @@ class HomeDataStore {
     std::size_t max_history = 4;    ///< retained old versions per object
     double min_delta_ratio = 0.8;   ///< send delta only when its size is
                                     ///< below this fraction of the full value
+    /// Transfer retry budget. Client-initiated ops (fetch / subscribe /
+    /// renew / cancel) throw NetworkError when it is exhausted; a push that
+    /// exhausts it is dropped (`homestore.push.lost`) without advancing the
+    /// lease's last-pushed version, so the next push ships a delta from the
+    /// base the subscriber actually has — or the subscriber pulls.
+    RetryPolicy retry;
   };
 
   /// Result of a pull request.

@@ -1,14 +1,34 @@
 #include "src/dist/remote_service.h"
 
+#include <atomic>
+
+#include "src/dist/retry.h"
 #include "src/obs/obs.h"
 
 namespace coda::dist {
 
+namespace {
+
+std::string next_instance_prefix() {
+  static std::atomic<std::uint64_t> next{0};
+  return "remote.svc#" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+}
+
+}  // namespace
+
 RemoteModelService::RemoteModelService(SimNet* net, NodeId self,
-                                       std::unique_ptr<Estimator> model)
-    : net_(net), self_(self), model_(std::move(model)) {
+                                       std::unique_ptr<Estimator> model,
+                                       RetryPolicy retry)
+    : net_(net), self_(self), model_(std::move(model)), retry_(retry) {
   require(net != nullptr && model_ != nullptr,
           "RemoteModelService: null dependency");
+  retry_.validate();
+  const std::string prefix = next_instance_prefix();
+  stats_.fit_calls = &obs::counter(prefix + "fit_calls");
+  stats_.predict_calls = &obs::counter(prefix + "predict_calls");
+  stats_.bytes_in = &obs::counter(prefix + "bytes_in");
+  stats_.bytes_out = &obs::counter(prefix + "bytes_out");
 }
 
 void RemoteModelService::fit(NodeId caller, const Matrix& X,
@@ -19,12 +39,15 @@ void RemoteModelService::fit(NodeId caller, const Matrix& X,
   const obs::ScopedSpan span("remote.fit");
   const std::size_t request =
       matrix_bytes(X) + y.size() * sizeof(double) + 16;
-  net_->transfer(caller, self_, request);
-  model_->fit(X, y);
-  net_->transfer(self_, caller, 16);  // ack
-  ++stats_.fit_calls;
-  stats_.bytes_in += request;
-  stats_.bytes_out += 16;
+  transfer_with_retry(*net_, caller, self_, request, retry_, "remote.fit");
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model_->fit(X, y);
+  }
+  transfer_with_retry(*net_, self_, caller, 16, retry_, "remote.fit");  // ack
+  stats_.fit_calls->inc();
+  stats_.bytes_in->inc(request);
+  stats_.bytes_out->inc(16);
   fit_calls.inc();
   bytes_in.inc(request);
   bytes_out.inc(16);
@@ -37,17 +60,32 @@ std::vector<double> RemoteModelService::predict(NodeId caller,
   static auto& bytes_out = obs::counter("remote.bytes_out");
   const obs::ScopedSpan span("remote.predict");
   const std::size_t request = matrix_bytes(X);
-  net_->transfer(caller, self_, request);
-  auto predictions = model_->predict(X);
+  transfer_with_retry(*net_, caller, self_, request, retry_,
+                      "remote.predict");
+  std::vector<double> predictions;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    predictions = model_->predict(X);
+  }
   const std::size_t response = predictions.size() * sizeof(double) + 16;
-  net_->transfer(self_, caller, response);
-  ++stats_.predict_calls;
-  stats_.bytes_in += request;
-  stats_.bytes_out += response;
+  transfer_with_retry(*net_, self_, caller, response, retry_,
+                      "remote.predict");
+  stats_.predict_calls->inc();
+  stats_.bytes_in->inc(request);
+  stats_.bytes_out->inc(response);
   predict_calls.inc();
   bytes_in.inc(request);
   bytes_out.inc(response);
   return predictions;
+}
+
+RemoteModelService::CallStats RemoteModelService::stats() const {
+  CallStats out;
+  out.fit_calls = stats_.fit_calls->value();
+  out.predict_calls = stats_.predict_calls->value();
+  out.bytes_in = stats_.bytes_in->value();
+  out.bytes_out = stats_.bytes_out->value();
+  return out;
 }
 
 }  // namespace coda::dist

@@ -5,16 +5,26 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "src/core/component.h"
 #include "src/dist/sim_net.h"
+#include "src/obs/metrics.h"
+#include "src/util/retry.h"
 
 namespace coda::dist {
 
 /// A fit/predict service wrapping any Estimator behind a network boundary.
 /// Callers pay request+response bytes per invocation, like an HTTP ML API.
+/// Thread-safe: concurrent evaluator threads may call fit/predict through
+/// their RemoteEstimators — call accounting lives in atomic registry
+/// counters (`remote.svc#<n>.*`) and the hosted model is serialized behind
+/// a mutex. Transfers retry under the service's RetryPolicy and throw
+/// NetworkError once the budget is spent (the evaluation engine then marks
+/// that candidate failed instead of hanging the search).
 class RemoteModelService {
  public:
+  /// Point-in-time snapshot of the service's registry-backed counters.
   struct CallStats {
     std::size_t fit_calls = 0;
     std::size_t predict_calls = 0;
@@ -23,7 +33,8 @@ class RemoteModelService {
   };
 
   RemoteModelService(SimNet* net, NodeId self,
-                     std::unique_ptr<Estimator> model);
+                     std::unique_ptr<Estimator> model,
+                     RetryPolicy retry = {});
 
   NodeId node_id() const { return self_; }
 
@@ -35,7 +46,7 @@ class RemoteModelService {
   /// predictions in the other.
   std::vector<double> predict(NodeId caller, const Matrix& X);
 
-  const CallStats& stats() const { return stats_; }
+  CallStats stats() const;
 
   /// Wire size of a shipped matrix (doubles + shape framing).
   static std::size_t matrix_bytes(const Matrix& m) {
@@ -43,10 +54,21 @@ class RemoteModelService {
   }
 
  private:
+  /// Registry-backed instance counters; atomic, so concurrent callers need
+  /// no stats lock (the old plain-struct counters raced under tsan).
+  struct InstanceCounters {
+    obs::Counter* fit_calls = nullptr;
+    obs::Counter* predict_calls = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+  };
+
   SimNet* net_;
   NodeId self_;
   std::unique_ptr<Estimator> model_;
-  CallStats stats_;
+  RetryPolicy retry_;
+  std::mutex model_mutex_;  // one hosted model, many calling threads
+  InstanceCounters stats_;
 };
 
 /// Estimator adapter that forwards fit/predict to a RemoteModelService —

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/dist/retry.h"
+#include "src/obs/metrics.h"
+
 namespace coda::dist {
 
 ReplicatedStore::ReplicatedStore(SimNet* net, std::vector<NodeId> nodes)
@@ -36,24 +39,36 @@ void ReplicatedStore::put(const std::string& key, Bytes value) {
                              ? stores_[0]->value(key)
                              : Bytes{};
   stores_[0]->put(key, value);
+  static auto& failed_syncs = obs::counter("replication.failed_syncs");
   for (std::size_t i = 1; i < stores_.size(); ++i) {
     if (!healthy_[i]) continue;
     HomeDataStore& replica = *stores_[i];
     bool delta_shipped = false;
-    if (config_.delta_sync && !previous.empty() &&
-        replica.version(key) == stores_[0]->version(key) - 1) {
-      const Delta d = compute_delta(previous, value, config_.store.delta);
-      if (d.encoded_size() < value.size()) {
-        net_->transfer(nodes_[0], nodes_[i], d.encoded_size());
-        sync_stats_.bytes_shipped += d.encoded_size();
-        ++sync_stats_.delta_syncs;
-        delta_shipped = true;
+    try {
+      if (config_.delta_sync && !previous.empty() &&
+          replica.version(key) == stores_[0]->version(key) - 1) {
+        const Delta d = compute_delta(previous, value, config_.store.delta);
+        if (d.encoded_size() < value.size()) {
+          transfer_with_retry(*net_, nodes_[0], nodes_[i], d.encoded_size(),
+                              config_.store.retry, "replication.sync");
+          sync_stats_.bytes_shipped += d.encoded_size();
+          ++sync_stats_.delta_syncs;
+          delta_shipped = true;
+        }
       }
-    }
-    if (!delta_shipped) {
-      net_->transfer(nodes_[0], nodes_[i], value.size());
-      sync_stats_.bytes_shipped += value.size();
-      ++sync_stats_.full_syncs;
+      if (!delta_shipped) {
+        transfer_with_retry(*net_, nodes_[0], nodes_[i], value.size(),
+                            config_.store.retry, "replication.sync");
+        sync_stats_.bytes_shipped += value.size();
+        ++sync_stats_.full_syncs;
+      }
+    } catch (const NetworkError&) {
+      // The replica is unreachable past the retry budget: it keeps its old
+      // version (put() below is skipped) and catches up via the delta path
+      // on the next put() or an explicit resync().
+      ++sync_stats_.failed_syncs;
+      failed_syncs.inc();
+      continue;
     }
     replica.put(key, value);
   }
@@ -77,7 +92,8 @@ void ReplicatedStore::resync(std::size_t i) {
     if (stores_[source]->version(key) == 0) continue;
     const Bytes& value = stores_[source]->value(key);
     if (stores_[i]->version(key) == stores_[source]->version(key)) continue;
-    net_->transfer(nodes_[source], nodes_[i], value.size());
+    transfer_with_retry(*net_, nodes_[source], nodes_[i], value.size(),
+                        config_.store.retry, "replication.resync");
     sync_stats_.bytes_shipped += value.size();
     ++sync_stats_.full_syncs;
     // Bring the replica's version in line by replaying the value until the

@@ -27,6 +27,9 @@ class ReplicatedStore {
   struct SyncStats {
     std::size_t full_syncs = 0;
     std::size_t delta_syncs = 0;
+    /// Replica syncs abandoned after the retry budget (the replica keeps
+    /// its old version and catches up on the next put() or resync()).
+    std::size_t failed_syncs = 0;
     std::size_t bytes_shipped = 0;
   };
 

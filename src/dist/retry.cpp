@@ -1,0 +1,35 @@
+#include "src/dist/retry.h"
+
+#include "src/obs/metrics.h"
+
+namespace coda::dist {
+
+TransferResult transfer_with_retry(SimNet& net, NodeId from, NodeId to,
+                                   std::size_t bytes,
+                                   const RetryPolicy& policy,
+                                   const std::string& op) {
+  static auto& retry_attempts = obs::counter("retry.attempts");
+  static auto& retry_gave_up = obs::counter("retry.gave_up");
+  BackoffSchedule schedule(policy);
+  while (true) {
+    TransferResult result = net.transfer(from, to, bytes);
+    if (result.ok()) return result;
+    // The failed attempt itself costs simulated time (a drop burns the
+    // one-way latency before the loss is noticed).
+    if (result.seconds > 0.0) net.advance(result.seconds);
+    const auto wait = schedule.next();
+    if (!wait.has_value()) {
+      retry_gave_up.inc();
+      throw NetworkError("transfer_with_retry: '" + op + "' " +
+                         net.node_name(from) + " -> " + net.node_name(to) +
+                         " gave up after " +
+                         std::to_string(schedule.retries() + 1) +
+                         " attempts (last failure: " +
+                         failure_name(result.failure) + ")");
+    }
+    retry_attempts.inc();
+    net.advance(*wait);
+  }
+}
+
+}  // namespace coda::dist

@@ -1,0 +1,29 @@
+// Retrying transfer for the distributed tier: every client-side network
+// call (DARR ops, cache pulls, store pushes, remote model calls,
+// replication syncs) goes through transfer_with_retry(), which retries a
+// failed SimNet::transfer() under a shared RetryPolicy. Backoff waits are
+// charged to the SimNet *logical* clock — no wall-clock sleeping — which
+// is what lets transient partition and crash windows heal mid-operation
+// in chaos runs: each retry moves the clock forward and eventually walks
+// out of the window (DESIGN.md §9).
+#pragma once
+
+#include <string>
+
+#include "src/dist/sim_net.h"
+#include "src/util/retry.h"
+
+namespace coda::dist {
+
+/// Attempts net.transfer(from, to, bytes) until it succeeds or `policy`'s
+/// attempt/deadline budget runs out. Each failed attempt charges its cost
+/// plus the backoff wait to the logical clock. Returns the successful
+/// TransferResult; throws NetworkError (tagged with `op` and the last
+/// failure kind) on give-up. Increments `retry.attempts` per retry taken
+/// and `retry.gave_up` per exhausted budget.
+TransferResult transfer_with_retry(SimNet& net, NodeId from, NodeId to,
+                                   std::size_t bytes,
+                                   const RetryPolicy& policy,
+                                   const std::string& op);
+
+}  // namespace coda::dist

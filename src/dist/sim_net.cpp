@@ -12,7 +12,41 @@ std::string next_instance_prefix() {
          std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
 }
 
+// SplitMix64 finalizer — stateless and platform-stable, so a link's fault
+// stream is a pure function of (seed, salt, from, to, message index).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Distinct fault streams per link: drop / spike / collapse draws must be
+// independent of each other or a high drop probability would correlate
+// with spikes on the surviving messages.
+constexpr std::uint64_t kDropSalt = 0xD509;
+constexpr std::uint64_t kSpikeSalt = 0x591C3;
+constexpr std::uint64_t kCollapseSalt = 0xC0111A;
+
 }  // namespace
+
+std::string failure_name(TransferResult::Failure failure) {
+  switch (failure) {
+    case TransferResult::Failure::kNone:
+      return "none";
+    case TransferResult::Failure::kDropped:
+      return "dropped";
+    case TransferResult::Failure::kPartitioned:
+      return "partitioned";
+    case TransferResult::Failure::kNodeDown:
+      return "node_down";
+  }
+  return "unknown";
+}
 
 SimNet::SimNet(Config config) : config_(config) {
   require(config.latency_seconds >= 0.0 &&
@@ -22,6 +56,14 @@ SimNet::SimNet(Config config) : config_(config) {
   total_messages_ = &obs::counter(prefix + "messages");
   total_bytes_ = &obs::counter(prefix + "bytes");
   total_seconds_ = &obs::gauge(prefix + "simulated_seconds");
+  // Pre-register the fault/retry families so exported snapshots (and the
+  // golden metrics-key test) list them even for fault-free runs.
+  obs::counter("net.fault.dropped");
+  obs::counter("net.fault.partitioned");
+  obs::counter("net.fault.node_down");
+  obs::counter("net.fault.latency_spikes");
+  obs::counter("retry.attempts");
+  obs::counter("retry.gave_up");
 }
 
 NodeId SimNet::add_node(const std::string& name) {
@@ -40,20 +82,80 @@ const std::string& SimNet::node_name(NodeId id) const {
   return node_names_[id];
 }
 
-double SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
+TransferResult SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
   // Process-wide wire families, aggregated over every SimNet instance.
   static auto& messages_sent = obs::counter("simnet.messages");
   static auto& bytes_sent = obs::counter("simnet.bytes_sent");
   static auto& transfer_seconds =
       obs::histogram("simnet.transfer.seconds",
                      obs::Histogram::exponential_bounds(1e-3, 4.0, 10));
+  static auto& fault_dropped = obs::counter("net.fault.dropped");
+  static auto& fault_partitioned = obs::counter("net.fault.partitioned");
+  static auto& fault_node_down = obs::counter("net.fault.node_down");
+  static auto& fault_spikes = obs::counter("net.fault.latency_spikes");
   std::lock_guard<std::mutex> lock(mutex_);
   check_node(from);
   check_node(to);
   require(from != to, "SimNet: self-transfer");
-  const double seconds =
-      config_.latency_seconds +
-      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+
+  TransferResult result;
+  // Partition / crash checks come before the drop draw and do NOT consume
+  // a message index: a transfer attempted into a partition window leaves
+  // the link's stochastic fault stream exactly where it was, so the fault
+  // schedule past the window is independent of how often callers retried
+  // into it.
+  if (crashed_locked(from) || crashed_locked(to)) {
+    result.failure = TransferResult::Failure::kNodeDown;
+    fault_node_down.inc();
+    ++fault_stats_.node_down;
+    return result;
+  }
+  if (partitioned_locked(from, to)) {
+    result.failure = TransferResult::Failure::kPartitioned;
+    fault_partitioned.inc();
+    ++fault_stats_.partitioned;
+    return result;
+  }
+
+  double latency = config_.latency_seconds;
+  double bandwidth = config_.bandwidth_bytes_per_sec;
+  if (faults_enabled_) {
+    const std::size_t index = link_attempts_[{from, to}]++;
+    double drop_p = faults_.drop_probability;
+    auto it = link_drop_override_.find({from, to});
+    if (it != link_drop_override_.end()) drop_p = it->second;
+    if (drop_p > 0.0 &&
+        fault_draw_locked(kDropSalt, from, to, index) < drop_p) {
+      // The message left the sender and died in flight: charge the one-way
+      // latency, count the attempt on the link, but no payload bytes land.
+      result.failure = TransferResult::Failure::kDropped;
+      result.seconds = latency;
+      auto& stats = links_[{from, to}];
+      ++stats.messages;
+      stats.simulated_seconds += latency;
+      total_messages_->inc();
+      total_seconds_->add(latency);
+      messages_sent.inc();
+      fault_dropped.inc();
+      ++fault_stats_.dropped;
+      return result;
+    }
+    if (faults_.latency_spike_probability > 0.0 &&
+        fault_draw_locked(kSpikeSalt, from, to, index) <
+            faults_.latency_spike_probability) {
+      latency += faults_.latency_spike_seconds;
+      fault_spikes.inc();
+      ++fault_stats_.latency_spikes;
+    }
+    if (faults_.bandwidth_collapse_probability > 0.0 &&
+        fault_draw_locked(kCollapseSalt, from, to, index) <
+            faults_.bandwidth_collapse_probability) {
+      bandwidth *= faults_.bandwidth_collapse_factor;
+    }
+  }
+
+  const double seconds = latency + static_cast<double>(bytes) / bandwidth;
+  result.seconds = seconds;
   auto& stats = links_[{from, to}];
   ++stats.messages;
   stats.bytes += bytes;
@@ -64,7 +166,72 @@ double SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
   messages_sent.inc();
   bytes_sent.inc(bytes);
   transfer_seconds.observe(seconds);
-  return seconds;
+  return result;
+}
+
+void SimNet::set_faults(FaultConfig faults) {
+  require(faults.drop_probability >= 0.0 && faults.drop_probability < 1.0,
+          "SimNet: drop probability must lie in [0, 1)");
+  require(faults.latency_spike_probability >= 0.0 &&
+              faults.latency_spike_probability <= 1.0,
+          "SimNet: spike probability must lie in [0, 1]");
+  require(faults.latency_spike_seconds >= 0.0,
+          "SimNet: spike latency must be non-negative");
+  require(faults.bandwidth_collapse_probability >= 0.0 &&
+              faults.bandwidth_collapse_probability <= 1.0,
+          "SimNet: collapse probability must lie in [0, 1]");
+  require(faults.bandwidth_collapse_factor > 0.0 &&
+              faults.bandwidth_collapse_factor <= 1.0,
+          "SimNet: collapse factor must lie in (0, 1]");
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_ = faults;
+  faults_enabled_ = true;
+}
+
+void SimNet::set_link_drop_probability(NodeId from, NodeId to,
+                                       double probability) {
+  require(probability >= 0.0 && probability < 1.0,
+          "SimNet: drop probability must lie in [0, 1)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(from);
+  check_node(to);
+  link_drop_override_[{from, to}] = probability;
+  faults_enabled_ = true;
+}
+
+void SimNet::partition(NodeId from, NodeId to, double from_time,
+                       double until_time) {
+  require(until_time > from_time, "SimNet: empty partition window");
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(from);
+  check_node(to);
+  partitions_.push_back(Window{from, to, from_time, until_time});
+}
+
+void SimNet::heal_partitions() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitions_.clear();
+}
+
+void SimNet::crash_node(NodeId id, double from_time, double until_time) {
+  require(until_time > from_time, "SimNet: empty crash window");
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(id);
+  crashes_.push_back(Window{id, id, from_time, until_time});
+}
+
+void SimNet::restart_node(NodeId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(id);
+  for (auto it = crashes_.begin(); it != crashes_.end();) {
+    it = it->from == id ? crashes_.erase(it) : it + 1;
+  }
+}
+
+bool SimNet::node_up(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_node(id);
+  return !crashed_locked(id);
 }
 
 double SimNet::now() const {
@@ -94,12 +261,43 @@ LinkStats SimNet::total() const {
   return total;
 }
 
+SimNet::FaultStats SimNet::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_stats_;
+}
+
 void SimNet::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   links_.clear();
+  fault_stats_ = FaultStats{};
   total_messages_->reset();
   total_bytes_->reset();
   total_seconds_->reset();
+}
+
+bool SimNet::partitioned_locked(NodeId from, NodeId to) const {
+  for (const auto& w : partitions_) {
+    if (w.from == from && w.to == to && clock_ >= w.start && clock_ < w.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimNet::crashed_locked(NodeId id) const {
+  for (const auto& w : crashes_) {
+    if (w.from == id && clock_ >= w.start && clock_ < w.end) return true;
+  }
+  return false;
+}
+
+double SimNet::fault_draw_locked(std::uint64_t salt, NodeId from, NodeId to,
+                                 std::size_t index) const {
+  std::uint64_t h = mix64(faults_.seed ^ salt);
+  h = mix64(h ^ (static_cast<std::uint64_t>(from) + 1));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(to) + 1) << 20));
+  h = mix64(h ^ static_cast<std::uint64_t>(index));
+  return unit(h);
 }
 
 }  // namespace coda::dist

@@ -54,6 +54,11 @@ bool UpdateMonitor::on_update(const std::string& key, const Bytes* old_value,
                               const Bytes& new_value, std::uint64_t version,
                               std::size_t update_bytes) {
   KeyState& state = keys_[key];
+  if (version != 0 && version <= state.last_version) {
+    ++replays_dropped_;
+    return false;
+  }
+  if (version > state.last_version) state.last_version = version;
   ++state.updates;
   state.bytes += update_bytes;
   ++total_updates_;
@@ -70,7 +75,10 @@ bool UpdateMonitor::on_update(const std::string& key, const Bytes* old_value,
   if (!policy_->should_recompute(event)) return false;
   recompute_(key);
   ++total_recomputes_;
-  state = KeyState{};
+  // Reset the accumulation counters but keep the version high-water mark:
+  // a recompute must not re-open the replay window.
+  state.updates = 0;
+  state.bytes = 0;
   return true;
 }
 

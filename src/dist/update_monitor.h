@@ -92,9 +92,16 @@ class UpdateMonitor {
                 RecomputeFn recompute);
 
   /// Feeds one update; returns true when recomputation was triggered.
+  /// Replays are dropped: an update whose version is at or below the last
+  /// one seen for `key` (a push retransmitted after its lease expired, or
+  /// racing a pull that already advanced the replica) must not inflate the
+  /// accumulation counters and trigger a spurious recompute.
   bool on_update(const std::string& key, const Bytes* old_value,
                  const Bytes& new_value, std::uint64_t version,
                  std::size_t update_bytes);
+
+  /// Updates dropped by the version-replay guard.
+  std::size_t replays_dropped() const { return replays_dropped_; }
 
   /// Updates accumulated since the last recompute of `key` (its current
   /// staleness in update counts).
@@ -109,6 +116,7 @@ class UpdateMonitor {
   struct KeyState {
     std::size_t updates = 0;
     std::size_t bytes = 0;
+    std::uint64_t last_version = 0;
   };
 
   std::unique_ptr<RecomputePolicy> policy_;
@@ -116,6 +124,7 @@ class UpdateMonitor {
   std::map<std::string, KeyState> keys_;
   std::size_t total_updates_ = 0;
   std::size_t total_recomputes_ = 0;
+  std::size_t replays_dropped_ = 0;
 };
 
 }  // namespace coda::dist

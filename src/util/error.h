@@ -40,6 +40,15 @@ class DecodeError : public Error {
   explicit DecodeError(const std::string& what) : Error(what) {}
 };
 
+/// A network operation failed after exhausting its retry budget (the peer
+/// is partitioned, crashed, or the link dropped every attempt). Callers
+/// either propagate it (the operation's effect is unknown) or degrade to a
+/// local fallback — see DESIGN.md §9 for the degradation matrix.
+class NetworkError : public Error {
+ public:
+  explicit NetworkError(const std::string& what) : Error(what) {}
+};
+
 /// Throws InvalidArgument with `message` unless `condition` holds.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgument(message);

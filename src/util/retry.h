@@ -1,0 +1,64 @@
+// Shared retry policy for every client of the distributed tier (DarrClient,
+// ClientCache pulls, HomeDataStore pushes, RemoteModelService calls,
+// ReplicatedStore sync): capped exponential backoff with deterministic
+// jitter and a per-operation deadline. Backoff waits are expressed in
+// *simulated* seconds — callers charge them to the SimNet logical clock
+// (never a wall-clock sleep), so chaos runs are fast and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/error.h"
+
+namespace coda {
+
+/// Retry tuning. The jitter draw for attempt k depends only on (seed, k),
+/// so two policies with identical fields produce identical backoff
+/// sequences — a property the chaos tests rely on for reproducibility.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  std::size_t max_attempts = 6;
+  double initial_backoff_seconds = 0.05;
+  /// Geometric growth factor between consecutive backoffs.
+  double multiplier = 2.0;
+  /// Ceiling applied after jitter; the backoff sequence is monotone
+  /// non-decreasing and never exceeds this.
+  double max_backoff_seconds = 1.0;
+  /// Jitter stretches each backoff by a factor in [1, 1 + jitter_fraction].
+  /// Must be <= multiplier - 1 so the sequence stays monotone.
+  double jitter_fraction = 0.1;
+  /// Budget for the *sum* of backoff waits of one operation (simulated
+  /// seconds); a retry that would overshoot it is not taken.
+  double deadline_seconds = 8.0;
+  std::uint64_t seed = 42;
+
+  /// Throws InvalidArgument on out-of-range fields.
+  void validate() const;
+
+  /// The (jittered, capped) backoff before retry `retry_index` (0-based).
+  double backoff_seconds(std::size_t retry_index) const;
+};
+
+/// Iterator over one operation's backoff waits. next() yields the wait
+/// before the following attempt, or nullopt when the attempt or deadline
+/// budget is exhausted — at which point the caller gives up (and typically
+/// throws NetworkError or degrades).
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryPolicy& policy);
+
+  std::optional<double> next();
+
+  /// Retries handed out so far (not counting the initial attempt).
+  std::size_t retries() const { return retry_; }
+  /// Total backoff handed out so far, in simulated seconds.
+  double waited_seconds() const { return waited_; }
+
+ private:
+  RetryPolicy policy_;
+  std::size_t retry_ = 0;
+  double waited_ = 0.0;
+};
+
+}  // namespace coda

@@ -95,7 +95,11 @@ class ByteReader {
 
   std::vector<double> read_doubles() {
     const std::uint64_t n = read_u64();
-    check(n * sizeof(double));
+    // Guard the multiplication: an adversarial n would overflow n * 8 and
+    // slip past check() into a huge allocation / out-of-bounds copy.
+    if (n > remaining() / sizeof(double)) {
+      throw DecodeError("ByteReader: truncated buffer");
+    }
     std::vector<double> v(static_cast<std::size_t>(n));
     std::memcpy(v.data(), buffer_.data() + pos_,
                 static_cast<std::size_t>(n) * sizeof(double));
@@ -105,6 +109,7 @@ class ByteReader {
 
   bool exhausted() const { return pos_ == buffer_.size(); }
   std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return buffer_.size() - pos_; }
 
  private:
   template <typename T>
@@ -117,7 +122,9 @@ class ByteReader {
   }
 
   void check(std::uint64_t need) const {
-    if (pos_ + need > buffer_.size()) {
+    // Compare against the remaining span (pos_ + need could overflow for a
+    // corrupted length prefix near UINT64_MAX).
+    if (need > buffer_.size() - pos_) {
       throw DecodeError("ByteReader: truncated buffer");
     }
   }

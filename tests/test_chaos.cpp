@@ -1,0 +1,447 @@
+// Deterministic chaos suite (ctest label `chaos`): cooperative Fig-3 and
+// Fig-11 graph searches driven through seeded fault schedules. Each test
+// wraps its assertions in SCOPED_TRACE(schedule.describe()), so a failure
+// under `ctest -L chaos` prints the exact fault schedule to replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/data/synthetic.h"
+#include "src/dist/client_cache.h"
+#include "src/dist/home_store.h"
+#include "src/dist/remote_service.h"
+#include "src/dist/replication.h"
+#include "src/dist/retry.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/scalers.h"
+#include "src/obs/metrics.h"
+#include "src/ts/forecasters.h"
+#include "tests/chaos_harness.h"
+
+namespace coda {
+namespace {
+
+using chaos::ChaosRun;
+using chaos::ChaosSchedule;
+
+// ---------------------------------------------------------------------------
+// Fig-3 workload: the 9-candidate tabular graph from the cooperative tests.
+
+Dataset tabular_dataset() {
+  RegressionConfig cfg;
+  cfg.n_samples = 150;
+  cfg.n_features = 5;
+  cfg.n_informative = 4;
+  return make_regression(cfg);
+}
+
+TEGraph tabular_graph() {
+  TEGraph g;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  g.add_feature_scalers(std::move(scalers));
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LinearRegression>());
+  models.push_back(std::make_unique<DecisionTreeRegressor>());
+  models.push_back(std::make_unique<KnnRegressor>());
+  g.add_regression_models(std::move(models));
+  return g;  // 9 candidates
+}
+
+ChaosRun run_tabular(const Dataset& data, std::size_t n_clients,
+                     const ChaosSchedule& schedule) {
+  return chaos::run_chaos_search(tabular_graph(), data, KFold(3),
+                                 Metric::kRmse, n_clients, schedule);
+}
+
+// ---------------------------------------------------------------------------
+// Fig-11 workload: a small forecast graph over the cheap statistical
+// models (2 scalers x {TS-as-is -> Zero, CascadedWindows -> AR} = 4 paths).
+
+TimeSeries forecast_series() {
+  IndustrialSeriesConfig cfg;
+  cfg.n_variables = 2;
+  cfg.length = 200;
+  return make_industrial_series(cfg);
+}
+
+ts::ForecastGraph forecast_graph() {
+  ts::ForecastSpec spec;
+  spec.history = 8;
+  ts::ForecastGraph g(spec);
+  g.add_scaler(std::make_unique<StandardScaler>());
+  g.add_scaler(std::make_unique<NoOp>());
+  g.add_windower(std::make_unique<ts::TsAsIs>(), "stat");
+  g.add_windower(std::make_unique<ts::CascadedWindows>(), "temporal");
+  g.add_model(std::make_unique<ts::ZeroModel>(), "stat");
+  g.add_model(std::make_unique<ts::ArModel>(), "temporal");
+  return g;  // 4 candidates
+}
+
+ChaosRun run_forecast(const TimeSeries& series, std::size_t n_clients,
+                      const ChaosSchedule& schedule) {
+  return chaos::run_chaos_forecast_search(
+      forecast_graph(), series, TimeSeriesSlidingSplit(2, 100, 30, 5),
+      Metric::kRmse, n_clients, schedule);
+}
+
+// Per-candidate scores keyed by spec, for comparing a chaos run against
+// the fault-free baseline (candidate completion order varies per client).
+std::map<std::string, double> scores_by_spec(const EvaluationReport& r) {
+  std::map<std::string, double> out;
+  for (const auto& c : r.results) out[c.spec] = c.mean_score;
+  return out;
+}
+
+// Invariant (a): the run completed everywhere and agrees bit-for-bit with
+// the fault-free baseline — same candidates, same scores, same winner.
+void expect_matches_baseline(const ChaosRun& run,
+                             const EvaluationReport& baseline) {
+  const auto expected = scores_by_spec(baseline);
+  for (const auto& report : run.reports) {
+    ASSERT_EQ(report.results.size(), baseline.results.size());
+    for (const auto& c : report.results) {
+      EXPECT_FALSE(c.failed) << c.spec << ": " << c.failure_message;
+      const auto it = expected.find(c.spec);
+      ASSERT_NE(it, expected.end()) << "unknown candidate " << c.spec;
+      EXPECT_DOUBLE_EQ(c.mean_score, it->second) << c.spec;
+    }
+    EXPECT_EQ(report.best().spec, baseline.best().spec);
+    EXPECT_DOUBLE_EQ(report.best().mean_score, baseline.best().mean_score);
+  }
+}
+
+// Invariant (b) for transient schedules: claims still partition the
+// candidate space exactly — no client recomputed another's work.
+void expect_zero_redundancy(const ChaosRun& run) {
+  EXPECT_EQ(run.total_local_evaluations, run.total_candidates);
+  EXPECT_EQ(run.redundant_evaluations, 0u);
+  EXPECT_EQ(run.repository_counters.stores, run.total_candidates);
+  EXPECT_EQ(run.repository_counters.claims_expired, 0u);
+  for (const auto& report : run.reports) {
+    EXPECT_EQ(report.evaluated_locally + report.served_from_cache,
+              run.total_candidates);
+  }
+}
+
+// The seeded schedules of the acceptance sweep: heavy drops, spikes, a
+// transient repo partition, and a transient client crash — each within
+// what the chaos retry budget (~8.5s of logical backoff) can absorb.
+std::vector<ChaosSchedule> transient_schedules() {
+  std::vector<ChaosSchedule> schedules;
+  for (std::uint64_t seed : {101, 202, 303}) {
+    ChaosSchedule s;
+    s.seed = seed;
+    s.drop_probability = 0.3;
+    s.latency_spike_probability = 0.2;
+    schedules.push_back(s);
+  }
+  {
+    ChaosSchedule s;
+    s.seed = 404;
+    s.drop_probability = 0.1;
+    s.partitioned_client = 1;
+    s.partition_start = 0.0;
+    s.partition_end = 1.0;
+    schedules.push_back(s);
+  }
+  {
+    ChaosSchedule s;
+    s.seed = 505;
+    s.drop_probability = 0.1;
+    s.crashed_client = 2;
+    s.crash_start = 0.0;
+    s.crash_end = 1.2;
+    schedules.push_back(s);
+  }
+  return schedules;
+}
+
+TEST(Chaos, Fig3SearchSurvivesSeededSchedules) {
+  const Dataset data = tabular_dataset();
+  const ChaosRun baseline = run_tabular(data, 3, ChaosSchedule{});
+  ASSERT_EQ(baseline.fault_stats.dropped, 0u);
+  expect_zero_redundancy(baseline);
+
+  for (const auto& schedule : transient_schedules()) {
+    SCOPED_TRACE(schedule.describe());
+    const ChaosRun run = run_tabular(data, 3, schedule);
+    if (schedule.drop_probability > 0.0) {
+      EXPECT_GT(run.fault_stats.dropped, 0u);  // faults actually fired
+    }
+    expect_matches_baseline(run, baseline.reports[0]);
+    expect_zero_redundancy(run);
+  }
+}
+
+TEST(Chaos, Fig11ForecastSearchSurvivesSeededSchedules) {
+  const TimeSeries series = forecast_series();
+  const ChaosRun baseline = run_forecast(series, 3, ChaosSchedule{});
+  ASSERT_EQ(baseline.total_candidates, 4u);
+  expect_zero_redundancy(baseline);
+
+  for (const auto& schedule : transient_schedules()) {
+    SCOPED_TRACE(schedule.describe());
+    const ChaosRun run = run_forecast(series, 3, schedule);
+    expect_matches_baseline(run, baseline.reports[0]);
+    expect_zero_redundancy(run);
+  }
+}
+
+TEST(Chaos, SameScheduleReplaysIdenticalFaultDecisions) {
+  // The per-link fault stream is a pure function of (seed, link, message
+  // index): replaying one client's message sequence against two fabrics
+  // built from the same schedule yields identical outcomes.
+  ChaosSchedule schedule;
+  schedule.seed = 909;
+  schedule.drop_probability = 0.3;
+  SCOPED_TRACE(schedule.describe());
+  auto outcomes = [&](chaos::ChaosFabric& fabric) {
+    std::vector<bool> out;
+    for (int i = 0; i < 100; ++i) {
+      out.push_back(
+          fabric.net.transfer(fabric.client_nodes[0], fabric.repo_node, 64)
+              .ok());
+    }
+    return out;
+  };
+  chaos::ChaosFabric first(2, schedule);
+  chaos::ChaosFabric second(2, schedule);
+  EXPECT_EQ(outcomes(first), outcomes(second));
+}
+
+TEST(Chaos, PermanentPartitionDegradesToLocalEvaluation) {
+  // Client 0 can never reach the repository: after one give-up it must
+  // switch to pure local evaluation (sticky degradation), still finish
+  // with correct results, and leave the other clients cooperating.
+  ChaosSchedule schedule;
+  schedule.seed = 606;
+  schedule.partitioned_client = 0;
+  schedule.partition_start = 0.0;
+  schedule.partition_end = 1e9;  // never heals
+  SCOPED_TRACE(schedule.describe());
+
+  const auto degraded_before = obs::counter("eval.darr_degraded").value();
+  const auto gave_up_before = obs::counter("retry.gave_up").value();
+
+  const Dataset data = tabular_dataset();
+  const ChaosRun baseline = run_tabular(data, 1, ChaosSchedule{});
+  const ChaosRun run = run_tabular(data, 3, schedule);
+
+  EXPECT_GT(obs::counter("retry.gave_up").value(), gave_up_before);
+  EXPECT_GT(obs::counter("eval.darr_degraded").value(), degraded_before);
+
+  // Everyone still produced the full, correct report.
+  expect_matches_baseline(run, baseline.reports[0]);
+
+  // The degraded client computed everything itself; the connected pair
+  // split the space cooperatively. Work is duplicated exactly once.
+  EXPECT_EQ(run.reports[0].evaluated_locally, run.total_candidates);
+  EXPECT_EQ(run.reports[0].served_from_cache, 0u);
+  EXPECT_EQ(run.redundant_evaluations, run.total_candidates);
+  EXPECT_EQ(run.repository_counters.stores, run.total_candidates);
+  EXPECT_GT(run.fault_stats.partitioned, 0u);
+}
+
+TEST(Chaos, CrashedClientsClaimsAreReclaimableByPeers) {
+  chaos::ChaosFabric fabric(2, ChaosSchedule{});
+  auto& crashed = *fabric.clients[0];
+  auto& peer = *fabric.clients[1];
+
+  ASSERT_TRUE(crashed.try_claim("fig3/candidate"));
+  ASSERT_EQ(crashed.held_claims(),
+            std::vector<std::string>{"fig3/candidate"});
+  // While the claim is live, the peer is told to work on something else.
+  EXPECT_FALSE(peer.try_claim("fig3/candidate"));
+
+  // Crash-restart: the restarted client releases every orphaned claim
+  // instead of pinning the candidate until the repository TTL fires.
+  crashed.abandon_all();
+  EXPECT_TRUE(crashed.held_claims().empty());
+  EXPECT_TRUE(peer.try_claim("fig3/candidate"));
+  EXPECT_EQ(fabric.repository.counters().claims_expired, 0u);
+}
+
+TEST(Chaos, AbandonAllSurvivesAnUnreachableRepository) {
+  chaos::ChaosFabric fabric(2, ChaosSchedule{});
+  auto& client = *fabric.clients[0];
+  ASSERT_TRUE(client.try_claim("k"));
+
+  // Node down forever: the release RPC exhausts its budget. The claim
+  // must stay tracked so a later abandon_all() (post-restart) retries it.
+  fabric.net.crash_node(fabric.client_nodes[0], fabric.net.now(), 1e9);
+  client.abandon_all();
+  EXPECT_EQ(client.held_claims(), std::vector<std::string>{"k"});
+
+  fabric.net.restart_node(fabric.client_nodes[0]);
+  client.abandon_all();
+  EXPECT_TRUE(client.held_claims().empty());
+  EXPECT_TRUE(fabric.clients[1]->try_claim("k"));
+}
+
+TEST(Chaos, RemoteServiceStatsAreRaceFree) {
+  // Satellite: concurrent fit/predict through RemoteEstimators must not
+  // race on the service's call accounting (run under the tsan label).
+  dist::SimNet net;
+  const dist::NodeId svc_node = net.add_node("svc");
+  dist::RemoteModelService service(&net, svc_node,
+                                   std::make_unique<LinearRegression>());
+  RegressionConfig cfg;
+  cfg.n_samples = 60;
+  cfg.n_features = 3;
+  cfg.n_informative = 3;
+  const Dataset data = make_regression(cfg);
+
+  constexpr int kCallers = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&, i] {
+      const dist::NodeId me =
+          net.add_node("caller" + std::to_string(i));
+      dist::RemoteEstimator estimator(&service, me);
+      estimator.fit(data.X, data.y);
+      const auto predictions = estimator.predict(data.X);
+      EXPECT_EQ(predictions.size(), data.X.rows());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.fit_calls, static_cast<std::size_t>(kCallers));
+  EXPECT_EQ(stats.predict_calls, static_cast<std::size_t>(kCallers));
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-file satellite: the fault/retry metric names are a contract.
+
+// Deterministically fires each event-registered fault metric so its name
+// appears in the registry regardless of which tests ran before.
+void exercise_fault_metrics() {
+  RetryPolicy tiny;
+  tiny.max_attempts = 2;
+  tiny.initial_backoff_seconds = 0.01;
+  tiny.deadline_seconds = 1.0;
+
+  {  // retry.gave_up + eval.darr_degraded + net.fault.partitioned
+    ChaosSchedule schedule;
+    schedule.seed = 7;
+    schedule.partitioned_client = 0;
+    schedule.partition_start = 0.0;
+    schedule.partition_end = 1e9;
+    run_tabular(tabular_dataset(), 1, schedule);
+  }
+  {  // net.fault.dropped + retry.attempts
+    dist::SimNet net;
+    const auto a = net.add_node("a");
+    const auto b = net.add_node("b");
+    dist::SimNet::FaultConfig faults;
+    faults.drop_probability = 0.5;
+    net.set_faults(faults);
+    for (int i = 0; i < 32; ++i) {
+      try {
+        dist::transfer_with_retry(net, a, b, 8, tiny, "golden");
+      } catch (const NetworkError&) {
+      }
+    }
+  }
+  {  // darr.client.claims_abandoned
+    chaos::ChaosFabric fabric(1, ChaosSchedule{});
+    ASSERT_TRUE(fabric.clients[0]->try_claim("golden"));
+    fabric.clients[0]->abandon_all();
+  }
+  {  // homestore.push.lost: store -> subscriber link is dead forever
+    dist::SimNet net;
+    const auto store_node = net.add_node("store");
+    const auto client_node = net.add_node("client");
+    dist::HomeDataStore::Config cfg;
+    cfg.retry = tiny;
+    dist::HomeDataStore store(&net, store_node, cfg);
+    store.set_push_handler([](dist::NodeId, const dist::PushMessage&) {});
+    store.subscribe("k", client_node, 1e9, dist::PushMode::kFullValue);
+    net.partition(store_node, client_node, net.now(), 1e9);
+    store.put("k", Bytes{1, 2, 3});
+  }
+  {  // clientcache.push.stale: replay of an already-applied version
+    dist::SimNet net;
+    const auto store_node = net.add_node("store");
+    const auto client_node = net.add_node("client");
+    dist::HomeDataStore store(&net, store_node);
+    dist::ClientCache cache(&net, client_node, &store);
+    store.put("k", Bytes{1});
+    cache.get("k");
+    dist::PushMessage stale;
+    stale.key = "k";
+    stale.version = cache.version("k");  // at the held version: a replay
+    stale.mode = dist::PushMode::kFullValue;
+    stale.full_value = Bytes{9};
+    cache.on_push(stale);
+  }
+  {  // replication.failed_syncs: primary -> replica link is dead
+    dist::SimNet net;
+    const auto primary = net.add_node("primary");
+    const auto replica = net.add_node("replica");
+    dist::ReplicatedStore::Config cfg;
+    cfg.store.retry = tiny;
+    dist::ReplicatedStore group(&net, {primary, replica}, cfg);
+    net.partition(primary, replica, net.now(), 1e9);
+    group.put("k", Bytes{1, 2, 3});
+  }
+}
+
+TEST(Chaos, FaultMetricNamesMatchGoldenFile) {
+  exercise_fault_metrics();
+
+  const std::string path =
+      std::string(CODA_GOLDEN_DIR) + "/metrics_keys.txt";
+  std::ifstream golden(path);
+  ASSERT_TRUE(golden.is_open()) << "missing golden file: " << path;
+  std::set<std::string> expected;
+  std::string line;
+  while (std::getline(golden, line)) {
+    if (!line.empty() && line[0] != '#') expected.insert(line);
+  }
+  ASSERT_FALSE(expected.empty());
+
+  std::set<std::string> registered;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::instance().counter_values()) {
+    (void)value;
+    registered.insert(name);
+  }
+
+  // Every contracted name must exist...
+  for (const auto& name : expected) {
+    EXPECT_TRUE(registered.count(name))
+        << "golden metric not registered: " << name;
+  }
+  // ...and the fixed fault/retry families must not grow or get renamed
+  // without the golden file (and README) being updated. Instance-scoped
+  // (`#`) and per-op (`eval.darr_degraded.<op>`) names are excluded:
+  // their membership depends on how many instances/ops a run touches.
+  const std::vector<std::string> families = {"net.fault.", "retry."};
+  for (const auto& name : registered) {
+    if (name.find('#') != std::string::npos) continue;
+    for (const auto& family : families) {
+      if (name.rfind(family, 0) == 0) {
+        EXPECT_TRUE(expected.count(name))
+            << "metric missing from golden file: " << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coda

@@ -153,6 +153,81 @@ TEST_F(CacheFixture, LeaseExpiryStopsUpdates) {
   EXPECT_EQ(cache.version("o1"), 3u);
 }
 
+TEST_F(CacheFixture, ReplayedDeltaPushIsDroppedNotDoubleApplied) {
+  // A push lease expires while its message is "in flight": the client
+  // pulls, then the retransmitted push for the version it already holds
+  // arrives. Applying that delta again would corrupt the replica (or
+  // throw); the stale guard must drop it instead.
+  wire_push();
+  cache.subscribe("o1", 100.0, PushMode::kDelta);
+  Bytes v1 = pattern(4096, 1);
+  store.put("o1", v1);  // full push (no base yet)
+  Bytes v2 = v1;
+  v2[7] ^= 0x55;
+  store.put("o1", v2);  // delta push applied, client at version 2
+  ASSERT_EQ(cache.version("o1"), 2u);
+
+  PushMessage retransmit;
+  retransmit.key = "o1";
+  retransmit.version = 2;  // at the held version: a replay
+  retransmit.mode = PushMode::kDelta;
+  retransmit.delta = compute_delta(v1, v2);
+  cache.on_push(retransmit);
+
+  EXPECT_EQ(cache.stats().stale_pushes, 1u);
+  EXPECT_EQ(cache.version("o1"), 2u);
+  EXPECT_EQ(cache.cached("o1"), v2);  // untouched, not double-applied
+}
+
+TEST_F(CacheFixture, DelayedPushCannotRollTheReplicaBack) {
+  // Lease expiry racing the logical clock: the client's lease lapses
+  // mid-advance, it falls back to pull (now at the newest version), and
+  // only then does a delayed old push arrive. The old value must lose.
+  wire_push();
+  cache.subscribe("o1", 1.0, PushMode::kFullValue);
+  store.put("o1", pattern(64, 1));  // pushed, version 1
+  net.advance(5.0);                 // lease expires mid-run
+  store.put("o1", pattern(64, 2));  // not pushed (no live lease)
+  EXPECT_EQ(cache.get("o1"), pattern(64, 2));  // pull fallback
+  ASSERT_EQ(cache.version("o1"), 2u);
+
+  PushMessage delayed;
+  delayed.key = "o1";
+  delayed.version = 1;  // older than what the pull installed
+  delayed.mode = PushMode::kFullValue;
+  delayed.full_value = pattern(64, 1);
+  cache.on_push(delayed);
+
+  EXPECT_EQ(cache.stats().stale_pushes, 1u);
+  EXPECT_EQ(cache.version("o1"), 2u);
+  EXPECT_EQ(cache.cached("o1"), pattern(64, 2));
+
+  // A genuinely new push still applies after the dropped replay.
+  cache.subscribe("o1", 10.0, PushMode::kFullValue);
+  store.put("o1", pattern(64, 3));
+  EXPECT_EQ(cache.version("o1"), 3u);
+  EXPECT_EQ(cache.cached("o1"), pattern(64, 3));
+}
+
+TEST_F(CacheFixture, StaleNotificationsNeverLowerTheRatchet) {
+  wire_push();
+  store.put("o1", pattern(64, 1));
+  cache.get("o1");
+  cache.subscribe("o1", 100.0, PushMode::kNotifyOnly);
+  store.put("o1", pattern(64, 2));
+  store.put("o1", pattern(64, 3));
+  EXPECT_EQ(cache.notified_version("o1"), 3u);
+
+  PushMessage delayed;
+  delayed.key = "o1";
+  delayed.version = 2;  // notification arriving out of order
+  delayed.mode = PushMode::kNotifyOnly;
+  cache.on_push(delayed);
+  EXPECT_EQ(cache.notified_version("o1"), 3u);  // ratchet holds
+  // Notify-only replays are harmless, so they are not counted stale.
+  EXPECT_EQ(cache.stats().stale_pushes, 0u);
+}
+
 TEST(ClientCache, ClientAndStoreMustDiffer) {
   SimNet net;
   const NodeId s = net.add_node("s");

@@ -1,16 +1,19 @@
 // Property-style invariants across modules: graph combinatorics, metric
-// algebra, delta-codec behaviour on adversarially structured data, and
-// scaler idempotence.
+// algebra, delta-codec behaviour on adversarially structured data, retry
+// backoff schedules, delta decode robustness, and scaler idempotence.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "src/core/metrics.h"
 #include "src/core/te_graph.h"
 #include "src/dist/delta.h"
 #include "src/ml/linear.h"
 #include "src/ml/scalers.h"
+#include "src/util/error.h"
 #include "src/util/random.h"
+#include "src/util/retry.h"
 
 namespace coda {
 namespace {
@@ -170,6 +173,224 @@ TEST(DeltaProperties, ConcatenationOfBaseWithItself) {
   EXPECT_EQ(apply_delta(base, d), target);
   // Doubling should cost ~two COPY ops, not literals.
   EXPECT_LT(d.encoded_size(), base.size() / 2);
+}
+
+// --- Retry backoff schedules (fault tier, DESIGN.md §9) ----------------------
+
+// Seeded generator for the sweeps: failures must reproduce from the fixed
+// seeds, never from run-to-run randomness.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+RetryPolicy policy_for_seed(std::uint64_t seed) {
+  RetryPolicy p;
+  p.seed = seed;
+  p.max_attempts = 2 + mix64(seed) % 12;
+  p.initial_backoff_seconds = 0.01 + 0.01 * (mix64(seed ^ 1) % 10);
+  p.multiplier = 1.5 + 0.25 * (mix64(seed ^ 2) % 6);
+  p.max_backoff_seconds = p.initial_backoff_seconds * 20.0;
+  p.jitter_fraction = 0.1;  // within the monotonicity bound (multiplier-1)
+  p.deadline_seconds = 5.0;
+  return p;
+}
+
+TEST(RetryPolicyProperties, BackoffIsMonotoneAndCapped) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const RetryPolicy p = policy_for_seed(seed);
+    ASSERT_NO_THROW(p.validate()) << "seed " << seed;
+    double previous = 0.0;
+    for (std::size_t k = 0; k + 1 < p.max_attempts; ++k) {
+      const double wait = p.backoff_seconds(k);
+      EXPECT_GE(wait, previous) << "seed " << seed << " retry " << k;
+      EXPECT_GE(wait, p.initial_backoff_seconds)
+          << "seed " << seed << " retry " << k;
+      EXPECT_LE(wait, p.max_backoff_seconds)
+          << "seed " << seed << " retry " << k;
+      previous = wait;
+    }
+  }
+}
+
+TEST(RetryPolicyProperties, ScheduleRespectsAttemptAndDeadlineBudgets) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    RetryPolicy p = policy_for_seed(seed);
+    // Vary the deadline too, so some seeds are attempt-bound and others
+    // deadline-bound.
+    p.deadline_seconds =
+        0.01 + 0.05 * static_cast<double>(mix64(seed ^ 3) % 40);
+    BackoffSchedule schedule(p);
+    double total = 0.0;
+    std::size_t retries = 0;
+    while (auto wait = schedule.next()) {
+      total += *wait;
+      ++retries;
+      ASSERT_LT(retries, 1000u) << "runaway schedule, seed " << seed;
+    }
+    EXPECT_LE(retries + 1, p.max_attempts) << "seed " << seed;
+    EXPECT_LE(total, p.deadline_seconds) << "seed " << seed;
+    EXPECT_EQ(schedule.retries(), retries);
+    EXPECT_DOUBLE_EQ(schedule.waited_seconds(), total);
+  }
+}
+
+TEST(RetryPolicyProperties, IdenticalSeedsYieldIdenticalSequences) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const RetryPolicy p = policy_for_seed(seed);
+    BackoffSchedule a(p);
+    BackoffSchedule b(p);
+    while (true) {
+      const auto wa = a.next();
+      const auto wb = b.next();
+      ASSERT_EQ(wa.has_value(), wb.has_value()) << "seed " << seed;
+      if (!wa) break;
+      EXPECT_DOUBLE_EQ(*wa, *wb) << "seed " << seed;
+    }
+  }
+  // And a different seed must perturb the jittered waits.
+  RetryPolicy p;
+  p.seed = 1;
+  const double first = p.backoff_seconds(0);
+  p.seed = 2;
+  EXPECT_NE(first, p.backoff_seconds(0));
+}
+
+TEST(RetryPolicyProperties, ValidateRejectsOutOfRangeFields) {
+  const RetryPolicy good;
+  ASSERT_NO_THROW(good.validate());
+  auto reject = [&](auto mutate) {
+    RetryPolicy p;
+    mutate(p);
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  };
+  reject([](RetryPolicy& p) { p.max_attempts = 0; });
+  reject([](RetryPolicy& p) { p.initial_backoff_seconds = -0.1; });
+  reject([](RetryPolicy& p) { p.multiplier = 0.5; });
+  reject([](RetryPolicy& p) { p.max_backoff_seconds = 0.0; });
+  reject([](RetryPolicy& p) { p.jitter_fraction = -0.1; });
+  // Jitter beyond multiplier - 1 would break monotonicity.
+  reject([](RetryPolicy& p) {
+    p.multiplier = 1.5;
+    p.jitter_fraction = 0.75;
+  });
+  reject([](RetryPolicy& p) { p.deadline_seconds = 0.0; });
+}
+
+// --- Delta decode/apply under hostile payloads -------------------------------
+
+Bytes seeded_bytes(std::uint64_t seed, std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(mix64(seed + i));
+  }
+  return out;
+}
+
+TEST(DeltaProperties, RoundTripsAcrossSeededEdits) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Bytes base = seeded_bytes(seed, 256 + mix64(seed) % 512);
+    Bytes target = base;
+    // Mutate, insert and truncate to exercise COPY + ADD mixes.
+    target[target.size() / 2] ^= 0xFF;
+    target.insert(target.begin() + static_cast<std::ptrdiff_t>(
+                                       mix64(seed ^ 9) % target.size()),
+                  {1, 2, 3});
+    target.resize(target.size() - mix64(seed ^ 7) % 32);
+    const dist::Delta delta = compute_delta(base, target);
+    EXPECT_EQ(apply_delta(base, delta), target) << "seed " << seed;
+    const dist::Delta decoded = dist::Delta::deserialize(delta.serialize());
+    EXPECT_EQ(apply_delta(base, decoded), target) << "seed " << seed;
+  }
+}
+
+TEST(DeltaProperties, TruncatedPayloadsNeverDecodeSilently) {
+  const Bytes base = seeded_bytes(21, 512);
+  Bytes target = base;
+  target[10] ^= 0x55;
+  target.push_back(7);
+  const Bytes wire = compute_delta(base, target).serialize();
+
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const Bytes truncated(wire.begin(),
+                          wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      const dist::Delta d = dist::Delta::deserialize(truncated);
+      // If a prefix happens to parse, applying it must still either
+      // reconstruct exactly target_size bytes or throw — never crash.
+      try {
+        const Bytes out = apply_delta(base, d);
+        EXPECT_EQ(out.size(), d.target_size) << "cut " << cut;
+      } catch (const DecodeError&) {
+      }
+    } catch (const DecodeError&) {
+      // The expected outcome for nearly every cut.
+    }
+  }
+}
+
+TEST(DeltaProperties, CorruptedPayloadsNeverDecodeSilently) {
+  const Bytes base = seeded_bytes(22, 512);
+  Bytes target = base;
+  target[100] ^= 0x7;
+  const Bytes wire = compute_delta(base, target).serialize();
+
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Bytes corrupted = wire;
+    const std::size_t flips = 1 + mix64(seed) % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = mix64(seed ^ (f + 1)) % corrupted.size();
+      corrupted[at] ^= static_cast<std::uint8_t>(mix64(seed ^ (f + 77)));
+    }
+    try {
+      const dist::Delta d = dist::Delta::deserialize(corrupted);
+      const Bytes out = apply_delta(base, d);
+      // A flip that survives decode+apply must still honour the size
+      // contract; values may differ (deltas are not authenticated).
+      EXPECT_EQ(out.size(), d.target_size) << "seed " << seed;
+    } catch (const DecodeError&) {
+      // Loud failure: the desired behaviour.
+    }
+  }
+}
+
+TEST(DeltaProperties, CopyBeyondBaseIsRejected) {
+  const Bytes base = seeded_bytes(3, 16);
+  dist::Delta hostile;
+  hostile.target_size = 8;
+  dist::DeltaOp op;
+  op.kind = dist::DeltaOp::Kind::kCopy;
+  op.offset = 4;
+  op.length = 100;  // runs past the base
+  hostile.ops.push_back(op);
+  EXPECT_THROW(apply_delta(base, hostile), DecodeError);
+
+  // Offset arithmetic must not wrap: offset + length overflows uint64.
+  hostile.ops[0].offset = ~std::uint64_t{0} - 2;
+  hostile.ops[0].length = 8;
+  EXPECT_THROW(apply_delta(base, hostile), DecodeError);
+}
+
+TEST(DeltaProperties, HugeDeclaredSizesDoNotPreallocate) {
+  // A hostile header declaring a huge target_size or op count must not
+  // trigger an unbounded up-front allocation.
+  const Bytes base = seeded_bytes(4, 16);
+  dist::Delta hostile;
+  hostile.target_size = ~std::uint64_t{0};
+  dist::DeltaOp op;
+  op.kind = dist::DeltaOp::Kind::kAdd;
+  op.literal = {1, 2, 3};
+  hostile.ops.push_back(op);
+  // Reconstruction yields 3 bytes; the declared-size lie is a DecodeError,
+  // not an allocation attempt.
+  EXPECT_THROW(apply_delta(base, hostile), DecodeError);
+
+  // A payload that is all ones decodes a huge op count against an almost
+  // empty remainder — rejected before ops.reserve().
+  const Bytes bogus(4 * sizeof(std::uint64_t), 0xFF);
+  EXPECT_THROW(dist::Delta::deserialize(bogus), DecodeError);
 }
 
 // --- Scaler idempotence -------------------------------------------------------

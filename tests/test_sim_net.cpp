@@ -1,6 +1,9 @@
 // Tests for the simulated network fabric.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/dist/sim_net.h"
 
 namespace coda::dist {
@@ -39,7 +42,9 @@ TEST(SimNet, TransferTimeModel) {
   SimNet net(cfg);
   const NodeId a = net.add_node("a");
   const NodeId b = net.add_node("b");
-  EXPECT_DOUBLE_EQ(net.transfer(a, b, 500), 0.01 + 0.5);
+  const auto result = net.transfer(a, b, 500);
+  EXPECT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.seconds, 0.01 + 0.5);
 }
 
 TEST(SimNet, SelfTransferRejected) {
@@ -79,6 +84,131 @@ TEST(SimNet, BadConfigRejected) {
   SimNet::Config cfg;
   cfg.bandwidth_bytes_per_sec = 0.0;
   EXPECT_THROW(SimNet{cfg}, InvalidArgument);
+}
+
+TEST(SimNetFaults, DropsAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimNet net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    SimNet::FaultConfig faults;
+    faults.seed = seed;
+    faults.drop_probability = 0.3;
+    net.set_faults(faults);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(net.transfer(a, b, 100).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimNetFaults, DropRateTracksProbability) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  SimNet::FaultConfig faults;
+  faults.drop_probability = 0.25;
+  net.set_faults(faults);
+  std::size_t dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = net.transfer(a, b, 100);
+    if (!r.ok()) {
+      EXPECT_EQ(r.failure, TransferResult::Failure::kDropped);
+      // A drop burns the one-way latency but lands no payload bytes.
+      EXPECT_GT(r.seconds, 0.0);
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(net.fault_stats().dropped, dropped);
+  EXPECT_NEAR(static_cast<double>(dropped) / 2000.0, 0.25, 0.05);
+  EXPECT_EQ(net.link(a, b).messages, 2000u);
+  EXPECT_EQ(net.link(a, b).bytes, (2000u - dropped) * 100u);
+}
+
+TEST(SimNetFaults, PartitionWindowIsDirectedAndHeals) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.partition(a, b, 1.0, 2.0);
+  EXPECT_TRUE(net.transfer(a, b, 10).ok());  // before the window
+  net.advance(1.5);
+  const auto blocked = net.transfer(a, b, 10);
+  EXPECT_EQ(blocked.failure, TransferResult::Failure::kPartitioned);
+  EXPECT_DOUBLE_EQ(blocked.seconds, 0.0);
+  EXPECT_TRUE(net.transfer(b, a, 10).ok());  // reverse direction unaffected
+  net.advance(1.0);
+  EXPECT_TRUE(net.transfer(a, b, 10).ok());  // window over
+  net.partition(a, b, 0.0, 100.0);
+  EXPECT_FALSE(net.transfer(a, b, 10).ok());
+  net.heal_partitions();
+  EXPECT_TRUE(net.transfer(a, b, 10).ok());
+  EXPECT_EQ(net.fault_stats().partitioned, 2u);
+}
+
+TEST(SimNetFaults, CrashedNodeFailsBothDirections) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  net.crash_node(b, 0.0, 5.0);
+  EXPECT_FALSE(net.node_up(b));
+  EXPECT_EQ(net.transfer(a, b, 10).failure,
+            TransferResult::Failure::kNodeDown);
+  EXPECT_EQ(net.transfer(b, a, 10).failure,
+            TransferResult::Failure::kNodeDown);
+  EXPECT_TRUE(net.transfer(a, c, 10).ok());  // bystanders unaffected
+  net.restart_node(b);
+  EXPECT_TRUE(net.node_up(b));
+  EXPECT_TRUE(net.transfer(a, b, 10).ok());
+  EXPECT_EQ(net.fault_stats().node_down, 2u);
+}
+
+TEST(SimNetFaults, LatencySpikeAndBandwidthCollapseStretchTransfers) {
+  SimNet::Config cfg;
+  cfg.latency_seconds = 0.01;
+  cfg.bandwidth_bytes_per_sec = 1000.0;
+  SimNet net(cfg);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  SimNet::FaultConfig faults;
+  faults.latency_spike_probability = 1.0;
+  faults.latency_spike_seconds = 0.5;
+  faults.bandwidth_collapse_probability = 1.0;
+  faults.bandwidth_collapse_factor = 0.1;
+  net.set_faults(faults);
+  const auto r = net.transfer(a, b, 100);
+  ASSERT_TRUE(r.ok());
+  // latency + spike + bytes at collapsed bandwidth.
+  EXPECT_DOUBLE_EQ(r.seconds, 0.01 + 0.5 + 100.0 / 100.0);
+  EXPECT_EQ(net.fault_stats().latency_spikes, 1u);
+}
+
+TEST(SimNetFaults, BadFaultConfigRejected) {
+  SimNet net;
+  SimNet::FaultConfig faults;
+  faults.drop_probability = 1.0;  // would retry forever
+  EXPECT_THROW(net.set_faults(faults), InvalidArgument);
+  faults = SimNet::FaultConfig{};
+  faults.bandwidth_collapse_factor = 0.0;
+  EXPECT_THROW(net.set_faults(faults), InvalidArgument);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  EXPECT_THROW(net.partition(a, b, 2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(net.crash_node(a, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(SimNetFaults, ResetStatsClearsFaultCounters) {
+  SimNet net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.crash_node(b, 0.0, 1.0);
+  net.transfer(a, b, 10);
+  EXPECT_EQ(net.fault_stats().node_down, 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.fault_stats().node_down, 0u);
 }
 
 }  // namespace

@@ -83,6 +83,56 @@ TEST(UpdateMonitor, OnUpdateReturnsTriggerFlag) {
   EXPECT_TRUE(monitor.on_update("o", nullptr, blob(1), 2, 1));
 }
 
+TEST(UpdateMonitor, ReplayedVersionsDoNotInflateAccumulation) {
+  // A push retransmitted after its lease expired (or racing a pull that
+  // already advanced the replica) reaches the monitor with a version at
+  // or below the last one seen. It must not count towards the threshold,
+  // or replays would trigger spurious recomputations.
+  std::size_t recomputes = 0;
+  UpdateMonitor monitor(std::make_unique<CountThresholdPolicy>(3),
+                        [&](const std::string&) { ++recomputes; });
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(8), 1, 8));
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(8), 2, 8));
+  // Replays of both versions: dropped without touching the counters.
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(8), 2, 8));
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(8), 1, 8));
+  EXPECT_EQ(monitor.replays_dropped(), 2u);
+  EXPECT_EQ(monitor.pending_updates("o"), 2u);
+  EXPECT_EQ(monitor.pending_bytes("o"), 16u);
+  EXPECT_EQ(monitor.total_updates(), 2u);
+  EXPECT_EQ(recomputes, 0u);
+  // The genuinely new version is the one that fires the policy.
+  EXPECT_TRUE(monitor.on_update("o", nullptr, blob(8), 3, 8));
+  EXPECT_EQ(recomputes, 1u);
+  // The version high-water mark survives the recompute reset: replaying
+  // v3 after the recompute is still a replay.
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(8), 3, 8));
+  EXPECT_EQ(monitor.replays_dropped(), 3u);
+  EXPECT_EQ(monitor.pending_updates("o"), 0u);
+}
+
+TEST(UpdateMonitor, ReplayGuardIsPerKey) {
+  UpdateMonitor monitor(std::make_unique<CountThresholdPolicy>(100),
+                        [](const std::string&) {});
+  monitor.on_update("a", nullptr, blob(1), 5, 1);
+  // Version 5 was seen on "a" only; "b" starts its own sequence.
+  EXPECT_FALSE(monitor.on_update("b", nullptr, blob(1), 5, 1));
+  EXPECT_EQ(monitor.replays_dropped(), 0u);
+  EXPECT_EQ(monitor.pending_updates("b"), 1u);
+}
+
+TEST(UpdateMonitor, VersionZeroBypassesTheReplayGuard) {
+  // Legacy callers that do not track versions pass 0 for every update;
+  // the guard must not eat their stream.
+  std::size_t recomputes = 0;
+  UpdateMonitor monitor(std::make_unique<CountThresholdPolicy>(2),
+                        [&](const std::string&) { ++recomputes; });
+  EXPECT_FALSE(monitor.on_update("o", nullptr, blob(1), 0, 1));
+  EXPECT_TRUE(monitor.on_update("o", nullptr, blob(1), 0, 1));
+  EXPECT_EQ(recomputes, 1u);
+  EXPECT_EQ(monitor.replays_dropped(), 0u);
+}
+
 TEST(Policies, Names) {
   EXPECT_EQ(CountThresholdPolicy(5).name(), "count(threshold=5)");
   EXPECT_EQ(SizeThresholdPolicy(1024).name(), "size(threshold=1024B)");

@@ -166,10 +166,10 @@ BENCHMARK(BM_DeltaSerialize);
 }  // namespace
 
 int main(int argc, char** argv) {
-  coda::bench::strip_metrics_flag(&argc, argv);
+  coda::bench::strip_obs_flags(&argc, argv);
   print_delta_artifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  coda::bench::dump_metrics_if_requested();
+  coda::bench::dump_obs_if_requested();
   return 0;
 }

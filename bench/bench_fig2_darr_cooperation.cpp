@@ -140,10 +140,10 @@ BENCHMARK(BM_DarrClaim);
 }  // namespace
 
 int main(int argc, char** argv) {
-  coda::bench::strip_metrics_flag(&argc, argv);
+  coda::bench::strip_obs_flags(&argc, argv);
   print_fig2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  coda::bench::dump_metrics_if_requested();
+  coda::bench::dump_obs_if_requested();
   return 0;
 }

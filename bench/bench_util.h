@@ -51,10 +51,42 @@ inline std::string& metrics_dump_path() {
   return path;
 }
 
-/// Consumes `--metrics-json[=path]` from argv before google-benchmark's own
-/// flag parsing (which rejects unknown flags). With no path, the JSON
-/// snapshot goes to stdout after the benchmarks run.
-inline void strip_metrics_flag(int* argc, char** argv) {
+inline bool& trace_dump_requested() {
+  static bool requested = false;
+  return requested;
+}
+
+inline std::string& trace_dump_path() {
+  static std::string path;
+  return path;
+}
+
+namespace detail {
+
+inline void write_or_print(const std::string& payload,
+                           const std::string& path, const char* what) {
+  if (path.empty()) {
+    std::printf("%s\n", payload.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s to '%s'\n", what,
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", payload.c_str());
+  std::fclose(f);
+}
+
+}  // namespace detail
+
+/// Consumes `--metrics-json[=path]` and `--trace-json[=path]` from argv
+/// before google-benchmark's own flag parsing (which rejects unknown
+/// flags). With no path, the respective JSON goes to stdout after the
+/// benchmarks run: --metrics-json emits the metrics snapshot,
+/// --trace-json the Chrome trace-event export of the span ring.
+inline void strip_obs_flags(int* argc, char** argv) {
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
@@ -63,6 +95,11 @@ inline void strip_metrics_flag(int* argc, char** argv) {
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_dump_requested() = true;
       metrics_dump_path() = arg.substr(std::string("--metrics-json=").size());
+    } else if (arg == "--trace-json") {
+      trace_dump_requested() = true;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_dump_requested() = true;
+      trace_dump_path() = arg.substr(std::string("--trace-json=").size());
     } else {
       argv[kept++] = argv[i];
     }
@@ -70,22 +107,16 @@ inline void strip_metrics_flag(int* argc, char** argv) {
   *argc = kept;
 }
 
-/// Emits the process metrics snapshot if `--metrics-json` was passed.
-inline void dump_metrics_if_requested() {
-  if (!metrics_dump_requested()) return;
-  const std::string json = coda::obs::snapshot_json();
-  const std::string& path = metrics_dump_path();
-  if (path.empty()) {
-    std::printf("%s\n", json.c_str());
-    return;
+/// Emits whatever `--metrics-json` / `--trace-json` requested.
+inline void dump_obs_if_requested() {
+  if (metrics_dump_requested()) {
+    detail::write_or_print(coda::obs::snapshot_json(), metrics_dump_path(),
+                           "metrics");
   }
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot write metrics to '%s'\n", path.c_str());
-    return;
+  if (trace_dump_requested()) {
+    detail::write_or_print(coda::obs::export_chrome_trace(),
+                           trace_dump_path(), "trace");
   }
-  std::fprintf(f, "%s\n", json.c_str());
-  std::fclose(f);
 }
 
 }  // namespace coda::bench

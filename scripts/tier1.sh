@@ -10,6 +10,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== tier 1: Chrome trace export + span-tree invariants =="
+scripts/trace_check.sh build
+
 echo "== tier 1: chaos suite under ThreadSanitizer (ctest -L chaos) =="
 cmake -B build-tsan -S . -DCODA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_chaos

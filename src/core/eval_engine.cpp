@@ -36,11 +36,13 @@ std::shared_ptr<const void> PrefixCache::lookup(const std::string& key) {
   if (it == entries_.end()) {
     ++misses_;
     miss.inc();
+    obs::prefix_event(/*hit=*/false);  // charged to the ambient candidate
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front (MRU)
   ++hits_;
   hit.inc();
+  obs::prefix_event(/*hit=*/true);
   return it->second.value;
 }
 
@@ -101,9 +103,17 @@ CooperativeFetch::CooperativeFetch(ResultCache* cache) : cache_(cache) {}
 
 void CooperativeFetch::degrade(const char* op) {
   static auto& darr_degraded = obs::counter("eval.darr_degraded");
-  degraded_.store(true, std::memory_order_release);
+  const bool first = !degraded_.exchange(true, std::memory_order_acq_rel);
   darr_degraded.inc();
   obs::counter(std::string("eval.darr_degraded.") + op).inc();
+  obs::event(obs::Severity::kError, "eval.darr_degraded", {{"op", op}});
+  if (first) {
+    // Sticky local-only degradation is the most consequential silent state
+    // change in the system — offer the flight-recorder tail when asked.
+    obs::flight_dump_if_env(
+        std::string("CooperativeFetch degraded to local-only (op: ") + op +
+        ")");
+  }
 }
 
 std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
@@ -199,6 +209,10 @@ EvalEngine::EvalEngine(EvalOptions options) : options_(std::move(options)) {
   obs::counter("eval.prefix_cache.evicted");
   obs::counter("eval.claim.requeued");
   obs::counter("eval.darr_degraded");
+  obs::counter("eval.candidate.folds");
+  obs::counter("eval.candidate.cached");
+  obs::counter("obs.trace.recorded");
+  obs::counter("obs.trace.dropped");
   obs::gauge("eval.prefix_cache.bytes");
   obs::histogram("evaluator.candidate.seconds");
   obs::histogram("evaluator.claim.wait_seconds");
@@ -209,7 +223,12 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
                                  std::size_t n_folds) const {
   require(!candidates.empty(), "EvalEngine: no candidates");
   require(n_folds > 0, "EvalEngine: need at least one fold");
-  const obs::ScopedSpan span("evaluator.evaluate");
+  obs::ScopedSpan span("evaluator.evaluate");
+  // Captured for pool/wheel tasks: thread-local parenting does not cross a
+  // submit(), so every task re-installs the root context (and the node
+  // attribution of the simulated client driving this run) via ContextScope.
+  const obs::TraceContext root_ctx = span.context();
+  const std::string root_node = obs::Tracer::current_node();
   Stopwatch total_timer;
 
   auto& candidate_local = obs::counter("evaluator.candidate.local");
@@ -236,6 +255,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
     out.from_cache = true;
     out.eval_seconds = eval_seconds;
     candidate_cached.inc();
+    obs::CandidateCosts::instance().record_cached(candidates[i].spec);
   };
 
   // Initial sweep: one batched lookup answers every already-shared
@@ -322,7 +342,10 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         next_queue.pop_front();
         --tokens;
         slots[i]->holds_token = true;
-        pool.submit([&attempt, i] { attempt(i); });
+        pool.submit([&attempt, i, root_ctx, root_node] {
+          obs::ContextScope trace_scope(root_ctx, root_node);
+          attempt(i);
+        });
       }
     };
 
@@ -385,11 +408,20 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
       // A sibling fold already failed the candidate: skip the work, just
       // balance the countdown.
       if (!s.failed.load(std::memory_order_acquire)) {
+        obs::ScopedSpan fold_span("evaluator.fold");
+        fold_span.tag("path", candidates[i].spec);
+        fold_span.tag("fold", std::to_string(fold));
+        // Ambient attribution: PrefixCache hits/misses inside score_fold
+        // are charged to this candidate's cost row.
+        obs::CandidateScope cost_scope(candidates[i].spec);
         try {
           Stopwatch fold_timer;
           const double sc = candidates[i].score_fold(fold, prefixes);
           s.fold_scores[fold] = sc;
-          fold_seconds.observe(fold_timer.elapsed_seconds());
+          const double elapsed = fold_timer.elapsed_seconds();
+          fold_seconds.observe(elapsed);
+          obs::CandidateCosts::instance().record_fold(candidates[i].spec,
+                                                      elapsed);
         } catch (const std::exception& e) {
           bool expected = false;
           if (s.failed.compare_exchange_strong(expected, true,
@@ -416,9 +448,14 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         }
         retry = s.deferred;
       }
+      // One span per scheduling attempt, parented under the run's root via
+      // the ContextScope the submitting task installed. Cooperative calls
+      // and fold tasks all descend from it.
+      obs::ScopedSpan attempt_span("evaluator.candidate");
+      attempt_span.tag("path", candidates[i].spec);
+      if (retry) attempt_span.tag("retry", "1");
       const std::string& key = candidates[i].key;
       if (coop.cooperative()) {
-        const obs::ScopedSpan attempt_span("evaluator.candidate");
         if (retry) {
           // A peer held the claim when we last looked; its result may have
           // landed since.
@@ -467,8 +504,11 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
             claim_requeued.inc();
             wheel.schedule(
                 std::chrono::milliseconds(options_.claim_poll_ms),
-                [&pool, &attempt, i] {
-                  pool.submit([&attempt, i] { attempt(i); });
+                [&pool, &attempt, i, root_ctx, root_node] {
+                  pool.submit([&attempt, i, root_ctx, root_node] {
+                    obs::ContextScope trace_scope(root_ctx, root_node);
+                    attempt(i);
+                  });
                 });
             return;
           }
@@ -488,11 +528,17 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         if (s.claim_wait > 0.0) claim_wait_hist.observe(s.claim_wait);
       }
       // Fan out: one task per fold, so a slow candidate's folds spread over
-      // the workers instead of serializing at the tail of the run.
+      // the workers instead of serializing at the tail of the run. Fold
+      // tasks parent under this attempt's span (which may close first —
+      // parent links are ids, not lifetimes).
+      const obs::TraceContext fold_ctx = attempt_span.context();
       s.fold_scores.assign(n_folds, 0.0);
       s.folds_left.store(n_folds, std::memory_order_release);
       for (std::size_t fold = 0; fold < n_folds; ++fold) {
-        pool.submit([&run_fold, i, fold] { run_fold(i, fold); });
+        pool.submit([&run_fold, i, fold, fold_ctx, root_node] {
+          obs::ContextScope trace_scope(fold_ctx, root_node);
+          run_fold(i, fold);
+        });
       }
     };
 

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "src/dist/retry.h"
+#include "src/obs/trace.h"
 
 namespace coda::darr {
 
@@ -44,10 +45,17 @@ DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
 std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
+  obs::ScopedSpan op_span("darr.client.lookup");
   const std::size_t request = key_request_size(key);
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
                             "darr.lookup");
-  auto record = repository_->lookup(key);
+  std::optional<DarrRecord> record;
+  {
+    // Repository work is simulated inline but belongs to the repo node.
+    obs::ScopedSpan repo_span("darr.repo.lookup", op_span.context());
+    repo_span.set_node(net_->node_name(repo_node_));
+    record = repository_->lookup(key);
+  }
   std::size_t response = 16;  // "not found"
   std::optional<CachedResult> out;
   if (record) {
@@ -75,6 +83,8 @@ std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
   if (keys.empty()) return {};
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
+  obs::ScopedSpan op_span("darr.client.lookup_many");
+  op_span.tag("keys", std::to_string(keys.size()));
   std::size_t request = 0;
   for (const auto& key : keys) request += key_request_size(key);
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
@@ -83,20 +93,24 @@ std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
   out.reserve(keys.size());
   std::size_t response = 0;
   std::size_t found = 0;
-  for (const auto& key : keys) {
-    auto record = repository_->lookup(key);
-    if (record) {
-      response += record->wire_size();
-      ++found;
-      CachedResult result;
-      result.mean_score = record->mean_score;
-      result.stddev = record->stddev;
-      result.fold_scores = record->fold_scores;
-      result.explanation = record->explanation;
-      out.push_back(std::move(result));
-    } else {
-      response += 16;  // per-key "not found"
-      out.push_back(std::nullopt);
+  {
+    obs::ScopedSpan repo_span("darr.repo.lookup_many", op_span.context());
+    repo_span.set_node(net_->node_name(repo_node_));
+    for (const auto& key : keys) {
+      auto record = repository_->lookup(key);
+      if (record) {
+        response += record->wire_size();
+        ++found;
+        CachedResult result;
+        result.mean_score = record->mean_score;
+        result.stddev = record->stddev;
+        result.fold_scores = record->fold_scores;
+        result.explanation = record->explanation;
+        out.push_back(std::move(result));
+      } else {
+        response += 16;  // per-key "not found"
+        out.push_back(std::nullopt);
+      }
     }
   }
   dist::transfer_with_retry(*net_, repo_node_, self_, response, retry_,
@@ -113,10 +127,17 @@ std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
 bool DarrClient::try_claim(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
+  obs::ScopedSpan op_span("darr.client.try_claim");
   const std::size_t request = key_request_size(key) + name_.size();
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
                             "darr.try_claim");
-  const bool granted = repository_->try_claim(key, name_);
+  bool granted = false;
+  {
+    obs::ScopedSpan repo_span("darr.repo.try_claim", op_span.context());
+    repo_span.set_node(net_->node_name(repo_node_));
+    granted = repository_->try_claim(key, name_);
+    repo_span.tag("granted", granted ? "1" : "0");
+  }
   if (granted) {
     // Track the grant before the response transfer: if the response is
     // lost past the retry budget the repository still holds the claim in
@@ -148,10 +169,15 @@ void DarrClient::store(const std::string& key, const CachedResult& result) {
   record.fold_scores = result.fold_scores;
   record.explanation = result.explanation;
   record.producer = name_;
+  obs::ScopedSpan op_span("darr.client.store");
   const std::size_t request = record.wire_size();
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
                             "darr.store");
-  repository_->store(std::move(record), net_->now());
+  {
+    obs::ScopedSpan repo_span("darr.repo.store", op_span.context());
+    repo_span.set_node(net_->node_name(repo_node_));
+    repository_->store(std::move(record), net_->now());
+  }
   {
     // Storing a record releases the claim repository-side.
     std::lock_guard<std::mutex> lock(held_mutex_);
@@ -169,10 +195,15 @@ void DarrClient::store(const std::string& key, const CachedResult& result) {
 void DarrClient::abandon(const std::string& key) {
   static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
   static auto& bytes_received = obs::counter("darr.client.bytes_received");
+  obs::ScopedSpan op_span("darr.client.abandon");
   const std::size_t request = key_request_size(key) + name_.size();
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
                             "darr.abandon");
-  repository_->abandon(key, name_);
+  {
+    obs::ScopedSpan repo_span("darr.repo.abandon", op_span.context());
+    repo_span.set_node(net_->node_name(repo_node_));
+    repository_->abandon(key, name_);
+  }
   {
     std::lock_guard<std::mutex> lock(held_mutex_);
     held_claims_.erase(key);

@@ -3,6 +3,7 @@
 #include <memory>
 #include <thread>
 
+#include "src/obs/trace.h"
 #include "src/util/stopwatch.h"
 
 namespace coda::darr {
@@ -37,6 +38,9 @@ CooperativeReport run_cooperative_search(const TEGraph& graph,
   threads.reserve(n_clients);
   for (std::size_t i = 0; i < n_clients; ++i) {
     threads.emplace_back([&, i] {
+      // Spans from this thread (the evaluation root and everything under
+      // it) belong to this simulated client's node.
+      const obs::NodeScope node_scope(clients[i]->client_name());
       Stopwatch client_timer;
       EvalOptions config;
       config.metric = metric;

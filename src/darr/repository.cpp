@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/obs/event_log.h"
 #include "src/util/error.h"
 
 namespace coda::darr {
@@ -83,6 +84,10 @@ bool DarrRepository::try_claim(const std::string& key,
     // Owner presumed dead: steal the claim.
     counters_.claims_expired->inc();
     global_counters().claims_expired.inc();
+    obs::event(obs::Severity::kWarn, "darr.claim.expired",
+               {{"key", key},
+                {"stale_owner", it->second.client},
+                {"stolen_by", client}});
   }
   claims_[key] = Claim{
       client, now + std::chrono::milliseconds(config_.claim_ttl_ms)};

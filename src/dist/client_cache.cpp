@@ -18,6 +18,8 @@ const Bytes& ClientCache::get(const std::string& key) {
   Entry& entry = entries_[key];
   ++stats_.pulls;
   pulls.inc();
+  obs::ScopedSpan span("clientcache.pull");
+  span.tag("key", key);
   auto result = home_->fetch(key, self_, entry.version);
   stats_.bytes_received += result.response_bytes;
   bytes_received.inc(result.response_bytes);
@@ -91,6 +93,10 @@ void ClientCache::on_push(const PushMessage& message) {
       message.version <= entry.version) {
     ++stats_.stale_pushes;
     stale_pushes.inc();
+    obs::event(obs::Severity::kWarn, "clientcache.push.stale",
+               {{"key", message.key},
+                {"pushed_version", std::to_string(message.version)},
+                {"have_version", std::to_string(entry.version)}});
     return;
   }
   switch (message.mode) {

@@ -82,9 +82,19 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
   static auto& delta_bytes = obs::histogram(
       "homestore.delta.bytes", obs::Histogram::default_byte_bounds());
   if (state.leases.empty()) return;
+  obs::ScopedSpan span("homestore.push_update");
+  span.set_node(net_->node_name(self_));
+  span.tag("key", key);
   const double now = net_->now();
   for (auto& lease : state.leases) {
-    if (lease.expires_at <= now) continue;  // expired: no push
+    if (lease.expires_at <= now) {  // expired: no push
+      obs::event(obs::Severity::kWarn, "homestore.lease.expired",
+                 {{"key", key},
+                  {"client", net_->node_name(lease.client)},
+                  {"expired_at", std::to_string(lease.expires_at)},
+                  {"clock", std::to_string(now)}});
+      continue;
+    }
     PushMessage msg;
     msg.key = key;
     msg.version = state.version;
@@ -133,6 +143,10 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
       // ships a delta from the base this subscriber actually holds (or the
       // subscriber pulls when its monitor notices the staleness).
       push_lost.inc();
+      obs::event(obs::Severity::kWarn, "homestore.push.lost",
+                 {{"key", key},
+                  {"client", net_->node_name(lease.client)},
+                  {"mode", push_mode_name(msg.mode)}});
       continue;
     }
     switch (msg.mode) {
@@ -167,6 +181,9 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
   static auto& delta_bytes = obs::histogram(
       "homestore.delta.bytes", obs::Histogram::default_byte_bounds());
   const ObjectState& state = state_of(key);
+  obs::ScopedSpan span("homestore.fetch");
+  span.set_node(net_->node_name(self_));
+  span.tag("key", key);
   FetchResult result;
   result.version = state.version;
   result.request_bytes = request_size(key);

@@ -36,7 +36,8 @@ void RemoteModelService::fit(NodeId caller, const Matrix& X,
   static auto& fit_calls = obs::counter("remote.fit.calls");
   static auto& bytes_in = obs::counter("remote.bytes_in");
   static auto& bytes_out = obs::counter("remote.bytes_out");
-  const obs::ScopedSpan span("remote.fit");
+  obs::ScopedSpan span("remote.fit");
+  span.set_node(net_->node_name(self_));
   const std::size_t request =
       matrix_bytes(X) + y.size() * sizeof(double) + 16;
   transfer_with_retry(*net_, caller, self_, request, retry_, "remote.fit");
@@ -58,7 +59,8 @@ std::vector<double> RemoteModelService::predict(NodeId caller,
   static auto& predict_calls = obs::counter("remote.predict.calls");
   static auto& bytes_in = obs::counter("remote.bytes_in");
   static auto& bytes_out = obs::counter("remote.bytes_out");
-  const obs::ScopedSpan span("remote.predict");
+  obs::ScopedSpan span("remote.predict");
+  span.set_node(net_->node_name(self_));
   const std::size_t request = matrix_bytes(X);
   transfer_with_retry(*net_, caller, self_, request, retry_,
                       "remote.predict");

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/dist/retry.h"
+#include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace coda::dist {
 
@@ -40,6 +42,9 @@ void ReplicatedStore::put(const std::string& key, Bytes value) {
                              : Bytes{};
   stores_[0]->put(key, value);
   static auto& failed_syncs = obs::counter("replication.failed_syncs");
+  obs::ScopedSpan span("replication.put");
+  span.set_node(net_->node_name(nodes_[0]));
+  span.tag("key", key);
   for (std::size_t i = 1; i < stores_.size(); ++i) {
     if (!healthy_[i]) continue;
     HomeDataStore& replica = *stores_[i];
@@ -68,6 +73,8 @@ void ReplicatedStore::put(const std::string& key, Bytes value) {
       // on the next put() or an explicit resync().
       ++sync_stats_.failed_syncs;
       failed_syncs.inc();
+      obs::event(obs::Severity::kError, "replication.sync.failed",
+                 {{"key", key}, {"replica", net_->node_name(nodes_[i])}});
       continue;
     }
     replica.put(key, value);

@@ -1,6 +1,8 @@
 #include "src/dist/retry.h"
 
+#include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace coda::dist {
 
@@ -10,9 +12,12 @@ TransferResult transfer_with_retry(SimNet& net, NodeId from, NodeId to,
                                    const std::string& op) {
   static auto& retry_attempts = obs::counter("retry.attempts");
   static auto& retry_gave_up = obs::counter("retry.gave_up");
+  // Each attempt's network span parents under the caller's ambient span,
+  // so retries across a healed partition stay in one causal tree.
+  const MessageHeader header{obs::Tracer::current_context(), op};
   BackoffSchedule schedule(policy);
   while (true) {
-    TransferResult result = net.transfer(from, to, bytes);
+    TransferResult result = net.transfer(from, to, bytes, header);
     if (result.ok()) return result;
     // The failed attempt itself costs simulated time (a drop burns the
     // one-way latency before the loss is noticed).
@@ -20,6 +25,12 @@ TransferResult transfer_with_retry(SimNet& net, NodeId from, NodeId to,
     const auto wait = schedule.next();
     if (!wait.has_value()) {
       retry_gave_up.inc();
+      obs::event(obs::Severity::kError, "retry.gave_up",
+                 {{"op", op},
+                  {"from", net.node_name(from)},
+                  {"to", net.node_name(to)},
+                  {"attempts", std::to_string(schedule.retries() + 1)},
+                  {"last_failure", failure_name(result.failure)}});
       throw NetworkError("transfer_with_retry: '" + op + "' " +
                          net.node_name(from) + " -> " + net.node_name(to) +
                          " gave up after " +

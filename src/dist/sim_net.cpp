@@ -1,6 +1,10 @@
 #include "src/dist/sim_net.h"
 
 #include <atomic>
+#include <utility>
+#include <vector>
+
+#include "src/obs/event_log.h"
 
 namespace coda::dist {
 
@@ -82,7 +86,8 @@ const std::string& SimNet::node_name(NodeId id) const {
   return node_names_[id];
 }
 
-TransferResult SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
+TransferResult SimNet::transfer(NodeId from, NodeId to, std::size_t bytes,
+                                const MessageHeader& header) {
   // Process-wide wire families, aggregated over every SimNet instance.
   static auto& messages_sent = obs::counter("simnet.messages");
   static auto& bytes_sent = obs::counter("simnet.bytes_sent");
@@ -93,79 +98,115 @@ TransferResult SimNet::transfer(NodeId from, NodeId to, std::size_t bytes) {
   static auto& fault_partitioned = obs::counter("net.fault.partitioned");
   static auto& fault_node_down = obs::counter("net.fault.node_down");
   static auto& fault_spikes = obs::counter("net.fault.latency_spikes");
-  std::lock_guard<std::mutex> lock(mutex_);
-  check_node(from);
-  check_node(to);
-  require(from != to, "SimNet: self-transfer");
 
   TransferResult result;
-  // Partition / crash checks come before the drop draw and do NOT consume
-  // a message index: a transfer attempted into a partition window leaves
-  // the link's stochastic fault stream exactly where it was, so the fault
-  // schedule past the window is independent of how often callers retried
-  // into it.
-  if (crashed_locked(from) || crashed_locked(to)) {
-    result.failure = TransferResult::Failure::kNodeDown;
-    fault_node_down.inc();
-    ++fault_stats_.node_down;
-    return result;
-  }
-  if (partitioned_locked(from, to)) {
-    result.failure = TransferResult::Failure::kPartitioned;
-    fault_partitioned.inc();
-    ++fault_stats_.partitioned;
-    return result;
-  }
+  double start_clock = 0.0;
+  std::string from_name;
+  std::string to_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_node(from);
+    check_node(to);
+    require(from != to, "SimNet: self-transfer");
+    start_clock = clock_;
+    from_name = node_names_[from];
+    to_name = node_names_[to];
 
-  double latency = config_.latency_seconds;
-  double bandwidth = config_.bandwidth_bytes_per_sec;
-  if (faults_enabled_) {
-    const std::size_t index = link_attempts_[{from, to}]++;
-    double drop_p = faults_.drop_probability;
-    auto it = link_drop_override_.find({from, to});
-    if (it != link_drop_override_.end()) drop_p = it->second;
-    if (drop_p > 0.0 &&
-        fault_draw_locked(kDropSalt, from, to, index) < drop_p) {
-      // The message left the sender and died in flight: charge the one-way
-      // latency, count the attempt on the link, but no payload bytes land.
-      result.failure = TransferResult::Failure::kDropped;
-      result.seconds = latency;
+    // Partition / crash checks come before the drop draw and do NOT consume
+    // a message index: a transfer attempted into a partition window leaves
+    // the link's stochastic fault stream exactly where it was, so the fault
+    // schedule past the window is independent of how often callers retried
+    // into it.
+    [&] {
+      if (crashed_locked(from) || crashed_locked(to)) {
+        result.failure = TransferResult::Failure::kNodeDown;
+        fault_node_down.inc();
+        ++fault_stats_.node_down;
+        return;
+      }
+      if (partitioned_locked(from, to)) {
+        result.failure = TransferResult::Failure::kPartitioned;
+        fault_partitioned.inc();
+        ++fault_stats_.partitioned;
+        return;
+      }
+
+      double latency = config_.latency_seconds;
+      double bandwidth = config_.bandwidth_bytes_per_sec;
+      if (faults_enabled_) {
+        const std::size_t index = link_attempts_[{from, to}]++;
+        double drop_p = faults_.drop_probability;
+        auto it = link_drop_override_.find({from, to});
+        if (it != link_drop_override_.end()) drop_p = it->second;
+        if (drop_p > 0.0 &&
+            fault_draw_locked(kDropSalt, from, to, index) < drop_p) {
+          // The message left the sender and died in flight: charge the
+          // one-way latency, count the attempt on the link, but no payload
+          // bytes land.
+          result.failure = TransferResult::Failure::kDropped;
+          result.seconds = latency;
+          auto& stats = links_[{from, to}];
+          ++stats.messages;
+          stats.simulated_seconds += latency;
+          total_messages_->inc();
+          total_seconds_->add(latency);
+          messages_sent.inc();
+          fault_dropped.inc();
+          ++fault_stats_.dropped;
+          return;
+        }
+        if (faults_.latency_spike_probability > 0.0 &&
+            fault_draw_locked(kSpikeSalt, from, to, index) <
+                faults_.latency_spike_probability) {
+          latency += faults_.latency_spike_seconds;
+          fault_spikes.inc();
+          ++fault_stats_.latency_spikes;
+        }
+        if (faults_.bandwidth_collapse_probability > 0.0 &&
+            fault_draw_locked(kCollapseSalt, from, to, index) <
+                faults_.bandwidth_collapse_probability) {
+          bandwidth *= faults_.bandwidth_collapse_factor;
+        }
+      }
+
+      const double seconds = latency + static_cast<double>(bytes) / bandwidth;
+      result.seconds = seconds;
       auto& stats = links_[{from, to}];
       ++stats.messages;
-      stats.simulated_seconds += latency;
+      stats.bytes += bytes;
+      stats.simulated_seconds += seconds;
       total_messages_->inc();
-      total_seconds_->add(latency);
+      total_bytes_->inc(bytes);
+      total_seconds_->add(seconds);
       messages_sent.inc();
-      fault_dropped.inc();
-      ++fault_stats_.dropped;
-      return result;
-    }
-    if (faults_.latency_spike_probability > 0.0 &&
-        fault_draw_locked(kSpikeSalt, from, to, index) <
-            faults_.latency_spike_probability) {
-      latency += faults_.latency_spike_seconds;
-      fault_spikes.inc();
-      ++fault_stats_.latency_spikes;
-    }
-    if (faults_.bandwidth_collapse_probability > 0.0 &&
-        fault_draw_locked(kCollapseSalt, from, to, index) <
-            faults_.bandwidth_collapse_probability) {
-      bandwidth *= faults_.bandwidth_collapse_factor;
-    }
+      bytes_sent.inc(bytes);
+      transfer_seconds.observe(seconds);
+    }();
   }
 
-  const double seconds = latency + static_cast<double>(bytes) / bandwidth;
-  result.seconds = seconds;
-  auto& stats = links_[{from, to}];
-  ++stats.messages;
-  stats.bytes += bytes;
-  stats.simulated_seconds += seconds;
-  total_messages_->inc();
-  total_bytes_->inc(bytes);
-  total_seconds_->add(seconds);
-  messages_sent.inc();
-  bytes_sent.inc(bytes);
-  transfer_seconds.observe(seconds);
+  // Causal recording happens outside the fabric lock (the tracer and the
+  // flight recorder have their own synchronisation).
+  const std::string op = header.op.empty() ? "transfer" : header.op;
+  if (header.trace.valid()) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.anchor(header.trace.trace_id, tracer.now_seconds(), start_clock);
+    std::vector<std::pair<std::string, std::string>> tags = {
+        {"from", from_name},
+        {"to", to_name},
+        {"bytes", std::to_string(bytes)}};
+    if (!result.ok()) tags.emplace_back("failure", failure_name(result.failure));
+    tracer.record_span("net." + op, header.trace, to_name,
+                       obs::ClockDomain::kLogical, start_clock,
+                       result.seconds, std::move(tags));
+  }
+  if (!result.ok()) {
+    obs::event(obs::Severity::kWarn,
+               "net.fault." + failure_name(result.failure),
+               {{"op", op},
+                {"from", from_name},
+                {"to", to_name},
+                {"clock", std::to_string(start_clock)}});
+  }
   return result;
 }
 

@@ -22,11 +22,21 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 
 namespace coda::dist {
 
 using NodeId = std::size_t;
+
+/// Causal metadata travelling with a transfer — the wire-format stand-in
+/// for a real RPC header. When `trace` is valid the fabric records a
+/// logical-clock span ("net.<op>", attributed to the receiving node)
+/// parented under it, and anchors the trace's steady/logical alignment.
+struct MessageHeader {
+  obs::TraceContext trace;
+  std::string op;  ///< short verb, e.g. "darr.lookup" ("" = "transfer")
+};
 
 /// Traffic counters for one directed node pair (and, via total(), for a
 /// whole fabric — the aggregate is backed by obs::MetricsRegistry counters
@@ -89,7 +99,10 @@ class SimNet {
   /// Accounts one message of `bytes` from -> to. Does NOT advance the
   /// clock (concurrent transfers are allowed to overlap). With faults
   /// enabled the attempt can fail — check TransferResult::ok().
-  TransferResult transfer(NodeId from, NodeId to, std::size_t bytes);
+  /// Fault injections are logged to the flight recorder; a valid
+  /// `header.trace` additionally records a causal network span.
+  TransferResult transfer(NodeId from, NodeId to, std::size_t bytes,
+                          const MessageHeader& header = {});
 
   /// Enables (or replaces) the stochastic fault model.
   void set_faults(FaultConfig faults);

@@ -1,0 +1,69 @@
+// Per-candidate cost attribution (observability layer): the evaluation
+// engine reports, per root→leaf pipeline path, how many folds ran, how
+// much compute time they took, how the prefix cache behaved, and whether
+// the candidate was served from the cooperative result cache. The rollup
+// lands in snapshot_json() under "candidates" so bench --metrics-json
+// output carries a per-pipeline cost table.
+//
+// Attribution is ambient: fold workers install a CandidateScope naming
+// the pipeline path, and lower layers (PrefixCache) call prefix_event()
+// without knowing which candidate is running.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace coda::obs {
+
+/// Aggregated cost of one candidate pipeline (keyed by its spec string).
+struct CandidateCost {
+  std::uint64_t folds = 0;         ///< fold evaluations executed
+  double fold_seconds = 0.0;       ///< steady-clock compute time summed
+  std::uint64_t prefix_hits = 0;   ///< prefix-cache hits while attributed
+  std::uint64_t prefix_misses = 0;
+  std::uint64_t cached = 0;  ///< times served from the cooperative cache
+};
+
+/// Process-wide candidate cost table.
+class CandidateCosts {
+ public:
+  static CandidateCosts& instance();
+
+  void record_fold(const std::string& path, double seconds);
+  void record_cached(const std::string& path);
+  void record_prefix(const std::string& path, bool hit);
+
+  /// Copy of the table, keyed (and therefore sorted) by path.
+  std::map<std::string, CandidateCost> snapshot() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, CandidateCost> table_;
+};
+
+/// RAII ambient attribution: prefix_event() calls on this thread while the
+/// scope is live are charged to `path`.
+class CandidateScope {
+ public:
+  explicit CandidateScope(std::string path);
+  ~CandidateScope();
+
+  CandidateScope(const CandidateScope&) = delete;
+  CandidateScope& operator=(const CandidateScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// The calling thread's ambient candidate path ("" = unattributed).
+const std::string& current_candidate();
+
+/// Charges a prefix-cache hit/miss to the ambient candidate (no-op when
+/// unattributed).
+void prefix_event(bool hit);
+
+}  // namespace coda::obs

@@ -1,0 +1,128 @@
+#include "src/obs/event_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace coda::obs {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::log(Event event) {
+  static auto& recorded_metric = counter("obs.events.recorded");
+  bool wrapped = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_recorded_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      wrapped = true;
+      ring_[next_slot_] = std::move(event);
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    }
+  }
+  recorded_metric.inc();
+  (void)wrapped;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_slot_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t EventLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_ - ring_.size();
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_slot_ = 0;
+  total_recorded_ = 0;
+}
+
+std::string EventLog::dump_tail(std::size_t max_events) const {
+  std::vector<Event> events = snapshot();
+  const std::uint64_t skipped = dropped();
+  std::size_t begin = 0;
+  if (events.size() > max_events) begin = events.size() - max_events;
+
+  std::ostringstream out;
+  out << "flight recorder: " << (events.size() - begin) << " of "
+      << events.size() << " retained events (" << skipped
+      << " overwritten)\n";
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out << "  [" << severity_name(e.severity) << "] t=" << e.seconds << "s "
+        << e.name;
+    if (!e.node.empty()) out << " node=" << e.node;
+    if (e.trace_id != 0)
+      out << " trace=" << e.trace_id << " span=" << e.span_id;
+    for (const auto& [key, value] : e.fields) {
+      out << " " << key << "=" << value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void event(Severity severity, std::string name,
+           std::initializer_list<std::pair<std::string, std::string>> fields) {
+  Event e;
+  e.seconds = Tracer::instance().now_seconds();
+  e.severity = severity;
+  e.name = std::move(name);
+  e.fields.assign(fields.begin(), fields.end());
+  e.trace_id = Tracer::current_trace();
+  e.span_id = Tracer::current_span();
+  e.node = Tracer::current_node();
+  EventLog::instance().log(std::move(e));
+}
+
+void flight_dump_if_env(const std::string& reason) {
+  const char* env = std::getenv("CODA_FLIGHT_DUMP");
+  if (env == nullptr || std::string(env) == "0") return;
+  std::fprintf(stderr, "== flight recorder dump: %s ==\n%s", reason.c_str(),
+               EventLog::instance().dump_tail().c_str());
+}
+
+}  // namespace coda::obs

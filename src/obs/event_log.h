@@ -1,0 +1,78 @@
+// Flight recorder (observability layer): a bounded ring of structured
+// events — severity, name, key/value fields, and causal linkage to the
+// recording thread's ambient span/trace. Chaos and degradation paths
+// (fault injections, retry give-ups, sticky local-only degradation, lease
+// expiries, stale pushes) log here; when a chaos assertion fails or
+// CooperativeFetch degrades, the tail is dumped together with the fault
+// schedule so the failure can be reconstructed without re-running.
+//
+// Like the span tracer, logging never blocks on consumers: old events are
+// overwritten and counted as drops.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coda::obs {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* severity_name(Severity s);
+
+/// One flight-recorder entry.
+struct Event {
+  double seconds = 0.0;  ///< steady clock, tracer epoch
+  Severity severity = Severity::kInfo;
+  std::string name;  ///< dot-separated family, e.g. "net.fault.drop"
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::uint64_t trace_id = 0;  ///< ambient trace at log time (0 = none)
+  std::uint64_t span_id = 0;   ///< ambient span at log time (0 = none)
+  std::string node;            ///< ambient node attribution ("" = process)
+};
+
+/// Bounded ring of Events.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1024);
+
+  /// The process-wide flight recorder.
+  static EventLog& instance();
+
+  void log(Event event);
+
+  /// Retained events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Human-readable dump of the newest `max_events` entries (oldest of
+  /// those first), one line per event.
+  std::string dump_tail(std::size_t max_events = 64) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t total_recorded_ = 0;
+};
+
+/// Logs to the process-wide EventLog, stamping the steady-clock time and
+/// the calling thread's ambient trace/span/node automatically.
+void event(Severity severity, std::string name,
+           std::initializer_list<std::pair<std::string, std::string>> fields =
+               {});
+
+/// Honours the CODA_FLIGHT_DUMP environment variable: unset/"0" = no-op,
+/// otherwise prints `reason` and the flight-recorder tail to stderr.
+/// Called on sticky degradation so long runs surface why cooperation was
+/// abandoned without test harness involvement.
+void flight_dump_if_env(const std::string& reason);
+
+}  // namespace coda::obs

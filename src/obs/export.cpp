@@ -1,9 +1,9 @@
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/json.h"
 #include "src/obs/obs.h"
 #include "src/util/error.h"
 
@@ -11,35 +11,8 @@ namespace coda::obs {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
+using detail::json_escape;
+using detail::json_number;
 
 void append_histogram_json(std::ostringstream& out, const Histogram& h) {
   out << "{\"count\":" << h.count() << ",\"sum\":" << json_number(h.sum())
@@ -52,6 +25,37 @@ void append_histogram_json(std::ostringstream& out, const Histogram& h) {
         << ",\"count\":" << h.bucket_count(i) << '}';
   }
   out << "]}";
+}
+
+void append_tags_json(std::ostringstream& out, const SpanRecord& s) {
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : s.tags) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+  }
+  out << '}';
+}
+
+/// CODA_*_DUMP convention: unset/""/"0" = no-op, "1" = print to stdout,
+/// anything else = a file path. `render` is only called when dumping.
+template <typename Render>
+void env_dump(const char* env_name, const char* banner, Render render) {
+  const char* value = std::getenv(env_name);
+  if (value == nullptr || value[0] == '\0' ||
+      (value[0] == '0' && value[1] == '\0')) {
+    return;
+  }
+  const std::string payload = render();
+  if (value[0] == '1' && value[1] == '\0') {
+    std::printf("\n--- %s ---\n%s\n", banner, payload.c_str());
+    return;
+  }
+  std::ofstream file(value);
+  require(file.good(), std::string("obs: cannot open dump path '") + value +
+                           "' (" + env_name + ")");
+  file << payload << '\n';
 }
 
 }  // namespace
@@ -82,7 +86,20 @@ std::string snapshot_json(std::size_t max_spans) {
     out << '"' << json_escape(name) << "\":";
     append_histogram_json(out, *histogram);
   }
-  out << "},\"spans\":{\"recorded\":" << tracer.recorded()
+  out << "},\"candidates\":{";
+  first = true;
+  for (const auto& [path, cost] : CandidateCosts::instance().snapshot()) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(path) << "\":{\"folds\":" << cost.folds
+        << ",\"fold_seconds\":" << json_number(cost.fold_seconds)
+        << ",\"prefix_hits\":" << cost.prefix_hits
+        << ",\"prefix_misses\":" << cost.prefix_misses
+        << ",\"cached\":" << cost.cached << '}';
+  }
+  out << "},\"events\":{\"recorded\":" << EventLog::instance().recorded()
+      << ",\"dropped\":" << EventLog::instance().dropped()
+      << "},\"spans\":{\"recorded\":" << tracer.recorded()
       << ",\"dropped\":" << tracer.dropped() << ",\"recent\":[";
   const auto spans = tracer.snapshot();
   const std::size_t start =
@@ -90,9 +107,15 @@ std::string snapshot_json(std::size_t max_spans) {
   for (std::size_t i = start; i < spans.size(); ++i) {
     if (i > start) out << ',';
     const auto& s = spans[i];
-    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent_id << ",\"name\":\""
-        << json_escape(s.name) << "\",\"start\":" << json_number(s.start_seconds)
-        << ",\"dur\":" << json_number(s.duration_seconds) << '}';
+    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent_id
+        << ",\"trace\":" << s.trace_id << ",\"name\":\""
+        << json_escape(s.name) << "\",\"node\":\"" << json_escape(s.node)
+        << "\",\"clock\":\""
+        << (s.clock == ClockDomain::kLogical ? "logical" : "steady")
+        << "\",\"start\":" << json_number(s.start_seconds)
+        << ",\"dur\":" << json_number(s.duration_seconds) << ",\"tags\":";
+    append_tags_json(out, s);
+    out << '}';
   }
   out << "]}}";
   return out.str();
@@ -117,7 +140,10 @@ std::string dump() {
     if (histogram->count() > 0) {
       out << " mean="
           << json_number(histogram->sum() /
-                         static_cast<double>(histogram->count()));
+                         static_cast<double>(histogram->count()))
+          << " p50=" << json_number(histogram->quantile(0.50))
+          << " p95=" << json_number(histogram->quantile(0.95))
+          << " p99=" << json_number(histogram->quantile(0.99));
     }
     out << '\n';
     for (std::size_t i = 0; i < histogram->n_buckets(); ++i) {
@@ -132,31 +158,37 @@ std::string dump() {
       out << ": " << n << '\n';
     }
   }
+  out << "== candidates ==\n";
+  for (const auto& [path, cost] : CandidateCosts::instance().snapshot()) {
+    out << "  " << path << ": folds=" << cost.folds
+        << " fold_seconds=" << json_number(cost.fold_seconds)
+        << " prefix_hits=" << cost.prefix_hits
+        << " prefix_misses=" << cost.prefix_misses
+        << " cached=" << cost.cached << '\n';
+  }
   out << "== spans ==\n  recorded=" << tracer.recorded()
-      << " dropped=" << tracer.dropped() << '\n';
+      << " dropped=" << tracer.dropped() << '\n'
+      << "== events ==\n  recorded=" << EventLog::instance().recorded()
+      << " dropped=" << EventLog::instance().dropped() << '\n';
   return out.str();
 }
 
 void dump_if_env() {
-  const char* value = std::getenv("CODA_METRICS_DUMP");
-  if (value == nullptr || value[0] == '\0' ||
-      (value[0] == '0' && value[1] == '\0')) {
-    return;
-  }
-  const std::string json = snapshot_json();
-  if (value[0] == '1' && value[1] == '\0') {
-    std::printf("\n--- coda metrics snapshot ---\n%s\n", json.c_str());
-    return;
-  }
-  std::ofstream file(value);
-  require(file.good(),
-          std::string("obs::dump_if_env: cannot open '") + value + "'");
-  file << json << '\n';
+  env_dump("CODA_METRICS_DUMP", "coda metrics snapshot",
+           [] { return snapshot_json(); });
+  trace_dump_if_env();
+}
+
+void trace_dump_if_env() {
+  env_dump("CODA_TRACE_DUMP", "coda chrome trace",
+           [] { return export_chrome_trace(); });
 }
 
 void reset_all() {
   MetricsRegistry::instance().reset();
   Tracer::instance().clear();
+  EventLog::instance().clear();
+  CandidateCosts::instance().reset();
 }
 
 }  // namespace coda::obs

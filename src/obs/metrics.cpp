@@ -24,6 +24,36 @@ void Histogram::observe(double value) {
   sum_.add(value);
 }
 
+double Histogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the bucket counts once so the rank and the cumulative walk
+  // agree even while other threads are observing.
+  std::vector<std::uint64_t> counts(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds_.size()) return bounds_.back();  // +inf bucket: clamp
+    const double lower = (i == 0) ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction =
+        (rank - before) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.back();
+}
+
 void Histogram::reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -76,6 +76,13 @@ class Histogram {
 
   void reset();
 
+  /// Estimated q-quantile (0 <= q <= 1) by linear interpolation within the
+  /// bucket that crosses rank q*count. Assumes non-negative observations
+  /// (bucket 0 interpolates from 0); ranks landing in the +inf overflow
+  /// bucket clamp to the largest finite bound. Returns 0 when empty.
+  /// A live snapshot under concurrent observes is approximate.
+  double quantile(double q) const;
+
   /// `count` bounds starting at `start`, each `factor` times the previous.
   static std::vector<double> exponential_bounds(double start, double factor,
                                                 std::size_t count);

@@ -1,17 +1,28 @@
 #include "src/obs/trace.h"
 
-#include "src/util/error.h"
+#include <functional>
+#include <thread>
+
+#include "src/obs/metrics.h"
 
 namespace coda::obs {
-
 namespace {
+
 thread_local std::uint64_t t_current_span = 0;
+thread_local std::uint64_t t_current_trace = 0;
+thread_local std::string t_current_node;
+
+std::uint64_t this_thread_hash() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 }  // namespace
 
 Tracer::Tracer(std::size_t capacity)
-    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
-  require(capacity > 0, "Tracer: capacity must be positive");
-  ring_.reserve(capacity);
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
 }
 
 Tracer& Tracer::instance() {
@@ -20,14 +31,56 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::record(SpanRecord span) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(span));
-  } else {
-    ring_[next_slot_] = std::move(span);
+  // Counters are resolved outside the ring lock; registration is
+  // idempotent and the registry has its own synchronisation.
+  static auto& recorded_metric = counter("obs.trace.recorded");
+  static auto& dropped_metric = counter("obs.trace.dropped");
+  bool wrapped = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_recorded_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(span));
+    } else {
+      wrapped = true;
+      ring_[next_slot_] = std::move(span);
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    }
   }
-  next_slot_ = (next_slot_ + 1) % capacity_;
-  ++total_recorded_;
+  recorded_metric.inc();
+  if (wrapped) dropped_metric.inc();
+}
+
+std::uint64_t Tracer::record_span(
+    std::string name, const TraceContext& parent, std::string node,
+    ClockDomain clock, double start_seconds, double duration_seconds,
+    std::vector<std::pair<std::string, std::string>> tags) {
+  SpanRecord span;
+  span.id = next_id();
+  span.parent_id = parent.parent_span_id;
+  span.trace_id = parent.valid() ? parent.trace_id : next_trace_id();
+  span.name = std::move(name);
+  span.node = std::move(node);
+  span.thread = this_thread_hash();
+  span.clock = clock;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  span.tags = std::move(tags);
+  const std::uint64_t id = span.id;
+  record(std::move(span));
+  return id;
+}
+
+void Tracer::anchor(std::uint64_t trace_id, double steady_seconds,
+                    double logical_seconds) {
+  if (trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  anchors_.emplace(trace_id, Anchor{steady_seconds, logical_seconds});
+}
+
+std::map<std::uint64_t, Tracer::Anchor> Tracer::anchors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return anchors_;
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
@@ -60,30 +113,81 @@ void Tracer::clear() {
   ring_.clear();
   next_slot_ = 0;
   total_recorded_ = 0;
+  anchors_.clear();
+  id_source_.store(0, std::memory_order_relaxed);
+  trace_source_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t Tracer::current_span() { return t_current_span; }
-
 void Tracer::set_current_span(std::uint64_t id) { t_current_span = id; }
+std::uint64_t Tracer::current_trace() { return t_current_trace; }
+void Tracer::set_current_trace(std::uint64_t id) { t_current_trace = id; }
+const std::string& Tracer::current_node() { return t_current_node; }
 
 ScopedSpan::ScopedSpan(std::string name, Tracer& tracer)
+    : ScopedSpan(std::move(name),
+                 TraceContext{t_current_trace, t_current_span}, tracer) {}
+
+ScopedSpan::ScopedSpan(std::string name, const TraceContext& parent,
+                       Tracer& tracer)
     : tracer_(tracer),
       name_(std::move(name)),
+      node_(t_current_node),
       id_(tracer.next_id()),
-      parent_id_(Tracer::current_span()),
+      parent_id_(parent.parent_span_id),
+      trace_id_(parent.valid() ? parent.trace_id : tracer.next_trace_id()),
+      prev_trace_(t_current_trace),
       start_seconds_(tracer.now_seconds()) {
-  Tracer::set_current_span(id_);
+  t_current_span = id_;
+  t_current_trace = trace_id_;
 }
 
 ScopedSpan::~ScopedSpan() {
-  Tracer::set_current_span(parent_id_);
+  t_current_span = parent_id_;
+  t_current_trace = prev_trace_;
   SpanRecord span;
   span.id = id_;
   span.parent_id = parent_id_;
+  span.trace_id = trace_id_;
   span.name = std::move(name_);
+  span.node = std::move(node_);
+  span.thread = this_thread_hash();
+  span.clock = ClockDomain::kSteady;
   span.start_seconds = start_seconds_;
   span.duration_seconds = tracer_.now_seconds() - start_seconds_;
+  span.tags = std::move(tags_);
   tracer_.record(std::move(span));
 }
+
+void ScopedSpan::tag(std::string key, std::string value) {
+  tags_.emplace_back(std::move(key), std::move(value));
+}
+
+void ScopedSpan::set_node(std::string node) { node_ = std::move(node); }
+
+ContextScope::ContextScope(const TraceContext& ctx)
+    : prev_trace_(t_current_trace), prev_span_(t_current_span) {
+  t_current_trace = ctx.trace_id;
+  t_current_span = ctx.parent_span_id;
+}
+
+ContextScope::ContextScope(const TraceContext& ctx, std::string node)
+    : ContextScope(ctx) {
+  node_set_ = true;
+  prev_node_ = t_current_node;
+  t_current_node = std::move(node);
+}
+
+ContextScope::~ContextScope() {
+  t_current_trace = prev_trace_;
+  t_current_span = prev_span_;
+  if (node_set_) t_current_node = std::move(prev_node_);
+}
+
+NodeScope::NodeScope(std::string node) : prev_(t_current_node) {
+  t_current_node = std::move(node);
+}
+
+NodeScope::~NodeScope() { t_current_node = std::move(prev_); }
 
 }  // namespace coda::obs

@@ -1,0 +1,150 @@
+// Chrome trace-event ("Trace Event Format") exporter: renders the span
+// ring as JSON loadable in Perfetto / chrome://tracing. Mapping:
+//   node  -> pid  ("" = the ambient process, shown as "local")
+//   thread-> tid  (steady spans; numbered per process in first-seen order)
+//   spans -> "X" complete events (ts/dur in microseconds)
+//   SimNet logical spans -> a dedicated tid-0 "network" track per node,
+//     shifted onto the steady timeline via the trace's alignment anchor
+//   registry counters -> one trailing "C" counter sample each
+// Every event carries trace/span/parent ids and the clock domain in its
+// args, so the causal tree survives the visual grouping.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/util/error.h"
+
+namespace coda::obs {
+
+namespace {
+
+using detail::json_escape;
+using detail::json_number;
+
+constexpr int kNetworkTid = 0;
+
+std::string process_label(const std::string& node) {
+  return node.empty() ? std::string("local") : node;
+}
+
+}  // namespace
+
+std::string export_chrome_trace() {
+  auto& tracer = Tracer::instance();
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  const auto anchors = tracer.anchors();
+
+  // Stable pid per node name, sorted so repeated exports agree.
+  std::map<std::string, int> pids;
+  for (const auto& s : spans) pids.emplace(s.node, 0);
+  if (pids.empty()) pids.emplace(std::string(), 0);
+  int next_pid = 1;
+  for (auto& [node, pid] : pids) pid = next_pid++;
+
+  // Steady-span tids numbered per process, first-seen order; tid 0 is the
+  // logical-clock "network" track.
+  std::map<std::pair<int, std::uint64_t>, int> tids;
+  std::map<int, int> next_tid;
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event_json) {
+    if (!first) out << ',';
+    first = false;
+    out << event_json;
+  };
+
+  for (const auto& [node, pid] : pids) {
+    std::ostringstream meta;
+    meta << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\""
+         << json_escape(process_label(node)) << "\"}}";
+    emit(meta.str());
+    std::ostringstream net;
+    net << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+        << ",\"tid\":" << kNetworkTid << ",\"args\":{\"name\":\"network\"}}";
+    emit(net.str());
+  }
+
+  double last_ts_us = 0.0;
+  for (const auto& s : spans) {
+    const int pid = pids.at(s.node);
+    int tid = kNetworkTid;
+    double start = s.start_seconds;
+    if (s.clock == ClockDomain::kLogical) {
+      // Shift onto the steady timeline via the trace's anchor (a steady/
+      // logical pair observed together). Anchorless traces keep raw
+      // logical time — still internally consistent, just not aligned.
+      const auto it = anchors.find(s.trace_id);
+      if (it != anchors.end()) {
+        start = it->second.steady_seconds +
+                (s.start_seconds - it->second.logical_seconds);
+      }
+    } else {
+      const auto key = std::make_pair(pid, s.thread);
+      auto it = tids.find(key);
+      if (it == tids.end()) {
+        tid = ++next_tid[pid];
+        tids.emplace(key, tid);
+        std::ostringstream meta;
+        meta << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+             << ",\"tid\":" << tid << ",\"args\":{\"name\":\"thread "
+             << tid << "\"}}";
+        emit(meta.str());
+      } else {
+        tid = it->second;
+      }
+    }
+    const double ts_us = start * 1e6;
+    const double dur_us = s.duration_seconds * 1e6;
+    last_ts_us = std::max(last_ts_us, ts_us + dur_us);
+    std::ostringstream ev;
+    ev << "{\"ph\":\"X\",\"name\":\"" << json_escape(s.name)
+       << "\",\"cat\":\""
+       << (s.clock == ClockDomain::kLogical ? "network" : "compute")
+       << "\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << json_number(ts_us)
+       << ",\"dur\":" << json_number(dur_us) << ",\"args\":{\"trace\":"
+       << s.trace_id << ",\"span\":" << s.id << ",\"parent\":" << s.parent_id
+       << ",\"clock\":\""
+       << (s.clock == ClockDomain::kLogical ? "logical" : "steady") << '"';
+    for (const auto& [key, value] : s.tags) {
+      ev << ",\"" << json_escape(key) << "\":\"" << json_escape(value)
+         << '"';
+    }
+    ev << "}}";
+    emit(ev.str());
+  }
+
+  // One trailing sample per registry counter so the totals are visible on
+  // the timeline.
+  const int counter_pid = pids.begin()->second;
+  for (const auto& [name, value] :
+       MetricsRegistry::instance().counter_values()) {
+    if (value == 0) continue;
+    std::ostringstream ev;
+    ev << "{\"ph\":\"C\",\"name\":\"" << json_escape(name)
+       << "\",\"pid\":" << counter_pid << ",\"ts\":" << json_number(last_ts_us)
+       << ",\"args\":{\"value\":" << value << "}}";
+    emit(ev.str());
+  }
+
+  out << "],\"otherData\":{\"recorded\":" << tracer.recorded()
+      << ",\"dropped\":" << tracer.dropped() << "}}";
+  return out.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream file(path);
+  require(file.good(),
+          "obs::write_chrome_trace: cannot open '" + path + "'");
+  file << export_chrome_trace() << '\n';
+}
+
+}  // namespace coda::obs

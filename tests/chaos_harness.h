@@ -26,6 +26,8 @@
 #include "src/darr/client.h"
 #include "src/darr/repository.h"
 #include "src/dist/sim_net.h"
+#include "src/obs/event_log.h"
+#include "src/obs/trace.h"
 #include "src/ts/forecast_graph.h"
 #include "src/util/retry.h"
 
@@ -155,6 +157,7 @@ ChaosRun run_clients(ChaosFabric& fabric, std::size_t n_candidates,
   threads.reserve(n_clients);
   for (std::size_t i = 0; i < n_clients; ++i) {
     threads.emplace_back([&, i] {
+      const obs::NodeScope node_scope(fabric.clients[i]->client_name());
       run.reports[i] = evaluate(*fabric.clients[i]);
     });
   }
@@ -173,6 +176,17 @@ ChaosRun run_clients(ChaosFabric& fabric, std::size_t n_candidates,
 }
 
 }  // namespace detail
+
+/// Failure report for chaos assertions: the reproducible fault schedule
+/// followed by the flight-recorder tail — every injected fault, retry
+/// give-up, degradation and claim expiry leading up to the failure.
+inline std::string flight_recorder_report(const ChaosSchedule& schedule,
+                                          std::size_t tail = 64) {
+  std::ostringstream out;
+  out << "fault schedule: " << schedule.describe() << "\n"
+      << obs::EventLog::instance().dump_tail(tail);
+  return out.str();
+}
 
 /// Cooperative Fig-3-style tabular graph search under `schedule`.
 inline ChaosRun run_chaos_search(const TEGraph& graph, const Dataset& data,

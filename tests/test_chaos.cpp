@@ -11,6 +11,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/data/synthetic.h"
@@ -32,6 +33,25 @@ namespace {
 
 using chaos::ChaosRun;
 using chaos::ChaosSchedule;
+
+// Dumps the fault schedule plus the flight-recorder tail (every injected
+// fault, retry give-up, degradation and lease expiry leading up to the
+// failure) when the enclosing test fails, so a chaos failure can be
+// reconstructed from the log without re-running the schedule.
+class FlightRecorderOnFailure {
+ public:
+  explicit FlightRecorderOnFailure(ChaosSchedule schedule)
+      : schedule_(std::move(schedule)) {}
+  ~FlightRecorderOnFailure() {
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr, "%s",
+                   chaos::flight_recorder_report(schedule_).c_str());
+    }
+  }
+
+ private:
+  ChaosSchedule schedule_;
+};
 
 // ---------------------------------------------------------------------------
 // Fig-3 workload: the 9-candidate tabular graph from the cooperative tests.
@@ -176,6 +196,7 @@ TEST(Chaos, Fig3SearchSurvivesSeededSchedules) {
 
   for (const auto& schedule : transient_schedules()) {
     SCOPED_TRACE(schedule.describe());
+    const FlightRecorderOnFailure flight(schedule);
     const ChaosRun run = run_tabular(data, 3, schedule);
     if (schedule.drop_probability > 0.0) {
       EXPECT_GT(run.fault_stats.dropped, 0u);  // faults actually fired
@@ -193,6 +214,7 @@ TEST(Chaos, Fig11ForecastSearchSurvivesSeededSchedules) {
 
   for (const auto& schedule : transient_schedules()) {
     SCOPED_TRACE(schedule.describe());
+    const FlightRecorderOnFailure flight(schedule);
     const ChaosRun run = run_forecast(series, 3, schedule);
     expect_matches_baseline(run, baseline.reports[0]);
     expect_zero_redundancy(run);
@@ -231,6 +253,7 @@ TEST(Chaos, PermanentPartitionDegradesToLocalEvaluation) {
   schedule.partition_start = 0.0;
   schedule.partition_end = 1e9;  // never heals
   SCOPED_TRACE(schedule.describe());
+  const FlightRecorderOnFailure flight(schedule);
 
   const auto degraded_before = obs::counter("eval.darr_degraded").value();
   const auto gave_up_before = obs::counter("retry.gave_up").value();
@@ -252,6 +275,28 @@ TEST(Chaos, PermanentPartitionDegradesToLocalEvaluation) {
   EXPECT_EQ(run.redundant_evaluations, run.total_candidates);
   EXPECT_EQ(run.repository_counters.stores, run.total_candidates);
   EXPECT_GT(run.fault_stats.partitioned, 0u);
+}
+
+TEST(Chaos, FlightRecorderReportCapturesScheduleAndDegradation) {
+  // The failure report a chaos test prints must be reconstructable: the
+  // replayable schedule line followed by the recorded fault, give-up and
+  // degradation events, attributed to the node that hit them.
+  obs::EventLog::instance().clear();
+  ChaosSchedule schedule;
+  schedule.seed = 808;
+  schedule.partitioned_client = 0;
+  schedule.partition_start = 0.0;
+  schedule.partition_end = 1e9;  // never heals: client0 must degrade
+  run_tabular(tabular_dataset(), 2, schedule);
+
+  const std::string report = chaos::flight_recorder_report(schedule, 256);
+  EXPECT_NE(report.find("fault schedule: ChaosSchedule{seed=808"),
+            std::string::npos);
+  EXPECT_NE(report.find("flight recorder:"), std::string::npos);
+  EXPECT_NE(report.find("net.fault.partitioned"), std::string::npos);
+  EXPECT_NE(report.find("retry.gave_up"), std::string::npos);
+  EXPECT_NE(report.find("eval.darr_degraded"), std::string::npos);
+  EXPECT_NE(report.find("node=client0"), std::string::npos);
 }
 
 TEST(Chaos, CrashedClientsClaimsAreReclaimableByPeers) {

@@ -3,8 +3,10 @@
 // span nesting/ring-buffer behaviour, and the JSON exporter's syntax.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +83,52 @@ TEST(Histogram, BucketBoundariesAreInclusiveUpper) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 9.0);
 }
 
+TEST(Histogram, QuantileInterpolatesLinearlyWithinBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+
+  h.observe(0.5);  // bucket [0, 1]
+  h.observe(1.5);  // bucket (1, 2]
+  h.observe(1.7);  // bucket (1, 2]
+  h.observe(3.0);  // bucket (2, 4]
+
+  // rank = q * 4, walked through cumulative counts {1, 3, 4}:
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);    // rank 0: bucket-0 lower bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);   // rank 1: bucket-0 upper bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);    // rank 2: halfway into (1, 2]
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 2.0);   // rank 3: bucket-1 upper bound
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);    // rank 4: last finite bound
+
+  // Out-of-range q clamps; overflow observations clamp to the last bound.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  h.observe(100.0);  // +inf bucket
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileTracksExactQuantilesWithinBucketWidth) {
+  // Property: against any sample set, the interpolated quantile is within
+  // one bucket width of the exact order statistic. Deterministic LCG
+  // samples over [0, 8) with unit-width buckets.
+  Histogram h({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+  std::vector<double> samples;
+  std::uint64_t state = 42;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double x = 8.0 * static_cast<double>(state >> 11) /
+                     static_cast<double>(1ULL << 53);
+    samples.push_back(x);
+    h.observe(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(q * samples.size());
+    const double exact =
+        samples[rank < samples.size() ? rank : samples.size() - 1];
+    EXPECT_NEAR(h.quantile(q), exact, 1.0) << "q=" << q;
+  }
+}
+
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_ANY_THROW(Histogram({}));
   EXPECT_ANY_THROW(Histogram({1.0, 1.0}));
@@ -146,6 +194,61 @@ TEST(Tracer, RingBufferOverwritesOldestAndCountsDrops) {
   // Oldest-first: the four most recent spans, in recording order.
   EXPECT_EQ(spans[0].name, "s6");
   EXPECT_EQ(spans[3].name, "s9");
+}
+
+TEST(EventLog, RingOverwritesOldestAndCountsDrops) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.name = "e" + std::to_string(i);
+    log.log(std::move(e));
+  }
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "e6");  // oldest retained first
+  EXPECT_EQ(events[3].name, "e9");
+}
+
+TEST(EventLog, FreeFunctionStampsAmbientTraceSpanAndNode) {
+  EventLog::instance().clear();
+  {
+    const NodeScope node_scope("client7");
+    ScopedSpan span("test.obs.event.span");
+    event(Severity::kWarn, "test.obs.event",
+          {{"key", "value"}, {"n", "3"}});
+    const auto events = EventLog::instance().snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    const Event& e = events[0];
+    EXPECT_EQ(e.severity, Severity::kWarn);
+    EXPECT_EQ(e.trace_id, span.trace_id());
+    EXPECT_EQ(e.span_id, span.id());
+    EXPECT_EQ(e.node, "client7");
+    EXPECT_GE(e.seconds, 0.0);
+    ASSERT_EQ(e.fields.size(), 2u);
+    EXPECT_EQ(e.fields[0].first, "key");
+    EXPECT_EQ(e.fields[0].second, "value");
+  }
+  const std::string tail = EventLog::instance().dump_tail();
+  EXPECT_NE(tail.find("flight recorder:"), std::string::npos);
+  EXPECT_NE(tail.find("[warn]"), std::string::npos);
+  EXPECT_NE(tail.find("test.obs.event"), std::string::npos);
+  EXPECT_NE(tail.find("node=client7"), std::string::npos);
+  EXPECT_NE(tail.find("key=value"), std::string::npos);
+}
+
+TEST(EventLog, DumpTailKeepsNewestEvents) {
+  EventLog log(8);
+  for (int i = 0; i < 8; ++i) {
+    Event e;
+    e.name = "tail" + std::to_string(i);
+    log.log(std::move(e));
+  }
+  const std::string tail = log.dump_tail(2);
+  EXPECT_EQ(tail.find("tail5"), std::string::npos);
+  EXPECT_NE(tail.find("tail6"), std::string::npos);
+  EXPECT_NE(tail.find("tail7"), std::string::npos);
 }
 
 // --- minimal JSON syntax checker (objects/arrays/strings/numbers) ---------
@@ -260,6 +363,52 @@ TEST(Export, TextDumpMentionsRegisteredNames) {
   counter("test.obs.dump.counter").inc();
   const std::string text = dump();
   EXPECT_NE(text.find("test.obs.dump.counter"), std::string::npos);
+}
+
+TEST(Export, SnapshotJsonIncludesCandidateCostsAndEventStats) {
+  {
+    CandidateScope scope("scaler/model");
+    prefix_event(true);
+    prefix_event(false);
+  }
+  CandidateCosts::instance().record_fold("scaler/model", 0.25);
+  event(Severity::kInfo, "test.obs.export.event");
+
+  const std::string json = snapshot_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"candidates\""), std::string::npos);
+  EXPECT_NE(json.find("\"scaler/model\""), std::string::npos);
+  EXPECT_NE(json.find("\"prefix_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\""), std::string::npos);
+}
+
+TEST(Export, TraceRingStatsAreExportedAsMetrics) {
+  { ScopedSpan span("test.obs.ringstats"); }
+  EXPECT_GT(counter("obs.trace.recorded").value(), 0u);
+  const std::string json = snapshot_json();
+  EXPECT_NE(json.find("\"obs.trace.recorded\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs.trace.dropped\""), std::string::npos);
+}
+
+TEST(Obs, ResetAllClearsTracerEventsCostsAndIdSources) {
+  { ScopedSpan span("test.obs.resetall.span"); }
+  event(Severity::kInfo, "test.obs.resetall.event");
+  CandidateCosts::instance().record_fold("p", 0.1);
+  ASSERT_FALSE(Tracer::instance().snapshot().empty());
+  ASSERT_FALSE(EventLog::instance().snapshot().empty());
+  ASSERT_FALSE(CandidateCosts::instance().snapshot().empty());
+
+  reset_all();
+
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+  EXPECT_EQ(Tracer::instance().recorded(), 0u);
+  EXPECT_TRUE(Tracer::instance().anchors().empty());
+  EXPECT_TRUE(EventLog::instance().snapshot().empty());
+  EXPECT_TRUE(CandidateCosts::instance().snapshot().empty());
+  // Span/trace id sources restart, so seeded replays get identical ids.
+  ScopedSpan fresh("test.obs.resetall.fresh");
+  EXPECT_EQ(fresh.id(), 1u);
+  EXPECT_EQ(fresh.trace_id(), 1u);
 }
 
 TEST(Registry, ResetZeroesButKeepsReferencesValid) {

@@ -104,6 +104,9 @@ void print_fig11() {
   std::printf("Zero-model baseline rank: %zu of %zu\n", zero_rank,
               order.size());
   std::printf("full search wall time: %.1fs\n\n", seconds);
+  coda::bench::record_entry("fig11_full_search", seconds,
+                            static_cast<double>(order.size()) / seconds,
+                            "paths/s");
 }
 
 // Shared-prefix cache ablation: the same search run with the evaluation

@@ -1,0 +1,150 @@
+// Kernel-layer baseline (DESIGN.md §11): blocked/register-tiled GEMM vs the
+// naive triple loops it replaced. The artifact table reports GFLOP/s and
+// speedup per shape — the committed BENCH_kernels.json pins these numbers
+// so later changes to src/core/kernels.cpp have a diffable anchor. The
+// naive reference is inlined from kernels.h into this TU, so it is measured
+// exactly as the pre-kernel code was compiled (the library's default -O2,
+// not the kernel layer's -O3).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/kernels.h"
+#include "src/util/random.h"
+#include "src/util/stopwatch.h"
+
+using namespace coda;
+
+namespace {
+
+struct Shape {
+  std::size_t m, n, k;
+};
+
+std::vector<double> random_buffer(std::size_t size, Rng& rng) {
+  std::vector<double> out(size);
+  for (double& v : out) v = rng.uniform(-1.0, 1.0);
+  return out;
+}
+
+// Times `fn` by repeating it until ~0.3s of wall clock has elapsed and
+// returns seconds per call.
+template <typename Fn>
+double time_call(Fn&& fn) {
+  Stopwatch total;
+  std::size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (total.elapsed_seconds() < 0.3);
+  return total.elapsed_seconds() / static_cast<double>(iters);
+}
+
+void print_gemm_table() {
+  std::printf("=== kernel layer: blocked GEMM vs naive reference ===\n\n");
+  Rng rng(42);
+  std::vector<std::vector<std::string>> rows;
+  for (const Shape& s : std::vector<Shape>{{64, 64, 64},
+                                           {128, 128, 128},
+                                           {256, 256, 256},
+                                           {96, 80, 512},
+                                           {512, 33, 129}}) {
+    const auto a = random_buffer(s.m * s.k, rng);
+    const auto b = random_buffer(s.k * s.n, rng);
+    std::vector<double> c(s.m * s.n, 0.0);
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.n) * static_cast<double>(s.k);
+
+    const double naive_s = time_call([&] {
+      kernels::reference::gemm_nn(s.m, s.n, s.k, a.data(), s.k, b.data(),
+                                  s.n, c.data(), s.n);
+    });
+    const double kernel_s = time_call([&] {
+      kernels::gemm_nn(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(),
+                       s.n);
+    });
+    const double naive_gfs = flops / naive_s / 1e9;
+    const double kernel_gfs = flops / kernel_s / 1e9;
+    const std::string label = std::to_string(s.m) + "x" + std::to_string(s.n) +
+                              "x" + std::to_string(s.k);
+    rows.push_back({label, bench::fmt(naive_gfs, 2), bench::fmt(kernel_gfs, 2),
+                    bench::fmt(naive_s / kernel_s, 2) + "x"});
+    bench::record_entry("gemm_nn_naive_" + label, naive_s, naive_gfs, "GF/s");
+    bench::record_entry("gemm_nn_kernel_" + label, kernel_s, kernel_gfs,
+                        "GF/s");
+  }
+  bench::print_table({"shape", "naive GF/s", "kernel GF/s", "speedup"}, rows,
+                     {-12, 12, 12, 9});
+  std::printf("\n(naive = the exact pre-kernel scalar loops, compiled at "
+              "this binary's default optimization level)\n\n");
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = random_buffer(n * n, rng);
+  const auto b = random_buffer(n * n, rng);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    kernels::gemm_nn(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto a = random_buffer(n * n, rng);
+  const auto b = random_buffer(n * n, rng);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    kernels::gemm_tn(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTN)->Arg(128);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto a = random_buffer(n * n, rng);
+  const auto b = random_buffer(n * n, rng);
+  std::vector<double> c(n * n, 0.0);
+  for (auto _ : state) {
+    kernels::gemm_nt(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(128);
+
+void BM_FusedEpilogue(benchmark::State& state) {
+  // Dense-layer shape: GEMM + bias + ReLU in one write-back.
+  const std::size_t m = 64, n = 128, k = 128;
+  Rng rng(4);
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(k * n, rng);
+  const auto bias = random_buffer(n, rng);
+  std::vector<double> c(m * n, 0.0);
+  const kernels::Epilogue ep{bias.data(), kernels::Activation::kRelu};
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0);
+    kernels::gemm_nn(m, n, k, a.data(), k, b.data(), n, c.data(), n, ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_FusedEpilogue);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  coda::bench::strip_obs_flags(&argc, argv);
+  print_gemm_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_obs_if_requested();
+  return 0;
+}

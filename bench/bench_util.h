@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/obs/obs.h"
+#include "src/util/stopwatch.h"
 
 namespace coda::bench {
 
@@ -61,6 +62,55 @@ inline std::string& trace_dump_path() {
   return path;
 }
 
+// --------------------------------------------------------------------------
+// --bench-json: every bench binary can persist a machine-readable baseline
+// (BENCH_<name>.json next to the cwd by default) holding its whole-run wall
+// time, any named results recorded via record_entry(), and the final
+// metrics snapshot. Committing the file gives perf changes a diffable
+// anchor.
+// --------------------------------------------------------------------------
+
+/// One named measurement in the baseline file.
+struct BenchEntry {
+  std::string name;
+  double wall_seconds;
+  double throughput;  // 0 when not meaningful
+  std::string unit;   // unit of `throughput`, e.g. "GF/s", "rows/s"
+};
+
+inline bool& bench_dump_requested() {
+  static bool requested = false;
+  return requested;
+}
+
+inline std::string& bench_dump_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& bench_name() {
+  static std::string name = "bench";
+  return name;
+}
+
+inline std::vector<BenchEntry>& bench_entries() {
+  static std::vector<BenchEntry> entries;
+  return entries;
+}
+
+inline Stopwatch& bench_run_timer() {
+  static Stopwatch timer;
+  return timer;
+}
+
+/// Records a named result for the --bench-json baseline. Pass throughput 0
+/// (and any unit) when only the wall time is meaningful.
+inline void record_entry(const std::string& name, double wall_seconds,
+                         double throughput = 0.0,
+                         const std::string& unit = "") {
+  bench_entries().push_back(BenchEntry{name, wall_seconds, throughput, unit});
+}
+
 namespace detail {
 
 inline void write_or_print(const std::string& payload,
@@ -81,12 +131,22 @@ inline void write_or_print(const std::string& payload,
 
 }  // namespace detail
 
-/// Consumes `--metrics-json[=path]` and `--trace-json[=path]` from argv
-/// before google-benchmark's own flag parsing (which rejects unknown
-/// flags). With no path, the respective JSON goes to stdout after the
-/// benchmarks run: --metrics-json emits the metrics snapshot,
-/// --trace-json the Chrome trace-event export of the span ring.
+/// Consumes `--metrics-json[=path]`, `--trace-json[=path]` and
+/// `--bench-json[=path]` from argv before google-benchmark's own flag
+/// parsing (which rejects unknown flags). With no path, --metrics-json and
+/// --trace-json go to stdout after the benchmarks run; --bench-json
+/// defaults to BENCH_<name>.json where <name> is the binary's basename
+/// minus any "bench_" prefix. Also starts the whole-run wall clock used in
+/// the baseline file.
 inline void strip_obs_flags(int* argc, char** argv) {
+  // Derive the bench name from argv[0]: ".../bench_kernels" -> "kernels".
+  std::string prog = argv[0] != nullptr ? argv[0] : "bench";
+  const std::size_t slash = prog.find_last_of('/');
+  if (slash != std::string::npos) prog = prog.substr(slash + 1);
+  if (prog.rfind("bench_", 0) == 0) prog = prog.substr(6);
+  bench_name() = prog.empty() ? "bench" : prog;
+  bench_run_timer().reset();
+
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +160,11 @@ inline void strip_obs_flags(int* argc, char** argv) {
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_dump_requested() = true;
       trace_dump_path() = arg.substr(std::string("--trace-json=").size());
+    } else if (arg == "--bench-json") {
+      bench_dump_requested() = true;
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_dump_requested() = true;
+      bench_dump_path() = arg.substr(std::string("--bench-json=").size());
     } else {
       argv[kept++] = argv[i];
     }
@@ -107,7 +172,37 @@ inline void strip_obs_flags(int* argc, char** argv) {
   *argc = kept;
 }
 
-/// Emits whatever `--metrics-json` / `--trace-json` requested.
+namespace detail {
+
+inline std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string bench_baseline_json() {
+  std::string out = "{\n  \"bench\": \"" + bench_name() + "\",\n";
+  out += "  \"wall_seconds\": " +
+         json_number(bench_run_timer().elapsed_seconds()) + ",\n";
+  out += "  \"entries\": [";
+  const auto& entries = bench_entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    const BenchEntry& e = entries[i];
+    out += "    {\"name\": \"" + e.name +
+           "\", \"wall_seconds\": " + json_number(e.wall_seconds) +
+           ", \"throughput\": " + json_number(e.throughput) +
+           ", \"unit\": \"" + e.unit + "\"}";
+  }
+  out += entries.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"metrics\": " + coda::obs::snapshot_json() + "\n}";
+  return out;
+}
+
+}  // namespace detail
+
+/// Emits whatever `--metrics-json` / `--trace-json` / `--bench-json`
+/// requested.
 inline void dump_obs_if_requested() {
   if (metrics_dump_requested()) {
     detail::write_or_print(coda::obs::snapshot_json(), metrics_dump_path(),
@@ -116,6 +211,11 @@ inline void dump_obs_if_requested() {
   if (trace_dump_requested()) {
     detail::write_or_print(coda::obs::export_chrome_trace(),
                            trace_dump_path(), "trace");
+  }
+  if (bench_dump_requested()) {
+    std::string path = bench_dump_path();
+    if (path.empty()) path = "BENCH_" + bench_name() + ".json";
+    detail::write_or_print(detail::bench_baseline_json(), path, "baseline");
   }
 }
 

@@ -10,6 +10,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== tier 1: kernel bench smoke (ctest -L perf) =="
+ctest --test-dir build -L perf --output-on-failure
+
 echo "== tier 1: Chrome trace export + span-tree invariants =="
 scripts/trace_check.sh build
 

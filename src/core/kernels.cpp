@@ -1,0 +1,386 @@
+#include "src/core/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+
+namespace coda::kernels {
+namespace {
+
+// Register-tile shape: kMr rows of C by kNr columns held in accumulators
+// across a k panel (8x12 won an empirical sweep on the CI machine, with
+// 6x12 a close second; several neighboring shapes — 4x16, 6x8, 6x16, 8x8 —
+// fall off a vectorization cliff to well below the naive loops, so change
+// with care and re-run bench_kernels).
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 12;
+// Panel sizes: each packed kKc x kNr strip of B (~36KB) stays L1-resident
+// while the kMr-row tiles of A stream over it; the kKc x kNc panel (~720KB)
+// fits L2.
+constexpr std::size_t kKc = 384;
+constexpr std::size_t kNc = 240;
+
+// Below this many flops (2*m*n*k) a GEMM is not worth a clock read, let
+// alone a thread handoff.
+constexpr std::size_t kTimedFlops = 1u << 20;
+constexpr std::size_t kParallelFlops = 4u << 20;
+
+double apply_epilogue(double v, const double* bias_tile, std::size_t j,
+                      Activation act) {
+  if (bias_tile != nullptr) v += bias_tile[j];
+  return activate(v, act);
+}
+
+// Full kMr x kNr micro-kernel over one packed k strip. The C tile is
+// carried in `acc` for the whole panel (loaded from and stored back to
+// memory at the panel boundary), so the per-element reduction order over k
+// is exactly ascending — identical to the naive loops. `a_i`/`a_k` are the
+// strides to the next row / next k element of A, which lets the same kernel
+// serve both the NN (a_i=lda, a_k=1) and TN (a_i=1, a_k=lda) orientations.
+// `bp` is a packed B strip: kNr contiguous doubles per k step.
+void micro_full(const double* __restrict ap, const double* __restrict bp,
+                double* __restrict c, std::size_t ldc, std::size_t kk,
+                bool final_panel, const Epilogue& ep,
+                const double* bias_tile) {
+  double acc[kMr][kNr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t v = 0; v < kNr; ++v) acc[r][v] = c[r * ldc + v];
+  }
+  for (std::size_t l = 0; l < kk; ++l) {
+    const double* __restrict brow = bp + l * kNr;
+    const double* __restrict arow = ap + l * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const double ar = arow[r];
+      for (std::size_t v = 0; v < kNr; ++v) acc[r][v] += ar * brow[v];
+    }
+  }
+  if (final_panel && ep.active()) {
+    for (std::size_t r = 0; r < kMr; ++r) {
+      for (std::size_t v = 0; v < kNr; ++v) {
+        c[r * ldc + v] = apply_epilogue(acc[r][v], bias_tile, v, ep.act);
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < kMr; ++r) {
+      for (std::size_t v = 0; v < kNr; ++v) c[r * ldc + v] = acc[r][v];
+    }
+  }
+}
+
+// Ragged-edge tile (mr < kMr and/or nr < kNr). The packed strip is
+// zero-padded to kNr, so the compute loop keeps its constant trip count;
+// only real columns are stored. Adding the 0.0 padding terms to dead
+// accumulator lanes changes nothing. Same reduction order.
+void micro_edge(const double* __restrict ap, const double* __restrict bp,
+                double* __restrict c, std::size_t ldc, std::size_t mr,
+                std::size_t nr, std::size_t kk, bool final_panel,
+                const Epilogue& ep, const double* bias_tile) {
+  double acc[kMr][kNr];
+  for (std::size_t r = 0; r < mr; ++r) {
+    for (std::size_t v = 0; v < nr; ++v) acc[r][v] = c[r * ldc + v];
+  }
+  for (std::size_t l = 0; l < kk; ++l) {
+    const double* __restrict brow = bp + l * kNr;
+    const double* __restrict arow = ap + l * kMr;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const double ar = arow[r];
+      for (std::size_t v = 0; v < kNr; ++v) acc[r][v] += ar * brow[v];
+    }
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    for (std::size_t v = 0; v < nr; ++v) {
+      const double out = acc[r][v];
+      c[r * ldc + v] = final_panel && ep.active()
+                           ? apply_epilogue(out, bias_tile, v, ep.act)
+                           : out;
+    }
+  }
+}
+
+// Packs B[pc:pc+kc, jc:jc+nc] into kNr-wide strips: strip t holds the tile
+// columns [jc + t*kNr, ...) as kc contiguous rows of kNr doubles,
+// zero-padded on the ragged right edge. Pure data movement — it does not
+// touch the reduction order.
+void pack_b(const double* b, std::size_t ldb, std::size_t kc, std::size_t nc,
+            double* __restrict packed) {
+  const std::size_t tiles = (nc + kNr - 1) / kNr;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t j0 = t * kNr;
+    const std::size_t nr = std::min(kNr, nc - j0);
+    double* __restrict dst = packed + t * kc * kNr;
+    for (std::size_t l = 0; l < kc; ++l) {
+      const double* __restrict src = b + l * ldb + j0;
+      for (std::size_t v = 0; v < nr; ++v) dst[l * kNr + v] = src[v];
+      for (std::size_t v = nr; v < kNr; ++v) dst[l * kNr + v] = 0.0;
+    }
+  }
+}
+
+// Packs the kMr x kc row tile of A starting at `a` into [l][r] interleaved
+// order, so the micro-kernel reads kMr contiguous doubles per k step
+// regardless of the source orientation. Rows past mr are left unwritten —
+// micro_edge never reads them.
+void pack_a(const double* a, std::size_t a_i, std::size_t a_k, std::size_t mr,
+            std::size_t kc, double* __restrict packed) {
+  for (std::size_t l = 0; l < kc; ++l) {
+    for (std::size_t r = 0; r < mr; ++r) {
+      packed[l * kMr + r] = a[r * a_i + l * a_k];
+    }
+  }
+}
+
+// Blocked driver for the NN/TN orientations over the row range [m0, m1).
+void gemm_block(std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
+                const double* a, std::size_t a_i, std::size_t a_k,
+                const double* b, std::size_t ldb, double* c, std::size_t ldc,
+                const Epilogue& ep) {
+  thread_local std::vector<double> packed;
+  packed.resize(kKc * (kNc + kNr) + kKc * kMr);
+  double* const bpack = packed.data();
+  double* const apack = packed.data() + kKc * (kNc + kNr);
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      const bool final_panel = pc + kc == k;
+      pack_b(b + pc * ldb + jc, ldb, kc, nc, bpack);
+      for (std::size_t i0 = m0; i0 < m1; i0 += kMr) {
+        const std::size_t mr = std::min(kMr, m1 - i0);
+        pack_a(a + i0 * a_i + pc * a_k, a_i, a_k, mr, kc, apack);
+        for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
+          const std::size_t nr = std::min(kNr, nc - j0);
+          const double* bp = bpack + (j0 / kNr) * kc * kNr;
+          double* ct = c + i0 * ldc + jc + j0;
+          const double* bias_tile = ep.bias ? ep.bias + jc + j0 : nullptr;
+          if (mr == kMr && nr == kNr) {
+            micro_full(apack, bp, ct, ldc, kc, final_panel, ep, bias_tile);
+          } else {
+            micro_edge(apack, bp, ct, ldc, mr, nr, kc, final_panel, ep,
+                       bias_tile);
+          }
+        }
+      }
+    }
+  }
+}
+
+// NT driver over the row range [m0, m1): C(i,j) += dot(A row i, B row j).
+// Both rows are contiguous in k, so the kernel unrolls 4 independent dot
+// chains per A row; each chain reduces in ascending k order.
+void gemm_nt_block(std::size_t m0, std::size_t m1, std::size_t n,
+                   std::size_t k, const double* a, std::size_t lda,
+                   const double* b, std::size_t ldb, double* c,
+                   std::size_t ldc, const Epilogue& ep) {
+  for (std::size_t i = m0; i < m1; ++i) {
+    const double* __restrict ar = a + i * lda;
+    double* __restrict crow = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* __restrict b0 = b + j * ldb;
+      const double* __restrict b1 = b + (j + 1) * ldb;
+      const double* __restrict b2 = b + (j + 2) * ldb;
+      const double* __restrict b3 = b + (j + 3) * ldb;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double av = ar[l];
+        s0 += av * b0[l];
+        s1 += av * b1[l];
+        s2 += av * b2[l];
+        s3 += av * b3[l];
+      }
+      if (ep.active()) {
+        crow[j] = apply_epilogue(crow[j] + s0, ep.bias, j, ep.act);
+        crow[j + 1] = apply_epilogue(crow[j + 1] + s1, ep.bias, j + 1, ep.act);
+        crow[j + 2] = apply_epilogue(crow[j + 2] + s2, ep.bias, j + 2, ep.act);
+        crow[j + 3] = apply_epilogue(crow[j + 3] + s3, ep.bias, j + 3, ep.act);
+      } else {
+        crow[j] += s0;
+        crow[j + 1] += s1;
+        crow[j + 2] += s2;
+        crow[j + 3] += s3;
+      }
+    }
+    for (; j < n; ++j) {
+      const double* __restrict brow = b + j * ldb;
+      double s = 0.0;
+      for (std::size_t l = 0; l < k; ++l) s += ar[l] * brow[l];
+      crow[j] = ep.active() ? apply_epilogue(crow[j] + s, ep.bias, j, ep.act)
+                            : crow[j] + s;
+    }
+  }
+}
+
+// Lazily created pool for large shapes; null on single-core machines so
+// small boxes never pay thread-handoff costs. Row-wise partitioning keeps
+// results bit-identical to the single-threaded path (disjoint output rows,
+// unchanged per-element reduction order).
+ThreadPool* pool() {
+  static const std::unique_ptr<ThreadPool> p = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 1 ? std::make_unique<ThreadPool>(hc) : nullptr;
+  }();
+  return p.get();
+}
+
+template <typename Fn>
+void parallel_rows(std::size_t m, std::size_t flops, Fn&& fn) {
+  ThreadPool* p = pool();
+  if (p == nullptr || flops < kParallelFlops || m < 2 * kMr) {
+    fn(std::size_t{0}, m);
+    return;
+  }
+  const std::size_t chunks = std::min<std::size_t>(p->size(), m / kMr);
+  // Round chunk sizes up to the register-tile height.
+  const std::size_t chunk = ((m + chunks - 1) / chunks + kMr - 1) / kMr * kMr;
+  std::vector<std::future<void>> futures;
+  for (std::size_t r0 = 0; r0 < m; r0 += chunk) {
+    const std::size_t r1 = std::min(m, r0 + chunk);
+    futures.push_back(p->submit([&fn, r0, r1] { fn(r0, r1); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+struct GemmCounters {
+  obs::Counter& calls = obs::counter("kernel.gemm.calls");
+  obs::Counter& flops = obs::counter("kernel.gemm.flops");
+  obs::Histogram& seconds = obs::histogram("kernel.gemm.seconds");
+};
+
+GemmCounters& counters() {
+  static GemmCounters c;
+  return c;
+}
+
+template <typename Run>
+void instrumented(std::size_t m, std::size_t n, std::size_t k, Run&& run) {
+  GemmCounters& c = counters();
+  const std::size_t flops = 2 * m * n * k;
+  c.calls.inc();
+  c.flops.inc(flops);
+  if (m == 0 || n == 0 || k == 0) return;
+  if (flops >= kTimedFlops) {
+    Stopwatch timer;
+    run(flops);
+    c.seconds.observe(timer.elapsed_seconds());
+  } else {
+    run(flops);
+  }
+}
+
+void check_shapes(const Matrix& a, const Matrix& b, const Matrix& c,
+                  std::size_t m, std::size_t n, std::size_t k,
+                  const char* who) {
+  require(a.rows() * a.cols() >= m * k && b.rows() * b.cols() >= k * n,
+          std::string(who) + ": input shape mismatch");
+  require(c.rows() == m && c.cols() == n,
+          std::string(who) + ": output shape mismatch");
+}
+
+}  // namespace
+
+double activate(double v, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return v > 0.0 ? v : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-v));
+    case Activation::kTanh:
+      return std::tanh(v);
+    case Activation::kNone:
+      break;
+  }
+  return v;
+}
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, const Epilogue& ep) {
+  instrumented(m, n, k, [&](std::size_t flops) {
+    parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
+      gemm_block(m0, m1, n, k, a, /*a_i=*/lda, /*a_k=*/1, b, ldb, c, ldc, ep);
+    });
+  });
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, const Epilogue& ep) {
+  instrumented(m, n, k, [&](std::size_t flops) {
+    parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
+      gemm_block(m0, m1, n, k, a, /*a_i=*/1, /*a_k=*/lda, b, ldb, c, ldc, ep);
+    });
+  });
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc, const Epilogue& ep) {
+  instrumented(m, n, k, [&](std::size_t flops) {
+    parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
+      gemm_nt_block(m0, m1, n, k, a, lda, b, ldb, c, ldc, ep);
+    });
+  });
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c,
+                 const Epilogue& ep) {
+  require(a.cols() == b.rows(), "matmul_into: inner dimension mismatch");
+  check_shapes(a, b, c, a.rows(), b.cols(), a.cols(), "matmul_into");
+  gemm_nn(a.rows(), b.cols(), a.cols(), a.data().data(), a.cols(),
+          b.data().data(), b.cols(), c.data().data(), c.cols(), ep);
+}
+
+void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& c,
+                    const Epilogue& ep) {
+  require(a.rows() == b.rows(), "matmul_tn_into: inner dimension mismatch");
+  check_shapes(a, b, c, a.cols(), b.cols(), a.rows(), "matmul_tn_into");
+  gemm_tn(a.cols(), b.cols(), a.rows(), a.data().data(), a.cols(),
+          b.data().data(), b.cols(), c.data().data(), c.cols(), ep);
+}
+
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c,
+                    const Epilogue& ep) {
+  require(a.cols() == b.cols(), "matmul_nt_into: inner dimension mismatch");
+  check_shapes(a, b, c, a.rows(), b.rows(), a.cols(), "matmul_nt_into");
+  gemm_nt(a.rows(), b.rows(), a.cols(), a.data().data(), a.cols(),
+          b.data().data(), b.cols(), c.data().data(), c.cols(), ep);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, const Epilogue& ep) {
+  Matrix c(a.rows(), b.cols());
+  matmul_into(a, b, c, ep);
+  return c;
+}
+
+void axpy(std::size_t n, double alpha, const double* __restrict x,
+          double* __restrict y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::size_t n, double alpha, double* __restrict x) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double dot(std::size_t n, const double* __restrict x,
+           const double* __restrict y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void col_sums_add(std::size_t m, std::size_t n, const double* a,
+                  std::size_t lda, double* __restrict out) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* __restrict row = a + i * lda;
+    for (std::size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+}
+
+}  // namespace coda::kernels

@@ -1,6 +1,9 @@
 #include "src/data/matrix.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "src/core/kernels.h"
 
 namespace coda {
 
@@ -39,14 +42,31 @@ void Matrix::set_row(std::size_t r, const std::vector<double>& values) {
   for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
 Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
   Matrix out(indices.size(), cols_);
+  gather_rows_into(indices, out);
+  return out;
+}
+
+void Matrix::gather_rows_into(const std::vector<std::size_t>& indices,
+                              Matrix& out) const {
+  require(out.rows() == indices.size() && out.cols() == cols_,
+          "Matrix::gather_rows_into: destination shape mismatch");
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::size_t r = indices[i];
     check_index(r, 0);
-    for (std::size_t c = 0; c < cols_; ++c) out(i, c) = (*this)(r, c);
+    std::copy(row_ptr(r), row_ptr(r) + cols_, out.row_ptr(i));
   }
-  return out;
 }
 
 Matrix Matrix::select_cols(const std::vector<std::size_t>& indices) const {
@@ -70,15 +90,9 @@ Matrix Matrix::transposed() const {
 Matrix Matrix::multiply(const Matrix& other) const {
   require(cols_ == other.rows_, "Matrix::multiply: inner dimension mismatch");
   Matrix out(rows_, other.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double v = (*this)(r, k);
-      if (v == 0.0) continue;
-      for (std::size_t c = 0; c < other.cols_; ++c) {
-        out(r, c) += v * other(k, c);
-      }
-    }
-  }
+  kernels::gemm_nn(rows_, other.cols_, cols_, data_.data(), cols_,
+                   other.data_.data(), other.cols_, out.data_.data(),
+                   out.cols_);
   return out;
 }
 

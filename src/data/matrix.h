@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,33 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Raw contiguous row-major buffer (what the kernel layer consumes).
+  const double* ptr() const { return data_.data(); }
+  double* ptr() { return data_.data(); }
+
+  /// Non-owning views over one row (rows are contiguous in the row-major
+  /// buffer). Unchecked, like operator(): meant for hot loops that used to
+  /// pay a heap-allocating row() copy per access.
+  using Span = std::span<double>;
+  using ConstSpan = std::span<const double>;
+  ConstSpan row_span(std::size_t r) const {
+    return ConstSpan(data_.data() + r * cols_, cols_);
+  }
+  Span row_span(std::size_t r) {
+    return Span(data_.data() + r * cols_, cols_);
+  }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+
+  /// Reshapes in place, reusing the existing heap buffer when it is large
+  /// enough (shrinking never frees). Contents are unspecified afterwards
+  /// unless the element count is unchanged — this is a workspace primitive,
+  /// not a view.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
   /// Copies row r into a vector.
   std::vector<double> row(std::size_t r) const;
 
@@ -62,6 +90,12 @@ class Matrix {
 
   /// Returns the matrix restricted to the given row indices.
   Matrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  /// Copies the indexed rows into `out` (which must be presized to
+  /// indices.size() x cols()). The allocation-free core of select_rows(),
+  /// used by the trainer's reused batch workspace.
+  void gather_rows_into(const std::vector<std::size_t>& indices,
+                        Matrix& out) const;
 
   /// Returns the matrix restricted to the given column indices.
   Matrix select_cols(const std::vector<std::size_t>& indices) const;

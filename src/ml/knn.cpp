@@ -6,8 +6,7 @@
 namespace coda {
 
 std::vector<std::size_t> k_nearest(const Matrix& train,
-                                   const std::vector<double>& query,
-                                   std::size_t k) {
+                                   Matrix::ConstSpan query, std::size_t k) {
   require(train.rows() > 0, "k_nearest: empty training data");
   require(train.cols() == query.size(), "k_nearest: dimension mismatch");
   require(k >= 1, "k_nearest: k must be >= 1");
@@ -15,9 +14,10 @@ std::vector<std::size_t> k_nearest(const Matrix& train,
 
   std::vector<double> dist(train.rows());
   for (std::size_t r = 0; r < train.rows(); ++r) {
+    const double* row = train.row_ptr(r);
     double s = 0.0;
     for (std::size_t c = 0; c < train.cols(); ++c) {
-      const double d = train(r, c) - query[c];
+      const double d = row[c] - query[c];
       s += d * d;
     }
     dist[r] = s;
@@ -32,6 +32,12 @@ std::vector<std::size_t> k_nearest(const Matrix& train,
   return order;
 }
 
+std::vector<std::size_t> k_nearest(const Matrix& train,
+                                   const std::vector<double>& query,
+                                   std::size_t k) {
+  return k_nearest(train, Matrix::ConstSpan(query.data(), query.size()), k);
+}
+
 namespace {
 
 std::vector<double> knn_predict(const Matrix& train_X,
@@ -39,7 +45,7 @@ std::vector<double> knn_predict(const Matrix& train_X,
                                 const Matrix& X, std::size_t k) {
   std::vector<double> out(X.rows());
   for (std::size_t r = 0; r < X.rows(); ++r) {
-    const auto nn = k_nearest(train_X, X.row(r), k);
+    const auto nn = k_nearest(train_X, X.row_span(r), k);
     double s = 0.0;
     for (const std::size_t i : nn) s += train_y[i];
     out[r] = s / static_cast<double>(nn.size());

@@ -47,7 +47,11 @@ class KnnClassifier final : public Estimator {
 };
 
 /// Indices of the k training rows nearest to `query` (Euclidean), closest
-/// first. Shared by the kNN models and the kNN imputer tests.
+/// first. Shared by the kNN models and the kNN imputer tests. The span
+/// overload lets callers pass a Matrix row view (Matrix::row_span) without
+/// copying the row out first.
+std::vector<std::size_t> k_nearest(const Matrix& train,
+                                   Matrix::ConstSpan query, std::size_t k);
 std::vector<std::size_t> k_nearest(const Matrix& train,
                                    const std::vector<double>& query,
                                    std::size_t k);

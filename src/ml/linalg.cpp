@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/core/kernels.h"
+
 namespace coda {
 
 std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
@@ -46,19 +48,14 @@ std::vector<double> least_squares(const Matrix& X,
   require(X.rows() == y.size(), "least_squares: X/y size mismatch");
   require(X.rows() > 0, "least_squares: empty input");
   const std::size_t d = X.cols();
+  // Normal equations via the kernel layer: XᵀX and Xᵀy in two TN GEMMs
+  // (y treated as an n x 1 matrix). Symmetry comes out exact because the
+  // mirrored elements sum identical products in identical order.
   Matrix xtx(d, d);
   std::vector<double> xty(d, 0.0);
-  for (std::size_t r = 0; r < X.rows(); ++r) {
-    for (std::size_t i = 0; i < d; ++i) {
-      const double xi = X(r, i);
-      xty[i] += xi * y[r];
-      for (std::size_t j = i; j < d; ++j) xtx(i, j) += xi * X(r, j);
-    }
-  }
-  for (std::size_t i = 0; i < d; ++i) {
-    for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
-    xtx(i, i) += lambda;
-  }
+  kernels::gemm_tn(d, d, X.rows(), X.ptr(), d, X.ptr(), d, xtx.ptr(), d);
+  kernels::gemm_tn(d, 1, X.rows(), X.ptr(), d, y.data(), 1, xty.data(), 1);
+  for (std::size_t i = 0; i < d; ++i) xtx(i, i) += lambda;
   // Retry with growing ridge when X'X is singular (collinear features) so
   // pipelines containing redundant features still train.
   double extra = 0.0;

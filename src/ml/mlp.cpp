@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "src/nn/activations.h"
 #include "src/nn/dense.h"
 #include "src/nn/dropout.h"
 #include "src/nn/loss.h"
@@ -39,16 +38,20 @@ MlpParams read_mlp_params(const ParamMap& params) {
 
 nn::Sequential build_mlp(std::size_t in_features, const MlpParams& p,
                          bool classifier) {
+  // Activations ride in the Dense GEMM epilogue (fused bias+ReLU/Sigmoid
+  // write-back) instead of separate elementwise layers; seeds are unchanged
+  // so the weights match the old Dense+ReLU stacks exactly.
   nn::Sequential net;
   std::size_t width = in_features;
   for (std::size_t l = 0; l < p.hidden_layers; ++l) {
-    net.emplace<nn::Dense>(width, p.hidden, p.seed + l);
-    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(width, p.hidden, p.seed + l,
+                           kernels::Activation::kRelu);
     if (p.dropout > 0.0) net.emplace<nn::Dropout>(p.dropout, p.seed + 100 + l);
     width = p.hidden;
   }
-  net.emplace<nn::Dense>(width, std::size_t{1}, p.seed + 999);
-  if (classifier) net.emplace<nn::Sigmoid>();
+  net.emplace<nn::Dense>(width, std::size_t{1}, p.seed + 999,
+                         classifier ? kernels::Activation::kSigmoid
+                                    : kernels::Activation::kNone);
   return net;
 }
 

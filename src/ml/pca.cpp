@@ -4,28 +4,28 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/core/kernels.h"
+
 namespace coda {
 
 Matrix covariance_matrix(const Matrix& X) {
   require(X.rows() > 0, "covariance_matrix: empty input");
   const auto means = X.col_means();
   const std::size_t d = X.cols();
-  Matrix cov(d, d);
+  // Center once, then the covariance is a single TN GEMM over the centered
+  // matrix; symmetry is exact since mirrored elements sum the same
+  // products in the same order.
+  Matrix centered(X.rows(), d);
   for (std::size_t r = 0; r < X.rows(); ++r) {
     for (std::size_t i = 0; i < d; ++i) {
-      const double di = X(r, i) - means[i];
-      for (std::size_t j = i; j < d; ++j) {
-        cov(i, j) += di * (X(r, j) - means[j]);
-      }
+      centered(r, i) = X(r, i) - means[i];
     }
   }
+  Matrix cov(d, d);
+  kernels::gemm_tn(d, d, X.rows(), centered.ptr(), d, centered.ptr(), d,
+                   cov.ptr(), d);
   const double n = static_cast<double>(X.rows());
-  for (std::size_t i = 0; i < d; ++i) {
-    for (std::size_t j = i; j < d; ++j) {
-      cov(i, j) /= n;
-      cov(j, i) = cov(i, j);
-    }
-  }
+  for (double& v : cov.data()) v /= n;
   return cov;
 }
 

@@ -1,5 +1,8 @@
 #include "src/nn/conv1d.h"
 
+#include <algorithm>
+
+#include "src/core/kernels.h"
 #include "src/nn/init.h"
 
 namespace coda::nn {
@@ -35,32 +38,47 @@ Matrix Conv1D::forward(const Matrix& input, bool) {
   cached_input_ = input;
   cached_seq_len_ = seq_len;
 
-  Matrix out(input.rows(), out_len * out_channels_);
+  // im2col: gather each receptive field into a contiguous row, then the
+  // whole convolution is one GEMM. Causal: tap k reads input position
+  // t - (kernel-1-k)*dilation (zeros where that underflows). Valid: tap k
+  // reads t + k*dilation. The row-major output block (N*out_len) x out_ch
+  // is bytewise the same layout as the N x (out_len*out_ch) result, so the
+  // GEMM writes it directly; rows are pre-seeded with the bias so the
+  // accumulation order matches the old per-tap loops exactly.
+  const std::size_t fields = kernel_ * in_channels_;
+  im2col_.reshape(input.rows() * out_len, fields);
   for (std::size_t n = 0; n < input.rows(); ++n) {
+    const double* in_row = input.row_ptr(n);
     for (std::size_t t = 0; t < out_len; ++t) {
-      // Causal: tap k reads input position t - (kernel-1-k)*dilation.
-      // Valid: tap k reads input position t + k*dilation.
-      for (std::size_t o = 0; o < out_channels_; ++o) {
-        double acc = b_.value(0, o);
-        for (std::size_t k = 0; k < kernel_; ++k) {
-          std::ptrdiff_t src;
-          if (causal_) {
-            src = static_cast<std::ptrdiff_t>(t) -
-                  static_cast<std::ptrdiff_t>((kernel_ - 1 - k) * dilation_);
-            if (src < 0) continue;  // zero padding
-          } else {
-            src = static_cast<std::ptrdiff_t>(t + k * dilation_);
-          }
-          const std::size_t s = static_cast<std::size_t>(src);
-          for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-            acc += w_.value(k * in_channels_ + ci, o) *
-                   input(n, s * in_channels_ + ci);
-          }
+      double* dst = im2col_.row_ptr(n * out_len + t);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        std::ptrdiff_t src;
+        if (causal_) {
+          src = static_cast<std::ptrdiff_t>(t) -
+                static_cast<std::ptrdiff_t>((kernel_ - 1 - k) * dilation_);
+        } else {
+          src = static_cast<std::ptrdiff_t>(t + k * dilation_);
         }
-        out(n, t * out_channels_ + o) = acc;
+        double* tap = dst + k * in_channels_;
+        if (src < 0) {
+          std::fill(tap, tap + in_channels_, 0.0);
+        } else {
+          const double* sp =
+              in_row + static_cast<std::size_t>(src) * in_channels_;
+          std::copy(sp, sp + in_channels_, tap);
+        }
       }
     }
   }
+
+  Matrix out(input.rows(), out_len * out_channels_);
+  for (std::size_t r = 0; r < im2col_.rows(); ++r) {
+    std::copy(b_.value.ptr(), b_.value.ptr() + out_channels_,
+              out.ptr() + r * out_channels_);
+  }
+  kernels::gemm_nn(im2col_.rows(), out_channels_, fields, im2col_.ptr(),
+                   fields, w_.value.ptr(), out_channels_, out.ptr(),
+                   out_channels_);
   return out;
 }
 
@@ -72,30 +90,40 @@ Matrix Conv1D::backward(const Matrix& grad_output) {
               grad_output.cols() == out_len * out_channels_,
           "Conv1D: grad shape mismatch");
 
+  // The grad block is bytewise a (N*out_len) x out_ch matrix. db is its
+  // column sums; dW += im2colᵀ · g reuses the fields gathered in forward;
+  // dX is g · Wᵀ per row, scattered back through the same tap mapping
+  // (col2im) — the only part that has no GEMM shape.
+  const std::size_t fields = kernel_ * in_channels_;
+  const std::size_t gr = grad_output.rows() * out_len;
+  kernels::col_sums_add(gr, out_channels_, grad_output.ptr(), out_channels_,
+                        b_.grad.ptr());
+  kernels::gemm_tn(fields, out_channels_, gr, im2col_.ptr(), fields,
+                   grad_output.ptr(), out_channels_, w_.grad.ptr(),
+                   out_channels_);
+  dcol_.reshape(gr, fields);
+  dcol_.fill(0.0);
+  kernels::gemm_nt(gr, fields, out_channels_, grad_output.ptr(),
+                   out_channels_, w_.value.ptr(), out_channels_,
+                   dcol_.ptr(), fields);
+
   Matrix grad_input(cached_input_.rows(), cached_input_.cols());
   for (std::size_t n = 0; n < grad_output.rows(); ++n) {
+    double* gi_row = grad_input.row_ptr(n);
     for (std::size_t t = 0; t < out_len; ++t) {
-      for (std::size_t o = 0; o < out_channels_; ++o) {
-        const double g = grad_output(n, t * out_channels_ + o);
-        if (g == 0.0) continue;
-        b_.grad(0, o) += g;
-        for (std::size_t k = 0; k < kernel_; ++k) {
-          std::ptrdiff_t src;
-          if (causal_) {
-            src = static_cast<std::ptrdiff_t>(t) -
-                  static_cast<std::ptrdiff_t>((kernel_ - 1 - k) * dilation_);
-            if (src < 0) continue;
-          } else {
-            src = static_cast<std::ptrdiff_t>(t + k * dilation_);
-          }
-          const std::size_t s = static_cast<std::size_t>(src);
-          for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-            w_.grad(k * in_channels_ + ci, o) +=
-                g * cached_input_(n, s * in_channels_ + ci);
-            grad_input(n, s * in_channels_ + ci) +=
-                g * w_.value(k * in_channels_ + ci, o);
-          }
+      const double* src_row = dcol_.row_ptr(n * out_len + t);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        std::ptrdiff_t src;
+        if (causal_) {
+          src = static_cast<std::ptrdiff_t>(t) -
+                static_cast<std::ptrdiff_t>((kernel_ - 1 - k) * dilation_);
+          if (src < 0) continue;
+        } else {
+          src = static_cast<std::ptrdiff_t>(t + k * dilation_);
         }
+        double* dst = gi_row + static_cast<std::size_t>(src) * in_channels_;
+        const double* tap = src_row + k * in_channels_;
+        for (std::size_t ci = 0; ci < in_channels_; ++ci) dst[ci] += tap[ci];
       }
     }
   }

@@ -42,6 +42,12 @@ class Conv1D final : public Layer {
   ParamTensor b_;  // 1 x out_channels
   Matrix cached_input_;
   std::size_t cached_seq_len_ = 0;
+
+  // im2col workspace: one row per (batch row, output position) holding the
+  // kernel*in_channels receptive field (zeros where the causal padding
+  // falls). Built in forward, reused by backward, buffer kept across calls.
+  Matrix im2col_;
+  Matrix dcol_;  // backward counterpart: per-row gradient w.r.t. the field
 };
 
 /// Non-overlapping max pooling over time. Input rows are timestep-major

@@ -5,8 +5,8 @@
 namespace coda::nn {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features,
-             std::uint64_t seed)
-    : w_(in_features, out_features), b_(1, out_features) {
+             std::uint64_t seed, kernels::Activation act)
+    : w_(in_features, out_features), b_(1, out_features), act_(act) {
   require(in_features > 0 && out_features > 0, "Dense: empty shape");
   Rng rng(seed);
   xavier_init(w_.value, in_features, out_features, rng);
@@ -17,27 +17,55 @@ Matrix Dense::forward(const Matrix& input, bool) {
           "Dense: input has " + std::to_string(input.cols()) +
               " features, layer expects " + std::to_string(w_.value.rows()));
   cached_input_ = input;
-  Matrix out = input.multiply(w_.value);
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b_.value(0, c);
-  }
+  Matrix out(input.rows(), w_.value.cols());
+  // Bias broadcast (and the activation, when fused) happen in the GEMM
+  // epilogue during the final write-back — no second pass over `out`.
+  kernels::matmul_into(input, w_.value, out,
+                       kernels::Epilogue{b_.value.ptr(), act_});
+  if (act_ != kernels::Activation::kNone) cached_output_ = out;
   return out;
 }
 
 Matrix Dense::backward(const Matrix& grad_output) {
   require_state(cached_input_.rows() == grad_output.rows(),
                 "Dense: backward without matching forward");
-  // dW += x^T g ; db += column sums of g ; dInput = g W^T.
-  const Matrix dw = cached_input_.transposed().multiply(grad_output);
-  for (std::size_t i = 0; i < dw.size(); ++i) {
-    w_.grad.data()[i] += dw.data()[i];
-  }
-  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
-    for (std::size_t c = 0; c < grad_output.cols(); ++c) {
-      b_.grad(0, c) += grad_output(r, c);
+  // With a fused activation, first pull the gradient back through it using
+  // the cached post-activation output y: relu' = [y > 0], sigmoid' = y(1-y),
+  // tanh' = 1 - y^2.
+  Matrix g_act;
+  const Matrix* g = &grad_output;
+  if (act_ != kernels::Activation::kNone) {
+    g_act = grad_output;
+    double* gd = g_act.ptr();
+    const double* y = cached_output_.ptr();
+    for (std::size_t i = 0; i < g_act.size(); ++i) {
+      switch (act_) {
+        case kernels::Activation::kRelu:
+          gd[i] = y[i] > 0.0 ? gd[i] : 0.0;
+          break;
+        case kernels::Activation::kSigmoid:
+          gd[i] *= y[i] * (1.0 - y[i]);
+          break;
+        case kernels::Activation::kTanh:
+          gd[i] *= 1.0 - y[i] * y[i];
+          break;
+        case kernels::Activation::kNone:
+          break;
+      }
     }
+    g = &g_act;
   }
-  return grad_output.multiply(w_.value.transposed());
+  // dW += x^T g ; db += column sums of g ; dInput = g W^T — all without
+  // materializing any transpose.
+  dw_.reshape(w_.value.rows(), w_.value.cols());
+  dw_.fill(0.0);
+  kernels::matmul_tn_into(cached_input_, *g, dw_);
+  kernels::axpy(dw_.size(), 1.0, dw_.ptr(), w_.grad.ptr());
+  kernels::col_sums_add(g->rows(), g->cols(), g->ptr(), g->cols(),
+                        b_.grad.ptr());
+  Matrix dx(g->rows(), w_.value.rows());
+  kernels::matmul_nt_into(*g, w_.value, dx);
+  return dx;
 }
 
 }  // namespace coda::nn

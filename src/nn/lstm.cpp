@@ -1,7 +1,9 @@
 #include "src/nn/lstm.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/core/kernels.h"
 #include "src/nn/init.h"
 
 namespace coda::nn {
@@ -36,47 +38,46 @@ Matrix Lstm::forward(const Matrix& input, bool) {
   const std::size_t seq_len = input.cols() / input_size_;
   require(seq_len > 0, "Lstm: empty sequence");
   const std::size_t n = input.rows();
+  const std::size_t H = hidden_;
   cached_input_ = input;
   cached_seq_len_ = seq_len;
-  steps_.assign(seq_len, StepCache{});
+  if (steps_.size() != seq_len) steps_.resize(seq_len);
+  z_.reshape(n, 4 * H);
 
-  Matrix h_prev(n, hidden_);
-  Matrix c_prev(n, hidden_);
   for (std::size_t t = 0; t < seq_len; ++t) {
     StepCache& s = steps_[t];
-    s.i = Matrix(n, hidden_);
-    s.f = Matrix(n, hidden_);
-    s.g = Matrix(n, hidden_);
-    s.o = Matrix(n, hidden_);
-    s.c = Matrix(n, hidden_);
-    s.tanh_c = Matrix(n, hidden_);
-    s.h = Matrix(n, hidden_);
+    s.i.reshape(n, H);
+    s.f.reshape(n, H);
+    s.g.reshape(n, H);
+    s.o.reshape(n, H);
+    s.c.reshape(n, H);
+    s.tanh_c.reshape(n, H);
+    s.h.reshape(n, H);
+
+    // All four gate pre-activations in one 4H-wide fused pass:
+    // z = b + x_t Wx + h_{t-1} Wh. The timestep slice x_t is a strided view
+    // into the flattened batch (lda = input.cols()), no copy. At t = 0 the
+    // previous hidden state is all zero, so its GEMM is skipped outright.
     for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t hh = 0; hh < hidden_; ++hh) {
-        double zi = b_.value(0, hh);
-        double zf = b_.value(0, hidden_ + hh);
-        double zg = b_.value(0, 2 * hidden_ + hh);
-        double zo = b_.value(0, 3 * hidden_ + hh);
-        for (std::size_t x = 0; x < input_size_; ++x) {
-          const double xv = input(r, t * input_size_ + x);
-          zi += xv * wx_.value(x, hh);
-          zf += xv * wx_.value(x, hidden_ + hh);
-          zg += xv * wx_.value(x, 2 * hidden_ + hh);
-          zo += xv * wx_.value(x, 3 * hidden_ + hh);
-        }
-        for (std::size_t p = 0; p < hidden_; ++p) {
-          const double hv = h_prev(r, p);
-          if (hv == 0.0) continue;
-          zi += hv * wh_.value(p, hh);
-          zf += hv * wh_.value(p, hidden_ + hh);
-          zg += hv * wh_.value(p, 2 * hidden_ + hh);
-          zo += hv * wh_.value(p, 3 * hidden_ + hh);
-        }
-        const double iv = sigmoid(zi);
-        const double fv = sigmoid(zf);
-        const double gv = std::tanh(zg);
-        const double ov = sigmoid(zo);
-        const double cv = fv * c_prev(r, hh) + iv * gv;
+      std::copy(b_.value.ptr(), b_.value.ptr() + 4 * H, z_.row_ptr(r));
+    }
+    kernels::gemm_nn(n, 4 * H, input_size_, input.ptr() + t * input_size_,
+                     input.cols(), wx_.value.ptr(), 4 * H, z_.ptr(), 4 * H);
+    if (t > 0) {
+      kernels::gemm_nn(n, 4 * H, H, steps_[t - 1].h.ptr(), H,
+                       wh_.value.ptr(), 4 * H, z_.ptr(), 4 * H);
+    }
+
+    const Matrix* c_prev = t > 0 ? &steps_[t - 1].c : nullptr;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* zr = z_.row_ptr(r);
+      for (std::size_t hh = 0; hh < H; ++hh) {
+        const double iv = sigmoid(zr[hh]);
+        const double fv = sigmoid(zr[H + hh]);
+        const double gv = std::tanh(zr[2 * H + hh]);
+        const double ov = sigmoid(zr[3 * H + hh]);
+        const double cv =
+            fv * (t > 0 ? (*c_prev)(r, hh) : 0.0) + iv * gv;
         const double tc = std::tanh(cv);
         s.i(r, hh) = iv;
         s.f(r, hh) = fv;
@@ -87,17 +88,14 @@ Matrix Lstm::forward(const Matrix& input, bool) {
         s.h(r, hh) = ov * tc;
       }
     }
-    h_prev = s.h;
-    c_prev = s.c;
   }
 
   if (!return_sequences_) return steps_.back().h;
   Matrix out(n, seq_len * hidden_);
   for (std::size_t t = 0; t < seq_len; ++t) {
     for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t hh = 0; hh < hidden_; ++hh) {
-        out(r, t * hidden_ + hh) = steps_[t].h(r, hh);
-      }
+      std::copy(steps_[t].h.row_ptr(r), steps_[t].h.row_ptr(r) + hidden_,
+                out.row_ptr(r) + t * hidden_);
     }
   }
   return out;
@@ -107,6 +105,7 @@ Matrix Lstm::backward(const Matrix& grad_output) {
   require_state(cached_seq_len_ > 0, "Lstm: backward without forward");
   const std::size_t seq_len = cached_seq_len_;
   const std::size_t n = cached_input_.rows();
+  const std::size_t H = hidden_;
   if (return_sequences_) {
     require(grad_output.cols() == seq_len * hidden_,
             "Lstm: grad shape mismatch (sequences)");
@@ -116,18 +115,23 @@ Matrix Lstm::backward(const Matrix& grad_output) {
   require(grad_output.rows() == n, "Lstm: grad batch mismatch");
 
   Matrix grad_input(n, cached_input_.cols());
-  Matrix dh_next(n, hidden_);  // dLoss/dh_t flowing from step t+1
-  Matrix dc_next(n, hidden_);
+  dh_next_.reshape(n, H);
+  dh_next_.fill(0.0);
+  dc_next_.reshape(n, H);
+  dc_next_.fill(0.0);
+  dz_.reshape(n, 4 * H);
+  dh_prev_.reshape(n, H);
 
   for (std::size_t t = seq_len; t-- > 0;) {
     const StepCache& s = steps_[t];
-    const Matrix* h_prev_mat = t > 0 ? &steps_[t - 1].h : nullptr;
     const Matrix* c_prev_mat = t > 0 ? &steps_[t - 1].c : nullptr;
-    Matrix dh_prev(n, hidden_);  // dLoss/dh_{t-1}, built this step
 
+    // Elementwise gate backprop into the fused N x 4H buffer; dc carries in
+    // place through dc_next_.
     for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t hh = 0; hh < hidden_; ++hh) {
-        double dh = dh_next(r, hh);
+      double* dzr = dz_.row_ptr(r);
+      for (std::size_t hh = 0; hh < H; ++hh) {
+        double dh = dh_next_(r, hh);
         if (return_sequences_) {
           dh += grad_output(r, t * hidden_ + hh);
         } else if (t + 1 == seq_len) {
@@ -141,49 +145,38 @@ Matrix Lstm::backward(const Matrix& grad_output) {
         const double c_prev_v = t > 0 ? (*c_prev_mat)(r, hh) : 0.0;
 
         const double do_ = dh * tc;
-        double dc = dc_next(r, hh) + dh * ov * (1.0 - tc * tc);
+        const double dc = dc_next_(r, hh) + dh * ov * (1.0 - tc * tc);
         const double di = dc * gv;
         const double dg = dc * iv;
         const double df = dc * c_prev_v;
-        dc_next(r, hh) = dc * fv;
+        dc_next_(r, hh) = dc * fv;
 
-        const double dzi = di * iv * (1.0 - iv);
-        const double dzf = df * fv * (1.0 - fv);
-        const double dzg = dg * (1.0 - gv * gv);
-        const double dzo = do_ * ov * (1.0 - ov);
-
-        b_.grad(0, hh) += dzi;
-        b_.grad(0, hidden_ + hh) += dzf;
-        b_.grad(0, 2 * hidden_ + hh) += dzg;
-        b_.grad(0, 3 * hidden_ + hh) += dzo;
-
-        for (std::size_t x = 0; x < input_size_; ++x) {
-          const double xv = cached_input_(r, t * input_size_ + x);
-          wx_.grad(x, hh) += dzi * xv;
-          wx_.grad(x, hidden_ + hh) += dzf * xv;
-          wx_.grad(x, 2 * hidden_ + hh) += dzg * xv;
-          wx_.grad(x, 3 * hidden_ + hh) += dzo * xv;
-          grad_input(r, t * input_size_ + x) +=
-              dzi * wx_.value(x, hh) + dzf * wx_.value(x, hidden_ + hh) +
-              dzg * wx_.value(x, 2 * hidden_ + hh) +
-              dzo * wx_.value(x, 3 * hidden_ + hh);
-        }
-        if (t > 0) {
-          for (std::size_t p = 0; p < hidden_; ++p) {
-            const double hv = (*h_prev_mat)(r, p);
-            wh_.grad(p, hh) += dzi * hv;
-            wh_.grad(p, hidden_ + hh) += dzf * hv;
-            wh_.grad(p, 2 * hidden_ + hh) += dzg * hv;
-            wh_.grad(p, 3 * hidden_ + hh) += dzo * hv;
-            dh_prev(r, p) +=
-                dzi * wh_.value(p, hh) + dzf * wh_.value(p, hidden_ + hh) +
-                dzg * wh_.value(p, 2 * hidden_ + hh) +
-                dzo * wh_.value(p, 3 * hidden_ + hh);
-          }
-        }
+        dzr[hh] = di * iv * (1.0 - iv);
+        dzr[H + hh] = df * fv * (1.0 - fv);
+        dzr[2 * H + hh] = dg * (1.0 - gv * gv);
+        dzr[3 * H + hh] = do_ * ov * (1.0 - ov);
       }
     }
-    dh_next = std::move(dh_prev);
+
+    // db += column sums of dz; dWx += x_tᵀ dz; dX_t += dz Wxᵀ — the input
+    // slices are strided views into the flattened batch, no transposes or
+    // copies materialized.
+    kernels::col_sums_add(n, 4 * H, dz_.ptr(), 4 * H, b_.grad.ptr());
+    kernels::gemm_tn(input_size_, 4 * H, n,
+                     cached_input_.ptr() + t * input_size_,
+                     cached_input_.cols(), dz_.ptr(), 4 * H,
+                     wx_.grad.ptr(), 4 * H);
+    kernels::gemm_nt(n, input_size_, 4 * H, dz_.ptr(), 4 * H,
+                     wx_.value.ptr(), 4 * H,
+                     grad_input.ptr() + t * input_size_, grad_input.cols());
+    if (t > 0) {
+      kernels::gemm_tn(H, 4 * H, n, steps_[t - 1].h.ptr(), H, dz_.ptr(),
+                       4 * H, wh_.grad.ptr(), 4 * H);
+      dh_prev_.fill(0.0);
+      kernels::gemm_nt(n, H, 4 * H, dz_.ptr(), 4 * H, wh_.value.ptr(),
+                       4 * H, dh_prev_.ptr(), H);
+      std::swap(dh_next_, dh_prev_);
+    }
   }
   return grad_input;
 }

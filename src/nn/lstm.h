@@ -36,13 +36,23 @@ class Lstm final : public Layer {
   ParamTensor wh_;  // H x 4H
   ParamTensor b_;   // 1 x 4H
 
-  // Per-timestep caches of the last forward batch (each N x H).
+  // Per-timestep caches of the last forward batch (each N x H). The
+  // matrices are reshaped in place each forward, so steady-state training
+  // reuses their buffers instead of reallocating per step.
   struct StepCache {
     Matrix i, f, g, o, c, tanh_c, h;
   };
   Matrix cached_input_;
   std::vector<StepCache> steps_;
   std::size_t cached_seq_len_ = 0;
+
+  // Workspaces reused across forward/backward calls: the fused N x 4H gate
+  // pre-activations and the BPTT carry buffers.
+  Matrix z_;
+  Matrix dz_;
+  Matrix dh_next_;
+  Matrix dc_next_;
+  Matrix dh_prev_;
 };
 
 }  // namespace coda::nn

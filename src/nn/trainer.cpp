@@ -29,6 +29,14 @@ std::vector<double> train(Sequential& net, const Matrix& X,
   std::vector<double> epoch_losses;
   epoch_losses.reserve(config.epochs);
 
+  // Batch workspaces, reused across all batches and epochs: reshape keeps
+  // the heap buffers, gather_rows_into refills them in place, so the
+  // steady-state loop does no per-batch allocation here.
+  Matrix bx;
+  Matrix bt;
+  std::vector<std::size_t> batch_idx;
+  batch_idx.reserve(config.batch_size);
+
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     const auto order = rng.permutation(X.rows());
     double epoch_loss = 0.0;
@@ -38,11 +46,12 @@ std::vector<double> train(Sequential& net, const Matrix& X,
       Stopwatch step_timer;
       const std::size_t end =
           std::min(start + config.batch_size, order.size());
-      std::vector<std::size_t> batch_idx(
-          order.begin() + static_cast<std::ptrdiff_t>(start),
-          order.begin() + static_cast<std::ptrdiff_t>(end));
-      const Matrix bx = X.select_rows(batch_idx);
-      const Matrix bt = targets.select_rows(batch_idx);
+      batch_idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                       order.begin() + static_cast<std::ptrdiff_t>(end));
+      bx.reshape(batch_idx.size(), X.cols());
+      bt.reshape(batch_idx.size(), targets.cols());
+      X.gather_rows_into(batch_idx, bx);
+      targets.gather_rows_into(batch_idx, bt);
 
       net.zero_grad();
       const Matrix pred = net.forward(bx, /*training=*/true);

@@ -85,11 +85,12 @@ nn::Sequential DnnForecaster::build_network(std::size_t in_features) const {
   const auto hidden = static_cast<std::size_t>(params().get_int("hidden"));
   const std::size_t n_hidden = arch == "simple" ? 2 : 4;
 
+  // Hidden activations fuse into the Dense GEMM epilogues; seeds unchanged.
   nn::Sequential net;
   std::size_t width = in_features;
   for (std::size_t l = 0; l < n_hidden; ++l) {
-    net.emplace<nn::Dense>(width, hidden, seed() + l);
-    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(width, hidden, seed() + l,
+                           kernels::Activation::kRelu);
     if (dropout_rate() > 0.0) {
       net.emplace<nn::Dropout>(dropout_rate(), seed() + 100 + l);
     }
@@ -148,8 +149,8 @@ nn::Sequential CnnForecaster::build_network(std::size_t in_features) const {
     width = filters;
   }
   require(length >= 1, "CnnForecaster: sequence pooled away");
-  net.emplace<nn::Dense>(length * filters, hidden, seed() + 500);
-  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(length * filters, hidden, seed() + 500,
+                         kernels::Activation::kRelu);
   if (dropout_rate() > 0.0) {
     net.emplace<nn::Dropout>(dropout_rate(), seed() + 600);
   }

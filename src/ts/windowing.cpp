@@ -1,5 +1,7 @@
 #include "src/ts/windowing.h"
 
+#include <algorithm>
+
 #include "src/util/error.h"
 
 namespace coda::ts {
@@ -37,10 +39,12 @@ WindowedData build_history_windows(const Matrix& features,
   out.target_times.resize(n);
   out.span_starts.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // Each history step is one contiguous source row: copy it as a block
+    // instead of element-by-element.
+    double* dst = out.X.row_ptr(i);
     for (std::size_t t = 0; t < p; ++t) {
-      for (std::size_t c = 0; c < v; ++c) {
-        out.X(i, t * v + c) = features(i + t, c);
-      }
+      const double* src = features.row_ptr(i + t);
+      std::copy(src, src + v, dst + t * v);
     }
     const std::size_t target_time = i + p + spec.horizon - 1;
     out.y[i] = target_source(target_time, spec.target_var);
@@ -78,9 +82,8 @@ WindowedData TsAsIid::build(const Matrix& features,
   out.target_times.resize(n);
   out.span_starts.resize(n);
   for (std::size_t t = 0; t < n; ++t) {
-    for (std::size_t c = 0; c < features.cols(); ++c) {
-      out.X(t, c) = features(t, c);
-    }
+    const double* src = features.row_ptr(t);
+    std::copy(src, src + features.cols(), out.X.row_ptr(t));
     out.y[t] = target_source(t + spec.horizon, spec.target_var);
     out.target_times[t] = t + spec.horizon;
     out.span_starts[t] = t;

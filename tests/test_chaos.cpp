@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/kernels.h"
 #include "src/data/synthetic.h"
 #include "src/dist/client_cache.h"
 #include "src/dist/home_store.h"
@@ -443,6 +444,13 @@ void exercise_fault_metrics() {
     dist::ReplicatedStore group(&net, {primary, replica}, cfg);
     net.partition(primary, replica, net.now(), 1e9);
     group.put("k", Bytes{1, 2, 3});
+  }
+  {  // kernel.gemm.calls + kernel.gemm.flops: any matmul registers them
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    a.fill(1.0);
+    b.fill(1.0);
+    (void)kernels::matmul(a, b);
   }
 }
 

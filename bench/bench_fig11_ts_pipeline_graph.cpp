@@ -104,9 +104,14 @@ void print_fig11() {
   std::printf("Zero-model baseline rank: %zu of %zu\n", zero_rank,
               order.size());
   std::printf("full search wall time: %.1fs\n\n", seconds);
+  // Neural fits dominate this wall time and are the noisiest work in the
+  // repo; a wide per-entry band keeps the gate strict on quiet entries.
   coda::bench::record_entry("fig11_full_search", seconds,
                             static_cast<double>(order.size()) / seconds,
-                            "paths/s");
+                            "paths/s", /*exact=*/false, /*tolerance=*/0.40);
+  coda::bench::record_entry("fig11_paths", 0.0,
+                            static_cast<double>(order.size()), "paths",
+                            /*exact=*/true);
 }
 
 // Shared-prefix cache ablation: the same search run with the evaluation

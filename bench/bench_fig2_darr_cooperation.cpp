@@ -55,8 +55,12 @@ void print_fig2() {
 
   std::vector<std::vector<std::string>> rows;
   double solo_seconds = 0.0;
+  darr::CooperativeReport last_report;
   for (const std::size_t n_clients : {1u, 2u, 4u, 8u}) {
-    const auto report = darr::run_cooperative_search(
+    // Fresh metrics per sweep point: the per-node table below then reads
+    // exactly one run, and the fleet-vs-global check covers it alone.
+    obs::reset_all();
+    auto report = darr::run_cooperative_search(
         graph, data, KFold(5), Metric::kRmse, n_clients);
     if (n_clients == 1) solo_seconds = report.wall_seconds;
     std::size_t max_local = 0;
@@ -72,6 +76,7 @@ void print_fig2() {
          coda::bench::fmt_int(report.repository_counters.claims_denied),
          coda::bench::fmt(report.wall_seconds, 2),
          coda::bench::fmt(solo_seconds / report.wall_seconds, 2)});
+    last_report = std::move(report);
   }
   coda::bench::print_table({"clients", "candidates", "total local evals",
                             "redundant", "max/client", "claims denied",
@@ -81,6 +86,74 @@ void print_fig2() {
               "shrinks: the DARR partitions the search; wall-clock speedup "
               "is bounded by the host's single core here — on real fleets "
               "each client is its own machine)\n\n");
+
+  // Per-node fleet telemetry for the widest sweep (DESIGN.md §12): each
+  // client shipped its MetricScope shard to the run's collector node over
+  // SimNet; the table below reads the collector, not the clients.
+  const auto& fleet = *last_report.telemetry;
+  std::printf("=== per-node telemetry, %zu-client run (from the collector "
+              "node) ===\n\n",
+              last_report.clients.size());
+  std::vector<std::vector<std::string>> node_rows;
+  for (const auto& c : last_report.clients) {
+    const obs::MetricsSnapshot snap = fleet.node_snapshot(c.name);
+    const auto counter = [&snap](const char* name) -> std::uint64_t {
+      auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0 : it->second;
+    };
+    double claim_wait_p99 = 0.0;
+    if (auto it = snap.histograms.find("evaluator.claim.wait_seconds");
+        it != snap.histograms.end() && it->second.count > 0) {
+      claim_wait_p99 = it->second.quantile(0.99);
+    }
+    node_rows.push_back(
+        {c.name, coda::bench::fmt_int(counter("evaluator.candidate.local")),
+         coda::bench::fmt_int(counter("evaluator.candidate.cached")),
+         coda::bench::fmt_int(counter("darr.client.lookups")),
+         coda::bench::fmt_int(counter("darr.client.hits")),
+         coda::bench::fmt(claim_wait_p99, 4)});
+  }
+  coda::bench::print_table({"node", "local evals", "redundancy avoided",
+                            "darr lookups", "darr hits", "claim-wait p99 s"},
+                           node_rows, {-9, 11, 18, 12, 9, 16});
+  std::printf("\n(\"redundancy avoided\" = candidates served from a peer's "
+              "stored result instead of recomputed; claim-wait p99 is the "
+              "price of waiting on a peer's in-flight computation)\n\n");
+
+  // Fleet-vs-global invariant: on this fault-free run the collector's
+  // aggregate must reproduce the process-wide registry exactly.
+  if (last_report.telemetry_divergence.empty()) {
+    std::printf("collector fleet aggregate == global registry (bit-for-bit "
+                "on every fleet-shipped family)\n\n");
+  } else {
+    std::printf("WARNING: collector fleet aggregate diverged from the "
+                "global registry:\n%s\n\n",
+                last_report.telemetry_divergence.c_str());
+  }
+
+  // Declarative SLOs over the collected run (read back via --metrics-json
+  // and the coda-telemetry dashboard).
+  auto& slos = obs::global_slos();
+  slos.add("darr.repo.store count >= 16");
+  slos.add("darr.client.hits value >= 1");
+  slos.add("evaluator.claim.wait_seconds p99 < 30");
+  slos.bind_fleet(&fleet);
+  for (const auto& r : slos.evaluate()) {
+    std::printf("slo: %-44s %s (observed %s)\n", r.spec.text.c_str(),
+                !r.evaluable ? " n/a" : (r.pass ? "PASS" : "FAIL"),
+                coda::bench::fmt(r.observed, 4).c_str());
+  }
+  // The collector dies with this scope; results() stay readable for the
+  // --metrics-json export.
+  slos.bind_fleet(nullptr);
+  std::printf("\n");
+
+  coda::bench::record_entry("fig2_candidates", 0.0,
+                            static_cast<double>(last_report.total_candidates),
+                            "candidates", /*exact=*/true);
+  coda::bench::record_entry(
+      "fig2_cooperative_8c", rows.empty() ? 0.0 : last_report.wall_seconds,
+      0.0, "");
 
   // Claim-TTL ablation: a client that claims and never stores. Another
   // client must steal the claim after the TTL rather than deadlock.
@@ -104,6 +177,10 @@ void print_fig2() {
               "crash recovery costs one duplicated evaluation, never a "
               "deadlock\n\n",
               retries, repo.counters().claims_expired);
+  coda::bench::record_entry(
+      "fig2_claims_expired", 0.0,
+      static_cast<double>(repo.counters().claims_expired), "claims",
+      /*exact=*/true);
 }
 
 void BM_DarrLookupStore(benchmark::State& state) {
@@ -141,6 +218,9 @@ BENCHMARK(BM_DarrClaim);
 
 int main(int argc, char** argv) {
   coda::bench::strip_obs_flags(&argc, argv);
+  // Start from zeroed metrics so the fleet-vs-global check and the
+  // exported baseline see only this run's writes.
+  obs::reset_all();
   print_fig2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

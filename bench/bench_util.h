@@ -76,6 +76,16 @@ struct BenchEntry {
   double wall_seconds;
   double throughput;  // 0 when not meaningful
   std::string unit;   // unit of `throughput`, e.g. "GF/s", "rows/s"
+  /// True for deterministic quantities (candidate counts, exact result
+  /// counters): scripts/bench_gate.py compares them exactly instead of
+  /// within the timing tolerance, so a correctness regression can't hide
+  /// inside the perf noise band.
+  bool exact = false;
+  /// Per-entry regression band overriding the gate's --tolerance flag
+  /// (negative = use the flag). Widen it for entries whose runtime is
+  /// dominated by noisy work (e.g. multi-second neural fits) so the gate
+  /// stays strict on the quiet entries.
+  double tolerance = -1.0;
 };
 
 inline bool& bench_dump_requested() {
@@ -104,11 +114,15 @@ inline Stopwatch& bench_run_timer() {
 }
 
 /// Records a named result for the --bench-json baseline. Pass throughput 0
-/// (and any unit) when only the wall time is meaningful.
+/// (and any unit) when only the wall time is meaningful; pass exact=true
+/// when `throughput` is a deterministic count the regression gate should
+/// compare exactly.
 inline void record_entry(const std::string& name, double wall_seconds,
                          double throughput = 0.0,
-                         const std::string& unit = "") {
-  bench_entries().push_back(BenchEntry{name, wall_seconds, throughput, unit});
+                         const std::string& unit = "", bool exact = false,
+                         double tolerance = -1.0) {
+  bench_entries().push_back(
+      BenchEntry{name, wall_seconds, throughput, unit, exact, tolerance});
 }
 
 namespace detail {
@@ -192,7 +206,12 @@ inline std::string bench_baseline_json() {
     out += "    {\"name\": \"" + e.name +
            "\", \"wall_seconds\": " + json_number(e.wall_seconds) +
            ", \"throughput\": " + json_number(e.throughput) +
-           ", \"unit\": \"" + e.unit + "\"}";
+           ", \"unit\": \"" + e.unit +
+           "\", \"exact\": " + (e.exact ? "true" : "false");
+    if (e.tolerance >= 0.0) {
+      out += ", \"tolerance\": " + json_number(e.tolerance);
+    }
+    out += "}";
   }
   out += entries.empty() ? "],\n" : "\n  ],\n";
   out += "  \"metrics\": " + coda::obs::snapshot_json() + "\n}";

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh BENCH_*.json files against the
+committed baselines.
+
+Each bench binary emits a baseline file via `--bench-json=<path>` (see
+bench/bench_util.h): whole-run wall time, named entries recorded with
+record_entry(), and the final metrics snapshot. This gate compares a
+freshly measured file against the committed one:
+
+  * entries flagged "exact": true carry deterministic counts (candidate
+    totals, expired-claim counts, search-path counts) and must match the
+    baseline exactly — a drift here is a correctness regression, not noise;
+  * wall_seconds / throughput on the remaining entries may regress by at
+    most --tolerance (relative; a baseline entry can tighten or loosen its
+    own band with a "tolerance" field, which wins over the flag).
+    Improvements never fail;
+  * entries present in the baseline but missing from the fresh run (or
+    vice versa) fail: a silently dropped measurement is how regressions
+    hide.
+
+Usage:
+  bench_gate.py --pair fresh.json baseline.json [--pair ...]
+                [--tolerance 0.5] [--update-baselines]
+  bench_gate.py --self-test
+
+--update-baselines rewrites each baseline with the fresh measurement
+instead of failing (the escape hatch after an intentional perf change —
+commit the rewritten files).
+"""
+
+import argparse
+import json
+import math
+import os
+import shutil
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def entry_map(doc):
+    return {e["name"]: e for e in doc.get("entries", [])}
+
+
+def compare_pair(fresh_doc, baseline_doc, tolerance):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    fresh = entry_map(fresh_doc)
+    base = entry_map(baseline_doc)
+
+    for name in sorted(set(base) - set(fresh)):
+        failures.append(f"entry '{name}' present in baseline but missing "
+                        "from the fresh run")
+    for name in sorted(set(fresh) - set(base)):
+        failures.append(f"entry '{name}' is new (not in the baseline); "
+                        "re-baseline with --update-baselines")
+
+    for name in sorted(set(fresh) & set(base)):
+        f, b = fresh[name], base[name]
+        entry_tolerance = b.get("tolerance", tolerance)
+        if b.get("exact", False) or f.get("exact", False):
+            # Deterministic count: exact equality on the throughput field
+            # (where record_entry puts the count).
+            if f.get("throughput") != b.get("throughput"):
+                failures.append(
+                    f"exact entry '{name}': fresh {f.get('throughput')} != "
+                    f"baseline {b.get('throughput')}")
+            continue
+        failures.extend(check_regression(name, "wall_seconds",
+                                         f.get("wall_seconds", 0.0),
+                                         b.get("wall_seconds", 0.0),
+                                         entry_tolerance,
+                                         lower_is_better=True))
+        failures.extend(check_regression(name, "throughput",
+                                         f.get("throughput", 0.0),
+                                         b.get("throughput", 0.0),
+                                         entry_tolerance,
+                                         lower_is_better=False))
+    return failures
+
+
+def check_regression(name, field, fresh, base, tolerance, lower_is_better):
+    if base is None or fresh is None:
+        return [f"entry '{name}': missing {field}"]
+    if base <= 0.0 or not math.isfinite(base) or not math.isfinite(fresh):
+        return []  # field not meaningful for this entry
+    if lower_is_better:
+        regression = (fresh - base) / base
+    else:
+        regression = (base - fresh) / base
+    if regression > tolerance:
+        direction = "slower" if lower_is_better else "lower"
+        return [f"entry '{name}': {field} regressed {regression:.0%} "
+                f"{direction} (fresh {fresh:.6g} vs baseline {base:.6g}, "
+                f"tolerance {tolerance:.0%})"]
+    return []
+
+
+def run_pairs(pairs, tolerance, update):
+    any_failed = False
+    for fresh_path, baseline_path in pairs:
+        if not os.path.exists(fresh_path):
+            print(f"FAIL {fresh_path}: fresh measurement missing")
+            any_failed = True
+            continue
+        if not os.path.exists(baseline_path):
+            if update:
+                shutil.copyfile(fresh_path, baseline_path)
+                print(f"NEW  {baseline_path}: baseline created from "
+                      f"{fresh_path}")
+            else:
+                print(f"FAIL {baseline_path}: committed baseline missing "
+                      "(run with --update-baselines to create it)")
+                any_failed = True
+            continue
+        failures = compare_pair(load(fresh_path), load(baseline_path),
+                                tolerance)
+        if failures and update:
+            shutil.copyfile(fresh_path, baseline_path)
+            print(f"UPDATED {baseline_path} from {fresh_path} "
+                  f"({len(failures)} difference(s) accepted)")
+        elif failures:
+            any_failed = True
+            print(f"FAIL {fresh_path} vs {baseline_path}:")
+            for failure in failures:
+                print(f"  - {failure}")
+        else:
+            print(f"OK   {fresh_path} vs {baseline_path}")
+    return 1 if any_failed else 0
+
+
+# ---------------------------------------------------------------------------
+# Self test: exercises the comparison logic without any bench binaries.
+# ---------------------------------------------------------------------------
+
+def self_test():
+    def doc(entries):
+        return {"bench": "selftest", "wall_seconds": 1.0, "entries": entries}
+
+    def entry(name, wall, throughput=0.0, exact=False):
+        return {"name": name, "wall_seconds": wall,
+                "throughput": throughput, "unit": "", "exact": exact}
+
+    checks = []
+
+    # Identical docs pass.
+    d = doc([entry("a", 1.0, 10.0), entry("n", 0.0, 16.0, exact=True)])
+    checks.append(("identical", compare_pair(d, d, 0.5) == []))
+
+    # 20% wall regression fails at 15% tolerance, passes at 50%.
+    fresh = doc([entry("a", 1.2)])
+    base = doc([entry("a", 1.0)])
+    checks.append(("regression caught",
+                   compare_pair(fresh, base, 0.15) != []))
+    checks.append(("jitter tolerated",
+                   compare_pair(fresh, base, 0.5) == []))
+
+    # Improvements never fail.
+    checks.append(("improvement ok",
+                   compare_pair(doc([entry("a", 0.5, 20.0)]),
+                                doc([entry("a", 1.0, 10.0)]), 0.15) == []))
+
+    # Per-entry tolerance on the baseline wins over the flag.
+    wide = doc([entry("a", 1.2)])
+    wide["entries"][0] = dict(wide["entries"][0])
+    loose_base = doc([dict(entry("a", 1.0), tolerance=0.5)])
+    checks.append(("per-entry tolerance wins",
+                   compare_pair(wide, loose_base, 0.01) == []))
+
+    # Exact entries: off-by-one fails regardless of tolerance.
+    checks.append(("exact drift caught",
+                   compare_pair(doc([entry("n", 0.0, 15.0, exact=True)]),
+                                doc([entry("n", 0.0, 16.0, exact=True)]),
+                                10.0) != []))
+
+    # Dropped and new entries fail.
+    checks.append(("dropped entry caught",
+                   compare_pair(doc([]), doc([entry("a", 1.0)]), 0.5) != []))
+    checks.append(("new entry caught",
+                   compare_pair(doc([entry("a", 1.0)]), doc([]), 0.5) != []))
+
+    # End-to-end through files, including --update-baselines.
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = os.path.join(tmp, "fresh.json")
+        base_path = os.path.join(tmp, "base.json")
+        with open(fresh_path, "w", encoding="utf-8") as f:
+            json.dump(doc([entry("a", 2.0)]), f)
+        with open(base_path, "w", encoding="utf-8") as f:
+            json.dump(doc([entry("a", 1.0)]), f)
+        checks.append(("file pair fails",
+                       run_pairs([(fresh_path, base_path)], 0.15,
+                                 update=False) == 1))
+        checks.append(("update accepts",
+                       run_pairs([(fresh_path, base_path)], 0.15,
+                                 update=True) == 0))
+        checks.append(("updated baseline passes",
+                       run_pairs([(fresh_path, base_path)], 0.15,
+                                 update=False) == 0))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test FAILED: {failed}")
+        return 1
+    print(f"self-test passed ({len(checks)} checks)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pair", nargs=2, action="append", default=[],
+                        metavar=("FRESH", "BASELINE"),
+                        help="fresh BENCH json vs committed baseline; "
+                             "repeatable")
+    parser.add_argument("--tolerance", type=float, default=0.50,
+                        help="max relative perf regression (default 0.50)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite baselines from the fresh measurements "
+                             "instead of failing")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in comparison-logic checks")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.pair:
+        parser.error("need at least one --pair (or --self-test)")
+    sys.exit(run_pairs([tuple(p) for p in args.pair], args.tolerance,
+                       args.update_baselines))
+
+
+if __name__ == "__main__":
+    main()

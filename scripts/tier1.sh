@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate (ROADMAP.md): plain build + full test suite, then the chaos
-# suite again under thread sanitizer. A chaos failure prints the fault
-# schedule (seed, drop rate, partition/crash windows) to replay.
+# Tier-1 gate (ROADMAP.md): plain build + full test suite, the chaos
+# suite again under thread sanitizer, and the bench regression gate. A
+# chaos failure prints the fault schedule (seed, drop rate, partition/
+# crash windows) to replay.
+#
+#   scripts/tier1.sh                      # gate against committed baselines
+#   scripts/tier1.sh --update-baselines   # re-baseline after an intentional
+#                                         # perf change (commit the files)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+UPDATE_BASELINES=""
+if [[ "${1:-}" == "--update-baselines" ]]; then
+  UPDATE_BASELINES="--update-baselines"
+fi
 
 echo "== tier 1: build + full ctest =="
 cmake -B build -S . >/dev/null
@@ -20,5 +30,19 @@ echo "== tier 1: chaos suite under ThreadSanitizer (ctest -L chaos) =="
 cmake -B build-tsan -S . -DCODA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_chaos
 ctest --test-dir build-tsan -L chaos --output-on-failure
+
+echo "== tier 1: bench regression gate (scripts/bench_gate.py) =="
+python3 scripts/bench_gate.py --self-test
+# Re-measure the gated artifacts (artifact tables only; the google-benchmark
+# micro benches are skipped via an unmatchable filter).
+build/bench/bench_fig2_darr_cooperation \
+    --bench-json=build/BENCH_fig2.json --benchmark_filter='^$' >/dev/null
+build/bench/bench_fig11_ts_pipeline_graph \
+    --bench-json=build/BENCH_fig11.json --benchmark_filter='^$' >/dev/null
+# 15% band on timings (so a >=20% regression of a committed baseline
+# fails); entries flagged "exact" must match bit-for-bit regardless.
+python3 scripts/bench_gate.py --tolerance 0.15 ${UPDATE_BASELINES} \
+    --pair build/BENCH_fig2.json BENCH_fig2.json \
+    --pair build/BENCH_fig11.json BENCH_fig11.json
 
 echo "tier 1 OK"

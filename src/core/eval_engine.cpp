@@ -121,8 +121,6 @@ std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
   if (!usable()) {
     return std::vector<std::optional<CachedResult>>(keys.size());
   }
-  static auto& hit = obs::counter("darr.lookup.hit");
-  static auto& miss = obs::counter("darr.lookup.miss");
   std::vector<std::optional<CachedResult>> results;
   try {
     results = cache_->lookup_many(keys);
@@ -130,20 +128,19 @@ std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
     degrade("sweep");
     return std::vector<std::optional<CachedResult>>(keys.size());
   }
+  std::uint64_t found = 0;
   for (const auto& r : results) {
-    if (r.has_value()) {
-      hit.inc();
-    } else {
-      miss.inc();
-    }
+    if (r.has_value()) ++found;
+  }
+  if (found > 0) obs::count_scoped("darr.lookup.hit", found);
+  if (found < results.size()) {
+    obs::count_scoped("darr.lookup.miss", results.size() - found);
   }
   return results;
 }
 
 std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
   if (!usable()) return std::nullopt;
-  static auto& hit = obs::counter("darr.lookup.hit");
-  static auto& miss = obs::counter("darr.lookup.miss");
   std::optional<CachedResult> result;
   try {
     result = cache_->lookup(key);
@@ -151,11 +148,8 @@ std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
     degrade("poll");
     return std::nullopt;
   }
-  if (result.has_value()) {
-    hit.inc();
-  } else {
-    miss.inc();
-  }
+  obs::count_scoped(result.has_value() ? "darr.lookup.hit"
+                                       : "darr.lookup.miss");
   return result;
 }
 
@@ -231,14 +225,12 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
   const std::string root_node = obs::Tracer::current_node();
   Stopwatch total_timer;
 
-  auto& candidate_local = obs::counter("evaluator.candidate.local");
-  auto& candidate_cached = obs::counter("evaluator.candidate.cached");
-  auto& candidate_failed = obs::counter("evaluator.candidate.failed");
-  auto& candidate_deferred = obs::counter("evaluator.candidate.deferred");
-  auto& claim_requeued = obs::counter("eval.claim.requeued");
-  auto& candidate_seconds = obs::histogram("evaluator.candidate.seconds");
-  auto& claim_wait_hist = obs::histogram("evaluator.claim.wait_seconds");
-  auto& fold_seconds = obs::histogram("cv.fold.seconds");
+  // Candidate-level events write through count_scoped()/observe_scoped():
+  // the process-wide family plus (when this run is driven by a simulated
+  // client under obs::NodeScope / ContextScope) that node's MetricScope,
+  // so fleet telemetry can attribute work to individual clients. These
+  // fire once per candidate/fold, not per row — the name lookup is cheap
+  // relative to the work they account.
 
   const std::size_t n = candidates.size();
   EvaluationReport report;
@@ -254,7 +246,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
     out.fold_scores = hit.fold_scores;
     out.from_cache = true;
     out.eval_seconds = eval_seconds;
-    candidate_cached.inc();
+    obs::count_scoped("evaluator.candidate.cached");
     obs::CandidateCosts::instance().record_cached(candidates[i].spec);
   };
 
@@ -378,7 +370,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
           std::lock_guard<std::mutex> lock(mutex);
           out.failure_message = s.failure_message;
         }
-        candidate_failed.inc();
+        obs::count_scoped("evaluator.candidate.failed");
         coop.abandon(candidates[i].key);
       } else {
         double sum = 0.0;
@@ -392,8 +384,8 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         out.stddev =
             std::sqrt(var / static_cast<double>(s.fold_scores.size()));
         out.fold_scores = s.fold_scores;
-        candidate_local.inc();
-        candidate_seconds.observe(out.eval_seconds);
+        obs::count_scoped("evaluator.candidate.local");
+        obs::observe_scoped("evaluator.candidate.seconds", out.eval_seconds);
         if (coop.cooperative()) {
           coop.publish(candidates[i].key,
                        CachedResult{out.mean_score, out.stddev,
@@ -419,7 +411,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
           const double sc = candidates[i].score_fold(fold, prefixes);
           s.fold_scores[fold] = sc;
           const double elapsed = fold_timer.elapsed_seconds();
-          fold_seconds.observe(elapsed);
+          obs::observe_scoped("cv.fold.seconds", elapsed);
           obs::CandidateCosts::instance().record_fold(candidates[i].spec,
                                                       elapsed);
         } catch (const std::exception& e) {
@@ -466,7 +458,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
               std::lock_guard<std::mutex> lock(mutex);
               s.claim_wait = wait;
             }
-            claim_wait_hist.observe(wait);
+            obs::observe_scoped("evaluator.claim.wait_seconds", wait);
             report.results[i].claim_wait_seconds = wait;
             serve(i, *hit, /*eval_seconds=*/0.0);
             complete(i);
@@ -489,7 +481,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
             }
             if (!s.was_deferred) {
               s.was_deferred = true;
-              candidate_deferred.inc();
+              obs::count_scoped("evaluator.candidate.deferred");
             }
           }
           const bool expired = s.deadline_set && block_now >= s.deadline;
@@ -501,7 +493,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
               s.deadline = block_now + std::chrono::milliseconds(
                                            options_.claim_wait_ms);
             }
-            claim_requeued.inc();
+            obs::count_scoped("eval.claim.requeued");
             wheel.schedule(
                 std::chrono::milliseconds(options_.claim_poll_ms),
                 [&pool, &attempt, i, root_ctx, root_node] {
@@ -525,7 +517,9 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
                                            std::chrono::steady_clock::now());
           }
         }
-        if (s.claim_wait > 0.0) claim_wait_hist.observe(s.claim_wait);
+        if (s.claim_wait > 0.0) {
+          obs::observe_scoped("evaluator.claim.wait_seconds", s.claim_wait);
+        }
       }
       // Fan out: one task per fold, so a slow candidate's folds spread over
       // the workers instead of serializing at the tail of the run. Fold

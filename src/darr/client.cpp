@@ -10,9 +10,10 @@ namespace coda::darr {
 namespace {
 
 std::string next_instance_prefix() {
-  static std::atomic<std::uint64_t> next{0};
+  // Central id source: obs::reset_all() rewinds it so back-to-back runs
+  // in one process mint identical instance names.
   return "darr.client#" +
-         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+         std::to_string(obs::next_instance_id("darr.client")) + ".";
 }
 
 }  // namespace
@@ -40,11 +41,22 @@ DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
   stats_.stores = &obs::counter(prefix + "stores");
   stats_.bytes_sent = &obs::counter(prefix + "bytes_sent");
   stats_.bytes_received = &obs::counter(prefix + "bytes_received");
+  // Fleet telemetry: the darr.client.* families write the process-wide
+  // registry AND this client's node shard through one handle.
+  auto& scope = obs::MetricScope::for_node(name_);
+  const auto family = [&scope](const char* name) {
+    return obs::ScopedCounter(&obs::counter(name), &scope.counter(name));
+  };
+  family_.lookups = family("darr.client.lookups");
+  family_.hits = family("darr.client.hits");
+  family_.claims_won = family("darr.client.claims_won");
+  family_.claims_lost = family("darr.client.claims_lost");
+  family_.stores = family("darr.client.stores");
+  family_.bytes_sent = family("darr.client.bytes_sent");
+  family_.bytes_received = family("darr.client.bytes_received");
 }
 
 std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
-  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
-  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   obs::ScopedSpan op_span("darr.client.lookup");
   const std::size_t request = key_request_size(key);
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
@@ -70,19 +82,21 @@ std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
   dist::transfer_with_retry(*net_, repo_node_, self_, response, retry_,
                             "darr.lookup");
   stats_.lookups->inc();
-  if (out) stats_.hits->inc();
+  family_.lookups.inc();
+  if (out) {
+    stats_.hits->inc();
+    family_.hits.inc();
+  }
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(response);
-  bytes_sent.inc(request);
-  bytes_received.inc(response);
+  family_.bytes_sent.inc(request);
+  family_.bytes_received.inc(response);
   return out;
 }
 
 std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
     const std::vector<std::string>& keys) {
   if (keys.empty()) return {};
-  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
-  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   obs::ScopedSpan op_span("darr.client.lookup_many");
   op_span.tag("keys", std::to_string(keys.size()));
   std::size_t request = 0;
@@ -117,16 +131,16 @@ std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
                             "darr.lookup_many");
   stats_.lookups->inc(keys.size());
   stats_.hits->inc(found);
+  family_.lookups.inc(keys.size());
+  family_.hits.inc(found);
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(response);
-  bytes_sent.inc(request);
-  bytes_received.inc(response);
+  family_.bytes_sent.inc(request);
+  family_.bytes_received.inc(response);
   return out;
 }
 
 bool DarrClient::try_claim(const std::string& key) {
-  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
-  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   obs::ScopedSpan op_span("darr.client.try_claim");
   const std::size_t request = key_request_size(key) + name_.size();
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
@@ -149,19 +163,19 @@ bool DarrClient::try_claim(const std::string& key) {
                             "darr.try_claim");
   if (granted) {
     stats_.claims_won->inc();
+    family_.claims_won.inc();
   } else {
     stats_.claims_lost->inc();
+    family_.claims_lost.inc();
   }
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(16);
-  bytes_sent.inc(request);
-  bytes_received.inc(16);
+  family_.bytes_sent.inc(request);
+  family_.bytes_received.inc(16);
   return granted;
 }
 
 void DarrClient::store(const std::string& key, const CachedResult& result) {
-  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
-  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   DarrRecord record;
   record.key = key;
   record.mean_score = result.mean_score;
@@ -186,15 +200,14 @@ void DarrClient::store(const std::string& key, const CachedResult& result) {
   dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
                             "darr.store");
   stats_.stores->inc();
+  family_.stores.inc();
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(16);
-  bytes_sent.inc(request);
-  bytes_received.inc(16);
+  family_.bytes_sent.inc(request);
+  family_.bytes_received.inc(16);
 }
 
 void DarrClient::abandon(const std::string& key) {
-  static auto& bytes_sent = obs::counter("darr.client.bytes_sent");
-  static auto& bytes_received = obs::counter("darr.client.bytes_received");
   obs::ScopedSpan op_span("darr.client.abandon");
   const std::size_t request = key_request_size(key) + name_.size();
   dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
@@ -212,8 +225,8 @@ void DarrClient::abandon(const std::string& key) {
                             "darr.abandon");
   stats_.bytes_sent->inc(request);
   stats_.bytes_received->inc(16);
-  bytes_sent.inc(request);
-  bytes_received.inc(16);
+  family_.bytes_sent.inc(request);
+  family_.bytes_received.inc(16);
 }
 
 void DarrClient::abandon_all() {

@@ -80,6 +80,18 @@ class DarrClient final : public ResultCache {
     obs::Counter* bytes_received = nullptr;
   };
 
+  /// Process-wide `darr.client.*` family counters paired with this
+  /// client's node shard (fleet telemetry): one inc() hits both.
+  struct FamilyCounters {
+    obs::ScopedCounter lookups;
+    obs::ScopedCounter hits;
+    obs::ScopedCounter claims_won;
+    obs::ScopedCounter claims_lost;
+    obs::ScopedCounter stores;
+    obs::ScopedCounter bytes_sent;
+    obs::ScopedCounter bytes_received;
+  };
+
   DarrRepository* repository_;
   dist::SimNet* net_;
   dist::NodeId self_;
@@ -87,6 +99,7 @@ class DarrClient final : public ResultCache {
   std::string name_;
   RetryPolicy retry_;
   InstanceCounters stats_;
+  FamilyCounters family_;
   mutable std::mutex held_mutex_;
   std::set<std::string> held_claims_;
 };

@@ -3,6 +3,8 @@
 #include <memory>
 #include <thread>
 
+#include "src/dist/telemetry.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/util/stopwatch.h"
 
@@ -19,19 +21,37 @@ CooperativeReport run_cooperative_search(const TEGraph& graph,
   DarrRepository repository;
   dist::SimNet net;
   const dist::NodeId repo_node = net.add_node("darr");
+  const dist::NodeId telemetry_node = net.add_node("telemetry");
+
+  auto collector = std::make_shared<obs::TelemetryCollector>();
+  for (const char* metric :
+       {"evaluator.candidate.local", "evaluator.candidate.cached",
+        "darr.client.lookups", "darr.client.hits", "darr.repo.store"}) {
+    collector->track(metric);
+  }
 
   std::vector<std::unique_ptr<DarrClient>> clients;
+  std::vector<std::unique_ptr<dist::TelemetryReporter>> reporters;
   clients.reserve(n_clients);
+  reporters.reserve(n_clients + 1);
   for (std::size_t i = 0; i < n_clients; ++i) {
     const std::string name = "client" + std::to_string(i);
     const dist::NodeId node = net.add_node(name);
     clients.push_back(std::make_unique<DarrClient>(&repository, &net, node,
                                                    repo_node, name));
+    // Each client ships its own MetricScope shard to the collector node.
+    reporters.push_back(std::make_unique<dist::TelemetryReporter>(
+        &net, node, telemetry_node, collector.get(),
+        &obs::MetricScope::for_node(name).registry(), name));
   }
+  reporters.push_back(std::make_unique<dist::TelemetryReporter>(
+      &net, repo_node, telemetry_node, collector.get(),
+      &obs::MetricScope::for_node("darr").registry(), "darr"));
 
   CooperativeReport report;
   report.total_candidates = graph.enumerate_candidates().size();
   report.clients.resize(n_clients);
+  report.telemetry = collector;
 
   Stopwatch wall;
   std::vector<std::thread> threads;
@@ -53,10 +73,21 @@ CooperativeReport run_cooperative_search(const TEGraph& graph,
       outcome.evaluated_locally = outcome.report.evaluated_locally;
       outcome.served_from_cache = outcome.report.served_from_cache;
       outcome.seconds = client_timer.elapsed_seconds();
+      // Ship this client's telemetry from its own thread: a deterministic
+      // report point (end of evaluation) rather than a wall-clock timer,
+      // so back-to-back runs send identical report counts.
+      reporters[i]->flush();
     });
   }
   for (auto& t : threads) t.join();
   report.wall_seconds = wall.elapsed_seconds();
+
+  // Final sweep from the coordinating thread: the repository's shard plus
+  // a catch-up flush for every client (a no-op when nothing changed since
+  // the client's own report; a retransmission when that report was lost).
+  for (auto& reporter : reporters) reporter->flush();
+  report.telemetry_divergence = collector->describe_divergence(
+      obs::snapshot_registry(obs::MetricsRegistry::instance()));
 
   for (std::size_t i = 0; i < n_clients; ++i) {
     report.clients[i].darr_stats = clients[i]->stats();

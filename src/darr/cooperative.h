@@ -5,6 +5,7 @@
 // (its own computations plus everyone else's, read from the DARR).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "src/core/te_graph.h"
 #include "src/darr/client.h"
 #include "src/data/dataset.h"
+#include "src/obs/collector.h"
 
 namespace coda::darr {
 
@@ -36,6 +38,15 @@ struct CooperativeReport {
                                             ///< cooperation)
   double wall_seconds = 0.0;
   DarrRepository::Counters repository_counters;
+  /// Fleet telemetry collected during the run: every client (and the
+  /// repository) shipped its MetricScope shard to a dedicated "telemetry"
+  /// SimNet node as snapshot deltas; per-node aggregates and tracked
+  /// series live here.
+  std::shared_ptr<obs::TelemetryCollector> telemetry;
+  /// Result of comparing the collector's fleet aggregate against the
+  /// process-wide registry after the final flush — empty on a fault-free
+  /// run (the fleet sum reproduces the global counts bit-for-bit).
+  std::string telemetry_divergence;
 };
 
 /// Runs `n_clients` cooperative searches of `graph` over `data`

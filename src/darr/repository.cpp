@@ -25,17 +25,20 @@ GlobalCounters& global_counters() {
 }
 
 std::string next_instance_prefix() {
-  static std::atomic<std::uint64_t> next{0};
-  return "darr.repo#" +
-         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+  // Central id source: obs::reset_all() rewinds it so back-to-back runs
+  // in one process mint identical instance names.
+  return "darr.repo#" + std::to_string(obs::next_instance_id("darr.repo")) +
+         ".";
 }
 
 }  // namespace
 
 DarrRepository::DarrRepository() : DarrRepository(Config()) {}
 
-DarrRepository::DarrRepository(Config config) : config_(config) {
-  require(config.claim_ttl_ms > 0, "DarrRepository: TTL must be positive");
+DarrRepository::DarrRepository(Config config) : config_(std::move(config)) {
+  require(config_.claim_ttl_ms > 0, "DarrRepository: TTL must be positive");
+  require(!config_.node_name.empty(),
+          "DarrRepository: node_name must be non-empty");
   const std::string prefix = next_instance_prefix();
   counters_.lookups = &obs::counter(prefix + "lookups");
   counters_.hits = &obs::counter(prefix + "hits");
@@ -43,6 +46,18 @@ DarrRepository::DarrRepository(Config config) : config_(config) {
   counters_.claims_granted = &obs::counter(prefix + "claims_granted");
   counters_.claims_denied = &obs::counter(prefix + "claims_denied");
   counters_.claims_expired = &obs::counter(prefix + "claims_expired");
+  auto& g = global_counters();
+  auto& scope = obs::MetricScope::for_node(config_.node_name);
+  family_.lookup_hit = {&g.lookup_hit, &scope.counter("darr.repo.lookup.hit")};
+  family_.lookup_miss = {&g.lookup_miss,
+                         &scope.counter("darr.repo.lookup.miss")};
+  family_.store = {&g.store, &scope.counter("darr.repo.store")};
+  family_.claims_granted = {&g.claims_granted,
+                            &scope.counter("darr.claim.granted")};
+  family_.claims_denied = {&g.claims_denied,
+                           &scope.counter("darr.claim.denied")};
+  family_.claims_expired = {&g.claims_expired,
+                            &scope.counter("darr.claim.expired")};
 }
 
 std::optional<DarrRecord> DarrRepository::lookup(const std::string& key) {
@@ -50,11 +65,11 @@ std::optional<DarrRecord> DarrRepository::lookup(const std::string& key) {
   counters_.lookups->inc();
   auto it = records_.find(key);
   if (it == records_.end()) {
-    global_counters().lookup_miss.inc();
+    family_.lookup_miss.inc();
     return std::nullopt;
   }
   counters_.hits->inc();
-  global_counters().lookup_hit.inc();
+  family_.lookup_hit.inc();
   return it->second;
 }
 
@@ -65,7 +80,7 @@ bool DarrRepository::try_claim(const std::string& key,
     // Result already exists; claiming is pointless — deny so the caller
     // looks it up instead.
     counters_.claims_denied->inc();
-    global_counters().claims_denied.inc();
+    family_.claims_denied.inc();
     return false;
   }
   const auto now = std::chrono::steady_clock::now();
@@ -78,12 +93,12 @@ bool DarrRepository::try_claim(const std::string& key,
     }
     if (it->second.expires_at > now) {
       counters_.claims_denied->inc();
-      global_counters().claims_denied.inc();
+      family_.claims_denied.inc();
       return false;  // live foreign claim
     }
     // Owner presumed dead: steal the claim.
     counters_.claims_expired->inc();
-    global_counters().claims_expired.inc();
+    family_.claims_expired.inc();
     obs::event(obs::Severity::kWarn, "darr.claim.expired",
                {{"key", key},
                 {"stale_owner", it->second.client},
@@ -92,7 +107,7 @@ bool DarrRepository::try_claim(const std::string& key,
   claims_[key] = Claim{
       client, now + std::chrono::milliseconds(config_.claim_ttl_ms)};
   counters_.claims_granted->inc();
-  global_counters().claims_granted.inc();
+  family_.claims_granted.inc();
   return true;
 }
 
@@ -103,7 +118,7 @@ void DarrRepository::store(DarrRecord record, double stored_at_sim_time) {
   claims_.erase(record.key);
   records_[record.key] = std::move(record);
   counters_.stores->inc();
-  global_counters().store.inc();
+  family_.store.inc();
 }
 
 void DarrRepository::abandon(const std::string& key,

@@ -30,6 +30,11 @@ class DarrRepository {
     /// Claim time-to-live, in wall-clock milliseconds (claims coordinate
     /// concurrently running client threads).
     int claim_ttl_ms = 2000;
+    /// SimNet node this repository represents for fleet telemetry: the
+    /// `darr.repo.*` / `darr.claim.*` families are dual-written into
+    /// obs::MetricScope::for_node(node_name) alongside the process-wide
+    /// registry.
+    std::string node_name = "darr";
   };
 
   /// Per-instance counter snapshot. Backed by the obs::MetricsRegistry
@@ -89,11 +94,23 @@ class DarrRepository {
     obs::Counter* claims_expired = nullptr;
   };
 
+  /// Process-wide family counters paired with this node's shard (fleet
+  /// telemetry): one inc() hits both registries.
+  struct FamilyCounters {
+    obs::ScopedCounter lookup_hit;
+    obs::ScopedCounter lookup_miss;
+    obs::ScopedCounter store;
+    obs::ScopedCounter claims_granted;
+    obs::ScopedCounter claims_denied;
+    obs::ScopedCounter claims_expired;
+  };
+
   Config config_;
   mutable std::mutex mutex_;
   std::map<std::string, DarrRecord> records_;
   std::map<std::string, Claim> claims_;
   InstanceCounters counters_;
+  FamilyCounters family_;
 };
 
 }  // namespace coda::darr

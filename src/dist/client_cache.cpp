@@ -9,20 +9,34 @@ ClientCache::ClientCache(SimNet* net, NodeId self, HomeDataStore* home)
   require(net != nullptr && home != nullptr, "ClientCache: null dependency");
   require(self != home->node_id(),
           "ClientCache: client and home store must be distinct nodes");
+  // Fleet telemetry: clientcache.* families dual-write this node's shard.
+  auto& scope = obs::MetricScope::for_node(net_->node_name(self_));
+  const auto family = [&scope](const char* name) {
+    return obs::ScopedCounter(&obs::counter(name), &scope.counter(name));
+  };
+  family_.pulls = family("clientcache.pull.count");
+  family_.bytes_received = family("clientcache.bytes_received");
+  family_.bytes_saved = family("clientcache.delta.bytes_saved");
+  family_.push_full = family("clientcache.push.full");
+  family_.push_delta = family("clientcache.push.delta");
+  family_.push_notify = family("clientcache.push.notify");
+  family_.push_stale = family("clientcache.push.stale");
+  family_.delta_bytes = obs::ScopedHistogram(
+      &obs::histogram("clientcache.delta.bytes",
+                      obs::Histogram::default_byte_bounds()),
+      &scope.histogram("clientcache.delta.bytes",
+                       obs::Histogram::default_byte_bounds()));
 }
 
 const Bytes& ClientCache::get(const std::string& key) {
-  static auto& pulls = obs::counter("clientcache.pull.count");
-  static auto& bytes_received = obs::counter("clientcache.bytes_received");
-  static auto& bytes_saved = obs::counter("clientcache.delta.bytes_saved");
   Entry& entry = entries_[key];
   ++stats_.pulls;
-  pulls.inc();
+  family_.pulls.inc();
   obs::ScopedSpan span("clientcache.pull");
   span.tag("key", key);
   auto result = home_->fetch(key, self_, entry.version);
   stats_.bytes_received += result.response_bytes;
-  bytes_received.inc(result.response_bytes);
+  family_.bytes_received.inc(result.response_bytes);
   if (result.version == entry.version) {
     ++stats_.not_modified_responses;
     return entry.value;
@@ -31,7 +45,7 @@ const Bytes& ClientCache::get(const std::string& key) {
     ++stats_.delta_responses;
     const std::size_t saved = home_->value(key).size() - result.response_bytes;
     stats_.bytes_saved_by_delta += saved;
-    bytes_saved.inc(saved);
+    family_.bytes_saved.inc(saved);
     entry.value = apply_delta(entry.value, result.delta);
   } else {
     ++stats_.full_responses;
@@ -72,17 +86,9 @@ void ClientCache::renew(const std::string& key, double duration) {
 void ClientCache::cancel(const std::string& key) { home_->cancel(key, self_); }
 
 void ClientCache::on_push(const PushMessage& message) {
-  static auto& pushes_full = obs::counter("clientcache.push.full");
-  static auto& pushes_delta = obs::counter("clientcache.push.delta");
-  static auto& notifications = obs::counter("clientcache.push.notify");
-  static auto& bytes_received = obs::counter("clientcache.bytes_received");
-  static auto& bytes_saved = obs::counter("clientcache.delta.bytes_saved");
-  static auto& delta_bytes = obs::histogram(
-      "clientcache.delta.bytes", obs::Histogram::default_byte_bounds());
-  static auto& stale_pushes = obs::counter("clientcache.push.stale");
   Entry& entry = entries_[message.key];
   stats_.bytes_received += message.wire_bytes;
-  bytes_received.inc(message.wire_bytes);
+  family_.bytes_received.inc(message.wire_bytes);
   // Replay guard: a push can arrive after a pull already advanced this
   // entry past it (lease expired mid-update -> monitor fell back to pull,
   // or a delayed push raced the response). Applying it again would
@@ -92,7 +98,7 @@ void ClientCache::on_push(const PushMessage& message) {
   if (message.mode != PushMode::kNotifyOnly &&
       message.version <= entry.version) {
     ++stats_.stale_pushes;
-    stale_pushes.inc();
+    family_.push_stale.inc();
     obs::event(obs::Severity::kWarn, "clientcache.push.stale",
                {{"key", message.key},
                 {"pushed_version", std::to_string(message.version)},
@@ -102,14 +108,14 @@ void ClientCache::on_push(const PushMessage& message) {
   switch (message.mode) {
     case PushMode::kFullValue:
       ++stats_.pushes_full;
-      pushes_full.inc();
+      family_.push_full.inc();
       entry.value = message.full_value;
       entry.version = message.version;
       break;
     case PushMode::kDelta: {
       ++stats_.pushes_delta;
-      pushes_delta.inc();
-      delta_bytes.observe(static_cast<double>(message.wire_bytes));
+      family_.push_delta.inc();
+      family_.delta_bytes.observe(static_cast<double>(message.wire_bytes));
       if (message.delta.base_version != entry.version) {
         // Base mismatch (e.g. missed push): fall back to a pull.
         ++stats_.delta_fallback_fetches;
@@ -122,14 +128,14 @@ void ClientCache::on_push(const PushMessage& message) {
                     message.wire_bytes
               : 0;
       stats_.bytes_saved_by_delta += saved;
-      bytes_saved.inc(saved);
+      family_.bytes_saved.inc(saved);
       entry.value = apply_delta(entry.value, message.delta);
       entry.version = message.version;
       break;
     }
     case PushMode::kNotifyOnly:
       ++stats_.notifications;
-      notifications.inc();
+      family_.push_notify.inc();
       if (message.version > entry.notified_version) {
         entry.notified_version = message.version;
       }

@@ -73,9 +73,25 @@ class ClientCache {
     std::uint64_t notified_version = 0;
   };
 
+  /// Process-wide `clientcache.*` families paired with this cache's node
+  /// shard (fleet telemetry). Bound explicitly in the constructor because
+  /// on_push() runs on the pushing thread, where the ambient scope (if
+  /// any) would be the home store's node, not this client's.
+  struct FamilyCounters {
+    obs::ScopedCounter pulls;
+    obs::ScopedCounter bytes_received;
+    obs::ScopedCounter bytes_saved;
+    obs::ScopedCounter push_full;
+    obs::ScopedCounter push_delta;
+    obs::ScopedCounter push_notify;
+    obs::ScopedCounter push_stale;
+    obs::ScopedHistogram delta_bytes;
+  };
+
   SimNet* net_;
   NodeId self_;
   HomeDataStore* home_;
+  FamilyCounters family_;
   std::map<std::string, Entry> entries_;
   Stats stats_;
 };

@@ -26,6 +26,25 @@ HomeDataStore::HomeDataStore(SimNet* net, NodeId self, Config config)
   require(config_.min_delta_ratio > 0.0 && config_.min_delta_ratio <= 1.0,
           "HomeDataStore: min_delta_ratio out of (0,1]");
   config_.retry.validate();
+  // Fleet telemetry: homestore.* families dual-write this node's shard.
+  // Bound here (not per call) because fetch/push run on caller threads.
+  auto& scope = obs::MetricScope::for_node(net_->node_name(self_));
+  const auto family = [&scope](const char* name) {
+    return obs::ScopedCounter(&obs::counter(name), &scope.counter(name));
+  };
+  family_.put = family("homestore.put");
+  family_.push_full = family("homestore.push.full");
+  family_.push_delta = family("homestore.push.delta");
+  family_.push_notify = family("homestore.push.notify");
+  family_.push_lost = family("homestore.push.lost");
+  family_.fetch_not_modified = family("homestore.fetch.not_modified");
+  family_.fetch_delta = family("homestore.fetch.delta");
+  family_.fetch_full = family("homestore.fetch.full");
+  family_.delta_bytes = obs::ScopedHistogram(
+      &obs::histogram("homestore.delta.bytes",
+                      obs::Histogram::default_byte_bounds()),
+      &scope.histogram("homestore.delta.bytes",
+                       obs::Histogram::default_byte_bounds()));
 }
 
 HomeDataStore::ObjectState& HomeDataStore::state_of(const std::string& key) {
@@ -46,9 +65,8 @@ const HomeDataStore::ObjectState& HomeDataStore::state_of(
 }
 
 void HomeDataStore::put(const std::string& key, Bytes value) {
-  static auto& puts = obs::counter("homestore.put");
   require(!key.empty(), "HomeDataStore: empty key");
-  puts.inc();
+  family_.put.inc();
   ObjectState& state = objects_[key];
   const Bytes previous = state.current;
 
@@ -76,11 +94,6 @@ void HomeDataStore::put(const std::string& key, Bytes value) {
 
 void HomeDataStore::push_update(const std::string& key, ObjectState& state,
                                 const Bytes& previous_value) {
-  static auto& push_full = obs::counter("homestore.push.full");
-  static auto& push_delta = obs::counter("homestore.push.delta");
-  static auto& push_notify = obs::counter("homestore.push.notify");
-  static auto& delta_bytes = obs::histogram(
-      "homestore.delta.bytes", obs::Histogram::default_byte_bounds());
   if (state.leases.empty()) return;
   obs::ScopedSpan span("homestore.push_update");
   span.set_node(net_->node_name(self_));
@@ -134,7 +147,6 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
         break;
       }
     }
-    static auto& push_lost = obs::counter("homestore.push.lost");
     try {
       transfer_with_retry(*net_, self_, lease.client, msg.wire_bytes,
                           config_.retry, "homestore.push");
@@ -142,7 +154,7 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
       // Push lost: keep last_pushed_version where it was, so the next push
       // ships a delta from the base this subscriber actually holds (or the
       // subscriber pulls when its monitor notices the staleness).
-      push_lost.inc();
+      family_.push_lost.inc();
       obs::event(obs::Severity::kWarn, "homestore.push.lost",
                  {{"key", key},
                   {"client", net_->node_name(lease.client)},
@@ -150,12 +162,12 @@ void HomeDataStore::push_update(const std::string& key, ObjectState& state,
       continue;
     }
     switch (msg.mode) {
-      case PushMode::kFullValue: push_full.inc(); break;
+      case PushMode::kFullValue: family_.push_full.inc(); break;
       case PushMode::kDelta:
-        push_delta.inc();
-        delta_bytes.observe(static_cast<double>(msg.wire_bytes));
+        family_.push_delta.inc();
+        family_.delta_bytes.observe(static_cast<double>(msg.wire_bytes));
         break;
-      case PushMode::kNotifyOnly: push_notify.inc(); break;
+      case PushMode::kNotifyOnly: family_.push_notify.inc(); break;
     }
     lease.last_pushed_version = state.version;
     if (push_handler_) push_handler_(lease.client, msg);
@@ -174,12 +186,6 @@ const Bytes& HomeDataStore::value(const std::string& key) const {
 HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
                                                 NodeId requester,
                                                 std::uint64_t have_version) {
-  static auto& fetch_not_modified =
-      obs::counter("homestore.fetch.not_modified");
-  static auto& fetch_delta = obs::counter("homestore.fetch.delta");
-  static auto& fetch_full = obs::counter("homestore.fetch.full");
-  static auto& delta_bytes = obs::histogram(
-      "homestore.delta.bytes", obs::Histogram::default_byte_bounds());
   const ObjectState& state = state_of(key);
   obs::ScopedSpan span("homestore.fetch");
   span.set_node(net_->node_name(self_));
@@ -192,7 +198,7 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
 
   if (have_version == state.version) {
     // Up to date: tiny "no change" response.
-    fetch_not_modified.inc();
+    family_.fetch_not_modified.inc();
     result.is_delta = false;
     result.response_bytes = 16;
     transfer_with_retry(*net_, self_, requester, result.response_bytes,
@@ -204,13 +210,14 @@ HomeDataStore::FetchResult HomeDataStore::fetch(const std::string& key,
   if (it != state.deltas.end() &&
       static_cast<double>(it->second.encoded_size()) <
           config_.min_delta_ratio * static_cast<double>(state.current.size())) {
-    fetch_delta.inc();
+    family_.fetch_delta.inc();
     result.is_delta = true;
     result.delta = it->second;
     result.response_bytes = it->second.encoded_size();
-    delta_bytes.observe(static_cast<double>(result.response_bytes));
+    family_.delta_bytes.observe(
+        static_cast<double>(result.response_bytes));
   } else {
-    fetch_full.inc();
+    family_.fetch_full.inc();
     result.is_delta = false;
     result.full_value = state.current;
     result.response_bytes = state.current.size();

@@ -16,6 +16,7 @@
 
 #include "src/dist/delta.h"
 #include "src/dist/sim_net.h"
+#include "src/obs/metrics.h"
 #include "src/util/retry.h"
 
 namespace coda::dist {
@@ -130,6 +131,23 @@ class HomeDataStore {
     std::vector<Lease> leases;
   };
 
+  /// Process-wide `homestore.*` families paired with this store's node
+  /// shard (fleet telemetry): one inc()/observe() hits both. Bound in the
+  /// constructor from net->node_name(self); store methods run on caller
+  /// threads, so the explicit binding (not the thread-ambient scope) keeps
+  /// attribution on the home node.
+  struct FamilyCounters {
+    obs::ScopedCounter put;
+    obs::ScopedCounter push_full;
+    obs::ScopedCounter push_delta;
+    obs::ScopedCounter push_notify;
+    obs::ScopedCounter push_lost;
+    obs::ScopedCounter fetch_not_modified;
+    obs::ScopedCounter fetch_delta;
+    obs::ScopedCounter fetch_full;
+    obs::ScopedHistogram delta_bytes;
+  };
+
   ObjectState& state_of(const std::string& key);
   const ObjectState& state_of(const std::string& key) const;
   void push_update(const std::string& key, ObjectState& state,
@@ -141,6 +159,7 @@ class HomeDataStore {
   SimNet* net_;
   NodeId self_;
   Config config_;
+  FamilyCounters family_;
   std::map<std::string, ObjectState> objects_;
   PushHandler push_handler_;
 };

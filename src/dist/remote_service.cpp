@@ -10,9 +10,10 @@ namespace coda::dist {
 namespace {
 
 std::string next_instance_prefix() {
-  static std::atomic<std::uint64_t> next{0};
+  // Central id source: obs::reset_all() rewinds it so back-to-back runs
+  // in one process mint identical instance names.
   return "remote.svc#" +
-         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+         std::to_string(obs::next_instance_id("remote.svc")) + ".";
 }
 
 }  // namespace
@@ -29,13 +30,19 @@ RemoteModelService::RemoteModelService(SimNet* net, NodeId self,
   stats_.predict_calls = &obs::counter(prefix + "predict_calls");
   stats_.bytes_in = &obs::counter(prefix + "bytes_in");
   stats_.bytes_out = &obs::counter(prefix + "bytes_out");
+  // Fleet telemetry: remote.* families dual-write this node's shard.
+  auto& scope = obs::MetricScope::for_node(net_->node_name(self_));
+  const auto family = [&scope](const char* name) {
+    return obs::ScopedCounter(&obs::counter(name), &scope.counter(name));
+  };
+  family_.fit_calls = family("remote.fit.calls");
+  family_.predict_calls = family("remote.predict.calls");
+  family_.bytes_in = family("remote.bytes_in");
+  family_.bytes_out = family("remote.bytes_out");
 }
 
 void RemoteModelService::fit(NodeId caller, const Matrix& X,
                              const std::vector<double>& y) {
-  static auto& fit_calls = obs::counter("remote.fit.calls");
-  static auto& bytes_in = obs::counter("remote.bytes_in");
-  static auto& bytes_out = obs::counter("remote.bytes_out");
   obs::ScopedSpan span("remote.fit");
   span.set_node(net_->node_name(self_));
   const std::size_t request =
@@ -49,16 +56,13 @@ void RemoteModelService::fit(NodeId caller, const Matrix& X,
   stats_.fit_calls->inc();
   stats_.bytes_in->inc(request);
   stats_.bytes_out->inc(16);
-  fit_calls.inc();
-  bytes_in.inc(request);
-  bytes_out.inc(16);
+  family_.fit_calls.inc();
+  family_.bytes_in.inc(request);
+  family_.bytes_out.inc(16);
 }
 
 std::vector<double> RemoteModelService::predict(NodeId caller,
                                                 const Matrix& X) {
-  static auto& predict_calls = obs::counter("remote.predict.calls");
-  static auto& bytes_in = obs::counter("remote.bytes_in");
-  static auto& bytes_out = obs::counter("remote.bytes_out");
   obs::ScopedSpan span("remote.predict");
   span.set_node(net_->node_name(self_));
   const std::size_t request = matrix_bytes(X);
@@ -75,9 +79,9 @@ std::vector<double> RemoteModelService::predict(NodeId caller,
   stats_.predict_calls->inc();
   stats_.bytes_in->inc(request);
   stats_.bytes_out->inc(response);
-  predict_calls.inc();
-  bytes_in.inc(request);
-  bytes_out.inc(response);
+  family_.predict_calls.inc();
+  family_.bytes_in.inc(request);
+  family_.bytes_out.inc(response);
   return predictions;
 }
 

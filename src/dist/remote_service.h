@@ -66,9 +66,19 @@ class RemoteModelService {
   SimNet* net_;
   NodeId self_;
   std::unique_ptr<Estimator> model_;
+  /// Process-wide `remote.*` families paired with this service's node
+  /// shard (fleet telemetry): one inc() hits both.
+  struct FamilyCounters {
+    obs::ScopedCounter fit_calls;
+    obs::ScopedCounter predict_calls;
+    obs::ScopedCounter bytes_in;
+    obs::ScopedCounter bytes_out;
+  };
+
   RetryPolicy retry_;
   std::mutex model_mutex_;  // one hosted model, many calling threads
   InstanceCounters stats_;
+  FamilyCounters family_;
 };
 
 /// Estimator adapter that forwards fit/predict to a RemoteModelService —

@@ -41,7 +41,11 @@ void ReplicatedStore::put(const std::string& key, Bytes value) {
                              ? stores_[0]->value(key)
                              : Bytes{};
   stores_[0]->put(key, value);
-  static auto& failed_syncs = obs::counter("replication.failed_syncs");
+  // Failed syncs attribute to the primary's node shard (fleet telemetry).
+  obs::ScopedCounter failed_syncs(
+      &obs::counter("replication.failed_syncs"),
+      &obs::MetricScope::for_node(net_->node_name(nodes_[0]))
+           .counter("replication.failed_syncs"));
   obs::ScopedSpan span("replication.put");
   span.set_node(net_->node_name(nodes_[0]));
   span.tag("key", key);

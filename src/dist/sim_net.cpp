@@ -11,9 +11,10 @@ namespace coda::dist {
 namespace {
 
 std::string next_instance_prefix() {
-  static std::atomic<std::uint64_t> next{0};
-  return "simnet.net#" +
-         std::to_string(next.fetch_add(1, std::memory_order_relaxed)) + ".";
+  // Central id source: obs::reset_all() rewinds it so back-to-back runs
+  // in one process mint identical instance names.
+  return "simnet.net#" + std::to_string(obs::next_instance_id("simnet.net")) +
+         ".";
 }
 
 // SplitMix64 finalizer — stateless and platform-stable, so a link's fault

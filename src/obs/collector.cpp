@@ -1,0 +1,221 @@
+#include "src/obs/collector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/util/error.h"
+
+namespace coda::obs {
+
+TelemetryCollector::TelemetryCollector(std::size_t series_capacity)
+    : series_capacity_(series_capacity) {
+  require(series_capacity_ > 0,
+          "TelemetryCollector: series capacity must be positive");
+}
+
+void TelemetryCollector::track(const std::string& metric) {
+  require(!metric.empty(), "TelemetryCollector: metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(tracked_.begin(), tracked_.end(), metric) == tracked_.end()) {
+    tracked_.push_back(metric);
+  }
+}
+
+std::vector<std::string> TelemetryCollector::tracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tracked_;
+}
+
+void TelemetryCollector::ingest(const std::string& node, double t,
+                                const MetricsSnapshot& delta) {
+  require(!node.empty(), "TelemetryCollector: node name must be non-empty");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    apply_snapshot_delta(per_node_[node], delta);
+    ++ingested_;
+    sample_tracked_locked(node, t);
+  }
+  static auto& ingested = counter("telemetry.reports.ingested");
+  ingested.inc();
+}
+
+std::vector<std::string> TelemetryCollector::nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(per_node_.size());
+  for (const auto& [name, snap] : per_node_) out.push_back(name);
+  return out;  // std::map iteration: already sorted
+}
+
+std::uint64_t TelemetryCollector::reports_ingested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ingested_;
+}
+
+MetricsSnapshot TelemetryCollector::node_snapshot(
+    const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = per_node_.find(node);
+  return it == per_node_.end() ? MetricsSnapshot{} : it->second;
+}
+
+MetricsSnapshot TelemetryCollector::fleet() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, snap] : per_node_) out.merge_from(snap);
+  return out;
+}
+
+std::optional<TimeSeries> TelemetryCollector::series(
+    const std::string& node, const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find({node, metric});
+  if (it == series_.end()) return std::nullopt;
+  return it->second;
+}
+
+double TelemetryCollector::rate(const std::string& node,
+                                const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find({node, metric});
+  return it == series_.end() ? 0.0 : it->second.rate_per_second();
+}
+
+std::vector<std::pair<std::string, double>> TelemetryCollector::top_k(
+    const std::string& metric, std::size_t k) const {
+  std::vector<std::pair<std::string, double>> ranked;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ranked.reserve(per_node_.size());
+    for (const auto& [name, snap] : per_node_) {
+      ranked.emplace_back(name, probe(snap, metric).value_or(0.0));
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;  // stable: name ties keep
+                   });                            // map (sorted) order
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::optional<double> TelemetryCollector::probe(const MetricsSnapshot& snap,
+                                                const std::string& metric) {
+  if (const auto c = snap.counters.find(metric); c != snap.counters.end()) {
+    return static_cast<double>(c->second);
+  }
+  if (const auto g = snap.gauges.find(metric); g != snap.gauges.end()) {
+    return g->second;
+  }
+  if (const auto h = snap.histograms.find(metric);
+      h != snap.histograms.end()) {
+    return static_cast<double>(h->second.count);
+  }
+  return std::nullopt;
+}
+
+void TelemetryCollector::sample_tracked_locked(const std::string& node,
+                                               double t) {
+  if (tracked_.empty()) return;
+  const MetricsSnapshot& mine = per_node_[node];
+  for (const std::string& metric : tracked_) {
+    const auto node_value = probe(mine, metric);
+    if (node_value.has_value()) {
+      auto it = series_.find({node, metric});
+      if (it == series_.end()) {
+        it = series_.emplace(std::make_pair(node, metric),
+                             TimeSeries(series_capacity_))
+                 .first;
+      }
+      it->second.sample(t, *node_value);
+    }
+    // Fleet-wide series: the sum over all nodes at this instant.
+    double fleet_value = 0.0;
+    bool any = false;
+    for (const auto& [name, snap] : per_node_) {
+      if (const auto v = probe(snap, metric); v.has_value()) {
+        fleet_value += *v;
+        any = true;
+      }
+    }
+    if (any) {
+      auto it = series_.find({std::string(), metric});
+      if (it == series_.end()) {
+        it = series_.emplace(std::make_pair(std::string(), metric),
+                             TimeSeries(series_capacity_))
+                 .first;
+      }
+      it->second.sample(t, fleet_value);
+    }
+  }
+}
+
+std::string TelemetryCollector::describe_divergence(
+    const MetricsSnapshot& expected, double epsilon) const {
+  const MetricsSnapshot fleet_snapshot = fleet();
+  std::ostringstream out;
+  std::size_t mismatches = 0;
+  constexpr std::size_t kMaxReported = 8;
+  const auto report = [&](const std::string& line) {
+    ++mismatches;
+    if (mismatches <= kMaxReported) out << line << '\n';
+  };
+
+  for (const auto& [name, value] : fleet_snapshot.counters) {
+    const auto it = expected.counters.find(name);
+    if (it == expected.counters.end()) {
+      report("counter " + name + ": missing from expected");
+    } else if (it->second != value) {
+      report("counter " + name + ": fleet=" + std::to_string(value) +
+             " expected=" + std::to_string(it->second));
+    }
+  }
+  for (const auto& [name, value] : fleet_snapshot.gauges) {
+    const auto it = expected.gauges.find(name);
+    if (it == expected.gauges.end()) {
+      report("gauge " + name + ": missing from expected");
+    } else if (std::abs(it->second - value) >
+               epsilon * std::max(1.0, std::abs(it->second))) {
+      report("gauge " + name + ": fleet=" + detail::json_number(value) +
+             " expected=" + detail::json_number(it->second));
+    }
+  }
+  for (const auto& [name, h] : fleet_snapshot.histograms) {
+    const auto it = expected.histograms.find(name);
+    if (it == expected.histograms.end()) {
+      report("histogram " + name + ": missing from expected");
+      continue;
+    }
+    const HistogramSnapshot& e = it->second;
+    if (e.bounds != h.bounds) {
+      report("histogram " + name + ": bounds differ");
+      continue;
+    }
+    if (e.count != h.count || e.buckets != h.buckets) {
+      report("histogram " + name + ": fleet count=" + std::to_string(h.count) +
+             " expected count=" + std::to_string(e.count) +
+             " (or buckets differ)");
+      continue;
+    }
+    if (std::abs(e.sum - h.sum) > epsilon * std::max(1.0, std::abs(e.sum))) {
+      report("histogram " + name + ": fleet sum=" + detail::json_number(h.sum) +
+             " expected sum=" + detail::json_number(e.sum));
+    }
+  }
+
+  if (mismatches > kMaxReported) {
+    out << "... and " << (mismatches - kMaxReported) << " more\n";
+  }
+  return out.str();
+}
+
+void TelemetryCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  per_node_.clear();
+  series_.clear();
+  ingested_ = 0;
+}
+
+}  // namespace coda::obs

@@ -1,0 +1,92 @@
+// Fleet telemetry collector (DESIGN.md §12): the in-memory sink behind
+// the "telemetry" SimNet node. Nodes ship MetricsSnapshot *deltas*
+// (src/dist/telemetry.h carries them over the simulated network, subject
+// to the fault model); the collector folds each delta into a per-node
+// accumulated snapshot and answers fleet queries — merged aggregates,
+// per-node/per-metric time series and rates, and top-k-nodes-by-metric.
+//
+// Thread safety: every method takes the collector's mutex. Ingest happens
+// from client worker threads; queries typically run after a bench/test
+// joins its pool, but concurrent queries are safe (they return copies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/timeseries.h"
+
+namespace coda::obs {
+
+class TelemetryCollector {
+ public:
+  /// `series_capacity` bounds every per-metric ring (TimeSeries).
+  explicit TelemetryCollector(std::size_t series_capacity = 256);
+
+  /// Registers a metric whose absolute value is sampled into a time
+  /// series (per node, and fleet-wide) on every ingest that touches the
+  /// reporting node. Counters sample their value; gauges likewise;
+  /// histograms sample their count.
+  void track(const std::string& metric);
+  std::vector<std::string> tracked() const;
+
+  /// Folds one report into `node`'s accumulated snapshot (see
+  /// apply_snapshot_delta for the delta semantics) and samples tracked
+  /// series at logical time `t`. Increments `telemetry.reports.ingested`.
+  void ingest(const std::string& node, double t, const MetricsSnapshot& delta);
+
+  /// Nodes that have reported at least once, sorted.
+  std::vector<std::string> nodes() const;
+  /// Reports folded in so far.
+  std::uint64_t reports_ingested() const;
+
+  /// Copy of one node's accumulated snapshot (empty if unknown).
+  MetricsSnapshot node_snapshot(const std::string& node) const;
+  /// Merge of every node's snapshot — the fleet aggregate.
+  MetricsSnapshot fleet() const;
+
+  /// Copy of a tracked series ("" node = the fleet-wide series);
+  /// std::nullopt when the metric is untracked or the node unknown.
+  std::optional<TimeSeries> series(const std::string& node,
+                                   const std::string& metric) const;
+  /// rate_per_second() of the same series (0 when absent).
+  double rate(const std::string& node, const std::string& metric) const;
+
+  /// The k nodes with the largest value of `metric`, descending (ties
+  /// break by node name). Probes counters, then gauges, then histogram
+  /// counts; nodes without the metric rank as 0.
+  std::vector<std::pair<std::string, double>> top_k(const std::string& metric,
+                                                    std::size_t k) const;
+
+  /// "" when the fleet aggregate reproduces `expected` (same keys, equal
+  /// integer state bit-for-bit, float state within `epsilon`); otherwise a
+  /// human-readable description of the first few divergences. Only keys
+  /// present in the fleet aggregate are compared — `expected` may carry
+  /// extra (unscoped) families.
+  std::string describe_divergence(const MetricsSnapshot& expected,
+                                  double epsilon = 1e-9) const;
+
+  /// Drops all accumulated state and series (tracked names survive).
+  void clear();
+
+ private:
+  /// The sampled value of `metric` in `snap` (counter, gauge, or
+  /// histogram count), if present.
+  static std::optional<double> probe(const MetricsSnapshot& snap,
+                                     const std::string& metric);
+  void sample_tracked_locked(const std::string& node, double t);
+
+  mutable std::mutex mutex_;
+  std::size_t series_capacity_;
+  std::vector<std::string> tracked_;
+  std::map<std::string, MetricsSnapshot> per_node_;
+  // (node, metric) -> series; node "" holds the fleet-wide series.
+  std::map<std::pair<std::string, std::string>, TimeSeries> series_;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace coda::obs

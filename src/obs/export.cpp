@@ -117,7 +117,56 @@ std::string snapshot_json(std::size_t max_spans) {
     append_tags_json(out, s);
     out << '}';
   }
-  out << "]}}";
+  // Per-node MetricScope shards (fleet telemetry, DESIGN.md §12): node
+  // names and metric names both iterate sorted, so the export is
+  // byte-deterministic across identical runs.
+  out << "]},\"nodes\":{";
+  first = true;
+  for (const auto& node : MetricScope::nodes()) {
+    const MetricScope* scope = MetricScope::find(node);
+    if (scope == nullptr) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(node) << "\":{\"counters\":{";
+    bool inner = true;
+    for (const auto& [name, value] : scope->registry().counter_values()) {
+      if (!inner) out << ',';
+      inner = false;
+      out << '"' << json_escape(name) << "\":" << value;
+    }
+    out << "},\"gauges\":{";
+    inner = true;
+    for (const auto& [name, value] : scope->registry().gauge_values()) {
+      if (!inner) out << ',';
+      inner = false;
+      out << '"' << json_escape(name) << "\":" << json_number(value);
+    }
+    out << "},\"histograms\":{";
+    inner = true;
+    for (const auto& [name, histogram] : scope->registry().histogram_views()) {
+      if (!inner) out << ',';
+      inner = false;
+      out << '"' << json_escape(name) << "\":";
+      append_histogram_json(out, *histogram);
+    }
+    out << "}}";
+  }
+  // Last SLO evaluation (callers run global_slos().evaluate() themselves:
+  // rendering a snapshot must not mutate the metrics it snapshots).
+  out << "},\"slo\":[";
+  first = true;
+  for (const auto& r : global_slos().results()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"check\":\"" << json_escape(r.spec.text) << "\",\"observed\":";
+    if (r.evaluable) {
+      out << json_number(r.observed);
+    } else {
+      out << "null";
+    }
+    out << ",\"pass\":" << (r.evaluable && r.pass ? "true" : "false") << '}';
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -186,9 +235,12 @@ void trace_dump_if_env() {
 
 void reset_all() {
   MetricsRegistry::instance().reset();
+  MetricScope::reset_values();
+  reset_instance_ids();
   Tracer::instance().clear();
   EventLog::instance().clear();
   CandidateCosts::instance().reset();
+  global_slos().clear();
 }
 
 }  // namespace coda::obs

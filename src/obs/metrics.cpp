@@ -24,34 +24,58 @@ void Histogram::observe(double value) {
   sum_.add(value);
 }
 
-double Histogram::quantile(double q) const {
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& buckets,
+                             double q) {
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Snapshot the bucket counts once so the rank and the cumulative walk
-  // agree even while other threads are observing.
-  std::vector<std::uint64_t> counts(buckets_.size());
   std::uint64_t total = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
+  for (const std::uint64_t c : buckets) total += c;
   if (total == 0) return 0.0;
 
   const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
     const double before = static_cast<double>(cumulative);
-    cumulative += counts[i];
+    cumulative += buckets[i];
     if (static_cast<double>(cumulative) < rank) continue;
-    if (i >= bounds_.size()) return bounds_.back();  // +inf bucket: clamp
-    const double lower = (i == 0) ? 0.0 : bounds_[i - 1];
-    const double upper = bounds_[i];
+    if (i >= bounds.size()) return bounds.back();  // +inf bucket: clamp
+    const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
     const double fraction =
-        (rank - before) / static_cast<double>(counts[i]);
+        (rank - before) / static_cast<double>(buckets[i]);
     return lower + (upper - lower) * fraction;
   }
-  return bounds_.back();
+  return bounds.back();
+}
+
+double Histogram::quantile(double q) const {
+  // Snapshot the bucket counts once so the rank and the cumulative walk
+  // agree even while other threads are observing.
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return quantile_from_buckets(bounds_, counts, q);
+}
+
+void Histogram::merge(const Histogram& other) {
+  require(bounds_ == other.bounds_,
+          "Histogram::merge: bucket bounds differ");
+  std::uint64_t merged_count = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n =
+        other.buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    merged_count += n;
+  }
+  if (merged_count > 0) {
+    count_.fetch_add(merged_count, std::memory_order_relaxed);
+  }
+  const double s = other.sum();
+  if (s != 0.0) sum_.add(s);
 }
 
 void Histogram::reset() {
@@ -150,6 +174,29 @@ MetricsRegistry::histogram_views() const {
   return out;
 }
 
+std::optional<std::uint64_t> MetricsRegistry::find_counter(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second.value();
+}
+
+std::optional<double> MetricsRegistry::find_gauge(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second.value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 Counter& counter(const std::string& name) {
   return MetricsRegistry::instance().counter(name);
 }
@@ -160,6 +207,110 @@ Gauge& gauge(const std::string& name) {
 
 Histogram& histogram(const std::string& name, std::vector<double> bounds) {
   return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+namespace {
+
+// Shard table: name -> scope. Scopes are heap-allocated and never freed
+// (same lifetime contract as the process-wide registry), so pointers
+// cached by NodeScope installs and ScopedCounter handles stay valid
+// across obs::reset_all().
+struct ScopeTable {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<MetricScope>> scopes;
+};
+
+ScopeTable& scope_table() {
+  static ScopeTable table;
+  return table;
+}
+
+thread_local MetricScope* t_current_scope = nullptr;
+
+}  // namespace
+
+MetricScope& MetricScope::for_node(const std::string& node) {
+  require(!node.empty(), "MetricScope: node name must be non-empty");
+  auto& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  auto it = table.scopes.find(node);
+  if (it == table.scopes.end()) {
+    // new instead of make_unique: the constructor is private, and this
+    // static member is the only creation path.
+    it = table.scopes
+             .emplace(node, std::unique_ptr<MetricScope>(new MetricScope(node)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricScope* MetricScope::find(const std::string& node) {
+  auto& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const auto it = table.scopes.find(node);
+  return it == table.scopes.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MetricScope::nodes() {
+  auto& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  std::vector<std::string> out;
+  out.reserve(table.scopes.size());
+  for (const auto& [name, scope] : table.scopes) out.push_back(name);
+  return out;  // std::map iteration: already sorted
+}
+
+void MetricScope::reset_values() {
+  auto& table = scope_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  for (auto& [name, scope] : table.scopes) scope->registry().reset();
+}
+
+MetricScope* MetricScope::current() { return t_current_scope; }
+
+MetricScope* MetricScope::install(MetricScope* scope) {
+  MetricScope* previous = t_current_scope;
+  t_current_scope = scope;
+  return previous;
+}
+
+void count_scoped(const std::string& name, std::uint64_t n) {
+  MetricsRegistry::instance().counter(name).inc(n);
+  if (t_current_scope != nullptr) t_current_scope->counter(name).inc(n);
+}
+
+void observe_scoped(const std::string& name, double value,
+                    std::vector<double> bounds) {
+  MetricsRegistry::instance().histogram(name, bounds).observe(value);
+  if (t_current_scope != nullptr) {
+    t_current_scope->histogram(name, std::move(bounds)).observe(value);
+  }
+}
+
+namespace {
+
+struct InstanceIdTable {
+  std::mutex mutex;
+  std::map<std::string, std::uint64_t> next;
+};
+
+InstanceIdTable& instance_ids() {
+  static InstanceIdTable table;
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t next_instance_id(const std::string& family) {
+  auto& table = instance_ids();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  return table.next[family]++;
+}
+
+void reset_instance_ids() {
+  auto& table = instance_ids();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  table.next.clear();
 }
 
 }  // namespace coda::obs

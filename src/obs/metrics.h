@@ -8,6 +8,14 @@
 // e.g. `darr.lookup.hit` / `darr.lookup.miss`. Per-instance views (the thin
 // accessors kept on DarrRepository / SimNet / DarrClient) use an instance
 // segment: `darr.repo#3.stores`.
+//
+// Fleet telemetry (DESIGN.md §12): in addition to the process-wide
+// registry, every simulated node can own a MetricScope — a registry shard
+// keyed by node name. Instrumented call sites write both the shard and the
+// global family (ScopedCounter / ScopedHistogram, or the ambient
+// count_scoped()/observe_scoped() helpers driven by obs::NodeScope), so
+// the global view stays the exact sum of the shards for families written
+// exclusively through scoped handles.
 #pragma once
 
 #include <atomic>
@@ -15,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -83,6 +92,12 @@ class Histogram {
   /// A live snapshot under concurrent observes is approximate.
   double quantile(double q) const;
 
+  /// Adds `other`'s buckets, count, and sum into this histogram (the
+  /// per-node → fleet rollup). Throws InvalidArgument when the bucket
+  /// bounds differ. The merge is per-bucket atomic, not transactional: a
+  /// concurrent observe on either side lands wholly in one of them.
+  void merge(const Histogram& other);
+
   /// `count` bounds starting at `start`, each `factor` times the previous.
   static std::vector<double> exponential_bounds(double start, double factor,
                                                 std::size_t count);
@@ -122,6 +137,12 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, const Histogram*>> histogram_views()
       const;
 
+  // Find-without-create lookups (the SLO evaluator probes names a spec
+  // references; registering them as a side effect would pollute exports).
+  std::optional<std::uint64_t> find_counter(const std::string& name) const;
+  std::optional<double> find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
@@ -134,5 +155,113 @@ Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name,
                      std::vector<double> bounds = {});
+
+/// A per-node shard of the metrics registry (fleet telemetry). Shards are
+/// created on first use and, like the process-wide registry, live for the
+/// process: references into a shard stay valid forever, and
+/// reset_values() zeroes them without removing registrations. The shard
+/// installed on the calling thread (via obs::NodeScope / ContextScope) is
+/// what the ambient count_scoped()/observe_scoped() helpers write to.
+class MetricScope {
+ public:
+  /// Finds or creates the shard for `node` (non-empty).
+  static MetricScope& for_node(const std::string& node);
+  /// The existing shard for `node`, or nullptr.
+  static MetricScope* find(const std::string& node);
+  /// Registered shard names, sorted.
+  static std::vector<std::string> nodes();
+  /// Zeroes every shard's values (registrations and references survive).
+  static void reset_values();
+
+  /// The shard ambient on the calling thread (nullptr = none installed).
+  static MetricScope* current();
+  /// Installs `scope` as the calling thread's ambient shard and returns
+  /// the previous one. NodeScope/ContextScope use this; pass nullptr to
+  /// clear.
+  static MetricScope* install(MetricScope* scope);
+
+  const std::string& node() const { return node_; }
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  Counter& counter(const std::string& name) { return registry_.counter(name); }
+  Gauge& gauge(const std::string& name) { return registry_.gauge(name); }
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {}) {
+    return registry_.histogram(name, std::move(bounds));
+  }
+
+  MetricScope(const MetricScope&) = delete;
+  MetricScope& operator=(const MetricScope&) = delete;
+
+ private:
+  explicit MetricScope(std::string node) : node_(std::move(node)) {}
+
+  std::string node_;
+  MetricsRegistry registry_;
+};
+
+/// Counter handle pairing a node shard's counter with the process-wide
+/// family (or per-instance) counter: inc() writes both, value() reads the
+/// primary (process-wide) side. Default-constructed handles are inert.
+class ScopedCounter {
+ public:
+  ScopedCounter() = default;
+  ScopedCounter(Counter* primary, Counter* shard)
+      : primary_(primary), shard_(shard) {}
+
+  void inc(std::uint64_t n = 1) {
+    if (primary_ != nullptr) primary_->inc(n);
+    if (shard_ != nullptr) shard_->inc(n);
+  }
+  std::uint64_t value() const {
+    return primary_ != nullptr ? primary_->value() : 0;
+  }
+
+ private:
+  Counter* primary_ = nullptr;
+  Counter* shard_ = nullptr;
+};
+
+/// Histogram handle mirroring ScopedCounter for observe().
+class ScopedHistogram {
+ public:
+  ScopedHistogram() = default;
+  ScopedHistogram(Histogram* primary, Histogram* shard)
+      : primary_(primary), shard_(shard) {}
+
+  void observe(double value) {
+    if (primary_ != nullptr) primary_->observe(value);
+    if (shard_ != nullptr) shard_->observe(value);
+  }
+
+ private:
+  Histogram* primary_ = nullptr;
+  Histogram* shard_ = nullptr;
+};
+
+/// Increments `name` in the process-wide registry and, when the calling
+/// thread runs under an obs::NodeScope, in that node's shard too.
+void count_scoped(const std::string& name, std::uint64_t n = 1);
+
+/// observe()s `name` in the process-wide registry and the ambient node
+/// shard (if any). `bounds` applies only when a side first registers the
+/// histogram, exactly like obs::histogram().
+void observe_scoped(const std::string& name, double value,
+                    std::vector<double> bounds = {});
+
+/// Process-wide source of per-instance metric ids: "darr.repo#<n>." style
+/// prefixes mint one id per `family`. reset_instance_ids() (called by
+/// obs::reset_all()) rewinds every family to 0 so seed-deterministic
+/// back-to-back runs register identical instance names.
+std::uint64_t next_instance_id(const std::string& family);
+void reset_instance_ids();
+
+/// Shared quantile estimator over an exported bucket vector (`buckets` has
+/// one +inf overflow slot past `bounds`); the logic behind
+/// Histogram::quantile(), reused by HistogramSnapshot.
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& buckets,
+                             double q);
 
 }  // namespace coda::obs

@@ -6,9 +6,12 @@
 
 #include <string>
 
+#include "src/obs/collector.h"
 #include "src/obs/costs.h"
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 namespace coda::obs {
@@ -46,9 +49,12 @@ void dump_if_env();
 /// The CODA_TRACE_DUMP half of dump_if_env(), separately callable.
 void trace_dump_if_env();
 
-/// Zeroes every metric and clears the tracer (spans, anchors, and span/
-/// trace id sources), the flight recorder, and the candidate cost table —
-/// full test isolation between seed-deterministic runs.
+/// Zeroes every metric (the process-wide registry AND every per-node
+/// MetricScope shard), rewinds the per-family instance-id sources, clears
+/// the tracer (spans, anchors, and span/trace id sources), the flight
+/// recorder, the candidate cost table, and the global SLO registry — full
+/// test isolation between seed-deterministic runs: two identical runs
+/// bracketed by reset_all() produce identical metrics output.
 void reset_all();
 
 }  // namespace coda::obs

@@ -175,19 +175,29 @@ ContextScope::ContextScope(const TraceContext& ctx, std::string node)
     : ContextScope(ctx) {
   node_set_ = true;
   prev_node_ = t_current_node;
+  prev_scope_ = MetricScope::install(
+      node.empty() ? nullptr : &MetricScope::for_node(node));
   t_current_node = std::move(node);
 }
 
 ContextScope::~ContextScope() {
   t_current_trace = prev_trace_;
   t_current_span = prev_span_;
-  if (node_set_) t_current_node = std::move(prev_node_);
+  if (node_set_) {
+    t_current_node = std::move(prev_node_);
+    MetricScope::install(prev_scope_);
+  }
 }
 
 NodeScope::NodeScope(std::string node) : prev_(t_current_node) {
+  prev_scope_ = MetricScope::install(
+      node.empty() ? nullptr : &MetricScope::for_node(node));
   t_current_node = std::move(node);
 }
 
-NodeScope::~NodeScope() { t_current_node = std::move(prev_); }
+NodeScope::~NodeScope() {
+  t_current_node = std::move(prev_);
+  MetricScope::install(prev_scope_);
+}
 
 }  // namespace coda::obs

@@ -28,6 +28,8 @@
 
 namespace coda::obs {
 
+class MetricScope;  // metrics.h; NodeScope/ContextScope install one
+
 /// Which clock a span's start/duration were measured on.
 enum class ClockDomain : std::uint8_t {
   kSteady = 0,   ///< process steady clock, seconds since the tracer epoch
@@ -201,11 +203,13 @@ class ContextScope {
   std::uint64_t prev_span_;
   bool node_set_ = false;
   std::string prev_node_;
+  MetricScope* prev_scope_ = nullptr;
 };
 
 /// RAII node attribution: spans and events recorded by this thread while
 /// the scope is live carry `node` (e.g. the SimNet node name of the
-/// simulated client driving this thread).
+/// simulated client driving this thread), and the node's MetricScope
+/// becomes the thread's ambient shard for count_scoped()/observe_scoped().
 class NodeScope {
  public:
   explicit NodeScope(std::string node);
@@ -216,6 +220,7 @@ class NodeScope {
 
  private:
   std::string prev_;
+  MetricScope* prev_scope_ = nullptr;
 };
 
 }  // namespace coda::obs

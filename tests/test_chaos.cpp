@@ -21,11 +21,12 @@
 #include "src/dist/remote_service.h"
 #include "src/dist/replication.h"
 #include "src/dist/retry.h"
+#include "src/dist/telemetry.h"
 #include "src/ml/decision_tree.h"
 #include "src/ml/knn.h"
 #include "src/ml/linear.h"
 #include "src/ml/scalers.h"
-#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 #include "src/ts/forecasters.h"
 #include "tests/chaos_harness.h"
 
@@ -370,6 +371,39 @@ TEST(Chaos, RemoteServiceStatsAreRaceFree) {
   EXPECT_GT(stats.bytes_out, 0u);
 }
 
+// SLO checks evaluate on a chaos run (DESIGN.md §12): after a lossy
+// cooperative search, declarative thresholds over the fault/retry and
+// evaluator families are checkable against the registry the run wrote.
+TEST(Chaos, SloChecksEvaluateOnAChaosRun) {
+  obs::reset_all();
+  const Dataset data = tabular_dataset();
+  ChaosSchedule schedule;
+  schedule.seed = 21;
+  schedule.drop_probability = 0.3;
+  SCOPED_TRACE(schedule.describe());
+  const FlightRecorderOnFailure recorder(schedule);
+  const ChaosRun run = run_tabular(data, 2, schedule);
+  EXPECT_GT(run.fault_stats.dropped, 0u);
+
+  auto& slos = obs::global_slos();
+  slos.add("net.fault.dropped value >= 1");     // faults were injected
+  slos.add("retry.attempts value >= 1");        // and absorbed by retries
+  slos.add("retry.gave_up value <= 0");         // without exhausting budgets
+  slos.add("evaluator.candidate.seconds p99 < 60");
+  const auto results = slos.evaluate();
+  slos.clear();
+
+  std::size_t evaluable = 0;
+  for (const auto& r : results) {
+    if (r.evaluable) {
+      ++evaluable;
+      EXPECT_TRUE(r.pass) << r.spec.text << " observed " << r.observed;
+    }
+  }
+  EXPECT_GE(evaluable, 3u);
+  EXPECT_GE(obs::counter("slo.evaluations").value(), evaluable);
+}
+
 // ---------------------------------------------------------------------------
 // Golden-file satellite: the fault/retry metric names are a contract.
 
@@ -444,6 +478,24 @@ void exercise_fault_metrics() {
     dist::ReplicatedStore group(&net, {primary, replica}, cfg);
     net.partition(primary, replica, net.now(), 1e9);
     group.put("k", Bytes{1, 2, 3});
+  }
+  {  // telemetry.reports.sent/failed + telemetry.bytes.sent +
+     // telemetry.reports.ingested: one reporter flush over a clean link
+    dist::SimNet net;
+    const auto src = net.add_node("golden-src");
+    const auto sink_node = net.add_node("telemetry");
+    auto& shard = obs::MetricScope::for_node("golden-src");
+    shard.counter("golden.telemetry").inc();
+    obs::TelemetryCollector collector;
+    dist::TelemetryReporter reporter(&net, src, sink_node, &collector,
+                                     &shard.registry(), "golden-src", tiny);
+    reporter.flush();
+  }
+  {  // slo.evaluations + slo.violations: any evaluation registers them
+    auto& slos = obs::global_slos();
+    slos.add("retry.attempts value >= 0");
+    slos.evaluate();
+    slos.clear();
   }
   {  // kernel.gemm.calls + kernel.gemm.flops: any matmul registers them
     Matrix a(2, 3);

@@ -21,7 +21,14 @@ freshly measured file against the committed one:
 Usage:
   bench_gate.py --pair fresh.json baseline.json [--pair ...]
                 [--tolerance 0.5] [--update-baselines]
+                [--require ENTRY ...]
   bench_gate.py --self-test
+
+--require ENTRY (repeatable) asserts that the named entry exists in both
+the fresh run and the baseline of at least one pair — the guard for
+acceptance invariants (e.g. the fleet bench's zero-redundancy and
+best-pipeline-identity entries) that must never be silently dropped or
+renamed out of the gate.
 
 --update-baselines rewrites each baseline with the fresh measurement
 instead of failing (the escape hatch after an intentional perf change —
@@ -100,25 +107,30 @@ def check_regression(name, field, fresh, base, tolerance, lower_is_better):
     return []
 
 
-def run_pairs(pairs, tolerance, update):
+def run_pairs(pairs, tolerance, update, require=()):
     any_failed = False
+    fresh_names, base_names = set(), set()
     for fresh_path, baseline_path in pairs:
         if not os.path.exists(fresh_path):
             print(f"FAIL {fresh_path}: fresh measurement missing")
             any_failed = True
             continue
+        fresh_doc = load(fresh_path)
+        fresh_names.update(entry_map(fresh_doc))
         if not os.path.exists(baseline_path):
             if update:
                 shutil.copyfile(fresh_path, baseline_path)
                 print(f"NEW  {baseline_path}: baseline created from "
                       f"{fresh_path}")
+                base_names.update(entry_map(fresh_doc))
             else:
                 print(f"FAIL {baseline_path}: committed baseline missing "
                       "(run with --update-baselines to create it)")
                 any_failed = True
             continue
-        failures = compare_pair(load(fresh_path), load(baseline_path),
-                                tolerance)
+        baseline_doc = load(baseline_path)
+        base_names.update(entry_map(baseline_doc))
+        failures = compare_pair(fresh_doc, baseline_doc, tolerance)
         if failures and update:
             shutil.copyfile(fresh_path, baseline_path)
             print(f"UPDATED {baseline_path} from {fresh_path} "
@@ -130,6 +142,15 @@ def run_pairs(pairs, tolerance, update):
                 print(f"  - {failure}")
         else:
             print(f"OK   {fresh_path} vs {baseline_path}")
+    for name in require:
+        if name not in fresh_names:
+            print(f"FAIL required entry '{name}' missing from every fresh "
+                  "run")
+            any_failed = True
+        elif name not in base_names:
+            print(f"FAIL required entry '{name}' missing from every "
+                  "baseline")
+            any_failed = True
     return 1 if any_failed else 0
 
 
@@ -200,6 +221,13 @@ def self_test():
         checks.append(("updated baseline passes",
                        run_pairs([(fresh_path, base_path)], 0.15,
                                  update=False) == 0))
+        checks.append(("required entry present passes",
+                       run_pairs([(fresh_path, base_path)], 0.15,
+                                 update=False, require=["a"]) == 0))
+        checks.append(("required entry missing fails",
+                       run_pairs([(fresh_path, base_path)], 0.15,
+                                 update=False,
+                                 require=["fleet512_gone"]) == 1))
 
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:
@@ -222,6 +250,10 @@ def main():
     parser.add_argument("--update-baselines", action="store_true",
                         help="rewrite baselines from the fresh measurements "
                              "instead of failing")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="ENTRY",
+                        help="entry name that must exist in the fresh runs "
+                             "and baselines; repeatable")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in comparison-logic checks")
     args = parser.parse_args()
@@ -231,7 +263,7 @@ def main():
     if not args.pair:
         parser.error("need at least one --pair (or --self-test)")
     sys.exit(run_pairs([tuple(p) for p in args.pair], args.tolerance,
-                       args.update_baselines))
+                       args.update_baselines, args.require))
 
 
 if __name__ == "__main__":

@@ -23,6 +23,9 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== tier 1: kernel bench smoke (ctest -L perf) =="
 ctest --test-dir build -L perf --output-on-failure
 
+echo "== tier 1: fleet-scale cooperative runs (ctest -L fleet) =="
+ctest --test-dir build -L fleet --output-on-failure
+
 echo "== tier 1: Chrome trace export + span-tree invariants =="
 scripts/trace_check.sh build
 
@@ -39,10 +42,19 @@ build/bench/bench_fig2_darr_cooperation \
     --bench-json=build/BENCH_fig2.json --benchmark_filter='^$' >/dev/null
 build/bench/bench_fig11_ts_pipeline_graph \
     --bench-json=build/BENCH_fig11.json --benchmark_filter='^$' >/dev/null
+build/bench/bench_fleet \
+    --bench-json=build/BENCH_fleet.json --benchmark_filter='^$' >/dev/null
 # 15% band on timings (so a >=20% regression of a committed baseline
-# fails); entries flagged "exact" must match bit-for-bit regardless.
+# fails); entries flagged "exact" must match bit-for-bit regardless, and
+# the fleet bench carries its own per-entry bands for the contention
+# timings. The --require names pin the fleet acceptance invariants
+# (512-client best-pipeline identity, zero redundant evaluations) so they
+# cannot be dropped or renamed out of the gate unnoticed.
 python3 scripts/bench_gate.py --tolerance 0.15 ${UPDATE_BASELINES} \
     --pair build/BENCH_fig2.json BENCH_fig2.json \
-    --pair build/BENCH_fig11.json BENCH_fig11.json
+    --pair build/BENCH_fig11.json BENCH_fig11.json \
+    --pair build/BENCH_fleet.json BENCH_fleet.json \
+    --require fleet512_best_pipeline_matches \
+    --require fleet512_redundant_evals
 
 echo "tier 1 OK"

@@ -116,16 +116,16 @@ void CooperativeFetch::degrade(const char* op) {
   }
 }
 
-std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
+std::vector<std::optional<CachedResult>> CooperativeFetch::fetch_many(
     const std::vector<std::string>& keys) {
   if (!usable()) {
     return std::vector<std::optional<CachedResult>>(keys.size());
   }
   std::vector<std::optional<CachedResult>> results;
   try {
-    results = cache_->lookup_many(keys);
+    results = cache_->fetch_many(keys);
   } catch (const NetworkError&) {
-    degrade("sweep");
+    degrade("fetch_many");
     return std::vector<std::optional<CachedResult>>(keys.size());
   }
   std::uint64_t found = 0;
@@ -139,13 +139,13 @@ std::vector<std::optional<CachedResult>> CooperativeFetch::sweep(
   return results;
 }
 
-std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
+std::optional<CachedResult> CooperativeFetch::fetch(const std::string& key) {
   if (!usable()) return std::nullopt;
   std::optional<CachedResult> result;
   try {
-    result = cache_->lookup(key);
+    result = cache_->fetch(key);
   } catch (const NetworkError&) {
-    degrade("poll");
+    degrade("fetch");
     return std::nullopt;
   }
   obs::count_scoped(result.has_value() ? "darr.lookup.hit"
@@ -156,7 +156,7 @@ std::optional<CachedResult> CooperativeFetch::poll(const std::string& key) {
 bool CooperativeFetch::claim(const std::string& key) {
   if (!usable()) return true;
   try {
-    return cache_->try_claim(key);
+    return cache_->claim(key);
   } catch (const NetworkError&) {
     // Claim unreachable -> claim it "locally": computing without the global
     // claim risks duplicated work across the partition, never wrong results.
@@ -165,22 +165,22 @@ bool CooperativeFetch::claim(const std::string& key) {
   }
 }
 
-void CooperativeFetch::publish(const std::string& key,
-                               const CachedResult& result) {
+void CooperativeFetch::put(const std::string& key,
+                           const CachedResult& result) {
   if (!usable()) return;
   try {
-    cache_->store(key, result);
+    cache_->put(key, result);
   } catch (const NetworkError&) {
-    degrade("publish");
+    degrade("put");
   }
 }
 
-void CooperativeFetch::abandon(const std::string& key) {
+void CooperativeFetch::release(const std::string& key) {
   if (!usable()) return;
   try {
-    cache_->abandon(key);
+    cache_->release(key);
   } catch (const NetworkError&) {
-    degrade("abandon");
+    degrade("release");
   }
 }
 
@@ -260,7 +260,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
     keys.reserve(n);
     for (const auto& c : candidates) keys.push_back(c.key);
     Stopwatch sweep_timer;
-    const auto hits = coop.sweep(keys);
+    const auto hits = coop.fetch_many(keys);
     const double per_key = sweep_timer.elapsed_seconds() / static_cast<double>(n);
     for (std::size_t i = 0; i < n; ++i) {
       if (!hits[i].has_value()) continue;
@@ -371,7 +371,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
           out.failure_message = s.failure_message;
         }
         obs::count_scoped("evaluator.candidate.failed");
-        coop.abandon(candidates[i].key);
+        coop.release(candidates[i].key);
       } else {
         double sum = 0.0;
         for (const double sc : s.fold_scores) sum += sc;
@@ -387,7 +387,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         obs::count_scoped("evaluator.candidate.local");
         obs::observe_scoped("evaluator.candidate.seconds", out.eval_seconds);
         if (coop.cooperative()) {
-          coop.publish(candidates[i].key,
+          coop.put(candidates[i].key,
                        CachedResult{out.mean_score, out.stddev,
                                     out.fold_scores, candidates[i].spec});
         }
@@ -451,7 +451,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         if (retry) {
           // A peer held the claim when we last looked; its result may have
           // landed since.
-          if (auto hit = coop.poll(key)) {
+          if (auto hit = coop.fetch(key)) {
             const double wait = seconds_between(
                 s.block_start, std::chrono::steady_clock::now());
             {

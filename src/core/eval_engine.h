@@ -118,22 +118,36 @@ class CooperativeFetch {
   /// True once a NetworkError has switched the run to local-only mode.
   bool degraded() const { return degraded_.load(std::memory_order_acquire); }
 
-  /// Batched initial sweep over every candidate key (one lookup_many —
+  /// Batched initial sweep over every candidate key (one fetch_many —
   /// a single round-trip on networked caches). Returns one slot per key.
-  std::vector<std::optional<CachedResult>> sweep(
+  std::vector<std::optional<CachedResult>> fetch_many(
       const std::vector<std::string>& keys);
 
   /// Single-key re-poll while a peer holds the claim.
-  std::optional<CachedResult> poll(const std::string& key);
+  std::optional<CachedResult> fetch(const std::string& key);
 
   /// Claims `key`; false = a peer holds a live claim.
   bool claim(const std::string& key);
 
   /// Publishes a locally computed result (releases the claim).
-  void publish(const std::string& key, const CachedResult& result);
+  void put(const std::string& key, const CachedResult& result);
 
   /// Releases the claim without publishing (local failure).
-  void abandon(const std::string& key);
+  void release(const std::string& key);
+
+  // Deprecated spellings mirroring the pre-RecordStore ResultCache names,
+  // kept for one release: delegate to the canonical contract above.
+  std::vector<std::optional<CachedResult>> sweep(
+      const std::vector<std::string>& keys) {
+    return fetch_many(keys);
+  }
+  std::optional<CachedResult> poll(const std::string& key) {
+    return fetch(key);
+  }
+  void publish(const std::string& key, const CachedResult& result) {
+    put(key, result);
+  }
+  void abandon(const std::string& key) { release(key); }
 
  private:
   /// Marks the run degraded and counts the swallowed call.

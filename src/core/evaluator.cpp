@@ -11,35 +11,35 @@
 
 namespace coda {
 
-std::vector<std::optional<CachedResult>> ResultCache::lookup_many(
+std::vector<std::optional<CachedResult>> ResultCache::fetch_many(
     const std::vector<std::string>& keys) {
   std::vector<std::optional<CachedResult>> out;
   out.reserve(keys.size());
-  for (const auto& key : keys) out.push_back(lookup(key));
+  for (const auto& key : keys) out.push_back(fetch(key));
   return out;
 }
 
-std::optional<CachedResult> LocalResultCache::lookup(const std::string& key) {
+std::optional<CachedResult> LocalResultCache::fetch(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = results_.find(key);
   if (it == results_.end()) return std::nullopt;
   return it->second;
 }
 
-bool LocalResultCache::try_claim(const std::string& key) {
+bool LocalResultCache::claim(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (results_.count(key) != 0) return true;  // already done; lookup will hit
+  if (results_.count(key) != 0) return true;  // already done; fetch will hit
   return claims_.insert(key).second;
 }
 
-void LocalResultCache::store(const std::string& key,
-                             const CachedResult& result) {
+void LocalResultCache::put(const std::string& key,
+                           const CachedResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
   results_[key] = result;
   claims_.erase(key);
 }
 
-void LocalResultCache::abandon(const std::string& key) {
+void LocalResultCache::release(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   claims_.erase(key);
 }

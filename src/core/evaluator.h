@@ -34,63 +34,86 @@ struct CachedResult {
 };
 
 /// Cache/claim interface the evaluation engine uses to cooperate with other
-/// clients (Section III, Fig 2). Implemented by darr::DarrClient; a process-
-/// local implementation exists for tests.
+/// clients (Section III, Fig 2). Implemented by darr::DarrClient (over any
+/// darr::RecordStore topology — one repository node or a sharded cluster)
+/// and by the process-local LocalResultCache.
 ///
-/// Claim/abandon contract (the engine's CooperativeFetch is the single call
-/// site, so implementations only need to honour exactly this sequence):
+/// This is THE claim/abandon contract (the engine's CooperativeFetch is
+/// the single call site, so implementations only need to honour exactly
+/// this sequence):
 ///
-///  1. lookup(key) / lookup_many(keys) — read-only; returns a result once
-///     ANY client has stored one. Never blocks work: a miss simply means
-///     the caller may try to claim.
-///  2. try_claim(key) — `true` grants this client the right (and duty) to
-///     compute the key and finish with exactly one store() or abandon().
+///  1. fetch(key) / fetch_many(keys) — read-only; returns a result once
+///     ANY client has published one. Never blocks work: a miss simply
+///     means the caller may try to claim.
+///  2. claim(key) — `true` grants this client the right (and duty) to
+///     compute the key and finish with exactly one put() or release().
 ///     `false` means a peer holds a live claim: the caller must NOT compute
 ///     but re-poll later (the engine re-queues the candidate on a timer
 ///     instead of blocking a worker). Implementations may also return
 ///     `true` when a result is already stored — "go look it up" — callers
 ///     tolerate recomputation in that unlikely race.
-///  3. store(key, result) — publishes the result and releases this
-///     client's claim. After a store, lookups hit forever.
-///  4. abandon(key) — releases this client's claim WITHOUT publishing
-///     (local failure); peers may then claim and compute. Abandon after a
+///  3. put(key, result) — publishes the result and releases this client's
+///     claim. After a put, fetches hit forever.
+///  4. release(key) — drops this client's claim WITHOUT publishing (local
+///     failure); peers may then claim and compute. Releasing after a
 ///     failed computation is mandatory, otherwise peers wait out the claim
 ///     TTL before retrying.
 ///
 /// Claims are leases, not locks: distributed implementations expire them
 /// (DarrRepository's claim TTL) so a crashed claimant never wedges a key.
+///
+/// The old spellings (lookup/lookup_many/try_claim/store/abandon) remain
+/// as non-virtual wrappers delegating to the canonical names above —
+/// deprecated, kept for one release; new code and new implementations use
+/// the canonical surface only.
 class ResultCache {
  public:
   virtual ~ResultCache() = default;
 
   /// Returns the stored result for `key`, if any client has computed it.
-  virtual std::optional<CachedResult> lookup(const std::string& key) = 0;
+  virtual std::optional<CachedResult> fetch(const std::string& key) = 0;
 
-  /// Batch lookup: element i answers keys[i]. The default implementation
-  /// loops over lookup(); networked caches override it to answer the
+  /// Batch fetch: element i answers keys[i]. The default implementation
+  /// loops over fetch(); networked caches override it to answer the
   /// evaluator's initial sweep in one round-trip instead of N.
-  virtual std::vector<std::optional<CachedResult>> lookup_many(
+  virtual std::vector<std::optional<CachedResult>> fetch_many(
       const std::vector<std::string>& keys);
 
   /// Attempts to claim `key` for local computation. Returns false when
   /// another client holds a live claim (they are computing it right now).
-  virtual bool try_claim(const std::string& key) = 0;
+  virtual bool claim(const std::string& key) = 0;
 
-  /// Stores a computed result (and releases this client's claim).
-  virtual void store(const std::string& key, const CachedResult& result) = 0;
+  /// Publishes a computed result (and releases this client's claim).
+  virtual void put(const std::string& key, const CachedResult& result) = 0;
 
-  /// Releases a claim without storing (local failure); lets others retry.
-  virtual void abandon(const std::string& key) = 0;
+  /// Releases a claim without publishing (local failure); lets others
+  /// retry.
+  virtual void release(const std::string& key) = 0;
+
+  // Deprecated spellings, kept for one release: delegate to the canonical
+  // contract above. Migrate call sites — these will be removed.
+  std::optional<CachedResult> lookup(const std::string& key) {
+    return fetch(key);
+  }
+  std::vector<std::optional<CachedResult>> lookup_many(
+      const std::vector<std::string>& keys) {
+    return fetch_many(keys);
+  }
+  bool try_claim(const std::string& key) { return claim(key); }
+  void store(const std::string& key, const CachedResult& result) {
+    put(key, result);
+  }
+  void abandon(const std::string& key) { release(key); }
 };
 
 /// Trivial in-process ResultCache (single map, no sharing semantics beyond
 /// the current process). Useful for tests and single-client speedups.
 class LocalResultCache final : public ResultCache {
  public:
-  std::optional<CachedResult> lookup(const std::string& key) override;
-  bool try_claim(const std::string& key) override;
-  void store(const std::string& key, const CachedResult& result) override;
-  void abandon(const std::string& key) override;
+  std::optional<CachedResult> fetch(const std::string& key) override;
+  bool claim(const std::string& key) override;
+  void put(const std::string& key, const CachedResult& result) override;
+  void release(const std::string& key) override;
 
  private:
   std::mutex mutex_;
@@ -143,11 +166,6 @@ struct EvalOptions {
   /// 0 disables memoization.
   std::size_t prefix_cache_bytes = std::size_t{64} << 20;
 };
-
-/// Deprecated alias, kept for one release: the tabular and forecast
-/// evaluator configs were collapsed into EvalOptions. Migrate spellings —
-/// the alias will be removed.
-using EvaluatorConfig = EvalOptions;
 
 /// Scores one pipeline with cross-validation (mean/stddev across folds).
 CachedResult cross_validate(const Pipeline& pipeline, const Dataset& data,

@@ -2,8 +2,8 @@
 
 #include <atomic>
 
-#include "src/dist/retry.h"
 #include "src/obs/trace.h"
+#include "src/util/error.h"
 
 namespace coda::darr {
 
@@ -16,22 +16,22 @@ std::string next_instance_prefix() {
          std::to_string(obs::next_instance_id("darr.client")) + ".";
 }
 
+CachedResult to_cached(const DarrRecord& record) {
+  CachedResult result;
+  result.mean_score = record.mean_score;
+  result.stddev = record.stddev;
+  result.fold_scores = record.fold_scores;
+  result.explanation = record.explanation;
+  return result;
+}
+
 }  // namespace
 
-DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
-                       dist::NodeId self, dist::NodeId repo_node,
-                       std::string client_name, RetryPolicy retry)
-    : repository_(repository),
-      net_(net),
-      self_(self),
-      repo_node_(repo_node),
-      name_(std::move(client_name)),
-      retry_(retry) {
-  require(repository != nullptr && net != nullptr,
-          "DarrClient: null dependency");
+DarrClient::DarrClient(RecordStore* store, std::string client_name,
+                       RetryPolicy retry)
+    : store_(store), name_(std::move(client_name)), retry_(retry) {
+  require(store != nullptr, "DarrClient: null record store");
   retry_.validate();
-  require(self != repo_node,
-          "DarrClient: client and repository must be distinct nodes");
   require(!name_.empty(), "DarrClient: client name must be non-empty");
   const std::string prefix = next_instance_prefix();
   stats_.lookups = &obs::counter(prefix + "lookups");
@@ -56,111 +56,90 @@ DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
   family_.bytes_received = family("darr.client.bytes_received");
 }
 
-std::optional<CachedResult> DarrClient::lookup(const std::string& key) {
+DarrClient::DarrClient(std::unique_ptr<RecordStore> owned_store,
+                       std::string client_name, RetryPolicy retry)
+    : DarrClient(owned_store.get(), std::move(client_name), retry) {
+  owned_store_ = std::move(owned_store);
+}
+
+DarrClient::DarrClient(DarrRepository* repository, dist::SimNet* net,
+                       dist::NodeId self, dist::NodeId repo_node,
+                       std::string client_name, RetryPolicy retry)
+    : DarrClient(std::make_unique<SingleNodeDarrService>(
+                     repository, net, self, repo_node, retry),
+                 std::move(client_name), retry) {}
+
+void DarrClient::count_traffic(const Wire& wire) {
+  stats_.bytes_sent->inc(wire.bytes_sent);
+  stats_.bytes_received->inc(wire.bytes_received);
+  family_.bytes_sent.inc(wire.bytes_sent);
+  family_.bytes_received.inc(wire.bytes_received);
+}
+
+void DarrClient::track_claim(const std::string& key) {
+  std::lock_guard<std::mutex> lock(held_mutex_);
+  held_claims_.insert(key);
+}
+
+void DarrClient::untrack_claim(const std::string& key) {
+  std::lock_guard<std::mutex> lock(held_mutex_);
+  held_claims_.erase(key);
+}
+
+std::optional<CachedResult> DarrClient::fetch(const std::string& key) {
   obs::ScopedSpan op_span("darr.client.lookup");
-  const std::size_t request = key_request_size(key);
-  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
-                            "darr.lookup");
-  std::optional<DarrRecord> record;
-  {
-    // Repository work is simulated inline but belongs to the repo node.
-    obs::ScopedSpan repo_span("darr.repo.lookup", op_span.context());
-    repo_span.set_node(net_->node_name(repo_node_));
-    record = repository_->lookup(key);
-  }
-  std::size_t response = 16;  // "not found"
-  std::optional<CachedResult> out;
-  if (record) {
-    response = record->wire_size();
-    CachedResult result;
-    result.mean_score = record->mean_score;
-    result.stddev = record->stddev;
-    result.fold_scores = record->fold_scores;
-    result.explanation = record->explanation;
-    out = std::move(result);
-  }
-  dist::transfer_with_retry(*net_, repo_node_, self_, response, retry_,
-                            "darr.lookup");
+  Wire wire;
+  const auto record = store_->fetch(key, wire);
   stats_.lookups->inc();
   family_.lookups.inc();
-  if (out) {
+  if (record) {
     stats_.hits->inc();
     family_.hits.inc();
   }
-  stats_.bytes_sent->inc(request);
-  stats_.bytes_received->inc(response);
-  family_.bytes_sent.inc(request);
-  family_.bytes_received.inc(response);
-  return out;
+  count_traffic(wire);
+  if (!record) return std::nullopt;
+  return to_cached(*record);
 }
 
-std::vector<std::optional<CachedResult>> DarrClient::lookup_many(
+std::vector<std::optional<CachedResult>> DarrClient::fetch_many(
     const std::vector<std::string>& keys) {
   if (keys.empty()) return {};
   obs::ScopedSpan op_span("darr.client.lookup_many");
   op_span.tag("keys", std::to_string(keys.size()));
-  std::size_t request = 0;
-  for (const auto& key : keys) request += key_request_size(key);
-  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
-                            "darr.lookup_many");
+  Wire wire;
+  const auto records = store_->fetch_many(keys, wire);
   std::vector<std::optional<CachedResult>> out;
-  out.reserve(keys.size());
-  std::size_t response = 0;
+  out.reserve(records.size());
   std::size_t found = 0;
-  {
-    obs::ScopedSpan repo_span("darr.repo.lookup_many", op_span.context());
-    repo_span.set_node(net_->node_name(repo_node_));
-    for (const auto& key : keys) {
-      auto record = repository_->lookup(key);
-      if (record) {
-        response += record->wire_size();
-        ++found;
-        CachedResult result;
-        result.mean_score = record->mean_score;
-        result.stddev = record->stddev;
-        result.fold_scores = record->fold_scores;
-        result.explanation = record->explanation;
-        out.push_back(std::move(result));
-      } else {
-        response += 16;  // per-key "not found"
-        out.push_back(std::nullopt);
-      }
+  for (const auto& record : records) {
+    if (record) {
+      ++found;
+      out.push_back(to_cached(*record));
+    } else {
+      out.push_back(std::nullopt);
     }
   }
-  dist::transfer_with_retry(*net_, repo_node_, self_, response, retry_,
-                            "darr.lookup_many");
   stats_.lookups->inc(keys.size());
   stats_.hits->inc(found);
   family_.lookups.inc(keys.size());
   family_.hits.inc(found);
-  stats_.bytes_sent->inc(request);
-  stats_.bytes_received->inc(response);
-  family_.bytes_sent.inc(request);
-  family_.bytes_received.inc(response);
+  count_traffic(wire);
   return out;
 }
 
-bool DarrClient::try_claim(const std::string& key) {
+bool DarrClient::claim(const std::string& key) {
   obs::ScopedSpan op_span("darr.client.try_claim");
-  const std::size_t request = key_request_size(key) + name_.size();
-  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
-                            "darr.try_claim");
+  Wire wire;
   bool granted = false;
-  {
-    obs::ScopedSpan repo_span("darr.repo.try_claim", op_span.context());
-    repo_span.set_node(net_->node_name(repo_node_));
-    granted = repository_->try_claim(key, name_);
-    repo_span.tag("granted", granted ? "1" : "0");
+  try {
+    granted = store_->claim(key, name_, wire);
+  } catch (...) {
+    // The grant may have been applied store-side before the response leg
+    // was lost: track it, or abandon_all() could never release the lease.
+    if (wire.applied) track_claim(key);
+    throw;
   }
-  if (granted) {
-    // Track the grant before the response transfer: if the response is
-    // lost past the retry budget the repository still holds the claim in
-    // our name, and abandon_all() must know to release it.
-    std::lock_guard<std::mutex> lock(held_mutex_);
-    held_claims_.insert(key);
-  }
-  dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
-                            "darr.try_claim");
+  if (granted) track_claim(key);
   if (granted) {
     stats_.claims_won->inc();
     family_.claims_won.inc();
@@ -168,14 +147,11 @@ bool DarrClient::try_claim(const std::string& key) {
     stats_.claims_lost->inc();
     family_.claims_lost.inc();
   }
-  stats_.bytes_sent->inc(request);
-  stats_.bytes_received->inc(16);
-  family_.bytes_sent.inc(request);
-  family_.bytes_received.inc(16);
+  count_traffic(wire);
   return granted;
 }
 
-void DarrClient::store(const std::string& key, const CachedResult& result) {
+void DarrClient::put(const std::string& key, const CachedResult& result) {
   DarrRecord record;
   record.key = key;
   record.mean_score = result.mean_score;
@@ -184,67 +160,53 @@ void DarrClient::store(const std::string& key, const CachedResult& result) {
   record.explanation = result.explanation;
   record.producer = name_;
   obs::ScopedSpan op_span("darr.client.store");
-  const std::size_t request = record.wire_size();
-  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
-                            "darr.store");
-  {
-    obs::ScopedSpan repo_span("darr.repo.store", op_span.context());
-    repo_span.set_node(net_->node_name(repo_node_));
-    repository_->store(std::move(record), net_->now());
+  Wire wire;
+  try {
+    store_->put(std::move(record), wire);
+  } catch (...) {
+    // Storing released the claim store-side even if the response was lost.
+    if (wire.applied) untrack_claim(key);
+    throw;
   }
-  {
-    // Storing a record releases the claim repository-side.
-    std::lock_guard<std::mutex> lock(held_mutex_);
-    held_claims_.erase(key);
-  }
-  dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
-                            "darr.store");
+  untrack_claim(key);
   stats_.stores->inc();
   family_.stores.inc();
-  stats_.bytes_sent->inc(request);
-  stats_.bytes_received->inc(16);
-  family_.bytes_sent.inc(request);
-  family_.bytes_received.inc(16);
+  count_traffic(wire);
 }
 
-void DarrClient::abandon(const std::string& key) {
+void DarrClient::release(const std::string& key) {
   obs::ScopedSpan op_span("darr.client.abandon");
-  const std::size_t request = key_request_size(key) + name_.size();
-  dist::transfer_with_retry(*net_, self_, repo_node_, request, retry_,
-                            "darr.abandon");
-  {
-    obs::ScopedSpan repo_span("darr.repo.abandon", op_span.context());
-    repo_span.set_node(net_->node_name(repo_node_));
-    repository_->abandon(key, name_);
+  Wire wire;
+  try {
+    store_->release(key, name_, wire);
+  } catch (...) {
+    if (wire.applied) untrack_claim(key);
+    throw;
   }
-  {
-    std::lock_guard<std::mutex> lock(held_mutex_);
-    held_claims_.erase(key);
-  }
-  dist::transfer_with_retry(*net_, repo_node_, self_, 16, retry_,
-                            "darr.abandon");
-  stats_.bytes_sent->inc(request);
-  stats_.bytes_received->inc(16);
-  family_.bytes_sent.inc(request);
-  family_.bytes_received.inc(16);
+  untrack_claim(key);
+  count_traffic(wire);
 }
 
 void DarrClient::abandon_all() {
   static auto& abandoned = obs::counter("darr.client.claims_abandoned");
-  std::vector<std::string> held;
-  {
-    std::lock_guard<std::mutex> lock(held_mutex_);
-    held.assign(held_claims_.begin(), held_claims_.end());
-  }
-  for (const auto& key : held) {
-    try {
-      abandon(key);
-      abandoned.inc();
-    } catch (const NetworkError&) {
-      // Release RPC exhausted its retry budget: the key stays in
-      // held_claims_ (abandon() only erases after the repository call),
-      // so the next abandon_all() retries it. Keep releasing the rest.
+  for (std::size_t pass = 0; pass < retry_.max_attempts; ++pass) {
+    std::vector<std::string> held = held_claims();
+    if (held.empty()) return;
+    bool all_released = true;
+    for (const auto& key : held) {
+      try {
+        release(key);
+        abandoned.inc();
+      } catch (const NetworkError&) {
+        // Release RPC exhausted its transfer budget: the key stays in
+        // held_claims_ (release() only untracks after the store applied
+        // it), so the next pass retries. The failed attempts charged
+        // backoff to the logical clock — a transient partition/crash
+        // window may have healed for that next pass.
+        all_released = false;
+      }
     }
+    if (all_released) return;
   }
 }
 

@@ -1,13 +1,17 @@
-// DARR client: adapts the repository to the core ResultCache interface so a
+// DARR client: adapts a RecordStore — one repository node, a sharded
+// cluster, or a test fake — to the core ResultCache interface so a
 // GraphEvaluator cooperates transparently (Fig 2), with every repository
-// interaction accounted as simulated network traffic.
+// interaction accounted as simulated network traffic through the store's
+// Wire reporting.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 
 #include "src/core/evaluator.h"
+#include "src/darr/record_store.h"
 #include "src/darr/repository.h"
 #include "src/dist/sim_net.h"
 #include "src/obs/metrics.h"
@@ -15,7 +19,7 @@
 
 namespace coda::darr {
 
-/// ResultCache implementation backed by a shared DarrRepository.
+/// ResultCache implementation backed by any RecordStore topology.
 class DarrClient final : public ResultCache {
  public:
   /// Per-client traffic/behaviour snapshot. Backed by registry counters
@@ -30,25 +34,30 @@ class DarrClient final : public ResultCache {
     std::size_t bytes_received = 0;
   };
 
-  /// `net`/`self`/`repo_node` wire network accounting; `client_name`
-  /// identifies this client as a record producer and claim holder. Every
-  /// repository interaction retries failed transfers under `retry` and
-  /// throws NetworkError once the budget is exhausted (the evaluator's
-  /// CooperativeFetch catches that and degrades to local evaluation).
+  /// Canonical constructor: any RecordStore (SingleNodeDarrService,
+  /// ShardedDarrService, an in-process DarrRepository, a test fake).
+  /// `client_name` identifies this client as a record producer and claim
+  /// holder; `retry` paces abandon_all()'s release passes. Store operations
+  /// that throw NetworkError (their own retry budget spent) propagate to
+  /// the evaluator's CooperativeFetch, which degrades to local evaluation.
+  DarrClient(RecordStore* store, std::string client_name,
+             RetryPolicy retry = {});
+
+  /// Single-repository convenience: wires an owned SingleNodeDarrService
+  /// over `net` between `self` and `repo_node` (the original Fig-2
+  /// topology), with `retry` as its transfer budget.
   DarrClient(DarrRepository* repository, dist::SimNet* net,
              dist::NodeId self, dist::NodeId repo_node,
              std::string client_name, RetryPolicy retry = {});
 
-  std::optional<CachedResult> lookup(const std::string& key) override;
-  /// Batched lookup in ONE simulated round-trip: the request carries every
-  /// key, the response every found record — the evaluator's initial sweep
-  /// over N candidates costs one message pair instead of N. Stats count one
-  /// lookup (and hit, where found) per key, like N singles would.
-  std::vector<std::optional<CachedResult>> lookup_many(
+  // ResultCache canonical surface (the deprecated lookup/try_claim/store/
+  // abandon spellings delegate here via the base class).
+  std::optional<CachedResult> fetch(const std::string& key) override;
+  std::vector<std::optional<CachedResult>> fetch_many(
       const std::vector<std::string>& keys) override;
-  bool try_claim(const std::string& key) override;
-  void store(const std::string& key, const CachedResult& result) override;
-  void abandon(const std::string& key) override;
+  bool claim(const std::string& key) override;
+  void put(const std::string& key, const CachedResult& result) override;
+  void release(const std::string& key) override;
 
   const std::string& client_name() const { return name_; }
   Stats stats() const;
@@ -56,17 +65,21 @@ class DarrClient final : public ResultCache {
   /// Releases every claim this client currently holds so peers can reclaim
   /// the work. Called on crash-recovery (a restarted node must not leave
   /// orphaned claims pinning candidates until TTL expiry) and safe to call
-  /// when nothing is held. Claims whose release RPC itself fails stay
-  /// tracked, so a later call retries them.
+  /// when nothing is held. Runs up to retry_.max_attempts release passes:
+  /// a claim whose release RPC exhausted its transfer budget stays tracked
+  /// and is retried on the next pass — each inner retry's backoff advances
+  /// the SimNet logical clock, so a transient partition or crash window
+  /// can heal mid-call and the lease is released instead of leaking until
+  /// TTL expiry. Keys still unreachable after the last pass stay tracked
+  /// for a later call.
   void abandon_all();
 
-  /// Keys this client has claimed but not yet stored or abandoned.
+  /// Keys this client has claimed but not yet stored or released.
   std::vector<std::string> held_claims() const;
 
  private:
-  std::size_t key_request_size(const std::string& key) const {
-    return key.size() + 16;
-  }
+  DarrClient(std::unique_ptr<RecordStore> owned_store,
+             std::string client_name, RetryPolicy retry);
 
   /// Registry-backed instance counters; atomic, so evaluator threads need
   /// no client-side lock.
@@ -92,10 +105,12 @@ class DarrClient final : public ResultCache {
     obs::ScopedCounter bytes_received;
   };
 
-  DarrRepository* repository_;
-  dist::SimNet* net_;
-  dist::NodeId self_;
-  dist::NodeId repo_node_;
+  void count_traffic(const Wire& wire);
+  void track_claim(const std::string& key);
+  void untrack_claim(const std::string& key);
+
+  std::unique_ptr<RecordStore> owned_store_;  ///< legacy-ctor service
+  RecordStore* store_;
   std::string name_;
   RetryPolicy retry_;
   InstanceCounters stats_;

@@ -1,5 +1,6 @@
 #include "src/darr/cooperative.h"
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -10,95 +11,214 @@
 
 namespace coda::darr {
 
+CooperativeReport run_cooperative_fleet(std::size_t total_candidates,
+                                        const FleetOptions& options,
+                                        const ClientSession& session) {
+  require(options.n_clients >= 1, "run_cooperative_fleet: need >= 1 client");
+  const std::size_t n_clients = options.n_clients;
+
+  dist::SimNet net;
+  if (options.faults) net.set_faults(*options.faults);
+
+  // Repository tier: one "darr" node, or a consistent-hash cluster of
+  // shard nodes (DESIGN.md §13). Either way the clients only ever see a
+  // RecordStore.
+  std::unique_ptr<DarrRepository> repository;
+  std::unique_ptr<DarrCluster> cluster;
+  dist::NodeId repo_node = 0;
+  if (options.n_shards == 0) {
+    DarrRepository::Config repo_config;
+    repo_config.claim_ttl_ms = options.claim_ttl_ms;
+    repository = std::make_unique<DarrRepository>(repo_config);
+    repo_node = net.add_node("darr");
+  } else {
+    DarrCluster::Config cluster_config;
+    cluster_config.n_shards = options.n_shards;
+    cluster_config.replication = options.replication;
+    cluster_config.ring_points = options.ring_points;
+    cluster_config.claim_ttl_ms = options.claim_ttl_ms;
+    cluster_config.sync_retry = options.retry;
+    cluster = std::make_unique<DarrCluster>(&net, cluster_config);
+  }
+  const dist::NodeId telemetry_node = net.add_node("telemetry");
+
+  std::shared_ptr<obs::TelemetryCollector> collector;
+  if (options.telemetry) {
+    collector = std::make_shared<obs::TelemetryCollector>();
+    for (const char* metric :
+         {"evaluator.candidate.local", "evaluator.candidate.cached",
+          "darr.client.lookups", "darr.client.hits", "darr.repo.store"}) {
+      collector->track(metric);
+    }
+  }
+
+  std::vector<std::unique_ptr<RecordStore>> services;
+  std::vector<std::unique_ptr<DarrClient>> clients;
+  std::vector<std::unique_ptr<dist::TelemetryReporter>> reporters;
+  services.reserve(n_clients);
+  clients.reserve(n_clients);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    const std::string name = "client" + std::to_string(i);
+    const dist::NodeId node = net.add_node(name);
+    if (cluster) {
+      services.push_back(std::make_unique<ShardedDarrService>(
+          cluster.get(), node, options.retry));
+    } else {
+      services.push_back(std::make_unique<SingleNodeDarrService>(
+          repository.get(), &net, node, repo_node, options.retry));
+    }
+    clients.push_back(
+        std::make_unique<DarrClient>(services.back().get(), name,
+                                     options.retry));
+    if (collector) {
+      // Each client ships its own MetricScope shard to the collector node.
+      reporters.push_back(std::make_unique<dist::TelemetryReporter>(
+          &net, node, telemetry_node, collector.get(),
+          &obs::MetricScope::for_node(name).registry(), name));
+    }
+  }
+  if (collector) {
+    // The repository tier reports too: the "darr" node, or every shard.
+    if (cluster) {
+      for (std::size_t s = 0; s < cluster->n_shards(); ++s) {
+        const std::string& name = net.node_name(cluster->node(s));
+        reporters.push_back(std::make_unique<dist::TelemetryReporter>(
+            &net, cluster->node(s), telemetry_node, collector.get(),
+            &obs::MetricScope::for_node(name).registry(), name));
+      }
+    } else {
+      reporters.push_back(std::make_unique<dist::TelemetryReporter>(
+          &net, repo_node, telemetry_node, collector.get(),
+          &obs::MetricScope::for_node("darr").registry(), "darr"));
+    }
+  }
+
+  CooperativeReport report;
+  report.total_candidates = total_candidates;
+  report.n_shards = options.n_shards;
+  report.replication = cluster ? cluster->replication() : 1;
+  report.clients.resize(n_clients);
+  report.telemetry = collector;
+
+  auto run_one = [&](std::size_t i) {
+    // Spans from this thread (the evaluation root and everything under
+    // it) belong to this simulated client's node.
+    const obs::NodeScope node_scope(clients[i]->client_name());
+    Stopwatch client_timer;
+    ClientOutcome& outcome = report.clients[i];
+    outcome.name = clients[i]->client_name();
+    outcome.report = session(i, *clients[i]);
+    outcome.evaluated_locally = outcome.report.evaluated_locally;
+    outcome.served_from_cache = outcome.report.served_from_cache;
+    outcome.seconds = client_timer.elapsed_seconds();
+    // Ship this client's telemetry from its own thread: a deterministic
+    // report point (end of evaluation) rather than a wall-clock timer,
+    // so back-to-back runs send identical report counts.
+    if (collector) reporters[i]->flush();
+  };
+
+  Stopwatch wall;
+  const std::size_t n_workers =
+      options.max_parallel_clients == 0
+          ? n_clients
+          : std::min(options.max_parallel_clients, n_clients);
+  if (n_workers == n_clients) {
+    // One thread per client: every session genuinely overlaps (the
+    // original Fig-2 shape, and what the claim-contention metrics mean).
+    std::vector<std::thread> threads;
+    threads.reserve(n_clients);
+    for (std::size_t i = 0; i < n_clients; ++i) {
+      threads.emplace_back(run_one, i);
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    // Bounded worker pool for fleet-scale runs: n_workers threads pull
+    // client indices in order. n_workers == 1 runs the fleet serially —
+    // fully deterministic, which is what exact bench entries need.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      workers.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < n_clients;
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  report.wall_seconds = wall.elapsed_seconds();
+
+  if (collector) {
+    // Final sweep from the coordinating thread: the repository tier's
+    // shard(s) plus a catch-up flush for every client (a no-op when
+    // nothing changed since the client's own report; a retransmission
+    // when that report was lost).
+    for (auto& reporter : reporters) reporter->flush();
+    report.telemetry_divergence = collector->describe_divergence(
+        obs::snapshot_registry(obs::MetricsRegistry::instance()));
+  }
+
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    report.clients[i].darr_stats = clients[i]->stats();
+    report.total_local_evaluations += report.clients[i].evaluated_locally;
+    report.redundancy_avoided += report.clients[i].served_from_cache;
+  }
+  report.redundant_evaluations =
+      report.total_local_evaluations > report.total_candidates
+          ? report.total_local_evaluations - report.total_candidates
+          : 0;
+  report.repository_counters =
+      cluster ? cluster->counters() : repository->counters();
+  if (cluster) report.sync_stats = cluster->sync_stats();
+  report.bytes_on_wire = net.total().bytes;
+  report.claim_wait_p99_seconds =
+      obs::histogram("evaluator.claim.wait_seconds").quantile(0.99);
+  return report;
+}
+
 CooperativeReport run_cooperative_search(const TEGraph& graph,
                                          const Dataset& data,
                                          const CrossValidator& cv,
                                          Metric metric,
                                          std::size_t n_clients,
                                          std::size_t evaluator_threads) {
-  require(n_clients >= 1, "run_cooperative_search: need >= 1 client");
+  FleetOptions options;
+  options.n_clients = n_clients;
+  options.evaluator_threads = evaluator_threads;
+  return run_cooperative_search(graph, data, cv, metric, options);
+}
 
-  DarrRepository repository;
-  dist::SimNet net;
-  const dist::NodeId repo_node = net.add_node("darr");
-  const dist::NodeId telemetry_node = net.add_node("telemetry");
+CooperativeReport run_cooperative_search(const TEGraph& graph,
+                                         const Dataset& data,
+                                         const CrossValidator& cv,
+                                         Metric metric,
+                                         const FleetOptions& options) {
+  return run_cooperative_fleet(
+      graph.enumerate_candidates().size(), options,
+      [&](std::size_t, ResultCache& cache) {
+        EvalOptions eval;
+        eval.metric = metric;
+        eval.threads = options.evaluator_threads;
+        eval.cache = &cache;
+        return GraphEvaluator(eval).evaluate(graph, data, *cv.clone());
+      });
+}
 
-  auto collector = std::make_shared<obs::TelemetryCollector>();
-  for (const char* metric :
-       {"evaluator.candidate.local", "evaluator.candidate.cached",
-        "darr.client.lookups", "darr.client.hits", "darr.repo.store"}) {
-    collector->track(metric);
-  }
-
-  std::vector<std::unique_ptr<DarrClient>> clients;
-  std::vector<std::unique_ptr<dist::TelemetryReporter>> reporters;
-  clients.reserve(n_clients);
-  reporters.reserve(n_clients + 1);
-  for (std::size_t i = 0; i < n_clients; ++i) {
-    const std::string name = "client" + std::to_string(i);
-    const dist::NodeId node = net.add_node(name);
-    clients.push_back(std::make_unique<DarrClient>(&repository, &net, node,
-                                                   repo_node, name));
-    // Each client ships its own MetricScope shard to the collector node.
-    reporters.push_back(std::make_unique<dist::TelemetryReporter>(
-        &net, node, telemetry_node, collector.get(),
-        &obs::MetricScope::for_node(name).registry(), name));
-  }
-  reporters.push_back(std::make_unique<dist::TelemetryReporter>(
-      &net, repo_node, telemetry_node, collector.get(),
-      &obs::MetricScope::for_node("darr").registry(), "darr"));
-
-  CooperativeReport report;
-  report.total_candidates = graph.enumerate_candidates().size();
-  report.clients.resize(n_clients);
-  report.telemetry = collector;
-
-  Stopwatch wall;
-  std::vector<std::thread> threads;
-  threads.reserve(n_clients);
-  for (std::size_t i = 0; i < n_clients; ++i) {
-    threads.emplace_back([&, i] {
-      // Spans from this thread (the evaluation root and everything under
-      // it) belong to this simulated client's node.
-      const obs::NodeScope node_scope(clients[i]->client_name());
-      Stopwatch client_timer;
-      EvalOptions config;
-      config.metric = metric;
-      config.threads = evaluator_threads;
-      config.cache = clients[i].get();
-      GraphEvaluator evaluator(config);
-      ClientOutcome& outcome = report.clients[i];
-      outcome.name = clients[i]->client_name();
-      outcome.report = evaluator.evaluate(graph, data, *cv.clone());
-      outcome.evaluated_locally = outcome.report.evaluated_locally;
-      outcome.served_from_cache = outcome.report.served_from_cache;
-      outcome.seconds = client_timer.elapsed_seconds();
-      // Ship this client's telemetry from its own thread: a deterministic
-      // report point (end of evaluation) rather than a wall-clock timer,
-      // so back-to-back runs send identical report counts.
-      reporters[i]->flush();
-    });
-  }
-  for (auto& t : threads) t.join();
-  report.wall_seconds = wall.elapsed_seconds();
-
-  // Final sweep from the coordinating thread: the repository's shard plus
-  // a catch-up flush for every client (a no-op when nothing changed since
-  // the client's own report; a retransmission when that report was lost).
-  for (auto& reporter : reporters) reporter->flush();
-  report.telemetry_divergence = collector->describe_divergence(
-      obs::snapshot_registry(obs::MetricsRegistry::instance()));
-
-  for (std::size_t i = 0; i < n_clients; ++i) {
-    report.clients[i].darr_stats = clients[i]->stats();
-    report.total_local_evaluations += report.clients[i].evaluated_locally;
-  }
-  report.redundant_evaluations =
-      report.total_local_evaluations > report.total_candidates
-          ? report.total_local_evaluations - report.total_candidates
-          : 0;
-  report.repository_counters = repository.counters();
-  return report;
+CooperativeReport run_cooperative_forecast_search(
+    const ts::ForecastGraph& graph, const TimeSeries& series,
+    const TimeSeriesSlidingSplit& cv, Metric metric,
+    const FleetOptions& options) {
+  return run_cooperative_fleet(
+      graph.enumerate().size(), options,
+      [&](std::size_t, ResultCache& cache) {
+        EvalOptions eval;
+        eval.metric = metric;
+        eval.threads = options.evaluator_threads;
+        eval.cache = &cache;
+        return ts::ForecastGraphEvaluator(eval).evaluate(graph, series, cv);
+      });
 }
 
 }  // namespace coda::darr

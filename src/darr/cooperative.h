@@ -1,11 +1,15 @@
-// Cooperative graph search (Fig 2): N clients, each with its own DarrClient
-// connected to one shared repository, concurrently evaluate the same
-// Transformer-Estimator Graph on the same data set. Claims partition the
-// candidate space; every client ends the run with the complete result set
-// (its own computations plus everyone else's, read from the DARR).
+// Cooperative graph search (Fig 2), from a handful of clients up to
+// thousand-client fleets: N clients, each with its own DarrClient bound to
+// the shared repository tier — one DarrRepository node, or a sharded,
+// replicated DarrCluster (DESIGN.md §13) — concurrently evaluate the same
+// graph on the same data set. Claims partition the candidate space; every
+// client ends the run with the complete result set (its own computations
+// plus everyone else's, read from the DARR).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,8 +17,10 @@
 #include "src/core/evaluator.h"
 #include "src/core/te_graph.h"
 #include "src/darr/client.h"
+#include "src/darr/sharded.h"
 #include "src/data/dataset.h"
 #include "src/obs/collector.h"
+#include "src/ts/forecast_graph.h"
 
 namespace coda::darr {
 
@@ -36,18 +42,67 @@ struct CooperativeReport {
   std::size_t redundant_evaluations = 0;    ///< local evals beyond the
                                             ///< candidate count (0 = perfect
                                             ///< cooperation)
+  /// Candidate evaluations served from a peer's stored result instead of
+  /// recomputed — the paper's headline quantity, summed over clients.
+  std::size_t redundancy_avoided = 0;
   double wall_seconds = 0.0;
-  DarrRepository::Counters repository_counters;
+  /// Repository tier shape: 0 shards = the single "darr" node topology.
+  std::size_t n_shards = 0;
+  std::size_t replication = 1;
+  /// Every byte the fabric carried (client ops + replica syncs +
+  /// telemetry), from SimNet's deterministic accounting.
+  std::size_t bytes_on_wire = 0;
+  /// p99 of evaluator.claim.wait_seconds across the fleet: the claim-
+  /// contention price of waiting on a peer's in-flight computation.
+  double claim_wait_p99_seconds = 0.0;
+  DarrRepository::Counters repository_counters;  ///< summed over shards
+  DarrCluster::SyncStats sync_stats;  ///< zeros in single-repository mode
   /// Fleet telemetry collected during the run: every client (and the
-  /// repository) shipped its MetricScope shard to a dedicated "telemetry"
-  /// SimNet node as snapshot deltas; per-node aggregates and tracked
-  /// series live here.
+  /// repository tier) shipped its MetricScope shard to a dedicated
+  /// "telemetry" SimNet node as snapshot deltas; per-node aggregates and
+  /// tracked series live here. Null when FleetOptions::telemetry is off.
   std::shared_ptr<obs::TelemetryCollector> telemetry;
   /// Result of comparing the collector's fleet aggregate against the
   /// process-wide registry after the final flush — empty on a fault-free
   /// run (the fleet sum reproduces the global counts bit-for-bit).
   std::string telemetry_divergence;
 };
+
+/// Fleet topology and pacing for run_cooperative_fleet().
+struct FleetOptions {
+  std::size_t n_clients = 1;
+  std::size_t evaluator_threads = 1;
+  /// 0 = the original single-repository topology (one "darr" node);
+  /// >= 1 shards the repository across that many nodes by consistent
+  /// hashing with `replication` copies per record.
+  std::size_t n_shards = 0;
+  std::size_t replication = 2;
+  std::size_t ring_points = 32;
+  int claim_ttl_ms = 2000;
+  /// Client sessions running concurrently; 0 = one thread per client
+  /// (small fleets). Thousand-client fleets set a bounded worker pool; 1
+  /// runs the sessions serially in client order, which makes the whole
+  /// run — byte counts included — deterministic for exact bench entries.
+  std::size_t max_parallel_clients = 0;
+  /// Ship per-node MetricScope shards to a collector node. Telemetry is
+  /// traffic too: switch it off when asserting exact bytes-on-wire.
+  bool telemetry = true;
+  /// Optional seeded fault model applied to the fabric (chaos runs).
+  std::optional<dist::SimNet::FaultConfig> faults;
+  /// Transfer budget for client ops and replica syncs.
+  RetryPolicy retry = {};
+};
+
+/// One client's evaluation session: given the client index and its
+/// ResultCache, run the search and return the report.
+using ClientSession =
+    std::function<EvaluationReport(std::size_t client, ResultCache& cache)>;
+
+/// Runs `options.n_clients` cooperative sessions against one repository
+/// tier and folds the outcomes into a CooperativeReport.
+CooperativeReport run_cooperative_fleet(std::size_t total_candidates,
+                                        const FleetOptions& options,
+                                        const ClientSession& session);
 
 /// Runs `n_clients` cooperative searches of `graph` over `data`
 /// concurrently (one thread per client, each client evaluating serially so
@@ -58,5 +113,19 @@ CooperativeReport run_cooperative_search(const TEGraph& graph,
                                          const CrossValidator& cv,
                                          Metric metric, std::size_t n_clients,
                                          std::size_t evaluator_threads = 1);
+
+/// Fleet-shaped variant of the tabular search (sharding, bounded client
+/// parallelism, faults — everything FleetOptions can express).
+CooperativeReport run_cooperative_search(const TEGraph& graph,
+                                         const Dataset& data,
+                                         const CrossValidator& cv,
+                                         Metric metric,
+                                         const FleetOptions& options);
+
+/// Cooperative Fig-11 forecast search across a fleet.
+CooperativeReport run_cooperative_forecast_search(
+    const ts::ForecastGraph& graph, const TimeSeries& series,
+    const TimeSeriesSlidingSplit& cv, Metric metric,
+    const FleetOptions& options);
 
 }  // namespace coda::darr

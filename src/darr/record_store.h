@@ -1,0 +1,114 @@
+// The RecordStore interface: the one repository surface every DARR consumer
+// talks to (DESIGN.md §13). DarrRepository implements it in-process,
+// SingleNodeDarrService implements it over one SimNet repository node, and
+// ShardedDarrService (src/darr/sharded.h) implements it over a consistent-
+// hash ring of replicated shard nodes — DarrClient, CooperativeFetch and
+// the eval engine never know how many nodes are behind the surface.
+//
+// The five operations mirror the ResultCache contract one level down, in
+// repository terms (DarrRecord + explicit client identity):
+//
+//   fetch / fetch_many  — read records; a miss means the key may be claimed.
+//   claim               — lease the key for `client`; false = a peer holds
+//                         a live claim (or the record already exists).
+//   put                 — publish a record, releasing its key's claim.
+//   release             — drop `client`'s claim without publishing.
+//
+// Every operation reports its traffic through a Wire out-param so callers
+// (DarrClient) account bytes without knowing the topology.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/darr/record.h"
+#include "src/dist/sim_net.h"
+#include "src/util/retry.h"
+
+namespace coda::darr {
+
+class DarrRepository;  // implements RecordStore in-process (repository.h)
+
+/// Per-operation traffic/outcome accounting, filled in progressively so it
+/// is meaningful even when the operation throws NetworkError mid-flight.
+struct Wire {
+  std::size_t bytes_sent = 0;      ///< client -> store request bytes
+  std::size_t bytes_received = 0;  ///< store -> client response bytes
+  /// The state change was applied store-side even if the response leg was
+  /// lost past the retry budget (claim granted / record stored / claim
+  /// released before the NetworkError): callers must track held claims
+  /// whenever this is true, or a crashed response wedges the key until
+  /// its lease TTL.
+  bool applied = false;
+};
+
+/// Request framing shared by every RecordStore implementation: a key plus
+/// a fixed 16-byte message envelope (also the size of an empty response).
+constexpr std::size_t kMessageOverhead = 16;
+inline std::size_t key_request_size(const std::string& key) {
+  return key.size() + kMessageOverhead;
+}
+
+/// The unified repository surface. Implementations must be safe to call
+/// from multiple evaluator threads.
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+
+  /// Returns the record for `key`, if any client has published one.
+  virtual std::optional<DarrRecord> fetch(const std::string& key,
+                                          Wire& wire) = 0;
+
+  /// Batch fetch: element i answers keys[i]. The default loops fetch();
+  /// networked stores override it to answer the evaluator's initial sweep
+  /// in one round-trip per serving node instead of one per key.
+  virtual std::vector<std::optional<DarrRecord>> fetch_many(
+      const std::vector<std::string>& keys, Wire& wire);
+
+  /// Leases `key` for `client`. False = a live foreign claim (or an
+  /// already-stored record) — the caller must not compute the key.
+  virtual bool claim(const std::string& key, const std::string& client,
+                     Wire& wire) = 0;
+
+  /// Publishes `record` and releases its key's claim.
+  virtual void put(DarrRecord record, Wire& wire) = 0;
+
+  /// Releases `client`'s claim on `key` without publishing.
+  virtual void release(const std::string& key, const std::string& client,
+                       Wire& wire) = 0;
+
+  /// Distinct records stored behind this surface (replicas counted once).
+  virtual std::size_t n_records() const = 0;
+};
+
+/// RecordStore over one repository node on a SimNet: the single-node
+/// topology the paper's Fig-2 reproduction started from. Each operation is
+/// one simulated request/response pair retried under `retry`; NetworkError
+/// propagates once the budget is spent (CooperativeFetch catches it and
+/// degrades to local evaluation).
+class SingleNodeDarrService final : public RecordStore {
+ public:
+  SingleNodeDarrService(DarrRepository* repository, dist::SimNet* net,
+                        dist::NodeId self, dist::NodeId repo_node,
+                        RetryPolicy retry = {});
+
+  std::optional<DarrRecord> fetch(const std::string& key, Wire& wire) override;
+  std::vector<std::optional<DarrRecord>> fetch_many(
+      const std::vector<std::string>& keys, Wire& wire) override;
+  bool claim(const std::string& key, const std::string& client,
+             Wire& wire) override;
+  void put(DarrRecord record, Wire& wire) override;
+  void release(const std::string& key, const std::string& client,
+               Wire& wire) override;
+  std::size_t n_records() const override;
+
+ private:
+  DarrRepository* repository_;
+  dist::SimNet* net_;
+  dist::NodeId self_;
+  dist::NodeId repo_node_;
+  RetryPolicy retry_;
+};
+
+}  // namespace coda::darr

@@ -153,6 +153,30 @@ std::size_t DarrRepository::records_by(const std::string& producer) const {
   return n;
 }
 
+std::optional<DarrRecord> DarrRepository::fetch(const std::string& key,
+                                                Wire& wire) {
+  (void)wire;  // in-process: no simulated traffic
+  return lookup(key);
+}
+
+bool DarrRepository::claim(const std::string& key, const std::string& client,
+                           Wire& wire) {
+  const bool granted = try_claim(key, client);
+  wire.applied = granted;
+  return granted;
+}
+
+void DarrRepository::put(DarrRecord record, Wire& wire) {
+  store(std::move(record));
+  wire.applied = true;
+}
+
+void DarrRepository::release(const std::string& key,
+                             const std::string& client, Wire& wire) {
+  abandon(key, client);
+  wire.applied = true;
+}
+
 DarrRepository::Counters DarrRepository::counters() const {
   Counters out;
   out.lookups = counters_.lookups->value();

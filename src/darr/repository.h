@@ -19,12 +19,17 @@
 #include <vector>
 
 #include "src/darr/record.h"
+#include "src/darr/record_store.h"
 #include "src/obs/metrics.h"
 
 namespace coda::darr {
 
-/// Thread-safe repository of analytics results with expiring claims.
-class DarrRepository {
+/// Thread-safe repository of analytics results with expiring claims. Also
+/// the in-process RecordStore implementation (DESIGN.md §13): fetch/claim/
+/// put/release map onto lookup/try_claim/store/abandon with no simulated
+/// traffic, so tests and single-process tools can drive the unified surface
+/// without a SimNet.
+class DarrRepository : public RecordStore {
  public:
   struct Config {
     /// Claim time-to-live, in wall-clock milliseconds (claims coordinate
@@ -77,6 +82,15 @@ class DarrRepository {
   std::size_t records_by(const std::string& producer) const;
 
   Counters counters() const;
+
+  // RecordStore surface (in-process: zero wire bytes, applied on return).
+  std::optional<DarrRecord> fetch(const std::string& key, Wire& wire) override;
+  bool claim(const std::string& key, const std::string& client,
+             Wire& wire) override;
+  void put(DarrRecord record, Wire& wire) override;
+  void release(const std::string& key, const std::string& client,
+               Wire& wire) override;
+  std::size_t n_records() const override { return size(); }
 
  private:
   struct Claim {

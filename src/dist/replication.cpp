@@ -9,6 +9,29 @@
 
 namespace coda::dist {
 
+bool sync_replica(SimNet& net, NodeId primary, NodeId replica,
+                  std::size_t bytes, const RetryPolicy& retry,
+                  const std::string& op, const std::string& key) {
+  // A replica inside a crash window is skipped without burning the retry
+  // budget (and the backoff clock): the sync is known-failed immediately.
+  if (net.node_up(replica)) {
+    try {
+      transfer_with_retry(net, primary, replica, bytes, retry, op);
+      return true;
+    } catch (const NetworkError&) {
+      // fall through to the failure accounting
+    }
+  }
+  obs::ScopedCounter failed(
+      &obs::counter("replication.failed_syncs"),
+      &obs::MetricScope::for_node(net.node_name(primary))
+           .counter("replication.failed_syncs"));
+  failed.inc();
+  obs::event(obs::Severity::kError, "replication.sync.failed",
+             {{"key", key}, {"replica", net.node_name(replica)}});
+  return false;
+}
+
 ReplicatedStore::ReplicatedStore(SimNet* net, std::vector<NodeId> nodes)
     : ReplicatedStore(net, std::move(nodes), Config()) {}
 
@@ -41,46 +64,33 @@ void ReplicatedStore::put(const std::string& key, Bytes value) {
                              ? stores_[0]->value(key)
                              : Bytes{};
   stores_[0]->put(key, value);
-  // Failed syncs attribute to the primary's node shard (fleet telemetry).
-  obs::ScopedCounter failed_syncs(
-      &obs::counter("replication.failed_syncs"),
-      &obs::MetricScope::for_node(net_->node_name(nodes_[0]))
-           .counter("replication.failed_syncs"));
   obs::ScopedSpan span("replication.put");
   span.set_node(net_->node_name(nodes_[0]));
   span.tag("key", key);
   for (std::size_t i = 1; i < stores_.size(); ++i) {
     if (!healthy_[i]) continue;
     HomeDataStore& replica = *stores_[i];
-    bool delta_shipped = false;
-    try {
-      if (config_.delta_sync && !previous.empty() &&
-          replica.version(key) == stores_[0]->version(key) - 1) {
-        const Delta d = compute_delta(previous, value, config_.store.delta);
-        if (d.encoded_size() < value.size()) {
-          transfer_with_retry(*net_, nodes_[0], nodes_[i], d.encoded_size(),
-                              config_.store.retry, "replication.sync");
-          sync_stats_.bytes_shipped += d.encoded_size();
-          ++sync_stats_.delta_syncs;
-          delta_shipped = true;
-        }
+    // Sync by delta against the replica's current version when worthwhile,
+    // full value otherwise. A failed sync (sync_replica counts it in the
+    // replication.failed_syncs family) leaves the replica on its old
+    // version; it catches up on the next put() or an explicit resync().
+    std::size_t sync_bytes = value.size();
+    bool delta = false;
+    if (config_.delta_sync && !previous.empty() &&
+        replica.version(key) == stores_[0]->version(key) - 1) {
+      const Delta d = compute_delta(previous, value, config_.store.delta);
+      if (d.encoded_size() < value.size()) {
+        sync_bytes = d.encoded_size();
+        delta = true;
       }
-      if (!delta_shipped) {
-        transfer_with_retry(*net_, nodes_[0], nodes_[i], value.size(),
-                            config_.store.retry, "replication.sync");
-        sync_stats_.bytes_shipped += value.size();
-        ++sync_stats_.full_syncs;
-      }
-    } catch (const NetworkError&) {
-      // The replica is unreachable past the retry budget: it keeps its old
-      // version (put() below is skipped) and catches up via the delta path
-      // on the next put() or an explicit resync().
+    }
+    if (!sync_replica(*net_, nodes_[0], nodes_[i], sync_bytes,
+                      config_.store.retry, "replication.sync", key)) {
       ++sync_stats_.failed_syncs;
-      failed_syncs.inc();
-      obs::event(obs::Severity::kError, "replication.sync.failed",
-                 {{"key", key}, {"replica", net_->node_name(nodes_[i])}});
       continue;
     }
+    sync_stats_.bytes_shipped += sync_bytes;
+    ++(delta ? sync_stats_.delta_syncs : sync_stats_.full_syncs);
     replica.put(key, value);
   }
 }

@@ -16,6 +16,17 @@
 
 namespace coda::dist {
 
+/// Ships one `bytes`-sized sync message from `primary` to `replica` under
+/// `retry`. Returns false — counting the pinned `replication.failed_syncs`
+/// family (attributed to the primary's node shard) and a flight-recorder
+/// event — when the replica is inside a crash window or unreachable past
+/// the retry budget; the replica then keeps its old state and catches up
+/// on a later sync. Shared by ReplicatedStore::put and the DARR shard
+/// replication (darr::ShardedDarrService).
+bool sync_replica(SimNet& net, NodeId primary, NodeId replica,
+                  std::size_t bytes, const RetryPolicy& retry,
+                  const std::string& op, const std::string& key);
+
 /// A primary-plus-replicas group of home data stores.
 class ReplicatedStore {
  public:

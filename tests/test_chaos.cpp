@@ -223,6 +223,129 @@ TEST(Chaos, Fig11ForecastSearchSurvivesSeededSchedules) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded repository tier (DESIGN.md §13): shard crashes and lease
+// migration under the chaos fault model.
+
+// Invariant (b) shaped for a sharded tier: claims still partition the
+// candidate space, but stores land once per *owner* (replication), so the
+// single-node stores == candidates identity does not apply.
+void expect_zero_redundancy_sharded(const ChaosRun& run) {
+  EXPECT_EQ(run.total_local_evaluations, run.total_candidates);
+  EXPECT_EQ(run.redundant_evaluations, 0u);
+  for (const auto& report : run.reports) {
+    EXPECT_EQ(report.evaluated_locally + report.served_from_cache,
+              run.total_candidates);
+  }
+}
+
+TEST(Chaos, ShardCrashMidClaimMigratesLeaseToReplica) {
+  // Two shards at replication factor 2: every key is owned by both, so
+  // the surviving shard serves every key after the crash and every
+  // replica sync toward the dead one fails (counted, never hung).
+  ChaosSchedule schedule;
+  schedule.n_shards = 2;
+  schedule.replication = 2;
+  SCOPED_TRACE(schedule.describe());
+  const FlightRecorderOnFailure flight(schedule);
+  chaos::ChaosFabric fabric(2, schedule);
+  ASSERT_NE(fabric.cluster, nullptr);
+  auto& holder = *fabric.clients[0];
+  auto& peer = *fabric.clients[1];
+
+  // The claim lands on the serving owner and replicates to the other.
+  ASSERT_TRUE(holder.claim("k"));
+  ASSERT_EQ(fabric.cluster->sync_stats().failed_syncs, 0u);
+
+  // Crash the serving owner mid-claim: ownership migrates — the replica
+  // already holds the lease and defends it in place.
+  const auto owners = fabric.cluster->owners("k");
+  fabric.net.crash_node(fabric.cluster->node(owners[0]), fabric.net.now(),
+                        1e9);
+  EXPECT_FALSE(peer.claim("k"));
+
+  // The holder finishes its computation against the surviving owner...
+  CachedResult result;
+  result.mean_score = 0.5;
+  result.explanation = "spec";
+  holder.put("k", result);
+  EXPECT_TRUE(holder.held_claims().empty());
+  // ...and the peer reads the result from the replica that took over.
+  const auto hit = peer.fetch("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->mean_score, 0.5);
+  // The record sync toward the crashed owner was counted as failed.
+  EXPECT_GE(fabric.cluster->sync_stats().failed_syncs, 1u);
+}
+
+TEST(Chaos, ShardedFig11SearchSurvivesAShardCrash) {
+  const TimeSeries series = forecast_series();
+  const ChaosRun baseline = run_forecast(series, 3, ChaosSchedule{});
+
+  // Fault-free sharded run first: same best pipeline as the single-node
+  // topology, zero redundancy, every record on both owners.
+  {
+    ChaosSchedule schedule;
+    schedule.seed = 606;
+    schedule.n_shards = 2;
+    schedule.replication = 2;
+    SCOPED_TRACE(schedule.describe());
+    const FlightRecorderOnFailure flight(schedule);
+    const ChaosRun run = run_forecast(series, 3, schedule);
+    expect_matches_baseline(run, baseline.reports[0]);
+    expect_zero_redundancy_sharded(run);
+    EXPECT_EQ(run.sync_stats.failed_syncs, 0u);
+    EXPECT_EQ(run.repository_counters.stores, 2 * run.total_candidates);
+  }
+
+  // Now crash shard 0 for the whole run: the surviving shard serves the
+  // entire keyspace, the best pipeline is unchanged, cooperation stays
+  // exact, and the lost replica syncs are accounted.
+  {
+    ChaosSchedule schedule;
+    schedule.seed = 707;
+    schedule.drop_probability = 0.1;
+    schedule.n_shards = 2;
+    schedule.replication = 2;
+    schedule.crashed_shard = 0;
+    schedule.shard_crash_start = 0.0;
+    schedule.shard_crash_end = 1e9;
+    SCOPED_TRACE(schedule.describe());
+    const FlightRecorderOnFailure flight(schedule);
+    const ChaosRun run = run_forecast(series, 3, schedule);
+    expect_matches_baseline(run, baseline.reports[0]);
+    expect_zero_redundancy_sharded(run);
+    EXPECT_GT(run.sync_stats.failed_syncs, 0u);
+    // Every store landed exactly once — on the surviving owner.
+    EXPECT_EQ(run.repository_counters.stores, run.total_candidates);
+  }
+}
+
+TEST(Chaos, ShardedGoldenMetricKeysStayPinned) {
+  // A sharded run must keep exporting the pinned fault-metric names that
+  // tests/golden/metrics_keys.txt contracts (the golden-file test below
+  // checks membership; this one proves the sharded path exercises them).
+  ChaosSchedule schedule;
+  schedule.n_shards = 2;
+  schedule.replication = 2;
+  schedule.crashed_shard = 1;
+  schedule.shard_crash_start = 0.0;
+  schedule.shard_crash_end = 1e9;
+  SCOPED_TRACE(schedule.describe());
+  chaos::ChaosFabric fabric(1, schedule);
+  ASSERT_TRUE(fabric.clients[0]->claim("pinned"));
+  fabric.clients[0]->abandon_all();  // -> darr.client.claims_abandoned
+
+  std::set<std::string> registered;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::instance().counter_values()) {
+    (void)value;
+    registered.insert(name);
+  }
+  EXPECT_TRUE(registered.count("replication.failed_syncs"));
+  EXPECT_TRUE(registered.count("darr.client.claims_abandoned"));
+}
+
 TEST(Chaos, SameScheduleReplaysIdenticalFaultDecisions) {
   // The per-link fault stream is a pure function of (seed, link, message
   // index): replaying one client's message sequence against two fabrics

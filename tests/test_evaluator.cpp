@@ -50,7 +50,7 @@ TEST(CrossValidate, ProducesFoldScores) {
 TEST(GraphEvaluator, LinearModelWinsOnLinearData) {
   const auto d = linear_dataset();
   const auto g = small_graph();
-  GraphEvaluator evaluator{EvaluatorConfig{}};
+  GraphEvaluator evaluator{EvalOptions{}};
   const auto report = evaluator.evaluate(g, d, KFold(5));
   EXPECT_EQ(report.results.size(), 4u);
   EXPECT_NE(report.best().spec.find("linearregression"), std::string::npos);
@@ -66,7 +66,7 @@ TEST(GraphEvaluator, HigherIsBetterMetricsMaximize) {
   std::vector<std::unique_ptr<Estimator>> models;
   models.push_back(std::make_unique<LogisticRegression>());
   g.add_classification_models(std::move(models));
-  EvaluatorConfig config;
+  EvalOptions config;
   config.metric = Metric::kAuc;
   GraphEvaluator evaluator(config);
   const auto report = evaluator.evaluate(g, d, KFold(4));
@@ -86,7 +86,7 @@ TEST(GraphEvaluator, FailedCandidateIsolatedNotFatal) {
   models.push_back(std::make_unique<LinearRegression>());
   g.add_regression_models(std::move(models));
 
-  GraphEvaluator evaluator{EvaluatorConfig{}};
+  GraphEvaluator evaluator{EvalOptions{}};
   const auto report = evaluator.evaluate(g, d, KFold(3));
   ASSERT_EQ(report.results.size(), 2u);
   std::size_t failed = 0;
@@ -111,16 +111,16 @@ TEST(GraphEvaluator, AllCandidatesFailedThrows) {
   std::vector<std::unique_ptr<Estimator>> models;
   models.push_back(std::make_unique<LinearRegression>());
   g.add_regression_models(std::move(models));
-  GraphEvaluator evaluator{EvaluatorConfig{}};
+  GraphEvaluator evaluator{EvalOptions{}};
   EXPECT_THROW(evaluator.evaluate(g, d, KFold(3)), StateError);
 }
 
 TEST(GraphEvaluator, SerialAndParallelAgree) {
   const auto d = linear_dataset();
   const auto g = small_graph();
-  EvaluatorConfig serial;
+  EvalOptions serial;
   serial.threads = 1;
-  EvaluatorConfig parallel;
+  EvalOptions parallel;
   parallel.threads = 4;
   const auto a = GraphEvaluator(serial).evaluate(g, d, KFold(5));
   const auto b = GraphEvaluator(parallel).evaluate(g, d, KFold(5));
@@ -136,7 +136,7 @@ TEST(GraphEvaluator, CacheServesSecondRun) {
   const auto d = linear_dataset();
   const auto g = small_graph();
   LocalResultCache cache;
-  EvaluatorConfig config;
+  EvalOptions config;
   config.cache = &cache;
   GraphEvaluator evaluator(config);
   const std::uint64_t hits_before = obs::counter("darr.lookup.hit").value();
@@ -176,7 +176,7 @@ TEST(GraphEvaluator, CacheKeySensitivity) {
 TEST(GraphEvaluator, TrainBestReturnsFittedPipeline) {
   const auto d = linear_dataset();
   const auto g = small_graph();
-  GraphEvaluator evaluator{EvaluatorConfig{}};
+  GraphEvaluator evaluator{EvalOptions{}};
   Pipeline best = evaluator.train_best(g, d, KFold(5));
   EXPECT_TRUE(best.is_fitted());
   const auto pred = best.predict(d.X);

@@ -295,7 +295,7 @@ TEST(NestedCv, ProducesPerFoldWinnersAndHonestScores) {
   models.push_back(std::make_unique<DecisionTreeRegressor>());
   g.add_regression_models(std::move(models));
 
-  EvaluatorConfig config;
+  EvalOptions config;
   config.metric = Metric::kRmse;
   config.threads = 1;
   const auto result =

@@ -111,7 +111,7 @@ TEST(ForecastGraphEvaluator, SmallGraphEndToEnd) {
   g.add_model(std::make_unique<ArModel>(), "cascaded");
   g.add_model(std::make_unique<ZeroModel>(), "asis");
 
-  EvaluatorConfig config;
+  EvalOptions config;
   config.metric = Metric::kRmse;
   ForecastGraphEvaluator evaluator(config);
   TimeSeriesSlidingSplit cv(2, 180, 40, 5);
@@ -136,7 +136,7 @@ TEST(ForecastGraphEvaluator, CacheSecondRunFree) {
   g.add_model(std::make_unique<ZeroModel>(), "asis");
 
   LocalResultCache cache;
-  EvaluatorConfig config;
+  EvalOptions config;
   config.cache = &cache;
   ForecastGraphEvaluator evaluator(config);
   TimeSeriesSlidingSplit cv(2, 60, 20, 0);
@@ -156,7 +156,7 @@ TEST(ForecastGraphEvaluator, TrainBestForecasts) {
   g.add_windower(std::make_unique<CascadedWindows>(), "cascaded");
   g.add_model(std::make_unique<ArModel>(), "cascaded");
 
-  ForecastGraphEvaluator evaluator{EvaluatorConfig{}};
+  ForecastGraphEvaluator evaluator{EvalOptions{}};
   TimeSeriesSlidingSplit cv(2, 80, 20, 5);
   auto best = evaluator.train_best(g, series, cv);
   EXPECT_TRUE(std::isfinite(best.forecast_next(series)));

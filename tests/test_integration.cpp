@@ -116,7 +116,7 @@ TEST(Integration, DarrPrefixDiscoveryAcrossClients) {
   models.push_back(std::make_unique<RandomForestRegressor>());
   g.add_regression_models(std::move(models));
 
-  EvaluatorConfig config;
+  EvalOptions config;
   config.cache = &alice;
   GraphEvaluator evaluator(config);
   evaluator.evaluate(g, data, KFold(3));
@@ -156,7 +156,7 @@ TEST(Integration, CacheReuseAcrossEvaluatorInstances) {
   g.add_regression_models(std::move(models));
 
   LocalResultCache cache;
-  EvaluatorConfig config;
+  EvalOptions config;
   config.cache = &cache;
   const auto first = GraphEvaluator(config).evaluate(g, data, KFold(4));
   // A different evaluator instance (e.g. a later session) reuses the
@@ -165,7 +165,7 @@ TEST(Integration, CacheReuseAcrossEvaluatorInstances) {
   EXPECT_EQ(second.evaluated_locally, 0u);
   EXPECT_EQ(second.served_from_cache, first.results.size());
   // But a different metric is a different calculation: recomputed.
-  EvaluatorConfig mae_config = config;
+  EvalOptions mae_config = config;
   mae_config.metric = Metric::kMae;
   const auto third = GraphEvaluator(mae_config).evaluate(g, data, KFold(4));
   EXPECT_EQ(third.evaluated_locally, first.results.size());

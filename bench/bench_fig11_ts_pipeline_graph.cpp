@@ -180,6 +180,98 @@ void print_prefix_cache_ablation() {
               cold_best == warm_best ? "yes" : "NO (bug!)");
 }
 
+// Fused-plan ablation (DESIGN.md section 14): the same windowing-bound
+// search run with plan compilation off (interpreted executor: scale the
+// whole series, build the monolithic window matrix, copy train/val row
+// ranges out of it) vs on (compiled plan emits the train/val matrices
+// straight from the raw series in one pass — no scaled-series or
+// monolithic-window intermediates). The full Fig 11 search is dominated
+// by model fits, so the lowering's effect hides in the noise there; this
+// subgraph is prepare-bound (persistence baselines over wide cascaded
+// windows), which is exactly the work the lowering removes. Scores and
+// the selected pipeline are bit-identical both ways — the differential
+// suite in tests/test_plan_compiler.cpp pins that for every path.
+void print_fusion_ablation() {
+  IndustrialSeriesConfig cfg;
+  cfg.n_variables = 3;
+  cfg.length = 4000;
+  cfg.seasonal_amplitude = 2.0;
+  cfg.noise_stddev = 0.2;
+  const TimeSeries series = make_industrial_series(cfg);
+
+  ForecastSpec spec;
+  spec.history = 96;
+  ForecastGraph graph(spec);
+  graph.add_scaler(std::make_unique<StandardScaler>());
+  graph.add_scaler(std::make_unique<MinMaxScaler>());
+  graph.add_scaler(std::make_unique<RobustScaler>());
+  graph.add_scaler(std::make_unique<NoOp>());
+  graph.add_windower(std::make_unique<CascadedWindows>(), "cascaded");
+  // Persistence baselines reading different lag columns: free fits, so the
+  // wall time is the prepare stage the compiled plan fuses.
+  for (int lag = 0; lag < 10; ++lag) {
+    auto zero = std::make_unique<ZeroModel>();
+    zero->set_name("zero_lag" + std::to_string(lag));
+    zero->set_param("value_col", std::int64_t{lag});
+    graph.add_model(std::move(zero), "cascaded");
+  }
+  const TimeSeriesSlidingSplit cv(/*k=*/2, /*train=*/3000, /*val=*/450,
+                                  /*buffer=*/10);
+
+  const auto run = [&](bool compile_plans) {
+    EvalOptions options;
+    options.metric = Metric::kRmse;
+    options.compile_plans = compile_plans;
+    ForecastGraphEvaluator evaluator(options);
+    Stopwatch timer;
+    auto report = evaluator.evaluate(graph, series, cv);
+    return std::make_pair(timer.elapsed_seconds(), std::move(report));
+  };
+
+  std::printf("=== fused-plan ablation (prepare-bound subgraph: %zu "
+              "candidates, %zu-step history) ===\n\n",
+              graph.enumerate().size(),
+              static_cast<std::size_t>(spec.history));
+  const auto& compiled = obs::counter("eval.plan.compiled");
+  const auto& fused_stages = obs::counter("eval.plan.fused_stages");
+  const auto& fallback = obs::counter("eval.plan.fallback");
+  const std::uint64_t compiled0 = compiled.value();
+  const std::uint64_t fused0 = fused_stages.value();
+  const std::uint64_t fallback0 = fallback.value();
+  const auto [interp_seconds, interp_report] = run(/*compile_plans=*/false);
+  const auto [fused_seconds, fused_report] = run(/*compile_plans=*/true);
+
+  // Bitwise differential over every candidate, not just the winner: the
+  // lowering must be invisible to scores.
+  bool identical = interp_report.results.size() == fused_report.results.size();
+  for (std::size_t i = 0; identical && i < interp_report.results.size(); ++i) {
+    const auto& a = interp_report.results[i];
+    const auto& b = fused_report.results[i];
+    identical = a.spec == b.spec && a.fold_scores == b.fold_scores;
+  }
+  identical =
+      identical && interp_report.best().spec == fused_report.best().spec;
+
+  const double speedup = interp_seconds / fused_seconds;
+  std::printf("  plans interpreted: %.3fs wall\n", interp_seconds);
+  std::printf("  plans compiled:    %.3fs wall (%.2fx speedup)\n",
+              fused_seconds, speedup);
+  std::printf("  eval.plan.compiled=%llu fused_stages=%llu fallback=%llu\n",
+              static_cast<unsigned long long>(compiled.value() - compiled0),
+              static_cast<unsigned long long>(fused_stages.value() - fused0),
+              static_cast<unsigned long long>(fallback.value() - fallback0));
+  std::printf("  all %zu candidate scores bit-identical: %s\n\n",
+              interp_report.results.size(), identical ? "yes" : "NO (bug!)");
+  // Wide bands: single-digit-millisecond prepares on a shared box. The
+  // identity entry is exact — any drift is a lowering bug, not noise.
+  coda::bench::record_entry("fig11_fusion_interpreted", interp_seconds, 0.0,
+                            "", /*exact=*/false, /*tolerance=*/0.60);
+  coda::bench::record_entry("fig11_fusion_fused", fused_seconds, speedup,
+                            "x", /*exact=*/false, /*tolerance=*/0.60);
+  coda::bench::record_entry("fig11_fusion_identical", 0.0,
+                            identical ? 1.0 : 0.0, "bool", /*exact=*/true);
+}
+
 void BM_ForecastGraphEnumerate(benchmark::State& state) {
   ForecastSpec spec;
   const auto graph = ForecastGraph::standard(spec);
@@ -207,6 +299,7 @@ int main(int argc, char** argv) {
   coda::bench::strip_obs_flags(&argc, argv);
   print_fig11();
   print_prefix_cache_ablation();
+  print_fusion_ablation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   coda::bench::dump_obs_if_requested();

@@ -29,10 +29,11 @@ ctest --test-dir build -L fleet --output-on-failure
 echo "== tier 1: Chrome trace export + span-tree invariants =="
 scripts/trace_check.sh build
 
-echo "== tier 1: chaos suite under ThreadSanitizer (ctest -L chaos) =="
+echo "== tier 1: chaos + plan-differential suites under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCODA_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target test_chaos
+cmake --build build-tsan -j"$(nproc)" --target test_chaos test_plan_compiler
 ctest --test-dir build-tsan -L chaos --output-on-failure
+ctest --test-dir build-tsan -R '^test_plan_compiler$' --output-on-failure
 
 echo "== tier 1: bench regression gate (scripts/bench_gate.py) =="
 python3 scripts/bench_gate.py --self-test
@@ -48,13 +49,16 @@ build/bench/bench_fleet \
 # fails); entries flagged "exact" must match bit-for-bit regardless, and
 # the fleet bench carries its own per-entry bands for the contention
 # timings. The --require names pin the fleet acceptance invariants
-# (512-client best-pipeline identity, zero redundant evaluations) so they
+# (512-client best-pipeline identity, zero redundant evaluations) and the
+# fig-11 fusion-ablation bit-identity check (DESIGN.md §14) so they
 # cannot be dropped or renamed out of the gate unnoticed.
 python3 scripts/bench_gate.py --tolerance 0.15 ${UPDATE_BASELINES} \
     --pair build/BENCH_fig2.json BENCH_fig2.json \
     --pair build/BENCH_fig11.json BENCH_fig11.json \
     --pair build/BENCH_fleet.json BENCH_fleet.json \
     --require fleet512_best_pipeline_matches \
-    --require fleet512_redundant_evals
+    --require fleet512_redundant_evals \
+    --require fig11_fusion_identical \
+    --require fig11_fusion_fused
 
 echo "tier 1 OK"

@@ -202,6 +202,9 @@ EvalEngine::EvalEngine(EvalOptions options) : options_(std::move(options)) {
   obs::counter("eval.prefix_cache.miss");
   obs::counter("eval.prefix_cache.evicted");
   obs::counter("eval.claim.requeued");
+  obs::counter("eval.plan.compiled");
+  obs::counter("eval.plan.fused_stages");
+  obs::counter("eval.plan.fallback");
   obs::counter("eval.darr_degraded");
   obs::counter("eval.candidate.folds");
   obs::counter("eval.candidate.cached");

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/eval_engine.h"
+#include "src/core/plan_compiler.h"
 #include "src/data/fingerprint.h"
 #include "src/obs/obs.h"
 #include "src/util/hash.h"
@@ -108,9 +109,28 @@ std::size_t matrix_bytes(const Matrix& m) {
 double score_tabular_fold(const TEGraph& graph,
                           const TEGraph::Candidate& candidate,
                           const FoldData& fold_data, std::size_t fold,
-                          PrefixCache& prefixes, Metric metric) {
+                          PrefixCache& prefixes, Metric metric,
+                          bool compile_plans) {
   using Transformed = std::pair<Matrix, Matrix>;  // (train X, test X)
   Pipeline pipeline = graph.instantiate(candidate);
+  if (compile_plans) {
+    // The compiled plan depends only on the transformer chain, so sibling
+    // candidates (and every fold) memoize one plan per chain; the key's
+    // cumulative specs are the same fingerprint that keys prefix reuse.
+    std::string plan_key = "plan|tab";
+    for (std::size_t t = 0; t < pipeline.n_transformers(); ++t) {
+      plan_key += "|" + pipeline.transformer(t).spec();
+    }
+    std::shared_ptr<const CompiledTabularPlan> plan =
+        prefixes.get<CompiledTabularPlan>(plan_key);
+    if (plan == nullptr) {
+      plan = compile_tabular_plan(pipeline);
+      prefixes.insert(plan_key, plan, plan->bytes());
+    }
+    return execute_tabular_plan(*plan, pipeline, fold_data.train.X,
+                                fold_data.train.y, fold_data.test.X,
+                                fold_data.test.y, fold, prefixes, metric);
+  }
   const Matrix* train_X = &fold_data.train.X;
   const Matrix* test_X = &fold_data.test.X;
   std::shared_ptr<const Transformed> held;  // keeps *train_X/*test_X alive
@@ -181,7 +201,8 @@ EvaluationReport GraphEvaluator::evaluate(const TEGraph& graph,
     ec.score_fold = [this, &graph, &candidates, &folds, i](
                         std::size_t fold, PrefixCache& prefixes) {
       return score_tabular_fold(graph, candidates[i], folds[fold], fold,
-                                prefixes, options_.metric);
+                                prefixes, options_.metric,
+                                options_.compile_plans);
     };
     engine_candidates.push_back(std::move(ec));
   }

@@ -165,6 +165,11 @@ struct EvalOptions {
   /// prefixes / windowed views reused across candidates within one run).
   /// 0 disables memoization.
   std::size_t prefix_cache_bytes = std::size_t{64} << 20;
+  /// Compile root→leaf paths into fused execution plans (DESIGN.md §14)
+  /// instead of interpreting them stage by stage. Bit-identical scores
+  /// either way; off reverts to the interpreted executor (the differential
+  /// harness runs both).
+  bool compile_plans = true;
 };
 
 /// Scores one pipeline with cross-validation (mean/stddev across folds).

@@ -74,33 +74,58 @@ void micro_full(const double* __restrict ap, const double* __restrict bp,
   }
 }
 
-// Ragged-edge tile (mr < kMr and/or nr < kNr). The packed strip is
-// zero-padded to kNr, so the compute loop keeps its constant trip count;
-// only real columns are stored. Adding the 0.0 padding terms to dead
-// accumulator lanes changes nothing. Same reduction order.
-void micro_edge(const double* __restrict ap, const double* __restrict bp,
-                double* __restrict c, std::size_t ldc, std::size_t mr,
-                std::size_t nr, std::size_t kk, bool final_panel,
-                const Epilogue& ep, const double* bias_tile) {
-  double acc[kMr][kNr];
+// Ragged-edge tile (mr < kMr and/or nr < kNr), compiled once per edge width
+// NR so the inner loop keeps a constant trip count and computes exactly the
+// live lanes — the old kNr-wide edge kernel burned up to 2/3 of its flops
+// on zero-padded dead lanes at the narrow shapes the NN layers emit
+// (out_channels = 16, 4H = 64, head width 1). Dead-lane removal cannot
+// change stored values: accumulator lanes are independent and the reduction
+// order per live element stays ascending k.
+template <std::size_t NR>
+void micro_edge_n(const double* __restrict ap, const double* __restrict bp,
+                  double* __restrict c, std::size_t ldc, std::size_t mr,
+                  std::size_t kk, bool final_panel, const Epilogue& ep,
+                  const double* bias_tile) {
+  double acc[kMr][NR];
   for (std::size_t r = 0; r < mr; ++r) {
-    for (std::size_t v = 0; v < nr; ++v) acc[r][v] = c[r * ldc + v];
+    for (std::size_t v = 0; v < NR; ++v) acc[r][v] = c[r * ldc + v];
   }
   for (std::size_t l = 0; l < kk; ++l) {
     const double* __restrict brow = bp + l * kNr;
     const double* __restrict arow = ap + l * kMr;
     for (std::size_t r = 0; r < mr; ++r) {
       const double ar = arow[r];
-      for (std::size_t v = 0; v < kNr; ++v) acc[r][v] += ar * brow[v];
+      for (std::size_t v = 0; v < NR; ++v) acc[r][v] += ar * brow[v];
     }
   }
   for (std::size_t r = 0; r < mr; ++r) {
-    for (std::size_t v = 0; v < nr; ++v) {
+    for (std::size_t v = 0; v < NR; ++v) {
       const double out = acc[r][v];
       c[r * ldc + v] = final_panel && ep.active()
                            ? apply_epilogue(out, bias_tile, v, ep.act)
                            : out;
     }
+  }
+}
+
+// Width dispatch for ragged tiles. nr <= kNr always holds.
+void micro_edge(const double* ap, const double* bp, double* c,
+                std::size_t ldc, std::size_t mr, std::size_t nr,
+                std::size_t kk, bool final_panel, const Epilogue& ep,
+                const double* bias_tile) {
+  switch (nr) {
+    case 1: micro_edge_n<1>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 2: micro_edge_n<2>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 3: micro_edge_n<3>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 4: micro_edge_n<4>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 5: micro_edge_n<5>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 6: micro_edge_n<6>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 7: micro_edge_n<7>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 8: micro_edge_n<8>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 9: micro_edge_n<9>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 10: micro_edge_n<10>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    case 11: micro_edge_n<11>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
+    default: micro_edge_n<kNr>(ap, bp, c, ldc, mr, kk, final_panel, ep, bias_tile); break;
   }
 }
 
@@ -171,9 +196,116 @@ void gemm_block(std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
   }
 }
 
+// Blocked driver identical to gemm_block, but consuming a B packed once by
+// pack_b_matrix() instead of packing per call. The (jc, pc) panel walk and
+// per-panel strip layout match pack_b_matrix exactly, so every micro-kernel
+// sees the same packed bytes gemm_block would have produced.
+void gemm_block_packed(std::size_t m0, std::size_t m1, const PackedB& b,
+                       const double* a, std::size_t a_i, std::size_t a_k,
+                       double* c, std::size_t ldc, const Epilogue& ep) {
+  const std::size_t n = b.n;
+  const std::size_t k = b.k;
+  thread_local std::vector<double> apacked;
+  apacked.resize(kKc * kMr);
+  double* const apack = apacked.data();
+  std::size_t col_base = 0;
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    const std::size_t tiles = (nc + kNr - 1) / kNr;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      const bool final_panel = pc + kc == k;
+      const double* bpack = b.data.data() + col_base + tiles * kNr * pc;
+      for (std::size_t i0 = m0; i0 < m1; i0 += kMr) {
+        const std::size_t mr = std::min(kMr, m1 - i0);
+        pack_a(a + i0 * a_i + pc * a_k, a_i, a_k, mr, kc, apack);
+        for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
+          const std::size_t nr = std::min(kNr, nc - j0);
+          const double* bp = bpack + (j0 / kNr) * kc * kNr;
+          double* ct = c + i0 * ldc + jc + j0;
+          const double* bias_tile = ep.bias ? ep.bias + jc + j0 : nullptr;
+          if (mr == kMr && nr == kNr) {
+            micro_full(apack, bp, ct, ldc, kc, final_panel, ep, bias_tile);
+          } else {
+            micro_edge(apack, bp, ct, ldc, mr, nr, kc, final_panel, ep,
+                       bias_tile);
+          }
+        }
+      }
+    }
+    col_base += tiles * kNr * k;
+  }
+}
+
+// NN driver over Bᵀ packed contiguous (bt row j = column j of B), for
+// shapes that fit a single (jc, pc) panel. Each output element seeds its
+// accumulator from C and adds products in ascending k — the exact chain the
+// blocked driver produces when k <= kKc, so the two are bit-identical
+// there. With both operands read contiguously the 4-wide dot chains beat
+// the pack-per-call strip path at the small operand sizes the NN layers
+// emit (measured ~8 vs ~6 GFLOP/s portable).
+void gemm_nn_bt_block(std::size_t m0, std::size_t m1, std::size_t n,
+                      std::size_t k, const double* a, std::size_t lda,
+                      const double* bt, double* c, std::size_t ldc,
+                      const Epilogue& ep) {
+  for (std::size_t i = m0; i < m1; ++i) {
+    const double* __restrict ar = a + i * lda;
+    double* __restrict crow = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* __restrict b0 = bt + j * k;
+      const double* __restrict b1 = bt + (j + 1) * k;
+      const double* __restrict b2 = bt + (j + 2) * k;
+      const double* __restrict b3 = bt + (j + 3) * k;
+      double s0 = crow[j], s1 = crow[j + 1], s2 = crow[j + 2],
+             s3 = crow[j + 3];
+      for (std::size_t l = 0; l < k; ++l) {
+        const double av = ar[l];
+        s0 += av * b0[l];
+        s1 += av * b1[l];
+        s2 += av * b2[l];
+        s3 += av * b3[l];
+      }
+      if (ep.active()) {
+        crow[j] = apply_epilogue(s0, ep.bias, j, ep.act);
+        crow[j + 1] = apply_epilogue(s1, ep.bias, j + 1, ep.act);
+        crow[j + 2] = apply_epilogue(s2, ep.bias, j + 2, ep.act);
+        crow[j + 3] = apply_epilogue(s3, ep.bias, j + 3, ep.act);
+      } else {
+        crow[j] = s0;
+        crow[j + 1] = s1;
+        crow[j + 2] = s2;
+        crow[j + 3] = s3;
+      }
+    }
+    for (; j < n; ++j) {
+      const double* __restrict brow = bt + j * k;
+      double s = crow[j];
+      for (std::size_t l = 0; l < k; ++l) s += ar[l] * brow[l];
+      crow[j] = ep.active() ? apply_epilogue(s, ep.bias, j, ep.act) : s;
+    }
+  }
+}
+
+// Transposes B (k x n, ldb) into contiguous Bᵀ rows for gemm_nn_bt_block.
+void pack_bt(const double* b, std::size_t ldb, std::size_t k, std::size_t n,
+             double* __restrict bt) {
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t l = 0; l < k; ++l) bt[j * k + l] = b[l * ldb + j];
+  }
+}
+
+// The Bᵀ dot-chain path is bit-identical to the blocked driver only while
+// the whole reduction is one k panel; one jc block keeps the transpose
+// scratch bounded.
+bool use_bt_path(std::size_t n, std::size_t k) {
+  return k <= kKc && n <= kNc;
+}
+
 // NT driver over the row range [m0, m1): C(i,j) += dot(A row i, B row j).
 // Both rows are contiguous in k, so the kernel unrolls 4 independent dot
 // chains per A row; each chain reduces in ascending k order.
+template <bool Accumulate>
 void gemm_nt_block(std::size_t m0, std::size_t m1, std::size_t n,
                    std::size_t k, const double* a, std::size_t lda,
                    const double* b, std::size_t ldb, double* c,
@@ -195,24 +327,29 @@ void gemm_nt_block(std::size_t m0, std::size_t m1, std::size_t n,
         s2 += av * b2[l];
         s3 += av * b3[l];
       }
+      const double c0 = Accumulate ? crow[j] : 0.0;
+      const double c1 = Accumulate ? crow[j + 1] : 0.0;
+      const double c2 = Accumulate ? crow[j + 2] : 0.0;
+      const double c3 = Accumulate ? crow[j + 3] : 0.0;
       if (ep.active()) {
-        crow[j] = apply_epilogue(crow[j] + s0, ep.bias, j, ep.act);
-        crow[j + 1] = apply_epilogue(crow[j + 1] + s1, ep.bias, j + 1, ep.act);
-        crow[j + 2] = apply_epilogue(crow[j + 2] + s2, ep.bias, j + 2, ep.act);
-        crow[j + 3] = apply_epilogue(crow[j + 3] + s3, ep.bias, j + 3, ep.act);
+        crow[j] = apply_epilogue(c0 + s0, ep.bias, j, ep.act);
+        crow[j + 1] = apply_epilogue(c1 + s1, ep.bias, j + 1, ep.act);
+        crow[j + 2] = apply_epilogue(c2 + s2, ep.bias, j + 2, ep.act);
+        crow[j + 3] = apply_epilogue(c3 + s3, ep.bias, j + 3, ep.act);
       } else {
-        crow[j] += s0;
-        crow[j + 1] += s1;
-        crow[j + 2] += s2;
-        crow[j + 3] += s3;
+        crow[j] = c0 + s0;
+        crow[j + 1] = c1 + s1;
+        crow[j + 2] = c2 + s2;
+        crow[j + 3] = c3 + s3;
       }
     }
     for (; j < n; ++j) {
       const double* __restrict brow = b + j * ldb;
       double s = 0.0;
       for (std::size_t l = 0; l < k; ++l) s += ar[l] * brow[l];
-      crow[j] = ep.active() ? apply_epilogue(crow[j] + s, ep.bias, j, ep.act)
-                            : crow[j] + s;
+      const double base = Accumulate ? crow[j] : 0.0;
+      crow[j] = ep.active() ? apply_epilogue(base + s, ep.bias, j, ep.act)
+                            : base + s;
     }
   }
 }
@@ -303,6 +440,16 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, const Epilogue& ep) {
   instrumented(m, n, k, [&](std::size_t flops) {
+    if (use_bt_path(n, k)) {
+      thread_local std::vector<double> btv;
+      btv.resize(n * k);
+      pack_bt(b, ldb, k, n, btv.data());
+      const double* bt = btv.data();
+      parallel_rows(m, flops, [&, bt](std::size_t m0, std::size_t m1) {
+        gemm_nn_bt_block(m0, m1, n, k, a, lda, bt, c, ldc, ep);
+      });
+      return;
+    }
     parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
       gemm_block(m0, m1, n, k, a, /*a_i=*/lda, /*a_k=*/1, b, ldb, c, ldc, ep);
     });
@@ -313,6 +460,22 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc, const Epilogue& ep) {
   instrumented(m, n, k, [&](std::size_t flops) {
+    if (use_bt_path(n, k)) {
+      // Aᵀ rows (columns of the stored k x m operand) are packed contiguous
+      // alongside Bᵀ; pack_bt's (j, l) walk produces exactly that layout.
+      thread_local std::vector<double> atv;
+      thread_local std::vector<double> btv;
+      atv.resize(m * k);
+      btv.resize(n * k);
+      pack_bt(a, lda, k, m, atv.data());
+      pack_bt(b, ldb, k, n, btv.data());
+      const double* at = atv.data();
+      const double* bt = btv.data();
+      parallel_rows(m, flops, [&, at, bt](std::size_t m0, std::size_t m1) {
+        gemm_nn_bt_block(m0, m1, n, k, at, k, bt, c, ldc, ep);
+      });
+      return;
+    }
     parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
       gemm_block(m0, m1, n, k, a, /*a_i=*/1, /*a_k=*/lda, b, ldb, c, ldc, ep);
     });
@@ -321,10 +484,59 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
 
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
-             std::size_t ldc, const Epilogue& ep) {
+             std::size_t ldc, const Epilogue& ep, bool accumulate) {
   instrumented(m, n, k, [&](std::size_t flops) {
     parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
-      gemm_nt_block(m0, m1, n, k, a, lda, b, ldb, c, ldc, ep);
+      if (accumulate) {
+        gemm_nt_block<true>(m0, m1, n, k, a, lda, b, ldb, c, ldc, ep);
+      } else {
+        gemm_nt_block<false>(m0, m1, n, k, a, lda, b, ldb, c, ldc, ep);
+      }
+    });
+  });
+}
+
+void pack_b_matrix(std::size_t k, std::size_t n, const double* b,
+                   std::size_t ldb, PackedB& out) {
+  require(k > 0 && n > 0, "pack_b_matrix: empty operand");
+  out.k = k;
+  out.n = n;
+  out.transposed = use_bt_path(n, k);
+  if (out.transposed) {
+    out.data.resize(n * k);
+    pack_bt(b, ldb, k, n, out.data.data());
+    return;
+  }
+  std::size_t total = 0;
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    total += ((nc + kNr - 1) / kNr) * kNr * k;
+  }
+  out.data.resize(total);
+  std::size_t col_base = 0;
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    const std::size_t tiles = (nc + kNr - 1) / kNr;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      pack_b(b + pc * ldb + jc, ldb, kc, nc,
+             out.data.data() + col_base + tiles * kNr * pc);
+    }
+    col_base += tiles * kNr * k;
+  }
+}
+
+void gemm_nn_packed(std::size_t m, const double* a, std::size_t lda,
+                    const PackedB& b, double* c, std::size_t ldc,
+                    const Epilogue& ep) {
+  require(b.ready(), "gemm_nn_packed: operand not packed");
+  instrumented(m, b.n, b.k, [&](std::size_t flops) {
+    parallel_rows(m, flops, [&](std::size_t m0, std::size_t m1) {
+      if (b.transposed) {
+        gemm_nn_bt_block(m0, m1, b.n, b.k, a, lda, b.data.data(), c, ldc, ep);
+      } else {
+        gemm_block_packed(m0, m1, b, a, /*a_i=*/lda, /*a_k=*/1, c, ldc, ep);
+      }
     });
   });
 }

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "src/data/matrix.h"
 
@@ -64,9 +65,44 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
 
 /// C (m x n, ldc) += A · Bᵀ where B is stored n x k (ldb): the backward
 /// input-gradient shape dX += G·Wᵀ without materializing Wᵀ.
+/// With `accumulate = false` the result overwrites C instead of adding to
+/// it — bit-identical to zero-filling C first (0 + s == s), minus the fill
+/// pass.
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
-             std::size_t ldc, const Epilogue& ep = {});
+             std::size_t ldc, const Epilogue& ep = {}, bool accumulate = true);
+
+// ---------------------------------------------------------------------------
+// Prepacked B operands. pack_b_matrix() lays B out in the exact panel/strip
+// order gemm_nn's blocked driver consumes, so a weight matrix that several
+// GEMM calls share (e.g. the LSTM recurrent Wh applied at every timestep, or
+// a fused plan feeding one weight to many tiles) is packed once instead of
+// per call. Packing is pure data movement: gemm_nn_packed reproduces
+// gemm_nn's ascending-k reduction order bit for bit.
+// ---------------------------------------------------------------------------
+
+/// A B operand packed into kNr-wide strips, grouped per (jc, pc) panel —
+/// or, for shapes that fit a single panel, packed as contiguous Bᵀ rows for
+/// the dot-chain driver (which beats the strip path at the small operand
+/// sizes the NN layers emit).
+struct PackedB {
+  std::size_t k = 0;
+  std::size_t n = 0;
+  bool transposed = false;
+  std::vector<double> data;
+
+  bool ready() const { return k > 0 && n > 0; }
+};
+
+/// Packs the k x n matrix `b` (leading dimension ldb) into `out`.
+void pack_b_matrix(std::size_t k, std::size_t n, const double* b,
+                   std::size_t ldb, PackedB& out);
+
+/// C (m x n, ldc) += A (m x k, lda) · B, with B prepacked by
+/// pack_b_matrix(). Bit-identical to gemm_nn on the unpacked operand.
+void gemm_nn_packed(std::size_t m, const double* a, std::size_t lda,
+                    const PackedB& b, double* c, std::size_t ldc,
+                    const Epilogue& ep = {});
 
 // Matrix-level conveniences (accumulate into `c`, which must be presized).
 void matmul_into(const Matrix& a, const Matrix& b, Matrix& c,

@@ -1,0 +1,124 @@
+// Fused TE-Graph plan compilation (DESIGN.md §14).
+//
+// The interpreted evaluators execute a root→leaf path stage by stage,
+// materializing a full Matrix between every pair of stages. This lowering
+// pass compiles a path into an ExecutionPlan that folds maximal runs of
+// *lowerable* stages into one elementwise pass: every scaler in Table I is,
+// post-fit, the per-column affine map x ↦ (x - shift[c]) / div[c], so a
+// chain of them applies as one op sequence per element with no intermediate
+// buffers. Components without a fused lowering (PCA, selectors, custom
+// transformers) break the chain: the plan materializes once, runs the stage
+// interpreted, and may resume fusing after it.
+//
+// Equivalence guarantee (pinned by tests/test_plan_compiler.cpp and the
+// randomized-graph suite in tests/test_properties.cpp): fused execution is
+// bit-identical to interpreted execution. Per element the fused chain
+// applies exactly the op sequence the staged transforms would, and stage
+// fits are computed from a *virtual* view of the chain output replicating
+// the interpreted fit arithmetic operation for operation (same summation
+// order, same zero-range guards, same quantile interpolation).
+//
+// Compiled plans are memoized in the engine's PrefixCache alongside fitted
+// prefixes, keyed by the canonical stage specs — the same fingerprint that
+// keys prefix reuse, so a parameter change invalidates both together.
+//
+// Metrics: `eval.plan.compiled` counts plan compilations;
+// `eval.plan.fused_stages` / `eval.plan.fallback` count, per compilation,
+// the stages that lowered into a fused chain vs. fell back to interpreted
+// execution.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/eval_engine.h"
+#include "src/core/metrics.h"
+#include "src/core/pipeline.h"
+#include "src/data/matrix.h"
+
+namespace coda {
+
+/// The fused form of one fitted scaler stage: per column c,
+/// out = (x - shift[c]) / div[c]. `identity` marks a NoOp lowering (applied
+/// as a true pass-through, matching NoOp::transform exactly).
+struct FusedAffine {
+  bool identity = false;
+  std::vector<double> shift;
+  std::vector<double> div;
+
+  double apply(double v, std::size_t c) const {
+    return identity ? v : (v - shift[c]) / div[c];
+  }
+  std::size_t bytes() const {
+    return sizeof(FusedAffine) + (shift.size() + div.size()) * sizeof(double);
+  }
+};
+
+/// An ordered run of fused stages applied as one elementwise op sequence.
+struct FusedChain {
+  std::vector<FusedAffine> stages;
+
+  double apply(double v, std::size_t c) const {
+    for (const FusedAffine& s : stages) v = s.apply(v, c);
+    return v;
+  }
+  bool empty() const { return stages.empty(); }
+};
+
+/// Counts one plan compilation and its fused/fallback stage split in the
+/// eval.plan.* metric family (shared by the tabular and forecast lowerers).
+void record_plan_compiled(std::size_t n_fused, std::size_t n_fallback);
+
+/// True when `t` has a fused lowering (the Table I scalers and NoOp). A
+/// pure type probe — works on unfitted components, which is what plan
+/// compilation sees.
+bool lowerable_scaler(const Transformer& t);
+
+/// Extracts the affine form of an already-fitted lowerable scaler.
+/// Requires lowerable_scaler(t).
+FusedAffine lower_scaler(const Transformer& t);
+
+/// Computes the affine `t` *would* fit on the chain-transformed view of
+/// `base`, without materializing that view: the fit statistics are computed
+/// on the fly with the interpreted fit's exact arithmetic. Requires
+/// lowerable_scaler(t); `t` itself is not mutated.
+FusedAffine fit_affine_virtual(const Transformer& t, const Matrix& base,
+                               const FusedChain& chain);
+
+/// The compiled form of a tabular root→leaf path: which transformer stages
+/// lower into fused chains and which execute interpreted. Estimators are
+/// never part of the plan (the leaf IS the candidate).
+struct CompiledTabularPlan {
+  struct Stage {
+    std::string spec;  ///< canonical component spec (plan-cache keying)
+    bool fused = false;
+  };
+  std::vector<Stage> stages;
+  std::size_t n_fused = 0;
+  std::size_t n_fallback = 0;
+
+  std::size_t bytes() const;
+};
+
+/// Lowers `pipeline`'s transformer chain. Counts `eval.plan.compiled` and
+/// the per-stage `eval.plan.{fused_stages,fallback}` split.
+std::shared_ptr<const CompiledTabularPlan> compile_tabular_plan(
+    const Pipeline& pipeline);
+
+/// Executes one candidate x fold through the compiled plan: fused segments
+/// run as single elementwise passes over the fold matrices, fallback stages
+/// run interpreted on a materialized boundary, and each segment boundary is
+/// memoized in `prefixes` (keyed "tabplan|f<fold>|<specs...>") so sibling
+/// candidates sharing the segment reuse it. Returns the fold score.
+/// Bit-identical to the interpreted score path.
+double execute_tabular_plan(const CompiledTabularPlan& plan,
+                            Pipeline& pipeline, const Matrix& train_X,
+                            const std::vector<double>& train_y,
+                            const Matrix& test_X,
+                            const std::vector<double>& test_y,
+                            std::size_t fold, PrefixCache& prefixes,
+                            Metric metric);
+
+}  // namespace coda

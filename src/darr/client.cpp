@@ -198,12 +198,19 @@ void DarrClient::abandon_all() {
         release(key);
         abandoned.inc();
       } catch (const NetworkError&) {
-        // Release RPC exhausted its transfer budget: the key stays in
-        // held_claims_ (release() only untracks after the store applied
-        // it), so the next pass retries. The failed attempts charged
-        // backoff to the logical clock — a transient partition/crash
-        // window may have healed for that next pass.
-        all_released = false;
+        // Release RPC exhausted its transfer budget. Two distinct cases:
+        // the store may still have applied the release before the
+        // response leg died — release() untracks the key in that case,
+        // and the claim IS freed, so it must be counted exactly once
+        // here (the next pass will not see it again). Otherwise the key
+        // stays tracked and the next pass retries; each inner retry's
+        // backoff charged the logical clock, so a transient partition or
+        // crash window may have healed for that next pass.
+        if (!holds_claim(key)) {
+          abandoned.inc();
+        } else {
+          all_released = false;
+        }
       }
     }
     if (all_released) return;
@@ -213,6 +220,11 @@ void DarrClient::abandon_all() {
 std::vector<std::string> DarrClient::held_claims() const {
   std::lock_guard<std::mutex> lock(held_mutex_);
   return {held_claims_.begin(), held_claims_.end()};
+}
+
+bool DarrClient::holds_claim(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(held_mutex_);
+  return held_claims_.count(key) != 0;
 }
 
 DarrClient::Stats DarrClient::stats() const {

@@ -108,6 +108,7 @@ class DarrClient final : public ResultCache {
   void count_traffic(const Wire& wire);
   void track_claim(const std::string& key);
   void untrack_claim(const std::string& key);
+  bool holds_claim(const std::string& key) const;
 
   std::unique_ptr<RecordStore> owned_store_;  ///< legacy-ctor service
   RecordStore* store_;

@@ -38,6 +38,9 @@ class MinMaxScaler final : public Transformer {
     return std::make_unique<MinMaxScaler>(*this);
   }
 
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& ranges() const { return ranges_; }
+
  private:
   std::vector<double> mins_;
   std::vector<double> ranges_;
@@ -55,6 +58,9 @@ class RobustScaler final : public Transformer {
   std::unique_ptr<Component> clone() const override {
     return std::make_unique<RobustScaler>(*this);
   }
+
+  const std::vector<double>& medians() const { return medians_; }
+  const std::vector<double>& iqrs() const { return iqrs_; }
 
  private:
   std::vector<double> medians_;

@@ -102,10 +102,11 @@ Matrix Conv1D::backward(const Matrix& grad_output) {
                    grad_output.ptr(), out_channels_, w_.grad.ptr(),
                    out_channels_);
   dcol_.reshape(gr, fields);
-  dcol_.fill(0.0);
+  // Overwrite mode: bit-identical to the old zero-fill + accumulate
+  // (0 + s == s) without the extra pass over dcol_.
   kernels::gemm_nt(gr, fields, out_channels_, grad_output.ptr(),
                    out_channels_, w_.value.ptr(), out_channels_,
-                   dcol_.ptr(), fields);
+                   dcol_.ptr(), fields, {}, /*accumulate=*/false);
 
   Matrix grad_input(cached_input_.rows(), cached_input_.cols());
   for (std::size_t n = 0; n < grad_output.rows(); ++n) {

@@ -42,7 +42,24 @@ Matrix Lstm::forward(const Matrix& input, bool) {
   cached_input_ = input;
   cached_seq_len_ = seq_len;
   if (steps_.size() != seq_len) steps_.resize(seq_len);
-  z_.reshape(n, 4 * H);
+
+  // Time-batched input projection: the flattened batch (N x T*input) is
+  // bytewise an (N*T x input) matrix whose row r*T+t is x_t of sample r, and
+  // z_ (N x T*4H) is likewise (N*T x 4H) — so z = b + x Wx for EVERY
+  // timestep is one bias seed plus ONE GEMM instead of T strided ones.
+  // Per element the op sequence (bias, then ascending-k dot) is exactly the
+  // per-timestep loop's, so the result is bit-identical.
+  z_.reshape(n, seq_len * 4 * H);
+  for (std::size_t r = 0; r < n * seq_len; ++r) {
+    std::copy(b_.value.ptr(), b_.value.ptr() + 4 * H, z_.ptr() + r * 4 * H);
+  }
+  kernels::gemm_nn(n * seq_len, 4 * H, input_size_, input.ptr(), input_size_,
+                   wx_.value.ptr(), 4 * H, z_.ptr(), 4 * H);
+  // The recurrent projection stays sequential (h_t depends on h_{t-1}), but
+  // Wh is packed once here and reused by every timestep's GEMM.
+  if (seq_len > 1) {
+    kernels::pack_b_matrix(H, 4 * H, wh_.value.ptr(), 4 * H, wh_packed_);
+  }
 
   for (std::size_t t = 0; t < seq_len; ++t) {
     StepCache& s = steps_[t];
@@ -54,23 +71,17 @@ Matrix Lstm::forward(const Matrix& input, bool) {
     s.tanh_c.reshape(n, H);
     s.h.reshape(n, H);
 
-    // All four gate pre-activations in one 4H-wide fused pass:
-    // z = b + x_t Wx + h_{t-1} Wh. The timestep slice x_t is a strided view
-    // into the flattened batch (lda = input.cols()), no copy. At t = 0 the
-    // previous hidden state is all zero, so its GEMM is skipped outright.
-    for (std::size_t r = 0; r < n; ++r) {
-      std::copy(b_.value.ptr(), b_.value.ptr() + 4 * H, z_.row_ptr(r));
-    }
-    kernels::gemm_nn(n, 4 * H, input_size_, input.ptr() + t * input_size_,
-                     input.cols(), wx_.value.ptr(), 4 * H, z_.ptr(), 4 * H);
+    // z_t lives at the strided (ldc = T*4H) timestep slice of z_; the
+    // recurrent contribution accumulates in place. At t = 0 the previous
+    // hidden state is all zero, so its GEMM is skipped outright.
     if (t > 0) {
-      kernels::gemm_nn(n, 4 * H, H, steps_[t - 1].h.ptr(), H,
-                       wh_.value.ptr(), 4 * H, z_.ptr(), 4 * H);
+      kernels::gemm_nn_packed(n, steps_[t - 1].h.ptr(), H, wh_packed_,
+                              z_.ptr() + t * 4 * H, seq_len * 4 * H);
     }
 
     const Matrix* c_prev = t > 0 ? &steps_[t - 1].c : nullptr;
     for (std::size_t r = 0; r < n; ++r) {
-      const double* zr = z_.row_ptr(r);
+      const double* zr = z_.row_ptr(r) + t * 4 * H;
       for (std::size_t hh = 0; hh < H; ++hh) {
         const double iv = sigmoid(zr[hh]);
         const double fv = sigmoid(zr[H + hh]);
@@ -119,17 +130,17 @@ Matrix Lstm::backward(const Matrix& grad_output) {
   dh_next_.fill(0.0);
   dc_next_.reshape(n, H);
   dc_next_.fill(0.0);
-  dz_.reshape(n, 4 * H);
+  dz_.reshape(n, seq_len * 4 * H);
   dh_prev_.reshape(n, H);
 
   for (std::size_t t = seq_len; t-- > 0;) {
     const StepCache& s = steps_[t];
     const Matrix* c_prev_mat = t > 0 ? &steps_[t - 1].c : nullptr;
 
-    // Elementwise gate backprop into the fused N x 4H buffer; dc carries in
-    // place through dc_next_.
+    // Elementwise gate backprop into this timestep's slice of the batched
+    // N x T*4H buffer; dc carries in place through dc_next_.
     for (std::size_t r = 0; r < n; ++r) {
-      double* dzr = dz_.row_ptr(r);
+      double* dzr = dz_.row_ptr(r) + t * 4 * H;
       for (std::size_t hh = 0; hh < H; ++hh) {
         double dh = dh_next_(r, hh);
         if (return_sequences_) {
@@ -158,25 +169,54 @@ Matrix Lstm::backward(const Matrix& grad_output) {
       }
     }
 
-    // db += column sums of dz; dWx += x_tᵀ dz; dX_t += dz Wxᵀ — the input
-    // slices are strided views into the flattened batch, no transposes or
-    // copies materialized.
-    kernels::col_sums_add(n, 4 * H, dz_.ptr(), 4 * H, b_.grad.ptr());
-    kernels::gemm_tn(input_size_, 4 * H, n,
-                     cached_input_.ptr() + t * input_size_,
-                     cached_input_.cols(), dz_.ptr(), 4 * H,
-                     wx_.grad.ptr(), 4 * H);
-    kernels::gemm_nt(n, input_size_, 4 * H, dz_.ptr(), 4 * H,
-                     wx_.value.ptr(), 4 * H,
-                     grad_input.ptr() + t * input_size_, grad_input.cols());
+    // Only the recurrent carry dh_{t-1} = dz_t Whᵀ is inherently
+    // sequential; every other GEMM of the old per-timestep loop is batched
+    // over all timesteps after this loop. Overwrite mode replaces the old
+    // zero-fill + accumulate (0 + s == s).
     if (t > 0) {
-      kernels::gemm_tn(H, 4 * H, n, steps_[t - 1].h.ptr(), H, dz_.ptr(),
-                       4 * H, wh_.grad.ptr(), 4 * H);
-      dh_prev_.fill(0.0);
-      kernels::gemm_nt(n, H, 4 * H, dz_.ptr(), 4 * H, wh_.value.ptr(),
-                       4 * H, dh_prev_.ptr(), H);
+      kernels::gemm_nt(n, H, 4 * H, dz_.ptr() + t * 4 * H, seq_len * 4 * H,
+                       wh_.value.ptr(), 4 * H, dh_prev_.ptr(), H, {},
+                       /*accumulate=*/false);
       std::swap(dh_next_, dh_prev_);
     }
+  }
+
+  // dX = dz Wxᵀ for every timestep in one GEMM over the (N*T x 4H) /
+  // (N*T x input) flattened views — each output element is one ascending-k
+  // dot, independent per timestep, so batching cannot change it.
+  kernels::gemm_nt(n * seq_len, input_size_, 4 * H, dz_.ptr(), 4 * H,
+                   wx_.value.ptr(), 4 * H, grad_input.ptr(), input_size_);
+
+  // The weight/bias gradients accumulate across timesteps, and the old loop
+  // accumulated in (t descending, row ascending) order. Reordering x, dz
+  // and the hidden-state history into that row order lets ONE gemm_tn /
+  // col_sums pass replay the exact same per-element addend sequence
+  // (ascending k inside the kernel == t desc, r asc here).
+  x_rev_.reshape(seq_len * n, input_size_);
+  dz_rev_.reshape(seq_len * n, 4 * H);
+  if (seq_len > 1) h_rev_.reshape((seq_len - 1) * n, H);
+  for (std::size_t t = seq_len; t-- > 0;) {
+    const std::size_t tt = seq_len - 1 - t;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* xs = cached_input_.row_ptr(r) + t * input_size_;
+      std::copy(xs, xs + input_size_, x_rev_.row_ptr(tt * n + r));
+      const double* ds = dz_.row_ptr(r) + t * 4 * H;
+      std::copy(ds, ds + 4 * H, dz_rev_.row_ptr(tt * n + r));
+      if (t > 0) {
+        const double* hs = steps_[t - 1].h.row_ptr(r);
+        std::copy(hs, hs + H, h_rev_.row_ptr(tt * n + r));
+      }
+    }
+  }
+  kernels::col_sums_add(seq_len * n, 4 * H, dz_rev_.ptr(), 4 * H,
+                        b_.grad.ptr());
+  kernels::gemm_tn(input_size_, 4 * H, seq_len * n, x_rev_.ptr(),
+                   input_size_, dz_rev_.ptr(), 4 * H, wx_.grad.ptr(), 4 * H);
+  if (seq_len > 1) {
+    // dWh sums over t = T-1 .. 1, whose dz rows are exactly the first
+    // (T-1)*n rows of the reordered buffer.
+    kernels::gemm_tn(H, 4 * H, (seq_len - 1) * n, h_rev_.ptr(), H,
+                     dz_rev_.ptr(), 4 * H, wh_.grad.ptr(), 4 * H);
   }
   return grad_input;
 }

@@ -4,6 +4,7 @@
 // (N x H) or the full hidden sequence (N x T*H) for stacking.
 #pragma once
 
+#include "src/core/kernels.h"
 #include "src/nn/layer.h"
 #include "src/util/random.h"
 
@@ -46,13 +47,22 @@ class Lstm final : public Layer {
   std::vector<StepCache> steps_;
   std::size_t cached_seq_len_ = 0;
 
-  // Workspaces reused across forward/backward calls: the fused N x 4H gate
-  // pre-activations and the BPTT carry buffers.
+  // Workspaces reused across forward/backward calls: the time-batched
+  // N x T*4H gate pre-activations / gradients and the BPTT carry buffers.
+  // The input projection of every timestep runs as ONE GEMM over the
+  // flattened (N*T x input) view of the batch, and the weight-gradient
+  // GEMMs of backward are batched over buffers reordered to (t descending,
+  // row ascending) so the single reduction replays the per-timestep loop's
+  // accumulation order exactly (see backward()).
   Matrix z_;
   Matrix dz_;
   Matrix dh_next_;
   Matrix dc_next_;
   Matrix dh_prev_;
+  Matrix x_rev_;
+  Matrix dz_rev_;
+  Matrix h_rev_;
+  kernels::PackedB wh_packed_;  ///< recurrent weights packed once per forward
 };
 
 }  // namespace coda::nn

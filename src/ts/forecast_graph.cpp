@@ -6,6 +6,7 @@
 #include "src/data/fingerprint.h"
 #include "src/ml/scalers.h"
 #include "src/obs/obs.h"
+#include "src/ts/forecast_plan.h"
 #include "src/ts/forecasters.h"
 #include "src/ts/nn_forecasters.h"
 #include "src/util/hash.h"
@@ -196,15 +197,43 @@ double score_forecast_fold(const ForecastGraph& graph,
                            const ForecastGraph::Candidate& candidate,
                            const TimeSeries& series, std::size_t n_variables,
                            const Split& split, std::size_t fold,
-                           PrefixCache& prefixes, Metric metric) {
+                           PrefixCache& prefixes, Metric metric,
+                           bool compile_plans) {
   ForecastPipeline pipeline = graph.instantiate(candidate, n_variables);
   const std::size_t a = split.train.front();
   const std::size_t b = split.train.back() + 1;
   const std::size_t c = split.test.front();
   const std::size_t d = split.test.back() + 1;
-  const std::string prefix_key = "ts|f" + std::to_string(fold) + "|" +
-                                 pipeline.scaler().spec() + "|" +
-                                 pipeline.windower().name();
+  const std::string prefix = pipeline.scaler().spec() + "|" +
+                             pipeline.windower().name();
+  if (compile_plans) {
+    // Compiled plans are fold-independent, so they memoize under a key
+    // without a fold component — folds and sibling models all reuse one
+    // plan per (scaler, windower) prefix. The key embeds the canonical
+    // component specs, so a parameter change invalidates the plan exactly
+    // like it invalidates the fitted prefix below.
+    const std::string plan_key = "plan|ts|" + prefix;
+    std::shared_ptr<const CompiledForecastPlan> plan =
+        prefixes.get<CompiledForecastPlan>(plan_key);
+    if (plan == nullptr) {
+      plan = CompiledForecastPlan::compile(pipeline);
+      prefixes.insert(plan_key, plan, plan->bytes());
+    }
+    const std::string fold_key = "tsplan|f" + std::to_string(fold) + "|" +
+                                 prefix;
+    std::shared_ptr<const PreparedFold> prepared =
+        prefixes.get<PreparedFold>(fold_key);
+    if (prepared == nullptr) {
+      auto computed =
+          std::make_shared<PreparedFold>(plan->prepare(series, a, b, c, d));
+      prefixes.insert(fold_key, computed, computed->bytes());
+      prepared = std::move(computed);
+    }
+    pipeline.model().fit(prepared->X_train, prepared->y_train);
+    return score(metric, prepared->y_val,
+                 pipeline.model().predict(prepared->X_val));
+  }
+  const std::string prefix_key = "ts|f" + std::to_string(fold) + "|" + prefix;
   std::shared_ptr<const WindowedData> wd =
       prefixes.get<WindowedData>(prefix_key);
   if (wd == nullptr) {
@@ -251,7 +280,7 @@ EvaluationReport ForecastGraphEvaluator::evaluate(
                         std::size_t fold, PrefixCache& prefixes) {
       return score_forecast_fold(graph, candidates[i], series, v,
                                  splits[fold], fold, prefixes,
-                                 options_.metric);
+                                 options_.metric, options_.compile_plans);
     };
     engine_candidates.push_back(std::move(ec));
   }

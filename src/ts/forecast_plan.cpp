@@ -1,0 +1,225 @@
+#include "src/ts/forecast_plan.h"
+
+#include <utility>
+
+#include "src/ts/windowing.h"
+
+namespace coda::ts {
+namespace {
+
+WindowLowering probe_windower(const WindowMaker& w) {
+  if (dynamic_cast<const CascadedWindows*>(&w) != nullptr ||
+      dynamic_cast<const FlatWindowing*>(&w) != nullptr) {
+    return WindowLowering::kHistory;
+  }
+  if (dynamic_cast<const TsAsIid*>(&w) != nullptr) {
+    return WindowLowering::kIid;
+  }
+  if (dynamic_cast<const TsAsIs*>(&w) != nullptr) {
+    return WindowLowering::kAsIs;
+  }
+  return WindowLowering::kInterpreted;
+}
+
+/// Row split of an interpreted WindowedData, reproducing fit_prepared's
+/// train selection and predict_range_prepared's validation gather.
+PreparedFold split_windowed(const WindowedData& wd, std::size_t a,
+                            std::size_t b, std::size_t c, std::size_t d,
+                            const std::string& windower_name) {
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> val_rows;
+  for (std::size_t i = 0; i < wd.y.size(); ++i) {
+    if (wd.span_starts[i] >= a && wd.target_times[i] < b) {
+      train_rows.push_back(i);
+    }
+    if (wd.target_times[i] >= c && wd.target_times[i] < d) {
+      val_rows.push_back(i);
+    }
+  }
+  require(!train_rows.empty(),
+          "CompiledForecastPlan: training range too short for " +
+              windower_name);
+  require(!val_rows.empty(),
+          "CompiledForecastPlan: no windows target the range");
+  PreparedFold out;
+  out.X_train = wd.X.select_rows(train_rows);
+  out.X_val = wd.X.select_rows(val_rows);
+  out.y_train.reserve(train_rows.size());
+  for (const std::size_t i : train_rows) out.y_train.push_back(wd.y[i]);
+  out.y_val.reserve(val_rows.size());
+  for (const std::size_t i : val_rows) out.y_val.push_back(wd.y[i]);
+  return out;
+}
+
+}  // namespace
+
+CompiledForecastPlan::CompiledForecastPlan(
+    std::unique_ptr<Transformer> scaler, std::unique_ptr<WindowMaker> windower,
+    ForecastSpec spec)
+    : scaler_proto_(std::move(scaler)),
+      windower_proto_(std::move(windower)),
+      spec_(spec) {}
+
+std::shared_ptr<const CompiledForecastPlan> CompiledForecastPlan::compile(
+    const ForecastPipeline& pipeline) {
+  std::shared_ptr<CompiledForecastPlan> plan(new CompiledForecastPlan(
+      pipeline.scaler().clone_transformer(), pipeline.windower().clone(),
+      pipeline.spec()));
+  plan->lowering_ = probe_windower(*plan->windower_proto_);
+  // The as-is feed never reads the scaled view, so the scaler stage fuses
+  // (to nothing) regardless of its type; an interpreted windower drags the
+  // scaler down with it because build() needs the materialized transform.
+  switch (plan->lowering_) {
+    case WindowLowering::kInterpreted:
+      plan->scaler_fused_ = false;
+      break;
+    case WindowLowering::kAsIs:
+      plan->scaler_fused_ = true;
+      break;
+    default:
+      plan->scaler_fused_ = lowerable_scaler(*plan->scaler_proto_);
+      break;
+  }
+  const std::size_t fused = (plan->scaler_fused_ ? 1u : 0u) +
+                            (plan->lowering_ != WindowLowering::kInterpreted
+                                 ? 1u
+                                 : 0u);
+  record_plan_compiled(fused, 2 - fused);
+  return plan;
+}
+
+std::size_t CompiledForecastPlan::bytes() const {
+  // Two cloned prototypes plus this object; prototype internals are small
+  // (component name + params), so a flat estimate is fine for LRU budgeting.
+  return sizeof(CompiledForecastPlan) + 256;
+}
+
+PreparedFold CompiledForecastPlan::prepare(const TimeSeries& series,
+                                           std::size_t train_begin,
+                                           std::size_t train_end,
+                                           std::size_t target_begin,
+                                           std::size_t target_end) const {
+  require(train_begin < train_end && train_end <= series.length(),
+          "CompiledForecastPlan::prepare: bad training range");
+  require(target_begin < target_end,
+          "CompiledForecastPlan::prepare: bad target range");
+  // The scaler fit itself stays interpreted: training-slice statistics are
+  // O(train length) and fold-specific, exactly what the fold key captures.
+  auto scaler = scaler_proto_->clone_transformer();
+  const TimeSeries train_slice = series.slice(train_begin, train_end);
+  static const std::vector<double> kNoTargets;
+  scaler->fit(train_slice.values(), kNoTargets);
+
+  const Matrix& raw = series.values();
+  if (lowering_ == WindowLowering::kInterpreted) {
+    const Matrix scaled = scaler->transform(raw);
+    const WindowedData wd = windower_proto_->build(scaled, raw, spec_);
+    return split_windowed(wd, train_begin, train_end, target_begin,
+                          target_end, windower_proto_->name());
+  }
+
+  const std::size_t L = raw.rows();
+  const std::size_t v = raw.cols();
+  const std::size_t h = spec_.horizon;
+  require(L > 0, "CompiledForecastPlan: empty series");
+  require(h >= 1, "CompiledForecastPlan: horizon must be >= 1");
+  require(spec_.target_var < v,
+          "CompiledForecastPlan: target_var out of range");
+
+  // The scaled feature read: either the fused affine applied to the raw
+  // element on the fly, or (unlowerable scaler, lowered windower) one
+  // materialized transform the index program reads from. The as-is feed
+  // reads raw target values only, so neither is needed there.
+  FusedAffine affine;
+  Matrix scaled_fallback;
+  const bool need_features = lowering_ != WindowLowering::kAsIs;
+  const bool fused_features = need_features && scaler_fused_;
+  if (fused_features) {
+    affine = lower_scaler(*scaler);
+  } else if (need_features) {
+    scaled_fallback = scaler->transform(raw);
+  }
+  const auto feat = [&](std::size_t r, std::size_t col) {
+    return fused_features ? affine.apply(raw(r, col), col)
+                          : scaled_fallback(r, col);
+  };
+
+  // The index program: per window row i, its feature span start, target
+  // time, and width — mirroring the windower's build() formulas.
+  std::size_t n_rows = 0;
+  std::size_t width = 0;
+  std::size_t p = 0;
+  if (lowering_ == WindowLowering::kHistory) {
+    p = spec_.history;
+    require(p >= 1, "CompiledForecastPlan: history must be >= 1");
+    require(L >= p + h,
+            "CompiledForecastPlan: series shorter than history + horizon");
+    n_rows = L - p - h + 1;
+    width = p * v;
+  } else {
+    require(L > h, "CompiledForecastPlan: series shorter than horizon");
+    n_rows = L - h;
+    width = lowering_ == WindowLowering::kIid ? v : 1;
+  }
+  const auto row_target = [&](std::size_t i) {
+    return lowering_ == WindowLowering::kHistory ? i + p + h - 1 : i + h;
+  };
+
+  std::size_t n_train = 0;
+  std::size_t n_val = 0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::size_t target = row_target(i);
+    if (i >= train_begin && target < train_end) ++n_train;
+    if (target >= target_begin && target < target_end) ++n_val;
+  }
+  require(n_train > 0, "CompiledForecastPlan: training range too short for " +
+                           windower_proto_->name());
+  require(n_val > 0, "CompiledForecastPlan: no windows target the range");
+
+  PreparedFold out;
+  out.X_train = Matrix(n_train, width);
+  out.X_val = Matrix(n_val, width);
+  out.y_train.reserve(n_train);
+  out.y_val.reserve(n_val);
+  std::size_t rt = 0;
+  std::size_t rv = 0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::size_t target = row_target(i);
+    const bool in_train = i >= train_begin && target < train_end;
+    const bool in_val = target >= target_begin && target < target_end;
+    if (!in_train && !in_val) continue;
+    const double y = raw(target, spec_.target_var);
+    double* dst_train = in_train ? out.X_train.row_ptr(rt) : nullptr;
+    double* dst_val = in_val ? out.X_val.row_ptr(rv) : nullptr;
+    const auto emit = [&](std::size_t j, double value) {
+      if (dst_train != nullptr) dst_train[j] = value;
+      if (dst_val != nullptr) dst_val[j] = value;
+    };
+    switch (lowering_) {
+      case WindowLowering::kHistory:
+        for (std::size_t t = 0; t < p; ++t) {
+          for (std::size_t col = 0; col < v; ++col) {
+            emit(t * v + col, feat(i + t, col));
+          }
+        }
+        break;
+      case WindowLowering::kIid:
+        for (std::size_t col = 0; col < v; ++col) emit(col, feat(i, col));
+        break;
+      default:  // kAsIs: the persistence feed is deliberately unscaled
+        emit(0, raw(i, spec_.target_var));
+        break;
+    }
+    if (in_train) {
+      out.y_train.push_back(y);
+      ++rt;
+    }
+    if (in_val) {
+      out.y_val.push_back(y);
+      ++rv;
+    }
+  }
+  return out;
+}
+
+}  // namespace coda::ts

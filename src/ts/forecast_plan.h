@@ -1,0 +1,101 @@
+// Fused lowering of forecast paths (DESIGN.md §14).
+//
+// A root→leaf forecast path is scaler -> windower -> model. The interpreted
+// executor materializes the scaled series (L x v), then copies it again
+// into the windowed design matrix, then gathers train/validation rows with
+// select_rows — three full passes over the data per (fold, scaler,
+// windower). CompiledForecastPlan lowers the scaler to its per-column
+// affine form and the windower to an index program, so one pass emits the
+// fold's train/validation design matrices directly from the raw series:
+// scaling folds into the tiled window reads, and no intermediate Matrix
+// exists between the stages.
+//
+// Fusion boundary conditions:
+//  - The scaler *fit* (training-slice statistics) always runs interpreted —
+//    it is O(train length) and keying it is what the prefix cache already
+//    does; only its transform is fused away.
+//  - A windower without an index-program lowering forces the whole prepare
+//    back to the interpreted build (the scaler must materialize its output
+//    for WindowMaker::build), so both stages count as fallback.
+//  - A scaler without an affine lowering materializes its transform once;
+//    the windower still lowers and reads the materialized view (scaler
+//    counts fallback, windower counts fused).
+//  - The as-is feed reads raw target values, so the scaler transform is
+//    dead there and fusing it is trivially exact.
+//
+// Bit-identity with the interpreted path is pinned by the differential
+// suite (tests/test_plan_compiler.cpp): identical X/y values, identical row
+// order, identical selection semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/plan_compiler.h"
+#include "src/data/time_series.h"
+#include "src/ts/forecast_pipeline.h"
+
+namespace coda::ts {
+
+/// How a windower lowers into the fused emitter.
+enum class WindowLowering {
+  kHistory,      ///< CascadedWindows / FlatWindowing (Figs 7-8)
+  kIid,          ///< TsAsIid (Fig 9)
+  kAsIs,         ///< TsAsIs (Fig 10) — raw target feed
+  kInterpreted,  ///< no lowering: WindowMaker::build fallback
+};
+
+/// One fold's compiled output: the train/validation design matrices and
+/// targets, emitted in the exact row order the interpreted path's
+/// select_rows gather produces. Shared across every model consuming the
+/// same (fold, scaler, windower) prefix.
+struct PreparedFold {
+  Matrix X_train;
+  std::vector<double> y_train;
+  Matrix X_val;
+  std::vector<double> y_val;  ///< ground truth, original units
+
+  std::size_t bytes() const {
+    return X_train.size() * sizeof(double) + X_val.size() * sizeof(double) +
+           (y_train.size() + y_val.size()) * sizeof(double) +
+           sizeof(PreparedFold);
+  }
+};
+
+/// The compiled form of one (scaler, windower) prefix. Stateless once
+/// compiled — prepare() can be called for any fold/series, so one plan is
+/// shared across folds through the PrefixCache (keyed without a fold
+/// component).
+class CompiledForecastPlan {
+ public:
+  /// Lowers `pipeline`'s scaler and windower. Counts `eval.plan.compiled`
+  /// and the stage fused/fallback split (two stages per forecast path).
+  static std::shared_ptr<const CompiledForecastPlan> compile(
+      const ForecastPipeline& pipeline);
+
+  /// Fits the scaler on [train_begin, train_end) and emits the fold's
+  /// design matrices: train rows are the windows fully inside the training
+  /// range, validation rows the windows whose target falls in
+  /// [target_begin, target_end). Bit-identical to prepare_windows +
+  /// fit_prepared's row selection + predict_range_prepared's gather.
+  PreparedFold prepare(const TimeSeries& series, std::size_t train_begin,
+                       std::size_t train_end, std::size_t target_begin,
+                       std::size_t target_end) const;
+
+  bool scaler_fused() const { return scaler_fused_; }
+  WindowLowering lowering() const { return lowering_; }
+  std::size_t bytes() const;
+
+ private:
+  CompiledForecastPlan(std::unique_ptr<Transformer> scaler,
+                       std::unique_ptr<WindowMaker> windower,
+                       ForecastSpec spec);
+
+  std::unique_ptr<Transformer> scaler_proto_;
+  std::unique_ptr<WindowMaker> windower_proto_;
+  ForecastSpec spec_;
+  WindowLowering lowering_ = WindowLowering::kInterpreted;
+  bool scaler_fused_ = false;
+};
+
+}  // namespace coda::ts

@@ -346,6 +346,38 @@ TEST(Chaos, ShardedGoldenMetricKeysStayPinned) {
   EXPECT_TRUE(registered.count("darr.client.claims_abandoned"));
 }
 
+TEST(Chaos, AbandonAllCountsEachFreedClaimExactlyOnce) {
+  // Exactly-once accounting for darr.client.claims_abandoned: a release
+  // whose response leg dies past the retry budget has still freed the
+  // claim store-side (wire.applied) and must count once; a release that
+  // only succeeds on a later abandon_all pass must not count again. The
+  // invariant ties the counter to ground truth: freed = held before -
+  // held after.
+  const auto& abandoned = obs::counter("darr.client.claims_abandoned");
+  for (std::uint64_t seed = 0; seed < 48; ++seed) {
+    ChaosSchedule schedule;
+    schedule.seed = 1300 + seed;
+    schedule.drop_probability = 0.8;
+    SCOPED_TRACE(schedule.describe());
+    chaos::ChaosFabric fabric(1, schedule);
+    auto& client = *fabric.clients[0];
+    for (int k = 0; k < 6; ++k) {
+      try {
+        client.claim("exactly_once_" + std::to_string(seed) + "_" +
+                     std::to_string(k));
+      } catch (const NetworkError&) {
+        // Lost claim responses are tracked via wire.applied; either way
+        // held_claims() below is the ground truth.
+      }
+    }
+    const std::size_t held_before = client.held_claims().size();
+    const std::uint64_t count_before = abandoned.value();
+    client.abandon_all();
+    const std::size_t held_after = client.held_claims().size();
+    EXPECT_EQ(abandoned.value() - count_before, held_before - held_after);
+  }
+}
+
 TEST(Chaos, SameScheduleReplaysIdenticalFaultDecisions) {
   // The per-link fault stream is a pure function of (seed, link, message
   // index): replaying one client's message sequence against two fabrics

@@ -10,6 +10,7 @@
 
 #include "src/core/eval_engine.h"
 #include "src/core/evaluator.h"
+#include "src/core/plan_compiler.h"
 #include "src/darr/client.h"
 #include "src/darr/repository.h"
 #include "src/data/synthetic.h"
@@ -340,6 +341,112 @@ TEST(EvalEngine, TinyBudgetStillProducesIdenticalScores) {
   for (std::size_t i = 0; i < a.results.size(); ++i) {
     EXPECT_EQ(a.results[i].mean_score, b.results[i].mean_score);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-plan memoization (DESIGN.md §14): plans live in the same
+// PrefixCache as fitted prefixes, keyed by the chain's canonical specs.
+
+TEST(PlanCache, CompiledPlanReusedAcrossFoldsAndSiblings) {
+  IndustrialSeriesConfig cfg;
+  cfg.length = 260;
+  cfg.n_variables = 2;
+  const auto series = make_industrial_series(cfg);
+  ts::ForecastSpec spec;
+  spec.history = 12;
+  ts::ForecastGraph g(spec);
+  g.add_scaler(std::make_unique<StandardScaler>());
+  g.add_scaler(std::make_unique<NoOp>());
+  g.add_windower(std::make_unique<ts::CascadedWindows>(), "cascaded");
+  g.add_model(std::make_unique<ts::ArModel>(), "cascaded");
+  g.add_model(std::make_unique<ts::ZeroModel>(), "cascaded");
+
+  EvalOptions options;
+  options.compile_plans = true;
+  options.threads = 1;  // deterministic compile counts (no racing misses)
+  const auto& compiled = obs::counter("eval.plan.compiled");
+  const std::uint64_t compiled0 = compiled.value();
+  const auto report = ts::ForecastGraphEvaluator(options).evaluate(
+      g, series, TimeSeriesSlidingSplit(3, 140, 30, 5));
+  ASSERT_EQ(report.results.size(), 4u);
+  // 2 scalers x 1 windower = 2 unique prefixes: one compilation each, not
+  // one per fold (3 folds) or per model (2 siblings).
+  EXPECT_EQ(compiled.value() - compiled0, 2u);
+}
+
+TEST(PlanCache, ParamChangeCompilesADistinctPlan) {
+  RegressionConfig cfg;
+  cfg.n_samples = 90;
+  cfg.n_features = 5;
+  cfg.n_informative = 4;
+  const auto d = make_regression(cfg);
+
+  // The same PCA node with two n_components settings: the plan key embeds
+  // the canonical spec (name + params), so each setting compiles its own
+  // plan — a parameter change can never reuse a stale plan.
+  TEGraph g;
+  std::vector<StageOption> scalers;
+  scalers.push_back(make_option(std::make_unique<MinMaxScaler>()));
+  g.add_stage("scale", std::move(scalers));
+  std::vector<StageOption> selectors;
+  ParamGrid pca_grid;
+  pca_grid.add("n_components",
+               {ParamValue{std::int64_t{2}}, ParamValue{std::int64_t{3}}});
+  selectors.push_back(make_option(std::make_unique<PCA>(), pca_grid));
+  g.add_stage("select", std::move(selectors));
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LinearRegression>());
+  g.add_regression_models(std::move(models));
+
+  EvalOptions options;
+  options.compile_plans = true;
+  options.threads = 1;
+  const auto& compiled = obs::counter("eval.plan.compiled");
+  const std::uint64_t compiled0 = compiled.value();
+  const auto report = GraphEvaluator(options).evaluate(g, d, KFold(3));
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_EQ(compiled.value() - compiled0, 2u);
+}
+
+TEST(PlanCache, LruEvictionRecompilesWithoutChangingScores) {
+  RegressionConfig cfg;
+  cfg.n_samples = 80;
+  cfg.n_features = 4;
+  cfg.n_informative = 3;
+  const auto d = make_regression(cfg);
+  const auto g = grid_graph();
+
+  EvalOptions interpreted;
+  interpreted.compile_plans = false;
+  EvalOptions tiny;
+  tiny.compile_plans = true;
+  tiny.prefix_cache_bytes = 2048;  // plans + prefixes churn constantly
+  tiny.threads = 1;
+  const auto& evicted = obs::counter("eval.prefix_cache.evicted");
+  const std::uint64_t evicted0 = evicted.value();
+  const auto a = GraphEvaluator(interpreted).evaluate(g, d, KFold(3));
+  const auto b = GraphEvaluator(tiny).evaluate(g, d, KFold(3));
+  EXPECT_GT(evicted.value(), evicted0);  // the budget really did evict
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].spec, b.results[i].spec);
+    for (std::size_t f = 0; f < a.results[i].fold_scores.size(); ++f) {
+      EXPECT_EQ(a.results[i].fold_scores[f], b.results[i].fold_scores[f]);
+    }
+  }
+  EXPECT_EQ(a.best().spec, b.best().spec);
+}
+
+TEST(PlanCache, PlanEntriesAccountBytesInPrefixCache) {
+  Pipeline p;
+  p.add_transformer(std::make_unique<StandardScaler>());
+  p.set_estimator(std::make_unique<LinearRegression>());
+  const auto plan = compile_tabular_plan(p);
+  PrefixCache cache(1 << 20);
+  cache.insert("plan|tab|standardscaler", plan, plan->bytes());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), plan->bytes());
+  EXPECT_EQ(cache.get<CompiledTabularPlan>("plan|tab|standardscaler"), plan);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,351 @@
+// Differential suite for fused plan compilation (DESIGN.md section 14):
+// every seeded root→leaf path runs through both the fused (compiled-plan)
+// and the interpreted executor, and the results must be BIT-identical —
+// same design matrices, same predictions, same fold losses, same selected
+// best pipeline. Any drift, however small, is a lowering bug: the fused
+// path must replicate the interpreted arithmetic operation for operation.
+//
+// Labelled tsan;perf: the full-graph differential doubles a Fig 11-shaped
+// search, and the engine's plan/prefix memoization runs concurrently under
+// the evaluation thread pool.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/plan_compiler.h"
+#include "src/data/synthetic.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear.h"
+#include "src/ml/pca.h"
+#include "src/ml/scalers.h"
+#include "src/obs/obs.h"
+#include "src/ts/forecast_graph.h"
+#include "src/ts/forecast_plan.h"
+#include "src/ts/forecasters.h"
+
+namespace coda {
+namespace {
+
+using ts::CascadedWindows;
+using ts::CompiledForecastPlan;
+using ts::FlatWindowing;
+using ts::ForecastGraph;
+using ts::ForecastGraphEvaluator;
+using ts::ForecastPipeline;
+using ts::ForecastSpec;
+using ts::PreparedFold;
+using ts::TsAsIid;
+using ts::TsAsIs;
+using ts::WindowedData;
+
+TimeSeries differential_series() {
+  IndustrialSeriesConfig cfg;
+  cfg.length = 170;
+  cfg.n_variables = 2;
+  cfg.seasonal_amplitude = 2.0;
+  cfg.noise_stddev = 0.2;
+  return make_industrial_series(cfg);
+}
+
+/// Runs one evaluation of `graph` with plan compilation on or off.
+EvaluationReport run_search(const ForecastGraph& graph,
+                            const TimeSeries& series,
+                            const TimeSeriesSlidingSplit& cv,
+                            bool compile_plans) {
+  EvalOptions options;
+  options.metric = Metric::kRmse;
+  options.compile_plans = compile_plans;
+  ForecastGraphEvaluator evaluator(options);
+  return evaluator.evaluate(graph, series, cv);
+}
+
+/// Asserts two reports are bit-identical: candidate order, every fold
+/// loss (operator== on doubles — no tolerance), and the winning path.
+void expect_reports_identical(const EvaluationReport& interpreted,
+                              const EvaluationReport& fused) {
+  ASSERT_EQ(interpreted.results.size(), fused.results.size());
+  for (std::size_t i = 0; i < interpreted.results.size(); ++i) {
+    const auto& a = interpreted.results[i];
+    const auto& b = fused.results[i];
+    SCOPED_TRACE(a.spec);
+    EXPECT_EQ(a.spec, b.spec);
+    EXPECT_EQ(a.failed, b.failed);
+    ASSERT_EQ(a.fold_scores.size(), b.fold_scores.size());
+    for (std::size_t f = 0; f < a.fold_scores.size(); ++f) {
+      EXPECT_EQ(a.fold_scores[f], b.fold_scores[f]) << "fold " << f;
+    }
+  }
+  EXPECT_EQ(interpreted.best().spec, fused.best().spec);
+  EXPECT_EQ(interpreted.best().mean_score, fused.best().mean_score);
+}
+
+// The tentpole acceptance test: EVERY legal path of the standard Fig 11
+// graph (48 root→leaf paths: 4 scalers x 4 windowers x 12 models behind
+// compatibility edges) scored interpreted and fused, with bit-identical
+// losses and an identical winner.
+TEST(PlanCompilerDifferential, StandardGraphEveryPathBitIdentical) {
+  const TimeSeries series = differential_series();
+  ForecastSpec spec;
+  spec.history = 24;
+  const ForecastGraph graph =
+      ForecastGraph::standard(spec, /*neural_epochs=*/2);
+  const TimeSeriesSlidingSplit cv(/*k=*/2, /*train=*/100, /*val=*/25,
+                                  /*buffer=*/4);
+
+  const auto interpreted = run_search(graph, series, cv, false);
+  const auto fused = run_search(graph, series, cv, true);
+  ASSERT_EQ(interpreted.results.size(), graph.enumerate().size());
+  for (const auto& r : interpreted.results) {
+    EXPECT_FALSE(r.failed) << r.spec << ": " << r.failure_message;
+  }
+  expect_reports_identical(interpreted, fused);
+}
+
+// Matrix-level differential, one rung below the search: for every
+// (scaler, windower) prefix, CompiledForecastPlan::prepare must emit
+// exactly the rows the interpreted path's prepare_windows +
+// fit_prepared row selection + predict_range_prepared gather would —
+// same values, same row order, bit for bit.
+TEST(PlanCompilerDifferential, PreparedFoldMatchesInterpretedGather) {
+  const TimeSeries series = differential_series();
+  ForecastSpec spec;
+  spec.history = 12;
+  const std::size_t a = 4, b = 110;    // training timestamps [a, b)
+  const std::size_t c = 116, d = 150;  // validation targets  [c, d)
+
+  const auto scalers = [] {
+    std::vector<std::unique_ptr<Transformer>> s;
+    s.push_back(std::make_unique<StandardScaler>());
+    s.push_back(std::make_unique<MinMaxScaler>());
+    s.push_back(std::make_unique<RobustScaler>());
+    s.push_back(std::make_unique<NoOp>());
+    return s;
+  };
+  const auto windowers = [] {
+    std::vector<std::unique_ptr<ts::WindowMaker>> w;
+    w.push_back(std::make_unique<CascadedWindows>());
+    w.push_back(std::make_unique<FlatWindowing>());
+    w.push_back(std::make_unique<TsAsIid>());
+    w.push_back(std::make_unique<TsAsIs>());
+    return w;
+  };
+
+  auto sc = scalers();
+  for (std::size_t si = 0; si < sc.size(); ++si) {
+    auto wd = windowers();
+    for (std::size_t wi = 0; wi < wd.size(); ++wi) {
+      ForecastPipeline pipeline(
+          std::unique_ptr<Transformer>(
+              static_cast<Transformer*>(sc[si]->clone().release())),
+          wd[wi]->clone(), std::make_unique<ts::ZeroModel>(), spec);
+      SCOPED_TRACE(pipeline.scaler().spec() + " | " +
+                   pipeline.windower().name());
+
+      // Interpreted reference: the full windowed matrix plus the row
+      // selections score_forecast_fold's interpreted arm performs.
+      const WindowedData windows = pipeline.prepare_windows(series, a, b);
+      std::vector<std::size_t> train_rows, val_rows;
+      for (std::size_t i = 0; i < windows.y.size(); ++i) {
+        if (windows.span_starts[i] >= a && windows.target_times[i] < b) {
+          train_rows.push_back(i);
+        }
+        if (windows.target_times[i] >= c && windows.target_times[i] < d) {
+          val_rows.push_back(i);
+        }
+      }
+
+      const auto plan = CompiledForecastPlan::compile(pipeline);
+      const PreparedFold fold = plan->prepare(series, a, b, c, d);
+
+      ASSERT_EQ(fold.X_train.rows(), train_rows.size());
+      ASSERT_EQ(fold.X_val.rows(), val_rows.size());
+      ASSERT_EQ(fold.X_train.cols(), windows.X.cols());
+      for (std::size_t r = 0; r < train_rows.size(); ++r) {
+        EXPECT_EQ(fold.y_train[r], windows.y[train_rows[r]]);
+        for (std::size_t col = 0; col < windows.X.cols(); ++col) {
+          EXPECT_EQ(fold.X_train(r, col), windows.X(train_rows[r], col))
+              << "train row " << r << " col " << col;
+        }
+      }
+      for (std::size_t r = 0; r < val_rows.size(); ++r) {
+        // Validation ground truth is in original units: the raw target.
+        EXPECT_EQ(fold.y_val[r],
+                  series.values()(windows.target_times[val_rows[r]], 0));
+        for (std::size_t col = 0; col < windows.X.cols(); ++col) {
+          EXPECT_EQ(fold.X_val(r, col), windows.X(val_rows[r], col))
+              << "val row " << r << " col " << col;
+        }
+      }
+    }
+  }
+}
+
+// Prediction-level differential: a model trained on the fused fold must
+// predict bit-identically to one trained through the interpreted flow.
+TEST(PlanCompilerDifferential, PredictionsBitIdentical) {
+  const TimeSeries series = differential_series();
+  ForecastSpec spec;
+  spec.history = 16;
+  const std::size_t a = 0, b = 110, c = 114, d = 150;
+
+  ForecastPipeline interpreted(std::make_unique<StandardScaler>(),
+                               std::make_unique<CascadedWindows>(),
+                               std::make_unique<ts::ArModel>(), spec);
+  ForecastPipeline fused = interpreted;
+
+  const WindowedData windows = interpreted.prepare_windows(series, a, b);
+  interpreted.fit_prepared(series, a, b, windows);
+  const auto [pred, truth] =
+      interpreted.predict_range_prepared(windows, c, d);
+
+  const auto plan = CompiledForecastPlan::compile(fused);
+  const PreparedFold fold = plan->prepare(series, a, b, c, d);
+  fused.model().fit(fold.X_train, fold.y_train);
+  const auto fused_pred = fused.model().predict(fold.X_val);
+
+  ASSERT_EQ(pred.size(), fused_pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    EXPECT_EQ(pred[i], fused_pred[i]) << "prediction " << i;
+    EXPECT_EQ(truth[i], fold.y_val[i]) << "truth " << i;
+  }
+}
+
+// Tabular differential: a TE-Graph whose chains mix fusable scalers with
+// an unfusable stage (PCA has no affine lowering) — fused execution must
+// segment around the fallback and still score bit-identically.
+TEST(PlanCompilerDifferential, TabularGraphWithFallbackBitIdentical) {
+  RegressionConfig cfg;
+  cfg.n_samples = 140;
+  cfg.n_features = 5;
+  cfg.n_informative = 4;
+  cfg.noise_stddev = 0.1;
+  const Dataset data = make_regression(cfg);
+
+  TEGraph graph;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  graph.add_feature_scalers(std::move(scalers));
+  std::vector<StageOption> reducers;
+  auto pca = std::make_unique<PCA>();
+  pca->set_param("n_components", std::int64_t{3});
+  reducers.push_back(make_option(std::move(pca)));
+  reducers.push_back(make_option(std::make_unique<MinMaxScaler>()));
+  graph.add_stage("reduce", std::move(reducers));
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LinearRegression>());
+  models.push_back(std::make_unique<DecisionTreeRegressor>());
+  graph.add_regression_models(std::move(models));
+
+  const auto run = [&](bool compile_plans) {
+    EvalOptions options;
+    options.metric = Metric::kRmse;
+    options.compile_plans = compile_plans;
+    GraphEvaluator evaluator(options);
+    return evaluator.evaluate(graph, data, KFold(4));
+  };
+  const auto interpreted = run(false);
+  const auto fused = run(true);
+  for (const auto& r : interpreted.results) {
+    EXPECT_FALSE(r.failed) << r.spec << ": " << r.failure_message;
+  }
+  expect_reports_identical(interpreted, fused);
+}
+
+// The eval.plan.* metric family: a compilation containing an unfusable
+// stage counts it as fallback, fusable stages as fused, and exactly one
+// compilation tick.
+TEST(PlanCompilerMetrics, CompileCountsFusedAndFallbackStages) {
+  const auto& compiled = obs::counter("eval.plan.compiled");
+  const auto& fused = obs::counter("eval.plan.fused_stages");
+  const auto& fallback = obs::counter("eval.plan.fallback");
+
+  Pipeline mixed;
+  mixed.add_transformer(std::make_unique<StandardScaler>());
+  auto pca = std::make_unique<PCA>();
+  pca->set_param("n_components", std::int64_t{2});
+  mixed.add_transformer(std::move(pca));
+  mixed.add_transformer(std::make_unique<MinMaxScaler>());
+  mixed.set_estimator(std::make_unique<LinearRegression>());
+
+  const std::uint64_t compiled0 = compiled.value();
+  const std::uint64_t fused0 = fused.value();
+  const std::uint64_t fallback0 = fallback.value();
+  const auto plan = compile_tabular_plan(mixed);
+  EXPECT_EQ(compiled.value() - compiled0, 1u);
+  EXPECT_EQ(fused.value() - fused0, 2u);
+  EXPECT_EQ(fallback.value() - fallback0, 1u);
+  ASSERT_EQ(plan->stages.size(), 3u);
+  EXPECT_TRUE(plan->stages[0].fused);
+  EXPECT_FALSE(plan->stages[1].fused);
+  EXPECT_TRUE(plan->stages[2].fused);
+}
+
+// Forecast lowering boundary conditions (forecast_plan.h): both stages
+// fuse for lowerable scaler + windower; the as-is feed trivially fuses
+// the scaler (its transform is dead code there).
+TEST(PlanCompilerMetrics, ForecastLoweringBoundaries) {
+  ForecastSpec spec;
+  spec.history = 8;
+
+  ForecastPipeline full(std::make_unique<MinMaxScaler>(),
+                        std::make_unique<CascadedWindows>(),
+                        std::make_unique<ts::ZeroModel>(), spec);
+  auto plan = CompiledForecastPlan::compile(full);
+  EXPECT_TRUE(plan->scaler_fused());
+  EXPECT_EQ(plan->lowering(), ts::WindowLowering::kHistory);
+
+  ForecastPipeline asis(std::make_unique<RobustScaler>(),
+                        std::make_unique<TsAsIs>(),
+                        std::make_unique<ts::ZeroModel>(), spec);
+  plan = CompiledForecastPlan::compile(asis);
+  EXPECT_TRUE(plan->scaler_fused());
+  EXPECT_EQ(plan->lowering(), ts::WindowLowering::kAsIs);
+}
+
+// The virtual fit must reproduce the interpreted fit's statistics exactly:
+// fitting scaler B on A's materialized output vs computing B's affine on
+// the virtual chain view yields the same shift/div bit for bit.
+TEST(PlanCompilerVirtualFit, MatchesMaterializedFit) {
+  RegressionConfig cfg;
+  cfg.n_samples = 90;
+  cfg.n_features = 4;
+  cfg.n_informative = 3;
+  const Dataset data = make_regression(cfg);
+
+  StandardScaler first;
+  first.fit(data.X, data.y);
+  const Matrix stage1 = first.transform(data.X);
+
+  FusedChain chain;
+  chain.stages.push_back(lower_scaler(first));
+
+  const std::vector<std::unique_ptr<Transformer>> seconds = [] {
+    std::vector<std::unique_ptr<Transformer>> v;
+    v.push_back(std::make_unique<StandardScaler>());
+    v.push_back(std::make_unique<MinMaxScaler>());
+    v.push_back(std::make_unique<RobustScaler>());
+    return v;
+  }();
+  for (const auto& proto : seconds) {
+    SCOPED_TRACE(proto->name());
+    auto fitted = proto->clone();
+    static_cast<Transformer&>(*fitted).fit(stage1, data.y);
+    const FusedAffine direct =
+        lower_scaler(static_cast<const Transformer&>(*fitted));
+    const FusedAffine virt =
+        fit_affine_virtual(*proto, data.X, chain);
+    ASSERT_EQ(direct.shift.size(), virt.shift.size());
+    for (std::size_t c = 0; c < direct.shift.size(); ++c) {
+      EXPECT_EQ(direct.shift[c], virt.shift[c]) << "shift col " << c;
+      EXPECT_EQ(direct.div[c], virt.div[c]) << "div col " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coda

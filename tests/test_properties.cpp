@@ -6,11 +6,15 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/core/evaluator.h"
 #include "src/core/metrics.h"
 #include "src/core/te_graph.h"
+#include "src/data/synthetic.h"
 #include "src/dist/delta.h"
 #include "src/ml/linear.h"
+#include "src/ml/pca.h"
 #include "src/ml/scalers.h"
+#include "src/obs/obs.h"
 #include "src/util/error.h"
 #include "src/util/random.h"
 #include "src/util/retry.h"
@@ -391,6 +395,183 @@ TEST(DeltaProperties, HugeDeclaredSizesDoNotPreallocate) {
   // empty remainder — rejected before ops.reserve().
   const Bytes bogus(4 * sizeof(std::uint64_t), 0xFF);
   EXPECT_THROW(dist::Delta::deserialize(bogus), DecodeError);
+}
+
+// --- Randomized TE-Graphs: fused == interpreted (DESIGN.md §14) --------------
+
+/// Deliberately has no fused lowering: the plan compiler recognizes
+/// components by type, so even though centering is affine, this custom
+/// transformer must fall back to interpreted execution.
+class CenteringTransformer final : public Transformer {
+ public:
+  CenteringTransformer() : Transformer("centering") {}
+
+  void fit(const Matrix& X, const std::vector<double>&) override {
+    means_ = X.col_means();
+  }
+
+  Matrix transform(const Matrix& X) const override {
+    Matrix out = X;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        out(r, c) -= means_[c];
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Component> clone() const override {
+    return std::make_unique<CenteringTransformer>(*this);
+  }
+
+ private:
+  std::vector<double> means_;
+};
+
+/// One seeded option: kinds 0-3 lower to fused affines, 4-5 are fallback.
+std::unique_ptr<Transformer> seeded_transformer(std::uint64_t r,
+                                                bool* fusable) {
+  const std::uint64_t kind = r % 6;
+  *fusable = kind < 4;
+  std::unique_ptr<Transformer> t;
+  switch (kind) {
+    case 0: t = std::make_unique<StandardScaler>(); break;
+    case 1: t = std::make_unique<MinMaxScaler>(); break;
+    case 2: t = std::make_unique<RobustScaler>(); break;
+    case 3: t = std::make_unique<NoOp>(); break;
+    case 4: {
+      auto pca = std::make_unique<PCA>();
+      pca->set_param("n_components", std::int64_t{2});
+      t = std::move(pca);
+      break;
+    }
+    default: t = std::make_unique<CenteringTransformer>(); break;
+  }
+  return t;
+}
+
+/// Seeded random graph: 1-3 transformer stages x 1-3 options each, 1-2
+/// estimators. Also reports, per transformer stage x option, whether that
+/// option lowers (to predict the eval.plan.* counts exactly).
+TEGraph seeded_graph(std::uint64_t seed,
+                     std::vector<std::vector<bool>>* stage_fusable) {
+  TEGraph g;
+  stage_fusable->clear();
+  const std::size_t depth = 1 + mix64(seed) % 3;
+  std::size_t node_id = 0;
+  for (std::size_t s = 0; s < depth; ++s) {
+    const std::size_t width = 1 + mix64(seed ^ (s + 11)) % 3;
+    std::vector<StageOption> options;
+    std::vector<bool> fusable_row;
+    for (std::size_t o = 0; o < width; ++o) {
+      bool fusable = false;
+      auto t = seeded_transformer(mix64(seed ^ (s * 17 + o + 31)), &fusable);
+      t->set_name("t" + std::to_string(node_id++) + "_" + t->name());
+      fusable_row.push_back(fusable);
+      options.push_back(make_option(std::move(t)));
+    }
+    stage_fusable->push_back(std::move(fusable_row));
+    g.add_stage("stage" + std::to_string(s), std::move(options));
+  }
+  std::vector<StageOption> models;
+  const std::size_t n_models = 1 + mix64(seed ^ 97) % 2;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    auto model = std::make_unique<LinearRegression>();
+    model->set_name("m" + std::to_string(m));
+    models.push_back(make_option(std::move(model)));
+  }
+  g.add_stage("model", std::move(models));
+  return g;
+}
+
+TEST(RandomGraphProperties, FusedEqualsInterpretedAcrossSeeds) {
+  RegressionConfig cfg;
+  cfg.n_samples = 90;
+  cfg.n_features = 5;
+  cfg.n_informative = 4;
+  cfg.noise_stddev = 0.1;
+  const Dataset data = make_regression(cfg);
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::vector<std::vector<bool>> fusable;
+    const TEGraph g = seeded_graph(seed, &fusable);
+
+    const auto run = [&](bool compile_plans) {
+      EvalOptions options;
+      options.metric = Metric::kRmse;
+      options.compile_plans = compile_plans;
+      GraphEvaluator evaluator(options);
+      return evaluator.evaluate(g, data, KFold(3));
+    };
+    const auto interpreted = run(false);
+    const auto fused = run(true);
+    ASSERT_EQ(interpreted.results.size(), fused.results.size());
+    for (std::size_t i = 0; i < interpreted.results.size(); ++i) {
+      const auto& a = interpreted.results[i];
+      const auto& b = fused.results[i];
+      SCOPED_TRACE(a.spec);
+      EXPECT_EQ(a.spec, b.spec);
+      EXPECT_EQ(a.failed, b.failed);
+      ASSERT_EQ(a.fold_scores.size(), b.fold_scores.size());
+      for (std::size_t f = 0; f < a.fold_scores.size(); ++f) {
+        EXPECT_EQ(a.fold_scores[f], b.fold_scores[f]) << "fold " << f;
+      }
+    }
+    EXPECT_EQ(interpreted.best().spec, fused.best().spec);
+  }
+}
+
+TEST(RandomGraphProperties, FallbackStagesCountedExactly) {
+  RegressionConfig cfg;
+  cfg.n_samples = 70;
+  cfg.n_features = 5;
+  cfg.n_informative = 4;
+  const Dataset data = make_regression(cfg);
+
+  const auto& compiled = obs::counter("eval.plan.compiled");
+  const auto& fused_stages = obs::counter("eval.plan.fused_stages");
+  const auto& fallback = obs::counter("eval.plan.fallback");
+
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::vector<std::vector<bool>> fusable;
+    const TEGraph g = seeded_graph(seed, &fusable);
+
+    // One plan per distinct transformer chain (estimators are not part of
+    // the plan); stages are fully connected, so the chains are the
+    // cartesian product of the transformer stages.
+    std::uint64_t expect_plans = 1;
+    for (const auto& row : fusable) expect_plans *= row.size();
+    std::uint64_t expect_fused = 0, expect_fallback = 0;
+    for (std::size_t s = 0; s < fusable.size(); ++s) {
+      // Each option of stage s appears in (product of the other stages'
+      // widths) chains.
+      std::uint64_t siblings = 1;
+      for (std::size_t o = 0; o < fusable.size(); ++o) {
+        if (o != s) siblings *= fusable[o].size();
+      }
+      for (const bool f : fusable[s]) {
+        (f ? expect_fused : expect_fallback) += siblings;
+      }
+    }
+
+    EvalOptions options;
+    options.metric = Metric::kRmse;
+    options.compile_plans = true;
+    options.threads = 1;  // deterministic compile counts (no racing misses)
+    const std::uint64_t compiled0 = compiled.value();
+    const std::uint64_t fused0 = fused_stages.value();
+    const std::uint64_t fallback0 = fallback.value();
+    GraphEvaluator evaluator(options);
+    const auto report = evaluator.evaluate(g, data, KFold(3));
+    for (const auto& r : report.results) {
+      EXPECT_FALSE(r.failed) << r.spec << ": " << r.failure_message;
+    }
+    EXPECT_EQ(compiled.value() - compiled0, expect_plans);
+    EXPECT_EQ(fused_stages.value() - fused0, expect_fused);
+    EXPECT_EQ(fallback.value() - fallback0, expect_fallback);
+  }
 }
 
 // --- Scaler idempotence -------------------------------------------------------

@@ -62,6 +62,16 @@ inline std::string& trace_dump_path() {
   return path;
 }
 
+inline bool& profile_dump_requested() {
+  static bool requested = false;
+  return requested;
+}
+
+inline std::string& profile_dump_path() {
+  static std::string path;
+  return path;
+}
+
 // --------------------------------------------------------------------------
 // --bench-json: every bench binary can persist a machine-readable baseline
 // (BENCH_<name>.json next to the cwd by default) holding its whole-run wall
@@ -145,13 +155,13 @@ inline void write_or_print(const std::string& payload,
 
 }  // namespace detail
 
-/// Consumes `--metrics-json[=path]`, `--trace-json[=path]` and
-/// `--bench-json[=path]` from argv before google-benchmark's own flag
-/// parsing (which rejects unknown flags). With no path, --metrics-json and
-/// --trace-json go to stdout after the benchmarks run; --bench-json
-/// defaults to BENCH_<name>.json where <name> is the binary's basename
-/// minus any "bench_" prefix. Also starts the whole-run wall clock used in
-/// the baseline file.
+/// Consumes `--metrics-json[=path]`, `--trace-json[=path]`,
+/// `--profile-folded[=path]` and `--bench-json[=path]` from argv before
+/// google-benchmark's own flag parsing (which rejects unknown flags). With
+/// no path, --metrics-json, --trace-json and --profile-folded go to stdout
+/// after the benchmarks run; --bench-json defaults to BENCH_<name>.json
+/// where <name> is the binary's basename minus any "bench_" prefix. Also
+/// starts the whole-run wall clock used in the baseline file.
 inline void strip_obs_flags(int* argc, char** argv) {
   // Derive the bench name from argv[0]: ".../bench_kernels" -> "kernels".
   std::string prog = argv[0] != nullptr ? argv[0] : "bench";
@@ -174,6 +184,12 @@ inline void strip_obs_flags(int* argc, char** argv) {
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       trace_dump_requested() = true;
       trace_dump_path() = arg.substr(std::string("--trace-json=").size());
+    } else if (arg == "--profile-folded") {
+      profile_dump_requested() = true;
+    } else if (arg.rfind("--profile-folded=", 0) == 0) {
+      profile_dump_requested() = true;
+      profile_dump_path() =
+          arg.substr(std::string("--profile-folded=").size());
     } else if (arg == "--bench-json") {
       bench_dump_requested() = true;
     } else if (arg.rfind("--bench-json=", 0) == 0) {
@@ -220,8 +236,8 @@ inline std::string bench_baseline_json() {
 
 }  // namespace detail
 
-/// Emits whatever `--metrics-json` / `--trace-json` / `--bench-json`
-/// requested.
+/// Emits whatever `--metrics-json` / `--trace-json` / `--profile-folded` /
+/// `--bench-json` requested.
 inline void dump_obs_if_requested() {
   if (metrics_dump_requested()) {
     detail::write_or_print(coda::obs::snapshot_json(), metrics_dump_path(),
@@ -230,6 +246,12 @@ inline void dump_obs_if_requested() {
   if (trace_dump_requested()) {
     detail::write_or_print(coda::obs::export_chrome_trace(),
                            trace_dump_path(), "trace");
+  }
+  if (profile_dump_requested()) {
+    // Folded-stack text (flamegraph.pl / speedscope input): one line per
+    // unique call path, "node;r1;r2 self_ns".
+    detail::write_or_print(coda::obs::prof::folded(), profile_dump_path(),
+                           "folded profile");
   }
   if (bench_dump_requested()) {
     std::string path = bench_dump_path();

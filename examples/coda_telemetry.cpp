@@ -2,10 +2,13 @@
 // search, then renders what the run's telemetry collector gathered — the
 // per-node metric shards every client shipped over SimNet as snapshot
 // deltas — as the `coda_telemetry` text view: fleet aggregates, tracked
-// series with rates and top-k nodes, and the declarative SLO verdicts.
+// series with rates and top-k nodes, the fleet hot-path table, and the
+// declarative SLO verdicts, followed by the process-local `coda_top`
+// profiler view (hottest regions by call count).
 //
 // Set CODA_METRICS_DUMP=1 to also emit the JSON snapshot (the same data
-// the --metrics-json bench flag exports).
+// the --metrics-json bench flag exports); CODA_PROFILE_DUMP=1 emits the
+// folded-stack profile.
 #include <cstdio>
 
 #include "src/darr/cooperative.h"
@@ -52,14 +55,27 @@ int main() {
       search_graph(), data, KFold(4), Metric::kRmse, /*n_clients=*/4);
 
   // Declarative SLOs, checked against the *collected* telemetry (which
-  // rode the simulated network), not the process-wide registry.
+  // rode the simulated network), not the process-wide registry. The
+  // executor-health checks (pool.*) fall back to the process-wide
+  // registry: pools are process-local, so their metrics never ride a
+  // node shard, but the SLO evaluator probes the registry for any metric
+  // absent from the fleet aggregate.
   auto& slos = obs::global_slos();
   slos.add("darr.repo.store count >= 9");
   slos.add("darr.client.hits value >= 1");
   slos.add("evaluator.claim.wait_seconds p99 < 30");
+  slos.add("pool.queue_wait_seconds p99 < 1");
+  slos.add("pool.utilization value <= 1");
   slos.bind_fleet(report.telemetry.get());
 
   std::printf("%s\n", obs::telemetry_dashboard(report.telemetry.get()).c_str());
+
+  // coda_top: the process-local profiler view — hottest regions by call
+  // count (deterministic for a fixed workload), with self/total time and
+  // derived kernel throughput. The fleet-wide counterpart is the
+  // "hot paths (fleet)" table in the dashboard above, reconstructed at
+  // the collector from published prof.* counters.
+  std::printf("%s\n", obs::prof::report().c_str());
 
   if (report.telemetry_divergence.empty()) {
     std::printf("fleet aggregate == global registry (every shipped family "

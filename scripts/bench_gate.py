@@ -21,8 +21,12 @@ freshly measured file against the committed one:
 Usage:
   bench_gate.py --pair fresh.json baseline.json [--pair ...]
                 [--tolerance 0.5] [--update-baselines]
-                [--require ENTRY ...]
+                [--require ENTRY ...] [--print-diff]
   bench_gate.py --self-test
+
+--print-diff renders every failing entry as a side-by-side table — the
+baseline value, the fresh value, and the tolerance that was applied — so a
+gate failure in CI is diagnosable from the log alone.
 
 --require ENTRY (repeatable) asserts that the named entry exists in both
 the fresh run and the baseline of at least one pair — the guard for
@@ -53,18 +57,35 @@ def entry_map(doc):
     return {e["name"]: e for e in doc.get("entries", [])}
 
 
-def compare_pair(fresh_doc, baseline_doc, tolerance):
-    """Returns a list of failure strings (empty = pass)."""
+def compare_pair(fresh_doc, baseline_doc, tolerance, diffs=None):
+    """Returns a list of failure strings (empty = pass).
+
+    When `diffs` is a list, every failing entry also appends a structured
+    row {name, field, baseline, current, tolerance} for --print-diff's
+    side-by-side rendering (missing/new entries use None for the absent
+    side).
+    """
     failures = []
     fresh = entry_map(fresh_doc)
     base = entry_map(baseline_doc)
 
+    def record_diff(name, field, baseline, current, entry_tolerance):
+        if diffs is not None:
+            diffs.append({"name": name, "field": field,
+                          "baseline": baseline, "current": current,
+                          "tolerance": entry_tolerance})
+
     for name in sorted(set(base) - set(fresh)):
         failures.append(f"entry '{name}' present in baseline but missing "
                         "from the fresh run")
+        record_diff(name, "wall_seconds",
+                    base[name].get("wall_seconds"), None,
+                    base[name].get("tolerance", tolerance))
     for name in sorted(set(fresh) - set(base)):
         failures.append(f"entry '{name}' is new (not in the baseline); "
                         "re-baseline with --update-baselines")
+        record_diff(name, "wall_seconds", None,
+                    fresh[name].get("wall_seconds"), tolerance)
 
     for name in sorted(set(fresh) & set(base)):
         f, b = fresh[name], base[name]
@@ -76,17 +97,20 @@ def compare_pair(fresh_doc, baseline_doc, tolerance):
                 failures.append(
                     f"exact entry '{name}': fresh {f.get('throughput')} != "
                     f"baseline {b.get('throughput')}")
+                record_diff(name, "throughput (exact)", b.get("throughput"),
+                            f.get("throughput"), 0.0)
             continue
-        failures.extend(check_regression(name, "wall_seconds",
-                                         f.get("wall_seconds", 0.0),
-                                         b.get("wall_seconds", 0.0),
-                                         entry_tolerance,
-                                         lower_is_better=True))
-        failures.extend(check_regression(name, "throughput",
-                                         f.get("throughput", 0.0),
-                                         b.get("throughput", 0.0),
-                                         entry_tolerance,
-                                         lower_is_better=False))
+        for field, lower_is_better in (("wall_seconds", True),
+                                       ("throughput", False)):
+            field_failures = check_regression(name, field,
+                                              f.get(field, 0.0),
+                                              b.get(field, 0.0),
+                                              entry_tolerance,
+                                              lower_is_better)
+            failures.extend(field_failures)
+            if field_failures:
+                record_diff(name, field, b.get(field), f.get(field),
+                            entry_tolerance)
     return failures
 
 
@@ -107,7 +131,29 @@ def check_regression(name, field, fresh, base, tolerance, lower_is_better):
     return []
 
 
-def run_pairs(pairs, tolerance, update, require=()):
+def format_diff_table(diffs):
+    """Side-by-side baseline-vs-current rows for failing entries
+    (--print-diff)."""
+    def cell(value):
+        if value is None:
+            return "(missing)"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    header = ("entry", "field", "baseline", "current", "tolerance")
+    rows = [(d["name"], d["field"], cell(d["baseline"]), cell(d["current"]),
+             f"{d['tolerance']:.0%}") for d in diffs]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines = ["  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  " + "  ".join("-" * w for w in widths)]
+    lines += ["  " + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    return "\n".join(lines)
+
+
+def run_pairs(pairs, tolerance, update, require=(), print_diff=False):
     any_failed = False
     fresh_names, base_names = set(), set()
     for fresh_path, baseline_path in pairs:
@@ -130,7 +176,8 @@ def run_pairs(pairs, tolerance, update, require=()):
             continue
         baseline_doc = load(baseline_path)
         base_names.update(entry_map(baseline_doc))
-        failures = compare_pair(fresh_doc, baseline_doc, tolerance)
+        diffs = [] if print_diff else None
+        failures = compare_pair(fresh_doc, baseline_doc, tolerance, diffs)
         if failures and update:
             shutil.copyfile(fresh_path, baseline_path)
             print(f"UPDATED {baseline_path} from {fresh_path} "
@@ -140,6 +187,8 @@ def run_pairs(pairs, tolerance, update, require=()):
             print(f"FAIL {fresh_path} vs {baseline_path}:")
             for failure in failures:
                 print(f"  - {failure}")
+            if diffs:
+                print(format_diff_table(diffs))
         else:
             print(f"OK   {fresh_path} vs {baseline_path}")
     for name in require:
@@ -204,6 +253,29 @@ def self_test():
     checks.append(("new entry caught",
                    compare_pair(doc([entry("a", 1.0)]), doc([]), 0.5) != []))
 
+    # --print-diff: failing entries produce side-by-side rows carrying the
+    # baseline and current values and the tolerance that was applied;
+    # passing entries produce none.
+    diffs = []
+    compare_pair(doc([entry("a", 1.2), entry("b", 1.0)]),
+                 doc([entry("a", 1.0), entry("b", 1.0)]), 0.15, diffs)
+    checks.append(("diff rows only for failures",
+                   [d["name"] for d in diffs] == ["a"]))
+    checks.append(("diff row carries both sides",
+                   diffs and diffs[0]["baseline"] == 1.0
+                   and diffs[0]["current"] == 1.2
+                   and diffs[0]["tolerance"] == 0.15))
+    rendered = format_diff_table(diffs) if diffs else ""
+    checks.append(("diff table renders both values",
+                   "baseline" in rendered and "1.2" in rendered
+                   and "15%" in rendered))
+    exact_diffs = []
+    compare_pair(doc([entry("n", 0.0, 15.0, exact=True)]),
+                 doc([entry("n", 0.0, 16.0, exact=True)]), 10.0, exact_diffs)
+    checks.append(("diff row for exact drift",
+                   [d["field"] for d in exact_diffs]
+                   == ["throughput (exact)"]))
+
     # End-to-end through files, including --update-baselines.
     with tempfile.TemporaryDirectory() as tmp:
         fresh_path = os.path.join(tmp, "fresh.json")
@@ -254,6 +326,10 @@ def main():
                         metavar="ENTRY",
                         help="entry name that must exist in the fresh runs "
                              "and baselines; repeatable")
+    parser.add_argument("--print-diff", action="store_true",
+                        help="on failure, print failing entries as a "
+                             "side-by-side baseline-vs-current table with "
+                             "the applied tolerance")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in comparison-logic checks")
     args = parser.parse_args()
@@ -263,7 +339,8 @@ def main():
     if not args.pair:
         parser.error("need at least one --pair (or --self-test)")
     sys.exit(run_pairs([tuple(p) for p in args.pair], args.tolerance,
-                       args.update_baselines, args.require))
+                       args.update_baselines, args.require,
+                       args.print_diff))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Profiler smoke gate (DESIGN.md §15): runs the Fig-2 cooperative-search
+# artifact with --profile-folded, then validates the export — it must be
+# non-empty, every line must be well-formed folded-stack text
+# ("frame;frame;... <self_ns>"), and the known root regions of a
+# cooperative search (eval.run, eval.candidate, darr.client ops) must
+# appear. Finally re-runs the pinned reset test to assert that
+# obs::prof::reset() leaves the profiler empty.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_fig2_darr_cooperation"
+TESTBIN="$BUILD_DIR/tests/test_profiler"
+if [[ ! -x "$BENCH" ]]; then
+  echo "profile_check: missing $BENCH (build first)" >&2
+  exit 1
+fi
+
+OUT="$(mktemp /tmp/coda_profile_XXXXXX.folded)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== profile check: $BENCH --profile-folded=$OUT =="
+"$BENCH" --profile-folded="$OUT" --benchmark_filter=__none__ >/dev/null
+
+if [[ ! -s "$OUT" ]]; then
+  echo "profile check: folded export is empty" >&2
+  exit 1
+fi
+
+python3 - "$OUT" <<'PYEOF'
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    lines = [line.rstrip("\n") for line in f if line.strip()]
+
+assert lines, "no folded stacks in export"
+
+well_formed = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+for line in lines:
+    assert well_formed.match(line), f"malformed folded line: {line!r}"
+
+roots = {line.split(" ")[0].split(";")[0] for line in lines}
+stacks = {line.rsplit(" ", 1)[0] for line in lines}
+
+# A cooperative search must profile the evaluation root and the DARR
+# client ops somewhere in the stack set (nodes prefix client stacks).
+joined = "\n".join(stacks)
+for needle in ("eval.run", "eval.candidate", "darr.client."):
+    assert needle in joined, f"expected region '{needle}' in folded stacks"
+
+print(f"profile check: {len(lines)} folded stacks, {len(roots)} root "
+      f"frame(s), known regions present")
+PYEOF
+
+# Reset contract: obs::prof::reset() must leave the profiler empty (no
+# paths, empty folded export) and keep regions usable afterwards.
+if [[ -x "$TESTBIN" ]]; then
+  "$TESTBIN" --gtest_filter='Profiler.ResetLeavesProfilerEmpty' \
+      --gtest_brief=1 >/dev/null
+  echo "profile check: reset leaves profiler empty"
+else
+  echo "profile check: missing $TESTBIN (build first)" >&2
+  exit 1
+fi
+
+echo "profile check OK"

@@ -29,11 +29,18 @@ ctest --test-dir build -L fleet --output-on-failure
 echo "== tier 1: Chrome trace export + span-tree invariants =="
 scripts/trace_check.sh build
 
-echo "== tier 1: chaos + plan-differential suites under ThreadSanitizer =="
+echo "== tier 1: folded-profile export + reset contract =="
+scripts/profile_check.sh build
+
+echo "== tier 1: chaos + plan-differential + profiler suites under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCODA_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target test_chaos test_plan_compiler
+cmake --build build-tsan -j"$(nproc)" \
+    --target test_chaos test_plan_compiler test_profiler
 ctest --test-dir build-tsan -L chaos --output-on-failure
 ctest --test-dir build-tsan -R '^test_plan_compiler$' --output-on-failure
+# The profiler's lock-free arenas and the pool/timerwheel instrumentation
+# get their data-race probe here (the submit storm in test_profiler).
+ctest --test-dir build-tsan -R '^test_profiler$' --output-on-failure
 
 echo "== tier 1: bench regression gate (scripts/bench_gate.py) =="
 python3 scripts/bench_gate.py --self-test
@@ -41,10 +48,17 @@ python3 scripts/bench_gate.py --self-test
 # micro benches are skipped via an unmatchable filter).
 build/bench/bench_fig2_darr_cooperation \
     --bench-json=build/BENCH_fig2.json --benchmark_filter='^$' >/dev/null
+# The fig-11 and fleet runs also drop their folded profiles next to the
+# fresh baselines (flamegraph.pl / speedscope input; always-on profiler,
+# DESIGN.md §15).
 build/bench/bench_fig11_ts_pipeline_graph \
-    --bench-json=build/BENCH_fig11.json --benchmark_filter='^$' >/dev/null
+    --bench-json=build/BENCH_fig11.json \
+    --profile-folded=build/PROF_fig11.folded --benchmark_filter='^$' \
+    >/dev/null
 build/bench/bench_fleet \
-    --bench-json=build/BENCH_fleet.json --benchmark_filter='^$' >/dev/null
+    --bench-json=build/BENCH_fleet.json \
+    --profile-folded=build/PROF_fleet.folded --benchmark_filter='^$' \
+    >/dev/null
 # 15% band on timings (so a >=20% regression of a committed baseline
 # fails); entries flagged "exact" must match bit-for-bit regardless, and
 # the fleet bench carries its own per-entry bands for the contention
@@ -52,7 +66,8 @@ build/bench/bench_fleet \
 # (512-client best-pipeline identity, zero redundant evaluations) and the
 # fig-11 fusion-ablation bit-identity check (DESIGN.md §14) so they
 # cannot be dropped or renamed out of the gate unnoticed.
-python3 scripts/bench_gate.py --tolerance 0.15 ${UPDATE_BASELINES} \
+python3 scripts/bench_gate.py --tolerance 0.15 --print-diff \
+    ${UPDATE_BASELINES} \
     --pair build/BENCH_fig2.json BENCH_fig2.json \
     --pair build/BENCH_fig11.json BENCH_fig11.json \
     --pair build/BENCH_fleet.json BENCH_fleet.json \

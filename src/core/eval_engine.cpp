@@ -29,6 +29,10 @@ PrefixCache::PrefixCache(std::size_t byte_budget) : budget_(byte_budget) {}
 
 std::shared_ptr<const void> PrefixCache::lookup(const std::string& key) {
   if (!enabled()) return nullptr;
+  // One region around the whole lookup (hit and miss paths alike): the
+  // profiler's determinism contract forbids regions inside miss-gated
+  // branches, whose interleaving is racy under a parallel pool.
+  PROF_SCOPE("eval.prefix.lookup");
   static auto& hit = obs::counter("eval.prefix_cache.hit");
   static auto& miss = obs::counter("eval.prefix_cache.miss");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -210,10 +214,20 @@ EvalEngine::EvalEngine(EvalOptions options) : options_(std::move(options)) {
   obs::counter("eval.candidate.cached");
   obs::counter("obs.trace.recorded");
   obs::counter("obs.trace.dropped");
+  obs::counter("prof.scopes");
+  obs::counter("pool.tasks");
+  obs::counter("timerwheel.scheduled");
+  obs::counter("timerwheel.fired");
   obs::gauge("eval.prefix_cache.bytes");
+  obs::gauge("pool.queue_depth");
+  obs::gauge("pool.utilization");
+  obs::gauge("timerwheel.outstanding");
   obs::histogram("evaluator.candidate.seconds");
   obs::histogram("evaluator.claim.wait_seconds");
   obs::histogram("cv.fold.seconds");
+  obs::histogram("pool.queue_wait_seconds");
+  obs::histogram("pool.task_seconds");
+  obs::histogram("timerwheel.fire_lag_seconds");
 }
 
 EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
@@ -221,6 +235,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
   require(!candidates.empty(), "EvalEngine: no candidates");
   require(n_folds > 0, "EvalEngine: need at least one fold");
   obs::ScopedSpan span("evaluator.evaluate");
+  PROF_SCOPE("eval.run");
   // Captured for pool/wheel tasks: thread-local parenting does not cross a
   // submit(), so every task re-installs the root context (and the node
   // attribution of the simulated client driving this run) via ContextScope.
@@ -259,6 +274,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
   std::vector<char> done(n, 0);
   std::size_t remaining = n;
   if (coop.cooperative()) {
+    PROF_SCOPE("eval.sweep");
     std::vector<std::string> keys;
     keys.reserve(n);
     for (const auto& c : candidates) keys.push_back(c.key);
@@ -403,6 +419,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
       // A sibling fold already failed the candidate: skip the work, just
       // balance the countdown.
       if (!s.failed.load(std::memory_order_acquire)) {
+        PROF_SCOPE("eval.fold");
         obs::ScopedSpan fold_span("evaluator.fold");
         fold_span.tag("path", candidates[i].spec);
         fold_span.tag("fold", std::to_string(fold));
@@ -446,6 +463,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
       // One span per scheduling attempt, parented under the run's root via
       // the ContextScope the submitting task installed. Cooperative calls
       // and fold tasks all descend from it.
+      PROF_SCOPE("eval.candidate");
       obs::ScopedSpan attempt_span("evaluator.candidate");
       attempt_span.tag("path", candidates[i].spec);
       if (retry) attempt_span.tag("retry", "1");
@@ -462,6 +480,8 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
               s.claim_wait = wait;
             }
             obs::observe_scoped("evaluator.claim.wait_seconds", wait);
+            obs::CandidateCosts::instance().record_claim_wait(
+                candidates[i].spec, wait);
             report.results[i].claim_wait_seconds = wait;
             serve(i, *hit, /*eval_seconds=*/0.0);
             complete(i);
@@ -522,6 +542,8 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
         }
         if (s.claim_wait > 0.0) {
           obs::observe_scoped("evaluator.claim.wait_seconds", s.claim_wait);
+          obs::CandidateCosts::instance().record_claim_wait(
+              candidates[i].spec, s.claim_wait);
         }
       }
       // Fan out: one task per fold, so a slow candidate's folds spread over

@@ -135,29 +135,47 @@ double score_tabular_fold(const TEGraph& graph,
   const Matrix* test_X = &fold_data.test.X;
   std::shared_ptr<const Transformed> held;  // keeps *train_X/*test_X alive
   std::string prefix_key = "tab|f" + std::to_string(fold);
-  for (std::size_t t = 0; t < pipeline.n_transformers(); ++t) {
-    prefix_key += "|" + pipeline.transformer(t).spec();
-    std::shared_ptr<const Transformed> stage =
-        prefixes.get<Transformed>(prefix_key);
-    if (stage == nullptr) {
-      Transformer& tr = pipeline.transformer(t);
-      tr.fit(*train_X, fold_data.train.y);
-      auto computed = std::make_shared<Transformed>(tr.transform(*train_X),
-                                                    tr.transform(*test_X));
-      // Inserted only after the full stage fit+transform succeeded — a
-      // throwing candidate leaves no partial entry behind.
-      prefixes.insert(prefix_key, computed,
-                      matrix_bytes(computed->first) +
-                          matrix_bytes(computed->second));
-      stage = std::move(computed);
+  {
+    // Phase attribution (ISSUE 9): each phase is one region around the
+    // whole lookup-or-compute block (hit and miss paths alike, per the
+    // profiler determinism rules) plus a CandidateCosts charge.
+    PROF_SCOPE("eval.fold.prepare");
+    Stopwatch prepare_timer;
+    for (std::size_t t = 0; t < pipeline.n_transformers(); ++t) {
+      prefix_key += "|" + pipeline.transformer(t).spec();
+      std::shared_ptr<const Transformed> stage =
+          prefixes.get<Transformed>(prefix_key);
+      if (stage == nullptr) {
+        Transformer& tr = pipeline.transformer(t);
+        tr.fit(*train_X, fold_data.train.y);
+        auto computed = std::make_shared<Transformed>(tr.transform(*train_X),
+                                                      tr.transform(*test_X));
+        // Inserted only after the full stage fit+transform succeeded — a
+        // throwing candidate leaves no partial entry behind.
+        prefixes.insert(prefix_key, computed,
+                        matrix_bytes(computed->first) +
+                            matrix_bytes(computed->second));
+        stage = std::move(computed);
+      }
+      held = std::move(stage);
+      train_X = &held->first;
+      test_X = &held->second;
     }
-    held = std::move(stage);
-    train_X = &held->first;
-    test_X = &held->second;
+    obs::phase_event(obs::Phase::kPrepare, prepare_timer.elapsed_seconds());
   }
   Estimator& estimator = pipeline.estimator();
-  estimator.fit(*train_X, fold_data.train.y);
-  return score(metric, fold_data.test.y, estimator.predict(*test_X));
+  {
+    PROF_SCOPE("eval.fold.fit");
+    Stopwatch fit_timer;
+    estimator.fit(*train_X, fold_data.train.y);
+    obs::phase_event(obs::Phase::kFit, fit_timer.elapsed_seconds());
+  }
+  PROF_SCOPE("eval.fold.score");
+  Stopwatch score_timer;
+  const double result =
+      score(metric, fold_data.test.y, estimator.predict(*test_X));
+  obs::phase_event(obs::Phase::kScore, score_timer.elapsed_seconds());
+  return result;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "src/ml/scalers.h"
 #include "src/obs/obs.h"
+#include "src/util/stopwatch.h"
 
 namespace coda {
 namespace {
@@ -191,62 +192,79 @@ double execute_tabular_plan(const CompiledTabularPlan& plan,
   // one interpreted stage. Each segment ends at a materialized boundary,
   // which is the memoized unit (interpreted execution memoizes per stage;
   // fused segments have no per-stage output to share).
-  std::size_t t = 0;
-  const std::size_t n = plan.stages.size();
-  while (t < n) {
-    std::size_t run_end = t;
-    while (run_end < n && plan.stages[run_end].fused) ++run_end;
-    const bool has_fallback = run_end < n;
-    const std::size_t seg_end = has_fallback ? run_end + 1 : run_end;
-    for (std::size_t u = t; u < seg_end; ++u) {
-      key += "|" + plan.stages[u].spec;
-    }
-    std::shared_ptr<const Transformed> boundary =
-        prefixes.get<Transformed>(key);
-    if (boundary == nullptr) {
-      FusedChain chain;
-      chain.stages.reserve(run_end - t);
-      for (std::size_t u = t; u < run_end; ++u) {
-        chain.stages.push_back(
-            fit_affine_virtual(pipeline.transformer(u), *cur_train, chain));
+  // Phase attribution (ISSUE 9): the whole segment walk is the "prepare"
+  // phase — one region around lookups and computes alike, per the
+  // profiler determinism rules.
+  {
+    PROF_SCOPE("eval.fold.prepare");
+    Stopwatch prepare_timer;
+    std::size_t t = 0;
+    const std::size_t n = plan.stages.size();
+    while (t < n) {
+      std::size_t run_end = t;
+      while (run_end < n && plan.stages[run_end].fused) ++run_end;
+      const bool has_fallback = run_end < n;
+      const std::size_t seg_end = has_fallback ? run_end + 1 : run_end;
+      for (std::size_t u = t; u < seg_end; ++u) {
+        key += "|" + plan.stages[u].spec;
       }
-      Matrix seg_train;
-      Matrix seg_test;
-      if (has_fallback) {
-        Transformer& tr = pipeline.transformer(run_end);
-        if (chain.empty()) {
-          tr.fit(*cur_train, train_y);
-          seg_train = tr.transform(*cur_train);
-          seg_test = tr.transform(*cur_test);
-        } else {
-          const Matrix mat_train = apply_chain(chain, *cur_train);
-          const Matrix mat_test = apply_chain(chain, *cur_test);
-          tr.fit(mat_train, train_y);
-          seg_train = tr.transform(mat_train);
-          seg_test = tr.transform(mat_test);
+      std::shared_ptr<const Transformed> boundary =
+          prefixes.get<Transformed>(key);
+      if (boundary == nullptr) {
+        FusedChain chain;
+        chain.stages.reserve(run_end - t);
+        for (std::size_t u = t; u < run_end; ++u) {
+          chain.stages.push_back(
+              fit_affine_virtual(pipeline.transformer(u), *cur_train, chain));
         }
-      } else {
-        seg_train = apply_chain(chain, *cur_train);
-        seg_test = apply_chain(chain, *cur_test);
+        Matrix seg_train;
+        Matrix seg_test;
+        if (has_fallback) {
+          Transformer& tr = pipeline.transformer(run_end);
+          if (chain.empty()) {
+            tr.fit(*cur_train, train_y);
+            seg_train = tr.transform(*cur_train);
+            seg_test = tr.transform(*cur_test);
+          } else {
+            const Matrix mat_train = apply_chain(chain, *cur_train);
+            const Matrix mat_test = apply_chain(chain, *cur_test);
+            tr.fit(mat_train, train_y);
+            seg_train = tr.transform(mat_train);
+            seg_test = tr.transform(mat_test);
+          }
+        } else {
+          seg_train = apply_chain(chain, *cur_train);
+          seg_test = apply_chain(chain, *cur_test);
+        }
+        auto computed = std::make_shared<Transformed>(std::move(seg_train),
+                                                      std::move(seg_test));
+        // Inserted only after the whole segment succeeded — a throwing stage
+        // leaves no partial entry behind (same rule as the interpreted path).
+        prefixes.insert(key, computed,
+                        matrix_bytes(computed->first) +
+                            matrix_bytes(computed->second));
+        boundary = std::move(computed);
       }
-      auto computed = std::make_shared<Transformed>(std::move(seg_train),
-                                                    std::move(seg_test));
-      // Inserted only after the whole segment succeeded — a throwing stage
-      // leaves no partial entry behind (same rule as the interpreted path).
-      prefixes.insert(key, computed,
-                      matrix_bytes(computed->first) +
-                          matrix_bytes(computed->second));
-      boundary = std::move(computed);
+      held = std::move(boundary);
+      cur_train = &held->first;
+      cur_test = &held->second;
+      t = seg_end;
     }
-    held = std::move(boundary);
-    cur_train = &held->first;
-    cur_test = &held->second;
-    t = seg_end;
+    obs::phase_event(obs::Phase::kPrepare, prepare_timer.elapsed_seconds());
   }
 
   Estimator& estimator = pipeline.estimator();
-  estimator.fit(*cur_train, train_y);
-  return score(metric, test_y, estimator.predict(*cur_test));
+  {
+    PROF_SCOPE("eval.fold.fit");
+    Stopwatch fit_timer;
+    estimator.fit(*cur_train, train_y);
+    obs::phase_event(obs::Phase::kFit, fit_timer.elapsed_seconds());
+  }
+  PROF_SCOPE("eval.fold.score");
+  Stopwatch score_timer;
+  const double result = score(metric, test_y, estimator.predict(*cur_test));
+  obs::phase_event(obs::Phase::kScore, score_timer.elapsed_seconds());
+  return result;
 }
 
 }  // namespace coda

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/util/error.h"
 
@@ -87,6 +88,7 @@ void DarrClient::untrack_claim(const std::string& key) {
 }
 
 std::optional<CachedResult> DarrClient::fetch(const std::string& key) {
+  PROF_SCOPE("darr.client.fetch");
   obs::ScopedSpan op_span("darr.client.lookup");
   Wire wire;
   const auto record = store_->fetch(key, wire);
@@ -104,6 +106,7 @@ std::optional<CachedResult> DarrClient::fetch(const std::string& key) {
 std::vector<std::optional<CachedResult>> DarrClient::fetch_many(
     const std::vector<std::string>& keys) {
   if (keys.empty()) return {};
+  PROF_SCOPE("darr.client.fetch_many");
   obs::ScopedSpan op_span("darr.client.lookup_many");
   op_span.tag("keys", std::to_string(keys.size()));
   Wire wire;
@@ -128,6 +131,7 @@ std::vector<std::optional<CachedResult>> DarrClient::fetch_many(
 }
 
 bool DarrClient::claim(const std::string& key) {
+  PROF_SCOPE("darr.client.claim");
   obs::ScopedSpan op_span("darr.client.try_claim");
   Wire wire;
   bool granted = false;
@@ -159,6 +163,7 @@ void DarrClient::put(const std::string& key, const CachedResult& result) {
   record.fold_scores = result.fold_scores;
   record.explanation = result.explanation;
   record.producer = name_;
+  PROF_SCOPE("darr.client.put");
   obs::ScopedSpan op_span("darr.client.store");
   Wire wire;
   try {
@@ -175,6 +180,7 @@ void DarrClient::put(const std::string& key, const CachedResult& result) {
 }
 
 void DarrClient::release(const std::string& key) {
+  PROF_SCOPE("darr.client.release");
   obs::ScopedSpan op_span("darr.client.abandon");
   Wire wire;
   try {

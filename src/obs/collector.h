@@ -62,6 +62,21 @@ class TelemetryCollector {
   std::vector<std::pair<std::string, double>> top_k(const std::string& metric,
                                                     std::size_t k) const;
 
+  /// One row of the fleet hot-path table: a profiled region summed over
+  /// every reporting node, reconstructed from the published
+  /// prof.<region>.calls / prof.<region>.self_ns counters (ISSUE 9).
+  struct HotPath {
+    std::string region;
+    std::uint64_t calls = 0;
+    double self_seconds = 0.0;
+  };
+
+  /// Top `k` profiled regions in the fleet aggregate, ranked by
+  /// (calls desc, region asc) — the profiler's deterministic hot-path
+  /// ordering; self time is informational, never the sort key. Empty when
+  /// no node has published profile counters.
+  std::vector<HotPath> hot_paths(std::size_t k) const;
+
   /// "" when the fleet aggregate reproduces `expected` (same keys, equal
   /// integer state bit-for-bit, float state within `epsilon`); otherwise a
   /// human-readable description of the first few divergences. Only keys

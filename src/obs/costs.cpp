@@ -38,6 +38,29 @@ void CandidateCosts::record_prefix(const std::string& path, bool hit) {
   }
 }
 
+void CandidateCosts::record_phase(const std::string& path, Phase phase,
+                                  double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CandidateCost& row = table_[path];
+  switch (phase) {
+    case Phase::kPrepare:
+      row.prepare_seconds += seconds;
+      break;
+    case Phase::kFit:
+      row.fit_seconds += seconds;
+      break;
+    case Phase::kScore:
+      row.score_seconds += seconds;
+      break;
+  }
+}
+
+void CandidateCosts::record_claim_wait(const std::string& path,
+                                       double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  table_[path].claim_wait_seconds += seconds;
+}
+
 std::map<std::string, CandidateCost> CandidateCosts::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return table_;
@@ -62,6 +85,11 @@ const std::string& current_candidate() { return t_current_candidate; }
 void prefix_event(bool hit) {
   if (t_current_candidate.empty()) return;
   CandidateCosts::instance().record_prefix(t_current_candidate, hit);
+}
+
+void phase_event(Phase phase, double seconds) {
+  if (t_current_candidate.empty()) return;
+  CandidateCosts::instance().record_phase(t_current_candidate, phase, seconds);
 }
 
 }  // namespace coda::obs

@@ -24,7 +24,18 @@ struct CandidateCost {
   std::uint64_t prefix_hits = 0;   ///< prefix-cache hits while attributed
   std::uint64_t prefix_misses = 0;
   std::uint64_t cached = 0;  ///< times served from the cooperative cache
+  // Phase breakdown (ISSUE 9): where a candidate's wall time went —
+  // transform preparation, model fitting, scoring, and waiting on a
+  // concurrent peer's claim. prepare+fit+score ≈ fold_seconds (each fold
+  // reports its phases and its total independently).
+  double prepare_seconds = 0.0;     ///< data/transform preparation
+  double fit_seconds = 0.0;         ///< model fitting
+  double score_seconds = 0.0;       ///< predict + metric scoring
+  double claim_wait_seconds = 0.0;  ///< waiting on another client's claim
 };
+
+/// A fold phase charged via the ambient candidate attribution.
+enum class Phase : std::uint8_t { kPrepare = 0, kFit = 1, kScore = 2 };
 
 /// Process-wide candidate cost table.
 class CandidateCosts {
@@ -34,6 +45,8 @@ class CandidateCosts {
   void record_fold(const std::string& path, double seconds);
   void record_cached(const std::string& path);
   void record_prefix(const std::string& path, bool hit);
+  void record_phase(const std::string& path, Phase phase, double seconds);
+  void record_claim_wait(const std::string& path, double seconds);
 
   /// Copy of the table, keyed (and therefore sorted) by path.
   std::map<std::string, CandidateCost> snapshot() const;
@@ -65,5 +78,10 @@ const std::string& current_candidate();
 /// Charges a prefix-cache hit/miss to the ambient candidate (no-op when
 /// unattributed).
 void prefix_event(bool hit);
+
+/// Charges `seconds` of a fold phase to the ambient candidate (no-op when
+/// unattributed). Score paths wrap their prepare/fit/score blocks with a
+/// Stopwatch and report here, alongside the PROF_SCOPE region.
+void phase_event(Phase phase, double seconds);
 
 }  // namespace coda::obs

@@ -95,7 +95,12 @@ std::string snapshot_json(std::size_t max_spans) {
         << ",\"fold_seconds\":" << json_number(cost.fold_seconds)
         << ",\"prefix_hits\":" << cost.prefix_hits
         << ",\"prefix_misses\":" << cost.prefix_misses
-        << ",\"cached\":" << cost.cached << '}';
+        << ",\"cached\":" << cost.cached
+        << ",\"prepare_seconds\":" << json_number(cost.prepare_seconds)
+        << ",\"fit_seconds\":" << json_number(cost.fit_seconds)
+        << ",\"score_seconds\":" << json_number(cost.score_seconds)
+        << ",\"claim_wait_seconds\":" << json_number(cost.claim_wait_seconds)
+        << '}';
   }
   out << "},\"events\":{\"recorded\":" << EventLog::instance().recorded()
       << ",\"dropped\":" << EventLog::instance().dropped()
@@ -213,7 +218,11 @@ std::string dump() {
         << " fold_seconds=" << json_number(cost.fold_seconds)
         << " prefix_hits=" << cost.prefix_hits
         << " prefix_misses=" << cost.prefix_misses
-        << " cached=" << cost.cached << '\n';
+        << " cached=" << cost.cached
+        << " prepare=" << json_number(cost.prepare_seconds)
+        << " fit=" << json_number(cost.fit_seconds)
+        << " score=" << json_number(cost.score_seconds)
+        << " claim_wait=" << json_number(cost.claim_wait_seconds) << '\n';
   }
   out << "== spans ==\n  recorded=" << tracer.recorded()
       << " dropped=" << tracer.dropped() << '\n'
@@ -226,6 +235,8 @@ void dump_if_env() {
   env_dump("CODA_METRICS_DUMP", "coda metrics snapshot",
            [] { return snapshot_json(); });
   trace_dump_if_env();
+  env_dump("CODA_PROFILE_DUMP", "coda folded profile",
+           [] { return prof::folded(); });
 }
 
 void trace_dump_if_env() {
@@ -240,6 +251,7 @@ void reset_all() {
   Tracer::instance().clear();
   EventLog::instance().clear();
   CandidateCosts::instance().reset();
+  prof::reset();
   global_slos().clear();
 }
 

@@ -51,6 +51,11 @@ double quantile_from_buckets(const std::vector<double>& bounds,
 }
 
 double Histogram::quantile(double q) const {
+  // Empty histogram: defined to return 0.0, explicitly, not NaN — an SLO
+  // check like "p99 < 0.1" must stay monotone-safe before the first
+  // observation, and NaN comparisons silently evaluate false. Pinned by
+  // Histogram.EmptyQuantileIsZero.
+  if (count() == 0) return 0.0;
   // Snapshot the bucket counts once so the rank and the cumulative walk
   // agree even while other threads are observing.
   std::vector<std::uint64_t> counts(buckets_.size());

@@ -88,7 +88,10 @@ class Histogram {
   /// Estimated q-quantile (0 <= q <= 1) by linear interpolation within the
   /// bucket that crosses rank q*count. Assumes non-negative observations
   /// (bucket 0 interpolates from 0); ranks landing in the +inf overflow
-  /// bucket clamp to the largest finite bound. Returns 0 when empty.
+  /// bucket clamp to the largest finite bound.
+  /// An EMPTY histogram (count() == 0) returns 0.0 by contract — never
+  /// NaN, so threshold comparisons (SLO specs) stay well-defined before
+  /// the first observation. Guarded explicitly and pinned by a test.
   /// A live snapshot under concurrent observes is approximate.
   double quantile(double q) const;
 

@@ -1,7 +1,8 @@
 // Umbrella header for the observability subsystem: the metrics registry,
 // the span tracer, the flight recorder, per-candidate cost attribution,
-// and the exporters. See README.md for the metric-name table and
-// DESIGN.md §10 for context propagation and the dual-clock model.
+// the region profiler, and the exporters. See README.md for the
+// metric-name table, DESIGN.md §10 for context propagation and the
+// dual-clock model, and DESIGN.md §15 for the profiler.
 #pragma once
 
 #include <string>
@@ -10,6 +11,7 @@
 #include "src/obs/costs.h"
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/slo.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
@@ -42,8 +44,10 @@ void write_chrome_trace(const std::string& path);
 /// Honours the CODA_METRICS_DUMP environment variable: unset/"0" = no-op,
 /// "1" = print snapshot_json() to stdout, anything else = write it to that
 /// path. Also honours CODA_TRACE_DUMP with the same semantics for
-/// export_chrome_trace(). Called at the end of example/bench mains so
-/// instrumented runs can export without code changes.
+/// export_chrome_trace(), and CODA_PROFILE_DUMP for the profiler's
+/// folded-stack export (prof::folded()). Called at the end of
+/// example/bench mains so instrumented runs can export without code
+/// changes.
 void dump_if_env();
 
 /// The CODA_TRACE_DUMP half of dump_if_env(), separately callable.
@@ -52,9 +56,10 @@ void trace_dump_if_env();
 /// Zeroes every metric (the process-wide registry AND every per-node
 /// MetricScope shard), rewinds the per-family instance-id sources, clears
 /// the tracer (spans, anchors, and span/trace id sources), the flight
-/// recorder, the candidate cost table, and the global SLO registry — full
-/// test isolation between seed-deterministic runs: two identical runs
-/// bracketed by reset_all() produce identical metrics output.
+/// recorder, the candidate cost table, the region profiler
+/// (prof::reset()), and the global SLO registry — full test isolation
+/// between seed-deterministic runs: two identical runs bracketed by
+/// reset_all() produce identical metrics output.
 void reset_all();
 
 }  // namespace coda::obs

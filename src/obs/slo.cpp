@@ -324,6 +324,16 @@ std::string telemetry_dashboard(const TelemetryCollector* collector,
           << " gauges=" << snap.gauges.size()
           << " histograms=" << snap.histograms.size() << '\n';
     }
+    // Fleet hot-path table (ISSUE 9): published prof.* counters, ranked
+    // by the profiler's deterministic (calls desc, region asc) order.
+    const auto hot = collector->hot_paths(top_k * 4);
+    if (!hot.empty()) {
+      out << "== hot paths (fleet) ==\n";
+      for (const auto& row : hot) {
+        out << "  " << row.region << ": calls=" << row.calls
+            << " self=" << json_number(row.self_seconds) << "s\n";
+      }
+    }
   } else {
     out << "fleet: (no collector bound; registry-only view)\n";
   }

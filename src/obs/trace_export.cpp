@@ -135,6 +135,20 @@ std::string export_chrome_trace() {
     emit(ev.str());
   }
 
+  // Profiler counter tracks: the live region merge (not the published
+  // prof.* registry counters, which only exist after a telemetry publish)
+  // so a plain single-process trace still carries the hot-region totals.
+  // region_table() is sorted (calls desc, name asc), deterministic per run.
+  for (const auto& region : prof::region_table()) {
+    if (region.calls == 0) continue;
+    std::ostringstream ev;
+    ev << "{\"ph\":\"C\",\"name\":\"prof." << json_escape(region.name)
+       << "\",\"pid\":" << counter_pid << ",\"ts\":" << json_number(last_ts_us)
+       << ",\"args\":{\"calls\":" << region.calls
+       << ",\"self_ns\":" << region.self_ns << "}}";
+    emit(ev.str());
+  }
+
   out << "],\"otherData\":{\"recorded\":" << tracer.recorded()
       << ",\"dropped\":" << tracer.dropped() << "}}";
   return out.str();

@@ -10,6 +10,7 @@
 #include "src/ts/forecasters.h"
 #include "src/ts/nn_forecasters.h"
 #include "src/util/hash.h"
+#include "src/util/stopwatch.h"
 
 namespace coda::ts {
 namespace {
@@ -212,39 +213,71 @@ double score_forecast_fold(const ForecastGraph& graph,
     // plan per (scaler, windower) prefix. The key embeds the canonical
     // component specs, so a parameter change invalidates the plan exactly
     // like it invalidates the fitted prefix below.
-    const std::string plan_key = "plan|ts|" + prefix;
-    std::shared_ptr<const CompiledForecastPlan> plan =
-        prefixes.get<CompiledForecastPlan>(plan_key);
-    if (plan == nullptr) {
-      plan = CompiledForecastPlan::compile(pipeline);
-      prefixes.insert(plan_key, plan, plan->bytes());
+    // Phase attribution (ISSUE 9): plan + fold memoization = prepare,
+    // model fit = fit, predict + metric = score; each region wraps its
+    // lookup-or-compute block whole (profiler determinism rules).
+    std::shared_ptr<const PreparedFold> prepared;
+    {
+      PROF_SCOPE("eval.fold.prepare");
+      Stopwatch prepare_timer;
+      const std::string plan_key = "plan|ts|" + prefix;
+      std::shared_ptr<const CompiledForecastPlan> plan =
+          prefixes.get<CompiledForecastPlan>(plan_key);
+      if (plan == nullptr) {
+        plan = CompiledForecastPlan::compile(pipeline);
+        prefixes.insert(plan_key, plan, plan->bytes());
+      }
+      const std::string fold_key = "tsplan|f" + std::to_string(fold) + "|" +
+                                   prefix;
+      prepared = prefixes.get<PreparedFold>(fold_key);
+      if (prepared == nullptr) {
+        auto computed =
+            std::make_shared<PreparedFold>(plan->prepare(series, a, b, c, d));
+        prefixes.insert(fold_key, computed, computed->bytes());
+        prepared = std::move(computed);
+      }
+      obs::phase_event(obs::Phase::kPrepare, prepare_timer.elapsed_seconds());
     }
-    const std::string fold_key = "tsplan|f" + std::to_string(fold) + "|" +
-                                 prefix;
-    std::shared_ptr<const PreparedFold> prepared =
-        prefixes.get<PreparedFold>(fold_key);
-    if (prepared == nullptr) {
-      auto computed =
-          std::make_shared<PreparedFold>(plan->prepare(series, a, b, c, d));
-      prefixes.insert(fold_key, computed, computed->bytes());
-      prepared = std::move(computed);
+    {
+      PROF_SCOPE("eval.fold.fit");
+      Stopwatch fit_timer;
+      pipeline.model().fit(prepared->X_train, prepared->y_train);
+      obs::phase_event(obs::Phase::kFit, fit_timer.elapsed_seconds());
     }
-    pipeline.model().fit(prepared->X_train, prepared->y_train);
-    return score(metric, prepared->y_val,
-                 pipeline.model().predict(prepared->X_val));
+    PROF_SCOPE("eval.fold.score");
+    Stopwatch score_timer;
+    const double result = score(metric, prepared->y_val,
+                                pipeline.model().predict(prepared->X_val));
+    obs::phase_event(obs::Phase::kScore, score_timer.elapsed_seconds());
+    return result;
   }
-  const std::string prefix_key = "ts|f" + std::to_string(fold) + "|" + prefix;
-  std::shared_ptr<const WindowedData> wd =
-      prefixes.get<WindowedData>(prefix_key);
-  if (wd == nullptr) {
-    auto computed =
-        std::make_shared<WindowedData>(pipeline.prepare_windows(series, a, b));
-    prefixes.insert(prefix_key, computed, windowed_bytes(*computed));
-    wd = std::move(computed);
+  std::shared_ptr<const WindowedData> wd;
+  {
+    PROF_SCOPE("eval.fold.prepare");
+    Stopwatch prepare_timer;
+    const std::string prefix_key =
+        "ts|f" + std::to_string(fold) + "|" + prefix;
+    wd = prefixes.get<WindowedData>(prefix_key);
+    if (wd == nullptr) {
+      auto computed = std::make_shared<WindowedData>(
+          pipeline.prepare_windows(series, a, b));
+      prefixes.insert(prefix_key, computed, windowed_bytes(*computed));
+      wd = std::move(computed);
+    }
+    obs::phase_event(obs::Phase::kPrepare, prepare_timer.elapsed_seconds());
   }
-  pipeline.fit_prepared(series, a, b, *wd);
+  {
+    PROF_SCOPE("eval.fold.fit");
+    Stopwatch fit_timer;
+    pipeline.fit_prepared(series, a, b, *wd);
+    obs::phase_event(obs::Phase::kFit, fit_timer.elapsed_seconds());
+  }
+  PROF_SCOPE("eval.fold.score");
+  Stopwatch score_timer;
   const auto [pred, truth] = pipeline.predict_range_prepared(*wd, c, d);
-  return score(metric, truth, pred);
+  const double result = score(metric, truth, pred);
+  obs::phase_event(obs::Phase::kScore, score_timer.elapsed_seconds());
+  return result;
 }
 
 }  // namespace

@@ -4,10 +4,28 @@
 
 namespace coda {
 
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // Process-wide families (shared by every pool in the process, like the
+  // retry.* and net.fault.* families): registering here pins the metric
+  // references for lock-free hot-path writes and makes the names appear
+  // in exports even for runs where the pool stays idle.
+  tasks_metric_ = &obs::counter("pool.tasks");
+  queue_depth_metric_ = &obs::gauge("pool.queue_depth");
+  queue_wait_metric_ = &obs::histogram("pool.queue_wait_seconds");
+  task_seconds_metric_ = &obs::histogram("pool.task_seconds");
+  obs::gauge("pool.utilization");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -21,11 +39,24 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  // The workers have drained: the busy accounting is final. The gauge
+  // carries the most recently destroyed pool's lifetime utilization.
+  obs::gauge("pool.utilization").set(utilization());
+}
+
+double ThreadPool::utilization() const {
+  const double lifetime =
+      seconds_between(created_, std::chrono::steady_clock::now());
+  if (lifetime <= 0.0 || workers_.empty()) return 0.0;
+  const double busy =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return std::clamp(busy / (lifetime * static_cast<double>(workers_.size())),
+                    0.0, 1.0);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -33,7 +64,17 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const auto start = std::chrono::steady_clock::now();
+    queue_depth_metric_->add(-1.0);
+    queue_wait_metric_->observe(seconds_between(task.enqueued, start));
+    task.fn();
+    const auto end = std::chrono::steady_clock::now();
+    task_seconds_metric_->observe(seconds_between(start, end));
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()),
+        std::memory_order_relaxed);
   }
 }
 

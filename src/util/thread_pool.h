@@ -1,16 +1,32 @@
 // Fixed-size worker pool used by the graph evaluator to score candidate
 // pipelines in parallel (Section III: "Different predictive models can be run
 // in parallel").
+//
+// Executor observability (ISSUE 9): every pool writes the process-wide
+// pool.* metric family —
+//   pool.tasks               counter    tasks submitted
+//   pool.queue_depth         gauge      tasks enqueued, not yet started
+//   pool.queue_wait_seconds  histogram  submit → start latency per task
+//   pool.task_seconds        histogram  task run time
+//   pool.utilization         gauge      busy / (workers × lifetime),
+//                                       finalized at pool destruction
+// Per-pool busy time also feeds the utilization() accessor, readable
+// while the pool is live.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace coda {
 
@@ -37,7 +53,12 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
-      tasks_.push([task]() { (*task)(); });
+      tasks_.push(Task{[task]() { (*task)(); },
+                       std::chrono::steady_clock::now()});
+      // Under the queue lock so the matching worker-side decrement (which
+      // requires popping under this lock first) can never run ahead of it.
+      tasks_metric_->inc();
+      queue_depth_metric_->add(1.0);
     }
     cv_.notify_one();
     return result;
@@ -45,14 +66,33 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Fraction of worker capacity spent running tasks so far: summed task
+  /// run time / (workers × pool lifetime), clamped to [0, 1]. Approximate
+  /// while tasks are in flight (their partial run time is not yet
+  /// counted); exact once the pool has drained.
+  double utilization() const;
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  const std::chrono::steady_clock::time_point created_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> busy_ns_{0};
+  obs::Counter* tasks_metric_ = nullptr;
+  obs::Gauge* queue_depth_metric_ = nullptr;
+  obs::Histogram* queue_wait_metric_ = nullptr;
+  obs::Histogram* task_seconds_metric_ = nullptr;
 };
 
 }  // namespace coda

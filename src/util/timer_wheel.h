@@ -4,6 +4,15 @@
 // candidate here and the workers keep scoring other candidates. One
 // dedicated timer thread fires callbacks when their deadline is due
 // (typically re-submitting a task to a ThreadPool).
+//
+// Executor observability (ISSUE 9): every wheel writes the process-wide
+// timerwheel.* metric family —
+//   timerwheel.scheduled         counter    entries scheduled
+//   timerwheel.fired             counter    callbacks fired
+//   timerwheel.outstanding       gauge      scheduled, not yet fired
+//   timerwheel.fire_lag_seconds  histogram  fire time − deadline per entry
+// The destructor subtracts entries it drops (never-due callbacks), so a
+// cleanly drained process leaves timerwheel.outstanding at zero.
 #pragma once
 
 #include <chrono>
@@ -14,6 +23,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/obs/metrics.h"
 
 namespace coda {
 
@@ -56,6 +67,10 @@ class TimerWheel {
   std::priority_queue<Entry, std::vector<Entry>, Later> entries_;
   std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
+  obs::Counter* scheduled_metric_ = nullptr;
+  obs::Counter* fired_metric_ = nullptr;
+  obs::Gauge* outstanding_metric_ = nullptr;
+  obs::Histogram* fire_lag_metric_ = nullptr;
   std::thread thread_;
 };
 

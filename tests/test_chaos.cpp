@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <map>
 #include <set>
 #include <string>
@@ -28,6 +30,8 @@
 #include "src/ml/scalers.h"
 #include "src/obs/obs.h"
 #include "src/ts/forecasters.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer_wheel.h"
 #include "tests/chaos_harness.h"
 
 namespace coda {
@@ -659,6 +663,16 @@ void exercise_fault_metrics() {
     b.fill(1.0);
     (void)kernels::matmul(a, b);
   }
+  {  // pool.tasks / timerwheel.scheduled+fired / prof.scopes: executor and
+     // profiler instrumentation (ISSUE 9)
+    ThreadPool pool(1);
+    pool.submit([] { PROF_SCOPE("golden.prof.region"); }).get();
+    TimerWheel wheel;
+    std::promise<void> fired;
+    wheel.schedule(std::chrono::milliseconds(1),
+                   [&fired] { fired.set_value(); });
+    fired.get_future().wait();
+  }
 }
 
 TEST(Chaos, FaultMetricNamesMatchGoldenFile) {
@@ -687,11 +701,16 @@ TEST(Chaos, FaultMetricNamesMatchGoldenFile) {
     EXPECT_TRUE(registered.count(name))
         << "golden metric not registered: " << name;
   }
-  // ...and the fixed fault/retry families must not grow or get renamed
-  // without the golden file (and README) being updated. Instance-scoped
-  // (`#`) and per-op (`eval.darr_degraded.<op>`) names are excluded:
-  // their membership depends on how many instances/ops a run touches.
-  const std::vector<std::string> families = {"net.fault.", "retry."};
+  // ...and the fixed fault/retry/executor families must not grow or get
+  // renamed without the golden file (and README) being updated.
+  // Instance-scoped (`#`) and per-op (`eval.darr_degraded.<op>`) names
+  // are excluded: their membership depends on how many instances/ops a
+  // run touches. The per-region `prof.<region>.*` counters are likewise
+  // NOT a strict family — region names are defined at PROF_SCOPE call
+  // sites and grow with instrumentation; only the fixed `prof.scopes`
+  // counter is contracted.
+  const std::vector<std::string> families = {"net.fault.", "retry.",
+                                             "pool.", "timerwheel."};
   for (const auto& name : registered) {
     if (name.find('#') != std::string::npos) continue;
     for (const auto& family : families) {

@@ -83,6 +83,20 @@ TEST(Histogram, BucketBoundariesAreInclusiveUpper) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 9.0);
 }
 
+TEST(Histogram, EmptyQuantileIsZero) {
+  // Contract pin (referenced from Histogram::quantile): an empty histogram
+  // answers 0.0 for every q — never NaN, whose comparisons silently
+  // evaluate false and would flip an SLO like "p99 < 0.1" to a failure
+  // before the first observation.
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.count(), 0u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double value = h.quantile(q);
+    EXPECT_EQ(value, value) << "NaN at q=" << q;  // NaN != NaN
+    EXPECT_DOUBLE_EQ(value, 0.0) << "q=" << q;
+  }
+}
+
 TEST(Histogram, QuantileInterpolatesLinearlyWithinBuckets) {
   Histogram h({1.0, 2.0, 4.0});
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram

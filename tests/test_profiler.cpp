@@ -1,0 +1,283 @@
+// Tests for the always-on region profiler (DESIGN.md §15) and the
+// executor instrumentation that feeds it: call/path accounting across
+// threads, the pool.* / timerwheel.* metric families under a concurrent
+// submit storm (run under -DCODA_SANITIZE=thread via `ctest -L tsan`),
+// folded-export determinism, fleet hot-path reproducibility, and the
+// reset contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/darr/cooperative.h"
+#include "src/data/synthetic.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear.h"
+#include "src/ml/scalers.h"
+#include "src/obs/obs.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer_wheel.h"
+
+namespace coda {
+namespace {
+
+// A fixed workload of nested scopes: 3 outer calls, 2 inner calls each,
+// plus one call of a sibling region. Deterministic by construction.
+void fixed_workload() {
+  for (int outer = 0; outer < 3; ++outer) {
+    PROF_SCOPE("test.prof.outer");
+    for (int inner = 0; inner < 2; ++inner) {
+      PROF_SCOPE("test.prof.inner");
+    }
+  }
+  PROF_SCOPE("test.prof.sibling");
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> region_calls() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& region : obs::prof::region_table()) {
+    out.emplace_back(region.name, region.calls);
+  }
+  return out;
+}
+
+TEST(Profiler, NestedScopesAccumulatePathsAndSelfTime) {
+  obs::prof::reset();
+  fixed_workload();
+
+  bool saw_outer = false, saw_inner = false, saw_sibling = false;
+  for (const auto& path : obs::prof::merged_paths()) {
+    if (path.path == std::vector<std::string>{"test.prof.outer"}) {
+      saw_outer = true;
+      EXPECT_EQ(path.calls, 3u);
+      EXPECT_GE(path.total_ns, path.self_ns);
+    } else if (path.path ==
+               std::vector<std::string>{"test.prof.outer",
+                                        "test.prof.inner"}) {
+      saw_inner = true;
+      EXPECT_EQ(path.calls, 6u);
+    } else if (path.path == std::vector<std::string>{"test.prof.sibling"}) {
+      saw_sibling = true;
+      EXPECT_EQ(path.calls, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  EXPECT_TRUE(saw_sibling);
+
+  // The folded export carries the same stacks, semicolon-joined.
+  const std::string folded = obs::prof::folded();
+  EXPECT_NE(folded.find("test.prof.outer;test.prof.inner "),
+            std::string::npos);
+  EXPECT_NE(folded.find("test.prof.sibling "), std::string::npos);
+}
+
+TEST(Profiler, FoldedExportIsDeterministicForAFixedWorkload) {
+  obs::prof::reset();
+  fixed_workload();
+  const auto first = region_calls();
+
+  obs::prof::reset();
+  fixed_workload();
+  const auto second = region_calls();
+
+  // Region set, ordering, and call counts reproduce exactly; only the
+  // recorded times vary run to run (DESIGN.md §15 determinism rules).
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+// The tsan storm: many threads hammer one pool while the profiler records
+// inside every task. Counts must balance exactly — the instrumentation
+// sits under the queue lock (submit side) or on the single popping worker
+// (drain side), so no increment can be lost or doubled.
+TEST(Profiler, ConcurrentSubmitStormCountsEveryTask) {
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kTasksPerSubmitter = 64;
+  constexpr std::size_t kTasks = kSubmitters * kTasksPerSubmitter;
+
+  const std::uint64_t tasks_before = obs::counter("pool.tasks").value();
+  const std::uint64_t wait_before =
+      obs::histogram("pool.queue_wait_seconds").count();
+  const std::uint64_t run_before =
+      obs::histogram("pool.task_seconds").count();
+  const double depth_before = obs::gauge("pool.queue_depth").value();
+  obs::prof::reset();
+
+  {
+    ThreadPool pool(3);
+    std::vector<std::thread> submitters;
+    std::vector<std::future<void>> futures(kTasks);
+    std::mutex futures_mutex;
+    submitters.reserve(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        for (std::size_t i = 0; i < kTasksPerSubmitter; ++i) {
+          auto f = pool.submit([] {
+            PROF_SCOPE("test.prof.storm.task");
+            volatile std::uint64_t sink = 0;
+            for (int spin = 0; spin < 500; ++spin) {
+              sink = sink + static_cast<std::uint64_t>(spin);
+            }
+          });
+          std::lock_guard<std::mutex> lock(futures_mutex);
+          futures[s * kTasksPerSubmitter + i] = std::move(f);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    for (auto& f : futures) f.get();
+
+    const double live = pool.utilization();
+    EXPECT_GE(live, 0.0);
+    EXPECT_LE(live, 1.0);
+  }  // pool drains, joins, and finalizes pool.utilization
+
+  EXPECT_EQ(obs::counter("pool.tasks").value() - tasks_before, kTasks);
+  EXPECT_EQ(obs::histogram("pool.queue_wait_seconds").count() - wait_before,
+            kTasks);
+  EXPECT_EQ(obs::histogram("pool.task_seconds").count() - run_before,
+            kTasks);
+  EXPECT_DOUBLE_EQ(obs::gauge("pool.queue_depth").value(), depth_before);
+
+  const double final_util = obs::gauge("pool.utilization").value();
+  EXPECT_GE(final_util, 0.0);
+  EXPECT_LE(final_util, 1.0);
+
+  // Every task's scope landed in the merge, across all worker threads.
+  std::uint64_t storm_calls = 0;
+  for (const auto& region : obs::prof::region_table()) {
+    if (region.name == "test.prof.storm.task") storm_calls = region.calls;
+  }
+  EXPECT_EQ(storm_calls, kTasks);
+}
+
+TEST(Profiler, TimerWheelRecordsFireLagForDelayedFires) {
+  constexpr std::size_t kEntries = 3;
+  const std::uint64_t scheduled_before =
+      obs::counter("timerwheel.scheduled").value();
+  const std::uint64_t fired_before =
+      obs::counter("timerwheel.fired").value();
+  const std::uint64_t lag_before =
+      obs::histogram("timerwheel.fire_lag_seconds").count();
+  const double outstanding_before =
+      obs::gauge("timerwheel.outstanding").value();
+
+  {
+    TimerWheel wheel;
+    std::promise<void> all_fired;
+    std::atomic<std::size_t> remaining{kEntries};
+    for (std::size_t i = 0; i < kEntries; ++i) {
+      wheel.schedule(std::chrono::milliseconds(1 + i), [&] {
+        if (remaining.fetch_sub(1) == 1) all_fired.set_value();
+      });
+    }
+    all_fired.get_future().wait();
+  }
+
+  EXPECT_EQ(obs::counter("timerwheel.scheduled").value() - scheduled_before,
+            kEntries);
+  EXPECT_EQ(obs::counter("timerwheel.fired").value() - fired_before,
+            kEntries);
+  // One lag sample per fire; fire time >= deadline, so every sample is
+  // non-negative (the histogram rejects negatives loudly if not).
+  EXPECT_EQ(
+      obs::histogram("timerwheel.fire_lag_seconds").count() - lag_before,
+      kEntries);
+  EXPECT_DOUBLE_EQ(obs::gauge("timerwheel.outstanding").value(),
+                   outstanding_before);
+}
+
+TEST(Profiler, PublishNodeWritesEqualShardAndGlobalIncrements) {
+  obs::reset_all();
+  {
+    const obs::NodeScope node("profnode");
+    fixed_workload();
+  }
+  obs::prof::publish_node("profnode");
+
+  const std::uint64_t global_calls =
+      obs::counter("prof.test.prof.outer.calls").value();
+  const std::uint64_t shard_calls = obs::MetricScope::for_node("profnode")
+                                        .counter("prof.test.prof.outer.calls")
+                                        .value();
+  EXPECT_EQ(global_calls, 3u);
+  EXPECT_EQ(shard_calls, global_calls);
+
+  // Publishing again with no new work is a no-op (delta-based).
+  obs::prof::publish_node("profnode");
+  EXPECT_EQ(obs::counter("prof.test.prof.outer.calls").value(), 3u);
+}
+
+// Serial fleet (max_parallel_clients = 1, no faults): the hot-path table
+// reconstructed at the collector must reproduce back-to-back — same
+// regions, same order, same call counts.
+TEST(Profiler, SerialFleetHotPathTableReproduces) {
+  const auto run_fleet = [] {
+    obs::reset_all();
+    TEGraph g;
+    std::vector<std::unique_ptr<Transformer>> scalers;
+    scalers.push_back(std::make_unique<StandardScaler>());
+    scalers.push_back(std::make_unique<NoOp>());
+    g.add_feature_scalers(std::move(scalers));
+    std::vector<std::unique_ptr<Estimator>> models;
+    models.push_back(std::make_unique<LinearRegression>());
+    models.push_back(std::make_unique<DecisionTreeRegressor>());
+    g.add_regression_models(std::move(models));
+
+    RegressionConfig cfg;
+    cfg.n_samples = 120;
+    cfg.n_features = 4;
+    cfg.n_informative = 4;
+    const Dataset data = make_regression(cfg);
+
+    darr::FleetOptions options;
+    options.n_clients = 3;
+    options.max_parallel_clients = 1;  // fully deterministic ordering
+    const auto report = darr::run_cooperative_search(
+        g, data, KFold(3), Metric::kRmse, options);
+    EXPECT_TRUE(report.telemetry_divergence.empty())
+        << report.telemetry_divergence;
+
+    std::vector<std::pair<std::string, std::uint64_t>> table;
+    for (const auto& row : report.telemetry->hot_paths(32)) {
+      table.emplace_back(row.region, row.calls);
+    }
+    return table;
+  };
+
+  const auto first = run_fleet();
+  const auto second = run_fleet();
+  EXPECT_EQ(first, second);
+
+  ASSERT_FALSE(first.empty());
+  bool saw_candidate = false;
+  for (const auto& [region, calls] : first) {
+    if (region == "eval.candidate") saw_candidate = true;
+  }
+  EXPECT_TRUE(saw_candidate);
+}
+
+TEST(Profiler, ResetLeavesProfilerEmpty) {
+  fixed_workload();
+  EXPECT_FALSE(obs::prof::empty());
+  obs::prof::reset();
+  EXPECT_TRUE(obs::prof::empty());
+  EXPECT_TRUE(obs::prof::merged_paths().empty());
+  EXPECT_EQ(obs::prof::folded(), "");
+
+  // And the regions keep working after the rewind.
+  fixed_workload();
+  EXPECT_FALSE(obs::prof::empty());
+}
+
+}  // namespace
+}  // namespace coda

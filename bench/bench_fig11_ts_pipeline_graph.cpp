@@ -63,12 +63,36 @@ void print_fig11() {
   const std::uint64_t misses0 = misses.value();
   Stopwatch timer;
   const auto report = evaluator.evaluate(graph, series, cv);
-  const double seconds = timer.elapsed_seconds();
+  const double exhaustive_seconds = timer.elapsed_seconds();
   std::printf("full search: eval.prefix_cache.hit=%llu miss=%llu (windowing "
               "computed once per fold x scaler x preprocessor, not per "
               "candidate)\n\n",
               static_cast<unsigned long long>(hits.value() - hits0),
               static_cast<unsigned long long>(misses.value() - misses0));
+
+  // The production full search runs through the successive-halving
+  // scheduler (DESIGN.md §16): all paths race on the first validation
+  // window, the losing fraction is pruned, survivors finish full CV. The
+  // neural fits dominate the wall time, so pruning them after one window
+  // is where the reclaimed budget comes from; eta=6 keeps the fold budget
+  // under 60% of exhaustive while the selected pipeline stays identical.
+  EvalOptions halving_config = config;
+  halving_config.search.strategy = SearchStrategy::kHalving;
+  halving_config.search.eta = 6;
+  Stopwatch halving_timer;
+  const auto halving_report =
+      ForecastGraphEvaluator(halving_config).evaluate(graph, series, cv);
+  const double seconds = halving_timer.elapsed_seconds();
+  const bool identical =
+      halving_report.best().spec == report.best().spec &&
+      halving_report.best().fold_scores == report.best().fold_scores;
+  std::printf("halving search (eta=6): %.1fs wall vs %.1fs exhaustive "
+              "(%.2fx), fold evals %zu/%zu, pruned %zu of %zu after the "
+              "first window, best identical: %s\n\n",
+              seconds, exhaustive_seconds, exhaustive_seconds / seconds,
+              halving_report.fold_evaluations, report.fold_evaluations,
+              halving_report.pruned_candidates,
+              halving_report.results.size(), identical ? "yes" : "NO (bug!)");
 
   std::vector<std::size_t> order(report.results.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -103,12 +127,29 @@ void print_fig11() {
               report.best().mean_score);
   std::printf("Zero-model baseline rank: %zu of %zu\n", zero_rank,
               order.size());
-  std::printf("full search wall time: %.1fs\n\n", seconds);
-  // Neural fits dominate this wall time and are the noisiest work in the
-  // repo; a wide per-entry band keeps the gate strict on quiet entries.
+  std::printf("full search wall time: %.1fs (halving), %.1fs (exhaustive "
+              "reference)\n\n", seconds, exhaustive_seconds);
+  // fig11_full_search is the production full-search wall: the halving
+  // race. Neural fits dominate it and are the noisiest work in the repo; a
+  // wide per-entry band keeps the gate strict on quiet entries. The
+  // identity and fold-count entries are exact — drift there is a scheduler
+  // bug, not noise.
   coda::bench::record_entry("fig11_full_search", seconds,
                             static_cast<double>(order.size()) / seconds,
                             "paths/s", /*exact=*/false, /*tolerance=*/0.40);
+  coda::bench::record_entry("fig11_exhaustive_search", exhaustive_seconds,
+                            static_cast<double>(order.size()) /
+                                exhaustive_seconds,
+                            "paths/s", /*exact=*/false, /*tolerance=*/0.40);
+  coda::bench::record_entry("fig11_halving_identical", 0.0,
+                            identical ? 1.0 : 0.0, "bool", /*exact=*/true);
+  coda::bench::record_entry("fig11_halving_fold_evals", 0.0,
+                            static_cast<double>(
+                                halving_report.fold_evaluations),
+                            "folds", /*exact=*/true);
+  coda::bench::record_entry("fig11_exhaustive_fold_evals", 0.0,
+                            static_cast<double>(report.fold_evaluations),
+                            "folds", /*exact=*/true);
   coda::bench::record_entry("fig11_paths", 0.0,
                             static_cast<double>(order.size()), "paths",
                             /*exact=*/true);

@@ -166,9 +166,9 @@ void print_fig2() {
   const auto live_node = net.add_node("live");
   darr::DarrClient dead(&repo, &net, dead_node, repo_node, "dead");
   darr::DarrClient live(&repo, &net, live_node, repo_node, "live");
-  dead.try_claim("candidate_x");  // crashes here, never stores
+  dead.claim("candidate_x");  // crashes here, never stores
   std::size_t retries = 0;
-  while (!live.try_claim("candidate_x")) {
+  while (!live.claim("candidate_x")) {
     ++retries;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -195,8 +195,8 @@ void BM_DarrLookupStore(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const std::string key = "k" + std::to_string(i++ % 64);
-    client.store(key, result);
-    benchmark::DoNotOptimize(client.lookup(key));
+    client.put(key, result);
+    benchmark::DoNotOptimize(client.fetch(key));
   }
 }
 BENCHMARK(BM_DarrLookupStore);
@@ -209,7 +209,7 @@ void BM_DarrClaim(benchmark::State& state) {
   darr::DarrClient client(&repo, &net, client_node, repo_node, "c");
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(client.try_claim("k" + std::to_string(i++)));
+    benchmark::DoNotOptimize(client.claim("k" + std::to_string(i++)));
   }
 }
 BENCHMARK(BM_DarrClaim);

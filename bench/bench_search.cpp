@@ -1,0 +1,189 @@
+// Successive-halving search scheduler artifact (DESIGN.md §16): races the
+// golden-seed graphs — the Fig-3 tabular shape and the four §IV-E solution
+// templates over fleet-scale synthetic workloads — exhaustive vs halving,
+// and pins three things per workload in BENCH_search.json:
+//
+//   search_<name>_identical      (exact)  halving picked the same pipeline
+//   search_<name>_halving_folds  (exact)  the rung plan's fold budget
+//   search_<name>_exhaustive_folds (exact) candidates x folds reference
+//
+// plus tolerance-gated wall times for both strategies. The identity and
+// fold-count pins make the acceptance bar diffable: the halving search
+// must return the identical best pipeline at <= 60% of the exhaustive
+// fold-evaluation budget on every one of these workloads.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/evaluator.h"
+#include "src/core/search_scheduler.h"
+#include "src/data/synthetic.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/scalers.h"
+#include "src/templates/anomaly.h"
+#include "src/templates/cohort.h"
+#include "src/templates/failure_prediction.h"
+#include "src/templates/root_cause.h"
+#include "src/util/stopwatch.h"
+
+using namespace coda;
+
+namespace {
+
+// The Fig-3 tabular shape at fleet scale: 9 candidates over a larger
+// regression workload than the chaos suite uses. eta=3 — with only 9
+// candidates the default halving cut (9 -> 5 -> 3) keeps 63% of the fold
+// budget; the sharper cut (9 -> 3 -> 1) lands at 48% and the golden
+// seed's winner still leads every rung.
+TEGraph fig3_graph() {
+  TEGraph g;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  g.add_feature_scalers(std::move(scalers));
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LinearRegression>());
+  models.push_back(std::make_unique<DecisionTreeRegressor>());
+  models.push_back(std::make_unique<KnnRegressor>());
+  g.add_regression_models(std::move(models));
+  return g;
+}
+
+struct RaceCase {
+  std::string name;
+  TEGraph graph;
+  Dataset data;
+  Metric metric;
+  std::size_t eta;
+};
+
+std::vector<RaceCase> race_cases() {
+  std::vector<RaceCase> cases;
+  {
+    RegressionConfig cfg;
+    cfg.n_samples = 600;  // default 12-feature shape, fleet-scale samples
+    cases.push_back({"fig3_tabular", fig3_graph(), make_regression(cfg),
+                     Metric::kRmse, 3});
+  }
+  {
+    FailureWorkloadConfig cfg;
+    cfg.n_samples = 1200;
+    cases.push_back({"failure_prediction",
+                     templates::FailurePredictionAnalysis::search_graph(),
+                     make_failure_workload(cfg), Metric::kF1, 2});
+  }
+  {
+    RegressionConfig cfg;
+    cfg.n_samples = 800;
+    cases.push_back({"root_cause", templates::RootCauseAnalysis::search_graph(),
+                     make_regression(cfg), Metric::kRmse, 2});
+  }
+  {
+    AnomalyWorkloadConfig cfg;
+    cfg.n_samples = 1200;
+    cases.push_back({"anomaly", templates::AnomalyAnalysis::search_graph(),
+                     make_anomaly_workload(cfg), Metric::kF1, 2});
+  }
+  {
+    CohortWorkloadConfig cfg;
+    cfg.n_assets = 240;
+    cases.push_back({"cohort", templates::CohortAnalysis::search_graph(),
+                     templates::CohortAnalysis::membership_dataset(
+                         make_cohort_workload(cfg), 0),
+                     Metric::kAccuracy, 2});
+  }
+  return cases;
+}
+
+void print_search_races() {
+  std::printf("=== successive-halving search scheduler (DESIGN.md §16): "
+              "golden-seed graphs, exhaustive vs halving ===\n\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const RaceCase& c : race_cases()) {
+    EvalOptions options;
+    options.metric = c.metric;
+    Stopwatch exhaustive_timer;
+    const EvaluationReport ref =
+        GraphEvaluator(options).evaluate(c.graph, c.data, KFold(3));
+    const double exhaustive_seconds = exhaustive_timer.elapsed_seconds();
+
+    EvalOptions halving = options;
+    halving.search.strategy = SearchStrategy::kHalving;
+    halving.search.eta = c.eta;
+    Stopwatch halving_timer;
+    const EvaluationReport report =
+        GraphEvaluator(halving).evaluate(c.graph, c.data, KFold(3));
+    const double halving_seconds = halving_timer.elapsed_seconds();
+
+    const bool identical = report.best().spec == ref.best().spec &&
+                           report.best().fold_scores == ref.best().fold_scores;
+    const double budget = static_cast<double>(report.fold_evaluations) /
+                          static_cast<double>(ref.fold_evaluations);
+    rows.push_back(
+        {c.name, coda::bench::fmt_int(ref.results.size()),
+         coda::bench::fmt_int(c.eta),
+         coda::bench::fmt_int(report.fold_evaluations) + "/" +
+             coda::bench::fmt_int(ref.fold_evaluations),
+         coda::bench::fmt(100.0 * budget, 1) + "%",
+         coda::bench::fmt(exhaustive_seconds / halving_seconds, 2) + "x",
+         identical ? "yes" : "NO (bug!)"});
+
+    coda::bench::record_entry("search_" + c.name + "_identical", 0.0,
+                              identical ? 1.0 : 0.0, "bool", /*exact=*/true);
+    coda::bench::record_entry("search_" + c.name + "_halving_folds", 0.0,
+                              static_cast<double>(report.fold_evaluations),
+                              "folds", /*exact=*/true);
+    coda::bench::record_entry("search_" + c.name + "_exhaustive_folds", 0.0,
+                              static_cast<double>(ref.fold_evaluations),
+                              "folds", /*exact=*/true);
+    // Wall times: model fits on a shared box — wide bands, like the other
+    // graph-search benches.
+    coda::bench::record_entry("search_" + c.name + "_exhaustive",
+                              exhaustive_seconds, 0.0, "",
+                              /*exact=*/false, /*tolerance=*/0.60);
+    coda::bench::record_entry("search_" + c.name + "_halving",
+                              halving_seconds,
+                              exhaustive_seconds / halving_seconds, "x",
+                              /*exact=*/false, /*tolerance=*/0.60);
+  }
+  coda::bench::print_table(
+      {"workload", "cands", "eta", "folds", "budget", "speedup", "identical"},
+      rows, {-20, 5, 3, 9, 7, 7, -10});
+  std::printf("\n");
+}
+
+// Microbench: the rung-plan construction and tournament permutation are on
+// the per-search critical path (built once per client per search).
+void BM_HalvingPlanBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HalvingPlan::build(static_cast<std::size_t>(state.range(0)), 10, 2));
+  }
+}
+BENCHMARK(BM_HalvingPlanBuild)->Arg(48)->Arg(1024);
+
+void BM_TournamentRanks(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tournament_ranks(static_cast<std::size_t>(state.range(0)), 42));
+  }
+}
+BENCHMARK(BM_TournamentRanks)->Arg(48)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  coda::bench::strip_obs_flags(&argc, argv);
+  print_search_races();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  coda::bench::dump_obs_if_requested();
+  return 0;
+}

@@ -26,6 +26,9 @@ ctest --test-dir build -L perf --output-on-failure
 echo "== tier 1: fleet-scale cooperative runs (ctest -L fleet) =="
 ctest --test-dir build -L fleet --output-on-failure
 
+echo "== tier 1: successive-halving search scheduler (ctest -L search) =="
+ctest --test-dir build -L search --output-on-failure
+
 echo "== tier 1: Chrome trace export + span-tree invariants =="
 scripts/trace_check.sh build
 
@@ -59,21 +62,41 @@ build/bench/bench_fleet \
     --bench-json=build/BENCH_fleet.json \
     --profile-folded=build/PROF_fleet.folded --benchmark_filter='^$' \
     >/dev/null
+# The search-scheduler races (exhaustive vs halving on the golden-seed
+# graphs, DESIGN.md §16).
+build/bench/bench_search \
+    --bench-json=build/BENCH_search.json --benchmark_filter='^$' >/dev/null
 # 15% band on timings (so a >=20% regression of a committed baseline
 # fails); entries flagged "exact" must match bit-for-bit regardless, and
 # the fleet bench carries its own per-entry bands for the contention
 # timings. The --require names pin the fleet acceptance invariants
 # (512-client best-pipeline identity, zero redundant evaluations) and the
 # fig-11 fusion-ablation bit-identity check (DESIGN.md §14) so they
-# cannot be dropped or renamed out of the gate unnoticed.
+# cannot be dropped or renamed out of the gate unnoticed. The search pins
+# hold the halving acceptance bar (DESIGN.md §16): identical best pipeline
+# on every golden-seed graph (identity bools, exact) at the pinned rung
+# fold budgets (fold counts, exact — <= 60% of exhaustive by construction).
 python3 scripts/bench_gate.py --tolerance 0.15 --print-diff \
     ${UPDATE_BASELINES} \
     --pair build/BENCH_fig2.json BENCH_fig2.json \
     --pair build/BENCH_fig11.json BENCH_fig11.json \
     --pair build/BENCH_fleet.json BENCH_fleet.json \
+    --pair build/BENCH_search.json BENCH_search.json \
     --require fleet512_best_pipeline_matches \
     --require fleet512_redundant_evals \
     --require fig11_fusion_identical \
-    --require fig11_fusion_fused
+    --require fig11_fusion_fused \
+    --require fig11_halving_identical \
+    --require fig11_halving_fold_evals \
+    --require search_fig3_tabular_identical \
+    --require search_fig3_tabular_halving_folds \
+    --require search_failure_prediction_identical \
+    --require search_failure_prediction_halving_folds \
+    --require search_root_cause_identical \
+    --require search_root_cause_halving_folds \
+    --require search_anomaly_identical \
+    --require search_anomaly_halving_folds \
+    --require search_cohort_identical \
+    --require search_cohort_halving_folds
 
 echo "tier 1 OK"

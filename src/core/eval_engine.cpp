@@ -1,5 +1,7 @@
 #include "src/core/eval_engine.h"
 
+#include "src/core/search_scheduler.h"
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -210,6 +212,9 @@ EvalEngine::EvalEngine(EvalOptions options) : options_(std::move(options)) {
   obs::counter("eval.plan.fused_stages");
   obs::counter("eval.plan.fallback");
   obs::counter("eval.darr_degraded");
+  obs::counter("eval.search.rungs");
+  obs::counter("eval.search.pruned");
+  obs::counter("eval.search.fold_evals_saved");
   obs::counter("eval.candidate.folds");
   obs::counter("eval.candidate.cached");
   obs::counter("obs.trace.recorded");
@@ -234,6 +239,9 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
                                  std::size_t n_folds) const {
   require(!candidates.empty(), "EvalEngine: no candidates");
   require(n_folds > 0, "EvalEngine: need at least one fold");
+  if (options_.search.strategy == SearchStrategy::kHalving) {
+    return detail::run_halving_search(options_, candidates, n_folds);
+  }
   obs::ScopedSpan span("evaluator.evaluate");
   PROF_SCOPE("eval.run");
   // Captured for pool/wheel tasks: thread-local parenting does not cross a
@@ -253,6 +261,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
   const std::size_t n = candidates.size();
   EvaluationReport report;
   report.metric = options_.metric;
+  report.fold_evaluations_planned = n * n_folds;
   report.results.resize(n);
   for (std::size_t i = 0; i < n; ++i) report.results[i].spec = candidates[i].spec;
 
@@ -289,6 +298,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
     }
   }
 
+  std::atomic<std::size_t> local_fold_evals{0};
   if (remaining > 0) {
     PrefixCache prefixes(options_.prefix_cache_bytes);
 
@@ -434,6 +444,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
           obs::observe_scoped("cv.fold.seconds", elapsed);
           obs::CandidateCosts::instance().record_fold(candidates[i].spec,
                                                       elapsed);
+          local_fold_evals.fetch_add(1, std::memory_order_acq_rel);
         } catch (const std::exception& e) {
           bool expected = false;
           if (s.failed.compare_exchange_strong(expected, true,
@@ -597,6 +608,7 @@ EvaluationReport EvalEngine::run(std::vector<Candidate> candidates,
     if (better) report.best_index = i;
   }
   require_state(found, "EvalEngine: every candidate failed");
+  report.fold_evaluations = local_fold_evals.load(std::memory_order_acquire);
   report.total_seconds = total_timer.elapsed_seconds();
   return report;
 }

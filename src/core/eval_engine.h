@@ -135,20 +135,6 @@ class CooperativeFetch {
   /// Releases the claim without publishing (local failure).
   void release(const std::string& key);
 
-  // Deprecated spellings mirroring the pre-RecordStore ResultCache names,
-  // kept for one release: delegate to the canonical contract above.
-  std::vector<std::optional<CachedResult>> sweep(
-      const std::vector<std::string>& keys) {
-    return fetch_many(keys);
-  }
-  std::optional<CachedResult> poll(const std::string& key) {
-    return fetch(key);
-  }
-  void publish(const std::string& key, const CachedResult& result) {
-    put(key, result);
-  }
-  void abandon(const std::string& key) { release(key); }
-
  private:
   /// Marks the run degraded and counts the swallowed call.
   void degrade(const char* op);

@@ -10,6 +10,8 @@
 // unified EvalEngine (src/core/eval_engine.h).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -61,11 +63,6 @@ struct CachedResult {
 ///
 /// Claims are leases, not locks: distributed implementations expire them
 /// (DarrRepository's claim TTL) so a crashed claimant never wedges a key.
-///
-/// The old spellings (lookup/lookup_many/try_claim/store/abandon) remain
-/// as non-virtual wrappers delegating to the canonical names above —
-/// deprecated, kept for one release; new code and new implementations use
-/// the canonical surface only.
 class ResultCache {
  public:
   virtual ~ResultCache() = default;
@@ -89,21 +86,6 @@ class ResultCache {
   /// Releases a claim without publishing (local failure); lets others
   /// retry.
   virtual void release(const std::string& key) = 0;
-
-  // Deprecated spellings, kept for one release: delegate to the canonical
-  // contract above. Migrate call sites — these will be removed.
-  std::optional<CachedResult> lookup(const std::string& key) {
-    return fetch(key);
-  }
-  std::vector<std::optional<CachedResult>> lookup_many(
-      const std::vector<std::string>& keys) {
-    return fetch_many(keys);
-  }
-  bool try_claim(const std::string& key) { return claim(key); }
-  void store(const std::string& key, const CachedResult& result) {
-    put(key, result);
-  }
-  void abandon(const std::string& key) { release(key); }
 };
 
 /// Trivial in-process ResultCache (single map, no sharing semantics beyond
@@ -138,6 +120,14 @@ struct CandidateResult {
   bool from_cache = false;
   bool failed = false;          ///< candidate threw during fit/predict
   std::string failure_message;
+  /// Successive-halving only: the rung at which this candidate was pruned
+  /// (-1 = never pruned — it reached the final rung, was served whole from
+  /// the cooperative cache, or the search was exhaustive). Pruned
+  /// candidates carry the fold scores they actually ran (a prefix of the
+  /// fold set) and a mean/stddev over exactly those folds. A failed
+  /// entrant ranks strictly last and is cut like any other, so it too
+  /// records the rung where the race dropped it.
+  int pruned_at_rung = -1;
 };
 
 /// Result of evaluating a whole graph.
@@ -149,8 +139,42 @@ struct EvaluationReport {
   std::size_t served_from_cache = 0;
   double total_seconds = 0.0;
   double total_claim_wait_seconds = 0.0;  ///< summed over all candidates
+  /// Fold evaluations this client computed locally (cache-served folds and
+  /// pruned-away folds excluded).
+  std::size_t fold_evaluations = 0;
+  /// Fold evaluations the search plan admits fleet-wide: candidates × folds
+  /// for exhaustive search, the rung schedule's total for halving. The gap
+  /// to candidates × folds is the halving saving.
+  std::size_t fold_evaluations_planned = 0;
+  std::size_t pruned_candidates = 0;  ///< halving only
+  std::size_t rungs = 0;              ///< halving only (0 = exhaustive)
 
   const CandidateResult& best() const;
+};
+
+/// Candidate-racing strategy for a graph search (DESIGN.md §16).
+enum class SearchStrategy {
+  /// Score every candidate on every fold. Bit-deterministic reference.
+  kExhaustive,
+  /// Anytime successive halving: race all candidates on one fold, prune
+  /// the losing fraction, promote survivors to the next fold, recurse; the
+  /// final rung runs the remaining folds so survivors end with full-CV
+  /// scores. Same best pipeline as exhaustive whenever the winner's
+  /// partial scores keep it inside every rung's surviving fraction.
+  kHalving,
+};
+
+/// Knobs for the successive-halving scheduler (ignored under kExhaustive).
+struct SearchOptions {
+  SearchStrategy strategy = SearchStrategy::kExhaustive;
+  /// Pruning fraction: each rung keeps ceil(entrants / eta). Must be >= 2.
+  std::size_t eta = 2;
+  /// Seeds the tournament tie-break permutation. Candidates with equal
+  /// partial scores are ranked by this seeded shuffle of their enumeration
+  /// order (seed 0 = plain enumeration order), so prune decisions are a
+  /// pure function of (scores, ordering, seed) — schedule-independent and
+  /// identical on every cooperating client.
+  std::uint64_t seed = 0;
 };
 
 /// Options shared by every evaluator that delegates to the EvalEngine
@@ -170,6 +194,10 @@ struct EvalOptions {
   /// either way; off reverts to the interpreted executor (the differential
   /// harness runs both).
   bool compile_plans = true;
+  /// Candidate-racing strategy. Exhaustive remains the default and the
+  /// bit-deterministic reference; kHalving prunes provably-losing
+  /// candidates after partial CV (src/core/search_scheduler.h).
+  SearchOptions search;
 };
 
 /// Scores one pipeline with cross-validation (mean/stddev across folds).

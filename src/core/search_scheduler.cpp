@@ -1,0 +1,636 @@
+#include "src/core/search_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "src/obs/obs.h"
+#include "src/util/error.h"
+#include "src/util/stopwatch.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer_wheel.h"
+
+namespace coda {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// SplitMix64 step — the same generator family Rng seeds with; inlined
+/// here so the tournament permutation is a pure function of the seed with
+/// no dependence on library distribution internals.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::size_t halving_survivors(std::size_t entrants, std::size_t eta) {
+  require(eta >= 2, "halving_survivors: eta must be >= 2");
+  if (entrants == 0) return 0;
+  const std::size_t kept = (entrants + eta - 1) / eta;
+  return kept == 0 ? 1 : kept;
+}
+
+std::vector<std::size_t> tournament_ranks(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (seed != 0) {
+    std::uint64_t state = seed;
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(splitmix64(state) % static_cast<std::uint64_t>(i));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  std::vector<std::size_t> rank(n);
+  for (std::size_t pos = 0; pos < n; ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+HalvingPlan HalvingPlan::build(std::size_t n_candidates, std::size_t n_folds,
+                               std::size_t eta) {
+  require(n_candidates > 0, "HalvingPlan: no candidates");
+  require(n_folds > 0, "HalvingPlan: need at least one fold");
+  require(eta >= 2, "HalvingPlan: eta must be >= 2");
+  HalvingPlan plan;
+  plan.n_candidates = n_candidates;
+  plan.n_folds = n_folds;
+  plan.eta = eta;
+  std::size_t fold = 0;
+  std::size_t entrants = n_candidates;
+  while (true) {
+    if (entrants == 1 || n_folds - fold == 1) {
+      // Final rung: the remaining entrants run every remaining fold, so
+      // survivors end with full-CV scores (single-candidate early exit
+      // lands here immediately — no racing against nobody).
+      plan.rungs.push_back(RungSpec{fold, n_folds, entrants});
+      break;
+    }
+    plan.rungs.push_back(RungSpec{fold, fold + 1, entrants});
+    ++fold;
+    entrants = halving_survivors(entrants, eta);
+  }
+  return plan;
+}
+
+std::size_t HalvingPlan::total_fold_evals() const {
+  std::size_t total = 0;
+  for (const RungSpec& r : rungs) total += r.entrants * r.folds();
+  return total;
+}
+
+std::string rung_key(const std::string& base_key, const SearchOptions& search,
+                     std::size_t rung) {
+  if (base_key.empty()) return {};
+  return base_key + "|shr|e" + std::to_string(search.eta) + "|s" +
+         std::to_string(search.seed) + "|r" + std::to_string(rung);
+}
+
+namespace detail {
+
+EvaluationReport run_halving_search(
+    const EvalOptions& options,
+    const std::vector<EvalEngine::Candidate>& candidates, std::size_t n_folds) {
+  require(!candidates.empty(), "EvalEngine: no candidates");
+  require(n_folds > 0, "EvalEngine: need at least one fold");
+  obs::ScopedSpan span("evaluator.evaluate");
+  PROF_SCOPE("eval.search.run");
+  const obs::TraceContext root_ctx = span.context();
+  const std::string root_node = obs::Tracer::current_node();
+  Stopwatch total_timer;
+
+  const std::size_t n = candidates.size();
+  const HalvingPlan plan =
+      HalvingPlan::build(n, n_folds, options.search.eta);
+  const std::vector<std::size_t> tie_rank =
+      tournament_ranks(n, options.search.seed);
+  const bool maximize = higher_is_better(options.metric);
+
+  // The saving is a property of the plan, not the schedule — count it once
+  // up front so it is identical on every client and under every chaos
+  // interleaving.
+  obs::count_scoped("eval.search.fold_evals_saved",
+                    plan.exhaustive_fold_evals() - plan.total_fold_evals());
+
+  EvaluationReport report;
+  report.metric = options.metric;
+  report.results.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.results[i].spec = candidates[i].spec;
+  report.fold_evaluations_planned = plan.total_fold_evals();
+  report.rungs = plan.rungs.size();
+
+  // Racing state per candidate. Non-atomic fields are guarded by `mutex`
+  // except those only touched by the candidate's own attempt chain
+  // (attempts for one unit never overlap — each is scheduled by its
+  // predecessor's requeue, and a candidate runs one rung at a time).
+  struct Cand {
+    std::vector<double> fold_scores;  ///< valid prefix [0, folds_known)
+    std::size_t folds_known = 0;
+    bool swept = false;         ///< full result served by the initial sweep
+    bool computed_any = false;  ///< scored at least one fold locally
+    int pruned_at = -1;
+    double compute_seconds = 0.0;
+    double claim_wait = 0.0;
+    std::atomic<bool> failed{false};
+    std::string failure_message;
+    // Current-rung unit state.
+    bool holds_token = false;
+    bool deferred = false;      ///< claim-blocked, parked on the wheel
+    bool was_deferred = false;  ///< counter guard (once per candidate)
+    bool deadline_set = false;
+    std::chrono::steady_clock::time_point block_start{};
+    std::chrono::steady_clock::time_point deadline{};
+    std::atomic<std::size_t> folds_left{0};
+  };
+  std::vector<std::unique_ptr<Cand>> cands(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cands[i] = std::make_unique<Cand>();
+    cands[i]->fold_scores.assign(n_folds, 0.0);
+  }
+
+  // Initial sweep over the plain base keys: a candidate any client already
+  // finished (exhaustive peer, earlier run, or a completed halving search)
+  // skips racing entirely — it still ranks in every rung via its full fold
+  // scores, which can only sharpen prune decisions.
+  CooperativeFetch coop(options.cache);
+  std::atomic<std::size_t> local_fold_evals{0};
+  if (coop.cooperative()) {
+    PROF_SCOPE("eval.sweep");
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (const auto& c : candidates) keys.push_back(c.key);
+    Stopwatch sweep_timer;
+    const auto hits = coop.fetch_many(keys);
+    const double per_key = sweep_timer.elapsed_seconds() / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!hits[i].has_value() || hits[i]->fold_scores.size() != n_folds) {
+        continue;
+      }
+      Cand& c = *cands[i];
+      c.swept = true;
+      c.fold_scores = hits[i]->fold_scores;
+      c.folds_known = n_folds;
+      CandidateResult& out = report.results[i];
+      out.mean_score = hits[i]->mean_score;
+      out.stddev = hits[i]->stddev;
+      out.fold_scores = hits[i]->fold_scores;
+      out.from_cache = true;
+      out.eval_seconds = per_key;
+      obs::count_scoped("evaluator.candidate.cached");
+      obs::CandidateCosts::instance().record_cached(candidates[i].spec);
+    }
+  }
+
+  PrefixCache prefixes(options.prefix_cache_bytes);
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool all_done = false;
+  std::size_t rung_index = 0;
+  std::vector<std::size_t> entrants(n);
+  std::iota(entrants.begin(), entrants.end(), std::size_t{0});
+  std::size_t outstanding = 0;  ///< unresolved units in the current rung
+  std::size_t unblocked = 0;    ///< unresolved units not claim-blocked
+  std::deque<std::size_t> unit_queue;
+  std::size_t tokens = 0;
+  std::size_t pruned_total = 0;
+
+  // Mean over the candidate's known fold prefix, truncated to `fold_end`.
+  // Caller holds `mutex`.
+  auto partial_mean = [&](std::size_t i, std::size_t fold_end) {
+    const Cand& c = *cands[i];
+    const std::size_t k = std::min(fold_end, c.folds_known);
+    if (k == 0) return 0.0;
+    double sum = 0.0;
+    for (std::size_t f = 0; f < k; ++f) sum += c.fold_scores[f];
+    return sum / static_cast<double>(k);
+  };
+
+  // Declared before the pool/wheel (and assigned after) so they are
+  // destroyed only once the pool has joined its workers.
+  std::function<void()> dispatch_locked;
+  std::function<void(std::size_t)> attempt;
+  std::function<void(std::size_t, std::size_t, std::size_t)> run_unit_fold;
+  std::function<void(std::size_t, std::size_t)> finish_unit;
+  std::function<void(std::size_t)> unit_done;
+  std::function<void(std::size_t)> finalize_locked;
+  std::function<void()> seal_locked;
+  std::function<void()> start_rung_locked;
+
+  ThreadPool pool(options.threads);
+  tokens = pool.size();
+  TimerWheel wheel;
+
+  // Claim window, exactly as in the exhaustive engine: at most pool.size()
+  // units claimed-but-unfinished at once. Caller holds `mutex`.
+  dispatch_locked = [&] {
+    while (tokens > 0 && !unit_queue.empty()) {
+      const std::size_t i = unit_queue.front();
+      unit_queue.pop_front();
+      --tokens;
+      cands[i]->holds_token = true;
+      pool.submit([&attempt, i, root_ctx, root_node] {
+        obs::ContextScope trace_scope(root_ctx, root_node);
+        attempt(i);
+      });
+    }
+  };
+
+  // Copies the candidate's racing state into its report row. Caller holds
+  // `mutex`. Swept candidates were finalized at the sweep and are skipped.
+  finalize_locked = [&](std::size_t i) {
+    Cand& c = *cands[i];
+    if (c.swept) return;
+    CandidateResult& out = report.results[i];
+    out.claim_wait_seconds = c.claim_wait;
+    out.pruned_at_rung = c.pruned_at;
+    if (c.failed.load(std::memory_order_acquire)) {
+      out.failed = true;
+      out.failure_message = c.failure_message;
+      obs::count_scoped("evaluator.candidate.failed");
+      return;
+    }
+    const std::size_t k = c.folds_known;
+    out.fold_scores.assign(c.fold_scores.begin(),
+                           c.fold_scores.begin() + static_cast<std::ptrdiff_t>(k));
+    double sum = 0.0;
+    for (const double sc : out.fold_scores) sum += sc;
+    out.mean_score = k > 0 ? sum / static_cast<double>(k) : 0.0;
+    double var = 0.0;
+    for (const double sc : out.fold_scores) {
+      const double d = sc - out.mean_score;
+      var += d * d;
+    }
+    out.stddev = k > 0 ? std::sqrt(var / static_cast<double>(k)) : 0.0;
+    out.eval_seconds = c.compute_seconds;
+    if (c.computed_any) {
+      obs::count_scoped("evaluator.candidate.local");
+      obs::observe_scoped("evaluator.candidate.seconds", out.eval_seconds);
+    } else if (coop.cooperative()) {
+      // Every rung segment arrived from peers.
+      out.from_cache = true;
+      obs::count_scoped("evaluator.candidate.cached");
+      obs::CandidateCosts::instance().record_cached(candidates[i].spec);
+    }
+    // A candidate that completed the full fold set republishes under its
+    // plain base key, so exhaustive peers and future runs hit the sweep
+    // instead of re-racing (the repository's store is idempotent for the
+    // bit-identical value every client assembles).
+    if (k == n_folds && coop.cooperative() && !candidates[i].key.empty()) {
+      coop.put(candidates[i].key,
+               CachedResult{out.mean_score, out.stddev, out.fold_scores,
+                            candidates[i].spec});
+    }
+  };
+
+  // Rank-and-prune seal (DESIGN.md §16): runs exactly once per rung, when
+  // its last unit resolves. Ranking is a pure function of fold scores,
+  // enumeration order and the seeded tournament permutation — no schedule
+  // state — so every cooperating client seals identically. Caller holds
+  // `mutex`.
+  seal_locked = [&] {
+    PROF_SCOPE("eval.search.seal");
+    obs::count_scoped("eval.search.rungs");
+    const RungSpec& rung = plan.rungs[rung_index];
+    const bool final_rung = rung_index + 1 == plan.rungs.size();
+    if (final_rung) {
+      for (const std::size_t i : entrants) finalize_locked(i);
+      all_done = true;
+      done_cv.notify_all();
+      return;
+    }
+    std::vector<std::size_t> order = entrants;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const bool fa = cands[a]->failed.load(std::memory_order_acquire);
+      const bool fb = cands[b]->failed.load(std::memory_order_acquire);
+      if (fa != fb) return !fa;  // failed candidates rank strictly last
+      if (!fa) {
+        const double sa = partial_mean(a, rung.fold_end);
+        const double sb = partial_mean(b, rung.fold_end);
+        if (sa != sb) return maximize ? sa > sb : sa < sb;
+      }
+      return tie_rank[a] < tie_rank[b];
+    });
+    const std::size_t keep = plan.rungs[rung_index + 1].entrants;
+    for (std::size_t pos = keep; pos < order.size(); ++pos) {
+      const std::size_t i = order[pos];
+      Cand& c = *cands[i];
+      // Every cut entrant is pruned at this rung — including failed ones
+      // (ranked strictly last): the rung records where the race dropped
+      // them. Swept candidates keep their full-CV row untouched.
+      if (!c.swept) {
+        c.pruned_at = static_cast<int>(rung_index);
+        obs::count_scoped("eval.search.pruned");
+        obs::CandidateCosts::instance().record_pruned(
+            candidates[i].spec, static_cast<int>(rung_index));
+        ++pruned_total;
+      }
+      finalize_locked(i);
+    }
+    // Promote in rank order: the current best candidates queue first
+    // (GraphLab-style prioritized continuation).
+    order.resize(keep);
+    entrants = std::move(order);
+    ++rung_index;
+    start_rung_locked();
+  };
+
+  // Submits the current rung's unresolved units. Caller holds `mutex`.
+  start_rung_locked = [&] {
+    const RungSpec& rung = plan.rungs[rung_index];
+    outstanding = 0;
+    unit_queue.clear();
+    for (const std::size_t i : entrants) {
+      Cand& c = *cands[i];
+      if (c.failed.load(std::memory_order_acquire) ||
+          c.folds_known >= rung.fold_end) {
+        continue;  // already resolved (failed earlier, swept, or cached)
+      }
+      c.deferred = false;
+      c.deadline_set = false;
+      ++outstanding;
+      unit_queue.push_back(i);
+    }
+    unblocked = outstanding;
+    if (outstanding == 0) {
+      seal_locked();
+      return;
+    }
+    dispatch_locked();
+  };
+
+  // A unit resolved (computed, adopted from a peer, or failed): release
+  // its window slot and seal the rung when it was the last one out.
+  unit_done = [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    Cand& c = *cands[i];
+    if (!c.deferred) --unblocked;
+    c.deferred = false;
+    if (c.holds_token) {
+      c.holds_token = false;
+      ++tokens;
+    }
+    --outstanding;
+    dispatch_locked();
+    if (outstanding == 0) seal_locked();
+  };
+
+  // All of the unit's folds are in (or it failed): publish/release the
+  // rung-segment key, commit folds_known, resolve the unit.
+  finish_unit = [&](std::size_t i, std::size_t r) {
+    Cand& c = *cands[i];
+    const RungSpec& rung = plan.rungs[r];
+    const std::string key = rung_key(candidates[i].key, options.search, r);
+    const bool failed = c.failed.load(std::memory_order_acquire);
+    if (coop.cooperative() && !key.empty()) {
+      if (failed) {
+        coop.release(key);
+      } else {
+        CachedResult segment;
+        segment.fold_scores.assign(
+            c.fold_scores.begin() + static_cast<std::ptrdiff_t>(rung.fold_begin),
+            c.fold_scores.begin() + static_cast<std::ptrdiff_t>(rung.fold_end));
+        double sum = 0.0;
+        for (const double sc : segment.fold_scores) sum += sc;
+        segment.mean_score =
+            sum / static_cast<double>(segment.fold_scores.size());
+        double var = 0.0;
+        for (const double sc : segment.fold_scores) {
+          const double d = sc - segment.mean_score;
+          var += d * d;
+        }
+        segment.stddev =
+            std::sqrt(var / static_cast<double>(segment.fold_scores.size()));
+        segment.explanation = candidates[i].spec;
+        coop.put(key, segment);
+      }
+    }
+    if (!failed) {
+      std::lock_guard<std::mutex> lock(mutex);
+      c.folds_known = rung.fold_end;
+      c.computed_any = true;
+    }
+    unit_done(i);
+  };
+
+  run_unit_fold = [&](std::size_t i, std::size_t fold, std::size_t r) {
+    Cand& c = *cands[i];
+    if (!c.failed.load(std::memory_order_acquire)) {
+      PROF_SCOPE("eval.fold");
+      obs::ScopedSpan fold_span("evaluator.fold");
+      fold_span.tag("path", candidates[i].spec);
+      fold_span.tag("fold", std::to_string(fold));
+      fold_span.tag("rung", std::to_string(r));
+      obs::CandidateScope cost_scope(candidates[i].spec);
+      try {
+        Stopwatch fold_timer;
+        const double sc = candidates[i].score_fold(fold, prefixes);
+        c.fold_scores[fold] = sc;
+        const double elapsed = fold_timer.elapsed_seconds();
+        obs::observe_scoped("cv.fold.seconds", elapsed);
+        obs::CandidateCosts::instance().record_fold(candidates[i].spec,
+                                                    elapsed);
+        local_fold_evals.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> lock(mutex);
+        c.compute_seconds += elapsed;
+      } catch (const std::exception& e) {
+        bool expected = false;
+        if (c.failed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+          std::lock_guard<std::mutex> lock(mutex);
+          c.failure_message = e.what();
+        }
+      }
+    }
+    if (c.folds_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finish_unit(i, r);
+    }
+  };
+
+  attempt = [&](std::size_t i) {
+    Cand& c = *cands[i];
+    std::size_t r;
+    bool retry;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      r = rung_index;
+      retry = c.deferred;
+    }
+    const RungSpec& rung = plan.rungs[r];
+    PROF_SCOPE("eval.search.unit");
+    obs::ScopedSpan attempt_span("evaluator.candidate");
+    attempt_span.tag("path", candidates[i].spec);
+    attempt_span.tag("rung", std::to_string(r));
+    if (retry) attempt_span.tag("retry", "1");
+    const std::string key = rung_key(candidates[i].key, options.search, r);
+    if (coop.cooperative() && !key.empty()) {
+      // Adopt a published segment if one exists: on a retry that is the
+      // peer whose claim deferred us finishing; on a first attempt it is a
+      // segment left by an earlier run — rung keys are invisible to the
+      // base-key sweep, so they must be probed here before claiming.
+      if (auto hit = coop.fetch(key)) {
+        bool adopted = false;
+        double wait = -1.0;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          const std::size_t want = rung.folds();
+          // A malformed segment (foreign publisher) is ignored — the
+          // claim cycle below falls through to local compute.
+          if (hit->fold_scores.size() == want) {
+            for (std::size_t f = 0; f < want; ++f) {
+              c.fold_scores[rung.fold_begin + f] = hit->fold_scores[f];
+            }
+            c.folds_known = rung.fold_end;
+            adopted = true;
+            if (retry) {
+              wait = seconds_between(c.block_start,
+                                     std::chrono::steady_clock::now());
+              c.claim_wait += wait;
+            }
+          }
+        }
+        if (adopted) {
+          if (wait >= 0.0) {
+            obs::observe_scoped("evaluator.claim.wait_seconds", wait);
+            obs::CandidateCosts::instance().record_claim_wait(
+                candidates[i].spec, wait);
+          }
+          unit_done(i);
+          return;
+        }
+      }
+      if (!coop.claim(key)) {
+        // Claim-blocked: park the unit on the timer wheel; workers keep
+        // racing other candidates. No thread sleeps here.
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto block_now = std::chrono::steady_clock::now();
+        if (!c.deferred) {
+          c.deferred = true;
+          c.block_start = block_now;
+          --unblocked;
+          if (c.holds_token) {
+            c.holds_token = false;
+            ++tokens;
+            dispatch_locked();
+          }
+          if (!c.was_deferred) {
+            c.was_deferred = true;
+            obs::count_scoped("evaluator.candidate.deferred");
+          }
+        }
+        const bool expired = c.deadline_set && block_now >= c.deadline;
+        if (!expired) {
+          if (!c.deadline_set && unblocked == 0) {
+            // No local work left to hide the wait behind — start the
+            // local-compute deadline (peer-failure safety net). With every
+            // unit of the rung blocked, the seal cannot happen until
+            // somebody's result lands or this deadline fires.
+            c.deadline_set = true;
+            c.deadline = block_now + std::chrono::milliseconds(
+                                         options.claim_wait_ms);
+          }
+          obs::count_scoped("eval.claim.requeued");
+          wheel.schedule(std::chrono::milliseconds(options.claim_poll_ms),
+                         [&pool, &attempt, i, root_ctx, root_node] {
+                           pool.submit([&attempt, i, root_ctx, root_node] {
+                             obs::ContextScope trace_scope(root_ctx, root_node);
+                             attempt(i);
+                           });
+                         });
+          return;
+        }
+        // Deadline expired without a stored segment or a winnable claim:
+        // the peer presumably died. Compute locally without the claim so
+        // the rung always seals.
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (c.deferred) {
+          c.deferred = false;
+          ++unblocked;
+          const double wait = seconds_between(
+              c.block_start, std::chrono::steady_clock::now());
+          c.claim_wait += wait;
+          obs::observe_scoped("evaluator.claim.wait_seconds", wait);
+          obs::CandidateCosts::instance().record_claim_wait(
+              candidates[i].spec, wait);
+        }
+      }
+    }
+    // Fan out one task per fold of the segment (a single fold on racing
+    // rungs, the full remainder on the final rung). Fold tasks parent
+    // under this attempt's span.
+    const obs::TraceContext fold_ctx = attempt_span.context();
+    c.folds_left.store(rung.folds(), std::memory_order_release);
+    for (std::size_t fold = rung.fold_begin; fold < rung.fold_end; ++fold) {
+      pool.submit([&run_unit_fold, i, fold, r, fold_ctx, root_node] {
+        obs::ContextScope trace_scope(fold_ctx, root_node);
+        run_unit_fold(i, fold, r);
+      });
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    start_rung_locked();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return all_done; });
+  }
+  // `wheel` (destroyed first) can no longer re-submit into `pool`; with
+  // the final rung sealed neither holds engine work.
+
+  report.fold_evaluations =
+      local_fold_evals.load(std::memory_order_acquire);
+  report.pruned_candidates = pruned_total;
+
+  // Best = best full-CV, non-failed candidate (survivors of the final
+  // rung plus anything served whole from the cooperative cache). Pruned
+  // candidates carry partial scores and are not eligible. Order-stable:
+  // earlier candidate wins ties, exactly like the exhaustive path.
+  bool found = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CandidateResult& res = report.results[i];
+    report.total_claim_wait_seconds += res.claim_wait_seconds;
+    if (res.failed) continue;
+    if (res.from_cache) {
+      ++report.served_from_cache;
+    } else {
+      ++report.evaluated_locally;
+    }
+    if (res.fold_scores.size() != n_folds) continue;  // pruned: partial CV
+    if (!found) {
+      report.best_index = i;
+      found = true;
+      continue;
+    }
+    const CandidateResult& best = report.results[report.best_index];
+    const bool better = maximize ? res.mean_score > best.mean_score
+                                 : res.mean_score < best.mean_score;
+    if (better) report.best_index = i;
+  }
+  require_state(found, "EvalEngine: every candidate failed");
+  report.total_seconds = total_timer.elapsed_seconds();
+  return report;
+}
+
+}  // namespace detail
+
+}  // namespace coda

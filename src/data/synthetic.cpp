@@ -166,6 +166,42 @@ Dataset make_failure_workload(const FailureWorkloadConfig& config) {
   return d;
 }
 
+Dataset make_anomaly_workload(const AnomalyWorkloadConfig& config) {
+  require(config.n_samples > 0 && config.n_features > 0,
+          "make_anomaly_workload: empty shape");
+  Rng rng(config.seed);
+
+  Dataset d;
+  d.name = "anomaly_workload";
+  d.X = Matrix(config.n_samples, config.n_features);
+  d.y.resize(config.n_samples);
+  for (std::size_t j = 0; j < config.n_features; ++j) {
+    d.feature_names.push_back("feature" + std::to_string(j));
+  }
+
+  // Normal mode: a tight operating band per feature. Anomalous mode: a
+  // random subset of features drifts several stddevs out of band (process
+  // upset), the rest stay nominal — so single-feature rules are not enough
+  // and the supervised models have something to learn.
+  for (std::size_t i = 0; i < config.n_samples; ++i) {
+    const bool anomalous = rng.bernoulli(config.anomaly_rate);
+    d.y[i] = anomalous ? 1.0 : 0.0;
+    for (std::size_t j = 0; j < config.n_features; ++j) {
+      d.X(i, j) = rng.normal(5.0, 1.0);
+    }
+    if (anomalous) {
+      const std::size_t drifting =
+          1 + rng.index(config.n_features > 2 ? config.n_features / 2 : 1);
+      for (std::size_t k = 0; k < drifting; ++k) {
+        const std::size_t j = rng.index(config.n_features);
+        const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        d.X(i, j) += sign * config.anomaly_magnitude * rng.uniform(0.7, 1.3);
+      }
+    }
+  }
+  return d;
+}
+
 Dataset make_cohort_workload(const CohortWorkloadConfig& config) {
   require(config.n_cohorts >= 1 && config.n_assets >= config.n_cohorts,
           "make_cohort_workload: bad shape");

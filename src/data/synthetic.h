@@ -89,6 +89,22 @@ struct CohortWorkloadConfig {
 /// Generates asset behaviour vectors; y holds the true cohort id.
 Dataset make_cohort_workload(const CohortWorkloadConfig& config);
 
+/// Configuration for the labelled anomaly workload (solution template
+/// §IV-E: normal-operation snapshots plus anomalous-mode rows, for
+/// validating/selecting a supervised confirmation model).
+struct AnomalyWorkloadConfig {
+  std::size_t n_samples = 600;
+  std::size_t n_features = 8;
+  double anomaly_rate = 0.1;      ///< fraction of rows in the anomalous mode
+  double anomaly_magnitude = 4.0; ///< how far anomalous cells drift (in
+                                  ///< units of the normal-mode stddev)
+  std::uint64_t seed = 23;
+};
+
+/// Generates sensor snapshots labelled 1 for anomalous-mode rows: a few
+/// features of an anomalous row drift far from the normal operating band.
+Dataset make_anomaly_workload(const AnomalyWorkloadConfig& config);
+
 /// Replaces `fraction` of X cells with NaN (missing data, §II) — returns the
 /// number of cells blanked.
 std::size_t inject_missing(Dataset& d, double fraction, std::uint64_t seed);

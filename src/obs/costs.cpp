@@ -61,6 +61,11 @@ void CandidateCosts::record_claim_wait(const std::string& path,
   table_[path].claim_wait_seconds += seconds;
 }
 
+void CandidateCosts::record_pruned(const std::string& path, int rung) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  table_[path].pruned_at_rung = rung;
+}
+
 std::map<std::string, CandidateCost> CandidateCosts::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return table_;

@@ -32,6 +32,11 @@ struct CandidateCost {
   double fit_seconds = 0.0;         ///< model fitting
   double score_seconds = 0.0;       ///< predict + metric scoring
   double claim_wait_seconds = 0.0;  ///< waiting on another client's claim
+  /// Successive-halving search (ISSUE 10): rung at which the candidate was
+  /// pruned; -1 = never pruned (reached the final rung, or the search was
+  /// exhaustive). A pruned row still reports the folds it actually ran in
+  /// `folds`/`fold_seconds` — partial evaluation, never a zero/NaN row.
+  std::int64_t pruned_at_rung = -1;
 };
 
 /// A fold phase charged via the ambient candidate attribution.
@@ -47,6 +52,8 @@ class CandidateCosts {
   void record_prefix(const std::string& path, bool hit);
   void record_phase(const std::string& path, Phase phase, double seconds);
   void record_claim_wait(const std::string& path, double seconds);
+  /// Marks `path` pruned at `rung` by the halving scheduler.
+  void record_pruned(const std::string& path, int rung);
 
   /// Copy of the table, keyed (and therefore sorted) by path.
   std::map<std::string, CandidateCost> snapshot() const;

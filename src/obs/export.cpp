@@ -100,7 +100,7 @@ std::string snapshot_json(std::size_t max_spans) {
         << ",\"fit_seconds\":" << json_number(cost.fit_seconds)
         << ",\"score_seconds\":" << json_number(cost.score_seconds)
         << ",\"claim_wait_seconds\":" << json_number(cost.claim_wait_seconds)
-        << '}';
+        << ",\"pruned_at_rung\":" << cost.pruned_at_rung << '}';
   }
   out << "},\"events\":{\"recorded\":" << EventLog::instance().recorded()
       << ",\"dropped\":" << EventLog::instance().dropped()
@@ -222,7 +222,8 @@ std::string dump() {
         << " prepare=" << json_number(cost.prepare_seconds)
         << " fit=" << json_number(cost.fit_seconds)
         << " score=" << json_number(cost.score_seconds)
-        << " claim_wait=" << json_number(cost.claim_wait_seconds) << '\n';
+        << " claim_wait=" << json_number(cost.claim_wait_seconds)
+        << " pruned_at_rung=" << cost.pruned_at_rung << '\n';
   }
   out << "== spans ==\n  recorded=" << tracer.recorded()
       << " dropped=" << tracer.dropped() << '\n'

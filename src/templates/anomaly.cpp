@@ -1,11 +1,45 @@
 #include "src/templates/anomaly.h"
 
 #include <cmath>
+#include <memory>
 
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/outliers.h"
+#include "src/ml/random_forest.h"
 #include "src/ml/scalers.h"
 #include "src/util/error.h"
 
 namespace coda::templates {
+
+TEGraph AnomalyAnalysis::search_graph() {
+  TEGraph graph;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  graph.add_feature_scalers(std::move(scalers));
+
+  // Outlier handling ahead of the classifier: clipping the gross values
+  // the detector itself flags can help or hurt the supervised model, so
+  // both clippers and the identity edge race.
+  std::vector<std::unique_ptr<Transformer>> clippers;
+  clippers.push_back(std::make_unique<ZScoreClipper>());
+  clippers.push_back(std::make_unique<IqrClipper>());
+  auto noop = std::make_unique<NoOp>();
+  noop->set_name("noop_clipper");
+  clippers.push_back(std::move(noop));
+  graph.add_preprocessors("outlier_handling", std::move(clippers));
+
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LogisticRegression>());
+  models.push_back(std::make_unique<RandomForestClassifier>());
+  models.push_back(std::make_unique<KnnClassifier>());
+  models.push_back(std::make_unique<GaussianNaiveBayes>());
+  graph.add_classification_models(std::move(models));
+  return graph;
+}
 
 AnomalyAnalysis::AnomalyAnalysis() : AnomalyAnalysis(Config()) {}
 

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "src/core/te_graph.h"
 #include "src/data/matrix.h"
 
 namespace coda::templates {
@@ -28,6 +29,14 @@ class AnomalyAnalysis {
 
   AnomalyAnalysis();
   explicit AnomalyAnalysis(Config config);
+
+  /// The supervised validation search space (robust scaling × outlier
+  /// clipping × classifiers over labelled normal/anomalous snapshots —
+  /// make_anomaly_workload): 3 × 3 × 4 = 36 candidate pipelines, scored
+  /// with F1. The unsupervised median/MAD detector stays the online
+  /// scorer; this graph is how a fleet validates and picks the supervised
+  /// confirmation model.
+  static TEGraph search_graph();
 
   /// Learns per-feature medians and MADs from normal-operation data.
   void fit(const Matrix& normal_data);

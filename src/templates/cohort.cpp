@@ -1,8 +1,49 @@
 #include "src/templates/cohort.h"
 
+#include <memory>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/pca.h"
+#include "src/ml/scalers.h"
 #include "src/util/error.h"
 
 namespace coda::templates {
+
+TEGraph CohortAnalysis::search_graph() {
+  TEGraph graph;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<MinMaxScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  graph.add_feature_scalers(std::move(scalers));
+
+  std::vector<std::unique_ptr<Transformer>> projections;
+  projections.push_back(std::make_unique<PCA>());
+  auto noop = std::make_unique<NoOp>();
+  noop->set_name("noop_projection");
+  projections.push_back(std::move(noop));
+  graph.add_preprocessors("projection", std::move(projections));
+
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LogisticRegression>());
+  models.push_back(std::make_unique<KnnClassifier>());
+  models.push_back(std::make_unique<DecisionTreeClassifier>());
+  models.push_back(std::make_unique<GaussianNaiveBayes>());
+  graph.add_classification_models(std::move(models));
+  return graph;
+}
+
+Dataset CohortAnalysis::membership_dataset(const Dataset& cohorts,
+                                           std::size_t cohort) {
+  Dataset members = cohorts;
+  for (double& label : members.y) {
+    label = label == static_cast<double>(cohort) ? 1.0 : 0.0;
+  }
+  return members;
+}
 
 CohortAnalysis::CohortAnalysis() : CohortAnalysis(Config()) {}
 

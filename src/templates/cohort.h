@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "src/core/te_graph.h"
 #include "src/data/dataset.h"
 #include "src/ml/kmeans.h"
 
@@ -33,6 +34,20 @@ class CohortAnalysis {
 
   CohortAnalysis();
   explicit CohortAnalysis(Config config);
+
+  /// The cohort-membership search space (scalers × projection ×
+  /// classifiers): 3 × 2 × 4 = 24 candidate pipelines over a binary
+  /// membership dataset (see membership_dataset), scored with accuracy.
+  /// The clustering in run() discovers cohorts; this graph is how a fleet
+  /// picks the model that assigns *new* assets to a discovered cohort.
+  static TEGraph search_graph();
+
+  /// Binarizes a cohort workload (y = cohort id, e.g. from
+  /// make_cohort_workload) into a membership task: y = 1 when the asset
+  /// belongs to `cohort`, else 0. The library's classification metrics are
+  /// binary, so the search graph races one-vs-rest membership models.
+  static Dataset membership_dataset(const Dataset& cohorts,
+                                    std::size_t cohort);
 
   /// X rows = per-asset behaviour summaries (metrics).
   CohortResult run(const Matrix& assets) const;

@@ -19,6 +19,34 @@ FailurePredictionAnalysis::FailurePredictionAnalysis(Config config)
   require(config_.k_folds >= 2, "FailurePredictionAnalysis: k_folds >= 2");
 }
 
+TEGraph FailurePredictionAnalysis::search_graph() {
+  // The template's opinionated graph: users provide only data.
+  TEGraph graph;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  graph.add_feature_scalers(std::move(scalers));
+
+  // Optional supervised projection: LDA concentrates the failure signal
+  // into one discriminant direction (Table I lists LDA among the
+  // feature-transformation options).
+  std::vector<std::unique_ptr<Transformer>> transforms;
+  transforms.push_back(std::make_unique<LinearDiscriminantAnalysis>());
+  auto noop = std::make_unique<NoOp>();
+  noop->set_name("noop_transform");
+  transforms.push_back(std::move(noop));
+  graph.add_preprocessors("feature_transformation", std::move(transforms));
+
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LogisticRegression>());
+  models.push_back(std::make_unique<RandomForestClassifier>());
+  models.push_back(std::make_unique<KnnClassifier>());
+  models.push_back(std::make_unique<GaussianNaiveBayes>());
+  graph.add_classification_models(std::move(models));
+  return graph;
+}
+
 FailurePredictionResult FailurePredictionAnalysis::run(
     const Dataset& data) const {
   data.validate();
@@ -27,36 +55,13 @@ FailurePredictionResult FailurePredictionAnalysis::run(
             "FailurePredictionAnalysis: labels must be 0/1");
   }
 
-  // The template's opinionated graph: users provide only data.
-  TEGraph graph;
-  {
-    std::vector<std::unique_ptr<Transformer>> scalers;
-    scalers.push_back(std::make_unique<StandardScaler>());
-    scalers.push_back(std::make_unique<RobustScaler>());
-    scalers.push_back(std::make_unique<NoOp>());
-    graph.add_feature_scalers(std::move(scalers));
-
-    // Optional supervised projection: LDA concentrates the failure signal
-    // into one discriminant direction (Table I lists LDA among the
-    // feature-transformation options).
-    std::vector<std::unique_ptr<Transformer>> transforms;
-    transforms.push_back(std::make_unique<LinearDiscriminantAnalysis>());
-    auto noop = std::make_unique<NoOp>();
-    noop->set_name("noop_transform");
-    transforms.push_back(std::move(noop));
-    graph.add_preprocessors("feature_transformation", std::move(transforms));
-
-    std::vector<std::unique_ptr<Estimator>> models;
-    models.push_back(std::make_unique<LogisticRegression>());
-    models.push_back(std::make_unique<RandomForestClassifier>());
-    models.push_back(std::make_unique<KnnClassifier>());
-    models.push_back(std::make_unique<GaussianNaiveBayes>());
-    graph.add_classification_models(std::move(models));
-  }
+  const TEGraph graph = search_graph();
 
   EvalOptions eval_config;
   eval_config.metric = Metric::kF1;
   eval_config.threads = config_.threads;
+  eval_config.search = config_.search;
+  eval_config.cache = config_.cache;
   GraphEvaluator evaluator(eval_config);
   KFold cv(config_.k_folds, /*shuffle=*/true, config_.seed);
 

@@ -32,10 +32,21 @@ class FailurePredictionAnalysis {
     std::size_t k_folds = 5;
     std::size_t threads = 0;
     std::uint64_t seed = 42;
+    /// Candidate-racing strategy for the template's graph search
+    /// (default exhaustive; kHalving prunes losing pipelines early —
+    /// DESIGN.md §16).
+    SearchOptions search;
+    /// Optional cooperative result cache shared with fleet peers.
+    ResultCache* cache = nullptr;
   };
 
   FailurePredictionAnalysis();
   explicit FailurePredictionAnalysis(Config config);
+
+  /// The template's opinionated search space (scalers × supervised
+  /// projection × classifiers), exposed so benches and the chaos harness
+  /// can race it at fleet scale: 3 × 2 × 4 = 24 candidate pipelines.
+  static TEGraph search_graph();
 
   /// `data` must be a binary dataset: X = sensor readings, y = 1 for
   /// samples preceding a failure (from the failure logs).

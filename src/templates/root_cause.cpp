@@ -1,8 +1,14 @@
 #include "src/templates/root_cause.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/core/metrics.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/feature_selection.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/scalers.h"
 
 namespace coda::templates {
 namespace {
@@ -17,6 +23,33 @@ std::string factor_name(const Dataset& data, std::size_t j) {
 RootCauseAnalysis::RootCauseAnalysis() : RootCauseAnalysis(Config()) {}
 
 RootCauseAnalysis::RootCauseAnalysis(Config config) : config_(config) {}
+
+TEGraph RootCauseAnalysis::search_graph() {
+  TEGraph graph;
+  std::vector<std::unique_ptr<Transformer>> scalers;
+  scalers.push_back(std::make_unique<StandardScaler>());
+  scalers.push_back(std::make_unique<RobustScaler>());
+  scalers.push_back(std::make_unique<NoOp>());
+  graph.add_feature_scalers(std::move(scalers));
+
+  // Factor screening before the probe: keep only informative factors (or
+  // all of them — the NoOp edge keeps the unscreened probe in the race).
+  std::vector<std::unique_ptr<Transformer>> selectors;
+  selectors.push_back(std::make_unique<SelectKBest>());
+  selectors.push_back(std::make_unique<VarianceThreshold>());
+  auto noop = std::make_unique<NoOp>();
+  noop->set_name("noop_selector");
+  selectors.push_back(std::move(noop));
+  graph.add_feature_selectors(std::move(selectors));
+
+  std::vector<std::unique_ptr<Estimator>> models;
+  models.push_back(std::make_unique<LinearRegression>());
+  models.push_back(std::make_unique<Ridge>());
+  models.push_back(std::make_unique<DecisionTreeRegressor>());
+  models.push_back(std::make_unique<KnnRegressor>());
+  graph.add_regression_models(std::move(models));
+  return graph;
+}
 
 RandomForestRegressor RootCauseAnalysis::make_probe() const {
   RandomForestRegressor forest;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/te_graph.h"
 #include "src/data/dataset.h"
 #include "src/ml/random_forest.h"
 
@@ -35,6 +36,13 @@ class RootCauseAnalysis {
 
   RootCauseAnalysis();
   explicit RootCauseAnalysis(Config config);
+
+  /// The probe-selection search space (scalers × feature selection ×
+  /// interpretable regressors), exposed for fleet-scale graph searches:
+  /// 3 × 3 × 4 = 36 candidate pipelines over (X = factors, y = outcome),
+  /// scored with RMSE. run() keeps its fixed forest probe; this graph is
+  /// how a fleet picks the best explanatory model for a given plant.
+  static TEGraph search_graph();
 
   /// `data`: X = process factors, y = outcome (continuous).
   RootCauseResult run(const Dataset& data) const;

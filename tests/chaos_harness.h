@@ -196,6 +196,15 @@ struct ChaosRun {
   std::size_t total_candidates = 0;
   std::size_t total_local_evaluations = 0;
   std::size_t redundant_evaluations = 0;
+  /// Fold evaluations computed locally, summed across the fleet. Under a
+  /// halving search with no faults this equals the rung plan's
+  /// total_fold_evals() exactly — the fold-level zero-redundancy invariant
+  /// (each (candidate, rung) unit is computed by exactly one claim
+  /// winner; candidate-level `redundant_evaluations` does not apply when a
+  /// candidate's rungs may legitimately split across clients).
+  std::size_t total_fold_evaluations = 0;
+  /// The per-client plan total (identical on every client).
+  std::size_t fold_evaluations_planned = 0;
   darr::DarrRepository::Counters repository_counters;
   darr::DarrCluster::SyncStats sync_stats;  ///< zeros in single-node mode
   dist::SimNet::FaultStats fault_stats;
@@ -226,6 +235,8 @@ ChaosRun run_clients(ChaosFabric& fabric, std::size_t n_candidates,
 
   for (const auto& report : run.reports) {
     run.total_local_evaluations += report.evaluated_locally;
+    run.total_fold_evaluations += report.fold_evaluations;
+    run.fold_evaluations_planned = report.fold_evaluations_planned;
   }
   run.redundant_evaluations =
       run.total_local_evaluations > run.total_candidates
@@ -251,10 +262,15 @@ inline std::string flight_recorder_report(const ChaosSchedule& schedule,
 }
 
 /// Cooperative Fig-3-style tabular graph search under `schedule`.
+/// `search` selects the racing strategy (default exhaustive; pass a
+/// kHalving SearchOptions to race the same graph through the rung
+/// scheduler — every client must use the same eta/seed or their rung keys
+/// will not cooperate).
 inline ChaosRun run_chaos_search(const TEGraph& graph, const Dataset& data,
                                  const CrossValidator& cv, Metric metric,
                                  std::size_t n_clients,
-                                 const ChaosSchedule& schedule) {
+                                 const ChaosSchedule& schedule,
+                                 const SearchOptions& search = {}) {
   ChaosFabric fabric(n_clients, schedule);
   return detail::run_clients(
       fabric, graph.enumerate_candidates().size(),
@@ -263,6 +279,7 @@ inline ChaosRun run_chaos_search(const TEGraph& graph, const Dataset& data,
         options.metric = metric;
         options.threads = 1;  // serial per client: attributable division
         options.cache = &client;
+        options.search = search;
         return GraphEvaluator(options).evaluate(graph, data, *cv.clone());
       });
 }
@@ -273,7 +290,8 @@ inline ChaosRun run_chaos_forecast_search(const ts::ForecastGraph& graph,
                                           const TimeSeriesSlidingSplit& cv,
                                           Metric metric,
                                           std::size_t n_clients,
-                                          const ChaosSchedule& schedule) {
+                                          const ChaosSchedule& schedule,
+                                          const SearchOptions& search = {}) {
   ChaosFabric fabric(n_clients, schedule);
   return detail::run_clients(
       fabric, graph.enumerate().size(), [&](darr::DarrClient& client) {
@@ -281,6 +299,7 @@ inline ChaosRun run_chaos_forecast_search(const ts::ForecastGraph& graph,
         options.metric = metric;
         options.threads = 1;
         options.cache = &client;
+        options.search = search;
         return ts::ForecastGraphEvaluator(options).evaluate(graph, series,
                                                             cv);
       });

@@ -29,6 +29,10 @@
 #include "src/ml/linear.h"
 #include "src/ml/scalers.h"
 #include "src/obs/obs.h"
+#include "src/templates/anomaly.h"
+#include "src/templates/cohort.h"
+#include "src/templates/failure_prediction.h"
+#include "src/templates/root_cause.h"
 #include "src/ts/forecasters.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer_wheel.h"
@@ -465,24 +469,24 @@ TEST(Chaos, CrashedClientsClaimsAreReclaimableByPeers) {
   auto& crashed = *fabric.clients[0];
   auto& peer = *fabric.clients[1];
 
-  ASSERT_TRUE(crashed.try_claim("fig3/candidate"));
+  ASSERT_TRUE(crashed.claim("fig3/candidate"));
   ASSERT_EQ(crashed.held_claims(),
             std::vector<std::string>{"fig3/candidate"});
   // While the claim is live, the peer is told to work on something else.
-  EXPECT_FALSE(peer.try_claim("fig3/candidate"));
+  EXPECT_FALSE(peer.claim("fig3/candidate"));
 
   // Crash-restart: the restarted client releases every orphaned claim
   // instead of pinning the candidate until the repository TTL fires.
   crashed.abandon_all();
   EXPECT_TRUE(crashed.held_claims().empty());
-  EXPECT_TRUE(peer.try_claim("fig3/candidate"));
+  EXPECT_TRUE(peer.claim("fig3/candidate"));
   EXPECT_EQ(fabric.repository.counters().claims_expired, 0u);
 }
 
 TEST(Chaos, AbandonAllSurvivesAnUnreachableRepository) {
   chaos::ChaosFabric fabric(2, ChaosSchedule{});
   auto& client = *fabric.clients[0];
-  ASSERT_TRUE(client.try_claim("k"));
+  ASSERT_TRUE(client.claim("k"));
 
   // Node down forever: the release RPC exhausts its budget. The claim
   // must stay tracked so a later abandon_all() (post-restart) retries it.
@@ -493,7 +497,7 @@ TEST(Chaos, AbandonAllSurvivesAnUnreachableRepository) {
   fabric.net.restart_node(fabric.client_nodes[0]);
   client.abandon_all();
   EXPECT_TRUE(client.held_claims().empty());
-  EXPECT_TRUE(fabric.clients[1]->try_claim("k"));
+  EXPECT_TRUE(fabric.clients[1]->claim("k"));
 }
 
 TEST(Chaos, RemoteServiceStatsAreRaceFree) {
@@ -598,7 +602,7 @@ void exercise_fault_metrics() {
   }
   {  // darr.client.claims_abandoned
     chaos::ChaosFabric fabric(1, ChaosSchedule{});
-    ASSERT_TRUE(fabric.clients[0]->try_claim("golden"));
+    ASSERT_TRUE(fabric.clients[0]->claim("golden"));
     fabric.clients[0]->abandon_all();
   }
   {  // homestore.push.lost: store -> subscriber link is dead forever
@@ -663,6 +667,14 @@ void exercise_fault_metrics() {
     b.fill(1.0);
     (void)kernels::matmul(a, b);
   }
+  {  // eval.search.rungs + eval.search.pruned +
+     // eval.search.fold_evals_saved: one tiny halving race (9 candidates,
+     // eta=2 seals two pruning rungs before the final full-CV rung)
+    SearchOptions halving;
+    halving.strategy = SearchStrategy::kHalving;
+    chaos::run_chaos_search(tabular_graph(), tabular_dataset(), KFold(3),
+                            Metric::kRmse, 1, ChaosSchedule{}, halving);
+  }
   {  // pool.tasks / timerwheel.scheduled+fired / prof.scopes: executor and
      // profiler instrumentation (ISSUE 9)
     ThreadPool pool(1);
@@ -720,6 +732,161 @@ TEST(Chaos, FaultMetricNamesMatchGoldenFile) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Successive-halving chaos (DESIGN.md §16): the rung scheduler racing the
+// golden-seed graphs across a cooperative fleet. Identity invariant: the
+// halving fleet selects the exact best pipeline the exhaustive fault-free
+// run selects. Redundancy invariant: the fleet computes exactly the rung
+// plan's fold total — every (candidate, rung) unit runs on one client.
+
+SearchOptions halving_search(std::size_t eta = 2, std::uint64_t seed = 0) {
+  SearchOptions search;
+  search.strategy = SearchStrategy::kHalving;
+  search.eta = eta;
+  search.seed = seed;
+  return search;
+}
+
+// The fold-level zero-redundancy invariant. Candidate-level
+// `redundant_evaluations` does not apply to halving: one candidate's rungs
+// may legitimately split across clients.
+void expect_zero_fold_redundancy(const ChaosRun& run) {
+  ASSERT_GT(run.fold_evaluations_planned, 0u);
+  EXPECT_EQ(run.total_fold_evaluations, run.fold_evaluations_planned);
+}
+
+// Identity against the exhaustive baseline: every client of the halving
+// fleet reports the same winner with its bit-identical full-CV score.
+void expect_same_best(const ChaosRun& run, const EvaluationReport& baseline) {
+  for (const auto& report : run.reports) {
+    ASSERT_FALSE(report.results.empty());
+    EXPECT_EQ(report.best().spec, baseline.best().spec);
+    EXPECT_DOUBLE_EQ(report.best().mean_score, baseline.best().mean_score);
+    EXPECT_EQ(report.best().fold_scores, baseline.best().fold_scores);
+  }
+}
+
+TEST(Chaos, HalvingFig3MatchesExhaustiveWithZeroFoldRedundancy) {
+  const Dataset data = tabular_dataset();
+  const ChaosRun exhaustive = run_tabular(data, 1, ChaosSchedule{});
+  const EvaluationReport& baseline = exhaustive.reports[0];
+
+  const ChaosRun fleet = chaos::run_chaos_search(
+      tabular_graph(), data, KFold(3), Metric::kRmse, 3, ChaosSchedule{},
+      halving_search());
+  expect_same_best(fleet, baseline);
+  expect_zero_fold_redundancy(fleet);
+  // The race genuinely saves folds over candidates × folds.
+  EXPECT_LT(fleet.fold_evaluations_planned, fleet.total_candidates * 3);
+
+  for (const auto& schedule : transient_schedules()) {
+    SCOPED_TRACE(schedule.describe());
+    const FlightRecorderOnFailure flight(schedule);
+    const ChaosRun run = chaos::run_chaos_search(
+        tabular_graph(), data, KFold(3), Metric::kRmse, 3, schedule,
+        halving_search());
+    expect_same_best(run, baseline);
+    expect_zero_fold_redundancy(run);
+  }
+}
+
+TEST(Chaos, HalvingFig11MatchesExhaustiveWithZeroFoldRedundancy) {
+  const TimeSeries series = forecast_series();
+  const ChaosRun exhaustive = run_forecast(series, 1, ChaosSchedule{});
+  const EvaluationReport& baseline = exhaustive.reports[0];
+  const TimeSeriesSlidingSplit cv(2, 100, 30, 5);
+
+  const ChaosRun fleet = chaos::run_chaos_forecast_search(
+      forecast_graph(), series, cv, Metric::kRmse, 3, ChaosSchedule{},
+      halving_search());
+  expect_same_best(fleet, baseline);
+  expect_zero_fold_redundancy(fleet);
+
+  for (const auto& schedule : transient_schedules()) {
+    SCOPED_TRACE(schedule.describe());
+    const FlightRecorderOnFailure flight(schedule);
+    const ChaosRun run = chaos::run_chaos_forecast_search(
+        forecast_graph(), series, cv, Metric::kRmse, 3, schedule,
+        halving_search());
+    expect_same_best(run, baseline);
+    expect_zero_fold_redundancy(run);
+  }
+}
+
+TEST(Chaos, HalvingTemplateSearchesMatchExhaustiveAcrossTheFleet) {
+  // The four §IV-E template search spaces over their golden-seed
+  // workloads. Baseline = plain exhaustive evaluation (no fabric); the
+  // halving fleet must select the identical pipeline while computing
+  // exactly the rung plan's fold total.
+  struct Case {
+    const char* name;
+    TEGraph (*graph)();
+    Dataset data;
+    Metric metric;
+  };
+  // The failure workload runs at fleet scale (2× the default sample
+  // count): with only ~48 rare-failure rows the per-fold F1 of the mid
+  // field is noisy enough that fold-0 ranking can cut the eventual
+  // winner; at 1200 samples the golden seed's fold scores are stable and
+  // the identity invariant holds.
+  FailureWorkloadConfig failure_cfg;
+  failure_cfg.n_samples = 1200;
+  std::vector<Case> cases;
+  cases.push_back({"failure_prediction",
+                   &templates::FailurePredictionAnalysis::search_graph,
+                   make_failure_workload(failure_cfg), Metric::kF1});
+  cases.push_back({"root_cause", &templates::RootCauseAnalysis::search_graph,
+                   make_regression({}), Metric::kRmse});
+  cases.push_back({"anomaly", &templates::AnomalyAnalysis::search_graph,
+                   make_anomaly_workload({}), Metric::kF1});
+  cases.push_back({"cohort", &templates::CohortAnalysis::search_graph,
+                   templates::CohortAnalysis::membership_dataset(
+                       make_cohort_workload({}), 0),
+                   Metric::kAccuracy});
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    EvalOptions options;
+    options.metric = c.metric;
+    options.threads = 1;
+    const EvaluationReport baseline =
+        GraphEvaluator(options).evaluate(c.graph(), c.data, KFold(3));
+
+    const ChaosRun fleet = chaos::run_chaos_search(
+        c.graph(), c.data, KFold(3), c.metric, 2, ChaosSchedule{},
+        halving_search());
+    expect_same_best(fleet, baseline);
+    expect_zero_fold_redundancy(fleet);
+    EXPECT_LT(fleet.fold_evaluations_planned, fleet.total_candidates * 3);
+  }
+}
+
+TEST(Chaos, HalvingTemplateSearchSurvivesATransientSchedule) {
+  // One heavier probe: the failure-prediction template under a seeded
+  // drop/spike schedule — faults fire, and both invariants still hold.
+  FailureWorkloadConfig failure_cfg;
+  failure_cfg.n_samples = 1200;  // identity-stable scale (see above)
+  const Dataset data = make_failure_workload(failure_cfg);
+  EvalOptions options;
+  options.metric = Metric::kF1;
+  options.threads = 1;
+  const EvaluationReport baseline = GraphEvaluator(options).evaluate(
+      templates::FailurePredictionAnalysis::search_graph(), data, KFold(3));
+
+  ChaosSchedule schedule;
+  schedule.seed = 606;
+  schedule.drop_probability = 0.3;
+  schedule.latency_spike_probability = 0.2;
+  SCOPED_TRACE(schedule.describe());
+  const FlightRecorderOnFailure flight(schedule);
+  const ChaosRun run = chaos::run_chaos_search(
+      templates::FailurePredictionAnalysis::search_graph(), data, KFold(3),
+      Metric::kF1, 3, schedule, halving_search());
+  EXPECT_GT(run.fault_stats.dropped, 0u);
+  expect_same_best(run, baseline);
+  expect_zero_fold_redundancy(run);
 }
 
 }  // namespace

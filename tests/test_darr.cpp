@@ -132,14 +132,14 @@ struct ClientFixture : ::testing::Test {
 };
 
 TEST_F(ClientFixture, ImplementsResultCacheContract) {
-  EXPECT_FALSE(client.lookup("k").has_value());
-  EXPECT_TRUE(client.try_claim("k"));
+  EXPECT_FALSE(client.fetch("k").has_value());
+  EXPECT_TRUE(client.claim("k"));
   CachedResult result;
   result.mean_score = 0.5;
   result.fold_scores = {0.4, 0.6};
   result.explanation = "spec";
-  client.store("k", result);
-  const auto hit = client.lookup("k");
+  client.put("k", result);
+  const auto hit = client.fetch("k");
   ASSERT_TRUE(hit.has_value());
   EXPECT_DOUBLE_EQ(hit->mean_score, 0.5);
   EXPECT_EQ(hit->fold_scores, result.fold_scores);
@@ -147,12 +147,12 @@ TEST_F(ClientFixture, ImplementsResultCacheContract) {
 }
 
 TEST_F(ClientFixture, TracksStatsAndTraffic) {
-  client.lookup("k");
-  client.try_claim("k");
+  client.fetch("k");
+  client.claim("k");
   CachedResult r;
   r.explanation = "spec";
-  client.store("k", r);
-  client.lookup("k");
+  client.put("k", r);
+  client.fetch("k");
   const auto stats = client.stats();
   EXPECT_EQ(stats.lookups, 2u);
   EXPECT_EQ(stats.hits, 1u);
@@ -168,7 +168,7 @@ TEST_F(ClientFixture, TracksStatsAndTraffic) {
 TEST_F(ClientFixture, RecordCarriesProducerName) {
   CachedResult r;
   r.explanation = "spec";
-  client.store("k", r);
+  client.put("k", r);
   EXPECT_EQ(repo.records_by("c0"), 1u);
 }
 

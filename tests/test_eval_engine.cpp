@@ -197,14 +197,14 @@ TEST(EvalEngine, ClaimBlockedCandidateIsRequeuedThenServed) {
   // engine must keep scoring the other candidates, requeue the blocked one
   // on the wheel, and serve it from the cache without computing locally.
   LocalResultCache cache;
-  ASSERT_TRUE(cache.try_claim("K"));  // we act as the peer
+  ASSERT_TRUE(cache.claim("K"));  // we act as the peer
   std::thread peer([&cache] {
     std::this_thread::sleep_for(std::chrono::milliseconds(40));
     CachedResult r;
     r.mean_score = 42.0;
     r.stddev = 0.0;
     r.fold_scores = {42.0, 42.0};
-    cache.store("K", r);
+    cache.put("K", r);
   });
   const std::uint64_t requeues_before =
       obs::counter("eval.claim.requeued").value();
@@ -232,7 +232,7 @@ TEST(EvalEngine, ExpiredClaimDeadlineFallsBackToLocalCompute) {
   // The peer never stores and never releases: after claim_wait_ms with no
   // other work left, the engine computes locally so the search completes.
   LocalResultCache cache;
-  ASSERT_TRUE(cache.try_claim("K"));
+  ASSERT_TRUE(cache.claim("K"));
   EvalOptions options;
   options.threads = 1;
   options.cache = &cache;
@@ -452,13 +452,13 @@ TEST(PlanCache, PlanEntriesAccountBytesInPrefixCache) {
 // ---------------------------------------------------------------------------
 // Batched lookups
 
-TEST(ResultCache, LookupManyDefaultLoopsOverLookup) {
+TEST(ResultCache, FetchManyDefaultLoopsOverFetch) {
   LocalResultCache cache;
   CachedResult r;
   r.mean_score = 5.0;
-  cache.store("a", r);
-  cache.store("c", r);
-  const auto out = cache.lookup_many({"a", "b", "c"});
+  cache.put("a", r);
+  cache.put("c", r);
+  const auto out = cache.fetch_many({"a", "b", "c"});
   ASSERT_EQ(out.size(), 3u);
   EXPECT_TRUE(out[0].has_value());
   EXPECT_FALSE(out[1].has_value());
@@ -466,7 +466,7 @@ TEST(ResultCache, LookupManyDefaultLoopsOverLookup) {
   EXPECT_DOUBLE_EQ(out[2]->mean_score, 5.0);
 }
 
-TEST(DarrClient, LookupManyUsesOneRoundTrip) {
+TEST(DarrClient, FetchManyUsesOneRoundTrip) {
   darr::DarrRepository repo;
   dist::SimNet net;
   const auto repo_node = net.add_node("darr");
@@ -475,10 +475,10 @@ TEST(DarrClient, LookupManyUsesOneRoundTrip) {
   CachedResult r;
   r.mean_score = 2.0;
   r.fold_scores = {2.0};
-  client.store("k1", r);
+  client.put("k1", r);
   const auto sent_before = net.link(client_node, repo_node).messages;
   const auto recv_before = net.link(repo_node, client_node).messages;
-  const auto out = client.lookup_many({"k1", "k2", "k3"});
+  const auto out = client.fetch_many({"k1", "k2", "k3"});
   ASSERT_EQ(out.size(), 3u);
   EXPECT_TRUE(out[0].has_value());
   EXPECT_FALSE(out[1].has_value());

@@ -185,16 +185,16 @@ TEST(GraphEvaluator, TrainBestReturnsFittedPipeline) {
 
 TEST(LocalResultCache, ClaimSemantics) {
   LocalResultCache cache;
-  EXPECT_TRUE(cache.try_claim("k"));
-  EXPECT_FALSE(cache.try_claim("k"));  // already claimed
-  cache.abandon("k");
-  EXPECT_TRUE(cache.try_claim("k"));   // claim released
+  EXPECT_TRUE(cache.claim("k"));
+  EXPECT_FALSE(cache.claim("k"));  // already claimed
+  cache.release("k");
+  EXPECT_TRUE(cache.claim("k"));   // claim released
   CachedResult r;
   r.mean_score = 1.0;
-  cache.store("k", r);
-  EXPECT_TRUE(cache.try_claim("k"));   // stored: claim says "go look it up"
-  ASSERT_TRUE(cache.lookup("k").has_value());
-  EXPECT_DOUBLE_EQ(cache.lookup("k")->mean_score, 1.0);
+  cache.put("k", r);
+  EXPECT_TRUE(cache.claim("k"));   // stored: claim says "go look it up"
+  ASSERT_TRUE(cache.fetch("k").has_value());
+  EXPECT_DOUBLE_EQ(cache.fetch("k")->mean_score, 1.0);
 }
 
 TEST(EvaluationReport, BestOnEmptyThrows) {

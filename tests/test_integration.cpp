@@ -131,7 +131,7 @@ TEST(Integration, DarrPrefixDiscoveryAcrossClients) {
     EXPECT_EQ(record->producer, "alice");
     EXPECT_FALSE(record->explanation.empty());  // how it was achieved
     // Bob reads the shared result directly.
-    EXPECT_TRUE(bob.lookup(key).has_value());
+    EXPECT_TRUE(bob.fetch(key).has_value());
   }
   // A different dataset shares nothing.
   auto other = data;

@@ -320,8 +320,8 @@ TEST(DarrClient, AbandonAllReleasesClaimsOnceThePartitionHeals) {
   retry.deadline_seconds = 8.0;
   DarrClient client(&repo, &net, self, repo_node, "client0", retry);
 
-  ASSERT_TRUE(client.try_claim("k1"));
-  ASSERT_TRUE(client.try_claim("k2"));
+  ASSERT_TRUE(client.claim("k1"));
+  ASSERT_TRUE(client.claim("k2"));
 
   // Partition the repository for a window longer than one release's inner
   // backoff budget (0.2 + 0.4 + 0.8 = 1.4 simulated seconds) but short
@@ -352,7 +352,7 @@ TEST(DarrClient, AbandonAllKeepsUnreachableClaimsTracked) {
   tiny.deadline_seconds = 1.0;
   DarrClient client(&repo, &net, self, repo_node, "client0", tiny);
 
-  ASSERT_TRUE(client.try_claim("k"));
+  ASSERT_TRUE(client.claim("k"));
   net.partition(self, repo_node, net.now(), 1e9);  // never heals
   client.abandon_all();
   // Still tracked for a later call; the repository-side lease will
